@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace-driven architecture study — the use case the paper's
+ * "BigDataBench simulator version" exists for. A WordCount run on
+ * each stack is recorded once (engine + simulator in the loop), then
+ * the traces are replayed against L3 capacities from 3 to 48 MB to
+ * produce miss-rate/IPC curves without re-running the software
+ * stacks.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "trace/recorder.h"
+#include "uarch/metrics.h"
+#include "workloads/datagen.h"
+#include "workloads/offline.h"
+
+namespace {
+
+using namespace bds;
+
+/** Record one WordCount run on the chosen stack. */
+TraceRecorder
+recordWordCount(bool hadoop)
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys(cfg);
+    TraceRecorder rec;
+    sys.attachRecorder(&rec);
+
+    AddressSpace space;
+    std::unique_ptr<StackEngine> engine;
+    if (hadoop)
+        engine = std::make_unique<MapReduceEngine>(sys, space);
+    else
+        engine = std::make_unique<RddEngine>(sys, space);
+    Dataset corpus = makeTextCorpus(space, 40000, 2500, 4, 4, 11);
+    OfflineWorkloads wl(*engine);
+    wl.runWordCount(corpus);
+    sys.attachRecorder(nullptr);
+    return rec;
+}
+
+/** Replay a trace against one L3 capacity; return the metrics. */
+MetricVector
+replayWithL3(const TraceRecorder &trace, std::uint64_t l3_bytes)
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    cfg.l3.sizeBytes = l3_bytes;
+    SystemModel sys(cfg);
+    trace.replay(sys, [&](std::uint64_t addr, std::uint64_t bytes) {
+        sys.dmaFill(addr, bytes);
+    });
+    return extractMetrics(sys.aggregateCounters());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Trace-driven L3 capacity sweep — WordCount on both "
+                 "stacks\n(record once, replay per configuration)\n\n";
+
+    for (bool hadoop : {true, false}) {
+        const char *name = hadoop ? "H-WordCount" : "S-WordCount";
+        std::cerr << "[sweep] recording " << name << "...\n";
+        TraceRecorder trace = recordWordCount(hadoop);
+        std::cout << name << " (" << trace.size()
+                  << " trace events):\n";
+
+        TextTable t({"L3", "L3 MPKI", "LLC load MPKI", "IPC",
+                     "resource-stall share"});
+        for (std::uint64_t mb : {3ULL, 6ULL, 12ULL, 24ULL, 48ULL}) {
+            MetricVector m = replayWithL3(trace, mb << 20);
+            auto get = [&](Metric x) {
+                return m[static_cast<std::size_t>(x)];
+            };
+            t.addRow({std::to_string(mb) + " MB",
+                      fmtDouble(get(Metric::L3Miss), 2),
+                      fmtDouble(get(Metric::LoadLlcMiss), 2),
+                      fmtDouble(get(Metric::Ilp), 3),
+                      fmtDouble(get(Metric::ResourceStall), 3)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Expected shape: the Spark trace's working set "
+                 "responds to L3 capacity\n(misses fall, IPC rises); "
+                 "the Hadoop trace is stream/DMA-bound and barely\n"
+                 "moves — capacity scaling does not help an I/O-shaped "
+                 "stack.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Engine-mechanism ablation (DESIGN.md §5.1): demonstrate that the
+ * pipeline measures *mechanisms*, not engine names. We run the same
+ * WordCount job on:
+ *
+ *   1. the stock engines (baseline),
+ *   2. a MapReduce engine carrying Spark's lean code footprint,
+ *   3. an RDD engine carrying Hadoop's bloated code footprint,
+ *
+ * and show the frontend metrics (L1I MPKI, ITLB, fetch stalls)
+ * follow the code-footprint mechanism wherever it goes, while the
+ * data-path metrics (L3 misses, snoops) stay with the execution
+ * model. If the engines hard-coded per-metric constants, this swap
+ * would change nothing.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "uarch/metrics.h"
+#include "workloads/datagen.h"
+#include "workloads/offline.h"
+
+namespace {
+
+using namespace bds;
+
+MetricVector
+measure(bool mapreduce_engine, bool hadoop_code_footprint)
+{
+    SystemModel sys(NodeConfig::defaultSim());
+    AddressSpace space;
+
+    // Start from the engine's own profile, then transplant the other
+    // stack's instruction-footprint mechanisms.
+    StackProfile profile =
+        mapreduce_engine ? hadoopProfile() : sparkProfile();
+    StackProfile donor =
+        hadoop_code_footprint ? hadoopProfile() : sparkProfile();
+    profile.fwFunctions = donor.fwFunctions;
+    profile.fwFnBodyBytes = donor.fwFnBodyBytes;
+    profile.fwFnStrideBytes = donor.fwFnStrideBytes;
+    profile.fwCallZipf = donor.fwCallZipf;
+    profile.fwCallsPerRecord = donor.fwCallsPerRecord;
+
+    std::unique_ptr<StackEngine> engine;
+    if (mapreduce_engine)
+        engine = std::make_unique<MapReduceEngine>(sys, space, profile,
+                                                   0x4adaaULL);
+    else
+        engine = std::make_unique<RddEngine>(sys, space, profile,
+                                             0x5aa4cULL);
+
+    Dataset corpus = makeTextCorpus(space, 60000, 4000, 4, 4, 99);
+    OfflineWorkloads wl(*engine);
+    wl.runWordCount(corpus);
+    return extractMetrics(sys.aggregateCounters());
+}
+
+void
+addRow(TextTable &t, const char *label, const MetricVector &m)
+{
+    auto get = [&](Metric x) {
+        return m[static_cast<std::size_t>(x)];
+    };
+    t.addRow({label, fmtDouble(get(Metric::L1iMiss), 2),
+              fmtDouble(get(Metric::ItlbMiss), 2),
+              fmtDouble(get(Metric::FetchStall), 3),
+              fmtDouble(get(Metric::L3Miss), 2),
+              fmtDouble(get(Metric::SnoopHitM), 3),
+              fmtDouble(get(Metric::KernelMode), 3)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Engine-mechanism ablation — WordCount, 60k records\n"
+              << "(frontend metrics must follow the code-footprint "
+                 "mechanism;\n data-path metrics must stay with the "
+                 "execution model)\n\n";
+
+    TextTable t({"configuration", "L1I MPKI", "ITLB MPKI",
+                 "FETCH STALL", "L3 MPKI", "SNOOP HITM/KI",
+                 "KERNEL"});
+    addRow(t, "MapReduce + Hadoop code (stock H)", measure(true, true));
+    addRow(t, "MapReduce + Spark code  (swapped)", measure(true, false));
+    addRow(t, "RDD + Spark code        (stock S)", measure(false, false));
+    addRow(t, "RDD + Hadoop code       (swapped)", measure(false, true));
+    t.print(std::cout);
+
+    std::cout << "\nExpected pattern: the two rows with Hadoop code "
+                 "show high L1I/ITLB/fetch\nnumbers regardless of "
+                 "engine; the two RDD rows show high L3/snoop numbers\n"
+                 "regardless of code footprint. The differences are "
+                 "emergent from mechanisms,\nnot baked into the "
+                 "engines.\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries.
+ *
+ * Every paper-reproduction bench needs the same 32 x 45 metric
+ * matrix. Simulating the whole suite takes minutes, so the first
+ * bench to run caches the matrix as a CSV next to the working
+ * directory and the rest load it. Delete the cache (or change
+ * BDS_SCALE / BDS_SEED) to force re-simulation.
+ *
+ * Environment:
+ *   BDS_SCALE = quick | standard | full   (default: standard)
+ *   BDS_SEED  = <integer>                 (default: 42)
+ */
+
+#ifndef BDS_BENCH_COMMON_H
+#define BDS_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/csvio.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "workloads/registry.h"
+
+namespace bdsbench {
+
+/** Scale selected by BDS_SCALE (default standard). */
+inline bds::ScaleProfile
+scaleFromEnv(std::string *name_out = nullptr)
+{
+    const char *env = std::getenv("BDS_SCALE");
+    std::string name = env ? env : "standard";
+    if (name_out)
+        *name_out = name;
+    if (name == "quick")
+        return bds::ScaleProfile::quick();
+    if (name == "full")
+        return bds::ScaleProfile::full();
+    return bds::ScaleProfile::standard();
+}
+
+/** Seed selected by BDS_SEED (default 42). */
+inline std::uint64_t
+seedFromEnv()
+{
+    const char *env = std::getenv("BDS_SEED");
+    return env ? std::strtoull(env, nullptr, 10) : 42ULL;
+}
+
+/**
+ * Load a cached metric matrix; returns false when absent/mismatched.
+ */
+inline bool
+loadMetricsCsv(const std::string &path, std::vector<std::string> &names,
+               bds::Matrix &metrics)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    try {
+        bds::MetricTable table = bds::readMetricsCsv(in);
+        if (table.columns.size() != bds::kNumMetrics ||
+            table.names.size() != bds::allWorkloads().size())
+            return false;
+        names = std::move(table.names);
+        metrics = std::move(table.values);
+        return true;
+    } catch (const bds::FatalError &) {
+        return false; // stale or foreign file: re-simulate
+    }
+}
+
+/**
+ * Characterize the 32 workloads (or load the cached matrix) and run
+ * the paper's pipeline over it.
+ */
+inline bds::PipelineResult
+characterizedPipeline()
+{
+    std::string scale_name;
+    bds::ScaleProfile scale = scaleFromEnv(&scale_name);
+    std::uint64_t seed = seedFromEnv();
+    std::string cache = "bds_metrics_" + scale_name + "_"
+        + std::to_string(seed) + ".csv";
+
+    std::vector<std::string> names;
+    bds::Matrix metrics;
+    if (loadMetricsCsv(cache, names, metrics)) {
+        std::cerr << "[bench] loaded cached metrics from " << cache
+                  << '\n';
+    } else {
+        std::cerr << "[bench] characterizing 32 workloads at scale '"
+                  << scale_name << "' (cache: " << cache << ")\n";
+        bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
+                                   seed);
+        metrics = runner.runAll();
+        for (const auto &id : bds::allWorkloads())
+            names.push_back(id.name());
+
+        bds::PipelineResult tmp;
+        tmp.names = names;
+        tmp.rawMetrics = metrics;
+        std::ofstream out(cache);
+        bds::writeMetricsCsv(out, tmp);
+    }
+    return bds::runPipeline(metrics, names);
+}
+
+} // namespace bdsbench
+
+#endif // BDS_BENCH_COMMON_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 1 reproduction: similarity dendrogram of the 32 workloads
+ * (single-linkage over the Kaiser-retained PC scores), plus the
+ * Section V-A observations.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    bds::writeDendrogramReport(std::cout, res);
+    std::cout << '\n';
+    bds::writeSimilarityObservations(std::cout, res);
+    std::cout << "\nscipy linkage matrix (plot with "
+                 "scipy.cluster.hierarchy.dendrogram):\n";
+    bds::writeLinkageCsv(std::cout, res);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 2 reproduction: the workloads projected onto PC1/PC2, with
+ * the per-stack spread summary (Spark spreads wider; PC2 separates
+ * the stacks).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    bds::writePcaSummary(std::cout, res);
+    std::cout << "\nFigure 2 — PC1/PC2 scatter\n";
+    bds::writeScatterReport(std::cout, res, 0, 1);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 3 reproduction: the workloads projected onto PC3/PC4.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    if (res.pca.numComponents < 4) {
+        std::cout << "fewer than four PCs retained; nothing to plot\n";
+        return 0;
+    }
+    std::cout << "Figure 3 — PC3/PC4 scatter\n";
+    bds::writeScatterReport(std::cout, res, 2, 3);
+    return 0;
+}

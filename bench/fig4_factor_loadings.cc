@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 4 reproduction: factor loadings of the first four principal
+ * components over the 45 Table II metrics.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    bds::writePcaSummary(std::cout, res);
+    std::cout << "\nFigure 4 — factor loadings (CSV)\n";
+    bds::writeLoadingsReport(std::cout, res, 4);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 5 reproduction: the metrics dominating the stack-separating
+ * PC and the Hadoop/Spark mean ratios (observations 6-9).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    std::cout << "Figure 5 — metrics causing Hadoop and Spark to "
+                 "behave differently\n\n";
+    bds::writeStackDifferentiationReport(std::cout, res);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 6 reproduction: Kiviat diagrams (retained PC scores) of the
+ * representative workloads selected by the boundary strategy.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    // The paper selects seven representatives; use its K for the
+    // Kiviat view (the BIC-selected clustering is in table4's bench).
+    bds::writeKiviatReport(std::cout, res, 7);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the statistics substrate:
+ * eigendecomposition, PCA, hierarchical clustering, K-means, and the
+ * BIC sweep at paper-relevant sizes (32 workloads x 45 metrics).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "stats/bic.h"
+#include "stats/eigen.h"
+#include "stats/hcluster.h"
+#include "stats/normalize.h"
+#include "stats/pca.h"
+#include "stats/silhouette.h"
+
+namespace {
+
+bds::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    bds::Pcg32 rng(seed);
+    bds::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.nextGaussian() * (1.0 + (c % 5));
+    return m;
+}
+
+void
+BM_EigenSymmetric(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    bds::Matrix data = randomMatrix(4 * n, n, 1);
+    bds::Matrix cov = bds::covariance(bds::zscore(data).normalized);
+    for (auto _ : state) {
+        auto res = bds::eigenSymmetric(cov);
+        benchmark::DoNotOptimize(res.values.data());
+    }
+}
+BENCHMARK(BM_EigenSymmetric)->Arg(8)->Arg(16)->Arg(45)->Arg(64);
+
+void
+BM_PcaFull(benchmark::State &state)
+{
+    std::size_t metrics = static_cast<std::size_t>(state.range(0));
+    bds::Matrix data = randomMatrix(32, metrics, 2);
+    for (auto _ : state) {
+        auto z = bds::zscore(data);
+        auto res = bds::pca(z.normalized);
+        benchmark::DoNotOptimize(res.scores.data().data());
+    }
+}
+BENCHMARK(BM_PcaFull)->Arg(8)->Arg(45);
+
+void
+BM_HierarchicalCluster(benchmark::State &state)
+{
+    std::size_t rows = static_cast<std::size_t>(state.range(0));
+    bds::Matrix data = randomMatrix(rows, 8, 3);
+    for (auto _ : state) {
+        auto dg = bds::hierarchicalCluster(data, bds::Linkage::Single);
+        benchmark::DoNotOptimize(dg.merges().data());
+    }
+}
+BENCHMARK(BM_HierarchicalCluster)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    std::size_t k = static_cast<std::size_t>(state.range(0));
+    bds::Matrix data = randomMatrix(32, 8, 4);
+    for (auto _ : state) {
+        bds::Pcg32 rng(5);
+        auto res = bds::kMeans(data, k, rng);
+        benchmark::DoNotOptimize(res.labels.data());
+    }
+}
+BENCHMARK(BM_KMeans)->Arg(2)->Arg(7)->Arg(15);
+
+void
+BM_BicSweep(benchmark::State &state)
+{
+    bds::Matrix data = randomMatrix(32, 8, 6);
+    for (auto _ : state) {
+        bds::Pcg32 rng(7);
+        auto sweep = bds::sweepBic(data, 2, 15, rng);
+        benchmark::DoNotOptimize(sweep.bestIndex);
+    }
+}
+BENCHMARK(BM_BicSweep);
+
+void
+BM_Silhouette(benchmark::State &state)
+{
+    bds::Matrix data = randomMatrix(32, 8, 8);
+    bds::Pcg32 rng(9);
+    auto km = bds::kMeans(data, 7, rng);
+    for (auto _ : state) {
+        double s = bds::silhouetteScore(data, km.labels);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_Silhouette);
+
+} // namespace
+
+BENCHMARK_MAIN();

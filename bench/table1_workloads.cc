@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table I reproduction: the 16 algorithms x 2 stacks workload matrix
+ * with the scaled problem sizes this build uses.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "bench_common.h"
+
+int
+main()
+{
+    std::string scale_name;
+    bds::ScaleProfile scale = bdsbench::scaleFromEnv(&scale_name);
+
+    std::cout << "Table I — representative data analysis workloads "
+                 "(scale '" << scale_name << "', unit = "
+              << scale.unitRecords << " records)\n\n";
+
+    bds::TextTable t({"category", "workload", "relative size",
+                      "scaled records", "stacks"});
+    for (unsigned a = 0; a < bds::kNumAlgorithms; ++a) {
+        auto alg = static_cast<bds::Algorithm>(a);
+        double rel = bds::relativeInputSize(alg);
+        std::uint64_t recs = static_cast<std::uint64_t>(
+            rel * static_cast<double>(scale.unitRecords));
+        t.addRow({bds::isInteractive(alg) ? "Interactive Analytics"
+                                          : "Offline Analytics",
+                  bds::algorithmName(alg), bds::fmtDouble(rel, 2),
+                  std::to_string(recs),
+                  bds::isInteractive(alg) ? "Hive & Shark"
+                                          : "Hadoop & Spark"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nworkload instances (" << bds::allWorkloads().size()
+              << "):";
+    for (const auto &id : bds::allWorkloads())
+        std::cout << ' ' << id.name();
+    std::cout << '\n';
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table III reproduction: the simulated node's hardware
+ * configuration (Westmere / Xeon E5645 geometry).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "uarch/config.h"
+
+namespace {
+
+std::string
+cacheDesc(const bds::CacheConfig &c)
+{
+    std::string size = c.sizeBytes >= (1u << 20)
+        ? std::to_string(c.sizeBytes >> 20) + " MB"
+        : std::to_string(c.sizeBytes >> 10) + " KB";
+    return size + ", " + std::to_string(c.assoc) + "-way, "
+        + std::to_string(c.lineBytes) + " B/line";
+}
+
+void
+print(const char *title, const bds::NodeConfig &cfg)
+{
+    std::cout << title << "\n";
+    bds::TextTable t({"component", "configuration"});
+    t.addRow({"# cores", std::to_string(cfg.numCores)});
+    t.addRow({"ITLB", std::to_string(cfg.itlb.assoc) + "-way, "
+                          + std::to_string(cfg.itlb.entries)
+                          + " entries"});
+    t.addRow({"DTLB", std::to_string(cfg.dtlb.assoc) + "-way, "
+                          + std::to_string(cfg.dtlb.entries)
+                          + " entries"});
+    t.addRow({"L2 shared TLB", std::to_string(cfg.stlb.assoc)
+                                   + "-way, "
+                                   + std::to_string(cfg.stlb.entries)
+                                   + " entries"});
+    t.addRow({"L1 DCache", cacheDesc(cfg.l1d)});
+    t.addRow({"L1 ICache", cacheDesc(cfg.l1i)});
+    t.addRow({"L2 cache", cacheDesc(cfg.l2)});
+    t.addRow({"L3 cache", cacheDesc(cfg.l3)});
+    t.addRow({"page size", std::to_string(cfg.pageBytes) + " B"});
+    t.addRow({"L2 / L3 / memory latency",
+              bds::fmtDouble(cfg.l2Latency, 0) + " / "
+                  + bds::fmtDouble(cfg.l3Latency, 0) + " / "
+                  + bds::fmtDouble(cfg.memLatency, 0) + " cycles"});
+    t.addRow({"issue width", std::to_string(cfg.issueWidth)});
+    t.addRow({"branch predictor", "gshare, "
+                                      + std::to_string(cfg.historyBits)
+                                      + "-bit history"});
+    t.addRow({"line fill buffers", std::to_string(cfg.lfbEntries)});
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table III — hardware configuration of the simulated "
+                 "node\n\n";
+    print("paper configuration (one E5645 socket):",
+          bds::NodeConfig::westmere());
+    print("default simulation target:", bds::NodeConfig::defaultSim());
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Table IV reproduction: the BIC sweep over K and the selected
+ * K-means clustering of the 32 workloads.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    std::cout << "Table IV — K-means clustering with BIC selection\n\n";
+    bds::writeClusterReport(std::cout, res);
+    return 0;
+}

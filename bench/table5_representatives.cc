@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table V reproduction: representative workloads chosen by the
+ * nearest-to-centroid and farthest-from-centroid strategies, with
+ * the maximal linkage distance diversity measure.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    auto res = bdsbench::characterizedPipeline();
+    std::cout << "at the BIC-selected K:\n";
+    bds::writeRepresentativesReport(std::cout, res);
+    std::cout << "at the paper's K = 7:\n";
+    bds::writeRepresentativesReport(std::cout, res, 7);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: simulate a couple of big data workloads on the two
+ * software stacks, read their microarchitectural metrics, and see
+ * the paper's central effect — the stack dominates the algorithm.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace bds;
+
+    // A simulated Westmere-style node (Table III geometry) and the
+    // quick input scale: each run takes well under a second.
+    WorkloadRunner runner(NodeConfig::defaultSim(),
+                          ScaleProfile::quick(), /*seed=*/42);
+
+    // Same algorithm, different stacks — and vice versa.
+    WorkloadId h_wc{Algorithm::WordCount, StackKind::Hadoop};
+    WorkloadId s_wc{Algorithm::WordCount, StackKind::Spark};
+    WorkloadId h_sort{Algorithm::Sort, StackKind::Hadoop};
+    WorkloadId s_sort{Algorithm::Sort, StackKind::Spark};
+
+    TextTable t({"workload", "IPC", "L1I MPKI", "L3 MPKI",
+                 "kernel share", "snoop HITM/KI"});
+    for (const WorkloadId &id : {h_wc, s_wc, h_sort, s_sort}) {
+        WorkloadResult res = runner.run(id);
+        auto metric = [&](Metric m) {
+            return res.metrics[static_cast<std::size_t>(m)];
+        };
+        t.addRow({id.name(), fmtDouble(metric(Metric::Ilp), 3),
+                  fmtDouble(metric(Metric::L1iMiss), 2),
+                  fmtDouble(metric(Metric::L3Miss), 2),
+                  fmtDouble(metric(Metric::KernelMode), 3),
+                  fmtDouble(metric(Metric::SnoopHitM), 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nNote how H-WordCount resembles H-Sort more than it "
+                 "resembles S-WordCount:\nthe software stack, not the "
+                 "algorithm, dominates the microarchitectural\n"
+                 "behavior — the paper's headline finding.\n";
+    return 0;
+}

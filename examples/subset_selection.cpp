@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Benchmark subsetting for simulation — the paper's Section VI use
+ * case. Characterize the suite, select representatives with both
+ * strategies, and quantify what the subset saves: the fraction of
+ * simulated instructions an architect would no longer have to run.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace bds;
+
+    ScaleProfile scale = ScaleProfile::quick();
+    WorkloadRunner runner(NodeConfig::defaultSim(), scale, 42);
+
+    std::cout << "characterizing 32 workloads...\n";
+    std::vector<WorkloadResult> details;
+    Matrix metrics = runner.runAll(&details);
+    std::vector<std::string> names;
+    for (const auto &id : allWorkloads())
+        names.push_back(id.name());
+
+    PipelineResult res = runPipeline(metrics, names);
+
+    std::cout << "\nBIC-selected K = " << res.bic.bestK() << "\n\n";
+
+    std::uint64_t total_instructions = 0;
+    for (const auto &d : details)
+        total_instructions += d.counters.instructions;
+
+    for (auto strat : {RepresentativeStrategy::NearestToCentroid,
+                       RepresentativeStrategy::FarthestFromCentroid}) {
+        SubsetResult subset = selectRepresentatives(res, strat, 7);
+        std::uint64_t subset_instructions = 0;
+        for (std::size_t rep : subset.representatives)
+            subset_instructions += details[rep].counters.instructions;
+
+        std::cout << strategyName(strat) << ":\n";
+        TextTable t({"representative", "covers", "instructions"});
+        for (std::size_t c = 0; c < subset.representatives.size();
+             ++c) {
+            std::size_t rep = subset.representatives[c];
+            t.addRow({names[rep],
+                      std::to_string(subset.clusters[c].size())
+                          + " workloads",
+                      std::to_string(
+                          details[rep].counters.instructions)});
+        }
+        t.print(std::cout);
+        double saved = 1.0
+            - static_cast<double>(subset_instructions)
+                / static_cast<double>(total_instructions);
+        std::cout << "diversity (max linkage distance): "
+                  << fmtDouble(subset.maxPairwiseLinkage, 2)
+                  << "; simulation work saved: "
+                  << fmtDouble(100.0 * saved, 1) << "%\n\n";
+    }
+
+    std::cout << "Kiviat view of the boundary-strategy subset:\n";
+    writeKiviatReport(std::cout, res, 7);
+    return 0;
+}

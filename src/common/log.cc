@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace bds {
+
+namespace {
+LogLevel g_threshold = LogLevel::Warn;
+} // namespace
+
+void
+Log::setThreshold(LogLevel lvl)
+{
+    g_threshold = lvl;
+}
+
+LogLevel
+Log::threshold()
+{
+    return g_threshold;
+}
+
+void
+Log::emit(LogLevel lvl, const std::string &msg)
+{
+    if (static_cast<int>(lvl) < static_cast<int>(g_threshold))
+        return;
+    const char *tag = lvl == LogLevel::Debug ? "debug"
+                    : lvl == LogLevel::Info  ? "info"
+                                             : "warn";
+    std::cerr << "[bds:" << tag << "] " << msg << '\n';
+}
+
+void
+inform(const std::string &msg)
+{
+    Log::emit(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Log::emit(LogLevel::Warn, msg);
+}
+
+namespace detail {
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " (" << file << ':' << line << ')';
+    throw FatalError(oss.str());
+}
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " (" << file << ':' << line << ')';
+    throw PanicError(oss.str());
+}
+
+} // namespace detail
+
+} // namespace bds

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Logging and error-handling primitives.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - BDS_FATAL: the run cannot continue due to a user-level error
+ *    (bad configuration, invalid arguments). Throws bds::FatalError.
+ *  - BDS_PANIC: an internal invariant was violated — a library bug.
+ *    Throws bds::PanicError.
+ *  - BDS_ASSERT: cheap invariant check that panics on failure.
+ *
+ * Errors are exceptions (rather than abort()) so the test suite can
+ * exercise failure paths.
+ */
+
+#ifndef BDS_COMMON_LOG_H
+#define BDS_COMMON_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bds {
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Error caused by a violated internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Severity levels for informational logging. */
+enum class LogLevel { Debug, Info, Warn };
+
+/**
+ * Minimal global logger. Writes to stderr; the threshold is settable
+ * so benches can silence Info chatter.
+ */
+class Log
+{
+  public:
+    /** Set the minimum level that is emitted. */
+    static void setThreshold(LogLevel lvl);
+
+    /** Current threshold. */
+    static LogLevel threshold();
+
+    /** Emit a message at the given level. */
+    static void emit(LogLevel lvl, const std::string &msg);
+};
+
+/** Log an informational message. */
+void inform(const std::string &msg);
+
+/** Log a warning. */
+void warn(const std::string &msg);
+
+namespace detail {
+
+/** Build the message string and throw FatalError. */
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+
+/** Build the message string and throw PanicError. */
+[[noreturn]] void throwPanic(const char *file, int line,
+                             const std::string &msg);
+
+} // namespace detail
+
+} // namespace bds
+
+/** Abort the operation due to a user-level error. */
+#define BDS_FATAL(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream bds_oss_;                                        \
+        bds_oss_ << msg;                                                    \
+        ::bds::detail::throwFatal(__FILE__, __LINE__, bds_oss_.str());      \
+    } while (0)
+
+/** Abort the operation due to an internal bug. */
+#define BDS_PANIC(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream bds_oss_;                                        \
+        bds_oss_ << msg;                                                    \
+        ::bds::detail::throwPanic(__FILE__, __LINE__, bds_oss_.str());      \
+    } while (0)
+
+/** Invariant check; panics with the message when cond is false. */
+#define BDS_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            BDS_PANIC("assertion failed: " #cond " — " << msg);             \
+    } while (0)
+
+#endif // BDS_COMMON_LOG_H

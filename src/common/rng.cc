@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    next();
+    state_ += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t
+Pcg32::next64()
+{
+    std::uint64_t hi = next();
+    return (hi << 32) | next();
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    BDS_ASSERT(bound > 0, "nextBounded requires bound > 0");
+    // Lemire's nearly-divisionless method with rejection.
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    std::uint32_t l = static_cast<std::uint32_t>(m);
+    if (l < bound) {
+        std::uint32_t t = -bound % bound;
+        while (l < t) {
+            m = static_cast<std::uint64_t>(next()) * bound;
+            l = static_cast<std::uint32_t>(m);
+        }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+double
+Pcg32::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Pcg32::nextRange(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Pcg32::nextGaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = nextRange(-1.0, 1.0);
+        v = nextRange(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return u * mul;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    BDS_ASSERT(n > 0, "ZipfSampler requires n > 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        cdf_[i] /= acc;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace bds

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole toolkit.
+ *
+ * Every stochastic component in the library (data generators, K-means
+ * initialization, synthetic trace perturbation) draws from a seeded
+ * Pcg32 instance so that runs are exactly reproducible. No component
+ * may use std::random_device or wall-clock seeding.
+ */
+
+#ifndef BDS_COMMON_RNG_H
+#define BDS_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bds {
+
+/**
+ * PCG32 pseudo random number generator (O'Neill, pcg-random.org;
+ * XSH-RR variant). Small, fast, statistically solid, and — unlike
+ * std::mt19937 — guaranteed to produce an identical stream on every
+ * platform and standard library.
+ */
+class Pcg32
+{
+  public:
+    /** Construct with a seed and an optional stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next();
+
+    /** Next 64-bit value (two draws). */
+    std::uint64_t next64();
+
+    /**
+     * Uniform integer in [0, bound) using Lemire-style rejection to
+     * avoid modulo bias.
+     * @param bound Exclusive upper bound; must be > 0.
+     */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextRange(double lo, double hi);
+
+    /** Standard normal variate (Marsaglia polar method, cached pair). */
+    double nextGaussian();
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBounded(static_cast<std::uint32_t>(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Zipf-distributed integer sampler over {0, 1, ..., n-1} with skew s.
+ *
+ * Uses the classic inverse-CDF table method: O(n) setup, O(log n) per
+ * sample. Big data text corpora (word frequencies) and graph degree
+ * distributions are modelled with this sampler, mirroring the BDGS
+ * generators the paper relies on.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of distinct ranks (> 0).
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one rank in [0, n). Rank 0 is the most frequent. */
+    std::size_t sample(Pcg32 &rng) const;
+
+    /** Number of ranks. */
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace bds
+
+#endif // BDS_COMMON_RNG_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering used by the report writers.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure
+ * data series; this helper keeps their output format consistent
+ * (aligned ASCII table for humans plus CSV rows for plotting).
+ */
+
+#ifndef BDS_COMMON_TABLE_H
+#define BDS_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bds {
+
+/**
+ * Column-aligned text table builder.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Workload", "L3 MPKI"});
+ *   t.addRow({"H-Sort", "1.27"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with header labels. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of fractional digits. */
+std::string fmtDouble(double v, int digits = 3);
+
+/** Escape a CSV field (quotes fields containing separators). */
+std::string csvEscape(const std::string &field);
+
+} // namespace bds
+
+#endif // BDS_COMMON_TABLE_H

@@ -1,0 +1,229 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace bds {
+
+char
+stackOfName(const std::string &name)
+{
+    if (name.size() < 3 || name[1] != '-' ||
+        (name[0] != 'H' && name[0] != 'S'))
+        BDS_FATAL("not a paper-style workload label: '" << name << "'");
+    return name[0];
+}
+
+std::string
+algorithmOfName(const std::string &name)
+{
+    stackOfName(name); // validates
+    return name.substr(2);
+}
+
+SimilarityObservations
+analyzeSimilarity(const PipelineResult &res)
+{
+    const Dendrogram &dg = res.dendrogram;
+    const auto &names = res.names;
+    SimilarityObservations obs;
+
+    auto first = dg.firstIterationLeafMerges();
+    obs.firstIterMerges = first.size();
+    for (const Merge &m : first) {
+        char sa = stackOfName(names[m.left]);
+        char sb = stackOfName(names[m.right]);
+        if (sa == sb) {
+            ++obs.sameStackFirstIterMerges;
+        } else {
+            obs.crossStackFirstIterPairs.push_back(
+                names[m.left] + "+" + names[m.right]);
+        }
+    }
+    obs.sameStackShare = obs.firstIterMerges
+        ? static_cast<double>(obs.sameStackFirstIterMerges)
+            / static_cast<double>(obs.firstIterMerges)
+        : 0.0;
+
+    // Obs 2: closest same-algorithm cross-stack pair.
+    obs.minCrossStackSameAlgDistance =
+        std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            if (stackOfName(names[i]) == stackOfName(names[j]))
+                continue;
+            if (algorithmOfName(names[i]) != algorithmOfName(names[j]))
+                continue;
+            double d = dg.copheneticDistance(i, j);
+            if (d < obs.minCrossStackSameAlgDistance) {
+                obs.minCrossStackSameAlgDistance = d;
+                obs.closestCrossStackPair =
+                    names[i] + "+" + names[j];
+            }
+        }
+    }
+
+    // Obs 5: Hadoop tightness vs Spark tightness.
+    std::size_t hadoop_count = 0;
+    for (const auto &n : names)
+        if (stackOfName(n) == 'H')
+            ++hadoop_count;
+    std::size_t target = std::max<std::size_t>(
+        2, hadoop_count * 9 / 16); // the paper's 9-of-16 proportion
+    obs.hadoopTightHeight = minHeightForPureCluster(res, 'H', target);
+    if (std::isfinite(obs.hadoopTightHeight)) {
+        obs.hadoopTightSize = largestPureClusterAtHeight(
+            res, 'H', obs.hadoopTightHeight);
+        obs.sparkSizeAtThatHeight = largestPureClusterAtHeight(
+            res, 'S', obs.hadoopTightHeight);
+    }
+    return obs;
+}
+
+std::size_t
+largestPureClusterAtHeight(const PipelineResult &res, char stack,
+                           double height)
+{
+    auto labels = res.dendrogram.cutAtHeight(height);
+    std::size_t k = *std::max_element(labels.begin(), labels.end()) + 1;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+        std::size_t size = 0;
+        bool pure = true;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (labels[i] != c)
+                continue;
+            ++size;
+            if (stackOfName(res.names[i]) != stack)
+                pure = false;
+        }
+        if (pure && size > best)
+            best = size;
+    }
+    return best;
+}
+
+double
+minHeightForPureCluster(const PipelineResult &res, char stack,
+                        std::size_t size)
+{
+    for (const Merge &m : res.dendrogram.merges()) {
+        if (largestPureClusterAtHeight(res, stack, m.distance) >= size)
+            return m.distance;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+/** Variance of the given rows of one score column. */
+double
+varianceOfRows(const Matrix &scores, const std::vector<std::size_t> &rows,
+               std::size_t col)
+{
+    if (rows.size() < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (std::size_t r : rows)
+        mean += scores(r, col);
+    mean /= static_cast<double>(rows.size());
+    double ss = 0.0;
+    for (std::size_t r : rows) {
+        double d = scores(r, col) - mean;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(rows.size() - 1);
+}
+
+} // namespace
+
+PcSpread
+pcSpread(const PipelineResult &res)
+{
+    std::vector<std::size_t> hadoop, spark;
+    for (std::size_t i = 0; i < res.names.size(); ++i)
+        (stackOfName(res.names[i]) == 'H' ? hadoop : spark).push_back(i);
+
+    PcSpread out;
+    for (std::size_t pc = 0; pc < res.pca.numComponents; ++pc) {
+        out.hadoopVariance.push_back(
+            varianceOfRows(res.pca.scores, hadoop, pc));
+        out.sparkVariance.push_back(
+            varianceOfRows(res.pca.scores, spark, pc));
+    }
+    return out;
+}
+
+StackDifferentiation
+differentiateStacks(const PipelineResult &res, double loading_threshold)
+{
+    std::vector<std::size_t> hadoop, spark;
+    for (std::size_t i = 0; i < res.names.size(); ++i)
+        (stackOfName(res.names[i]) == 'H' ? hadoop : spark).push_back(i);
+    if (hadoop.empty() || spark.empty())
+        BDS_FATAL("differentiation needs workloads from both stacks");
+
+    StackDifferentiation out;
+
+    // Point-biserial correlation of each PC with stack membership.
+    const Matrix &scores = res.pca.scores;
+    const double n = static_cast<double>(res.names.size());
+    double best = -1.0;
+    for (std::size_t pc = 0; pc < res.pca.numComponents; ++pc) {
+        double mh = 0.0, ms = 0.0;
+        for (std::size_t r : hadoop)
+            mh += scores(r, pc);
+        for (std::size_t r : spark)
+            ms += scores(r, pc);
+        mh /= static_cast<double>(hadoop.size());
+        ms /= static_cast<double>(spark.size());
+        double mean = 0.0, ss = 0.0;
+        for (std::size_t r = 0; r < scores.rows(); ++r)
+            mean += scores(r, pc);
+        mean /= n;
+        for (std::size_t r = 0; r < scores.rows(); ++r) {
+            double d = scores(r, pc) - mean;
+            ss += d * d;
+        }
+        double sd = std::sqrt(ss / n);
+        if (sd == 0.0)
+            continue;
+        double p = static_cast<double>(hadoop.size()) / n;
+        double corr =
+            std::fabs((mh - ms) / sd * std::sqrt(p * (1.0 - p)));
+        if (corr > best) {
+            best = corr;
+            out.separatingPc = pc;
+        }
+    }
+    out.correlation = best;
+
+    // Dominating metrics by loading sign/magnitude on that PC.
+    for (std::size_t m = 0; m < res.pca.loadings.rows(); ++m) {
+        double l = res.pca.loadings(m, out.separatingPc);
+        if (l <= -loading_threshold)
+            out.negativeMetrics.push_back(m);
+        else if (l >= loading_threshold)
+            out.positiveMetrics.push_back(m);
+    }
+
+    // Raw-metric mean ratios (Figure 5 bars).
+    const Matrix &raw = res.rawMetrics;
+    out.hadoopOverSpark.assign(raw.cols(), 0.0);
+    for (std::size_t m = 0; m < raw.cols(); ++m) {
+        double mh = 0.0, ms = 0.0;
+        for (std::size_t r : hadoop)
+            mh += raw(r, m);
+        for (std::size_t r : spark)
+            ms += raw(r, m);
+        mh /= static_cast<double>(hadoop.size());
+        ms /= static_cast<double>(spark.size());
+        out.hadoopOverSpark[m] = ms != 0.0 ? mh / ms : 0.0;
+    }
+    return out;
+}
+
+} // namespace bds

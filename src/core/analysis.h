@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Quantitative versions of the paper's Section V analyses: the
+ * dendrogram observations (1-5), the PC-space spread comparison
+ * (Figures 2-3), and the Hadoop/Spark differentiation along the
+ * separating principal component (Figure 5, observations 6-9).
+ */
+
+#ifndef BDS_CORE_ANALYSIS_H
+#define BDS_CORE_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace bds {
+
+/** Stack of a paper-style workload label ("H-..." / "S-..."). */
+char stackOfName(const std::string &name);
+
+/** Algorithm part of a paper-style workload label. */
+std::string algorithmOfName(const std::string &name);
+
+/** Section V-A dendrogram observations. */
+struct SimilarityObservations
+{
+    /** Number of first-iteration (leaf-leaf) merges. */
+    std::size_t firstIterMerges = 0;
+
+    /** How many of those join two same-stack workloads (Obs 1). */
+    std::size_t sameStackFirstIterMerges = 0;
+
+    /** sameStackFirstIterMerges / firstIterMerges (paper: 0.8). */
+    double sameStackShare = 0.0;
+
+    /** Labels of cross-stack first-iteration pairs ("a+b"). */
+    std::vector<std::string> crossStackFirstIterPairs;
+
+    /**
+     * Minimum cophenetic distance between any same-algorithm pair on
+     * different stacks (paper: 3.19, H-Sort/S-Sort) — Obs 2.
+     */
+    double minCrossStackSameAlgDistance = 0.0;
+
+    /** The pair attaining that minimum. */
+    std::string closestCrossStackPair;
+
+    /**
+     * Obs 5: height at which some pure-Hadoop cluster of >= 9
+     * members first exists, and the size of the largest pure-Spark
+     * cluster at that same height.
+     */
+    double hadoopTightHeight = 0.0;
+    std::size_t hadoopTightSize = 0;   ///< the pure-Hadoop size reached
+    std::size_t sparkSizeAtThatHeight = 0;
+};
+
+/** Analyze the pipeline's dendrogram. */
+SimilarityObservations analyzeSimilarity(const PipelineResult &res);
+
+/**
+ * Smallest cut height at which a cluster of at least `size` leaves,
+ * all of the given stack, exists. Returns +inf when impossible.
+ */
+double minHeightForPureCluster(const PipelineResult &res, char stack,
+                               std::size_t size);
+
+/** Largest pure-`stack` cluster size when cutting at `height`. */
+std::size_t largestPureClusterAtHeight(const PipelineResult &res,
+                                       char stack, double height);
+
+/** Per-PC score variance split by stack (Figures 2-3's spread). */
+struct PcSpread
+{
+    std::vector<double> hadoopVariance; ///< per retained PC
+    std::vector<double> sparkVariance;  ///< per retained PC
+};
+
+/** Compute the per-stack PC-score variances. */
+PcSpread pcSpread(const PipelineResult &res);
+
+/** Section V-C: which PC separates the stacks and how. */
+struct StackDifferentiation
+{
+    /** Index (0-based) of the PC best separating the stacks. */
+    std::size_t separatingPc = 0;
+
+    /** |point-biserial correlation| of that PC with the stack. */
+    double correlation = 0.0;
+
+    /** Metric indices with strong negative loadings on that PC. */
+    std::vector<std::size_t> negativeMetrics;
+
+    /** Metric indices with strong positive loadings on that PC. */
+    std::vector<std::size_t> positiveMetrics;
+
+    /**
+     * Per-metric mean(Hadoop) / mean(Spark) over the raw metrics
+     * (Figure 5's ratio bars; 0 when the Spark mean is 0).
+     */
+    std::vector<double> hadoopOverSpark;
+};
+
+/**
+ * Find the separating PC and the metrics that dominate it.
+ * @param res Pipeline result.
+ * @param loading_threshold |loading| above which a metric counts as
+ *        dominating the PC.
+ */
+StackDifferentiation differentiateStacks(const PipelineResult &res,
+                                         double loading_threshold = 0.5);
+
+} // namespace bds
+
+#endif // BDS_CORE_ANALYSIS_H

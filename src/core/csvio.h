@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSV import/export of metric matrices.
+ *
+ * The pipeline is measurement-agnostic: a workloads x metrics CSV
+ * produced by any harness — this repository's simulator, perf on
+ * real hardware, or a spreadsheet — can be loaded and analyzed.
+ * writeMetricsCsv (report.h) produces the same format this reads.
+ */
+
+#ifndef BDS_CORE_CSVIO_H
+#define BDS_CORE_CSVIO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** A named metric matrix loaded from CSV. */
+struct MetricTable
+{
+    std::vector<std::string> names;   ///< row labels (workloads)
+    std::vector<std::string> columns; ///< column labels (metrics)
+    Matrix values;                    ///< the data
+};
+
+/**
+ * Split one CSV line honoring double-quoted fields (with "" escapes).
+ */
+std::vector<std::string> splitCsvLine(const std::string &line);
+
+/**
+ * Parse a metric CSV from a stream.
+ *
+ * Expected layout: a header row `label,<metric>,...` followed by one
+ * row per workload. Ragged rows or non-numeric cells are fatal.
+ */
+MetricTable readMetricsCsv(std::istream &in);
+
+/** Load a metric CSV from a file; fatal when unreadable. */
+MetricTable readMetricsCsvFile(const std::string &path);
+
+} // namespace bds
+
+#endif // BDS_CORE_CSVIO_H

@@ -1,0 +1,164 @@
+#include "core/findings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+#include "core/analysis.h"
+#include "core/subset.h"
+#include "uarch/metrics.h"
+
+namespace bds {
+
+namespace {
+
+void
+add(std::vector<Finding> &out, const std::string &id,
+    const std::string &claim, const std::string &measured, bool pass)
+{
+    out.push_back(Finding{id, claim, measured, pass});
+}
+
+} // namespace
+
+std::vector<Finding>
+evaluatePaperFindings(const PipelineResult &res)
+{
+    std::vector<Finding> out;
+    SimilarityObservations obs = analyzeSimilarity(res);
+
+    // --- Section V-A: dendrogram observations ---
+    add(out, "obs1",
+        "most first-iteration merges join same-stack workloads (80%)",
+        fmtDouble(100.0 * obs.sameStackShare, 1) + "% same-stack",
+        obs.sameStackShare >= 0.5);
+
+    std::vector<double> first_dists;
+    for (const auto &m : res.dendrogram.firstIterationLeafMerges())
+        first_dists.push_back(m.distance);
+    std::sort(first_dists.begin(), first_dists.end());
+    double median_first = first_dists.empty()
+        ? 0.0
+        : first_dists[first_dists.size() / 2];
+    add(out, "obs2",
+        "same-algorithm cross-stack pairs stay distant",
+        obs.closestCrossStackPair + " at "
+            + fmtDouble(obs.minCrossStackSameAlgDistance, 2)
+            + " vs median first merge "
+            + fmtDouble(median_first, 2),
+        obs.minCrossStackSameAlgDistance > median_first);
+
+    // The paper's 9-of-16 proportion, scaled to this suite's size.
+    std::size_t h_count = 0, s_count = 0;
+    for (const auto &n : res.names)
+        (stackOfName(n) == 'H' ? h_count : s_count)++;
+    std::size_t h_target = std::max<std::size_t>(2, h_count * 9 / 16);
+    std::size_t s_target = std::max<std::size_t>(2, s_count * 9 / 16);
+    double h9 = minHeightForPureCluster(res, 'H', h_target);
+    double s9 = minHeightForPureCluster(res, 'S', s_target);
+    add(out, "obs5",
+        "Hadoop workloads cluster tighter than Spark workloads",
+        std::to_string(h_target) + " Hadoop by height "
+            + fmtDouble(h9, 2) + ", " + std::to_string(s_target)
+            + " Spark by " + fmtDouble(s9, 2),
+        h9 < s9);
+
+    // --- Section V-B: PC-space spread ---
+    PcSpread spread = pcSpread(res);
+    double hv = 0.0, sv = 0.0;
+    for (std::size_t pc = 0; pc < spread.hadoopVariance.size(); ++pc) {
+        hv += spread.hadoopVariance[pc];
+        sv += spread.sparkVariance[pc];
+    }
+    add(out, "fig2-3",
+        "Spark workloads spread wider across PC space",
+        "total score variance Spark/Hadoop = "
+            + fmtDouble(hv > 0 ? sv / hv : 0.0, 2),
+        sv > hv);
+
+    // --- Section V-C: the separating PC and Figure 5 ---
+    StackDifferentiation diff = differentiateStacks(res);
+    add(out, "fig5.pc",
+        "one principal component separates the stacks",
+        "PC" + std::to_string(diff.separatingPc + 1)
+            + ", |r| = " + fmtDouble(diff.correlation, 2),
+        diff.correlation > 0.5);
+
+    if (res.rawMetrics.cols() == kNumMetrics) {
+        struct Direction
+        {
+            Metric metric;
+            bool hadoopHigher;
+        };
+        const Direction dirs[] = {
+            {Metric::L3Miss, false},      {Metric::L1iMiss, true},
+            {Metric::DtlbMiss, false},    {Metric::DataHitStlb, true},
+            {Metric::FetchStall, true},   {Metric::ResourceStall, false},
+            {Metric::SnoopHit, false},    {Metric::SnoopHitE, false},
+            {Metric::SnoopHitM, false},   {Metric::Store, true},
+            {Metric::Ilp, true},          {Metric::KernelMode, true},
+            {Metric::ItlbMiss, true},
+        };
+        for (const Direction &d : dirs) {
+            double ratio =
+                diff.hadoopOverSpark[static_cast<std::size_t>(d.metric)];
+            bool pass = d.hadoopHigher ? ratio > 1.0 : ratio < 1.0;
+            add(out,
+                std::string("fig5.") + metricName(d.metric),
+                std::string(d.hadoopHigher ? "Hadoop" : "Spark")
+                    + " has the higher " + metricName(d.metric),
+                "H/S ratio = " + fmtDouble(ratio, 3), pass);
+        }
+    }
+
+    // --- Section VI: subsetting ---
+    bool k7_in_sweep = false;
+    for (const auto &pt : res.bic.points)
+        if (pt.k == 7)
+            k7_in_sweep = true;
+    std::size_t subset_k = k7_in_sweep ? 7 : 0;
+    auto near = selectRepresentatives(
+        res, RepresentativeStrategy::NearestToCentroid, subset_k);
+    auto far = selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid, subset_k);
+    add(out, "tab5.diversity",
+        "boundary representatives cover at least as much linkage "
+        "diversity as centroid ones (11.20 vs 5.82)",
+        fmtDouble(far.maxPairwiseLinkage, 2) + " vs "
+            + fmtDouble(near.maxPairwiseLinkage, 2),
+        far.maxPairwiseLinkage >= near.maxPairwiseLinkage - 1e-9);
+
+    unsigned h_reps = 0, s_reps = 0;
+    for (std::size_t rep : far.representatives) {
+        if (stackOfName(res.names[rep]) == 'H')
+            ++h_reps;
+        else
+            ++s_reps;
+    }
+    add(out, "tab5.mix",
+        "a representative subset must include both software stacks",
+        std::to_string(h_reps) + " Hadoop + " + std::to_string(s_reps)
+            + " Spark representatives",
+        h_reps > 0 && s_reps > 0);
+
+    return out;
+}
+
+std::size_t
+writeFindingsReport(std::ostream &os,
+                    const std::vector<Finding> &findings)
+{
+    TextTable t({"finding", "paper claim", "measured", "verdict"});
+    std::size_t failed = 0;
+    for (const Finding &f : findings) {
+        if (!f.pass)
+            ++failed;
+        t.addRow({f.id, f.claim, f.measured, f.pass ? "PASS" : "FAIL"});
+    }
+    t.print(os);
+    os << findings.size() - failed << '/' << findings.size()
+       << " findings reproduced\n";
+    return failed;
+}
+
+} // namespace bds

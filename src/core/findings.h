@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Automatic verification of the paper's findings.
+ *
+ * Every qualitative claim in Sections V-VI is encoded as a checkable
+ * predicate over a PipelineResult, so a characterization run can be
+ * scored against the paper in one call — the reproduction's
+ * regression test, usable on simulated or externally measured data.
+ */
+
+#ifndef BDS_CORE_FINDINGS_H
+#define BDS_CORE_FINDINGS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace bds {
+
+/** One checked claim. */
+struct Finding
+{
+    std::string id;          ///< short identifier ("obs1", "fig5.l3")
+    std::string claim;       ///< what the paper says
+    std::string measured;    ///< what this run shows
+    bool pass = false;       ///< does the run support the claim?
+};
+
+/**
+ * Evaluate all encoded findings against a pipeline result.
+ *
+ * Requires paper-style workload labels ("H-..." / "S-..."). Figure 5
+ * metric checks are included only when the matrix has the 45 Table
+ * II columns.
+ */
+std::vector<Finding> evaluatePaperFindings(const PipelineResult &res);
+
+/** Render the scorecard; returns the number of failed findings. */
+std::size_t writeFindingsReport(std::ostream &os,
+                                const std::vector<Finding> &findings);
+
+} // namespace bds
+
+#endif // BDS_CORE_FINDINGS_H

@@ -1,0 +1,33 @@
+#include "core/pipeline.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+PipelineResult
+runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
+            const PipelineOptions &opts)
+{
+    if (names.size() != metrics.rows())
+        BDS_FATAL("pipeline needs one name per row: " << names.size()
+                  << " names, " << metrics.rows() << " rows");
+    if (metrics.rows() < 3)
+        BDS_FATAL("pipeline needs at least three workloads");
+
+    PipelineResult res;
+    res.names = names;
+    res.rawMetrics = metrics;
+    res.z = zscore(metrics);
+    res.pca = pca(res.z.normalized, opts.pca);
+    res.dendrogram = hierarchicalCluster(res.pca.scores, opts.linkage);
+
+    Pcg32 rng(opts.seed, 0xb1cULL);
+    std::size_t k_max = std::min(opts.kMax, metrics.rows() - 1);
+    res.bic = sweepBic(res.pca.scores, opts.kMin, k_max, rng,
+                       opts.kmeans);
+    if (opts.useFirstLocalBicMax)
+        res.bic.bestIndex = res.bic.firstLocalMaxIndex();
+    return res;
+}
+
+} // namespace bds

@@ -1,0 +1,344 @@
+#include "core/report.h"
+
+#include <string>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "uarch/metrics.h"
+
+namespace bds {
+
+namespace {
+
+/** Column label: Table II names for 45-metric data, else generic. */
+std::string
+colName(std::size_t m, std::size_t cols)
+{
+    if (cols == kNumMetrics)
+        return metricName(m);
+    return "m" + std::to_string(m);
+}
+
+} // namespace
+
+void
+writePcaSummary(std::ostream &os, const PipelineResult &res)
+{
+    os << "PCA: " << res.pca.numComponents
+       << " components retained (Kaiser eigenvalue >= 1), "
+       << fmtDouble(100.0 * res.pca.totalVarianceRetained, 2)
+       << "% of total variance\n";
+    os << "eigenvalues:";
+    for (std::size_t i = 0; i < res.pca.eigenvalues.size(); ++i) {
+        os << ' ' << fmtDouble(res.pca.eigenvalues[i], 3);
+        if (i + 1 == res.pca.numComponents)
+            os << " |";
+    }
+    os << '\n';
+}
+
+void
+writeDendrogramReport(std::ostream &os, const PipelineResult &res)
+{
+    writePcaSummary(os, res);
+    os << "\nFigure 1 — single-linkage dendrogram over "
+       << res.pca.numComponents << " PC scores\n\n";
+    os << res.dendrogram.renderAscii(res.names);
+
+    os << "\nmerge list (agglomeration order):\n";
+    TextTable t({"step", "left", "right", "distance", "size"});
+    const auto &names = res.names;
+    auto label = [&](std::size_t id) {
+        return id < names.size() ? names[id]
+                                 : "cluster#" + std::to_string(id);
+    };
+    for (std::size_t i = 0; i < res.dendrogram.merges().size(); ++i) {
+        const Merge &m = res.dendrogram.merges()[i];
+        t.addRow({std::to_string(i), label(m.left), label(m.right),
+                  fmtDouble(m.distance, 3), std::to_string(m.size)});
+    }
+    t.print(os);
+}
+
+void
+writeLinkageCsv(std::ostream &os, const PipelineResult &res)
+{
+    os << "left,right,distance,size\n";
+    for (const Merge &m : res.dendrogram.merges())
+        os << m.left << ',' << m.right << ','
+           << fmtDouble(m.distance, 6) << ',' << m.size << '\n';
+}
+
+void
+writeSimilarityObservations(std::ostream &os, const PipelineResult &res)
+{
+    SimilarityObservations obs = analyzeSimilarity(res);
+    os << "Observation 1: " << obs.sameStackFirstIterMerges << '/'
+       << obs.firstIterMerges
+       << " first-iteration merges are same-stack ("
+       << fmtDouble(100.0 * obs.sameStackShare, 1)
+       << "%; paper: 80%)\n";
+    os << "  cross-stack first-iteration pairs:";
+    if (obs.crossStackFirstIterPairs.empty())
+        os << " none";
+    for (const auto &p : obs.crossStackFirstIterPairs)
+        os << ' ' << p;
+    os << '\n';
+    os << "Observation 2: closest same-algorithm cross-stack pair is "
+       << obs.closestCrossStackPair << " at linkage distance "
+       << fmtDouble(obs.minCrossStackSameAlgDistance, 3)
+       << " (paper: H-Sort/S-Sort at 3.19)\n";
+    os << "Observation 5: a pure-Hadoop cluster of "
+       << obs.hadoopTightSize << " forms by height "
+       << fmtDouble(obs.hadoopTightHeight, 3)
+       << "; largest pure-Spark cluster at that height: "
+       << obs.sparkSizeAtThatHeight
+       << " (paper: 9 Hadoop within 2.72 vs 3 Spark within 3.13)\n";
+}
+
+void
+writeScatterReport(std::ostream &os, const PipelineResult &res,
+                   std::size_t pc_a, std::size_t pc_b)
+{
+    os << "workload,stack,PC" << pc_a + 1 << ",PC" << pc_b + 1 << '\n';
+    for (std::size_t i = 0; i < res.names.size(); ++i) {
+        os << res.names[i] << ','
+           << (stackOfName(res.names[i]) == 'H' ? "Hadoop" : "Spark")
+           << ',' << fmtDouble(res.pca.scores(i, pc_a), 4) << ','
+           << fmtDouble(res.pca.scores(i, pc_b), 4) << '\n';
+    }
+
+    PcSpread spread = pcSpread(res);
+    os << "\nper-stack score variance (spread):\n";
+    TextTable t({"PC", "Hadoop var", "Spark var", "Spark/Hadoop"});
+    for (std::size_t pc : {pc_a, pc_b}) {
+        double h = spread.hadoopVariance[pc];
+        double s = spread.sparkVariance[pc];
+        t.addRow({"PC" + std::to_string(pc + 1), fmtDouble(h, 3),
+                  fmtDouble(s, 3),
+                  h > 0 ? fmtDouble(s / h, 2) : "inf"});
+    }
+    t.print(os);
+}
+
+void
+writeLoadingsReport(std::ostream &os, const PipelineResult &res,
+                    std::size_t num_pcs)
+{
+    num_pcs = std::min(num_pcs, res.pca.numComponents);
+    os << "metric";
+    for (std::size_t pc = 0; pc < num_pcs; ++pc)
+        os << ",PC" << pc + 1;
+    os << '\n';
+    for (std::size_t m = 0; m < res.pca.loadings.rows(); ++m) {
+        os << csvEscape(colName(m, res.pca.loadings.rows()));
+        for (std::size_t pc = 0; pc < num_pcs; ++pc)
+            os << ',' << fmtDouble(res.pca.loadings(m, pc), 4);
+        os << '\n';
+    }
+}
+
+void
+writeStackDifferentiationReport(std::ostream &os,
+                                const PipelineResult &res)
+{
+    StackDifferentiation diff = differentiateStacks(res);
+    os << "separating PC: PC" << diff.separatingPc + 1
+       << " (|point-biserial correlation| = "
+       << fmtDouble(diff.correlation, 3) << "; paper: PC2)\n\n";
+
+    const std::size_t cols = res.rawMetrics.cols();
+    TextTable t({"metric", "loading sign", "Hadoop/Spark mean ratio"});
+    for (std::size_t m : diff.negativeMetrics)
+        t.addRow({colName(m, cols), "negative",
+                  fmtDouble(diff.hadoopOverSpark[m], 3)});
+    for (std::size_t m : diff.positiveMetrics)
+        t.addRow({colName(m, cols), "positive",
+                  fmtDouble(diff.hadoopOverSpark[m], 3)});
+    t.print(os);
+
+    if (cols != kNumMetrics)
+        return; // the named key ratios below need Table II columns
+
+    os << "\nkey Figure 5 ratios (Hadoop mean / Spark mean):\n";
+    TextTable k({"metric", "ratio", "paper direction"});
+    auto ratio = [&](Metric m) {
+        return diff.hadoopOverSpark[static_cast<std::size_t>(m)];
+    };
+    k.addRow({"L3 MISS", fmtDouble(ratio(Metric::L3Miss), 3),
+              "< 1 (Spark ~2x)"});
+    k.addRow({"L1I MISS", fmtDouble(ratio(Metric::L1iMiss), 3),
+              "> 1 (~1.3x)"});
+    k.addRow({"DTLB MISS", fmtDouble(ratio(Metric::DtlbMiss), 3), "< 1"});
+    k.addRow({"DATA HIT STLB", fmtDouble(ratio(Metric::DataHitStlb), 3),
+              "> 1"});
+    k.addRow({"FETCH STALL", fmtDouble(ratio(Metric::FetchStall), 3),
+              "> 1"});
+    k.addRow({"RESOURCE STALL",
+              fmtDouble(ratio(Metric::ResourceStall), 3), "< 1"});
+    k.addRow({"SNOOP HIT", fmtDouble(ratio(Metric::SnoopHit), 3), "< 1"});
+    k.addRow({"SNOOP HITE", fmtDouble(ratio(Metric::SnoopHitE), 3),
+              "< 1"});
+    k.addRow({"SNOOP HITM", fmtDouble(ratio(Metric::SnoopHitM), 3),
+              "< 1"});
+    k.addRow({"STORE", fmtDouble(ratio(Metric::Store), 3), "> 1"});
+    k.addRow({"ILP", fmtDouble(ratio(Metric::Ilp), 3), "> 1"});
+    k.addRow({"UOPS EXE CYCLE",
+              fmtDouble(ratio(Metric::UopsExeCycle), 3), "> 1"});
+    k.addRow({"UOPS STALL", fmtDouble(ratio(Metric::UopsStall), 3),
+              "< 1"});
+    k.addRow({"OFFCORE DATA", fmtDouble(ratio(Metric::OffcoreData), 3),
+              "> 1"});
+    k.print(os);
+}
+
+namespace {
+
+/** Print one clustering as a Table IV-style listing. */
+void
+printClusters(std::ostream &os, const PipelineResult &res,
+              std::size_t forced_k)
+{
+    SubsetResult subset = selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid, forced_k);
+    TextTable t({"cluster", "workloads", "number"});
+    for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        std::string members;
+        for (std::size_t r : subset.clusters[c]) {
+            if (!members.empty())
+                members += ", ";
+            members += res.names[r];
+        }
+        t.addRow({std::to_string(c + 1), members,
+                  std::to_string(subset.clusters[c].size())});
+    }
+    t.print(os);
+}
+
+} // namespace
+
+void
+writeClusterReport(std::ostream &os, const PipelineResult &res,
+                   std::size_t paper_k)
+{
+    os << "BIC sweep (larger is better):\n";
+    TextTable sweep({"K", "BIC", "inertia"});
+    for (const auto &pt : res.bic.points)
+        sweep.addRow({std::to_string(pt.k), fmtDouble(pt.bic, 2),
+                      fmtDouble(pt.result.inertia, 2)});
+    sweep.print(os);
+    os << "\nBIC-selected K = " << res.bic.bestK()
+       << " (paper: 7; see EXPERIMENTS.md on why the simulated "
+          "suite's optimum is larger)\n\n";
+
+    os << "Table IV — clusters at the BIC-selected K = "
+       << res.bic.bestK() << ":\n";
+    printClusters(os, res, 0);
+
+    bool paper_k_in_sweep = false;
+    for (const auto &pt : res.bic.points)
+        if (pt.k == paper_k)
+            paper_k_in_sweep = true;
+    if (paper_k_in_sweep && paper_k != res.bic.bestK()) {
+        os << "\nclusters at the paper's K = " << paper_k
+           << " (for direct Table IV comparison):\n";
+        printClusters(os, res, paper_k);
+    }
+}
+
+void
+writeRepresentativesReport(std::ostream &os, const PipelineResult &res,
+                           std::size_t forced_k)
+{
+    os << "Table V — representative workloads by strategy (K = "
+       << (forced_k ? forced_k : res.bic.bestK()) << "):\n\n";
+    for (RepresentativeStrategy strat :
+         {RepresentativeStrategy::NearestToCentroid,
+          RepresentativeStrategy::FarthestFromCentroid}) {
+        SubsetResult subset =
+            selectRepresentatives(res, strat, forced_k);
+        os << strategyName(strat) << ":\n";
+        TextTable t({"representative", "cluster size"});
+        for (std::size_t c = 0; c < subset.representatives.size(); ++c)
+            t.addRow({res.names[subset.representatives[c]],
+                      std::to_string(subset.clusters[c].size())});
+        t.print(os);
+        os << "maximal linkage distance among representatives: "
+           << fmtDouble(subset.maxPairwiseLinkage, 3) << '\n';
+        os << (strat == RepresentativeStrategy::NearestToCentroid
+                   ? "(paper: 5.82)\n\n"
+                   : "(paper: 11.20)\n\n");
+    }
+}
+
+void
+writeKiviatReport(std::ostream &os, const PipelineResult &res,
+                  std::size_t forced_k)
+{
+    SubsetResult subset = selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid, forced_k);
+    auto diagrams = kiviatDiagrams(res, subset);
+    os << "Figure 6 — Kiviat axes (retained PC scores) of the "
+       << diagrams.size() << " representatives:\n";
+    std::vector<std::string> header{"workload"};
+    for (std::size_t pc = 0; pc < res.pca.numComponents; ++pc)
+        header.push_back("PC" + std::to_string(pc + 1));
+    TextTable t(header);
+    for (const auto &d : diagrams) {
+        std::vector<std::string> row{d.name};
+        for (double v : d.scores)
+            row.push_back(fmtDouble(v, 2));
+        t.addRow(row);
+    }
+    t.print(os);
+}
+
+void
+writeMetricsCsv(std::ostream &os, const PipelineResult &res)
+{
+    os << "workload";
+    for (std::size_t m = 0; m < res.rawMetrics.cols(); ++m)
+        os << ',' << csvEscape(colName(m, res.rawMetrics.cols()));
+    os << '\n';
+    for (std::size_t i = 0; i < res.names.size(); ++i) {
+        os << res.names[i];
+        for (std::size_t m = 0; m < res.rawMetrics.cols(); ++m)
+            os << ',' << fmtDouble(res.rawMetrics(i, m), 6);
+        os << '\n';
+    }
+}
+
+void
+writeCpiStackReport(std::ostream &os,
+                    const std::vector<std::string> &names,
+                    const std::vector<PmcCounters> &counters)
+{
+    if (names.size() != counters.size())
+        BDS_FATAL("cpi stack needs one counter set per name");
+    TextTable t({"workload", "CPI", "issue", "fetch", "ild+dec", "rat",
+                 "resource", "other"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const PmcCounters &p = counters[i];
+        double ins = static_cast<double>(p.instructions);
+        if (ins == 0.0 || p.cycles == 0.0) {
+            t.addRow({names[i], "-", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        double cpi = p.cycles / ins;
+        auto share = [&](double cyc) { return cyc / p.cycles; };
+        double issue = share(p.uopsExecutedCycles);
+        double fetch = share(p.fetchStallCycles);
+        double dec = share(p.ildStallCycles + p.decoderStallCycles);
+        double rat = share(p.ratStallCycles);
+        double res = share(p.resourceStallCycles);
+        double other =
+            std::max(0.0, 1.0 - issue - fetch - dec - rat - res);
+        t.addRow({names[i], fmtDouble(cpi, 2), fmtDouble(issue, 3),
+                  fmtDouble(fetch, 3), fmtDouble(dec, 3),
+                  fmtDouble(rat, 3), fmtDouble(res, 3),
+                  fmtDouble(other, 3)});
+    }
+    t.print(os);
+}
+
+} // namespace bds

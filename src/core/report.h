@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Report writers: render every table and figure of the paper from a
+ * PipelineResult, as aligned ASCII for humans plus CSV rows for
+ * plotting. Each bench binary calls exactly one of these.
+ */
+
+#ifndef BDS_CORE_REPORT_H
+#define BDS_CORE_REPORT_H
+
+#include <ostream>
+
+#include "core/analysis.h"
+#include "uarch/pmc.h"
+#include "core/pipeline.h"
+#include "core/subset.h"
+
+namespace bds {
+
+/** Figure 1: ASCII dendrogram plus the ordered merge list. */
+void writeDendrogramReport(std::ostream &os, const PipelineResult &res);
+
+/**
+ * The merge history in scipy linkage-matrix form
+ * (`left,right,distance,size` CSV, clusters numbered past the leaf
+ * count) — paste into scipy.cluster.hierarchy.dendrogram to plot the
+ * real Figure 1.
+ */
+void writeLinkageCsv(std::ostream &os, const PipelineResult &res);
+
+/** Observations 1-5 summary derived from the dendrogram. */
+void writeSimilarityObservations(std::ostream &os,
+                                 const PipelineResult &res);
+
+/**
+ * Figures 2-3: scatter series of two PCs as CSV
+ * (name,stack,pcA,pcB), plus the per-stack spread summary.
+ */
+void writeScatterReport(std::ostream &os, const PipelineResult &res,
+                        std::size_t pc_a, std::size_t pc_b);
+
+/** Figure 4: factor loadings of the first `num_pcs` PCs as CSV. */
+void writeLoadingsReport(std::ostream &os, const PipelineResult &res,
+                         std::size_t num_pcs = 4);
+
+/**
+ * Figure 5: the separating PC, its dominating metrics, and the
+ * Hadoop/Spark mean ratio for each of them.
+ */
+void writeStackDifferentiationReport(std::ostream &os,
+                                     const PipelineResult &res);
+
+/**
+ * Table IV: BIC sweep and the K-means clusterings — the BIC-selected
+ * one and (when inside the sweep) the clustering at `paper_k` for
+ * direct comparison with the paper's seven clusters.
+ */
+void writeClusterReport(std::ostream &os, const PipelineResult &res,
+                        std::size_t paper_k = 7);
+
+/**
+ * Table V: representatives under both strategies at `forced_k`
+ * clusters (0 = the BIC-selected K).
+ */
+void writeRepresentativesReport(std::ostream &os,
+                                const PipelineResult &res,
+                                std::size_t forced_k = 0);
+
+/**
+ * Figure 6: Kiviat PC scores of the representatives selected by the
+ * boundary strategy at `forced_k` clusters (0 = BIC-selected).
+ */
+void writeKiviatReport(std::ostream &os, const PipelineResult &res,
+                       std::size_t forced_k = 0);
+
+/** PCA header: eigenvalues, Kaiser cut, retained variance. */
+void writePcaSummary(std::ostream &os, const PipelineResult &res);
+
+/** The raw 45-metric matrix as CSV (workload per row). */
+void writeMetricsCsv(std::ostream &os, const PipelineResult &res);
+
+/**
+ * Extension: per-workload cycle accounting ("CPI stack") — how each
+ * workload's cycles split across issue, frontend stalls, decode,
+ * rename, and backend resource stalls. Not a paper figure, but the
+ * breakdown the paper's Section V-C reasons about.
+ * @param os Output stream.
+ * @param names Workload labels.
+ * @param counters Raw counters, aligned with names.
+ */
+void writeCpiStackReport(
+    std::ostream &os, const std::vector<std::string> &names,
+    const std::vector<PmcCounters> &counters);
+
+} // namespace bds
+
+#endif // BDS_CORE_REPORT_H

@@ -1,0 +1,104 @@
+#include "core/subset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "stats/distance.h"
+
+namespace bds {
+
+const char *
+strategyName(RepresentativeStrategy s)
+{
+    switch (s) {
+      case RepresentativeStrategy::NearestToCentroid:
+        return "nearest-to-centroid";
+      case RepresentativeStrategy::FarthestFromCentroid:
+        return "farthest-from-centroid";
+    }
+    BDS_PANIC("unknown strategy");
+}
+
+SubsetResult
+selectRepresentatives(const PipelineResult &res,
+                      RepresentativeStrategy strategy,
+                      std::size_t forced_k)
+{
+    const KMeansResult *selected = &res.bic.best();
+    if (forced_k != 0) {
+        selected = nullptr;
+        for (const auto &pt : res.bic.points)
+            if (pt.k == forced_k)
+                selected = &pt.result;
+        if (!selected)
+            BDS_FATAL("K = " << forced_k
+                      << " is outside the recorded sweep");
+    }
+    const KMeansResult &km = *selected;
+    const Matrix &scores = res.pca.scores;
+
+    auto groups = groupByLabel(km.labels, km.k);
+    // Present clusters largest-first, as the paper's Table IV does.
+    std::sort(groups.begin(), groups.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.size() != b.size())
+                      return a.size() > b.size();
+                  return a < b; // deterministic tie-break
+              });
+
+    SubsetResult out;
+    for (const auto &group : groups) {
+        if (group.empty())
+            continue;
+        // Distances to the group's centroid in PC space.
+        std::vector<double> centroid(scores.cols(), 0.0);
+        for (std::size_t r : group)
+            for (std::size_t c = 0; c < scores.cols(); ++c)
+                centroid[c] += scores(r, c);
+        for (double &v : centroid)
+            v /= static_cast<double>(group.size());
+
+        std::size_t pick = group[0];
+        double best = strategy == RepresentativeStrategy::NearestToCentroid
+            ? std::numeric_limits<double>::infinity()
+            : -1.0;
+        for (std::size_t r : group) {
+            double d = euclidean(scores.row(r), centroid);
+            bool better =
+                strategy == RepresentativeStrategy::NearestToCentroid
+                    ? d < best
+                    : d > best;
+            if (better) {
+                best = d;
+                pick = r;
+            }
+        }
+        out.clusters.push_back(group);
+        out.representatives.push_back(pick);
+    }
+
+    // Diversity measure: maximal cophenetic distance between picks.
+    for (std::size_t i = 0; i < out.representatives.size(); ++i)
+        for (std::size_t j = i + 1; j < out.representatives.size(); ++j)
+            out.maxPairwiseLinkage = std::max(
+                out.maxPairwiseLinkage,
+                res.dendrogram.copheneticDistance(
+                    out.representatives[i], out.representatives[j]));
+    return out;
+}
+
+std::vector<KiviatDiagram>
+kiviatDiagrams(const PipelineResult &res, const SubsetResult &subset)
+{
+    std::vector<KiviatDiagram> out;
+    for (std::size_t rep : subset.representatives) {
+        KiviatDiagram d;
+        d.name = res.names[rep];
+        d.scores = res.pca.scores.row(rep);
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace bds

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Section VI: subsetting. Groups the workloads with the BIC-selected
+ * K-means clustering (Table IV) and selects one representative per
+ * cluster by either of the paper's two strategies (Table V), plus
+ * the Kiviat data of Figure 6.
+ */
+
+#ifndef BDS_CORE_SUBSET_H
+#define BDS_CORE_SUBSET_H
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace bds {
+
+/** Representative-selection strategy (Eeckhout et al.). */
+enum class RepresentativeStrategy
+{
+    NearestToCentroid,   ///< pick the most average member
+    FarthestFromCentroid ///< pick the boundary member (paper's choice)
+};
+
+/** Strategy display name. */
+const char *strategyName(RepresentativeStrategy s);
+
+/** One selected subset. */
+struct SubsetResult
+{
+    /** Clusters as row-index lists, largest first (Table IV). */
+    std::vector<std::vector<std::size_t>> clusters;
+
+    /** One representative row index per cluster, aligned. */
+    std::vector<std::size_t> representatives;
+
+    /**
+     * Maximal cophenetic (linkage) distance between any two selected
+     * representatives — the paper's diversity measure (Table V:
+     * 5.82 nearest vs 11.20 farthest).
+     */
+    double maxPairwiseLinkage = 0.0;
+};
+
+/**
+ * Cluster via the pipeline's BIC-selected K-means and pick
+ * representatives.
+ *
+ * @param res Pipeline result (carries the recorded K sweep).
+ * @param strategy Selection strategy.
+ * @param forced_k When non-zero, use the sweep's clustering at this
+ *        K instead of the BIC-selected one (e.g., the paper's K = 7
+ *        for Table IV/V comparability); must lie inside the sweep.
+ */
+SubsetResult selectRepresentatives(const PipelineResult &res,
+                                   RepresentativeStrategy strategy,
+                                   std::size_t forced_k = 0);
+
+/** One Kiviat diagram: a representative's retained PC scores. */
+struct KiviatDiagram
+{
+    std::string name;           ///< workload label
+    std::vector<double> scores; ///< one value per retained PC
+};
+
+/** Kiviat data for the selected representatives (Figure 6). */
+std::vector<KiviatDiagram> kiviatDiagrams(const PipelineResult &res,
+                                          const SubsetResult &subset);
+
+} // namespace bds
+
+#endif // BDS_CORE_SUBSET_H

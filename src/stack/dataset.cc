@@ -1,0 +1,41 @@
+#include "stack/dataset.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+std::uint64_t
+Dataset::totalRecords() const
+{
+    std::uint64_t n = 0;
+    for (const Partition &p : parts_)
+        n += p.host.size();
+    return n;
+}
+
+std::uint64_t
+Dataset::totalBytes() const
+{
+    std::uint64_t n = 0;
+    for (const Partition &p : parts_)
+        n += p.ext.bytes();
+    return n;
+}
+
+void
+Dataset::addPartition(AddressSpace &space, std::vector<Record> host,
+                      std::uint32_t record_bytes)
+{
+    if (record_bytes < sizeof(Record))
+        BDS_FATAL("record bytes " << record_bytes
+                  << " smaller than the logical record");
+    Partition p;
+    p.ext.recordBytes = record_bytes;
+    p.ext.count = host.size();
+    p.ext.base = space.allocate(
+        Region::Heap, p.ext.count * record_bytes + 64);
+    p.host = std::move(host);
+    parts_.push_back(std::move(p));
+}
+
+} // namespace bds

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Distributed-dataset abstraction shared by both stack engines.
+ *
+ * A Dataset is a list of partitions. Each partition pairs *host*
+ * records (real values the algorithms compute on) with a *simulated*
+ * address extent (where those records live in the simulated node's
+ * heap). Engines decide how the simulated addresses are touched: the
+ * MapReduce engine streams records through small reused buffers,
+ * while the RDD engine reads the resident extent directly — the
+ * mechanism behind the paper's data-footprint observations.
+ */
+
+#ifndef BDS_STACK_DATASET_H
+#define BDS_STACK_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/memlayout.h"
+
+namespace bds {
+
+class ExecContext;
+
+/** One logical record: a key and a value the algorithms act on. */
+struct Record
+{
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+};
+
+/** A contiguous simulated address range holding fixed-size records. */
+struct SimExtent
+{
+    std::uint64_t base = 0;        ///< first byte
+    std::uint32_t recordBytes = 16; ///< serialized record size
+    std::uint64_t count = 0;       ///< number of records
+
+    /** Simulated address of record i. */
+    std::uint64_t
+    addrOf(std::uint64_t i) const
+    {
+        return base + i * recordBytes;
+    }
+
+    /** Total bytes covered. */
+    std::uint64_t bytes() const { return count * recordBytes; }
+};
+
+/** One partition: host records plus their simulated extent. */
+struct Partition
+{
+    std::vector<Record> host; ///< real record values
+    SimExtent ext;            ///< simulated residence
+};
+
+/** A partitioned dataset. */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Build with a name for diagnostics. */
+    explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+    /** Dataset name. */
+    const std::string &name() const { return name_; }
+
+    /** Partitions (mutable for builders). */
+    std::vector<Partition> &partitions() { return parts_; }
+
+    /** Partitions. */
+    const std::vector<Partition> &partitions() const { return parts_; }
+
+    /** Total records over all partitions. */
+    std::uint64_t totalRecords() const;
+
+    /** Total simulated bytes over all partitions. */
+    std::uint64_t totalBytes() const;
+
+    /**
+     * Append a partition of host records, allocating its simulated
+     * extent from the heap.
+     */
+    void addPartition(AddressSpace &space, std::vector<Record> host,
+                      std::uint32_t record_bytes);
+
+    /**
+     * Whether the extents already hold the data in simulated memory
+     * (an RDD engine output / cached RDD). Non-resident datasets are
+     * read from "HDFS" through the kernel path on first use.
+     */
+    bool resident() const { return resident_; }
+
+    /** Mark residency (set by the engines). */
+    void setResident(bool r) { resident_ = r; }
+
+  private:
+    std::string name_;
+    std::vector<Partition> parts_;
+    bool resident_ = false;
+};
+
+/** Key/value consumer used by map and reduce user functions. */
+class Emitter
+{
+  public:
+    virtual ~Emitter() = default;
+
+    /**
+     * Emit one key/value pair.
+     * @param ctx The emitting task's execution context.
+     * @param key Output key.
+     * @param value Output value.
+     */
+    virtual void emit(ExecContext &ctx, std::uint64_t key,
+                      std::uint64_t value) = 0;
+};
+
+} // namespace bds
+
+#endif // BDS_STACK_DATASET_H

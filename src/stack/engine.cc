@@ -1,0 +1,311 @@
+#include "stack/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+StackProfile
+hadoopProfile()
+{
+    StackProfile p;
+    p.name = "Hadoop";
+    // Hadoop 1.0.2's src/ is ~67 MB; the resident framework
+    // instruction working set is modelled as 2048 functions spread
+    // over ~2 MB of text.
+    p.fwFunctions = 2048;
+    p.fwFnBodyBytes = 128;
+    p.fwFnStrideBytes = 1024;
+    p.fwCallZipf = 0.95; // hot dispatch head, long cold tail
+    p.fwCallsPerRecord = 7;
+    p.fwIntOpsPerCall = 2; // dispatch-heavy interpreted paths
+    // Task-runtime state (JobConf, counters, serializer graphs,
+    // buffer metadata) spans ~128 pages: inside STLB reach, beyond
+    // the first-level DTLB.
+    p.fwStateBytes = 1 << 19;
+    p.sharedFwState = false; // one JVM per task
+    // HDFS's data path is the expensive one: reads arrive over the
+    // datanode socket (two copies) with CRC verification, and writes
+    // go down a replication pipeline.
+    p.ioChunkBytes = 32 * 1024;
+    p.pageCacheBytes = 1 << 20;
+    p.kernelCallsPerIo = 6;
+    p.ioCopies = 2;
+    p.ioChecksum = true;
+    p.outputReplication = 2;
+    p.streamBufferBytes = 256 * 1024;
+    p.sortBufferBytes = 512 * 1024;
+    p.inMemoryShuffle = false;
+    p.cacheInput = false;
+    p.uopsPerComplexInstr = 4; // Writable serialization is branchy
+    p.serializationStores = 3; // object churn: allocate + field writes
+    p.gcAllocThreshold = 4096;
+    p.gcSurvivorBytes = 384 * 1024; // big per-task live sets
+    return p;
+}
+
+StackProfile
+sparkProfile()
+{
+    StackProfile p;
+    p.name = "Spark";
+    // Spark 0.8.1 is ~11 MB of source, and its per-record path is a
+    // tight iterator pipeline: a small hot code image.
+    p.fwFunctions = 192;
+    p.fwFnBodyBytes = 128;
+    p.fwFnStrideBytes = 512;
+    p.fwCallZipf = 0.8;
+    p.fwCallsPerRecord = 4;
+    p.fwIntOpsPerCall = 6; // JIT-fused arithmetic-dense iterators
+    p.fwStateBytes = 1 << 15;
+    p.sharedFwState = true; // one executor JVM per node
+    p.ioChunkBytes = 128 * 1024;
+    p.pageCacheBytes = 1 << 20;
+    p.kernelCallsPerIo = 3;
+    p.ioCopies = 1;
+    p.ioChecksum = false;
+    p.outputReplication = 1;
+    p.streamBufferBytes = 0;      // reads resident partitions directly
+    p.sortBufferBytes = 0;        // shuffle buckets live in the heap
+    p.inMemoryShuffle = true;
+    p.cacheInput = true;
+    p.uopsPerComplexInstr = 2;
+    p.serializationStores = 1; // aggregator object reuse
+    p.gcAllocThreshold = 4096;
+    p.gcSurvivorBytes = 128 * 1024; // compact iterator state
+    return p;
+}
+
+StackEngine::StackEngine(SystemModel &sys, AddressSpace &space,
+                         StackProfile profile, std::uint64_t seed)
+    : sys_(sys), space_(space), profile_(std::move(profile)),
+      rng_(seed, 0x5eed5eedULL),
+      fwImage_(space, Region::FrameworkCode),
+      kernelImage_(space, Region::KernelCode),
+      fwCallDist_(profile_.fwFunctions, profile_.fwCallZipf)
+{
+    if (profile_.fwFunctions == 0)
+        BDS_FATAL("stack needs at least one framework function");
+    if (profile_.fwFnStrideBytes < profile_.fwFnBodyBytes)
+        BDS_FATAL("framework fn stride smaller than body");
+
+    fwFns_.reserve(profile_.fwFunctions);
+    for (unsigned i = 0; i < profile_.fwFunctions; ++i) {
+        fwFns_.push_back(fwImage_.defineFunction(profile_.fwFnBodyBytes));
+        // Padding models cold code between the hot entry paths; the
+        // varying extra pad keeps function starts from aliasing the
+        // same cache sets (real binaries are not set-aligned).
+        std::uint32_t pad = profile_.fwFnStrideBytes
+            - profile_.fwFnBodyBytes + 64 * (i % 7);
+        space_.allocate(Region::FrameworkCode, pad);
+    }
+
+    for (unsigned i = 0; i < 64; ++i) {
+        kernelFns_.push_back(kernelImage_.defineFunction(256));
+        space_.allocate(Region::KernelCode, 64 * (i % 5));
+    }
+
+    if (profile_.sharedFwState) {
+        std::uint64_t shared =
+            space_.allocate(Region::Heap, profile_.fwStateBytes);
+        fwStateBase_.assign(sys_.numCores(), shared);
+    } else {
+        for (unsigned c = 0; c < sys_.numCores(); ++c)
+            fwStateBase_.push_back(
+                space_.allocate(Region::Heap, profile_.fwStateBytes));
+    }
+
+    for (unsigned c = 0; c < sys_.numCores(); ++c) {
+        pageCacheBase_.push_back(
+            space_.allocate(Region::KernelBuffer, profile_.pageCacheBytes));
+        socketBufBase_.push_back(
+            space_.allocate(Region::KernelBuffer, 128 * 1024));
+        ctxs_.push_back(std::make_unique<ExecContext>(sys_, c, fwFns_[0]));
+        fwCursor_.push_back(c * 17); // decorrelate per-core rotations
+        survivorBase_.push_back(
+            space_.allocate(Region::Heap, 2ULL * profile_.gcSurvivorBytes));
+        allocCount_.push_back(0);
+        survivorFlip_.push_back(false);
+    }
+}
+
+ExecContext &
+StackEngine::taskCtx(unsigned task)
+{
+    return *ctxs_[task % ctxs_.size()];
+}
+
+void
+StackEngine::frameworkWork(ExecContext &ctx, unsigned calls)
+{
+    unsigned core = ctx.core();
+    for (unsigned i = 0; i < calls; ++i) {
+        // Mix of hot (Zipf head) and rotating cold call targets.
+        std::size_t target;
+        if (i % 5 == 4) {
+            fwCursor_[core] = (fwCursor_[core] + 1) % fwFns_.size();
+            target = fwCursor_[core];
+        } else {
+            target = fwCallDist_.sample(rng_);
+        }
+        ctx.call(fwFns_[target]);
+        // Framework functions read their state objects: mostly the
+        // hot head (counters, current buffers), with a tail over the
+        // whole state footprint (conf lookups, serializer graphs) —
+        // cache-friendly but TLB-diverse.
+        std::uint64_t span = rng_.next() % 10 < 9
+            ? std::min<std::uint64_t>(65536, profile_.fwStateBytes)
+            : profile_.fwStateBytes;
+        std::uint64_t state_off = (rng_.next() % span) & ~7ULL;
+        ctx.load(fwStateBase_[core] + state_off);
+        ctx.intOps(profile_.fwIntOpsPerCall);
+        ctx.branch((state_off & 64) != 0);
+        ctx.ret();
+    }
+}
+
+void
+StackEngine::serializationWork(ExecContext &ctx, unsigned records)
+{
+    unsigned core = ctx.core();
+    for (unsigned i = 0; i < records; ++i) {
+        ctx.microcoded(profile_.uopsPerComplexInstr);
+        for (unsigned s = 0; s < profile_.serializationStores; ++s) {
+            std::uint64_t state_off =
+                (rng_.next() % profile_.fwStateBytes) & ~7ULL;
+            ctx.store(fwStateBase_[core] + state_off);
+        }
+        allocCount_[core] += profile_.serializationStores;
+        if (allocCount_[core] >= profile_.gcAllocThreshold) {
+            allocCount_[core] = 0;
+            minorGc(ctx);
+        }
+    }
+}
+
+void
+StackEngine::minorGc(ExecContext &ctx)
+{
+    unsigned core = ctx.core();
+    std::uint64_t from = survivorBase_[core]
+        + (survivorFlip_[core] ? profile_.gcSurvivorBytes : 0);
+    std::uint64_t to = survivorBase_[core]
+        + (survivorFlip_[core] ? 0 : profile_.gcSurvivorBytes);
+    survivorFlip_[core] = !survivorFlip_[core];
+    // GC code is part of the runtime's text; walk a couple of its
+    // functions, then evacuate the live set.
+    ctx.call(fwFns_[fwFns_.size() - 1]);
+    ctx.intOps(8);
+    ctx.memcopy(to, from, profile_.gcSurvivorBytes);
+    ctx.ret();
+}
+
+void
+StackEngine::diskRead(ExecContext &ctx, std::uint64_t dst,
+                      std::uint64_t bytes)
+{
+    unsigned core = ctx.core();
+    std::uint64_t ring = pageCacheBase_[core];
+    std::uint64_t sock = socketBufBase_[core];
+    Mode prev = ctx.mode();
+    for (std::uint64_t off = 0; off < bytes;
+         off += profile_.ioChunkBytes) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(profile_.ioChunkBytes, bytes - off);
+        std::uint64_t ring_off = ring + (off % profile_.pageCacheBytes);
+
+        // The device (disk/NIC DMA) deposits the data: caches lose
+        // any stale copies of the window.
+        sys_.dmaFill(ring_off, chunk);
+
+        // Syscall entry: walk kernel code.
+        ctx.setMode(Mode::Kernel);
+        for (unsigned k = 0; k < profile_.kernelCallsPerIo; ++k) {
+            ctx.call(kernelFns_[(off / profile_.ioChunkBytes + k)
+                                % kernelFns_.size()]);
+            ctx.intOps(6);
+            ctx.ret();
+        }
+        if (profile_.ioChecksum) {
+            // CRC verification touches every line of the chunk.
+            for (std::uint64_t o = 0; o < chunk; o += 64) {
+                ctx.load(ring_off + o);
+                ctx.intOps(1);
+            }
+        }
+        if (profile_.ioCopies >= 2) {
+            // Socket path: kernel-to-kernel copy before the user copy.
+            std::uint64_t sock_off = sock + (off % (128 * 1024));
+            ctx.memcopy(sock_off, ring_off, chunk);
+            ctx.memcopy(dst + off, sock_off, chunk);
+        } else {
+            ctx.memcopy(dst + off, ring_off, chunk);
+        }
+        ctx.setMode(prev);
+    }
+}
+
+void
+StackEngine::diskWrite(ExecContext &ctx, std::uint64_t src,
+                       std::uint64_t bytes)
+{
+    unsigned core = ctx.core();
+    std::uint64_t ring = pageCacheBase_[core];
+    std::uint64_t sock = socketBufBase_[core];
+    Mode prev = ctx.mode();
+    unsigned passes = std::max(1u, profile_.outputReplication);
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        for (std::uint64_t off = 0; off < bytes;
+             off += profile_.ioChunkBytes) {
+            std::uint64_t chunk = std::min<std::uint64_t>(
+                profile_.ioChunkBytes, bytes - off);
+            std::uint64_t ring_off = ring + (off % profile_.pageCacheBytes);
+            ctx.setMode(Mode::Kernel);
+            for (unsigned k = 0; k < profile_.kernelCallsPerIo; ++k) {
+                ctx.call(kernelFns_[(off / profile_.ioChunkBytes + k + 7)
+                                    % kernelFns_.size()]);
+                ctx.intOps(6);
+                ctx.ret();
+            }
+            if (profile_.ioChecksum) {
+                for (std::uint64_t o = 0; o < chunk; o += 64) {
+                    ctx.load(src + off + o);
+                    ctx.intOps(1);
+                }
+            }
+            if (profile_.ioCopies >= 2) {
+                std::uint64_t sock_off = sock + (off % (128 * 1024));
+                ctx.memcopy(sock_off, src + off, chunk);
+                ctx.memcopy(ring_off, sock_off, chunk);
+            } else {
+                ctx.memcopy(ring_off, src + off, chunk);
+            }
+            ctx.setMode(prev);
+        }
+    }
+}
+
+void
+StackEngine::instrumentedSort(ExecContext &ctx, std::vector<Record> &recs,
+                              const SimExtent &buf_ext)
+{
+    if (recs.empty() || buf_ext.count == 0)
+        return;
+    std::sort(recs.begin(), recs.end(),
+              [&](const Record &a, const Record &b) {
+                  // Each comparison touches both records' keys. Sort
+                  // permutes elements constantly, so buffer addresses
+                  // are derived from the keys and wrap within the
+                  // bounded sort buffer — random access over the
+                  // extent, like a real in-place sort.
+                  ctx.load(buf_ext.addrOf(a.key % buf_ext.count));
+                  ctx.load(buf_ext.addrOf(b.key % buf_ext.count));
+                  ctx.intOps(1);
+                  bool less = a.key < b.key;
+                  ctx.branch(less);
+                  return less;
+              });
+}
+
+} // namespace bds

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The software-stack execution engine abstraction.
+ *
+ * Both engines (the MapReduce/"Hadoop" engine and the RDD/"Spark"
+ * engine) execute the same JobSpec — the same user functions over the
+ * same data — but through their own runtime mechanisms: framework
+ * code footprint, I/O path, shuffle implementation, and caching
+ * policy. Per the paper's central claim, the microarchitectural
+ * differences between stacks must *emerge* from these mechanisms,
+ * never from per-metric constants.
+ */
+
+#ifndef BDS_STACK_ENGINE_H
+#define BDS_STACK_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stack/dataset.h"
+#include "trace/runtime.h"
+#include "uarch/system.h"
+
+namespace bds {
+
+/**
+ * A map/reduce-shaped job both engines can execute.
+ *
+ * `map` is called once per input record with the record's host value
+ * and the simulated address the engine chose for its bytes; it emits
+ * zero or more key/value pairs. `reduce` is called once per key group
+ * with all values. User functions do their own instrumented work
+ * (loads of the payload, ALU ops, data-dependent branches) through
+ * the ExecContext.
+ */
+struct JobSpec
+{
+    std::string name; ///< job name for diagnostics
+
+    /** Input dataset (host values + simulated residence). */
+    const Dataset *input = nullptr;
+
+    /** User map function's code footprint. */
+    FunctionDesc mapFn;
+
+    /** User reduce function's code footprint. */
+    FunctionDesc reduceFn;
+
+    /** Per-record user map. */
+    std::function<void(ExecContext &, const Record &,
+                       std::uint64_t payload_addr, Emitter &)>
+        map;
+
+    /** Per-key-group user reduce. */
+    std::function<void(ExecContext &, std::uint64_t key,
+                       const std::vector<std::uint64_t> &values,
+                       Emitter &)>
+        reduce;
+
+    /** Number of reduce tasks. */
+    unsigned numReducers = 4;
+
+    /** Serialized size of output records. */
+    std::uint32_t outputRecordBytes = 16;
+
+    /**
+     * Reduce input must be sorted by key (Sort/OrderBy semantics).
+     * When false, engines may group by hash (the RDD engine does).
+     */
+    bool requiresSort = false;
+
+    /**
+     * Skip the reduce phase entirely (map-only jobs such as
+     * Projection or Grep): map emissions go straight to the output.
+     */
+    bool mapOnly = false;
+};
+
+/**
+ * Mechanism-level profile of a software stack. These are sizes and
+ * policies of real mechanisms (code footprint, buffers, shuffle
+ * path), NOT per-metric tuning knobs.
+ */
+struct StackProfile
+{
+    std::string name; ///< stack name ("Hadoop", "Spark")
+
+    // --- framework code footprint ---
+    unsigned fwFunctions = 512;      ///< number of framework functions
+    std::uint32_t fwFnBodyBytes = 128;   ///< executed bytes per call
+    std::uint32_t fwFnStrideBytes = 512; ///< allocation stride (padding)
+    double fwCallZipf = 0.7;  ///< skew of call-target popularity
+    unsigned fwCallsPerRecord = 6;  ///< framework call chain per record
+    unsigned fwIntOpsPerCall = 4;   ///< ALU work inside each fw call
+    unsigned fwStateBytes = 1 << 16; ///< framework heap state footprint
+
+    /**
+     * Whether all tasks share one runtime-state heap (a single
+     * executor JVM, as in Spark) or each task has a private one
+     * (per-task JVMs, as in Hadoop 1.x). Shared state is what the
+     * coherence protocol has to keep consistent across cores.
+     */
+    bool sharedFwState = false;
+
+    // --- kernel I/O path ---
+    std::uint32_t ioChunkBytes = 64 * 1024;  ///< syscall granularity
+    std::uint32_t pageCacheBytes = 1 << 20;  ///< per-core kernel window
+    unsigned kernelCallsPerIo = 3;  ///< kernel fns walked per syscall
+    unsigned ioCopies = 1;          ///< copies per byte (socket path = 2)
+    bool ioChecksum = false;        ///< CRC pass over every I/O byte
+    unsigned outputReplication = 1; ///< extra write passes (HDFS pipeline)
+
+    // --- data-path policy ---
+    std::uint32_t streamBufferBytes = 256 * 1024; ///< map-input window
+    std::uint32_t sortBufferBytes = 512 * 1024;   ///< map-output buffer
+    bool inMemoryShuffle = false; ///< shuffle via resident heap buckets
+    bool cacheInput = false;      ///< keep input extents resident
+    unsigned uopsPerComplexInstr = 3; ///< serialization microcode size
+    unsigned serializationStores = 1; ///< object writes per (de)serialize
+
+    // --- JVM memory management ---
+    unsigned gcAllocThreshold = 2048;      ///< allocations per minor GC
+    std::uint32_t gcSurvivorBytes = 256 * 1024; ///< live set copied per GC
+};
+
+/** The paper's Hadoop-like stack: big framework, disk-bound paths. */
+StackProfile hadoopProfile();
+
+/** The paper's Spark-like stack: lean framework, in-memory paths. */
+StackProfile sparkProfile();
+
+/**
+ * Base class for both engines: owns per-core execution contexts, the
+ * framework/user/kernel code images, the simulated page cache, and
+ * the helpers all framework activity goes through.
+ */
+class StackEngine
+{
+  public:
+    /**
+     * @param sys Simulated node the engine runs on.
+     * @param space Address space of the engine's process.
+     * @param profile Stack mechanism profile.
+     * @param seed Engine-private RNG seed.
+     */
+    StackEngine(SystemModel &sys, AddressSpace &space,
+                StackProfile profile, std::uint64_t seed);
+
+    virtual ~StackEngine() = default;
+
+    /** Stack name ("Hadoop" / "Spark"). */
+    const std::string &name() const { return profile_.name; }
+
+    /** Mechanism profile. */
+    const StackProfile &profile() const { return profile_; }
+
+    /** Execute a job and return its output dataset. */
+    virtual Dataset runJob(const JobSpec &job) = 0;
+
+    /** Address space (workload builders allocate user code here). */
+    AddressSpace &space() { return space_; }
+
+    /** The node being driven. */
+    SystemModel &system() { return sys_; }
+
+    /** Engine RNG (deterministic). */
+    Pcg32 &rng() { return rng_; }
+
+    /** Number of simulated cores tasks are scheduled onto. */
+    unsigned numCores() const { return sys_.numCores(); }
+
+  protected:
+    /** Execution context for a task index (task i runs on core i%N). */
+    ExecContext &taskCtx(unsigned task);
+
+    /**
+     * Execute `calls` framework function invocations on the context:
+     * Zipf-selected targets, framework-state loads, ALU work, and a
+     * data-dependent branch per call. This is the entire source of
+     * the stack's instruction footprint.
+     */
+    void frameworkWork(ExecContext &ctx, unsigned calls);
+
+    /**
+     * One serialization/deserialization step: a microcoded
+     * instruction plus framework stores (drives UOPS TO INS). Each
+     * store is an allocation; crossing the GC threshold triggers a
+     * minor collection (see minorGc).
+     */
+    void serializationWork(ExecContext &ctx, unsigned records);
+
+    /**
+     * Minor (young-generation) garbage collection: copy the live set
+     * between the per-core survivor spaces. Fires automatically from
+     * serializationWork; allocation-heavy stacks collect more often
+     * and with larger live sets.
+     */
+    void minorGc(ExecContext &ctx);
+
+    /**
+     * Kernel-mode read of `bytes` from the simulated page cache into
+     * a destination buffer (framework syscall + per-chunk copy).
+     */
+    void diskRead(ExecContext &ctx, std::uint64_t dst,
+                  std::uint64_t bytes);
+
+    /** Kernel-mode write of `bytes` from src into the page cache. */
+    void diskWrite(ExecContext &ctx, std::uint64_t src,
+                   std::uint64_t bytes);
+
+    /**
+     * Sort `n` host records in place by key with an instrumented
+     * comparator: every comparison issues the two key loads at the
+     * records' simulated addresses plus the compare/branch.
+     * @param buf_ext Extent the records notionally occupy; element i
+     *        is addressed at buf_ext.addrOf(i % buf_ext.count).
+     */
+    void instrumentedSort(ExecContext &ctx, std::vector<Record> &recs,
+                          const SimExtent &buf_ext);
+
+    SystemModel &sys_;
+    AddressSpace &space_;
+    StackProfile profile_;
+    Pcg32 rng_;
+
+    CodeImage fwImage_;     ///< framework .text
+    CodeImage kernelImage_; ///< ring-0 .text
+    std::vector<FunctionDesc> fwFns_;
+    std::vector<FunctionDesc> kernelFns_;
+    ZipfSampler fwCallDist_;
+
+    std::vector<std::uint64_t> fwStateBase_; ///< heap objects (per core
+                                             ///< unless sharedFwState)
+    std::vector<std::uint64_t> pageCacheBase_; ///< per-core kernel window
+    std::vector<std::uint64_t> socketBufBase_; ///< per-core socket buffer
+    std::vector<std::unique_ptr<ExecContext>> ctxs_;
+    std::vector<std::size_t> fwCursor_; ///< per-core rotation cursor
+    std::vector<std::uint64_t> survivorBase_; ///< per-core GC spaces (x2)
+    std::vector<unsigned> allocCount_;  ///< per-core allocs since GC
+    std::vector<bool> survivorFlip_;    ///< which survivor space is live
+};
+
+} // namespace bds
+
+#endif // BDS_STACK_ENGINE_H

@@ -1,0 +1,257 @@
+#include "stack/hadoop.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "stack/partition.h"
+
+namespace bds {
+
+MapReduceEngine::MapReduceEngine(SystemModel &sys, AddressSpace &space,
+                                 std::uint64_t seed)
+    : MapReduceEngine(sys, space, hadoopProfile(), seed)
+{
+}
+
+MapReduceEngine::MapReduceEngine(SystemModel &sys, AddressSpace &space,
+                                 StackProfile profile, std::uint64_t seed)
+    : StackEngine(sys, space, std::move(profile), seed)
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        streamBuf_.push_back(
+            space.allocate(Region::Heap, profile_.streamBufferBytes));
+        sortBuf_.push_back(
+            space.allocate(Region::Heap, profile_.sortBufferBytes));
+        mergeBuf_.push_back(
+            space.allocate(Region::Heap, profile_.sortBufferBytes));
+        outBuf_.push_back(space.allocate(Region::Heap, 64 * 1024));
+    }
+}
+
+unsigned
+MapReduceEngine::partitionOf(std::uint64_t key, unsigned reducers,
+                             const std::vector<std::uint64_t> &splits) const
+{
+    return bds::partitionOf(key, reducers, splits);
+}
+
+Dataset
+MapReduceEngine::runJob(const JobSpec &job)
+{
+    if (!job.input)
+        BDS_FATAL("job '" << job.name << "' has no input");
+    if (!job.map)
+        BDS_FATAL("job '" << job.name << "' has no map function");
+    if (!job.mapOnly && !job.reduce)
+        BDS_FATAL("job '" << job.name << "' has no reduce function");
+    if (job.numReducers == 0)
+        BDS_FATAL("job '" << job.name << "' needs >= 1 reducer");
+
+    const Dataset &input = *job.input;
+    const unsigned reducers = job.numReducers;
+    std::vector<std::uint64_t> splits;
+    if (job.requiresSort)
+        splits = rangeSplits(input, reducers);
+
+    // Spilled map output, already partitioned by reducer.
+    std::vector<std::vector<Record>> pending(reducers);
+    // Map-only jobs collect per-map output partitions directly.
+    std::vector<std::vector<Record>> map_out(input.partitions().size());
+
+    /** Map-side emitter: sort buffer + spill protocol. */
+    struct MapEmitter : public Emitter
+    {
+        MapReduceEngine &eng;
+        const JobSpec &job;
+        const std::vector<std::uint64_t> &splits;
+        std::vector<std::vector<Record>> &pending;
+        std::vector<Record> *direct; // map-only destination
+        SimExtent sort_ext;
+        std::vector<Record> buffer;
+        std::uint64_t capacity;
+
+        MapEmitter(MapReduceEngine &e, const JobSpec &j,
+                   const std::vector<std::uint64_t> &s,
+                   std::vector<std::vector<Record>> &p,
+                   std::vector<Record> *d, std::uint64_t sort_base)
+            : eng(e), job(j), splits(s), pending(p), direct(d)
+        {
+            sort_ext.base = sort_base;
+            sort_ext.recordBytes = 16;
+            sort_ext.count = eng.profile_.sortBufferBytes / 16;
+            capacity = sort_ext.count;
+        }
+
+        void
+        emit(ExecContext &ctx, std::uint64_t key,
+             std::uint64_t value) override
+        {
+            // Serialize the pair into the collect buffer.
+            eng.serializationWork(ctx, 1);
+            std::uint64_t slot = buffer.size() % capacity;
+            ctx.store(sort_ext.addrOf(slot));
+            ctx.store(sort_ext.addrOf(slot) + 8);
+            buffer.push_back(Record{key, value});
+            if (direct) {
+                direct->push_back(buffer.back());
+                buffer.pop_back();
+                return;
+            }
+            if (buffer.size() >= capacity)
+                spill(ctx);
+        }
+
+        void
+        spill(ExecContext &ctx)
+        {
+            if (buffer.empty())
+                return;
+            eng.frameworkWork(ctx, 8); // SpillThread bookkeeping
+            eng.instrumentedSort(ctx, buffer, sort_ext);
+            eng.diskWrite(ctx, sort_ext.base, buffer.size() * 16);
+            for (const Record &r : buffer)
+                pending[eng.partitionOf(r.key, job.numReducers, splits)]
+                    .push_back(r);
+            buffer.clear();
+        }
+    };
+
+    // ---------------- map phase ----------------
+    for (std::size_t m = 0; m < input.partitions().size(); ++m) {
+        const Partition &part = input.partitions()[m];
+        ExecContext &ctx = taskCtx(static_cast<unsigned>(m));
+        unsigned core = ctx.core();
+
+        MapEmitter emitter(*this, job, splits, pending,
+                           job.mapOnly ? &map_out[m] : nullptr,
+                           sortBuf_[core]);
+
+        frameworkWork(ctx, 24); // task setup: JobConf, RecordReader
+
+        const std::uint32_t rec_bytes = part.ext.recordBytes;
+        const std::uint64_t window = profile_.streamBufferBytes;
+        std::uint64_t window_fill = 0;
+
+        for (std::size_t i = 0; i < part.host.size(); ++i) {
+            std::uint64_t off = i * rec_bytes;
+            if (off >= window_fill) {
+                // Refill the streaming window from HDFS.
+                std::uint64_t chunk = std::min<std::uint64_t>(
+                    window, part.ext.bytes() - window_fill);
+                diskRead(ctx, streamBuf_[core], chunk);
+                window_fill += chunk;
+            }
+            frameworkWork(ctx, profile_.fwCallsPerRecord);
+            serializationWork(ctx, 1); // deserialize the record
+            std::uint64_t payload =
+                streamBuf_[core] + (off % window);
+            ctx.call(job.mapFn);
+            job.map(ctx, part.host[i], payload, emitter);
+            ctx.ret();
+        }
+        emitter.spill(ctx);
+        frameworkWork(ctx, 16); // task commit
+    }
+
+    Dataset output(job.name + ".out");
+    if (job.mapOnly) {
+        for (std::size_t m = 0; m < map_out.size(); ++m) {
+            ExecContext &ctx = taskCtx(static_cast<unsigned>(m));
+            // Write the map output file to HDFS.
+            diskWrite(ctx, outBuf_[ctx.core()],
+                      map_out[m].size() * job.outputRecordBytes);
+            output.addPartition(space_, std::move(map_out[m]),
+                                job.outputRecordBytes);
+        }
+        return output;
+    }
+
+    // ---------------- reduce phase ----------------
+    for (unsigned r = 0; r < reducers; ++r) {
+        ExecContext &ctx = taskCtx(r);
+        unsigned core = ctx.core();
+        std::vector<Record> &recs = pending[r];
+
+        frameworkWork(ctx, 24); // reduce task setup + shuffle client
+
+        // Shuffle: every map-side TaskTracker serves its segment
+        // (reads the spill file and writes it to the socket), then
+        // the reducer fetches through the kernel path into the
+        // bounded merge window.
+        std::uint64_t bytes = recs.size() * 16;
+        const std::uint64_t window = profile_.sortBufferBytes;
+        std::uint64_t per_map = bytes / input.partitions().size();
+        for (std::size_t m = 0; m < input.partitions().size(); ++m) {
+            ExecContext &server = taskCtx(static_cast<unsigned>(m));
+            diskWrite(server, sortBuf_[server.core()],
+                      std::min<std::uint64_t>(per_map, window));
+        }
+        for (std::uint64_t off = 0; off < bytes; off += window)
+            diskRead(ctx, mergeBuf_[core],
+                     std::min<std::uint64_t>(window, bytes - off));
+
+        SimExtent merge_ext{mergeBuf_[core], 16, window / 16};
+        instrumentedSort(ctx, recs, merge_ext);
+
+        // Stream sorted groups into the user reduce.
+        std::vector<Record> out_host;
+        SimExtent out_ext{outBuf_[core], 16, 64 * 1024 / 16};
+        struct ReduceEmitter : public Emitter
+        {
+            MapReduceEngine &eng;
+            std::vector<Record> &out;
+            SimExtent ext;
+            std::uint64_t pending_bytes = 0;
+
+            ReduceEmitter(MapReduceEngine &e, std::vector<Record> &o,
+                          SimExtent x)
+                : eng(e), out(o), ext(x)
+            {}
+
+            void
+            emit(ExecContext &ctx, std::uint64_t key,
+                 std::uint64_t value) override
+            {
+                eng.serializationWork(ctx, 1);
+                std::uint64_t slot = out.size() % ext.count;
+                ctx.store(ext.addrOf(slot));
+                ctx.store(ext.addrOf(slot) + 8);
+                out.push_back(Record{key, value});
+                pending_bytes += 16;
+                if (pending_bytes >= ext.count * 16) {
+                    eng.diskWrite(ctx, ext.base, pending_bytes);
+                    pending_bytes = 0;
+                }
+            }
+        } out_emitter(*this, out_host, out_ext);
+
+        std::size_t i = 0;
+        std::vector<std::uint64_t> values;
+        while (i < recs.size()) {
+            std::uint64_t key = recs[i].key;
+            values.clear();
+            while (i < recs.size() && recs[i].key == key) {
+                ctx.load(merge_ext.addrOf(i % merge_ext.count));
+                ctx.branch(true); // same-group test, taken in group
+                values.push_back(recs[i].value);
+                ++i;
+            }
+            ctx.branch(false); // group boundary
+            frameworkWork(ctx, 2);
+            ctx.call(job.reduceFn);
+            job.reduce(ctx, key, values, out_emitter);
+            ctx.ret();
+        }
+        if (out_emitter.pending_bytes > 0)
+            diskWrite(ctx, out_ext.base, out_emitter.pending_bytes);
+        frameworkWork(ctx, 16); // commit output to HDFS
+
+        output.addPartition(space_, std::move(out_host),
+                            job.outputRecordBytes);
+        recs.clear();
+        recs.shrink_to_fit();
+    }
+    return output;
+}
+
+} // namespace bds

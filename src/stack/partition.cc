@@ -1,0 +1,47 @@
+#include "stack/partition.h"
+
+#include <algorithm>
+
+namespace bds {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::vector<std::uint64_t>
+rangeSplits(const Dataset &input, unsigned reducers)
+{
+    std::vector<std::uint64_t> sample;
+    for (const Partition &p : input.partitions()) {
+        std::size_t step = std::max<std::size_t>(1, p.host.size() / 256);
+        for (std::size_t i = 0; i < p.host.size(); i += step)
+            sample.push_back(p.host[i].key);
+    }
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::uint64_t> splits;
+    for (unsigned r = 1; r < reducers; ++r)
+        splits.push_back(
+            sample.empty()
+                ? r * (UINT64_MAX / reducers)
+                : sample[r * sample.size() / reducers]);
+    return splits;
+}
+
+unsigned
+partitionOf(std::uint64_t key, unsigned reducers,
+            const std::vector<std::uint64_t> &splits)
+{
+    if (splits.empty())
+        return static_cast<unsigned>(mix64(key) % reducers);
+    unsigned r = 0;
+    while (r < splits.size() && key >= splits[r])
+        ++r;
+    return r;
+}
+
+} // namespace bds

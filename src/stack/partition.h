@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Partitioning helpers shared by the stack engines: the hash mix
+ * used for hash partitioning and the sampling-based range splits
+ * used for total-order (sort) jobs.
+ */
+
+#ifndef BDS_STACK_PARTITION_H
+#define BDS_STACK_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stack/dataset.h"
+
+namespace bds {
+
+/** 64-bit finalizer (splitmix64) used for hash partitioning. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Sample-based range splits for total-order partitioning (the
+ * TotalOrderPartitioner analogue): samples up to ~256 keys per
+ * partition and returns `reducers - 1` split points.
+ */
+std::vector<std::uint64_t> rangeSplits(const Dataset &input,
+                                       unsigned reducers);
+
+/**
+ * Reducer index for a key: by range when splits are present, by
+ * hash otherwise.
+ */
+unsigned partitionOf(std::uint64_t key, unsigned reducers,
+                     const std::vector<std::uint64_t> &splits);
+
+} // namespace bds
+
+#endif // BDS_STACK_PARTITION_H

@@ -1,0 +1,288 @@
+#include "stack/spark.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "stack/partition.h"
+
+namespace bds {
+
+RddEngine::RddEngine(SystemModel &sys, AddressSpace &space,
+                     std::uint64_t seed)
+    : RddEngine(sys, space, sparkProfile(), seed)
+{
+}
+
+RddEngine::RddEngine(SystemModel &sys, AddressSpace &space,
+                     StackProfile profile, std::uint64_t seed)
+    : StackEngine(sys, space, std::move(profile), seed)
+{
+    for (unsigned c = 0; c < numCores(); ++c)
+        hashTable_.push_back(
+            space.allocate(Region::Heap, kHashTableBytes));
+}
+
+bool
+RddEngine::isCached(const Dataset &ds) const
+{
+    return ds.resident() || cached_.count(&ds) > 0;
+}
+
+void
+RddEngine::ensureMaterialized(const Dataset &ds)
+{
+    if (isCached(ds))
+        return;
+    for (std::size_t m = 0; m < ds.partitions().size(); ++m) {
+        const Partition &part = ds.partitions()[m];
+        ExecContext &ctx = taskCtx(static_cast<unsigned>(m));
+        frameworkWork(ctx, 12); // HadoopRDD partition open
+        diskRead(ctx, part.ext.base, part.ext.bytes());
+    }
+    cached_.insert(&ds);
+}
+
+Dataset
+RddEngine::runJob(const JobSpec &job)
+{
+    if (!job.input)
+        BDS_FATAL("job '" << job.name << "' has no input");
+    if (!job.map)
+        BDS_FATAL("job '" << job.name << "' has no map function");
+    if (!job.mapOnly && !job.reduce)
+        BDS_FATAL("job '" << job.name << "' has no reduce function");
+    if (job.numReducers == 0)
+        BDS_FATAL("job '" << job.name << "' needs >= 1 reducer");
+
+    const Dataset &input = *job.input;
+    const unsigned reducers = job.numReducers;
+    const std::size_t maps = input.partitions().size();
+
+    ensureMaterialized(input);
+
+    std::vector<std::uint64_t> splits;
+    if (job.requiresSort)
+        splits = rangeSplits(input, reducers);
+
+    // Per-(map, reducer) in-memory shuffle buckets.
+    struct Bucket
+    {
+        std::vector<Record> host;
+        SimExtent ext;
+        unsigned writerCore = 0;
+    };
+    std::vector<std::vector<Bucket>> buckets(maps);
+
+    Dataset output(job.name + ".out");
+    std::vector<std::vector<Record>> map_out(maps);
+
+    /** Emitter appending to resident shuffle buckets. */
+    struct MapEmitter : public Emitter
+    {
+        RddEngine &eng;
+        const JobSpec &job;
+        const std::vector<std::uint64_t> &splits;
+        std::vector<Bucket> *row;           // buckets of this map task
+        std::vector<Record> *direct;        // map-only destination
+        SimExtent direct_ext;
+        std::uint64_t direct_count = 0;
+
+        MapEmitter(RddEngine &e, const JobSpec &j,
+                   const std::vector<std::uint64_t> &s,
+                   std::vector<Bucket> *b, std::vector<Record> *d)
+            : eng(e), job(j), splits(s), row(b), direct(d)
+        {}
+
+        void
+        emit(ExecContext &ctx, std::uint64_t key,
+             std::uint64_t value) override
+        {
+            eng.serializationWork(ctx, 1);
+            if (direct) {
+                std::uint64_t slot = direct_count++ % direct_ext.count;
+                ctx.store(direct_ext.addrOf(slot));
+                direct->push_back(Record{key, value});
+                return;
+            }
+            unsigned r = partitionOf(key, job.numReducers, splits);
+            Bucket &b = (*row)[r];
+            std::uint64_t slot = b.host.size() % b.ext.count;
+            ctx.store(b.ext.addrOf(slot));
+            ctx.store(b.ext.addrOf(slot) + 8);
+            b.host.push_back(Record{key, value});
+        }
+    };
+
+    // ---------------- map stage ----------------
+    for (std::size_t m = 0; m < maps; ++m) {
+        const Partition &part = input.partitions()[m];
+        ExecContext &ctx = taskCtx(static_cast<unsigned>(m));
+
+        MapEmitter emitter(*this, job, splits,
+                           job.mapOnly ? nullptr : &buckets[m],
+                           job.mapOnly ? &map_out[m] : nullptr);
+        if (job.mapOnly) {
+            // Output partition materialized in the heap.
+            std::uint64_t cap =
+                std::max<std::uint64_t>(part.host.size(), 1);
+            emitter.direct_ext.base = space_.allocate(
+                Region::Heap, cap * job.outputRecordBytes + 64);
+            emitter.direct_ext.recordBytes = job.outputRecordBytes;
+            emitter.direct_ext.count = cap;
+        } else {
+            buckets[m].resize(reducers);
+            std::uint64_t cap =
+                std::max<std::uint64_t>(part.host.size(), 16);
+            for (unsigned r = 0; r < reducers; ++r) {
+                Bucket &b = buckets[m][r];
+                b.ext.base = space_.allocate(Region::Heap, cap * 16 + 64);
+                b.ext.recordBytes = 16;
+                b.ext.count = cap;
+                b.writerCore = ctx.core();
+            }
+        }
+
+        frameworkWork(ctx, 8); // stage/task setup (DAGScheduler)
+        for (std::size_t i = 0; i < part.host.size(); ++i) {
+            frameworkWork(ctx, profile_.fwCallsPerRecord);
+            std::uint64_t payload = part.ext.addrOf(i);
+            // Records are JVM objects: the iterator dereferences the
+            // element pointer before the user code can touch it — a
+            // dependent access the core cannot overlap.
+            ctx.loadDependent(payload);
+            ctx.call(job.mapFn);
+            job.map(ctx, part.host[i], payload, emitter);
+            ctx.ret();
+        }
+        frameworkWork(ctx, 6);
+    }
+
+    if (job.mapOnly) {
+        for (std::size_t m = 0; m < maps; ++m)
+            output.addPartition(space_, std::move(map_out[m]),
+                                job.outputRecordBytes);
+        output.setResident(true);
+        return output;
+    }
+
+    // ---------------- reduce stage ----------------
+    SimExtent table_ext{0, 16, kHashTableBytes / 16};
+    for (unsigned r = 0; r < reducers; ++r) {
+        ExecContext &ctx = taskCtx(r);
+        unsigned core = ctx.core();
+        table_ext.base = hashTable_[core];
+
+        frameworkWork(ctx, 8);
+
+        // Fetch blocks: read every map task's bucket for r directly
+        // from the heap — the writer core's caches still own many of
+        // these lines, so this is where cache-to-cache traffic comes
+        // from.
+        std::vector<Record> recs;
+        for (std::size_t m = 0; m < maps; ++m) {
+            const Bucket &b = buckets[m][r];
+            frameworkWork(ctx, 2); // block manager fetch
+            for (std::size_t j = 0; j < b.host.size(); ++j) {
+                ctx.load(b.ext.addrOf(j % b.ext.count));
+                recs.push_back(b.host[j]);
+            }
+        }
+
+        std::vector<Record> out_host;
+        SimExtent out_ext;
+        std::uint64_t out_cap = std::max<std::uint64_t>(recs.size(), 16);
+        out_ext.base = space_.allocate(
+            Region::Heap, out_cap * job.outputRecordBytes + 64);
+        out_ext.recordBytes = job.outputRecordBytes;
+        out_ext.count = out_cap;
+
+        struct ReduceEmitter : public Emitter
+        {
+            RddEngine &eng;
+            std::vector<Record> &out;
+            SimExtent ext;
+
+            ReduceEmitter(RddEngine &e, std::vector<Record> &o,
+                          SimExtent x)
+                : eng(e), out(o), ext(x)
+            {}
+
+            void
+            emit(ExecContext &ctx, std::uint64_t key,
+                 std::uint64_t value) override
+            {
+                std::uint64_t slot = out.size() % ext.count;
+                ctx.store(ext.addrOf(slot));
+                ctx.store(ext.addrOf(slot) + 8);
+                out.push_back(Record{key, value});
+            }
+        } out_emitter(*this, out_host, out_ext);
+
+        if (job.requiresSort) {
+            // Sorted path: sort the fetched records in a resident
+            // buffer, then stream groups.
+            SimExtent sort_ext;
+            std::uint64_t cap = std::max<std::uint64_t>(recs.size(), 16);
+            sort_ext.base =
+                space_.allocate(Region::Heap, cap * 16 + 64);
+            sort_ext.recordBytes = 16;
+            sort_ext.count = cap;
+            instrumentedSort(ctx, recs, sort_ext);
+
+            std::size_t i = 0;
+            std::vector<std::uint64_t> values;
+            while (i < recs.size()) {
+                std::uint64_t key = recs[i].key;
+                values.clear();
+                while (i < recs.size() && recs[i].key == key) {
+                    ctx.load(sort_ext.addrOf(i % sort_ext.count));
+                    ctx.branch(true);
+                    values.push_back(recs[i].value);
+                    ++i;
+                }
+                ctx.branch(false);
+                ctx.call(job.reduceFn);
+                job.reduce(ctx, key, values, out_emitter);
+                ctx.ret();
+            }
+        } else {
+            // Hash aggregation: every record probes the open-address
+            // table (dependent pointer-chase loads).
+            std::unordered_map<std::uint64_t,
+                               std::vector<std::uint64_t>>
+                groups;
+            for (const Record &rec : recs) {
+                std::uint64_t h = mix64(rec.key) % table_ext.count;
+                ctx.loadDependent(table_ext.addrOf(h));
+                auto it = groups.find(rec.key);
+                ctx.branch(it != groups.end());
+                if (it == groups.end()) {
+                    ctx.store(table_ext.addrOf(h));
+                    groups[rec.key].push_back(rec.value);
+                } else {
+                    it->second.push_back(rec.value);
+                }
+                ctx.intOps(2);
+            }
+            // Deterministic iteration order over the groups.
+            std::vector<std::uint64_t> keys;
+            keys.reserve(groups.size());
+            for (const auto &kv : groups)
+                keys.push_back(kv.first);
+            std::sort(keys.begin(), keys.end());
+            for (std::uint64_t key : keys) {
+                ctx.call(job.reduceFn);
+                job.reduce(ctx, key, groups[key], out_emitter);
+                ctx.ret();
+            }
+        }
+
+        output.addPartition(space_, std::move(out_host),
+                            job.outputRecordBytes);
+    }
+    output.setResident(true);
+    return output;
+}
+
+} // namespace bds

@@ -1,0 +1,301 @@
+#include "stack/sql.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+/** Source tag carried in the value's top bit for two-table ops. */
+constexpr std::uint64_t kTagB = 1ULL << 63;
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Touch a row: deserializing a row reads every cache line of its
+ * serialized bytes (one load per 64 B).
+ */
+void
+touchRow(ExecContext &ctx, std::uint64_t payload, std::uint32_t row_bytes)
+{
+    for (std::uint64_t off = 0; off < row_bytes; off += 64)
+        ctx.load(payload + off);
+}
+
+} // namespace
+
+const char *
+sqlOpName(SqlOp op)
+{
+    switch (op) {
+      case SqlOp::Projection: return "Projection";
+      case SqlOp::Filter: return "Filter";
+      case SqlOp::OrderBy: return "OrderBy";
+      case SqlOp::CrossProduct: return "CrossProduct";
+      case SqlOp::Union: return "Union";
+      case SqlOp::Difference: return "Difference";
+      case SqlOp::Aggregation: return "Aggregation";
+      case SqlOp::JoinQuery: return "JoinQuery";
+      case SqlOp::AggQuery: return "AggQuery";
+      case SqlOp::SelectQuery: return "SelectQuery";
+    }
+    BDS_PANIC("unknown SqlOp");
+}
+
+SqlLayer::SqlLayer(StackEngine &engine)
+    : engine_(engine), userCode_(engine.space(), Region::UserCode)
+{
+    // One small, hot operator body per op (generated query fragments).
+    for (unsigned i = 0; i < kNumSqlOps; ++i) {
+        mapFns_[i] = userCode_.defineFunction(192);
+        reduceFns_[i] = userCode_.defineFunction(128);
+    }
+}
+
+Dataset
+SqlLayer::tagAndUnion(const Dataset &a, const Dataset &b) const
+{
+    // The combined view aliases the original extents (the engines
+    // read the same table bytes); the B side is tagged in the value.
+    Dataset both(a.name() + "+" + b.name());
+    both.setResident(a.resident() && b.resident());
+    for (const Partition &p : a.partitions())
+        both.partitions().push_back(p);
+    for (const Partition &p : b.partitions()) {
+        Partition tagged = p;
+        for (Record &r : tagged.host)
+            r.value |= kTagB;
+        both.partitions().push_back(std::move(tagged));
+    }
+    return both;
+}
+
+Dataset
+SqlLayer::run(SqlOp op, const Dataset &big, const Dataset *other)
+{
+    const unsigned idx = static_cast<unsigned>(op);
+    JobSpec job;
+    job.name = std::string(engine_.name()) + "-" + sqlOpName(op);
+    job.mapFn = mapFns_[idx];
+    job.reduceFn = reduceFns_[idx];
+    job.numReducers = engine_.numCores();
+    const std::uint32_t row_bytes = big.partitions().empty()
+        ? 64
+        : big.partitions()[0].ext.recordBytes;
+
+    const bool two_table = op == SqlOp::CrossProduct
+        || op == SqlOp::Union || op == SqlOp::Difference
+        || op == SqlOp::JoinQuery;
+    if (two_table && !other)
+        BDS_FATAL(sqlOpName(op) << " needs a second table");
+
+    Dataset combined;
+    if (op == SqlOp::Union || op == SqlOp::Difference
+        || op == SqlOp::JoinQuery) {
+        combined = tagAndUnion(big, *other);
+        job.input = &combined;
+    } else {
+        job.input = &big;
+    }
+
+    switch (op) {
+      case SqlOp::Projection:
+        // SELECT two of the columns; no predicate.
+        job.mapOnly = true;
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(2);
+            out.emit(ctx, r.key, r.value & 0xffffffffULL);
+        };
+        break;
+
+      case SqlOp::Filter:
+        // WHERE price-ish field over a threshold (~50% pass).
+        job.mapOnly = true;
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(1);
+            bool pass = (r.value & 0xffff) < 0x8000;
+            ctx.branch(pass);
+            if (pass)
+                out.emit(ctx, r.key, r.value);
+        };
+        break;
+
+      case SqlOp::Union:
+        // UNION ALL: concatenation of both scans.
+        job.mapOnly = true;
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(1);
+            ctx.branch((r.value & kTagB) != 0); // source dispatch
+            out.emit(ctx, r.key, r.value & ~kTagB);
+        };
+        break;
+
+      case SqlOp::SelectQuery:
+        // SELECT one column WHERE selective predicate (~12% pass).
+        job.mapOnly = true;
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(2);
+            bool pass = (r.value & 0xffff) < 0x2000;
+            ctx.branch(pass);
+            if (pass)
+                out.emit(ctx, r.key, r.value >> 32);
+        };
+        break;
+
+      case SqlOp::OrderBy:
+        job.requiresSort = true;
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            out.emit(ctx, r.value & 0xffffffffULL, r.key);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            for (std::uint64_t v : values) {
+                ctx.intOps(1);
+                out.emit(ctx, key, v);
+            }
+        };
+        break;
+
+      case SqlOp::CrossProduct: {
+        // Map-side product against the broadcast small table.
+        const Dataset *small = other;
+        std::vector<Record> small_rows;
+        std::vector<std::uint64_t> small_addrs;
+        for (const Partition &p : small->partitions())
+            for (std::size_t i = 0; i < p.host.size(); ++i) {
+                small_rows.push_back(p.host[i]);
+                small_addrs.push_back(p.ext.addrOf(i));
+            }
+        job.mapOnly = true;
+        job.map = [small_rows, small_addrs, row_bytes](
+                      ExecContext &ctx, const Record &r,
+                      std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            for (std::size_t j = 0; j < small_rows.size(); ++j) {
+                ctx.load(small_addrs[j]);
+                ctx.intOps(1);
+                ctx.branch(j + 1 < small_rows.size());
+                out.emit(ctx, r.key ^ small_rows[j].key,
+                         r.value + small_rows[j].value);
+            }
+        };
+        break;
+      }
+
+      case SqlOp::Difference:
+        // A EXCEPT B on the row's content hash.
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(3); // hash the row
+            std::uint64_t row_hash = mix64(r.key ^ (r.value & ~kTagB));
+            out.emit(ctx, row_hash, r.value & kTagB ? 1 : 0);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            bool in_b = false;
+            for (std::uint64_t v : values) {
+                ctx.intOps(1);
+                in_b = in_b || v == 1;
+            }
+            ctx.branch(in_b);
+            if (!in_b)
+                out.emit(ctx, key, 0);
+        };
+        break;
+
+      case SqlOp::JoinQuery:
+        // Repartition equi-join on the key.
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(1);
+            out.emit(ctx, r.key, r.value);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            // Pair every A row with every B row of this key.
+            std::vector<std::uint64_t> a_side, b_side;
+            for (std::uint64_t v : values) {
+                bool is_b = (v & kTagB) != 0;
+                ctx.branch(is_b);
+                (is_b ? b_side : a_side).push_back(v & ~kTagB);
+            }
+            for (std::uint64_t a : a_side)
+                for (std::uint64_t b : b_side) {
+                    ctx.intOps(2);
+                    out.emit(ctx, key, a + b);
+                }
+        };
+        break;
+
+      case SqlOp::Aggregation:
+        // GROUP BY a fine-grained key; SUM.
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(2);
+            out.emit(ctx, mix64(r.key) & 0xffff, r.value & 0xffff);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t v : values) {
+                ctx.intOps(1);
+                sum += v;
+            }
+            out.emit(ctx, key, sum);
+        };
+        break;
+
+      case SqlOp::AggQuery:
+        // WHERE filter then GROUP BY a coarse key; SUM.
+        job.map = [row_bytes](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            touchRow(ctx, payload, row_bytes);
+            ctx.intOps(2);
+            bool pass = (r.value & 0xff) < 0xc0;
+            ctx.branch(pass);
+            if (pass)
+                out.emit(ctx, mix64(r.key) & 0x3f, r.value & 0xffff);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t v : values) {
+                ctx.intOps(1);
+                sum += v;
+            }
+            out.emit(ctx, key, sum);
+        };
+        break;
+    }
+
+    return engine_.runJob(job);
+}
+
+} // namespace bds

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SQL layer: the Hive/Shark analogue.
+ *
+ * The paper's ten interactive-analytics workloads are SQL-like
+ * operators over e-commerce tables; Hive interprets them as Hadoop
+ * jobs and Shark as Spark jobs. This layer compiles each operator
+ * into a JobSpec (map/reduce shape, user functions with genuine
+ * predicate evaluation over the host rows) and executes it on
+ * whichever engine it is bound to — bind a MapReduceEngine and you
+ * have "Hive", bind an RddEngine and you have "Shark".
+ */
+
+#ifndef BDS_STACK_SQL_H
+#define BDS_STACK_SQL_H
+
+#include <memory>
+
+#include "stack/engine.h"
+
+namespace bds {
+
+/** The relational operators of the paper's Table I. */
+enum class SqlOp : unsigned
+{
+    Projection,   ///< SELECT a, b FROM t
+    Filter,       ///< SELECT * FROM t WHERE pred
+    OrderBy,      ///< SELECT * FROM t ORDER BY key
+    CrossProduct, ///< SELECT * FROM big, small
+    Union,        ///< SELECT * FROM a UNION ALL SELECT * FROM b
+    Difference,   ///< SELECT * FROM a EXCEPT SELECT * FROM b
+    Aggregation,  ///< SELECT k, SUM(v) FROM t GROUP BY k
+    JoinQuery,    ///< SELECT * FROM a JOIN b ON a.k = b.k
+    AggQuery,     ///< SELECT k', SUM(v) FROM t WHERE pred GROUP BY k'
+    SelectQuery,  ///< SELECT a FROM t WHERE pred
+};
+
+/** Number of SqlOp values. */
+constexpr unsigned kNumSqlOps = 10;
+
+/** Operator name as used in workload labels ("OrderBy", ...). */
+const char *sqlOpName(SqlOp op);
+
+/**
+ * Compiles and runs relational operators on a bound engine.
+ *
+ * The layer owns the user-code image for the generated operators
+ * (query fragments are "user code" from the stack's perspective —
+ * small, hot functions, in contrast to the framework).
+ */
+class SqlLayer
+{
+  public:
+    /**
+     * @param engine Engine queries execute on (Hive = MapReduce
+     *        engine, Shark = RDD engine).
+     */
+    explicit SqlLayer(StackEngine &engine);
+
+    /**
+     * Execute one operator.
+     * @param op The relational operator.
+     * @param big The (large) input table.
+     * @param other Second table for CrossProduct / Union /
+     *        Difference / JoinQuery; must be non-null for those and
+     *        is ignored otherwise.
+     * @return The result table.
+     */
+    Dataset run(SqlOp op, const Dataset &big,
+                const Dataset *other = nullptr);
+
+    /** The bound engine. */
+    StackEngine &engine() { return engine_; }
+
+  private:
+    /** Combine two tables into one tagged input (for reduce joins). */
+    Dataset tagAndUnion(const Dataset &a, const Dataset &b) const;
+
+    StackEngine &engine_;
+    CodeImage userCode_;
+    FunctionDesc mapFns_[kNumSqlOps];
+    FunctionDesc reduceFns_[kNumSqlOps];
+};
+
+} // namespace bds
+
+#endif // BDS_STACK_SQL_H

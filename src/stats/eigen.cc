@@ -1,0 +1,115 @@
+#include "stats/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+/** Sum of squares of strictly off-diagonal elements. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j)
+                s += a(i, j) * a(i, j);
+    return s;
+}
+
+} // namespace
+
+EigenResult
+eigenSymmetric(const Matrix &sym, int max_sweeps)
+{
+    const std::size_t n = sym.rows();
+    if (n == 0 || sym.cols() != n)
+        BDS_FATAL("eigenSymmetric requires a non-empty square matrix, got "
+                  << sym.rows() << 'x' << sym.cols());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (std::fabs(sym(i, j) - sym(j, i)) > 1e-9)
+                BDS_FATAL("eigenSymmetric input is not symmetric at ("
+                          << i << ',' << j << ')');
+
+    Matrix a = sym;
+    Matrix v = Matrix::identity(n);
+
+    const double eps = 1e-14 * std::max(1.0, offDiagonalNorm(a));
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNorm(a) <= eps)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                double app = a(p, p);
+                double aqq = a(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    double akp = a(k, p);
+                    double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    double apk = a(p, k);
+                    double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    double vkp = v(k, p);
+                    double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return a(x, x) > a(y, y);
+    });
+
+    EigenResult res;
+    res.values.resize(n);
+    res.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        res.values[j] = a(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i)
+            res.vectors(i, j) = v(i, order[j]);
+    }
+
+    // Deterministic sign convention: largest-magnitude component of each
+    // eigenvector is positive, so PC orientations are stable across runs.
+    for (std::size_t j = 0; j < n; ++j) {
+        std::size_t imax = 0;
+        double vmax = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::fabs(res.vectors(i, j)) > vmax) {
+                vmax = std::fabs(res.vectors(i, j));
+                imax = i;
+            }
+        }
+        if (res.vectors(imax, j) < 0.0)
+            for (std::size_t i = 0; i < n; ++i)
+                res.vectors(i, j) = -res.vectors(i, j);
+    }
+    return res;
+}
+
+} // namespace bds

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method.
+ *
+ * PCA needs the eigenpairs of a covariance matrix, which is symmetric
+ * positive semi-definite. The cyclic Jacobi rotation method is exact
+ * enough (machine precision) and simple; matrix sizes here are <= 45.
+ */
+
+#ifndef BDS_STATS_EIGEN_H
+#define BDS_STATS_EIGEN_H
+
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** Result of a symmetric eigendecomposition. */
+struct EigenResult
+{
+    /** Eigenvalues sorted in descending order. */
+    std::vector<double> values;
+
+    /**
+     * Eigenvectors as matrix columns: column j is the unit eigenvector
+     * for values[j]. Columns form an orthonormal basis.
+     */
+    Matrix vectors;
+};
+
+/**
+ * Decompose a symmetric matrix into eigenvalues/eigenvectors.
+ *
+ * @param sym Symmetric square matrix (asymmetry beyond 1e-9 is fatal).
+ * @param max_sweeps Maximum Jacobi sweeps before declaring failure.
+ * @return Eigenpairs sorted by descending eigenvalue.
+ */
+EigenResult eigenSymmetric(const Matrix &sym, int max_sweeps = 64);
+
+} // namespace bds
+
+#endif // BDS_STATS_EIGEN_H

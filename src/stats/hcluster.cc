@@ -1,0 +1,269 @@
+#include "stats/hcluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "stats/distance.h"
+
+namespace bds {
+
+const char *
+linkageName(Linkage l)
+{
+    switch (l) {
+      case Linkage::Single: return "single";
+      case Linkage::Complete: return "complete";
+      case Linkage::Average: return "average";
+    }
+    BDS_PANIC("unknown linkage");
+}
+
+Dendrogram::Dendrogram(std::size_t num_leaves, std::vector<Merge> merges)
+    : numLeaves_(num_leaves), merges_(std::move(merges))
+{
+    if (numLeaves_ == 0)
+        BDS_FATAL("dendrogram needs at least one leaf");
+    if (merges_.size() != numLeaves_ - 1)
+        BDS_FATAL("dendrogram over " << numLeaves_ << " leaves needs "
+                  << numLeaves_ - 1 << " merges, got " << merges_.size());
+    for (std::size_t i = 0; i < merges_.size(); ++i) {
+        std::size_t cap = numLeaves_ + i;
+        if (merges_[i].left >= cap || merges_[i].right >= cap ||
+            merges_[i].left == merges_[i].right)
+            BDS_FATAL("merge " << i << " references invalid cluster ids");
+    }
+}
+
+std::vector<std::size_t>
+Dendrogram::leavesOf(std::size_t cluster_id) const
+{
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> stack{cluster_id};
+    while (!stack.empty()) {
+        std::size_t id = stack.back();
+        stack.pop_back();
+        if (id < numLeaves_) {
+            out.push_back(id);
+        } else {
+            const Merge &m = merges_[id - numLeaves_];
+            stack.push_back(m.left);
+            stack.push_back(m.right);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::size_t>
+Dendrogram::cutIntoK(std::size_t k) const
+{
+    if (k == 0 || k > numLeaves_)
+        BDS_FATAL("cannot cut " << numLeaves_ << " leaves into " << k
+                  << " clusters");
+    // Roots after undoing the last k-1 merges: every cluster id that is
+    // never consumed by a merge among the first n-k merges.
+    std::size_t kept = merges_.size() - (k - 1);
+    std::vector<bool> consumed(numLeaves_ + kept, false);
+    for (std::size_t i = 0; i < kept; ++i) {
+        consumed[merges_[i].left] = true;
+        consumed[merges_[i].right] = true;
+    }
+    std::vector<std::size_t> labels(numLeaves_,
+                                    std::numeric_limits<std::size_t>::max());
+    std::size_t next_label = 0;
+    // Assign labels in order of smallest leaf so numbering is stable.
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t id = 0; id < numLeaves_ + kept; ++id) {
+        if (!consumed[id])
+            groups.push_back(leavesOf(id));
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto &a, const auto &b) { return a[0] < b[0]; });
+    for (const auto &g : groups) {
+        for (std::size_t leaf : g)
+            labels[leaf] = next_label;
+        ++next_label;
+    }
+    BDS_ASSERT(next_label == k, "cut produced wrong cluster count");
+    return labels;
+}
+
+std::vector<std::size_t>
+Dendrogram::cutAtHeight(double height) const
+{
+    std::size_t below = 0;
+    for (const Merge &m : merges_)
+        if (m.distance <= height)
+            ++below;
+    // Merges are recorded in non-decreasing distance order, so the
+    // first `below` merges are exactly those at or below the cut.
+    return cutIntoK(numLeaves_ - below);
+}
+
+std::vector<std::size_t>
+Dendrogram::leafOrder() const
+{
+    std::vector<std::size_t> order;
+    std::function<void(std::size_t)> walk = [&](std::size_t id) {
+        if (id < numLeaves_) {
+            order.push_back(id);
+            return;
+        }
+        const Merge &m = merges_[id - numLeaves_];
+        walk(m.left);
+        walk(m.right);
+    };
+    walk(numLeaves_ + merges_.size() - 1);
+    return order;
+}
+
+std::vector<Merge>
+Dendrogram::firstIterationLeafMerges() const
+{
+    std::vector<Merge> out;
+    for (const Merge &m : merges_)
+        if (m.left < numLeaves_ && m.right < numLeaves_)
+            out.push_back(m);
+    return out;
+}
+
+double
+Dendrogram::copheneticDistance(std::size_t leaf_a, std::size_t leaf_b) const
+{
+    if (leaf_a >= numLeaves_ || leaf_b >= numLeaves_)
+        BDS_FATAL("cophenetic distance of non-leaf ids");
+    if (leaf_a == leaf_b)
+        return 0.0;
+    // Track each leaf's current cluster through the merge sequence.
+    std::vector<std::size_t> cluster(numLeaves_);
+    for (std::size_t i = 0; i < numLeaves_; ++i)
+        cluster[i] = i;
+    for (std::size_t i = 0; i < merges_.size(); ++i) {
+        std::size_t next_id = numLeaves_ + i;
+        const Merge &m = merges_[i];
+        for (std::size_t leaf : {leaf_a, leaf_b})
+            if (cluster[leaf] == m.left || cluster[leaf] == m.right)
+                cluster[leaf] = next_id;
+        if (cluster[leaf_a] == cluster[leaf_b])
+            return m.distance;
+    }
+    BDS_PANIC("leaves never merged");
+}
+
+std::string
+Dendrogram::renderAscii(const std::vector<std::string> &names) const
+{
+    if (names.size() != numLeaves_)
+        BDS_FATAL("renderAscii needs " << numLeaves_ << " names, got "
+                  << names.size());
+    std::ostringstream oss;
+    std::function<void(std::size_t, std::string, bool)> walk =
+        [&](std::size_t id, std::string prefix, bool last) {
+            oss << prefix << (last ? "`-- " : "|-- ");
+            std::string child_prefix = prefix + (last ? "    " : "|   ");
+            if (id < numLeaves_) {
+                oss << names[id] << '\n';
+                return;
+            }
+            const Merge &m = merges_[id - numLeaves_];
+            oss << '[' << fmtDouble(m.distance, 2) << "]\n";
+            walk(m.left, child_prefix, false);
+            walk(m.right, child_prefix, true);
+        };
+    walk(numLeaves_ + merges_.size() - 1, "", true);
+    return oss.str();
+}
+
+namespace {
+
+/** Lance-Williams coefficient update for the supported linkages. */
+double
+mergedDistance(Linkage linkage, double d_ik, double d_jk,
+               std::size_t size_i, std::size_t size_j)
+{
+    switch (linkage) {
+      case Linkage::Single:
+        return std::min(d_ik, d_jk);
+      case Linkage::Complete:
+        return std::max(d_ik, d_jk);
+      case Linkage::Average:
+        return (d_ik * static_cast<double>(size_i) +
+                d_jk * static_cast<double>(size_j)) /
+               static_cast<double>(size_i + size_j);
+    }
+    BDS_PANIC("unknown linkage");
+}
+
+} // namespace
+
+Dendrogram
+hierarchicalClusterFromDistances(const Matrix &dist, Linkage linkage)
+{
+    const std::size_t n = dist.rows();
+    if (n == 0 || dist.cols() != n)
+        BDS_FATAL("distance matrix must be square and non-empty");
+
+    // Working pair distances keyed by original row positions; a
+    // position is retired (alive=false) when its cluster is absorbed.
+    Matrix d = dist;
+    std::vector<Merge> merges;
+    merges.reserve(n - 1);
+    std::size_t next_id = n;
+    std::vector<bool> alive(n, true);
+    std::vector<std::size_t> cluster_of(n);
+    std::vector<std::size_t> cluster_size(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        cluster_of[i] = i;
+
+    for (std::size_t step = 0; step + 1 < n; ++step) {
+        // Find the closest live pair.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!alive[j])
+                    continue;
+                if (d(i, j) < best) {
+                    best = d(i, j);
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        BDS_ASSERT(std::isfinite(best), "no live pair found");
+
+        merges.push_back(Merge{cluster_of[bi], cluster_of[bj], best,
+                               cluster_size[bi] + cluster_size[bj]});
+
+        // Merge bj into bi.
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!alive[k] || k == bi || k == bj)
+                continue;
+            double nd = mergedDistance(linkage, d(bi, k), d(bj, k),
+                                       cluster_size[bi], cluster_size[bj]);
+            d(bi, k) = nd;
+            d(k, bi) = nd;
+        }
+        alive[bj] = false;
+        cluster_of[bi] = next_id++;
+        cluster_size[bi] += cluster_size[bj];
+    }
+
+    return Dendrogram(n, std::move(merges));
+}
+
+Dendrogram
+hierarchicalCluster(const Matrix &data, Linkage linkage)
+{
+    return hierarchicalClusterFromDistances(pairwiseEuclidean(data), linkage);
+}
+
+} // namespace bds

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering and dendrograms.
+ *
+ * The paper builds its Figure 1 dendrogram with single-linkage
+ * (minimum) Euclidean distance over the 8 retained PC scores.
+ * Complete and average linkage are provided for the ablation bench.
+ *
+ * Merge records follow the scipy convention: the original n
+ * observations are clusters 0..n-1, and the i-th merge creates
+ * cluster id n+i.
+ */
+
+#ifndef BDS_STATS_HCLUSTER_H
+#define BDS_STATS_HCLUSTER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** Linkage criterion for agglomerative clustering. */
+enum class Linkage
+{
+    Single,   ///< minimum pairwise distance (the paper's choice)
+    Complete, ///< maximum pairwise distance
+    Average   ///< unweighted average pairwise distance (UPGMA)
+};
+
+/** Human-readable linkage name. */
+const char *linkageName(Linkage l);
+
+/** One agglomeration step. */
+struct Merge
+{
+    std::size_t left;     ///< cluster id of one child
+    std::size_t right;    ///< cluster id of the other child
+    double distance;      ///< linkage distance between the children
+    std::size_t size;     ///< number of leaves in the merged cluster
+};
+
+/**
+ * A complete agglomeration history over n leaves (n-1 merges,
+ * non-decreasing distances for the metric linkages used here).
+ */
+class Dendrogram
+{
+  public:
+    /** Build from a merge list; validates the structure. */
+    Dendrogram(std::size_t num_leaves, std::vector<Merge> merges);
+
+    /** Number of original observations. */
+    std::size_t numLeaves() const { return numLeaves_; }
+
+    /** Merge steps in agglomeration order. */
+    const std::vector<Merge> &merges() const { return merges_; }
+
+    /**
+     * Cut the tree into exactly k clusters (undo the last k-1 merges).
+     * @return Cluster label in [0, k) per leaf; labels are assigned in
+     *         order of first appearance over leaf indices.
+     */
+    std::vector<std::size_t> cutIntoK(std::size_t k) const;
+
+    /**
+     * Cut at a linkage height: clusters are the components formed by
+     * merges with distance <= height.
+     */
+    std::vector<std::size_t> cutAtHeight(double height) const;
+
+    /** Leaf ids of the subtree rooted at the given cluster id. */
+    std::vector<std::size_t> leavesOf(std::size_t cluster_id) const;
+
+    /** Display order of leaves (left-to-right tree traversal). */
+    std::vector<std::size_t> leafOrder() const;
+
+    /**
+     * The merges performed in the "first clustering iteration": the
+     * maximal set of merges, taken in distance order, whose children
+     * are both original leaves. Used for the paper's Observation 1.
+     */
+    std::vector<Merge> firstIterationLeafMerges() const;
+
+    /**
+     * Linkage distance at which two leaves first join one cluster
+     * (the cophenetic distance).
+     */
+    double copheneticDistance(std::size_t leaf_a, std::size_t leaf_b) const;
+
+    /**
+     * Render a sideways ASCII tree, one leaf per line, internal nodes
+     * labelled with their linkage distance.
+     * @param names Per-leaf display names (size must equal numLeaves).
+     */
+    std::string renderAscii(const std::vector<std::string> &names) const;
+
+  private:
+    std::size_t numLeaves_;
+    std::vector<Merge> merges_;
+};
+
+/**
+ * Run agglomerative clustering over row observations.
+ *
+ * Uses the Lance-Williams update over a dense distance matrix; O(n^3)
+ * worst case, entirely adequate for benchmark-suite-sized inputs.
+ *
+ * @param data Observations in rows (e.g., PC scores).
+ * @param linkage Linkage criterion.
+ */
+Dendrogram hierarchicalCluster(const Matrix &data,
+                               Linkage linkage = Linkage::Single);
+
+/** As above but starting from a precomputed distance matrix. */
+Dendrogram hierarchicalClusterFromDistances(const Matrix &dist,
+                                            Linkage linkage);
+
+} // namespace bds
+
+#endif // BDS_STATS_HCLUSTER_H

@@ -1,0 +1,170 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "stats/distance.h"
+
+namespace bds {
+
+namespace {
+
+/** Squared distance from row r of data to row c of centers. */
+double
+sqDistRow(const Matrix &data, std::size_t r, const Matrix &centers,
+          std::size_t c)
+{
+    double s = 0.0;
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+        double d = data(r, j) - centers(c, j);
+        s += d * d;
+    }
+    return s;
+}
+
+/** k-means++ seeding. */
+Matrix
+seedPlusPlus(const Matrix &data, std::size_t k, Pcg32 &rng)
+{
+    const std::size_t n = data.rows();
+    Matrix centers(k, data.cols());
+    std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+
+    std::size_t first = rng.nextBounded(static_cast<std::uint32_t>(n));
+    centers.setRow(0, data.row(first));
+
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            min_sq[r] = std::min(min_sq[r], sqDistRow(data, r, centers,
+                                                      c - 1));
+            total += min_sq[r];
+        }
+        std::size_t chosen;
+        if (total <= 0.0) {
+            // All remaining points coincide with a center; pick any.
+            chosen = rng.nextBounded(static_cast<std::uint32_t>(n));
+        } else {
+            double target = rng.nextDouble() * total;
+            double acc = 0.0;
+            chosen = n - 1;
+            for (std::size_t r = 0; r < n; ++r) {
+                acc += min_sq[r];
+                if (acc >= target) {
+                    chosen = r;
+                    break;
+                }
+            }
+        }
+        centers.setRow(c, data.row(chosen));
+    }
+    return centers;
+}
+
+/** One full Lloyd run from the given seed centers. */
+KMeansResult
+lloyd(const Matrix &data, Matrix centers, const KMeansOptions &opts)
+{
+    const std::size_t n = data.rows();
+    const std::size_t k = centers.rows();
+    const std::size_t dims = data.cols();
+
+    KMeansResult res;
+    res.k = k;
+    res.labels.assign(n, 0);
+
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        res.iterations = it + 1;
+        // Assignment step.
+        for (std::size_t r = 0; r < n; ++r) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t arg = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                double d = sqDistRow(data, r, centers, c);
+                if (d < best) {
+                    best = d;
+                    arg = c;
+                }
+            }
+            res.labels[r] = arg;
+        }
+        // Update step.
+        Matrix next(k, dims);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t r = 0; r < n; ++r) {
+            ++counts[res.labels[r]];
+            for (std::size_t j = 0; j < dims; ++j)
+                next(res.labels[r], j) += data(r, j);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster with the point farthest
+                // from its current center.
+                double worst = -1.0;
+                std::size_t arg = 0;
+                for (std::size_t r = 0; r < n; ++r) {
+                    double d = sqDistRow(data, r, centers, res.labels[r]);
+                    if (d > worst) {
+                        worst = d;
+                        arg = r;
+                    }
+                }
+                next.setRow(c, data.row(arg));
+                counts[c] = 1;
+                res.labels[arg] = c;
+            } else {
+                for (std::size_t j = 0; j < dims; ++j)
+                    next(c, j) /= static_cast<double>(counts[c]);
+            }
+        }
+        double moved = Matrix::maxAbsDiff(next, centers);
+        centers = std::move(next);
+        if (moved <= opts.tolerance)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        res.inertia += sqDistRow(data, r, centers, res.labels[r]);
+    res.centers = std::move(centers);
+    return res;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const Matrix &data, std::size_t k, Pcg32 &rng,
+       const KMeansOptions &opts)
+{
+    if (k == 0)
+        BDS_FATAL("kMeans requires k >= 1");
+    if (data.rows() < k)
+        BDS_FATAL("kMeans with k=" << k << " needs >= k observations, got "
+                  << data.rows());
+
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    std::size_t runs = std::max<std::size_t>(1, opts.restarts);
+    for (std::size_t run = 0; run < runs; ++run) {
+        KMeansResult cur = lloyd(data, seedPlusPlus(data, k, rng), opts);
+        if (cur.inertia < best.inertia)
+            best = std::move(cur);
+    }
+    return best;
+}
+
+std::vector<std::vector<std::size_t>>
+groupByLabel(const std::vector<std::size_t> &labels, std::size_t k)
+{
+    std::vector<std::vector<std::size_t>> groups(k);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] >= k)
+            BDS_FATAL("label " << labels[i] << " out of range for k=" << k);
+        groups[labels[i]].push_back(i);
+    }
+    return groups;
+}
+
+} // namespace bds

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * K-means clustering (k-means++ seeding, Lloyd iterations).
+ *
+ * The paper groups the 32 workloads' 8-dimensional PC scores with
+ * K-means and selects K by the Bayesian Information Criterion (see
+ * bic.h). Seeding is deterministic given the caller's RNG.
+ */
+
+#ifndef BDS_STATS_KMEANS_H
+#define BDS_STATS_KMEANS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** K-means output. */
+struct KMeansResult
+{
+    /** Cluster label per observation, in [0, k). */
+    std::vector<std::size_t> labels;
+
+    /** Cluster centers, k x dims. */
+    Matrix centers;
+
+    /** Sum over points of squared distance to their center. */
+    double inertia = 0.0;
+
+    /** Lloyd iterations executed before convergence. */
+    std::size_t iterations = 0;
+
+    /** Number of clusters actually used (empty clusters are re-seeded). */
+    std::size_t k = 0;
+};
+
+/** Options for kMeans(). */
+struct KMeansOptions
+{
+    std::size_t maxIterations = 200;  ///< Lloyd iteration cap
+    std::size_t restarts = 8;         ///< independent runs; best kept
+    double tolerance = 1e-10;         ///< center-movement convergence bound
+};
+
+/**
+ * Cluster row observations into k groups.
+ *
+ * Runs `restarts` independent k-means++ initializations and returns
+ * the solution with the lowest inertia. Empty clusters are re-seeded
+ * with the point farthest from its center.
+ *
+ * @param data Observations in rows; must have >= k rows.
+ * @param k Number of clusters (>= 1).
+ * @param rng Seeded generator; determinism is the caller's contract.
+ * @param opts Iteration and restart controls.
+ */
+KMeansResult kMeans(const Matrix &data, std::size_t k, Pcg32 &rng,
+                    const KMeansOptions &opts = {});
+
+/**
+ * Group observation indices by label.
+ * @return k vectors; vector i holds the row indices with label i.
+ */
+std::vector<std::vector<std::size_t>>
+groupByLabel(const std::vector<std::size_t> &labels, std::size_t k);
+
+} // namespace bds
+
+#endif // BDS_STATS_KMEANS_H

@@ -1,0 +1,157 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
+{
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : init) {
+        if (row.size() != cols_)
+            BDS_FATAL("ragged initializer list: row has " << row.size()
+                      << " entries, expected " << cols_);
+        for (double v : row)
+            data_.push_back(v);
+    }
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        BDS_FATAL("matrix index (" << r << ',' << c << ") out of bounds for "
+                  << rows_ << 'x' << cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        BDS_FATAL("matrix index (" << r << ',' << c << ") out of bounds for "
+                  << rows_ << 'x' << cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    if (r >= rows_)
+        BDS_FATAL("row " << r << " out of bounds for " << rows_ << " rows");
+    return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    if (c >= cols_)
+        BDS_FATAL("col " << c << " out of bounds for " << cols_ << " cols");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::setRow(std::size_t r, const std::vector<double> &values)
+{
+    if (r >= rows_ || values.size() != cols_)
+        BDS_FATAL("setRow(" << r << ") with " << values.size()
+                  << " values on " << rows_ << 'x' << cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        (*this)(r, c) = values[c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        BDS_FATAL("shape mismatch in multiply: " << rows_ << 'x' << cols_
+                  << " * " << rhs.rows_ << 'x' << rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out(i, i) = 1.0;
+    return out;
+}
+
+std::vector<double>
+Matrix::colMeans() const
+{
+    std::vector<double> mean(cols_, 0.0);
+    if (rows_ == 0)
+        return mean;
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            mean[c] += (*this)(r, c);
+    for (auto &m : mean)
+        m /= static_cast<double>(rows_);
+    return mean;
+}
+
+std::vector<double>
+Matrix::colStddevs() const
+{
+    std::vector<double> sd(cols_, 0.0);
+    if (rows_ < 2)
+        return sd;
+    auto mean = colMeans();
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            double d = (*this)(r, c) - mean[c];
+            sd[c] += d * d;
+        }
+    }
+    for (auto &v : sd)
+        v = std::sqrt(v / static_cast<double>(rows_ - 1));
+    return sd;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        BDS_FATAL("maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data_.size(); ++i)
+        m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+    return m;
+}
+
+} // namespace bds

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dense row-major matrix of doubles.
+ *
+ * The statistics pipeline works on small matrices (the paper's data
+ * set is 32 workloads x 45 metrics, reduced to 32 x 8), so this class
+ * favours clarity and checked access over BLAS-grade performance.
+ */
+
+#ifndef BDS_STATS_MATRIX_H
+#define BDS_STATS_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace bds {
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer list (rows of equal arity). */
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Checked element access. */
+    double &at(std::size_t r, std::size_t c);
+
+    /** Checked element access (const). */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Unchecked element access. */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked element access (const). */
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Copy of row r as a vector. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Copy of column c as a vector. */
+    std::vector<double> col(std::size_t c) const;
+
+    /** Overwrite row r. */
+    void setRow(std::size_t r, const std::vector<double> &values);
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Matrix product this * rhs. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Per-column means. */
+    std::vector<double> colMeans() const;
+
+    /**
+     * Per-column sample standard deviations (divides by n-1).
+     * Columns with fewer than two rows yield 0.
+     */
+    std::vector<double> colStddevs() const;
+
+    /** Raw storage (row-major). */
+    const std::vector<double> &data() const { return data_; }
+
+    /** Max |a(i,j) - b(i,j)|; matrices must have equal shape. */
+    static double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace bds
+
+#endif // BDS_STATS_MATRIX_H

@@ -1,0 +1,30 @@
+#include "stats/normalize.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+ZScoreResult
+zscore(const Matrix &data, double eps)
+{
+    if (data.rows() < 2)
+        BDS_FATAL("zscore needs at least two observations, got "
+                  << data.rows());
+    ZScoreResult res;
+    res.means = data.colMeans();
+    res.stddevs = data.colStddevs();
+    res.normalized = Matrix(data.rows(), data.cols());
+
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+        if (res.stddevs[c] < eps) {
+            res.constantColumns.push_back(c);
+            continue; // column stays zero
+        }
+        for (std::size_t r = 0; r < data.rows(); ++r)
+            res.normalized(r, c) =
+                (data(r, c) - res.means[c]) / res.stddevs[c];
+    }
+    return res;
+}
+
+} // namespace bds

@@ -1,0 +1,83 @@
+#include "stats/pca.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+#include "stats/eigen.h"
+
+namespace bds {
+
+Matrix
+covariance(const Matrix &centered)
+{
+    const std::size_t n = centered.rows();
+    const std::size_t d = centered.cols();
+    if (n < 2)
+        BDS_FATAL("covariance needs at least two observations");
+    Matrix cov(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = i; j < d; ++j) {
+            double s = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                s += centered(r, i) * centered(r, j);
+            s /= static_cast<double>(n - 1);
+            cov(i, j) = s;
+            cov(j, i) = s;
+        }
+    }
+    return cov;
+}
+
+PcaResult
+pca(const Matrix &normalized, const PcaOptions &opts)
+{
+    const std::size_t n = normalized.rows();
+    const std::size_t d = normalized.cols();
+    if (n < 2 || d == 0)
+        BDS_FATAL("pca requires a non-empty matrix with >= 2 rows");
+
+    Matrix cov = covariance(normalized);
+    EigenResult eig = eigenSymmetric(cov);
+
+    PcaResult res;
+    res.eigenvalues = eig.values;
+
+    std::size_t keep;
+    if (opts.forcedComponents > 0) {
+        keep = std::min(opts.forcedComponents, d);
+    } else {
+        keep = 0;
+        for (double v : eig.values)
+            if (v >= opts.kaiserThreshold)
+                ++keep;
+        keep = std::max(keep, opts.minComponents);
+        keep = std::min(keep, d);
+    }
+    res.numComponents = keep;
+
+    res.components = Matrix(d, keep);
+    res.loadings = Matrix(d, keep);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < keep; ++j) {
+            double v = eig.vectors(i, j);
+            res.components(i, j) = v;
+            res.loadings(i, j) =
+                v * std::sqrt(std::max(0.0, eig.values[j]));
+        }
+    }
+
+    res.scores = normalized.multiply(res.components);
+
+    double total = std::accumulate(eig.values.begin(), eig.values.end(), 0.0);
+    res.varianceRatio.resize(keep, 0.0);
+    if (total > 0.0) {
+        for (std::size_t j = 0; j < keep; ++j)
+            res.varianceRatio[j] = std::max(0.0, eig.values[j]) / total;
+    }
+    res.totalVarianceRetained = std::accumulate(
+        res.varianceRatio.begin(), res.varianceRatio.end(), 0.0);
+    return res;
+}
+
+} // namespace bds

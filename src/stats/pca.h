@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Principal Component Analysis with Kaiser's criterion.
+ *
+ * Implements the paper's Section III-C: z-score the metric matrix,
+ * take the covariance (equivalently, the correlation matrix of the
+ * raw data), eigendecompose it, and retain the components whose
+ * eigenvalue is >= 1 (Kaiser's criterion). Factor loadings — the
+ * per-metric weights of each PC shown in the paper's Figure 4 — are
+ * the eigenvector entries scaled by the square root of the
+ * eigenvalue.
+ */
+
+#ifndef BDS_STATS_PCA_H
+#define BDS_STATS_PCA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** Full PCA output. */
+struct PcaResult
+{
+    /** All eigenvalues, descending. */
+    std::vector<double> eigenvalues;
+
+    /** Number of components retained (by Kaiser or explicit request). */
+    std::size_t numComponents = 0;
+
+    /**
+     * Scores: observations projected onto the retained components;
+     * rows x numComponents.
+     */
+    Matrix scores;
+
+    /**
+     * Principal axes: cols(input) x numComponents; column j is the
+     * unit-length eigenvector of PC j.
+     */
+    Matrix components;
+
+    /**
+     * Factor loadings: cols(input) x numComponents; loading(i, j) =
+     * components(i, j) * sqrt(eigenvalues[j]). This is the quantity
+     * plotted in the paper's Figure 4.
+     */
+    Matrix loadings;
+
+    /** Fraction of total variance captured per retained component. */
+    std::vector<double> varianceRatio;
+
+    /** Sum of varianceRatio over the retained components. */
+    double totalVarianceRetained = 0.0;
+};
+
+/** Options controlling component retention. */
+struct PcaOptions
+{
+    /**
+     * Kaiser's criterion threshold: keep PCs with eigenvalue >= this.
+     * The paper uses 1.0 on the correlation matrix.
+     */
+    double kaiserThreshold = 1.0;
+
+    /**
+     * If non-zero, retain exactly this many components and ignore the
+     * Kaiser threshold (used by the PC-count ablation).
+     */
+    std::size_t forcedComponents = 0;
+
+    /** Always retain at least this many components. */
+    std::size_t minComponents = 1;
+};
+
+/**
+ * Run PCA on an already z-scored matrix.
+ *
+ * @param normalized Z-scored observations (rows) x metrics (cols).
+ * @param opts Component-retention options.
+ */
+PcaResult pca(const Matrix &normalized, const PcaOptions &opts = {});
+
+/**
+ * Covariance matrix of the (column-centered) input; divides by n-1.
+ * For z-scored input this is the correlation matrix of the raw data.
+ */
+Matrix covariance(const Matrix &centered);
+
+} // namespace bds
+
+#endif // BDS_STATS_PCA_H

@@ -1,0 +1,51 @@
+#include "stats/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/log.h"
+#include "stats/distance.h"
+
+namespace bds {
+
+double
+silhouetteScore(const Matrix &data, const std::vector<std::size_t> &labels)
+{
+    const std::size_t n = data.rows();
+    if (labels.size() != n)
+        BDS_FATAL("labels size " << labels.size() << " != rows " << n);
+    std::set<std::size_t> distinct(labels.begin(), labels.end());
+    if (distinct.size() < 2)
+        BDS_FATAL("silhouette needs at least two clusters");
+
+    Matrix dist = pairwiseEuclidean(data);
+    std::size_t k = *std::max_element(labels.begin(), labels.end()) + 1;
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t lbl : labels)
+        ++counts[lbl];
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t li = labels[i];
+        if (counts[li] <= 1)
+            continue; // singleton: s = 0
+        std::vector<double> sums(k, 0.0);
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                sums[labels[j]] += dist(i, j);
+        double a = sums[li] / static_cast<double>(counts[li] - 1);
+        double b = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+            if (c == li || counts[c] == 0)
+                continue;
+            b = std::min(b, sums[c] / static_cast<double>(counts[c]));
+        }
+        double denom = std::max(a, b);
+        if (denom > 0.0)
+            total += (b - a) / denom;
+    }
+    return total / static_cast<double>(n);
+}
+
+} // namespace bds

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Silhouette score — the ablation alternative to BIC for choosing K.
+ *
+ * The paper selects K with BIC; the ablation bench compares that
+ * choice against the mean silhouette coefficient, a widely used
+ * internal clustering-quality index.
+ */
+
+#ifndef BDS_STATS_SILHOUETTE_H
+#define BDS_STATS_SILHOUETTE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace bds {
+
+/**
+ * Mean silhouette coefficient over all observations.
+ *
+ * For each point: a = mean intra-cluster distance, b = smallest mean
+ * distance to another cluster, s = (b - a) / max(a, b). Singleton
+ * clusters contribute s = 0 (scikit-learn convention).
+ *
+ * @param data Observations in rows.
+ * @param labels Cluster label per row.
+ * @return Mean silhouette in [-1, 1]; requires >= 2 distinct labels.
+ */
+double silhouetteScore(const Matrix &data,
+                       const std::vector<std::size_t> &labels);
+
+} // namespace bds
+
+#endif // BDS_STATS_SILHOUETTE_H

@@ -1,0 +1,91 @@
+#include "trace/memlayout.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+struct RegionSpec
+{
+    std::uint64_t base;
+    std::uint64_t capacity;
+};
+
+// Widely separated bases so address arithmetic bugs are loud; sizes
+// bound the footprint any single simulated process can create.
+constexpr RegionSpec kRegions[] = {
+    {0x0000'0000'0040'0000ULL, 1ULL << 26}, // UserCode: 64 MB
+    {0x0000'0000'1000'0000ULL, 1ULL << 28}, // FrameworkCode: 256 MB
+    {0xffff'8000'0000'0000ULL, 1ULL << 26}, // KernelCode: 64 MB
+    {0x0000'7f00'0000'0000ULL, 1ULL << 36}, // Heap: 64 GB
+    {0xffff'9000'0000'0000ULL, 1ULL << 32}, // KernelBuffer: 4 GB
+    {0x0000'7fff'0000'0000ULL, 1ULL << 30}, // Stack: 1 GB
+};
+
+constexpr unsigned kNumRegions = static_cast<unsigned>(Region::NumRegions);
+
+static_assert(sizeof(kRegions) / sizeof(kRegions[0]) == kNumRegions,
+              "region table arity mismatch");
+
+} // namespace
+
+std::uint64_t
+regionBase(Region r)
+{
+    return kRegions[static_cast<unsigned>(r)].base;
+}
+
+std::uint64_t
+regionCapacity(Region r)
+{
+    return kRegions[static_cast<unsigned>(r)].capacity;
+}
+
+AddressSpace::AddressSpace()
+{
+    for (unsigned i = 0; i < kNumRegions; ++i)
+        next_[i] = kRegions[i].base;
+}
+
+std::uint64_t
+AddressSpace::allocate(Region r, std::uint64_t bytes)
+{
+    unsigned idx = static_cast<unsigned>(r);
+    std::uint64_t aligned = (bytes + 63) & ~63ULL;
+    if (aligned == 0)
+        aligned = 64;
+    std::uint64_t base = next_[idx];
+    if (base + aligned > kRegions[idx].base + kRegions[idx].capacity)
+        BDS_FATAL("region " << idx << " exhausted: requested " << aligned
+                  << " bytes beyond capacity " << kRegions[idx].capacity);
+    next_[idx] = base + aligned;
+    return base;
+}
+
+std::uint64_t
+AddressSpace::used(Region r) const
+{
+    unsigned idx = static_cast<unsigned>(r);
+    return next_[idx] - kRegions[idx].base;
+}
+
+void
+AddressSpace::resetRegion(Region r)
+{
+    unsigned idx = static_cast<unsigned>(r);
+    next_[idx] = kRegions[idx].base;
+}
+
+Region
+regionOf(std::uint64_t addr)
+{
+    for (unsigned i = 0; i < kNumRegions; ++i) {
+        if (addr >= kRegions[i].base &&
+            addr < kRegions[i].base + kRegions[i].capacity)
+            return static_cast<Region>(i);
+    }
+    BDS_FATAL("address 0x" << std::hex << addr << " is unmapped");
+}
+
+} // namespace bds

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Simulated virtual address-space layout.
+ *
+ * The instrumentation runtime needs realistic, non-overlapping
+ * addresses for user code, framework code, kernel code, heap data and
+ * kernel buffers, because cache/TLB behavior depends on address
+ * locality. This is a set of bump allocators over fixed, widely
+ * separated regions of a 64-bit address space.
+ */
+
+#ifndef BDS_TRACE_MEMLAYOUT_H
+#define BDS_TRACE_MEMLAYOUT_H
+
+#include <cstdint>
+
+namespace bds {
+
+/** Address-space region kinds. */
+enum class Region : unsigned
+{
+    UserCode,      ///< application .text
+    FrameworkCode, ///< software-stack .text (the big one for Hadoop)
+    KernelCode,    ///< ring-0 .text
+    Heap,          ///< user/framework data
+    KernelBuffer,  ///< page cache, socket buffers
+    Stack,         ///< thread stacks
+    NumRegions
+};
+
+/** Fixed base address of a region. */
+std::uint64_t regionBase(Region r);
+
+/** Fixed capacity of a region in bytes. */
+std::uint64_t regionCapacity(Region r);
+
+/**
+ * Bump allocator over the fixed regions of one simulated process.
+ *
+ * Allocations never overlap and are aligned to cache lines; running a
+ * region past its capacity is fatal (it would silently alias another
+ * region's addresses and corrupt the cache statistics).
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace();
+
+    /**
+     * Allocate bytes from a region.
+     * @param r Target region.
+     * @param bytes Size; rounded up to 64-byte alignment.
+     * @return Base address of the allocation.
+     */
+    std::uint64_t allocate(Region r, std::uint64_t bytes);
+
+    /** Bytes already allocated in a region. */
+    std::uint64_t used(Region r) const;
+
+    /** Release everything in a region (bump pointer reset). */
+    void resetRegion(Region r);
+
+  private:
+    std::uint64_t next_[static_cast<unsigned>(Region::NumRegions)];
+};
+
+/** Which region an address falls in; fatal for unmapped addresses. */
+Region regionOf(std::uint64_t addr);
+
+} // namespace bds
+
+#endif // BDS_TRACE_MEMLAYOUT_H

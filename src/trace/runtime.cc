@@ -1,0 +1,199 @@
+#include "trace/runtime.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+CodeImage::CodeImage(AddressSpace &space, Region region)
+    : space_(space), region_(region)
+{
+    if (region != Region::UserCode && region != Region::FrameworkCode &&
+        region != Region::KernelCode)
+        BDS_FATAL("CodeImage requires a code region");
+}
+
+FunctionDesc
+CodeImage::defineFunction(std::uint32_t bytes)
+{
+    if (bytes == 0)
+        BDS_FATAL("function size must be > 0");
+    FunctionDesc fn;
+    fn.base = space_.allocate(region_, bytes);
+    fn.size = bytes;
+    footprint_ += bytes;
+    functions_.push_back(fn);
+    return fn;
+}
+
+const FunctionDesc &
+CodeImage::function(std::size_t i) const
+{
+    if (i >= functions_.size())
+        BDS_FATAL("function index " << i << " out of range");
+    return functions_[i];
+}
+
+ExecContext::ExecContext(OpSink &sink, unsigned core,
+                         const FunctionDesc &entry)
+    : sink_(sink), core_(core)
+{
+    if (entry.size == 0)
+        BDS_FATAL("entry function has zero size");
+    stack_.push_back(Frame{entry, entry.base});
+}
+
+void
+ExecContext::advanceIp()
+{
+    Frame &f = stack_.back();
+    f.ip += 4;
+    if (f.ip >= f.fn.base + f.fn.size)
+        f.ip = f.fn.base; // loop back: models iteration within the fn
+}
+
+void
+ExecContext::emit(OpClass cls, std::uint64_t addr, bool taken,
+                  bool new_instruction, bool depends_on_prev_load)
+{
+    MicroOp op;
+    op.cls = cls;
+    op.mode = mode_;
+    op.ip = stack_.back().ip;
+    op.addr = addr;
+    op.taken = taken;
+    op.newInstruction = new_instruction;
+    op.dependsOnPrevLoad = depends_on_prev_load;
+    sink_.consume(core_, op);
+    ++ops_;
+    if (new_instruction) {
+        ++instructions_;
+        advanceIp();
+    }
+}
+
+void
+ExecContext::call(const FunctionDesc &fn)
+{
+    if (fn.size == 0)
+        BDS_FATAL("call to zero-sized function");
+    if (stack_.size() > 256)
+        BDS_FATAL("simulated call stack overflow");
+    emit(OpClass::Branch, fn.base, true, true);
+    stack_.push_back(Frame{fn, fn.base});
+}
+
+void
+ExecContext::ret()
+{
+    if (stack_.size() <= 1)
+        BDS_FATAL("return from entry frame");
+    emit(OpClass::Branch, 0, true, true);
+    stack_.pop_back();
+}
+
+void
+ExecContext::load(std::uint64_t addr)
+{
+    emit(OpClass::Load, addr, false, true);
+}
+
+void
+ExecContext::loadDependent(std::uint64_t addr)
+{
+    emit(OpClass::Load, addr, false, true, true);
+}
+
+void
+ExecContext::store(std::uint64_t addr)
+{
+    emit(OpClass::Store, addr, false, true);
+}
+
+void
+ExecContext::intOps(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        emit(OpClass::IntAlu, 0, false, true);
+}
+
+void
+ExecContext::fpOps(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        emit(OpClass::FpAlu, 0, false, true);
+}
+
+void
+ExecContext::sseOps(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        emit(OpClass::SseAlu, 0, false, true);
+}
+
+void
+ExecContext::branch(bool taken)
+{
+    emit(OpClass::Branch, 0, taken, true);
+}
+
+void
+ExecContext::microcoded(unsigned uops)
+{
+    if (uops == 0)
+        BDS_FATAL("microcoded instruction needs >= 1 uop");
+    emit(OpClass::IntAlu, 0, false, true);
+    for (unsigned i = 1; i < uops; ++i)
+        emit(OpClass::IntAlu, 0, false, false);
+}
+
+void
+ExecContext::scan(std::uint64_t base, std::uint64_t bytes,
+                  std::uint32_t stride, unsigned int_per_load)
+{
+    stride = std::max<std::uint32_t>(stride, 8);
+    for (std::uint64_t off = 0; off < bytes; off += stride) {
+        load(base + off);
+        intOps(int_per_load);
+        branch(off + stride < bytes); // loop back-edge, taken until exit
+    }
+}
+
+void
+ExecContext::memcopy(std::uint64_t dst, std::uint64_t src,
+                     std::uint64_t bytes)
+{
+    // Unrolled copy loop: two line-sized moves per back-edge.
+    for (std::uint64_t off = 0; off < bytes; off += 128) {
+        load(src + off);
+        store(dst + off);
+        if (off + 64 < bytes) {
+            load(src + off + 64);
+            store(dst + off + 64);
+        }
+        branch(off + 128 < bytes);
+    }
+}
+
+void
+CountingSink::consume(unsigned core, const MicroOp &op)
+{
+    ++total;
+    if (op.newInstruction)
+        ++instructions;
+    switch (op.cls) {
+      case OpClass::Load: ++loads; break;
+      case OpClass::Store: ++stores; break;
+      case OpClass::Branch: ++branches; break;
+      case OpClass::IntAlu: ++intAlu; break;
+      case OpClass::FpAlu: ++fpAlu; break;
+      case OpClass::SseAlu: ++sseAlu; break;
+    }
+    if (op.mode == Mode::Kernel)
+        ++kernelOps;
+    maxCore = std::max<std::uint64_t>(maxCore, core);
+    last = op;
+}
+
+} // namespace bds

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Instrumentation runtime: the API workloads and stack engines use to
+ * execute. Each call emits micro-ops with genuine code and data
+ * addresses into an OpSink (normally the uarch SystemModel).
+ *
+ * Code addresses follow a call-stack model: a context executes inside
+ * a current function frame and its instruction pointer walks that
+ * function's byte range, so a software stack defined with many large
+ * functions produces a large instruction working set — the mechanism
+ * behind the paper's Hadoop-vs-Spark frontend observations.
+ */
+
+#ifndef BDS_TRACE_RUNTIME_H
+#define BDS_TRACE_RUNTIME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/memlayout.h"
+#include "trace/microop.h"
+
+namespace bds {
+
+/** A simulated function's code footprint. */
+struct FunctionDesc
+{
+    std::uint64_t base = 0; ///< first code byte
+    std::uint32_t size = 0; ///< footprint in bytes
+};
+
+/**
+ * A simulated binary: a bag of functions allocated contiguously in
+ * one code region. Stack engines build one image for the framework,
+ * one for the user job, one for the kernel.
+ */
+class CodeImage
+{
+  public:
+    /**
+     * @param space Owning address space.
+     * @param region Code region to allocate from.
+     */
+    CodeImage(AddressSpace &space, Region region);
+
+    /** Define a function of the given code size. */
+    FunctionDesc defineFunction(std::uint32_t bytes);
+
+    /** Total bytes of code defined so far. */
+    std::uint64_t footprint() const { return footprint_; }
+
+    /** Number of functions defined. */
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** Function by index. */
+    const FunctionDesc &function(std::size_t i) const;
+
+  private:
+    AddressSpace &space_;
+    Region region_;
+    std::uint64_t footprint_ = 0;
+    std::vector<FunctionDesc> functions_;
+};
+
+/**
+ * Per-simulated-thread execution context bound to one core.
+ *
+ * All emit methods advance the instruction pointer inside the current
+ * function frame (wrapping at its end, which models loops) and push
+ * micro-ops into the sink.
+ */
+class ExecContext
+{
+  public:
+    /**
+     * @param sink Consumer of the op stream.
+     * @param core Core this context is pinned to.
+     * @param entry Initial function frame.
+     */
+    ExecContext(OpSink &sink, unsigned core, const FunctionDesc &entry);
+
+    /** Core this context executes on. */
+    unsigned core() const { return core_; }
+
+    /** Switch privilege mode for subsequent ops. */
+    void setMode(Mode m) { mode_ = m; }
+
+    /** Current privilege mode. */
+    Mode mode() const { return mode_; }
+
+    /** Call into a function (emits the call branch). */
+    void call(const FunctionDesc &fn);
+
+    /** Return to the caller frame (emits the return branch). */
+    void ret();
+
+    /** Emit an 8-byte (or smaller) load. */
+    void load(std::uint64_t addr);
+
+    /**
+     * Emit a load whose address depends on the previous load (pointer
+     * chase); the core model serializes such misses, lowering MLP.
+     */
+    void loadDependent(std::uint64_t addr);
+
+    /** Emit an 8-byte (or smaller) store. */
+    void store(std::uint64_t addr);
+
+    /** Emit n integer ALU instructions. */
+    void intOps(unsigned n = 1);
+
+    /** Emit n x87 floating-point instructions. */
+    void fpOps(unsigned n = 1);
+
+    /** Emit n SSE floating-point instructions. */
+    void sseOps(unsigned n = 1);
+
+    /** Emit a conditional branch with the given outcome. */
+    void branch(bool taken);
+
+    /**
+     * Emit one microcoded instruction that cracks into extra uops
+     * (first uop opens the instruction, the rest do not).
+     * @param uops Total uops, >= 1.
+     */
+    void microcoded(unsigned uops);
+
+    /**
+     * Sequentially read a buffer: one load per `stride` bytes plus
+     * `int_per_load` integer ops of processing, with a loop branch.
+     * @param base Buffer base address.
+     * @param bytes Buffer length.
+     * @param stride Bytes per load (>= 8; 64 touches each line once).
+     * @param int_per_load Integer ops of work per element.
+     */
+    void scan(std::uint64_t base, std::uint64_t bytes,
+              std::uint32_t stride = 64, unsigned int_per_load = 2);
+
+    /**
+     * Copy bytes between buffers: paired load/store per 64-byte line
+     * with a loop branch (models memcpy / kernel buffer copies).
+     */
+    void memcopy(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes);
+
+    /** Total uops emitted by this context. */
+    std::uint64_t opsEmitted() const { return ops_; }
+
+    /** Total instructions emitted by this context. */
+    std::uint64_t instructionsEmitted() const { return instructions_; }
+
+  private:
+    /** Advance ip by one instruction slot within the current frame. */
+    void advanceIp();
+
+    /** Emit one op at the current ip. */
+    void emit(OpClass cls, std::uint64_t addr, bool taken,
+              bool new_instruction, bool depends_on_prev_load = false);
+
+    OpSink &sink_;
+    unsigned core_;
+    Mode mode_ = Mode::User;
+
+    struct Frame
+    {
+        FunctionDesc fn;
+        std::uint64_t ip;
+    };
+    std::vector<Frame> stack_;
+
+    std::uint64_t ops_ = 0;
+    std::uint64_t instructions_ = 0;
+};
+
+/** Sink that tallies ops by class — used by tests and examples. */
+class CountingSink : public OpSink
+{
+  public:
+    void consume(unsigned core, const MicroOp &op) override;
+
+    std::uint64_t total = 0;          ///< all uops
+    std::uint64_t instructions = 0;   ///< macro-instructions
+    std::uint64_t loads = 0;          ///< Load uops
+    std::uint64_t stores = 0;         ///< Store uops
+    std::uint64_t branches = 0;       ///< Branch uops
+    std::uint64_t intAlu = 0;         ///< IntAlu uops
+    std::uint64_t fpAlu = 0;          ///< FpAlu uops
+    std::uint64_t sseAlu = 0;         ///< SseAlu uops
+    std::uint64_t kernelOps = 0;      ///< ops in kernel mode
+    std::uint64_t maxCore = 0;        ///< highest core index seen
+    MicroOp last;                     ///< most recent op
+};
+
+} // namespace bds
+
+#endif // BDS_TRACE_RUNTIME_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gshare branch predictor.
+ *
+ * A global-history XOR-indexed table of 2-bit saturating counters.
+ * Branch outcomes come from the workloads' real data-dependent
+ * control flow, so prediction accuracy — and with it the paper's
+ * BR MISS metric — is emergent.
+ */
+
+#ifndef BDS_UARCH_BRANCH_H
+#define BDS_UARCH_BRANCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bds {
+
+/** Gshare predictor with configurable history length. */
+class GshareBranchPredictor
+{
+  public:
+    /**
+     * @param history_bits Global-history length; the table holds
+     *        2^history_bits 2-bit counters.
+     */
+    explicit GshareBranchPredictor(unsigned history_bits = 12);
+
+    /**
+     * Predict-and-train on one branch.
+     * @param ip Branch instruction address.
+     * @param taken Actual outcome.
+     * @return True when the prediction was correct.
+     */
+    bool predictAndTrain(std::uint64_t ip, bool taken);
+
+  private:
+    unsigned historyBits_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_BRANCH_H

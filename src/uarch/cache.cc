@@ -1,0 +1,191 @@
+#include "uarch/cache.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (!isPow2(cfg_.lineBytes))
+        BDS_FATAL("line size must be a power of two");
+    if (cfg_.assoc == 0 || cfg_.sizeBytes == 0)
+        BDS_FATAL("cache must have nonzero size and associativity");
+    std::uint64_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (lines == 0 || lines % cfg_.assoc != 0)
+        BDS_FATAL("cache geometry does not divide evenly: " << lines
+                  << " lines, " << cfg_.assoc << " ways");
+    numSets_ = lines / cfg_.assoc;
+    lines_.resize(lines);
+}
+
+int
+SetAssocCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.state != CoherenceState::Invalid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+CacheLookup
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return {};
+    return {true, lineAt(set, static_cast<std::uint32_t>(w)).state};
+}
+
+CacheLookup
+SetAssocCache::access(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return {};
+    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
+    l.lru = ++tick_;
+    return {true, l.state};
+}
+
+Eviction
+SetAssocCache::insert(std::uint64_t addr, CoherenceState state)
+{
+    if (state == CoherenceState::Invalid)
+        BDS_FATAL("cannot insert an Invalid line");
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    if (findWay(set, la) >= 0)
+        BDS_FATAL("inserting line already present: 0x" << std::hex << la);
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    std::uint32_t victim = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &l = lineAt(set, w);
+        if (l.state == CoherenceState::Invalid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+        if (l.lru < oldest) {
+            oldest = l.lru;
+            victim = w;
+        }
+    }
+
+    Eviction ev;
+    Line &l = lineAt(set, victim);
+    if (!found_invalid) {
+        ev.valid = true;
+        ev.lineAddr = l.tag;
+        ev.dirty = l.dirty;
+    }
+    l.tag = la;
+    l.state = state;
+    l.dirty = false;
+    l.sharedEver = false;
+    l.lru = ++tick_;
+    return ev;
+}
+
+void
+SetAssocCache::setState(std::uint64_t addr, CoherenceState state)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("setState on absent line 0x" << std::hex << la);
+    if (state == CoherenceState::Invalid)
+        BDS_FATAL("use invalidate() to drop a line");
+    lineAt(set, static_cast<std::uint32_t>(w)).state = state;
+}
+
+void
+SetAssocCache::setDirty(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("setDirty on absent line 0x" << std::hex << la);
+    lineAt(set, static_cast<std::uint32_t>(w)).dirty = true;
+}
+
+void
+SetAssocCache::markShared(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("markShared on absent line 0x" << std::hex << la);
+    lineAt(set, static_cast<std::uint32_t>(w)).sharedEver = true;
+}
+
+bool
+SetAssocCache::isMarkedShared(std::uint64_t addr) const
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return false;
+    return lineAt(set, static_cast<std::uint32_t>(w)).sharedEver;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return false;
+    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
+    bool dirty = l.dirty;
+    l.state = CoherenceState::Invalid;
+    l.dirty = false;
+    l.sharedEver = false;
+    return dirty;
+}
+
+void
+SetAssocCache::forEachLine(
+    const std::function<void(std::uint64_t, CoherenceState, bool)> &fn)
+    const
+{
+    for (const Line &l : lines_)
+        if (l.state != CoherenceState::Invalid)
+            fn(l.tag, l.state, l.dirty);
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &l : lines_)
+        if (l.state != CoherenceState::Invalid)
+            ++n;
+    return n;
+}
+
+} // namespace bds

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and per-line
+ * MESI-style coherence state.
+ *
+ * One class serves every level: the per-core L1I/L1D/L2 and the
+ * shared L3. Lines carry a coherence state (used by the private
+ * levels), a dirty bit, and a "shared ever" bit (used by the L3 to
+ * implement the paper's LOAD_HIT_L3 metric, which counts loads that
+ * hit *unshared* lines in the L3).
+ */
+
+#ifndef BDS_UARCH_CACHE_H
+#define BDS_UARCH_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bds {
+
+/** Coherence state of a cached line. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024; ///< total capacity
+    std::uint32_t assoc = 8;             ///< ways per set
+    std::uint32_t lineBytes = 64;        ///< line size (power of two)
+};
+
+/** Result of a cache lookup. */
+struct CacheLookup
+{
+    bool hit = false;                   ///< line present and valid
+    CoherenceState state = CoherenceState::Invalid; ///< state if hit
+};
+
+/** A line evicted by an insert. */
+struct Eviction
+{
+    bool valid = false;     ///< an eviction actually happened
+    std::uint64_t lineAddr = 0; ///< line address of the victim
+    bool dirty = false;     ///< victim held modified data
+};
+
+/**
+ * Set-associative cache with true-LRU replacement.
+ *
+ * Addresses are byte addresses; the cache internally maps them to
+ * line addresses. All statistics live in the owner — this class only
+ * models state.
+ */
+class SetAssocCache
+{
+  public:
+    /** Build from a geometry; size/assoc/line must divide evenly. */
+    explicit SetAssocCache(const CacheConfig &cfg);
+
+    /** Probe without updating LRU. */
+    CacheLookup probe(std::uint64_t addr) const;
+
+    /** Probe and update LRU on hit. */
+    CacheLookup access(std::uint64_t addr);
+
+    /**
+     * Insert a line (must not already be present), evicting the LRU
+     * way if the set is full.
+     * @param addr Byte address within the line.
+     * @param state Initial coherence state.
+     * @return The eviction, if any.
+     */
+    Eviction insert(std::uint64_t addr, CoherenceState state);
+
+    /** Change the coherence state of a present line. */
+    void setState(std::uint64_t addr, CoherenceState state);
+
+    /** Mark a present line dirty. */
+    void setDirty(std::uint64_t addr);
+
+    /** Mark/query the L3 "touched by more than one core" flag. */
+    void markShared(std::uint64_t addr);
+
+    /** True when the line is present and was marked shared. */
+    bool isMarkedShared(std::uint64_t addr) const;
+
+    /** Remove a line if present; returns whether it was dirty. */
+    bool invalidate(std::uint64_t addr);
+
+    /** Number of valid lines currently held. */
+    std::uint64_t validLines() const;
+
+    /**
+     * Visit every valid line.
+     * @param fn Callback receiving (line address, state, dirty).
+     */
+    void forEachLine(
+        const std::function<void(std::uint64_t, CoherenceState, bool)>
+            &fn) const;
+
+    /** Geometry. */
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Line address (addr / lineBytes). */
+    std::uint64_t lineAddr(std::uint64_t addr) const
+    {
+        return addr / cfg_.lineBytes;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        CoherenceState state = CoherenceState::Invalid;
+        bool dirty = false;
+        bool sharedEver = false;
+    };
+
+    /** Find the way holding the line, or -1. */
+    int findWay(std::uint64_t set, std::uint64_t tag) const;
+
+    Line &lineAt(std::uint64_t set, std::uint32_t way)
+    {
+        return lines_[set * cfg_.assoc + way];
+    }
+
+    const Line &lineAt(std::uint64_t set, std::uint32_t way) const
+    {
+        return lines_[set * cfg_.assoc + way];
+    }
+
+    CacheConfig cfg_;
+    std::uint64_t numSets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_CACHE_H

@@ -1,0 +1,21 @@
+#include "uarch/config.h"
+
+namespace bds {
+
+NodeConfig
+NodeConfig::westmere()
+{
+    NodeConfig cfg;
+    cfg.numCores = 6;
+    return cfg;
+}
+
+NodeConfig
+NodeConfig::defaultSim()
+{
+    NodeConfig cfg;
+    cfg.numCores = 4;
+    return cfg;
+}
+
+} // namespace bds

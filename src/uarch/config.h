@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulated node configuration.
+ *
+ * Geometry defaults follow the paper's Table III (Intel Xeon E5645,
+ * Westmere): split 32 KB L1s, 256 KB private L2, 12 MB shared L3,
+ * 64-entry L1 TLBs with a 512-entry STLB. Latencies and the cycle-
+ * accounting coefficients are the approximate model documented in
+ * DESIGN.md.
+ */
+
+#ifndef BDS_UARCH_CONFIG_H
+#define BDS_UARCH_CONFIG_H
+
+#include "uarch/cache.h"
+#include "uarch/tlb.h"
+
+namespace bds {
+
+/** Full configuration of one simulated node. */
+struct NodeConfig
+{
+    /** Number of cores sharing the L3. */
+    unsigned numCores = 4;
+
+    CacheConfig l1i{32 * 1024, 4, 64};        ///< L1 instruction cache
+    CacheConfig l1d{32 * 1024, 8, 64};        ///< L1 data cache
+    CacheConfig l2{256 * 1024, 8, 64};        ///< private unified L2
+    CacheConfig l3{12 * 1024 * 1024, 16, 64}; ///< shared L3
+
+    TlbConfig itlb{64, 4};   ///< L1 instruction TLB
+    TlbConfig dtlb{64, 4};   ///< L1 data TLB
+    TlbConfig stlb{512, 4};  ///< second-level TLB
+    std::uint32_t pageBytes = 4096; ///< page size
+
+    double l2Latency = 10.0;   ///< L1 miss, L2 hit (cycles)
+    double l3Latency = 38.0;   ///< L2 miss, L3 hit (cycles)
+    double memLatency = 200.0; ///< LLC miss (cycles)
+    double c2cLatency = 45.0;  ///< cache-to-cache transfer (cycles)
+    double walkLatency = 30.0; ///< TLB page walk (cycles)
+    double stlbHitPenalty = 7.0; ///< L1 TLB miss that hits STLB
+
+    double branchMissPenalty = 15.0; ///< pipeline redirect (cycles)
+    unsigned issueWidth = 4;         ///< uops issued per cycle
+    unsigned historyBits = 12;       ///< gshare history length
+    unsigned lfbEntries = 10;        ///< line fill buffers per core
+
+    /**
+     * The paper's experimental machine: one socket's worth of the
+     * dual E5645 node (6 cores, Table III geometry).
+     */
+    static NodeConfig westmere();
+
+    /**
+     * Default simulation target: Table III geometry with 4 cores, the
+     * tests/bench default (smaller probe cost, same mechanisms).
+     */
+    static NodeConfig defaultSim();
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_CONFIG_H

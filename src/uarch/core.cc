@@ -1,0 +1,61 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+namespace bds {
+
+CoreModel::CoreModel(const NodeConfig &cfg)
+    : l1i(cfg.l1i), l1d(cfg.l1d), l2(cfg.l2),
+      tlb(cfg.itlb, cfg.dtlb, cfg.stlb, cfg.pageBytes),
+      bp(cfg.historyBits),
+      lfbEntries_(cfg.lfbEntries),
+      missWindowUops_(cfg.memLatency * cfg.issueWidth)
+{
+}
+
+bool
+CoreModel::lfbInFlight(std::uint64_t line_addr, double now)
+{
+    while (!lfb_.empty() && lfb_.front().ready <= now)
+        lfb_.pop_front();
+    for (const LfbEntry &e : lfb_)
+        if (e.line == line_addr && e.ready > now)
+            return true;
+    return false;
+}
+
+void
+CoreModel::lfbAllocate(std::uint64_t line_addr, double ready)
+{
+    lfb_.push_back(LfbEntry{line_addr, ready});
+    if (lfb_.size() > lfbEntries_)
+        lfb_.pop_front();
+}
+
+double
+CoreModel::accountLlcMiss(bool dependent)
+{
+    // Overlap is judged in *issue* (uop) time, not stalled wall-clock
+    // time: an OoO core keeps issuing independent misses while an
+    // earlier one is outstanding. A miss occupies the window of uops
+    // the fill latency could have covered.
+    double now = static_cast<double>(pmc.uops);
+    while (!outstanding_.empty() && outstanding_.front() <= now)
+        outstanding_.pop_front();
+
+    double overlap;
+    if (dependent || outstanding_.empty()) {
+        overlap = 1.0;
+    } else {
+        overlap = std::min<double>(outstanding_.size() + 1, lfbEntries_);
+    }
+    outstanding_.push_back(now + missWindowUops_);
+    if (outstanding_.size() > lfbEntries_)
+        outstanding_.pop_front();
+
+    pmc.mlpSum += overlap;
+    ++pmc.mlpSamples;
+    return overlap;
+}
+
+} // namespace bds

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One simulated core: private caches, TLBs, branch predictor, line
+ * fill buffers, and the approximate cycle-accounting state.
+ *
+ * The cross-core data path (L3, coherence, offcore accounting) lives
+ * in SystemModel; CoreModel owns everything private to a core.
+ */
+
+#ifndef BDS_UARCH_CORE_H
+#define BDS_UARCH_CORE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "uarch/branch.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/pmc.h"
+#include "uarch/tlb.h"
+
+namespace bds {
+
+/** Private state of one simulated core. */
+class CoreModel
+{
+  public:
+    /** Build from the node configuration. */
+    explicit CoreModel(const NodeConfig &cfg);
+
+    SetAssocCache l1i;        ///< L1 instruction cache
+    SetAssocCache l1d;        ///< L1 data cache
+    SetAssocCache l2;         ///< private unified L2
+    TwoLevelTlb tlb;          ///< two-level TLB
+    GshareBranchPredictor bp; ///< branch predictor
+    PmcCounters pmc;          ///< this core's counters
+
+    /**
+     * Line-fill-buffer probe: true when the line has an outstanding
+     * fill that has not completed by `now` (the access merges into
+     * the in-flight fill). Expired entries are pruned.
+     */
+    bool lfbInFlight(std::uint64_t line_addr, double now);
+
+    /**
+     * Record an outstanding fill completing at `ready` (cycles).
+     * Oldest entry is dropped when the buffers are full.
+     */
+    void lfbAllocate(std::uint64_t line_addr, double ready);
+
+    /**
+     * Account one LLC miss in the MLP model.
+     * @param dependent True for pointer-chase loads that cannot
+     *        overlap the previous miss.
+     * @return The overlap degree (>= 1) used to scale the unhidden
+     *         latency.
+     */
+    double accountLlcMiss(bool dependent);
+
+    /** Last instruction-fetch line, to dedup per-line ifetches. */
+    std::uint64_t lastFetchLine = UINT64_MAX;
+
+  private:
+    struct LfbEntry
+    {
+        std::uint64_t line;
+        double ready;
+    };
+
+    unsigned lfbEntries_;
+    std::deque<LfbEntry> lfb_;
+
+    double missWindowUops_; ///< fill-latency window in issue (uop) time
+    std::deque<double> outstanding_; ///< miss-window ends (uop time)
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_CORE_H

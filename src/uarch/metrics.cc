@@ -1,0 +1,188 @@
+#include "uarch/metrics.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+struct MetricInfo
+{
+    const char *name;
+    const char *description;
+};
+
+constexpr MetricInfo kInfo[kNumMetrics] = {
+    {"LOAD", "load operations' percentage"},
+    {"STORE", "store operations' percentage"},
+    {"BRANCH", "branch operations' percentage"},
+    {"INTEGER", "integer operations' percentage"},
+    {"FP", "X87 floating point operations' percentage"},
+    {"SSE FP", "SSE floating point operations' percentage"},
+    {"KERNEL MODE", "ratio of instructions running in kernel mode"},
+    {"USER MODE", "ratio of instructions running in user mode"},
+    {"UOPS TO INS", "ratio of micro operations to instructions"},
+    {"L1I MISS", "L1 instruction cache misses per K instructions"},
+    {"L1I HIT", "L1 instruction cache hits per K instructions"},
+    {"L2 MISS", "L2 cache misses per K instructions"},
+    {"L2 HIT", "L2 cache hits per K instructions"},
+    {"L3 MISS", "L3 cache misses per K instructions"},
+    {"L3 HIT", "L3 cache hits per K instructions"},
+    {"LOAD HIT LFB", "loads missing L1D hitting the line fill buffer "
+                     "per K instructions"},
+    {"LOAD HIT L2", "loads hitting the L2 cache per K instructions"},
+    {"LOAD HIT SIBE", "loads hitting a sibling core's L2 per K "
+                      "instructions"},
+    {"LOAD HIT L3", "loads hitting unshared L3 lines per K instructions"},
+    {"LOAD LLC MISS", "loads missing the L3 per K instructions"},
+    {"ITLB MISS", "all-level instruction TLB misses per K instructions"},
+    {"ITLB CYCLE", "instruction TLB walk cycles over total cycles"},
+    {"DTLB MISS", "all-level data TLB misses per K instructions"},
+    {"DTLB CYCLE", "data TLB walk cycles over total cycles"},
+    {"DATA HIT STLB", "DTLB first-level misses hitting the STLB per K "
+                      "instructions"},
+    {"BR MISS", "branch misprediction ratio"},
+    {"BR EXE TO RE", "executed to retired branch instruction ratio"},
+    {"FETCH STALL", "instruction fetch stall cycles over total cycles"},
+    {"ILD STALL", "instruction length decoder stall cycles over total"},
+    {"DECODER STALL", "decoder stall cycles over total cycles"},
+    {"RAT STALL", "register allocation table stall cycles over total"},
+    {"RESOURCE STALL", "resource-related stall cycles over total"},
+    {"UOPS EXE CYCLE", "cycles with micro-ops executed over total"},
+    {"UOPS STALL", "cycles with no micro-op executed over total"},
+    {"OFFCORE DATA", "share of offcore data requests"},
+    {"OFFCORE CODE", "share of offcore code requests"},
+    {"OFFCORE RFO", "share of offcore requests-for-ownership"},
+    {"OFFCORE WB", "share of offcore data write-backs"},
+    {"SNOOP HIT", "HIT snoop responses per K instructions"},
+    {"SNOOP HITE", "HIT-Exclusive snoop responses per K instructions"},
+    {"SNOOP HITM", "HIT-Modified snoop responses per K instructions"},
+    {"ILP", "instruction level parallelism (IPC)"},
+    {"MLP", "memory level parallelism"},
+    {"INT TO MEM", "integer computation to memory access ratio"},
+    {"FP TO MEM", "floating point computation to memory access ratio"},
+};
+
+double
+safeDiv(double num, double den)
+{
+    return den != 0.0 ? num / den : 0.0;
+}
+
+} // namespace
+
+const char *
+metricName(Metric m)
+{
+    return metricName(static_cast<std::size_t>(m));
+}
+
+const char *
+metricName(std::size_t idx)
+{
+    if (idx >= kNumMetrics)
+        BDS_FATAL("metric index " << idx << " out of range");
+    return kInfo[idx].name;
+}
+
+const char *
+metricDescription(Metric m)
+{
+    return kInfo[static_cast<unsigned>(m)].description;
+}
+
+std::vector<std::string>
+metricNames()
+{
+    std::vector<std::string> out;
+    out.reserve(kNumMetrics);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        out.emplace_back(kInfo[i].name);
+    return out;
+}
+
+MetricVector
+extractMetrics(const PmcCounters &pmc)
+{
+    MetricVector v{};
+    const double ins = static_cast<double>(pmc.instructions);
+    const double per_k = ins > 0.0 ? 1000.0 / ins : 0.0;
+    const double cyc = pmc.cycles;
+    const double mem_acc =
+        static_cast<double>(pmc.loadInstrs + pmc.storeInstrs);
+    const double offcore = static_cast<double>(
+        pmc.offcoreData + pmc.offcoreCode + pmc.offcoreRfo + pmc.offcoreWb);
+
+    auto set = [&v](Metric m, double value) {
+        v[static_cast<std::size_t>(m)] = value;
+    };
+
+    set(Metric::Load, safeDiv(pmc.loadInstrs, ins));
+    set(Metric::Store, safeDiv(pmc.storeInstrs, ins));
+    set(Metric::Branch, safeDiv(pmc.branchInstrs, ins));
+    set(Metric::Integer, safeDiv(pmc.intInstrs, ins));
+    set(Metric::FpX87, safeDiv(pmc.fpInstrs, ins));
+    set(Metric::SseFp, safeDiv(pmc.sseInstrs, ins));
+    set(Metric::KernelMode, safeDiv(pmc.kernelInstrs, ins));
+    set(Metric::UserMode, safeDiv(pmc.userInstrs, ins));
+    set(Metric::UopsToIns, safeDiv(pmc.uops, ins));
+
+    set(Metric::L1iMiss, pmc.l1iMisses * per_k);
+    set(Metric::L1iHit, pmc.l1iHits * per_k);
+    set(Metric::L2Miss, pmc.l2Misses * per_k);
+    set(Metric::L2Hit, pmc.l2Hits * per_k);
+    set(Metric::L3Miss, pmc.l3Misses * per_k);
+    set(Metric::L3Hit, pmc.l3Hits * per_k);
+
+    set(Metric::LoadHitLfb, pmc.loadHitLfb * per_k);
+    set(Metric::LoadHitL2, pmc.loadHitL2 * per_k);
+    set(Metric::LoadHitSibe, pmc.loadHitSibling * per_k);
+    set(Metric::LoadHitL3, pmc.loadHitL3Unshared * per_k);
+    set(Metric::LoadLlcMiss, pmc.loadLlcMiss * per_k);
+
+    set(Metric::ItlbMiss, pmc.itlbWalks * per_k);
+    set(Metric::ItlbCycle, safeDiv(pmc.itlbWalkCycles, cyc));
+    set(Metric::DtlbMiss, pmc.dtlbWalks * per_k);
+    set(Metric::DtlbCycle, safeDiv(pmc.dtlbWalkCycles, cyc));
+    set(Metric::DataHitStlb, pmc.dataHitStlb * per_k);
+
+    set(Metric::BrMiss,
+        safeDiv(pmc.branchesMispredicted, pmc.branchesRetired));
+    set(Metric::BrExeToRe,
+        safeDiv(pmc.branchesExecuted, pmc.branchesRetired));
+
+    set(Metric::FetchStall, safeDiv(pmc.fetchStallCycles, cyc));
+    set(Metric::IldStall, safeDiv(pmc.ildStallCycles, cyc));
+    set(Metric::DecoderStall, safeDiv(pmc.decoderStallCycles, cyc));
+    set(Metric::RatStall, safeDiv(pmc.ratStallCycles, cyc));
+    set(Metric::ResourceStall, safeDiv(pmc.resourceStallCycles, cyc));
+
+    double exe = safeDiv(pmc.uopsExecutedCycles, cyc);
+    set(Metric::UopsExeCycle, exe);
+    set(Metric::UopsStall, std::max(0.0, 1.0 - exe));
+
+    set(Metric::OffcoreData, safeDiv(pmc.offcoreData, offcore));
+    set(Metric::OffcoreCode, safeDiv(pmc.offcoreCode, offcore));
+    set(Metric::OffcoreRfo, safeDiv(pmc.offcoreRfo, offcore));
+    set(Metric::OffcoreWb, safeDiv(pmc.offcoreWb, offcore));
+
+    set(Metric::SnoopHit, pmc.snoopHit * per_k);
+    set(Metric::SnoopHitE, pmc.snoopHitE * per_k);
+    set(Metric::SnoopHitM, pmc.snoopHitM * per_k);
+
+    set(Metric::Ilp, safeDiv(ins, cyc));
+    set(Metric::Mlp,
+        pmc.mlpSamples > 0
+            ? pmc.mlpSum / static_cast<double>(pmc.mlpSamples)
+            : 1.0);
+
+    set(Metric::IntToMem, safeDiv(pmc.intInstrs, mem_acc));
+    set(Metric::FpToMem,
+        safeDiv(static_cast<double>(pmc.fpInstrs + pmc.sseInstrs),
+                mem_acc));
+    return v;
+}
+
+} // namespace bds

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The 45 microarchitecture-level metrics of the paper's Table II,
+ * derived from raw PmcCounters.
+ *
+ * Metric order matches Table II exactly (index = table number - 1),
+ * so factor-loading output lines up with the paper's Figure 4.
+ * Ratios are expressed as fractions (not x100 percentages); PCA is
+ * scale-invariant after z-scoring, so only relative values matter.
+ */
+
+#ifndef BDS_UARCH_METRICS_H
+#define BDS_UARCH_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "uarch/pmc.h"
+
+namespace bds {
+
+/** Number of Table II metrics. */
+constexpr std::size_t kNumMetrics = 45;
+
+/** Table II metric identifiers (index = table number - 1). */
+enum class Metric : unsigned
+{
+    Load = 0,     ///< 1: load instruction share
+    Store,        ///< 2: store instruction share
+    Branch,       ///< 3: branch instruction share
+    Integer,      ///< 4: integer instruction share
+    FpX87,        ///< 5: x87 FP instruction share
+    SseFp,        ///< 6: SSE FP instruction share
+    KernelMode,   ///< 7: kernel-mode instruction ratio
+    UserMode,     ///< 8: user-mode instruction ratio
+    UopsToIns,    ///< 9: uops per instruction
+    L1iMiss,      ///< 10: L1I misses per K instructions
+    L1iHit,       ///< 11: L1I hits per K instructions
+    L2Miss,       ///< 12: L2 misses per K instructions
+    L2Hit,        ///< 13: L2 hits per K instructions
+    L3Miss,       ///< 14: L3 misses per K instructions
+    L3Hit,        ///< 15: L3 hits per K instructions
+    LoadHitLfb,   ///< 16: loads merged into the LFB per K instructions
+    LoadHitL2,    ///< 17: loads hitting own L2 per K instructions
+    LoadHitSibe,  ///< 18: loads hitting a sibling L2 per K instructions
+    LoadHitL3,    ///< 19: loads hitting unshared L3 lines per K instrs
+    LoadLlcMiss,  ///< 20: loads missing the L3 per K instructions
+    ItlbMiss,     ///< 21: ITLB all-level misses per K instructions
+    ItlbCycle,    ///< 22: ITLB walk cycle share
+    DtlbMiss,     ///< 23: DTLB all-level misses per K instructions
+    DtlbCycle,    ///< 24: DTLB walk cycle share
+    DataHitStlb,  ///< 25: DTLB L1 misses hitting STLB per K instrs
+    BrMiss,       ///< 26: branch misprediction ratio
+    BrExeToRe,    ///< 27: executed-to-retired branch ratio
+    FetchStall,   ///< 28: instruction fetch stall cycle share
+    IldStall,     ///< 29: instruction length decoder stall share
+    DecoderStall, ///< 30: decoder stall cycle share
+    RatStall,     ///< 31: register allocation table stall share
+    ResourceStall,///< 32: resource-related stall cycle share
+    UopsExeCycle, ///< 33: cycles with uops executing, share
+    UopsStall,    ///< 34: cycles with no uop executed, share
+    OffcoreData,  ///< 35: offcore data request share
+    OffcoreCode,  ///< 36: offcore code request share
+    OffcoreRfo,   ///< 37: offcore RFO request share
+    OffcoreWb,    ///< 38: offcore write-back share
+    SnoopHit,     ///< 39: HIT snoop responses per K instructions
+    SnoopHitE,    ///< 40: HIT-E snoop responses per K instructions
+    SnoopHitM,    ///< 41: HIT-M snoop responses per K instructions
+    Ilp,          ///< 42: instructions per cycle
+    Mlp,          ///< 43: mean outstanding-miss overlap
+    IntToMem,     ///< 44: integer ops per memory access
+    FpToMem,      ///< 45: FP ops per memory access
+};
+
+/** All metrics in Table II order. */
+using MetricVector = std::array<double, kNumMetrics>;
+
+/** Short metric name as printed in the paper ("L3 MISS", ...). */
+const char *metricName(Metric m);
+
+/** Short metric name by index. */
+const char *metricName(std::size_t idx);
+
+/** One-line description (Table II's right column). */
+const char *metricDescription(Metric m);
+
+/** All 45 names in order. */
+std::vector<std::string> metricNames();
+
+/** Derive the 45 metrics from raw counters. */
+MetricVector extractMetrics(const PmcCounters &pmc);
+
+} // namespace bds
+
+#endif // BDS_UARCH_METRICS_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The full node model: N cores around a shared L3 with snoop-based
+ * coherence, offcore-request accounting, and the approximate cycle
+ * model. Implements OpSink, so workloads drive it directly through
+ * the instrumentation runtime.
+ *
+ * Data-path summary (documented in DESIGN.md):
+ *  - loads:  L1D -> LFB -> L2 -> (snoop siblings, L3) -> memory
+ *  - stores: write-allocate with MESI ownership (RFO on S/miss)
+ *  - code:   L1I -> L2 -> L3 -> memory, per fetched line
+ *  - L1s are inclusive in the private L2; L2 evictions invalidate L1
+ *    copies and write dirty data back (offcore WB)
+ *  - one snoop response is recorded per offcore request, using the
+ *    most severe sibling state (M > E > S)
+ */
+
+#ifndef BDS_UARCH_SYSTEM_H
+#define BDS_UARCH_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "trace/microop.h"
+#include "trace/recorder.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/core.h"
+#include "uarch/pmc.h"
+
+namespace bds {
+
+/** One simulated multicore node. */
+class SystemModel : public OpSink
+{
+  public:
+    /** Build a node from a configuration. */
+    explicit SystemModel(const NodeConfig &cfg);
+
+    /** Execute one micro-op on the given core. */
+    void consume(unsigned core, const MicroOp &op) override;
+
+    /** Node configuration. */
+    const NodeConfig &config() const { return cfg_; }
+
+    /** Number of cores. */
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** Counters of one core. */
+    const PmcCounters &coreCounters(unsigned core) const;
+
+    /** Sum of all cores' counters. */
+    PmcCounters aggregateCounters() const;
+
+    /**
+     * Zero all counters while keeping the microarchitectural state
+     * (caches, TLBs, predictor) warm — the paper's ramp-up protocol.
+     */
+    void resetCounters();
+
+    /**
+     * Model a device DMA write into memory (e.g., a disk or NIC
+     * filling a page-cache buffer): every cached copy of the touched
+     * lines is invalidated, so subsequent reads pay real DRAM
+     * accesses. This is what makes I/O-bound stacks generate memory
+     * traffic even when their buffers are reused.
+     */
+    void dmaFill(std::uint64_t addr, std::uint64_t bytes);
+
+    /**
+     * Attach a recorder: every subsequent micro-op and DMA fill is
+     * appended to it (pass nullptr to detach). Replaying such a
+     * trace into an identically configured fresh SystemModel
+     * reproduces the counters exactly; replaying into a different
+     * geometry is the paper's trace-driven methodology.
+     */
+    void attachRecorder(TraceRecorder *rec) { recorder_ = rec; }
+
+    /** Mutable core access (tests and white-box benches). */
+    CoreModel &core(unsigned idx);
+
+    /** The shared L3 (tests). */
+    SetAssocCache &l3() { return l3_; }
+
+    /**
+     * Verify the coherence and inclusion invariants; panics with a
+     * description on violation. Checked properties:
+     *  - a line Modified or Exclusive in one core's L2 is not valid
+     *    in any other core's private caches;
+     *  - at most one core holds any line in M/E state;
+     *  - every line in a core's L1I/L1D is also in that core's L2
+     *    (inclusion), with an L1 state no stronger than the L2's.
+     */
+    void checkInvariants() const;
+
+  private:
+    /** Most severe sibling coherence state for a line. */
+    struct SnoopResult
+    {
+        CoherenceState state = CoherenceState::Invalid; ///< best state
+        int owner = -1; ///< core holding it at that state
+    };
+
+    /** Probe all cores but `requester` for the line. */
+    SnoopResult snoop(unsigned requester, std::uint64_t addr) const;
+
+    /**
+     * Downgrade/invalidate sibling copies after a snoop hit and
+     * record the snoop response in the requester's counters.
+     */
+    void settleSnoop(unsigned requester, std::uint64_t addr,
+                     const SnoopResult &sr, bool for_ownership);
+
+    /** Outcome of an offcore fill. */
+    struct FillOutcome
+    {
+        double latency = 0.0;      ///< exposed fill latency
+        bool fromSibling = false;  ///< served cache-to-cache
+        bool l3Hit = false;        ///< L3 lookup hit
+        bool memAccess = false;    ///< went to DRAM
+        CoherenceState fillState = CoherenceState::Exclusive;
+    };
+
+    /**
+     * Service a private-hierarchy miss: snoop, L3 lookup, memory.
+     * Updates offcore/snoop/L3 counters; does NOT insert into the
+     * requester's private caches (the caller does).
+     */
+    FillOutcome fillLine(unsigned requester, std::uint64_t addr,
+                         bool for_ownership, bool is_code,
+                         bool dependent_load);
+
+    /**
+     * Insert into L2 (handling eviction + inclusion) and optionally
+     * into an L1. Load fills skip the L1D install — the line sits in
+     * the LFB until a later touch pulls it from the L2 — which is
+     * what makes LOAD HIT LFB observable.
+     */
+    void installLine(unsigned core_id, std::uint64_t addr,
+                     CoherenceState state, bool is_code,
+                     bool install_l1 = true);
+
+    /** Handle an instruction fetch for the op's ip. */
+    void doFetch(unsigned core_id, const MicroOp &op);
+
+    void doLoad(unsigned core_id, const MicroOp &op);
+    void doStore(unsigned core_id, const MicroOp &op);
+    void doBranch(unsigned core_id, const MicroOp &op);
+
+    /** Data-TLB translation with stall accounting. */
+    void translateData(unsigned core_id, std::uint64_t addr);
+
+    NodeConfig cfg_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    SetAssocCache l3_;
+    double invIssueWidth_;
+    TraceRecorder *recorder_ = nullptr;
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_SYSTEM_H

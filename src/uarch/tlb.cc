@@ -1,0 +1,92 @@
+#include "uarch/tlb.h"
+
+#include "common/log.h"
+
+namespace bds {
+
+TlbArray::TlbArray(const TlbConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.entries == 0 || cfg_.assoc == 0 ||
+        cfg_.entries % cfg_.assoc != 0)
+        BDS_FATAL("TLB geometry does not divide evenly");
+    numSets_ = cfg_.entries / cfg_.assoc;
+    entries_.resize(cfg_.entries);
+}
+
+bool
+TlbArray::access(std::uint64_t page)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = entries_[set * cfg_.assoc + w];
+        if (e.valid && e.page == page) {
+            e.lru = ++tick_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TlbArray::insert(std::uint64_t page)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = entries_[set * cfg_.assoc + w];
+        if (!e.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (e.lru < oldest) {
+            oldest = e.lru;
+            victim = w;
+        }
+    }
+    Entry &e = entries_[set * cfg_.assoc + victim];
+    e.page = page;
+    e.valid = true;
+    e.lru = ++tick_;
+}
+
+TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1i, const TlbConfig &l1d,
+                         const TlbConfig &stlb, std::uint32_t page_bytes)
+    : pageShift_(0), itlb_(l1i), dtlb_(l1d), stlb_(stlb)
+{
+    if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0)
+        BDS_FATAL("page size must be a power of two");
+    while ((1u << pageShift_) < page_bytes)
+        ++pageShift_;
+}
+
+TlbOutcome
+TwoLevelTlb::translate(TlbArray &l1, std::uint64_t addr)
+{
+    std::uint64_t page = addr >> pageShift_;
+    if (l1.access(page))
+        return TlbOutcome::L1Hit;
+    if (stlb_.access(page)) {
+        l1.insert(page);
+        return TlbOutcome::StlbHit;
+    }
+    stlb_.insert(page);
+    l1.insert(page);
+    return TlbOutcome::Walk;
+}
+
+TlbOutcome
+TwoLevelTlb::translateCode(std::uint64_t addr)
+{
+    return translate(itlb_, addr);
+}
+
+TlbOutcome
+TwoLevelTlb::translateData(std::uint64_t addr)
+{
+    return translate(dtlb_, addr);
+}
+
+} // namespace bds

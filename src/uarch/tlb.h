@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-level TLB model matching the paper's Westmere (Table III):
+ * split 64-entry 4-way L1 ITLB/DTLB and a shared 512-entry 4-way
+ * second-level TLB (STLB), 4 KB pages, with a fixed page-walk cost.
+ */
+
+#ifndef BDS_UARCH_TLB_H
+#define BDS_UARCH_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bds {
+
+/** Outcome of one TLB translation. */
+enum class TlbOutcome : std::uint8_t
+{
+    L1Hit,   ///< hit in the first-level TLB
+    StlbHit, ///< missed L1, hit the shared second level
+    Walk,    ///< missed both levels — page walk
+};
+
+/** Geometry of one TLB level. */
+struct TlbConfig
+{
+    std::uint32_t entries = 64; ///< total entries
+    std::uint32_t assoc = 4;    ///< ways per set
+};
+
+/** One set-associative TLB level (LRU). */
+class TlbArray
+{
+  public:
+    explicit TlbArray(const TlbConfig &cfg);
+
+    /** Probe-and-update: true on hit. */
+    bool access(std::uint64_t page);
+
+    /** Install a translation, evicting LRU if needed. */
+    void insert(std::uint64_t page);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t page = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    TlbConfig cfg_;
+    std::uint32_t numSets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * One core's two-level TLB: private L1 I/D arrays in front of a
+ * shared-per-core STLB (Westmere's STLB is per core; "shared" refers
+ * to instructions and data sharing it).
+ */
+class TwoLevelTlb
+{
+  public:
+    /**
+     * @param l1i First-level instruction TLB geometry.
+     * @param l1d First-level data TLB geometry.
+     * @param stlb Second-level TLB geometry.
+     * @param page_bytes Page size (power of two).
+     */
+    TwoLevelTlb(const TlbConfig &l1i, const TlbConfig &l1d,
+                const TlbConfig &stlb, std::uint32_t page_bytes = 4096);
+
+    /** Translate an instruction address. */
+    TlbOutcome translateCode(std::uint64_t addr);
+
+    /** Translate a data address. */
+    TlbOutcome translateData(std::uint64_t addr);
+
+  private:
+    TlbOutcome translate(TlbArray &l1, std::uint64_t addr);
+
+    std::uint32_t pageShift_;
+    TlbArray itlb_;
+    TlbArray dtlb_;
+    TlbArray stlb_;
+};
+
+} // namespace bds
+
+#endif // BDS_UARCH_TLB_H

@@ -1,0 +1,153 @@
+#include "workloads/datagen.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+ScaleProfile
+ScaleProfile::quick()
+{
+    ScaleProfile p;
+    p.unitRecords = 12000;
+    p.partitions = 4;
+    p.kmeansIterations = 2;
+    p.pagerankIterations = 2;
+    p.kmeansClusters = 4;
+    return p;
+}
+
+ScaleProfile
+ScaleProfile::standard()
+{
+    return ScaleProfile{};
+}
+
+ScaleProfile
+ScaleProfile::full()
+{
+    ScaleProfile p;
+    p.unitRecords = 400000;
+    p.partitions = 4;
+    p.kmeansIterations = 5;
+    p.pagerankIterations = 4;
+    p.kmeansClusters = 8;
+    return p;
+}
+
+Dataset
+makeTextCorpus(AddressSpace &space, std::uint64_t records,
+               std::uint64_t vocabulary, unsigned parts,
+               unsigned num_classes, std::uint64_t seed)
+{
+    if (vocabulary == 0 || parts == 0 || num_classes == 0)
+        BDS_FATAL("invalid corpus parameters");
+    Pcg32 rng(seed, 0x7e47ULL);
+    ZipfSampler words(vocabulary, 1.0); // natural-language skew
+    Dataset ds("text-corpus");
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        host.reserve(records / parts);
+        for (std::uint64_t i = 0; i < records / parts; ++i) {
+            std::uint64_t word = words.sample(rng);
+            std::uint64_t cls = rng.nextBounded(num_classes);
+            host.push_back(Record{word, (rng.next64() << 8) | cls});
+        }
+        ds.addPartition(space, std::move(host), 160);
+    }
+    return ds;
+}
+
+Dataset
+makeTable(AddressSpace &space, std::uint64_t rows,
+          std::uint64_t key_space, unsigned parts,
+          std::uint32_t row_bytes, std::uint64_t seed)
+{
+    if (key_space == 0 || parts == 0)
+        BDS_FATAL("invalid table parameters");
+    Pcg32 rng(seed, 0x7ab1eULL);
+    Dataset ds("table");
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        host.reserve(rows / parts);
+        for (std::uint64_t i = 0; i < rows / parts; ++i)
+            host.push_back(
+                Record{rng.next64() % key_space, rng.next64() >> 1});
+        ds.addPartition(space, std::move(host), row_bytes);
+    }
+    return ds;
+}
+
+Dataset
+makeGraph(AddressSpace &space, std::uint64_t edges,
+          std::uint64_t vertices, unsigned parts, std::uint64_t seed)
+{
+    if (vertices == 0 || parts == 0)
+        BDS_FATAL("invalid graph parameters");
+    Pcg32 rng(seed, 0x6a4fULL);
+    ZipfSampler popular(vertices, 0.9); // preferential attachment
+    Dataset ds("graph-edges");
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        host.reserve(edges / parts);
+        for (std::uint64_t i = 0; i < edges / parts; ++i) {
+            std::uint64_t src = rng.next64() % vertices;
+            std::uint64_t dst = popular.sample(rng);
+            host.push_back(Record{src, dst});
+        }
+        ds.addPartition(space, std::move(host), 48);
+    }
+    return ds;
+}
+
+std::uint64_t
+packPoint(double x, double y)
+{
+    auto fix = [](double v) {
+        return static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(v * 65536.0) & 0xffffffffLL);
+    };
+    return (static_cast<std::uint64_t>(fix(x)) << 32) | fix(y);
+}
+
+double
+pointX(std::uint64_t packed)
+{
+    return static_cast<double>(
+               static_cast<std::int32_t>(packed >> 32)) / 65536.0;
+}
+
+double
+pointY(std::uint64_t packed)
+{
+    return static_cast<double>(
+               static_cast<std::int32_t>(packed & 0xffffffff)) / 65536.0;
+}
+
+Dataset
+makePoints(AddressSpace &space, std::uint64_t points, unsigned clusters,
+           unsigned parts, std::uint64_t seed)
+{
+    if (clusters == 0 || parts == 0)
+        BDS_FATAL("invalid points parameters");
+    Pcg32 rng(seed, 0x90127ULL);
+    Dataset ds("points");
+    std::uint64_t id = 0;
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        host.reserve(points / parts);
+        for (std::uint64_t i = 0; i < points / parts; ++i) {
+            unsigned c = rng.nextBounded(clusters);
+            double cx = 100.0 * static_cast<double>(c % 4);
+            double cy = 100.0 * static_cast<double>(c / 4);
+            double x = cx + 4.0 * rng.nextGaussian();
+            double y = cy + 4.0 * rng.nextGaussian();
+            host.push_back(Record{id++, packPoint(x, y)});
+        }
+        ds.addPartition(space, std::move(host), 128);
+    }
+    return ds;
+}
+
+} // namespace bds

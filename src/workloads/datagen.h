@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic data generator suite — the BDGS analogue.
+ *
+ * The paper drives its workloads with BigDataBench inputs generated
+ * by BDGS (Zipf text, graphs, e-commerce tables). These generators
+ * produce the scaled equivalents as Datasets: real host values the
+ * algorithms compute on, paired with simulated heap extents whose
+ * relative sizes follow Table I's problem-size ordering.
+ */
+
+#ifndef BDS_WORKLOADS_DATAGEN_H
+#define BDS_WORKLOADS_DATAGEN_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stack/dataset.h"
+
+namespace bds {
+
+/**
+ * Simulation scale. `unitRecords` is the record count of a 1.0-sized
+ * workload; each workload's input is a Table-I-derived multiple.
+ */
+struct ScaleProfile
+{
+    std::uint64_t unitRecords = 120000; ///< records at relative size 1.0
+    unsigned partitions = 4;            ///< input splits / RDD partitions
+    unsigned kmeansIterations = 4;      ///< K-means training rounds
+    unsigned pagerankIterations = 3;    ///< PageRank power iterations
+    unsigned kmeansClusters = 8;        ///< K in the K-means workload
+
+    /** Milliseconds-scale runs for unit tests. */
+    static ScaleProfile quick();
+
+    /** The default characterization scale (seconds per workload). */
+    static ScaleProfile standard();
+
+    /** Larger runs for headline benches. */
+    static ScaleProfile full();
+};
+
+/**
+ * Zipf text corpus: each record is one token occurrence.
+ * Record.key = word id (Zipf rank over `vocabulary`), Record.value =
+ * a class label in the low bits plus random content above.
+ */
+Dataset makeTextCorpus(AddressSpace &space, std::uint64_t records,
+                       std::uint64_t vocabulary, unsigned parts,
+                       unsigned num_classes, std::uint64_t seed);
+
+/**
+ * E-commerce-style table. Record.key = foreign key in [0,
+ * key_space); Record.value = packed columns (uniform random).
+ * Serialized rows are `row_bytes` wide.
+ */
+Dataset makeTable(AddressSpace &space, std::uint64_t rows,
+                  std::uint64_t key_space, unsigned parts,
+                  std::uint32_t row_bytes, std::uint64_t seed);
+
+/**
+ * Edge list of a scale-free-ish directed graph over `vertices`
+ * vertices: destinations are Zipf-popular, sources uniform.
+ * Record.key = source vertex, Record.value = destination vertex.
+ */
+Dataset makeGraph(AddressSpace &space, std::uint64_t edges,
+                  std::uint64_t vertices, unsigned parts,
+                  std::uint64_t seed);
+
+/**
+ * 2-D points around `clusters` well-separated centers for K-means.
+ * Record.key = point id; Record.value = packed fixed-point (x, y).
+ */
+Dataset makePoints(AddressSpace &space, std::uint64_t points,
+                   unsigned clusters, unsigned parts,
+                   std::uint64_t seed);
+
+/** Pack two 16.16 fixed-point coordinates into a record value. */
+std::uint64_t packPoint(double x, double y);
+
+/** Unpack the x coordinate of a packed point. */
+double pointX(std::uint64_t packed);
+
+/** Unpack the y coordinate of a packed point. */
+double pointY(std::uint64_t packed);
+
+} // namespace bds
+
+#endif // BDS_WORKLOADS_DATAGEN_H

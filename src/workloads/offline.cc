@@ -1,0 +1,373 @@
+#include "workloads/offline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "workloads/datagen.h"
+
+namespace bds {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Record size of a dataset (for whole-record scans). */
+std::uint32_t
+recordBytesOf(const Dataset &ds)
+{
+    return ds.partitions().empty() ? 64
+                                   : ds.partitions()[0].ext.recordBytes;
+}
+
+/** Deserialize a record: one load per cache line of its bytes. */
+void
+touchRecord(ExecContext &ctx, std::uint64_t payload,
+            std::uint32_t record_bytes)
+{
+    for (std::uint64_t off = 0; off < record_bytes; off += 64)
+        ctx.load(payload + off);
+}
+
+} // namespace
+
+OfflineWorkloads::OfflineWorkloads(StackEngine &engine)
+    : eng_(engine), user_(engine.space(), Region::UserCode)
+{
+    sortMap_ = user_.defineFunction(96);
+    sortReduce_ = user_.defineFunction(96);
+    wcMap_ = user_.defineFunction(160);
+    wcReduce_ = user_.defineFunction(96);
+    grepMap_ = user_.defineFunction(256);
+    nbTrainMap_ = user_.defineFunction(160);
+    nbTrainReduce_ = user_.defineFunction(96);
+    nbClassifyMap_ = user_.defineFunction(320);
+    kmMap_ = user_.defineFunction(256);
+    kmReduce_ = user_.defineFunction(160);
+    prMap_ = user_.defineFunction(160);
+    prReduce_ = user_.defineFunction(128);
+}
+
+Dataset
+OfflineWorkloads::runSort(const Dataset &input)
+{
+    JobSpec job;
+    job.name = eng_.name() + "-Sort";
+    job.input = &input;
+    job.mapFn = sortMap_;
+    job.reduceFn = sortReduce_;
+    job.numReducers = eng_.numCores();
+    job.requiresSort = true;
+    const std::uint32_t rec_bytes = recordBytesOf(input);
+    job.map = [rec_bytes](ExecContext &ctx, const Record &r,
+                          std::uint64_t payload, Emitter &out) {
+        touchRecord(ctx, payload, rec_bytes);
+        out.emit(ctx, r.key, r.value);
+    };
+    job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                    const std::vector<std::uint64_t> &values,
+                    Emitter &out) {
+        for (std::uint64_t v : values) {
+            ctx.intOps(1);
+            out.emit(ctx, key, v);
+        }
+    };
+    return eng_.runJob(job);
+}
+
+Dataset
+OfflineWorkloads::runWordCount(const Dataset &corpus)
+{
+    JobSpec job;
+    job.name = eng_.name() + "-WordCount";
+    job.input = &corpus;
+    job.mapFn = wcMap_;
+    job.reduceFn = wcReduce_;
+    job.numReducers = eng_.numCores();
+    const std::uint32_t rec_bytes = recordBytesOf(corpus);
+    job.map = [rec_bytes](ExecContext &ctx, const Record &r,
+                          std::uint64_t payload, Emitter &out) {
+        // Tokenize-and-hash: scan the line, hash the token.
+        touchRecord(ctx, payload, rec_bytes);
+        ctx.intOps(4);
+        ctx.branch((r.key & 1) != 0);
+        out.emit(ctx, r.key, 1);
+    };
+    job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                    const std::vector<std::uint64_t> &values,
+                    Emitter &out) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : values) {
+            ctx.intOps(1);
+            sum += v;
+        }
+        out.emit(ctx, key, sum);
+    };
+    return eng_.runJob(job);
+}
+
+Dataset
+OfflineWorkloads::runGrep(const Dataset &corpus)
+{
+    JobSpec job;
+    job.name = eng_.name() + "-Grep";
+    job.input = &corpus;
+    job.mapFn = grepMap_;
+    job.mapOnly = true;
+    const std::uint32_t rec_bytes = recordBytesOf(corpus);
+    job.map = [rec_bytes](ExecContext &ctx, const Record &r,
+                          std::uint64_t payload, Emitter &out) {
+        // Scan the whole line for the pattern (per-32-byte probes
+        // with a data-dependent early exit).
+        bool match = (mix64(r.value) % 1000) < 50;
+        for (unsigned off = 0; off < rec_bytes; off += 32) {
+            ctx.load(payload + off);
+            ctx.intOps(2);
+            ctx.branch(!match && off + 32 < rec_bytes);
+            if (match)
+                break;
+        }
+        if (match)
+            out.emit(ctx, r.key, r.value);
+    };
+    return eng_.runJob(job);
+}
+
+Dataset
+OfflineWorkloads::runNaiveBayes(const Dataset &corpus, unsigned classes,
+                                std::uint64_t vocabulary)
+{
+    if (classes == 0 || vocabulary == 0)
+        BDS_FATAL("naive bayes needs classes and vocabulary");
+
+    // ---- pass 1: count (class, word) co-occurrences ----
+    JobSpec train;
+    train.name = eng_.name() + "-Bayes.train";
+    train.input = &corpus;
+    train.mapFn = nbTrainMap_;
+    train.reduceFn = nbTrainReduce_;
+    train.numReducers = eng_.numCores();
+    const std::uint32_t rec_bytes = recordBytesOf(corpus);
+    train.map = [rec_bytes](ExecContext &ctx, const Record &r,
+                            std::uint64_t payload, Emitter &out) {
+        touchRecord(ctx, payload, rec_bytes);
+        ctx.intOps(3);
+        std::uint64_t cls = r.value & 0xff;
+        out.emit(ctx, (cls << 40) | r.key, 1);
+    };
+    train.reduce = [](ExecContext &ctx, std::uint64_t key,
+                      const std::vector<std::uint64_t> &values,
+                      Emitter &out) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : values) {
+            ctx.intOps(1);
+            sum += v;
+        }
+        out.emit(ctx, key, sum);
+    };
+    Dataset model_ds = eng_.runJob(train);
+
+    // Build the host model and give it a simulated residence.
+    std::unordered_map<std::uint64_t, std::uint64_t> model;
+    for (const auto &p : model_ds.partitions())
+        for (const Record &r : p.host)
+            model[r.key] = r.value;
+    SimExtent model_ext;
+    model_ext.recordBytes = 8;
+    model_ext.count = std::max<std::uint64_t>(classes * vocabulary, 16);
+    model_ext.base = eng_.space().allocate(
+        Region::Heap, model_ext.count * 8 + 64);
+
+    // ---- pass 2: classify every record against the model ----
+    JobSpec classify;
+    classify.name = eng_.name() + "-Bayes.classify";
+    classify.input = &corpus;
+    classify.mapFn = nbClassifyMap_;
+    classify.mapOnly = true;
+    classify.map = [classes, vocabulary, model_ext, &model, rec_bytes](
+                       ExecContext &ctx, const Record &r,
+                       std::uint64_t payload, Emitter &out) {
+        touchRecord(ctx, payload, rec_bytes);
+        std::uint64_t best_cls = 0;
+        double best_score = -1e300;
+        for (unsigned c = 0; c < classes; ++c) {
+            // Model lookup: scattered dependent access per class.
+            std::uint64_t slot = c * vocabulary + r.key;
+            ctx.loadDependent(model_ext.addrOf(slot % model_ext.count));
+            auto it = model.find((static_cast<std::uint64_t>(c) << 40)
+                                 | r.key);
+            double count =
+                it == model.end() ? 0.0
+                                  : static_cast<double>(it->second);
+            ctx.fpOps(2); // log-likelihood accumulate
+            double score = std::log(count + 1.0);
+            bool better = score > best_score;
+            ctx.branch(better);
+            if (better) {
+                best_score = score;
+                best_cls = c;
+            }
+        }
+        out.emit(ctx, r.key, best_cls);
+    };
+    return eng_.runJob(classify);
+}
+
+Dataset
+OfflineWorkloads::runKMeans(const Dataset &points, unsigned k,
+                            unsigned iterations)
+{
+    if (k == 0 || iterations == 0)
+        BDS_FATAL("kmeans needs k and iterations");
+
+    // Initial centers: k points sampled evenly across the dataset
+    // (the usual "spread" seeding big data K-means jobs use).
+    centers_.clear();
+    std::vector<std::uint64_t> flat;
+    for (const auto &p : points.partitions())
+        for (const Record &r : p.host)
+            flat.push_back(r.value);
+    if (flat.size() < k)
+        BDS_FATAL("fewer points than clusters");
+    for (unsigned c = 0; c < k; ++c)
+        centers_.push_back(flat[c * flat.size() / k]);
+
+    SimExtent centers_ext;
+    centers_ext.recordBytes = 16;
+    centers_ext.count = k;
+    centers_ext.base = eng_.space().allocate(Region::Heap, k * 16 + 64);
+
+    Dataset assignment;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        JobSpec job;
+        job.name = eng_.name() + "-KMeans.iter" + std::to_string(iter);
+        job.input = &points;
+        job.mapFn = kmMap_;
+        job.reduceFn = kmReduce_;
+        job.numReducers = eng_.numCores();
+        // The centers array is broadcast state every map reads.
+        std::vector<std::uint64_t> centers = centers_;
+        const std::uint32_t rec_bytes = recordBytesOf(points);
+        job.map = [centers, centers_ext, k, rec_bytes](
+                      ExecContext &ctx, const Record &r,
+                      std::uint64_t payload, Emitter &out) {
+            touchRecord(ctx, payload, rec_bytes);
+            double x = pointX(r.value);
+            double y = pointY(r.value);
+            std::uint64_t best = 0;
+            double best_d = 1e300;
+            for (unsigned c = 0; c < k; ++c) {
+                ctx.load(centers_ext.addrOf(c));
+                ctx.sseOps(3); // dx, dy, fused distance
+                double dx = x - pointX(centers[c]);
+                double dy = y - pointY(centers[c]);
+                double d = dx * dx + dy * dy;
+                bool better = d < best_d;
+                ctx.branch(better);
+                if (better) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out.emit(ctx, best, r.value);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            double sx = 0.0, sy = 0.0;
+            for (std::uint64_t v : values) {
+                ctx.sseOps(2);
+                sx += pointX(v);
+                sy += pointY(v);
+            }
+            ctx.fpOps(2);
+            double n = static_cast<double>(values.size());
+            out.emit(ctx, key, packPoint(sx / n, sy / n));
+        };
+        assignment = eng_.runJob(job);
+
+        // Driver updates the centers from the reduce output.
+        for (const auto &p : assignment.partitions())
+            for (const Record &r : p.host)
+                if (r.key < k)
+                    centers_[r.key] = r.value;
+    }
+    return assignment;
+}
+
+Dataset
+OfflineWorkloads::runPageRank(const Dataset &edges,
+                              std::uint64_t vertices, unsigned iterations)
+{
+    if (vertices == 0 || iterations == 0)
+        BDS_FATAL("pagerank needs vertices and iterations");
+
+    // Out-degrees for contribution scaling.
+    std::vector<std::uint32_t> outdeg(vertices, 0);
+    for (const auto &p : edges.partitions())
+        for (const Record &r : p.host)
+            if (r.key < vertices)
+                ++outdeg[r.key];
+
+    ranks_.assign(vertices, 1000000 / std::max<std::uint64_t>(vertices, 1)
+                                + 1);
+    SimExtent ranks_ext;
+    ranks_ext.recordBytes = 8;
+    ranks_ext.count = vertices;
+    ranks_ext.base =
+        eng_.space().allocate(Region::Heap, vertices * 8 + 64);
+
+    Dataset out;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        JobSpec job;
+        job.name = eng_.name() + "-PageRank.iter" + std::to_string(iter);
+        job.input = &edges;
+        job.mapFn = prMap_;
+        job.reduceFn = prReduce_;
+        job.numReducers = eng_.numCores();
+        const std::vector<std::uint64_t> &ranks = ranks_;
+        const std::vector<std::uint32_t> &deg = outdeg;
+        const std::uint32_t rec_bytes = recordBytesOf(edges);
+        job.map = [&ranks, &deg, ranks_ext, vertices, rec_bytes](
+                      ExecContext &ctx, const Record &r,
+                      std::uint64_t payload, Emitter &out_emit) {
+            touchRecord(ctx, payload, rec_bytes);
+            std::uint64_t src = r.key % vertices;
+            // Rank gather: a data-dependent scattered access.
+            ctx.loadDependent(ranks_ext.addrOf(src));
+            ctx.fpOps(1);
+            std::uint64_t contrib =
+                deg[src] ? ranks[src] / deg[src] : 0;
+            out_emit.emit(ctx, r.value, contrib);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out_emit) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t v : values) {
+                ctx.fpOps(1);
+                sum += v;
+            }
+            // rank' = 0.15/N + 0.85 * sum, in 1e-6 fixed point.
+            ctx.fpOps(2);
+            out_emit.emit(ctx, key, 150000ULL / 1000 + sum * 85 / 100);
+        };
+        out = eng_.runJob(job);
+
+        for (const auto &p : out.partitions())
+            for (const Record &r : p.host)
+                if (r.key < vertices)
+                    ranks_[r.key] = r.value;
+    }
+    return out;
+}
+
+} // namespace bds

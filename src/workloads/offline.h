@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The six offline-analytics algorithms of the paper's Table I: Sort,
+ * WordCount, Grep, Naive Bayes, K-means, and PageRank.
+ *
+ * Each algorithm is implemented once, against the engine-neutral
+ * JobSpec interface, and therefore runs identically on the MapReduce
+ * ("Hadoop") and RDD ("Spark") engines — the paper's "identical
+ * algorithms" requirement. The iterative algorithms (K-means,
+ * PageRank) and the two-pass one (Naive Bayes) run one job per
+ * pass, which is precisely where the engines' caching policies
+ * diverge.
+ */
+
+#ifndef BDS_WORKLOADS_OFFLINE_H
+#define BDS_WORKLOADS_OFFLINE_H
+
+#include <vector>
+
+#include "stack/engine.h"
+
+namespace bds {
+
+/** Offline-analytics algorithm implementations over a stack engine. */
+class OfflineWorkloads
+{
+  public:
+    /** Bind to an engine; allocates the user-code image. */
+    explicit OfflineWorkloads(StackEngine &engine);
+
+    /** Total-order sort by record key. */
+    Dataset runSort(const Dataset &input);
+
+    /** Word frequency count over a token corpus. */
+    Dataset runWordCount(const Dataset &corpus);
+
+    /** Pattern scan keeping ~5% of records. */
+    Dataset runGrep(const Dataset &corpus);
+
+    /**
+     * Naive Bayes: a counting (training) pass, then a classification
+     * pass that scores every record against the learned model.
+     * @param corpus Token corpus with class labels.
+     * @param classes Number of classes.
+     * @param vocabulary Vocabulary size.
+     */
+    Dataset runNaiveBayes(const Dataset &corpus, unsigned classes,
+                          std::uint64_t vocabulary);
+
+    /**
+     * Lloyd's K-means over 2-D points.
+     * @param points Input points.
+     * @param k Cluster count.
+     * @param iterations Training rounds (one job each).
+     * @return Final assignment dataset; final centers via centers().
+     */
+    Dataset runKMeans(const Dataset &points, unsigned k,
+                      unsigned iterations);
+
+    /** Centers from the last runKMeans call (packed points). */
+    const std::vector<std::uint64_t> &centers() const { return centers_; }
+
+    /**
+     * PageRank power iterations over an edge list.
+     * @param edges Edge dataset (key = src, value = dst).
+     * @param vertices Vertex count.
+     * @param iterations Power iterations (one job each).
+     * @return Final (vertex, fixed-point rank) dataset.
+     */
+    Dataset runPageRank(const Dataset &edges, std::uint64_t vertices,
+                        unsigned iterations);
+
+    /** Ranks from the last runPageRank call, scaled by 1e6. */
+    const std::vector<std::uint64_t> &ranks() const { return ranks_; }
+
+  private:
+    StackEngine &eng_;
+    CodeImage user_;
+    FunctionDesc sortMap_, sortReduce_;
+    FunctionDesc wcMap_, wcReduce_;
+    FunctionDesc grepMap_;
+    FunctionDesc nbTrainMap_, nbTrainReduce_, nbClassifyMap_;
+    FunctionDesc kmMap_, kmReduce_;
+    FunctionDesc prMap_, prReduce_;
+
+    std::vector<std::uint64_t> centers_;
+    std::vector<std::uint64_t> ranks_;
+};
+
+} // namespace bds
+
+#endif // BDS_WORKLOADS_OFFLINE_H

@@ -1,0 +1,272 @@
+#include "workloads/registry.h"
+
+#include <memory>
+
+#include "common/log.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "stack/sql.h"
+#include "uarch/system.h"
+#include "workloads/offline.h"
+
+namespace bds {
+
+const char *
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::Sort: return "Sort";
+      case Algorithm::WordCount: return "WordCount";
+      case Algorithm::Grep: return "Grep";
+      case Algorithm::Bayes: return "Bayes";
+      case Algorithm::KMeans: return "Kmeans";
+      case Algorithm::PageRank: return "PageRank";
+      case Algorithm::Projection: return "Projection";
+      case Algorithm::Filter: return "Filter";
+      case Algorithm::OrderBy: return "OrderBy";
+      case Algorithm::CrossProduct: return "CrossProduct";
+      case Algorithm::Union: return "Union";
+      case Algorithm::Difference: return "Difference";
+      case Algorithm::Aggregation: return "Aggregation";
+      case Algorithm::JoinQuery: return "JoinQuery";
+      case Algorithm::AggQuery: return "AggQuery";
+      case Algorithm::SelectQuery: return "SelectQuery";
+    }
+    BDS_PANIC("unknown algorithm");
+}
+
+const char *
+stackPrefix(StackKind s)
+{
+    return s == StackKind::Hadoop ? "H" : "S";
+}
+
+bool
+isInteractive(Algorithm a)
+{
+    return static_cast<unsigned>(a)
+        >= static_cast<unsigned>(Algorithm::Projection);
+}
+
+std::string
+WorkloadId::name() const
+{
+    return std::string(stackPrefix(stack)) + "-" + algorithmName(alg);
+}
+
+std::vector<WorkloadId>
+allWorkloads()
+{
+    std::vector<WorkloadId> out;
+    for (StackKind s : {StackKind::Hadoop, StackKind::Spark})
+        for (unsigned a = 0; a < kNumAlgorithms; ++a)
+            out.push_back(WorkloadId{static_cast<Algorithm>(a), s});
+    return out;
+}
+
+double
+relativeInputSize(Algorithm a)
+{
+    // Derived from Table I: 98 GB text == 420 M records == 1.0.
+    switch (a) {
+      case Algorithm::Sort: return 0.8;          // 80 GB
+      case Algorithm::WordCount: return 1.0;     // 98 GB
+      case Algorithm::Grep: return 1.0;          // 98 GB
+      case Algorithm::Bayes: return 0.85;        // 84 GB
+      case Algorithm::KMeans: return 0.45;       // 44 GB
+      case Algorithm::PageRank: return 0.6;      // 2^24-vertex graph
+      case Algorithm::Projection: return 1.0;    // 420 M records
+      case Algorithm::Filter: return 1.0;        // 420 M records
+      case Algorithm::OrderBy: return 1.0;       // 420 M records
+      case Algorithm::CrossProduct: return 0.25; // 100 M records
+      case Algorithm::Union: return 1.0;         // 420 M records
+      case Algorithm::Difference: return 0.25;   // 100 M records
+      case Algorithm::Aggregation: return 1.0;   // 420 M records
+      case Algorithm::JoinQuery: return 0.25;    // 100 M records
+      case Algorithm::AggQuery: return 1.0;      // 420 M records
+      case Algorithm::SelectQuery: return 1.0;   // 420 M records
+    }
+    BDS_PANIC("unknown algorithm");
+}
+
+WorkloadRunner::WorkloadRunner(NodeConfig cfg, ScaleProfile scale,
+                               std::uint64_t seed)
+    : cfg_(cfg), scale_(scale), seed_(seed)
+{
+}
+
+void
+WorkloadRunner::setClusterNodes(unsigned nodes)
+{
+    if (nodes == 0)
+        BDS_FATAL("cluster needs at least one node");
+    nodes_ = nodes;
+}
+
+WorkloadResult
+WorkloadRunner::run(const WorkloadId &id) const
+{
+    // Data seeds depend on the algorithm only: both stacks consume
+    // identically generated inputs (the paper's "identical data
+    // sets" requirement). Each cluster node processes its own shard.
+    std::uint64_t base_seed =
+        seed_ + 1000 * static_cast<std::uint64_t>(id.alg);
+    WorkloadResult total = runOnNode(id, base_seed);
+    if (nodes_ == 1)
+        return total;
+
+    MetricVector mean = total.metrics;
+    for (unsigned node = 1; node < nodes_; ++node) {
+        WorkloadResult per =
+            runOnNode(id, base_seed + 7919ULL * node);
+        total.counters += per.counters;
+        for (std::size_t i = 0; i < kNumMetrics; ++i)
+            mean[i] += per.metrics[i];
+    }
+    for (double &v : mean)
+        v /= static_cast<double>(nodes_);
+    total.metrics = mean;
+    return total;
+}
+
+WorkloadResult
+WorkloadRunner::runOnNode(const WorkloadId &id,
+                          std::uint64_t data_seed) const
+{
+    SystemModel sys(cfg_);
+    AddressSpace space;
+
+    std::unique_ptr<StackEngine> engine;
+    if (id.stack == StackKind::Hadoop)
+        engine = std::make_unique<MapReduceEngine>(sys, space);
+    else
+        engine = std::make_unique<RddEngine>(sys, space);
+
+    std::uint64_t n = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            static_cast<double>(scale_.unitRecords)
+            * relativeInputSize(id.alg)),
+        64);
+    unsigned parts = scale_.partitions;
+
+    if (isInteractive(id.alg)) {
+        SqlLayer sql(*engine);
+        Dataset big = makeTable(space, n, n / 8 + 16, parts, 256,
+                                data_seed);
+        switch (id.alg) {
+          case Algorithm::CrossProduct: {
+            Dataset small =
+                makeTable(space, 8, 64, 1, 256, data_seed + 1);
+            sql.run(SqlOp::CrossProduct, big, &small);
+            break;
+          }
+          case Algorithm::Union: {
+            Dataset other = makeTable(space, n / 2, n / 8 + 16, parts,
+                                      256, data_seed + 1);
+            sql.run(SqlOp::Union, big, &other);
+            break;
+          }
+          case Algorithm::Difference: {
+            Dataset other = makeTable(space, n / 2, n / 8 + 16, parts,
+                                      256, data_seed + 1);
+            sql.run(SqlOp::Difference, big, &other);
+            break;
+          }
+          case Algorithm::JoinQuery: {
+            Dataset other = makeTable(space, n / 2, n / 8 + 16, parts,
+                                      256, data_seed + 1);
+            sql.run(SqlOp::JoinQuery, big, &other);
+            break;
+          }
+          case Algorithm::Projection:
+            sql.run(SqlOp::Projection, big);
+            break;
+          case Algorithm::Filter:
+            sql.run(SqlOp::Filter, big);
+            break;
+          case Algorithm::OrderBy:
+            sql.run(SqlOp::OrderBy, big);
+            break;
+          case Algorithm::Aggregation:
+            sql.run(SqlOp::Aggregation, big);
+            break;
+          case Algorithm::AggQuery:
+            sql.run(SqlOp::AggQuery, big);
+            break;
+          case Algorithm::SelectQuery:
+            sql.run(SqlOp::SelectQuery, big);
+            break;
+          default:
+            BDS_PANIC("not an interactive algorithm");
+        }
+    } else {
+        OfflineWorkloads offline(*engine);
+        switch (id.alg) {
+          case Algorithm::Sort: {
+            Dataset in =
+                makeTable(space, n, UINT64_MAX, parts, 192, data_seed);
+            offline.runSort(in);
+            break;
+          }
+          case Algorithm::WordCount: {
+            Dataset corpus = makeTextCorpus(space, n, n / 16 + 64,
+                                            parts, 4, data_seed);
+            offline.runWordCount(corpus);
+            break;
+          }
+          case Algorithm::Grep: {
+            Dataset corpus = makeTextCorpus(space, n, n / 16 + 64,
+                                            parts, 4, data_seed);
+            offline.runGrep(corpus);
+            break;
+          }
+          case Algorithm::Bayes: {
+            Dataset corpus = makeTextCorpus(space, n, n / 32 + 64,
+                                            parts, 4, data_seed);
+            offline.runNaiveBayes(corpus, 4, n / 32 + 64);
+            break;
+          }
+          case Algorithm::KMeans: {
+            Dataset points = makePoints(space, n, scale_.kmeansClusters,
+                                        parts, data_seed);
+            offline.runKMeans(points, scale_.kmeansClusters,
+                              scale_.kmeansIterations);
+            break;
+          }
+          case Algorithm::PageRank: {
+            std::uint64_t vertices = n / 8 + 64;
+            Dataset edges =
+                makeGraph(space, n, vertices, parts, data_seed);
+            offline.runPageRank(edges, vertices,
+                                scale_.pagerankIterations);
+            break;
+          }
+          default:
+            BDS_PANIC("not an offline algorithm");
+        }
+    }
+
+    WorkloadResult res;
+    res.id = id;
+    res.counters = sys.aggregateCounters();
+    res.metrics = extractMetrics(res.counters);
+    return res;
+}
+
+Matrix
+WorkloadRunner::runAll(std::vector<WorkloadResult> *details) const
+{
+    auto ids = allWorkloads();
+    Matrix m(ids.size(), kNumMetrics);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        inform("running workload " + ids[i].name());
+        WorkloadResult res = run(ids[i]);
+        for (std::size_t j = 0; j < kNumMetrics; ++j)
+            m(i, j) = res.metrics[j];
+        if (details)
+            details->push_back(std::move(res));
+    }
+    return m;
+}
+
+} // namespace bds

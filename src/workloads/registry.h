@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The 32-workload registry: the paper's Table I matrix of 16
+ * algorithms x {Hadoop, Spark}, with Table-I-derived relative input
+ * sizes, plus the runner that executes any workload on a fresh
+ * simulated node and extracts its 45-metric vector.
+ */
+
+#ifndef BDS_WORKLOADS_REGISTRY_H
+#define BDS_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "uarch/config.h"
+#include "uarch/metrics.h"
+#include "workloads/datagen.h"
+
+namespace bds {
+
+/** Which software stack a workload runs on. */
+enum class StackKind : unsigned
+{
+    Hadoop, ///< MapReduce engine (Hive for the SQL workloads)
+    Spark,  ///< RDD engine (Shark for the SQL workloads)
+};
+
+/** The 16 algorithms of Table I. */
+enum class Algorithm : unsigned
+{
+    Sort,
+    WordCount,
+    Grep,
+    Bayes,
+    KMeans,
+    PageRank,
+    Projection,
+    Filter,
+    OrderBy,
+    CrossProduct,
+    Union,
+    Difference,
+    Aggregation,
+    JoinQuery,
+    AggQuery,
+    SelectQuery,
+};
+
+/** Number of algorithms. */
+constexpr unsigned kNumAlgorithms = 16;
+
+/** Algorithm display name ("Sort", "AggQuery", ...). */
+const char *algorithmName(Algorithm a);
+
+/** Stack prefix as used in the paper's figures ("H" / "S"). */
+const char *stackPrefix(StackKind s);
+
+/** True for the ten SQL (interactive analytics) algorithms. */
+bool isInteractive(Algorithm a);
+
+/** One workload identity. */
+struct WorkloadId
+{
+    Algorithm alg;
+    StackKind stack;
+
+    /** Paper-style label, e.g. "H-Sort" or "S-AggQuery". */
+    std::string name() const;
+};
+
+/** All 32 workloads: the 16 Hadoop ones, then the 16 Spark ones. */
+std::vector<WorkloadId> allWorkloads();
+
+/** Relative input size of an algorithm (Table I problem sizes). */
+double relativeInputSize(Algorithm a);
+
+/** Result of executing one workload. */
+struct WorkloadResult
+{
+    WorkloadId id;        ///< which workload ran
+    PmcCounters counters; ///< aggregated raw events
+    MetricVector metrics; ///< the 45 Table II metrics
+};
+
+/**
+ * Executes workloads on freshly constructed simulated nodes.
+ *
+ * Every run builds its own SystemModel and address space, so runs
+ * are independent and deterministic: the same (workload, scale,
+ * seed) triple always produces the same metric vector, and both
+ * stacks of an algorithm consume identically generated data.
+ */
+class WorkloadRunner
+{
+  public:
+    /**
+     * @param cfg Node configuration (Table III geometry).
+     * @param scale Input scale profile.
+     * @param seed Base seed for data generation.
+     */
+    WorkloadRunner(NodeConfig cfg, ScaleProfile scale,
+                   std::uint64_t seed = 42);
+
+    /**
+     * Simulate a multi-node cluster: each workload runs on `nodes`
+     * independent nodes over per-node data shards, and the reported
+     * metrics are the per-node means — the paper's protocol ("we
+     * collect the data for all four slave nodes and take the mean").
+     * Simulation cost scales linearly with the node count.
+     * @param nodes Number of slave nodes (>= 1).
+     */
+    void setClusterNodes(unsigned nodes);
+
+    /** Number of simulated slave nodes per run. */
+    unsigned clusterNodes() const { return nodes_; }
+
+    /** Run one workload to completion. */
+    WorkloadResult run(const WorkloadId &id) const;
+
+    /**
+     * Run all 32 workloads.
+     * @param details Optional sink for the per-workload results.
+     * @return 32 x 45 metric matrix, rows in allWorkloads() order.
+     */
+    Matrix runAll(std::vector<WorkloadResult> *details = nullptr) const;
+
+    /** The scale profile in use. */
+    const ScaleProfile &scale() const { return scale_; }
+
+    /** The node configuration in use. */
+    const NodeConfig &config() const { return cfg_; }
+
+  private:
+    /** Run one workload on a single node with the given data seed. */
+    WorkloadResult runOnNode(const WorkloadId &id,
+                             std::uint64_t data_seed) const;
+
+    NodeConfig cfg_;
+    ScaleProfile scale_;
+    std::uint64_t seed_;
+    unsigned nodes_ = 1;
+};
+
+} // namespace bds
+
+#endif // BDS_WORKLOADS_REGISTRY_H

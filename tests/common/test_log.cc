@@ -1,0 +1,67 @@
+/** @file Tests for the fatal/panic error machinery and the logger. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace {
+
+TEST(Log, FatalThrowsFatalError)
+{
+    try {
+        BDS_FATAL("bad config value " << 42);
+        FAIL() << "BDS_FATAL returned";
+    } catch (const bds::FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("bad config value 42"), std::string::npos);
+        EXPECT_NE(what.find("fatal:"), std::string::npos);
+    }
+}
+
+TEST(Log, PanicThrowsPanicError)
+{
+    try {
+        BDS_PANIC("broken invariant " << "xyz");
+        FAIL() << "BDS_PANIC returned";
+    } catch (const bds::PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("broken invariant xyz"), std::string::npos);
+    }
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(BDS_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Log, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(BDS_ASSERT(false, "never"), bds::PanicError);
+}
+
+TEST(Log, FatalIsNotPanic)
+{
+    // The two error categories must stay distinct so callers can
+    // distinguish user error from library bugs.
+    EXPECT_THROW(BDS_FATAL("x"), bds::FatalError);
+    bool caught_as_panic = false;
+    try {
+        BDS_FATAL("x");
+    } catch (const bds::PanicError &) {
+        caught_as_panic = true;
+    } catch (...) {
+    }
+    EXPECT_FALSE(caught_as_panic);
+}
+
+TEST(Log, ThresholdRoundTrips)
+{
+    auto prev = bds::Log::threshold();
+    bds::Log::setThreshold(bds::LogLevel::Debug);
+    EXPECT_EQ(bds::Log::threshold(), bds::LogLevel::Debug);
+    bds::Log::setThreshold(prev);
+}
+
+} // namespace

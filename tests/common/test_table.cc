@@ -1,0 +1,69 @@
+/** @file Tests for TextTable rendering and CSV helpers. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace {
+
+using bds::TextTable;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"short", "1"});
+    t.addRow({"a-much-longer-name", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), bds::FatalError);
+}
+
+TEST(TextTable, CsvRoundTrip)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"x", "1.5"});
+    t.addRow({"with,comma", "ok"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("A,B\n"), std::string::npos);
+    EXPECT_NE(out.find("\"with,comma\",ok"), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"A"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, FormatsDigits)
+{
+    EXPECT_EQ(bds::fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(bds::fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(bds::fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Csv, EscapesSpecials)
+{
+    EXPECT_EQ(bds::csvEscape("plain"), "plain");
+    EXPECT_EQ(bds::csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(bds::csvEscape("q\"q"), "\"q\"\"q\"");
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/** @file Tests for the Section V analyses on synthetic data. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/analysis.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::runPipeline;
+
+/**
+ * 12-workload suite with a strong stack effect on metric 0/1, a weak
+ * algorithm effect, and tighter Hadoop dispersion than Spark.
+ */
+bds::PipelineResult
+fixture()
+{
+    std::vector<std::string> names;
+    for (const char *s : {"H", "S"})
+        for (const char *a : {"A", "B", "C", "D", "E", "F"})
+            names.push_back(std::string(s) + "-" + a);
+
+    bds::Pcg32 rng(11);
+    Matrix m(12, 8);
+    for (std::size_t i = 0; i < 12; ++i) {
+        bool spark = i >= 6;
+        double alg = static_cast<double>(i % 6);
+        double jitter = spark ? 1.5 : 0.2; // Spark spreads wider
+        for (std::size_t c = 0; c < 8; ++c) {
+            double stack_effect =
+                (c < 2) ? (spark ? 8.0 : 0.0) * (c == 0 ? 1 : -1) : 0.0;
+            m(i, c) = stack_effect + 0.4 * alg
+                + jitter * rng.nextGaussian();
+        }
+    }
+    return runPipeline(m, names);
+}
+
+TEST(Analysis, NameParsing)
+{
+    EXPECT_EQ(bds::stackOfName("H-Sort"), 'H');
+    EXPECT_EQ(bds::stackOfName("S-AggQuery"), 'S');
+    EXPECT_EQ(bds::algorithmOfName("H-Sort"), "Sort");
+    EXPECT_THROW(bds::stackOfName("X-Sort"), bds::FatalError);
+    EXPECT_THROW(bds::stackOfName("H"), bds::FatalError);
+}
+
+TEST(Analysis, SameStackMergesDominateFirstIteration)
+{
+    auto res = fixture();
+    auto obs = bds::analyzeSimilarity(res);
+    EXPECT_GT(obs.firstIterMerges, 0u);
+    EXPECT_GT(obs.sameStackShare, 0.75);
+}
+
+TEST(Analysis, CrossStackSameAlgorithmDistanceIsLarge)
+{
+    auto res = fixture();
+    auto obs = bds::analyzeSimilarity(res);
+    // The stack gap dwarfs the intra-stack spread.
+    EXPECT_GT(obs.minCrossStackSameAlgDistance, 1.0);
+    EXPECT_FALSE(obs.closestCrossStackPair.empty());
+}
+
+TEST(Analysis, HadoopClustersTighterThanSpark)
+{
+    auto res = fixture();
+    double h = bds::minHeightForPureCluster(res, 'H', 5);
+    double s = bds::minHeightForPureCluster(res, 'S', 5);
+    EXPECT_LT(h, s);
+}
+
+TEST(Analysis, PureClusterHelpers)
+{
+    auto res = fixture();
+    // At the root everything is one mixed cluster: no pure cluster.
+    double top = res.dendrogram.merges().back().distance;
+    EXPECT_EQ(bds::largestPureClusterAtHeight(res, 'H', top), 0u);
+    // At height just below the first merge every leaf is a singleton.
+    EXPECT_EQ(bds::largestPureClusterAtHeight(res, 'H', -1.0), 1u);
+    EXPECT_TRUE(std::isinf(bds::minHeightForPureCluster(res, 'H', 12)));
+}
+
+TEST(Analysis, SparkSpreadsWiderInPcSpace)
+{
+    auto res = fixture();
+    auto spread = bds::pcSpread(res);
+    ASSERT_FALSE(spread.hadoopVariance.empty());
+    double h_total = 0.0, s_total = 0.0;
+    for (std::size_t pc = 0; pc < spread.hadoopVariance.size(); ++pc) {
+        h_total += spread.hadoopVariance[pc];
+        s_total += spread.sparkVariance[pc];
+    }
+    EXPECT_GT(s_total, h_total);
+}
+
+TEST(Analysis, SeparatingPcCorrelatesWithStack)
+{
+    auto res = fixture();
+    auto diff = bds::differentiateStacks(res);
+    EXPECT_GT(diff.correlation, 0.7);
+    // The separating PC must load on the stack-effect metrics 0/1.
+    bool found = false;
+    for (std::size_t m : diff.negativeMetrics)
+        if (m <= 1)
+            found = true;
+    for (std::size_t m : diff.positiveMetrics)
+        if (m <= 1)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, MeanRatiosReflectConstruction)
+{
+    auto res = fixture();
+    auto diff = bds::differentiateStacks(res);
+    ASSERT_EQ(diff.hadoopOverSpark.size(), 8u);
+    // Metric 0: Spark mean ~8, Hadoop ~0 -> ratio << 1.
+    EXPECT_LT(std::fabs(diff.hadoopOverSpark[0]), 0.5);
+}
+
+TEST(Analysis, SingleStackIsFatal)
+{
+    std::vector<std::string> names{"H-A", "H-B", "H-C"};
+    Matrix m(3, 4);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t c = 0; c < 4; ++c)
+            m(i, c) = static_cast<double>(i + c) + (i == 2 ? 0.5 : 0.0);
+    auto res = runPipeline(m, names);
+    EXPECT_THROW(bds::differentiateStacks(res), bds::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/** @file Tests for metric CSV import and its round trip. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/csvio.h"
+#include "core/report.h"
+
+namespace {
+
+using bds::readMetricsCsv;
+using bds::splitCsvLine;
+
+TEST(CsvIo, SplitsPlainFields)
+{
+    auto f = splitCsvLine("a,b,c");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvIo, SplitsQuotedFieldsWithCommasAndEscapes)
+{
+    auto f = splitCsvLine("x,\"a,b\",\"q\"\"q\",1.5");
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_EQ(f[1], "a,b");
+    EXPECT_EQ(f[2], "q\"q");
+    EXPECT_EQ(f[3], "1.5");
+}
+
+TEST(CsvIo, HandlesEmptyFieldsAndCr)
+{
+    auto f = splitCsvLine("a,,c\r");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "");
+    EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvIo, ParsesMetricTable)
+{
+    std::istringstream in("workload,m0,m1\nH-A,1.5,2\nS-B,-3,0.25\n");
+    auto table = readMetricsCsv(in);
+    ASSERT_EQ(table.names.size(), 2u);
+    EXPECT_EQ(table.names[1], "S-B");
+    ASSERT_EQ(table.columns.size(), 2u);
+    EXPECT_EQ(table.columns[0], "m0");
+    EXPECT_DOUBLE_EQ(table.values(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(table.values(1, 1), 0.25);
+}
+
+TEST(CsvIo, SkipsBlankLines)
+{
+    std::istringstream in("w,m0\nA,1\n\nB,2\n");
+    auto table = readMetricsCsv(in);
+    EXPECT_EQ(table.names.size(), 2u);
+}
+
+TEST(CsvIo, RejectsMalformedInput)
+{
+    {
+        std::istringstream in("");
+        EXPECT_THROW(readMetricsCsv(in), bds::FatalError);
+    }
+    {
+        std::istringstream in("justalabel\nA,1\n");
+        EXPECT_THROW(readMetricsCsv(in), bds::FatalError);
+    }
+    {
+        std::istringstream in("w,m0\nA\n");
+        EXPECT_THROW(readMetricsCsv(in), bds::FatalError); // ragged
+    }
+    {
+        std::istringstream in("w,m0\nA,notanumber\n");
+        EXPECT_THROW(readMetricsCsv(in), bds::FatalError);
+    }
+    {
+        std::istringstream in("w,m0\n");
+        EXPECT_THROW(readMetricsCsv(in), bds::FatalError); // no rows
+    }
+    EXPECT_THROW(bds::readMetricsCsvFile("/no/such/file.csv"),
+                 bds::FatalError);
+}
+
+TEST(CsvIo, RoundTripsThroughWriteMetricsCsv)
+{
+    // Build a tiny pipeline result, write it, read it back.
+    bds::Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+    bds::PipelineResult res;
+    res.names = {"H-A", "H-B", "S-A"};
+    res.rawMetrics = m;
+    std::ostringstream out;
+    bds::writeMetricsCsv(out, res);
+
+    std::istringstream in(out.str());
+    auto table = readMetricsCsv(in);
+    ASSERT_EQ(table.names, res.names);
+    ASSERT_EQ(table.values.rows(), 3u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_NEAR(table.values(r, c), m(r, c), 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/** @file Tests for the paper-findings scorecard. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/findings.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::runPipeline;
+
+/** Paper-shaped synthetic data: strong stack effect, Spark spread. */
+bds::PipelineResult
+paperShaped()
+{
+    std::vector<std::string> names;
+    for (const char *s : {"H", "S"})
+        for (int a = 0; a < 8; ++a)
+            names.push_back(std::string(s) + "-W" + std::to_string(a));
+    bds::Pcg32 rng(31);
+    Matrix m(16, 10);
+    for (std::size_t i = 0; i < 16; ++i) {
+        bool spark = i >= 8;
+        double jitter = spark ? 2.0 : 0.3;
+        for (std::size_t c = 0; c < 10; ++c) {
+            double stack = (c < 3) ? (spark ? 6.0 : 0.0) : 0.0;
+            m(i, c) = stack + 0.5 * static_cast<double>(i % 8)
+                + jitter * rng.nextGaussian();
+        }
+    }
+    return runPipeline(m, names);
+}
+
+/** Anti-paper data: Hadoop spreads wider, no stack separation. */
+bds::PipelineResult
+antiPaper()
+{
+    std::vector<std::string> names;
+    for (const char *s : {"H", "S"})
+        for (int a = 0; a < 6; ++a)
+            names.push_back(std::string(s) + "-W" + std::to_string(a));
+    bds::Pcg32 rng(37);
+    Matrix m(12, 6);
+    for (std::size_t i = 0; i < 12; ++i) {
+        bool hadoop = i < 6;
+        double jitter = hadoop ? 4.0 : 0.2; // Hadoop spreads wider
+        for (std::size_t c = 0; c < 6; ++c)
+            m(i, c) = 2.0 * static_cast<double>(i % 6)
+                + jitter * rng.nextGaussian();
+    }
+    return runPipeline(m, names);
+}
+
+TEST(Findings, PaperShapedDataPassesTheStructuralChecks)
+{
+    auto findings = bds::evaluatePaperFindings(paperShaped());
+    ASSERT_FALSE(findings.empty());
+    std::size_t passed = 0;
+    for (const auto &f : findings)
+        if (f.pass)
+            ++passed;
+    // All structural checks pass on construction-matched data. The
+    // Figure 5 per-metric checks are absent (not 45 columns).
+    EXPECT_EQ(passed, findings.size());
+    for (const auto &f : findings)
+        EXPECT_EQ(f.id.rfind("fig5.L", 0), std::string::npos)
+            << "metric check present without Table II columns";
+}
+
+TEST(Findings, AntiPaperDataFailsSomeChecks)
+{
+    auto findings = bds::evaluatePaperFindings(antiPaper());
+    bool spread_failed = false;
+    for (const auto &f : findings)
+        if (f.id == "fig2-3" && !f.pass)
+            spread_failed = true;
+    EXPECT_TRUE(spread_failed);
+}
+
+TEST(Findings, ReportCountsFailures)
+{
+    std::vector<bds::Finding> findings{
+        {"a", "claim a", "x", true},
+        {"b", "claim b", "y", false},
+        {"c", "claim c", "z", false},
+    };
+    std::ostringstream oss;
+    std::size_t failed = bds::writeFindingsReport(oss, findings);
+    EXPECT_EQ(failed, 2u);
+    EXPECT_NE(oss.str().find("1/3 findings reproduced"),
+              std::string::npos);
+    EXPECT_NE(oss.str().find("FAIL"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end integration: run the 32 simulated workloads, push the
+ * measured 45-metric matrix through the full pipeline, and verify
+ * the paper's qualitative findings hold (shape, not absolute
+ * numbers). This is the repository's headline test.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using bds::Metric;
+using bds::NodeConfig;
+using bds::ScaleProfile;
+using bds::WorkloadRunner;
+
+/** Shared fixture: characterize once, reuse across assertions. */
+class Integration : public ::testing::Test
+{
+  protected:
+    static bds::PipelineResult &
+    result()
+    {
+        static bds::PipelineResult res = [] {
+            // Standard scale: the data-footprint asymmetries need
+            // inputs well beyond the 12 MB L3.
+            ScaleProfile scale = ScaleProfile::standard();
+            WorkloadRunner runner(NodeConfig::defaultSim(), scale, 42);
+            std::vector<std::string> names;
+            for (const auto &id : bds::allWorkloads())
+                names.push_back(id.name());
+            bds::Matrix metrics = runner.runAll();
+            return bds::runPipeline(metrics, names);
+        }();
+        return res;
+    }
+};
+
+TEST_F(Integration, KaiserRetainsAHandfulOfPcs)
+{
+    auto &res = result();
+    // Paper: 8 PCs, 91.1% variance. Shape: a small number of PCs
+    // capturing most of the variance.
+    EXPECT_GE(res.pca.numComponents, 4u);
+    EXPECT_LE(res.pca.numComponents, 12u);
+    EXPECT_GT(res.pca.totalVarianceRetained, 0.80);
+}
+
+TEST_F(Integration, Observation1SameStackMergesDominate)
+{
+    auto obs = bds::analyzeSimilarity(result());
+    EXPECT_GT(obs.firstIterMerges, 4u);
+    EXPECT_GE(obs.sameStackShare, 0.7); // paper: 80%
+}
+
+TEST_F(Integration, Observation2CrossStackPairsAreDistant)
+{
+    auto obs = bds::analyzeSimilarity(result());
+    auto &res = result();
+    // The closest cross-stack same-algorithm pair is farther than
+    // the median first-iteration merge distance.
+    auto first = res.dendrogram.firstIterationLeafMerges();
+    std::vector<double> dists;
+    for (const auto &m : first)
+        dists.push_back(m.distance);
+    std::sort(dists.begin(), dists.end());
+    EXPECT_GT(obs.minCrossStackSameAlgDistance,
+              dists[dists.size() / 2]);
+}
+
+TEST_F(Integration, Observation5HadoopClustersTighter)
+{
+    auto &res = result();
+    double h = bds::minHeightForPureCluster(res, 'H', 9);
+    double s = bds::minHeightForPureCluster(res, 'S', 9);
+    EXPECT_LT(h, s); // 9 Hadoop workloads group before 9 Spark ones
+}
+
+TEST_F(Integration, SparkSpreadsWiderAcrossPcSpace)
+{
+    auto spread = bds::pcSpread(result());
+    double h = 0.0, s = 0.0;
+    for (std::size_t pc = 0; pc < spread.hadoopVariance.size(); ++pc) {
+        h += spread.hadoopVariance[pc];
+        s += spread.sparkVariance[pc];
+    }
+    EXPECT_GT(s, h);
+}
+
+TEST_F(Integration, AStrongStackSeparatingPcExists)
+{
+    auto diff = bds::differentiateStacks(result());
+    EXPECT_GT(diff.correlation, 0.5);
+    EXPECT_FALSE(diff.negativeMetrics.empty()
+                 && diff.positiveMetrics.empty());
+}
+
+TEST_F(Integration, Figure5RatiosPointThePaperWay)
+{
+    auto diff = bds::differentiateStacks(result());
+    auto ratio = [&](Metric m) {
+        return diff.hadoopOverSpark[static_cast<std::size_t>(m)];
+    };
+    // Spark roughly doubles Hadoop's L3 misses (paper: ~2x).
+    EXPECT_LT(ratio(Metric::L3Miss), 0.8);
+    // Hadoop has the larger instruction footprint.
+    EXPECT_GT(ratio(Metric::L1iMiss), 1.1);
+    EXPECT_GT(ratio(Metric::FetchStall), 1.0);
+    EXPECT_GT(ratio(Metric::ItlbMiss), 1.0);
+    // Spark has the larger data footprint and more backend stalls.
+    EXPECT_LT(ratio(Metric::DtlbMiss), 1.0);
+    EXPECT_LT(ratio(Metric::ResourceStall), 1.0);
+    // Hadoop's translations are served by the STLB.
+    EXPECT_GT(ratio(Metric::DataHitStlb), 1.0);
+    // Spark shares data across cores.
+    EXPECT_LT(ratio(Metric::SnoopHitM), 1.0);
+    // Kernel-mode share is a Hadoop signature.
+    EXPECT_GT(ratio(Metric::KernelMode), 1.0);
+    // Hadoop retires more IPC; Spark waits on memory.
+    EXPECT_GT(ratio(Metric::Ilp), 1.0);
+    EXPECT_GT(ratio(Metric::Store), 1.0);
+}
+
+TEST_F(Integration, BicSweepCompressesTheSuite)
+{
+    auto &res = result();
+    // The full K sweep is recorded; the selected K compresses 32
+    // workloads meaningfully. (The paper's own maximum is 7; our
+    // simulated suite is more dispersed, so its optimum is larger —
+    // see EXPERIMENTS.md. The clustering at K = 7 is exercised by
+    // the representative tests below.)
+    ASSERT_FALSE(res.bic.points.empty());
+    EXPECT_GE(res.bic.bestK(), 4u);
+    EXPECT_LT(res.bic.bestK(), res.names.size() / 2);
+    EXPECT_GE(res.bic.points[res.bic.globalMaxIndex()].bic,
+              res.bic.points.front().bic);
+}
+
+TEST_F(Integration, FarthestRepresentativesAreMoreDiverseAtPaperK)
+{
+    auto &res = result();
+    auto near = bds::selectRepresentatives(
+        res, bds::RepresentativeStrategy::NearestToCentroid, 7);
+    auto far = bds::selectRepresentatives(
+        res, bds::RepresentativeStrategy::FarthestFromCentroid, 7);
+    // Table V's conclusion: the boundary strategy covers more
+    // behavior diversity (paper: 11.20 vs 5.82).
+    EXPECT_GE(far.maxPairwiseLinkage, near.maxPairwiseLinkage - 1e-9);
+    EXPECT_EQ(far.representatives.size(), 7u);
+}
+
+TEST_F(Integration, SubsetMixesBothStacks)
+{
+    auto &res = result();
+    auto far = bds::selectRepresentatives(
+        res, bds::RepresentativeStrategy::FarthestFromCentroid, 7);
+    unsigned h = 0, s = 0;
+    for (std::size_t rep : far.representatives) {
+        if (bds::stackOfName(res.names[rep]) == 'H')
+            ++h;
+        else
+            ++s;
+    }
+    // Both stacks must be represented (the paper's key message: a
+    // representative subset needs both software stacks).
+    EXPECT_GT(h, 0u);
+    EXPECT_GT(s, 0u);
+}
+
+} // namespace

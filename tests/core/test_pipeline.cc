@@ -1,0 +1,116 @@
+/** @file Tests for the characterization pipeline on synthetic data. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::PipelineOptions;
+using bds::runPipeline;
+
+/**
+ * Synthetic 8-workload suite: two "stacks" x four "algorithms" with
+ * a dominant stack effect and a small algorithm effect over 6
+ * metrics.
+ */
+Matrix
+syntheticSuite(std::vector<std::string> &names, double stack_gap = 10.0)
+{
+    names = {"H-A", "H-B", "H-C", "H-D", "S-A", "S-B", "S-C", "S-D"};
+    bds::Pcg32 rng(3);
+    Matrix m(8, 6);
+    for (std::size_t i = 0; i < 8; ++i) {
+        double stack = i < 4 ? 0.0 : stack_gap;
+        double alg = static_cast<double>(i % 4);
+        for (std::size_t c = 0; c < 6; ++c)
+            m(i, c) = stack * (c % 2 ? 1.0 : -1.0) + alg * 0.5
+                + 0.05 * rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(Pipeline, ShapesAreConsistent)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    auto res = runPipeline(m, names);
+    EXPECT_EQ(res.names.size(), 8u);
+    EXPECT_EQ(res.z.normalized.rows(), 8u);
+    EXPECT_EQ(res.pca.scores.rows(), 8u);
+    EXPECT_EQ(res.pca.scores.cols(), res.pca.numComponents);
+    EXPECT_EQ(res.dendrogram.numLeaves(), 8u);
+    EXPECT_FALSE(res.bic.points.empty());
+    EXPECT_GE(res.bic.bestK(), 2u);
+}
+
+TEST(Pipeline, StackEffectDominatesClustering)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    auto res = runPipeline(m, names);
+    // Cutting into 2 clusters must split exactly along the stacks.
+    auto labels = res.dendrogram.cutIntoK(2);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(labels[i], labels[0]);
+        EXPECT_EQ(labels[4 + i], labels[4]);
+    }
+    EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(Pipeline, MismatchedNamesAreFatal)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    names.pop_back();
+    EXPECT_THROW(runPipeline(m, names), bds::FatalError);
+}
+
+TEST(Pipeline, TooFewWorkloadsAreFatal)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW(runPipeline(m, {"H-A", "S-A"}), bds::FatalError);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    auto a = runPipeline(m, names);
+    auto b = runPipeline(m, names);
+    EXPECT_EQ(a.bic.bestK(), b.bic.bestK());
+    EXPECT_EQ(Matrix::maxAbsDiff(a.pca.scores, b.pca.scores), 0.0);
+    ASSERT_EQ(a.dendrogram.merges().size(), b.dendrogram.merges().size());
+    for (std::size_t i = 0; i < a.dendrogram.merges().size(); ++i)
+        EXPECT_DOUBLE_EQ(a.dendrogram.merges()[i].distance,
+                         b.dendrogram.merges()[i].distance);
+}
+
+TEST(Pipeline, LinkageOptionIsHonored)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    PipelineOptions single;
+    single.linkage = bds::Linkage::Single;
+    PipelineOptions complete;
+    complete.linkage = bds::Linkage::Complete;
+    auto rs = runPipeline(m, names, single);
+    auto rc = runPipeline(m, names, complete);
+    EXPECT_LE(rs.dendrogram.merges().back().distance,
+              rc.dendrogram.merges().back().distance + 1e-12);
+}
+
+TEST(Pipeline, ForcedPcCountIsHonored)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names);
+    PipelineOptions opts;
+    opts.pca.forcedComponents = 3;
+    auto res = runPipeline(m, names, opts);
+    EXPECT_EQ(res.pca.numComponents, 3u);
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+/** @file Tests for Section VI subsetting and the report writers. */
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/report.h"
+#include "core/subset.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::RepresentativeStrategy;
+using bds::runPipeline;
+
+bds::PipelineResult
+fixture()
+{
+    // Four well-separated behavior groups x {H, S} over 16 workloads.
+    std::vector<std::string> names;
+    bds::Pcg32 rng(21);
+    Matrix m(16, 6);
+    for (std::size_t i = 0; i < 16; ++i) {
+        bool spark = i >= 8;
+        names.push_back(std::string(spark ? "S-" : "H-") + "W"
+                        + std::to_string(i % 8));
+        std::size_t group = (i % 8) / 2;
+        for (std::size_t c = 0; c < 6; ++c)
+            m(i, c) = 12.0 * static_cast<double>(group) * (c % 2 ? 1 : -1)
+                + (spark ? 3.0 : 0.0) + 0.3 * rng.nextGaussian();
+    }
+    return runPipeline(m, names);
+}
+
+TEST(Subset, OneRepresentativePerCluster)
+{
+    auto res = fixture();
+    for (auto strat : {RepresentativeStrategy::NearestToCentroid,
+                       RepresentativeStrategy::FarthestFromCentroid}) {
+        auto subset = bds::selectRepresentatives(res, strat);
+        ASSERT_EQ(subset.representatives.size(), subset.clusters.size());
+        EXPECT_EQ(subset.clusters.size(), res.bic.bestK());
+        // Each representative belongs to its own cluster.
+        for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+            const auto &cl = subset.clusters[c];
+            EXPECT_NE(std::find(cl.begin(), cl.end(),
+                                subset.representatives[c]),
+                      cl.end());
+        }
+        // Representatives are distinct.
+        std::set<std::size_t> distinct(subset.representatives.begin(),
+                                       subset.representatives.end());
+        EXPECT_EQ(distinct.size(), subset.representatives.size());
+    }
+}
+
+TEST(Subset, ClustersPartitionAllWorkloads)
+{
+    auto res = fixture();
+    auto subset = bds::selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid);
+    std::set<std::size_t> covered;
+    for (const auto &cl : subset.clusters)
+        covered.insert(cl.begin(), cl.end());
+    EXPECT_EQ(covered.size(), res.names.size());
+    // Largest-first ordering, as in Table IV.
+    for (std::size_t c = 1; c < subset.clusters.size(); ++c)
+        EXPECT_GE(subset.clusters[c - 1].size(),
+                  subset.clusters[c].size());
+}
+
+TEST(Subset, FarthestStrategyIsAtLeastAsDiverse)
+{
+    auto res = fixture();
+    auto near = bds::selectRepresentatives(
+        res, RepresentativeStrategy::NearestToCentroid);
+    auto far = bds::selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid);
+    // The paper's Table V: the boundary strategy covers more
+    // diversity (max linkage distance 11.20 vs 5.82).
+    EXPECT_GE(far.maxPairwiseLinkage, near.maxPairwiseLinkage - 1e-9);
+}
+
+TEST(Subset, KiviatDiagramsMatchRepresentatives)
+{
+    auto res = fixture();
+    auto subset = bds::selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid);
+    auto diagrams = bds::kiviatDiagrams(res, subset);
+    ASSERT_EQ(diagrams.size(), subset.representatives.size());
+    for (std::size_t i = 0; i < diagrams.size(); ++i) {
+        EXPECT_EQ(diagrams[i].name,
+                  res.names[subset.representatives[i]]);
+        EXPECT_EQ(diagrams[i].scores.size(), res.pca.numComponents);
+    }
+}
+
+TEST(Subset, StrategyNames)
+{
+    EXPECT_STREQ(
+        bds::strategyName(RepresentativeStrategy::NearestToCentroid),
+        "nearest-to-centroid");
+    EXPECT_STREQ(
+        bds::strategyName(RepresentativeStrategy::FarthestFromCentroid),
+        "farthest-from-centroid");
+}
+
+TEST(Report, WritersProduceNonEmptyOutput)
+{
+    auto res = fixture();
+    struct NamedWriter
+    {
+        const char *tag;
+        std::function<void(std::ostream &)> fn;
+    };
+    std::vector<NamedWriter> writers{
+        {"dendro", [&](std::ostream &os) {
+             bds::writeDendrogramReport(os, res);
+         }},
+        {"obs", [&](std::ostream &os) {
+             bds::writeSimilarityObservations(os, res);
+         }},
+        {"scatter", [&](std::ostream &os) {
+             bds::writeScatterReport(os, res, 0, 1);
+         }},
+        {"loadings", [&](std::ostream &os) {
+             bds::writeLoadingsReport(os, res, 4);
+         }},
+        {"diff", [&](std::ostream &os) {
+             bds::writeStackDifferentiationReport(os, res);
+         }},
+        {"clusters", [&](std::ostream &os) {
+             bds::writeClusterReport(os, res);
+         }},
+        {"reps", [&](std::ostream &os) {
+             bds::writeRepresentativesReport(os, res);
+         }},
+        {"kiviat", [&](std::ostream &os) {
+             bds::writeKiviatReport(os, res);
+         }},
+        {"csv", [&](std::ostream &os) {
+             bds::writeMetricsCsv(os, res);
+         }},
+    };
+    for (auto &w : writers) {
+        std::ostringstream oss;
+        w.fn(oss);
+        EXPECT_GT(oss.str().size(), 40u) << w.tag;
+    }
+}
+
+TEST(Report, DendrogramReportNamesEveryWorkload)
+{
+    auto res = fixture();
+    std::ostringstream oss;
+    bds::writeDendrogramReport(oss, res);
+    for (const auto &n : res.names)
+        EXPECT_NE(oss.str().find(n), std::string::npos) << n;
+}
+
+TEST(Report, LinkageCsvMatchesDendrogram)
+{
+    auto res = fixture();
+    std::ostringstream oss;
+    bds::writeLinkageCsv(oss, res);
+    std::istringstream in(oss.str());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "left,right,distance,size");
+    std::size_t rows = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++rows;
+    EXPECT_EQ(rows, res.dendrogram.merges().size());
+}
+
+TEST(Report, CpiStackSharesAreSane)
+{
+    bds::PmcCounters p;
+    p.instructions = 1000;
+    p.uops = 1200;
+    p.cycles = 4000.0;
+    p.uopsExecutedCycles = 300.0;
+    p.fetchStallCycles = 1200.0;
+    p.ildStallCycles = 100.0;
+    p.decoderStallCycles = 100.0;
+    p.ratStallCycles = 300.0;
+    p.resourceStallCycles = 2000.0;
+    std::ostringstream oss;
+    bds::writeCpiStackReport(oss, {"H-X"}, {p});
+    std::string out = oss.str();
+    EXPECT_NE(out.find("H-X"), std::string::npos);
+    EXPECT_NE(out.find("4.00"), std::string::npos);  // CPI
+    EXPECT_NE(out.find("0.300"), std::string::npos); // fetch share
+    EXPECT_THROW(bds::writeCpiStackReport(oss, {"a", "b"}, {p}),
+                 bds::FatalError);
+}
+
+TEST(Report, CpiStackHandlesEmptyCounters)
+{
+    std::ostringstream oss;
+    bds::writeCpiStackReport(oss, {"idle"}, {bds::PmcCounters{}});
+    EXPECT_NE(oss.str().find("idle"), std::string::npos);
+    EXPECT_NE(oss.str().find("-"), std::string::npos);
+}
+
+TEST(Subset, ForcedKUsesTheSweepClustering)
+{
+    auto res = fixture();
+    // Pick a K from the sweep different from the selected one.
+    std::size_t other_k = 0;
+    for (const auto &pt : res.bic.points)
+        if (pt.k != res.bic.bestK())
+            other_k = pt.k;
+    ASSERT_NE(other_k, 0u);
+    auto subset = bds::selectRepresentatives(
+        res, RepresentativeStrategy::FarthestFromCentroid, other_k);
+    EXPECT_EQ(subset.representatives.size(), other_k);
+    EXPECT_THROW(
+        bds::selectRepresentatives(
+            res, RepresentativeStrategy::FarthestFromCentroid, 999),
+        bds::FatalError);
+}
+
+TEST(Report, ScatterReportIsValidCsvHeader)
+{
+    auto res = fixture();
+    std::ostringstream oss;
+    bds::writeScatterReport(oss, res, 0, 1);
+    EXPECT_EQ(oss.str().rfind("workload,stack,PC1,PC2", 0), 0u);
+}
+
+} // namespace

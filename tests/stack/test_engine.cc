@@ -1,0 +1,346 @@
+/** @file Behavioral and semantic tests for the two stack engines. */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "uarch/metrics.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::Dataset;
+using bds::Emitter;
+using bds::ExecContext;
+using bds::JobSpec;
+using bds::MapReduceEngine;
+using bds::NodeConfig;
+using bds::Pcg32;
+using bds::PmcCounters;
+using bds::RddEngine;
+using bds::Record;
+using bds::Region;
+using bds::SystemModel;
+
+/** A dataset of n records with keys drawn from [0, key_space). */
+Dataset
+makeInput(AddressSpace &space, std::uint64_t n, std::uint64_t key_space,
+          unsigned parts, std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    Dataset ds("input");
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        for (std::uint64_t i = 0; i < n / parts; ++i)
+            host.push_back(Record{rng.next64() % key_space, rng.next64()});
+        ds.addPartition(space, std::move(host), 64);
+    }
+    return ds;
+}
+
+/** Count-by-key job: map emits (key, 1), reduce sums. */
+JobSpec
+countJob(const Dataset &input, CodeImage &user)
+{
+    JobSpec job;
+    job.name = "count";
+    job.input = &input;
+    job.mapFn = user.defineFunction(128);
+    job.reduceFn = user.defineFunction(128);
+    job.map = [](ExecContext &ctx, const Record &r,
+                 std::uint64_t payload, Emitter &out) {
+        ctx.load(payload);
+        ctx.intOps(2);
+        out.emit(ctx, r.key, 1);
+    };
+    job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                    const std::vector<std::uint64_t> &values,
+                    Emitter &out) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : values) {
+            ctx.intOps(1);
+            sum += v;
+        }
+        out.emit(ctx, key, sum);
+    };
+    return job;
+}
+
+/** Collect all output records into a key->value map. */
+std::map<std::uint64_t, std::uint64_t>
+collect(const Dataset &out)
+{
+    std::map<std::uint64_t, std::uint64_t> m;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            m[r.key] += r.value;
+    return m;
+}
+
+/** Expected counts computed directly on the host data. */
+std::map<std::uint64_t, std::uint64_t>
+expectedCounts(const Dataset &in)
+{
+    std::map<std::uint64_t, std::uint64_t> m;
+    for (const auto &p : in.partitions())
+        for (const Record &r : p.host)
+            ++m[r.key];
+    return m;
+}
+
+struct EngineFixture : public ::testing::Test
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys{cfg};
+    AddressSpace space;
+    CodeImage user{space, Region::UserCode};
+};
+
+TEST_F(EngineFixture, HadoopCountByKeyIsCorrect)
+{
+    MapReduceEngine eng(sys, space);
+    Dataset input = makeInput(space, 4000, 97, 4, 1);
+    Dataset out = eng.runJob(countJob(input, user));
+    EXPECT_EQ(collect(out), expectedCounts(input));
+    EXPECT_EQ(out.partitions().size(), 4u); // one per reducer
+    EXPECT_FALSE(out.resident());
+}
+
+TEST_F(EngineFixture, SparkCountByKeyIsCorrect)
+{
+    RddEngine eng(sys, space);
+    Dataset input = makeInput(space, 4000, 97, 4, 1);
+    Dataset out = eng.runJob(countJob(input, user));
+    EXPECT_EQ(collect(out), expectedCounts(input));
+    EXPECT_TRUE(out.resident());
+}
+
+TEST_F(EngineFixture, EnginesAgreeOnResults)
+{
+    MapReduceEngine h(sys, space);
+    RddEngine s(sys, space);
+    Dataset input = makeInput(space, 3000, 61, 4, 2);
+    Dataset hout = h.runJob(countJob(input, user));
+    Dataset sout = s.runJob(countJob(input, user));
+    EXPECT_EQ(collect(hout), collect(sout));
+}
+
+TEST_F(EngineFixture, SortJobProducesGlobalOrder)
+{
+    MapReduceEngine eng(sys, space);
+    Dataset input = makeInput(space, 4000, UINT64_MAX, 4, 3);
+    JobSpec job = countJob(input, user);
+    job.requiresSort = true;
+    job.map = [](ExecContext &ctx, const Record &r,
+                 std::uint64_t payload, Emitter &out) {
+        ctx.load(payload);
+        out.emit(ctx, r.key, r.value);
+    };
+    job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                    const std::vector<std::uint64_t> &values,
+                    Emitter &out) {
+        for (std::uint64_t v : values)
+            out.emit(ctx, key, v);
+    };
+    Dataset out = eng.runJob(job);
+
+    // Concatenated reducer outputs are globally sorted by key
+    // (range partitioning + per-reducer sort).
+    std::vector<std::uint64_t> keys;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            keys.push_back(r.key);
+    EXPECT_EQ(keys.size(), 4000u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(EngineFixture, MapOnlyJobSkipsReduce)
+{
+    MapReduceEngine eng(sys, space);
+    Dataset input = makeInput(space, 1000, 50, 4, 4);
+    JobSpec job;
+    job.name = "passthrough";
+    job.input = &input;
+    job.mapFn = user.defineFunction(128);
+    job.mapOnly = true;
+    job.map = [](ExecContext &ctx, const Record &r,
+                 std::uint64_t payload, Emitter &out) {
+        ctx.load(payload);
+        out.emit(ctx, r.key, r.value);
+    };
+    Dataset out = eng.runJob(job);
+    EXPECT_EQ(out.totalRecords(), 1000u);
+    EXPECT_EQ(out.partitions().size(), input.partitions().size());
+}
+
+TEST_F(EngineFixture, InvalidJobsAreFatal)
+{
+    MapReduceEngine eng(sys, space);
+    Dataset input = makeInput(space, 100, 10, 2, 5);
+    JobSpec job;
+    EXPECT_THROW(eng.runJob(job), bds::FatalError); // no input
+    job.input = &input;
+    EXPECT_THROW(eng.runJob(job), bds::FatalError); // no map
+    job = countJob(input, user);
+    job.reduce = nullptr;
+    EXPECT_THROW(eng.runJob(job), bds::FatalError); // no reduce
+    job = countJob(input, user);
+    job.numReducers = 0;
+    EXPECT_THROW(eng.runJob(job), bds::FatalError);
+}
+
+TEST_F(EngineFixture, HadoopRunsMoreKernelModeThanSpark)
+{
+    Dataset input = makeInput(space, 6000, 997, 4, 6);
+    {
+        MapReduceEngine h(sys, space);
+        h.runJob(countJob(input, user));
+    }
+    PmcCounters hadoop = sys.aggregateCounters();
+    sys.resetCounters();
+    {
+        RddEngine s(sys, space);
+        s.runJob(countJob(input, user));
+    }
+    PmcCounters spark = sys.aggregateCounters();
+
+    double h_kernel = static_cast<double>(hadoop.kernelInstrs)
+        / hadoop.instructions;
+    double s_kernel = static_cast<double>(spark.kernelInstrs)
+        / spark.instructions;
+    EXPECT_GT(h_kernel, 1.5 * s_kernel);
+}
+
+TEST_F(EngineFixture, HadoopHasLargerInstructionFootprint)
+{
+    Dataset input = makeInput(space, 6000, 997, 4, 7);
+    {
+        MapReduceEngine h(sys, space);
+        h.runJob(countJob(input, user));
+    }
+    PmcCounters hadoop = sys.aggregateCounters();
+    sys.resetCounters();
+    {
+        RddEngine s(sys, space);
+        s.runJob(countJob(input, user));
+    }
+    PmcCounters spark = sys.aggregateCounters();
+
+    double h_mpki = 1000.0 * hadoop.l1iMisses / hadoop.instructions;
+    double s_mpki = 1000.0 * spark.l1iMisses / spark.instructions;
+    EXPECT_GT(h_mpki, s_mpki);
+}
+
+TEST_F(EngineFixture, SparkShuffleGeneratesMoreSnoops)
+{
+    Dataset input = makeInput(space, 6000, 997, 4, 8);
+    {
+        MapReduceEngine h(sys, space);
+        h.runJob(countJob(input, user));
+    }
+    PmcCounters hadoop = sys.aggregateCounters();
+    sys.resetCounters();
+    {
+        RddEngine s(sys, space);
+        s.runJob(countJob(input, user));
+    }
+    PmcCounters spark = sys.aggregateCounters();
+
+    double h_snoop = 1000.0
+        * (hadoop.snoopHit + hadoop.snoopHitE + hadoop.snoopHitM)
+        / hadoop.instructions;
+    double s_snoop = 1000.0
+        * (spark.snoopHit + spark.snoopHitE + spark.snoopHitM)
+        / spark.instructions;
+    EXPECT_GT(s_snoop, h_snoop);
+}
+
+TEST_F(EngineFixture, SparkCachesInputAcrossJobs)
+{
+    RddEngine s(sys, space);
+    Dataset input = makeInput(space, 3000, 97, 4, 9);
+    EXPECT_FALSE(s.isCached(input));
+    s.runJob(countJob(input, user));
+    EXPECT_TRUE(s.isCached(input));
+
+    PmcCounters first = sys.aggregateCounters();
+    sys.resetCounters();
+    s.runJob(countJob(input, user));
+    PmcCounters second = sys.aggregateCounters();
+
+    // The second job skips the HDFS materialization entirely.
+    EXPECT_LT(second.kernelInstrs * 2, first.kernelInstrs);
+}
+
+TEST_F(EngineFixture, HadoopRereadsInputEveryJob)
+{
+    MapReduceEngine h(sys, space);
+    Dataset input = makeInput(space, 3000, 97, 4, 10);
+    h.runJob(countJob(input, user));
+    PmcCounters first = sys.aggregateCounters();
+    sys.resetCounters();
+    h.runJob(countJob(input, user));
+    PmcCounters second = sys.aggregateCounters();
+
+    double ratio = static_cast<double>(second.kernelInstrs)
+        / static_cast<double>(first.kernelInstrs);
+    EXPECT_GT(ratio, 0.7); // kernel work does not collapse
+}
+
+TEST_F(EngineFixture, CustomProfilesDriveTheMechanisms)
+{
+    // The ablation constructors: a MapReduce engine carrying Spark's
+    // lean code footprint must lose the instruction-footprint
+    // signature while keeping its I/O path.
+    Dataset input = makeInput(space, 6000, 997, 4, 20);
+    {
+        MapReduceEngine stock(sys, space);
+        stock.runJob(countJob(input, user));
+    }
+    PmcCounters stock_pmc = sys.aggregateCounters();
+    sys.resetCounters();
+    {
+        bds::StackProfile p = bds::hadoopProfile();
+        bds::StackProfile lean = bds::sparkProfile();
+        p.fwFunctions = lean.fwFunctions;
+        p.fwFnStrideBytes = lean.fwFnStrideBytes;
+        p.fwCallZipf = lean.fwCallZipf;
+        MapReduceEngine swapped(sys, space, p, 0x4adaaULL);
+        swapped.runJob(countJob(input, user));
+    }
+    PmcCounters swapped_pmc = sys.aggregateCounters();
+
+    double stock_mpki = 1000.0 * stock_pmc.l1iMisses
+        / stock_pmc.instructions;
+    double swapped_mpki = 1000.0 * swapped_pmc.l1iMisses
+        / swapped_pmc.instructions;
+    EXPECT_GT(stock_mpki, 2.0 * swapped_mpki);
+    // The kernel path is unchanged, so kernel share stays Hadoop-like.
+    double stock_kernel = static_cast<double>(stock_pmc.kernelInstrs)
+        / stock_pmc.instructions;
+    double swapped_kernel = static_cast<double>(swapped_pmc.kernelInstrs)
+        / swapped_pmc.instructions;
+    EXPECT_GT(swapped_kernel, 0.5 * stock_kernel);
+}
+
+TEST_F(EngineFixture, ProfilesDescribeTheMechanisms)
+{
+    auto h = bds::hadoopProfile();
+    auto s = bds::sparkProfile();
+    EXPECT_EQ(h.name, "Hadoop");
+    EXPECT_EQ(s.name, "Spark");
+    EXPECT_GT(h.fwFunctions * h.fwFnStrideBytes,
+              4 * s.fwFunctions * s.fwFnStrideBytes);
+    EXPECT_FALSE(h.inMemoryShuffle);
+    EXPECT_TRUE(s.inMemoryShuffle);
+    EXPECT_FALSE(h.cacheInput);
+    EXPECT_TRUE(s.cacheInput);
+}
+
+} // namespace

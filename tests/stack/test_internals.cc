@@ -1,0 +1,227 @@
+/** @file White-box tests for stack-engine internals. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "stack/sql.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::Dataset;
+using bds::Emitter;
+using bds::ExecContext;
+using bds::JobSpec;
+using bds::MapReduceEngine;
+using bds::NodeConfig;
+using bds::Pcg32;
+using bds::RddEngine;
+using bds::Record;
+using bds::Region;
+using bds::SystemModel;
+
+struct InternalsFixture : public ::testing::Test
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys{cfg};
+    AddressSpace space;
+    CodeImage user{space, Region::UserCode};
+
+    Dataset
+    uniformInput(std::uint64_t n, std::uint64_t key_space,
+                 std::uint64_t seed)
+    {
+        Pcg32 rng(seed);
+        Dataset ds("in");
+        std::vector<Record> host;
+        for (std::uint64_t i = 0; i < n; ++i)
+            host.push_back(Record{rng.next64() % key_space,
+                                  rng.next64()});
+        ds.addPartition(space, std::move(host), 64);
+        return ds;
+    }
+
+    JobSpec
+    identityJob(const Dataset &in)
+    {
+        JobSpec job;
+        job.name = "identity";
+        job.input = &in;
+        job.mapFn = user.defineFunction(96);
+        job.reduceFn = user.defineFunction(96);
+        job.map = [](ExecContext &ctx, const Record &r,
+                     std::uint64_t payload, Emitter &out) {
+            ctx.load(payload);
+            out.emit(ctx, r.key, r.value);
+        };
+        job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                        const std::vector<std::uint64_t> &values,
+                        Emitter &out) {
+            for (std::uint64_t v : values) {
+                ctx.intOps(1);
+                out.emit(ctx, key, v);
+            }
+        };
+        return job;
+    }
+};
+
+TEST_F(InternalsFixture, SpillBoundaryLosesNothing)
+{
+    // The MapReduce sort buffer holds sortBufferBytes/16 records;
+    // inputs exactly at, one under, and one over the spill boundary
+    // must all survive the spill protocol intact.
+    MapReduceEngine eng(sys, space);
+    std::uint64_t cap = eng.profile().sortBufferBytes / 16;
+    for (std::uint64_t n : {cap - 1, cap, cap + 1, 2 * cap + 3}) {
+        Dataset in = uniformInput(n, 1u << 30, n);
+        Dataset out = eng.runJob(identityJob(in));
+        EXPECT_EQ(out.totalRecords(), n) << "n=" << n;
+    }
+}
+
+TEST_F(InternalsFixture, RangePartitionerBalancesUniformKeys)
+{
+    MapReduceEngine eng(sys, space);
+    Dataset in = uniformInput(8000, UINT64_MAX, 5);
+    JobSpec job = identityJob(in);
+    job.requiresSort = true;
+    job.numReducers = 4;
+    Dataset out = eng.runJob(job);
+    ASSERT_EQ(out.partitions().size(), 4u);
+    for (const auto &p : out.partitions()) {
+        // Sampling-based splits: each reducer near 25%, sampling
+        // noise allowed.
+        EXPECT_GT(p.host.size(), 8000u * 17 / 100) << "skewed low";
+        EXPECT_LT(p.host.size(), 8000u * 33 / 100) << "skewed high";
+    }
+}
+
+TEST_F(InternalsFixture, HashPartitionerSpreadsSkewedKeys)
+{
+    // Zipf-skewed keys (same key repeated) still land on a single
+    // reducer — hash partitioning is by key, not round-robin.
+    MapReduceEngine eng(sys, space);
+    Dataset ds("skew");
+    std::vector<Record> host(3000, Record{42, 1});
+    ds.addPartition(space, std::move(host), 64);
+    Dataset out = eng.runJob(identityJob(ds));
+    unsigned nonempty = 0;
+    for (const auto &p : out.partitions())
+        if (!p.host.empty())
+            ++nonempty;
+    EXPECT_EQ(nonempty, 1u);
+    EXPECT_EQ(out.totalRecords(), 3000u);
+}
+
+TEST_F(InternalsFixture, ReduceGroupsAreCompleteAndDisjoint)
+{
+    RddEngine eng(sys, space);
+    Dataset in = uniformInput(4000, 50, 7);
+    std::set<std::uint64_t> seen;
+    JobSpec job = identityJob(in);
+    job.reduce = [&seen](ExecContext &ctx, std::uint64_t key,
+                         const std::vector<std::uint64_t> &values,
+                         Emitter &out) {
+        // Each key must be reduced exactly once across all reducers.
+        EXPECT_TRUE(seen.insert(key).second) << key;
+        ctx.intOps(1);
+        out.emit(ctx, key, values.size());
+    };
+    Dataset out = eng.runJob(job);
+    std::uint64_t grouped = 0;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            grouped += r.value;
+    EXPECT_EQ(grouped, 4000u);
+}
+
+TEST_F(InternalsFixture, TaggedUnionPreservesSourceIdentity)
+{
+    // Difference over disjoint tables removes nothing.
+    MapReduceEngine eng(sys, space);
+    bds::SqlLayer sql(eng);
+    Dataset a("a"), b("b");
+    std::vector<Record> ha, hb;
+    Pcg32 rng(17);
+    std::set<std::uint64_t> row_hashes; // rows distinct under key^value
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        Record r{i, rng.next64() >> 1};
+        row_hashes.insert(r.key ^ r.value);
+        ha.push_back(r);
+    }
+    ASSERT_EQ(row_hashes.size(), 500u);
+    for (std::uint64_t i = 0; i < 300; ++i)
+        hb.push_back(Record{100000 + i, rng.next64() >> 1});
+    a.addPartition(space, std::move(ha), 96);
+    b.addPartition(space, std::move(hb), 96);
+    Dataset out = sql.run(bds::SqlOp::Difference, a, &b);
+    EXPECT_EQ(out.totalRecords(), 500u);
+}
+
+TEST_F(InternalsFixture, EmptyInputJobsComplete)
+{
+    for (int spark = 0; spark < 2; ++spark) {
+        std::unique_ptr<bds::StackEngine> eng;
+        if (spark)
+            eng = std::make_unique<RddEngine>(sys, space);
+        else
+            eng = std::make_unique<MapReduceEngine>(sys, space);
+        Dataset empty("empty");
+        empty.addPartition(space, {}, 64);
+        Dataset out = eng->runJob(identityJob(empty));
+        EXPECT_EQ(out.totalRecords(), 0u) << (spark ? "spark" : "hadoop");
+    }
+}
+
+TEST_F(InternalsFixture, SingleCoreNodeWorks)
+{
+    NodeConfig one = NodeConfig::defaultSim();
+    one.numCores = 1;
+    SystemModel sys1(one);
+    AddressSpace space1;
+    CodeImage user1(space1, Region::UserCode);
+    RddEngine eng(sys1, space1);
+    Pcg32 rng(9);
+    Dataset ds("one");
+    std::vector<Record> host;
+    for (int i = 0; i < 1000; ++i)
+        host.push_back(Record{rng.next64() % 20, 1});
+    ds.addPartition(space1, std::move(host), 64);
+
+    JobSpec job;
+    job.name = "count1";
+    job.input = &ds;
+    job.mapFn = user1.defineFunction(96);
+    job.reduceFn = user1.defineFunction(96);
+    job.numReducers = 1;
+    job.map = [](ExecContext &ctx, const Record &r, std::uint64_t p,
+                 Emitter &out) {
+        ctx.load(p);
+        out.emit(ctx, r.key, 1);
+    };
+    job.reduce = [](ExecContext &ctx, std::uint64_t key,
+                    const std::vector<std::uint64_t> &values,
+                    Emitter &out) {
+        ctx.intOps(1);
+        out.emit(ctx, key, values.size());
+    };
+    Dataset out = eng.runJob(job);
+    std::uint64_t total = 0;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            total += r.value;
+    EXPECT_EQ(total, 1000u);
+    // No siblings: coherence traffic must be zero.
+    EXPECT_EQ(sys1.aggregateCounters().snoopHitM, 0u);
+    EXPECT_EQ(sys1.aggregateCounters().loadHitSibling, 0u);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/** @file Semantic tests for the SQL layer on both engines. */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "stack/sql.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::Dataset;
+using bds::MapReduceEngine;
+using bds::NodeConfig;
+using bds::Pcg32;
+using bds::RddEngine;
+using bds::Record;
+using bds::SqlLayer;
+using bds::SqlOp;
+using bds::SystemModel;
+
+Dataset
+makeTable(AddressSpace &space, std::uint64_t rows, std::uint64_t key_space,
+          unsigned parts, std::uint64_t seed, const char *name)
+{
+    Pcg32 rng(seed);
+    Dataset ds(name);
+    for (unsigned p = 0; p < parts; ++p) {
+        std::vector<Record> host;
+        for (std::uint64_t i = 0; i < rows / parts; ++i)
+            host.push_back(
+                Record{rng.next64() % key_space, rng.next64() >> 1});
+        ds.addPartition(space, std::move(host), 96);
+    }
+    return ds;
+}
+
+struct SqlFixture : public ::testing::Test
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys{cfg};
+    AddressSpace space;
+};
+
+TEST_F(SqlFixture, OpNamesAreStable)
+{
+    EXPECT_STREQ(bds::sqlOpName(SqlOp::Projection), "Projection");
+    EXPECT_STREQ(bds::sqlOpName(SqlOp::AggQuery), "AggQuery");
+    EXPECT_STREQ(bds::sqlOpName(SqlOp::SelectQuery), "SelectQuery");
+}
+
+TEST_F(SqlFixture, ProjectionKeepsEveryRow)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset t = makeTable(space, 2000, 100, 4, 1, "t");
+    Dataset out = sql.run(SqlOp::Projection, t);
+    EXPECT_EQ(out.totalRecords(), 2000u);
+}
+
+TEST_F(SqlFixture, FilterSelectivityMatchesPredicate)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset t = makeTable(space, 4000, 100, 4, 2, "t");
+    std::uint64_t expected = 0;
+    for (const auto &p : t.partitions())
+        for (const Record &r : p.host)
+            if ((r.value & 0xffff) < 0x8000)
+                ++expected;
+    Dataset out = sql.run(SqlOp::Filter, t);
+    EXPECT_EQ(out.totalRecords(), expected);
+    // Roughly half pass.
+    EXPECT_GT(out.totalRecords(), 1600u);
+    EXPECT_LT(out.totalRecords(), 2400u);
+}
+
+TEST_F(SqlFixture, UnionConcatenatesBothTables)
+{
+    RddEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset a = makeTable(space, 1200, 100, 4, 3, "a");
+    Dataset b = makeTable(space, 800, 100, 4, 4, "b");
+    Dataset out = sql.run(SqlOp::Union, a, &b);
+    EXPECT_EQ(out.totalRecords(), 2000u);
+}
+
+TEST_F(SqlFixture, OrderBySortsGlobally)
+{
+    for (int use_spark = 0; use_spark < 2; ++use_spark) {
+        std::unique_ptr<bds::StackEngine> eng;
+        if (use_spark)
+            eng = std::make_unique<RddEngine>(sys, space);
+        else
+            eng = std::make_unique<MapReduceEngine>(sys, space);
+        SqlLayer sql(*eng);
+        Dataset t = makeTable(space, 2000, 100, 4, 5, "t");
+        Dataset out = sql.run(SqlOp::OrderBy, t);
+        std::vector<std::uint64_t> keys;
+        for (const auto &p : out.partitions())
+            for (const Record &r : p.host)
+                keys.push_back(r.key);
+        EXPECT_EQ(keys.size(), 2000u);
+        EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()))
+            << (use_spark ? "spark" : "hadoop");
+    }
+}
+
+TEST_F(SqlFixture, CrossProductScalesByTableSizes)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset big = makeTable(space, 500, 100, 4, 6, "big");
+    Dataset small = makeTable(space, 8, 100, 1, 7, "small");
+    Dataset out = sql.run(SqlOp::CrossProduct, big, &small);
+    EXPECT_EQ(out.totalRecords(), 500u * 8u);
+}
+
+TEST_F(SqlFixture, DifferenceRemovesSharedRows)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    // b is a copy of a's first partition -> those rows disappear.
+    Dataset a = makeTable(space, 1000, 1000000, 4, 8, "a");
+    Dataset b("b");
+    b.addPartition(space,
+                   std::vector<Record>(a.partitions()[0].host), 96);
+    Dataset out = sql.run(SqlOp::Difference, a, &b);
+    // Distinct row hashes of a minus those in b (dedup within a too).
+    std::set<std::uint64_t> rows_a, rows_b;
+    for (const auto &p : a.partitions())
+        for (const Record &r : p.host)
+            rows_a.insert(r.key ^ r.value);
+    for (const Record &r : b.partitions()[0].host)
+        rows_b.insert(r.key ^ r.value);
+    std::uint64_t expected = 0;
+    for (std::uint64_t h : rows_a)
+        if (!rows_b.count(h))
+            ++expected;
+    EXPECT_EQ(out.totalRecords(), expected);
+}
+
+TEST_F(SqlFixture, JoinMatchesNestedLoopReference)
+{
+    RddEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset a = makeTable(space, 300, 40, 2, 9, "a");
+    Dataset b = makeTable(space, 200, 40, 2, 10, "b");
+    Dataset out = sql.run(SqlOp::JoinQuery, a, &b);
+
+    std::map<std::uint64_t, std::uint64_t> count_a, count_b;
+    for (const auto &p : a.partitions())
+        for (const Record &r : p.host)
+            ++count_a[r.key];
+    for (const auto &p : b.partitions())
+        for (const Record &r : p.host)
+            ++count_b[r.key];
+    std::uint64_t expected = 0;
+    for (const auto &[k, n] : count_a)
+        expected += n * (count_b.count(k) ? count_b[k] : 0);
+    EXPECT_EQ(out.totalRecords(), expected);
+}
+
+TEST_F(SqlFixture, AggregationSumsPerGroup)
+{
+    for (int use_spark = 0; use_spark < 2; ++use_spark) {
+        std::unique_ptr<bds::StackEngine> eng;
+        if (use_spark)
+            eng = std::make_unique<RddEngine>(sys, space);
+        else
+            eng = std::make_unique<MapReduceEngine>(sys, space);
+        SqlLayer sql(*eng);
+        Dataset t = makeTable(space, 3000, 100, 4, 11, "t");
+        Dataset out = sql.run(SqlOp::Aggregation, t);
+
+        std::map<std::uint64_t, std::uint64_t> expected;
+        for (const auto &p : t.partitions())
+            for (const Record &r : p.host) {
+                std::uint64_t x = r.key + 0x9e3779b97f4a7c15ULL;
+                x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+                x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+                x ^= x >> 31;
+                expected[x & 0xffff] += r.value & 0xffff;
+            }
+        std::map<std::uint64_t, std::uint64_t> got;
+        for (const auto &p : out.partitions())
+            for (const Record &r : p.host)
+                got[r.key] += r.value;
+        EXPECT_EQ(got, expected) << (use_spark ? "spark" : "hadoop");
+    }
+}
+
+TEST_F(SqlFixture, AggQueryFiltersBeforeGrouping)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset t = makeTable(space, 2000, 100, 4, 12, "t");
+    Dataset out = sql.run(SqlOp::AggQuery, t);
+    // Coarse key space: at most 64 groups.
+    EXPECT_LE(out.totalRecords(), 64u);
+    EXPECT_GE(out.totalRecords(), 16u);
+}
+
+TEST_F(SqlFixture, SelectQueryIsSelective)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset t = makeTable(space, 4000, 100, 4, 13, "t");
+    Dataset out = sql.run(SqlOp::SelectQuery, t);
+    double sel = static_cast<double>(out.totalRecords()) / 4000.0;
+    EXPECT_GT(sel, 0.05);
+    EXPECT_LT(sel, 0.25);
+}
+
+TEST_F(SqlFixture, TwoTableOpsRequireSecondTable)
+{
+    MapReduceEngine eng(sys, space);
+    SqlLayer sql(eng);
+    Dataset t = makeTable(space, 100, 10, 2, 14, "t");
+    EXPECT_THROW(sql.run(SqlOp::JoinQuery, t), bds::FatalError);
+    EXPECT_THROW(sql.run(SqlOp::CrossProduct, t), bds::FatalError);
+    EXPECT_THROW(sql.run(SqlOp::Union, t), bds::FatalError);
+    EXPECT_THROW(sql.run(SqlOp::Difference, t), bds::FatalError);
+}
+
+} // namespace

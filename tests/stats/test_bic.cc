@@ -1,0 +1,164 @@
+/** @file Tests for the Pelleg-Moore BIC and the K sweep. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/bic.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::Pcg32;
+
+/** k well-separated blobs in 2-D. */
+Matrix
+blobs(std::size_t k, std::size_t per_blob, Pcg32 &rng, double spread = 1.0)
+{
+    Matrix m(k * per_blob, 2);
+    for (std::size_t b = 0; b < k; ++b) {
+        double cx = 40.0 * static_cast<double>(b % 3);
+        double cy = 40.0 * static_cast<double>(b / 3);
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            std::size_t r = b * per_blob + i;
+            m(r, 0) = cx + spread * rng.nextGaussian();
+            m(r, 1) = cy + spread * rng.nextGaussian();
+        }
+    }
+    return m;
+}
+
+TEST(Bic, PooledVarianceOfPerfectFitIsZero)
+{
+    Matrix data{{0, 0}, {10, 10}};
+    Pcg32 rng(7);
+    auto res = bds::kMeans(data, 2, rng);
+    EXPECT_NEAR(bds::pooledVariance(data, res), 0.0, 1e-12);
+}
+
+TEST(Bic, PooledVarianceMatchesHandComputation)
+{
+    // One cluster: {0, 2} in 1-D, center 1, SS = 2, R - K = 1.
+    Matrix data{{0.0}, {2.0}};
+    bds::KMeansResult res;
+    res.k = 1;
+    res.labels = {0, 0};
+    res.centers = Matrix{{1.0}};
+    EXPECT_NEAR(bds::pooledVariance(data, res), 2.0, 1e-12);
+}
+
+TEST(Bic, PrefersTrueKOnSeparatedBlobs)
+{
+    Pcg32 rng(11);
+    Matrix data = blobs(4, 25, rng);
+    Pcg32 sweep_rng(13);
+    auto sweep = bds::sweepBic(data, 1, 9, sweep_rng);
+    EXPECT_EQ(sweep.bestK(), 4u);
+}
+
+TEST(Bic, SingleBlobPrefersSmallK)
+{
+    Pcg32 rng(17);
+    Matrix data = blobs(1, 60, rng);
+    Pcg32 sweep_rng(19);
+    auto sweep = bds::sweepBic(data, 1, 6, sweep_rng);
+    EXPECT_LE(sweep.bestK(), 2u);
+}
+
+TEST(Bic, SweepCoversRequestedRange)
+{
+    Pcg32 rng(23);
+    Matrix data = blobs(2, 10, rng);
+    Pcg32 sweep_rng(29);
+    auto sweep = bds::sweepBic(data, 2, 5, sweep_rng);
+    ASSERT_EQ(sweep.points.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(sweep.points[i].k, i + 2);
+    // Best index actually attains the max.
+    for (const auto &p : sweep.points)
+        EXPECT_GE(sweep.points[sweep.bestIndex].bic, p.bic);
+}
+
+TEST(Bic, SweepClampsKMaxToRows)
+{
+    Matrix data{{0, 0}, {1, 1}, {5, 5}};
+    Pcg32 rng(31);
+    auto sweep = bds::sweepBic(data, 1, 10, rng);
+    EXPECT_EQ(sweep.points.back().k, 3u);
+}
+
+TEST(Bic, InvalidRangesAreFatal)
+{
+    Matrix data{{0, 0}, {1, 1}};
+    Pcg32 rng(37);
+    EXPECT_THROW(bds::sweepBic(data, 0, 2, rng), bds::FatalError);
+    EXPECT_THROW(bds::sweepBic(data, 3, 2, rng), bds::FatalError);
+}
+
+TEST(Bic, MismatchedLabelsAreFatal)
+{
+    Matrix data{{0, 0}, {1, 1}, {2, 2}};
+    bds::KMeansResult res;
+    res.k = 1;
+    res.labels = {0, 0}; // wrong size
+    res.centers = Matrix(1, 2);
+    EXPECT_THROW(bds::pooledVariance(data, res), bds::FatalError);
+}
+
+TEST(Bic, ScoreIsFiniteEvenForPerfectFit)
+{
+    Matrix data{{0, 0}, {10, 10}, {20, 20}};
+    Pcg32 rng(41);
+    auto res = bds::kMeans(data, 3, rng);
+    double score = bds::bicScore(data, res);
+    EXPECT_TRUE(std::isfinite(score));
+}
+
+TEST(Bic, FirstLocalMaxFindsTheKnee)
+{
+    bds::BicSweepResult sweep;
+    auto add = [&](std::size_t k, double bic) {
+        bds::BicSweepPoint pt;
+        pt.k = k;
+        pt.bic = bic;
+        sweep.points.push_back(std::move(pt));
+    };
+    // Rising to a knee at K=4, dipping, then rising past it: the
+    // global max is the last point, the first local max is the knee.
+    add(2, -500);
+    add(3, -450);
+    add(4, -400);
+    add(5, -430);
+    add(6, -420);
+    add(7, -390);
+    EXPECT_EQ(sweep.globalMaxIndex(), 5u);
+    EXPECT_EQ(sweep.firstLocalMaxIndex(), 2u);
+}
+
+TEST(Bic, FirstLocalMaxFallsBackOnMonotoneCurves)
+{
+    bds::BicSweepResult sweep;
+    for (std::size_t k = 2; k <= 6; ++k) {
+        bds::BicSweepPoint pt;
+        pt.k = k;
+        pt.bic = static_cast<double>(k); // strictly rising
+        sweep.points.push_back(std::move(pt));
+    }
+    EXPECT_EQ(sweep.firstLocalMaxIndex(), sweep.globalMaxIndex());
+    EXPECT_EQ(sweep.firstLocalMaxIndex(), 4u);
+}
+
+TEST(Bic, TighterClustersScoreHigherAtSameK)
+{
+    Pcg32 rng_a(43), rng_b(43);
+    Matrix tight = blobs(3, 20, rng_a, 0.5);
+    Matrix loose = blobs(3, 20, rng_b, 6.0);
+    Pcg32 ka(47), kb(47);
+    auto ra = bds::kMeans(tight, 3, ka);
+    auto rb = bds::kMeans(loose, 3, kb);
+    EXPECT_GT(bds::bicScore(tight, ra), bds::bicScore(loose, rb));
+}
+
+} // namespace

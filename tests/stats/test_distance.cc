@@ -1,0 +1,61 @@
+/** @file Tests for the distance functions. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+
+namespace {
+
+TEST(Distance, EuclideanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(bds::euclidean({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(bds::squaredEuclidean({0, 0}, {3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(bds::manhattan({0, 0}, {3, 4}), 7.0);
+}
+
+TEST(Distance, DimensionMismatchIsFatal)
+{
+    EXPECT_THROW(bds::euclidean({1}, {1, 2}), bds::FatalError);
+    EXPECT_THROW(bds::manhattan({1}, {1, 2}), bds::FatalError);
+}
+
+TEST(Distance, MetricAxioms)
+{
+    bds::Pcg32 rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> a(4), b(4), c(4);
+        for (int i = 0; i < 4; ++i) {
+            a[i] = rng.nextGaussian();
+            b[i] = rng.nextGaussian();
+            c[i] = rng.nextGaussian();
+        }
+        // Identity, symmetry, triangle inequality.
+        EXPECT_DOUBLE_EQ(bds::euclidean(a, a), 0.0);
+        EXPECT_DOUBLE_EQ(bds::euclidean(a, b), bds::euclidean(b, a));
+        EXPECT_LE(bds::euclidean(a, c),
+                  bds::euclidean(a, b) + bds::euclidean(b, c) + 1e-12);
+        EXPECT_LE(bds::manhattan(a, c),
+                  bds::manhattan(a, b) + bds::manhattan(b, c) + 1e-12);
+    }
+}
+
+TEST(Distance, PairwiseMatrixIsSymmetricZeroDiagonal)
+{
+    bds::Matrix data{{0, 0}, {3, 4}, {6, 8}};
+    bds::Matrix d = bds::pairwiseEuclidean(data);
+    ASSERT_EQ(d.rows(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+    EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(d(0, 2), 10.0);
+    EXPECT_DOUBLE_EQ(d(1, 2), 5.0);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/** @file Unit and property tests for the Jacobi eigensolver. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/eigen.h"
+#include "stats/matrix.h"
+
+namespace {
+
+using bds::eigenSymmetric;
+using bds::Matrix;
+using bds::Pcg32;
+
+TEST(Eigen, DiagonalMatrixEigenvaluesAreDiagonal)
+{
+    Matrix m{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+    auto res = eigenSymmetric(m);
+    ASSERT_EQ(res.values.size(), 3u);
+    EXPECT_NEAR(res.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(res.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(res.values[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix m{{2, 1}, {1, 2}};
+    auto res = eigenSymmetric(m);
+    EXPECT_NEAR(res.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(res.values[1], 1.0, 1e-12);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::fabs(res.vectors(0, 0)), s, 1e-10);
+    EXPECT_NEAR(std::fabs(res.vectors(1, 0)), s, 1e-10);
+}
+
+TEST(Eigen, RejectsNonSquare)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW(eigenSymmetric(m), bds::FatalError);
+}
+
+TEST(Eigen, RejectsAsymmetric)
+{
+    Matrix m{{1, 2}, {0, 1}};
+    EXPECT_THROW(eigenSymmetric(m), bds::FatalError);
+}
+
+/** Random symmetric matrices: A v = lambda v, orthonormal V, trace. */
+class EigenProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigenProperty, ReconstructionOrthonormalityTrace)
+{
+    int n = GetParam();
+    Pcg32 rng(1000 + static_cast<std::uint64_t>(n));
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i; j < n; ++j) {
+            double v = rng.nextGaussian();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+
+    auto res = eigenSymmetric(a);
+
+    // Eigenvalues descending.
+    for (std::size_t i = 1; i < res.values.size(); ++i)
+        EXPECT_GE(res.values[i - 1], res.values[i] - 1e-12);
+
+    // Trace preserved.
+    double tr_a = 0.0, tr_l = 0.0;
+    for (int i = 0; i < n; ++i)
+        tr_a += a(i, i);
+    for (double v : res.values)
+        tr_l += v;
+    EXPECT_NEAR(tr_a, tr_l, 1e-8);
+
+    // V^T V = I.
+    Matrix vtv = res.vectors.transposed().multiply(res.vectors);
+    EXPECT_LT(Matrix::maxAbsDiff(vtv, Matrix::identity(n)), 1e-8);
+
+    // A V = V diag(lambda).
+    Matrix av = a.multiply(res.vectors);
+    Matrix vl = res.vectors;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            vl(i, j) *= res.values[j];
+    EXPECT_LT(Matrix::maxAbsDiff(av, vl), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 45));
+
+TEST(Eigen, PsdMatrixHasNonNegativeEigenvalues)
+{
+    // B^T B is PSD by construction.
+    Pcg32 rng(77);
+    int n = 6;
+    Matrix b(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            b(i, j) = rng.nextGaussian();
+    Matrix psd = b.transposed().multiply(b);
+    // Symmetrize against rounding.
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            double v = 0.5 * (psd(i, j) + psd(j, i));
+            psd(i, j) = v;
+            psd(j, i) = v;
+        }
+    auto res = eigenSymmetric(psd);
+    for (double v : res.values)
+        EXPECT_GE(v, -1e-9);
+}
+
+TEST(Eigen, SignConventionIsDeterministic)
+{
+    Matrix m{{2, 1}, {1, 2}};
+    auto r1 = eigenSymmetric(m);
+    auto r2 = eigenSymmetric(m);
+    EXPECT_EQ(Matrix::maxAbsDiff(r1.vectors, r2.vectors), 0.0);
+    // Largest-magnitude entry of each eigenvector is positive.
+    for (std::size_t j = 0; j < 2; ++j) {
+        double vmax = 0.0;
+        double signed_max = 0.0;
+        for (std::size_t i = 0; i < 2; ++i) {
+            if (std::fabs(r1.vectors(i, j)) > vmax) {
+                vmax = std::fabs(r1.vectors(i, j));
+                signed_max = r1.vectors(i, j);
+            }
+        }
+        EXPECT_GT(signed_max, 0.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/** @file Tests for hierarchical clustering and dendrogram operations. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+#include "stats/hcluster.h"
+
+namespace {
+
+using bds::Dendrogram;
+using bds::hierarchicalCluster;
+using bds::Linkage;
+using bds::Matrix;
+
+/** Two tight groups far apart plus one outlier. */
+Matrix
+twoGroupsAndOutlier()
+{
+    return Matrix{
+        {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},      // group A: leaves 0-2
+        {10.0, 10.0}, {10.1, 10.0}, {10.0, 10.1}, // group B: leaves 3-5
+        {100.0, -50.0},                           // outlier: leaf 6
+    };
+}
+
+TEST(HCluster, MergeCountAndDistancesMonotone)
+{
+    Matrix data = twoGroupsAndOutlier();
+    for (Linkage l : {Linkage::Single, Linkage::Complete, Linkage::Average}) {
+        auto dg = hierarchicalCluster(data, l);
+        EXPECT_EQ(dg.numLeaves(), 7u);
+        EXPECT_EQ(dg.merges().size(), 6u);
+        for (std::size_t i = 1; i < dg.merges().size(); ++i)
+            EXPECT_GE(dg.merges()[i].distance,
+                      dg.merges()[i - 1].distance - 1e-12)
+                << "non-monotone merges for " << bds::linkageName(l);
+    }
+}
+
+TEST(HCluster, CutIntoThreeRecoversGroups)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    auto labels = dg.cutIntoK(3);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[1], labels[2]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_EQ(labels[4], labels[5]);
+    EXPECT_NE(labels[0], labels[3]);
+    EXPECT_NE(labels[0], labels[6]);
+    EXPECT_NE(labels[3], labels[6]);
+}
+
+TEST(HCluster, CutIntoOneAndN)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    auto one = dg.cutIntoK(1);
+    EXPECT_TRUE(std::all_of(one.begin(), one.end(),
+                            [&](std::size_t v) { return v == one[0]; }));
+    auto n = dg.cutIntoK(7);
+    std::set<std::size_t> distinct(n.begin(), n.end());
+    EXPECT_EQ(distinct.size(), 7u);
+    EXPECT_THROW(dg.cutIntoK(0), bds::FatalError);
+    EXPECT_THROW(dg.cutIntoK(8), bds::FatalError);
+}
+
+TEST(HCluster, CutAtHeightSeparatesGroups)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    // Intra-group distances ~0.1, inter-group ~14, outlier ~100.
+    auto labels = dg.cutAtHeight(1.0);
+    std::set<std::size_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(HCluster, SingleLinkageChains)
+{
+    // Points in a line, each 1 apart: single linkage merges all at
+    // distance 1; complete linkage needs larger distances.
+    Matrix line{{0.0}, {1.0}, {2.0}, {3.0}};
+    auto single = hierarchicalCluster(line, Linkage::Single);
+    for (const auto &m : single.merges())
+        EXPECT_NEAR(m.distance, 1.0, 1e-12);
+    auto complete = hierarchicalCluster(line, Linkage::Complete);
+    EXPECT_GT(complete.merges().back().distance, 1.0);
+}
+
+TEST(HCluster, AverageLinkageBetweenSingleAndComplete)
+{
+    bds::Pcg32 rng(7);
+    Matrix data(12, 3);
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            data(r, c) = rng.nextGaussian() * 3.0;
+    double s = hierarchicalCluster(data, Linkage::Single)
+                   .merges().back().distance;
+    double a = hierarchicalCluster(data, Linkage::Average)
+                   .merges().back().distance;
+    double c = hierarchicalCluster(data, Linkage::Complete)
+                   .merges().back().distance;
+    EXPECT_LE(s, a + 1e-12);
+    EXPECT_LE(a, c + 1e-12);
+}
+
+TEST(HCluster, LeavesOfRootIsEverything)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Average);
+    auto all = dg.leavesOf(dg.numLeaves() + dg.merges().size() - 1);
+    ASSERT_EQ(all.size(), 7u);
+    for (std::size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(all[i], i);
+}
+
+TEST(HCluster, LeafOrderIsPermutation)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    auto order = dg.leafOrder();
+    ASSERT_EQ(order.size(), 7u);
+    std::set<std::size_t> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(HCluster, FirstIterationLeafMergesAreLeafPairs)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    auto first = dg.firstIterationLeafMerges();
+    EXPECT_GE(first.size(), 2u); // at least one pair per tight group
+    for (const auto &m : first) {
+        EXPECT_LT(m.left, dg.numLeaves());
+        EXPECT_LT(m.right, dg.numLeaves());
+    }
+}
+
+TEST(HCluster, CopheneticDistanceProperties)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    // Same tight group: small; across groups: large; symmetric.
+    EXPECT_LT(dg.copheneticDistance(0, 1), 1.0);
+    EXPECT_GT(dg.copheneticDistance(0, 3), 5.0);
+    EXPECT_DOUBLE_EQ(dg.copheneticDistance(2, 5),
+                     dg.copheneticDistance(5, 2));
+    EXPECT_DOUBLE_EQ(dg.copheneticDistance(4, 4), 0.0);
+    // Ultrametric inequality: d(a,c) <= max(d(a,b), d(b,c)).
+    for (std::size_t a = 0; a < 7; ++a)
+        for (std::size_t b = 0; b < 7; ++b)
+            for (std::size_t c = 0; c < 7; ++c)
+                EXPECT_LE(dg.copheneticDistance(a, c),
+                          std::max(dg.copheneticDistance(a, b),
+                                   dg.copheneticDistance(b, c)) + 1e-12);
+}
+
+TEST(HCluster, AsciiRenderContainsAllNamesOnce)
+{
+    auto dg = hierarchicalCluster(twoGroupsAndOutlier(), Linkage::Single);
+    std::vector<std::string> names{"a0", "a1", "a2", "b0", "b1", "b2",
+                                   "outlier"};
+    std::string art = dg.renderAscii(names);
+    for (const auto &n : names) {
+        auto pos = art.find(n);
+        ASSERT_NE(pos, std::string::npos) << n;
+    }
+    EXPECT_THROW(dg.renderAscii({"too", "few"}), bds::FatalError);
+}
+
+TEST(HCluster, DegenerateInputs)
+{
+    Matrix one{{1.0, 2.0}};
+    auto dg = hierarchicalCluster(one, Linkage::Single);
+    EXPECT_EQ(dg.numLeaves(), 1u);
+    EXPECT_TRUE(dg.merges().empty());
+    auto labels = dg.cutIntoK(1);
+    EXPECT_EQ(labels.size(), 1u);
+
+    Matrix empty(0, 0);
+    EXPECT_THROW(hierarchicalCluster(empty, Linkage::Single),
+                 bds::FatalError);
+}
+
+TEST(HCluster, DuplicatePointsMergeAtZero)
+{
+    Matrix dup{{1.0, 1.0}, {1.0, 1.0}, {5.0, 5.0}};
+    auto dg = hierarchicalCluster(dup, Linkage::Complete);
+    EXPECT_DOUBLE_EQ(dg.merges()[0].distance, 0.0);
+    EXPECT_GT(dg.merges()[1].distance, 0.0);
+}
+
+TEST(HCluster, FromDistancesMatchesFromData)
+{
+    Matrix data = twoGroupsAndOutlier();
+    auto a = hierarchicalCluster(data, Linkage::Average);
+    auto b = bds::hierarchicalClusterFromDistances(
+        bds::pairwiseEuclidean(data), Linkage::Average);
+    ASSERT_EQ(a.merges().size(), b.merges().size());
+    for (std::size_t i = 0; i < a.merges().size(); ++i) {
+        EXPECT_EQ(a.merges()[i].left, b.merges()[i].left);
+        EXPECT_EQ(a.merges()[i].right, b.merges()[i].right);
+        EXPECT_DOUBLE_EQ(a.merges()[i].distance, b.merges()[i].distance);
+    }
+}
+
+} // namespace

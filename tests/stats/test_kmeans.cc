@@ -1,0 +1,181 @@
+/** @file Tests for K-means clustering. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+#include "stats/kmeans.h"
+
+namespace {
+
+using bds::kMeans;
+using bds::Matrix;
+using bds::Pcg32;
+
+/** Three well-separated Gaussian blobs. */
+Matrix
+threeBlobs(Pcg32 &rng, std::size_t per_blob = 20)
+{
+    const double centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+    Matrix m(3 * per_blob, 2);
+    for (std::size_t b = 0; b < 3; ++b)
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            std::size_t r = b * per_blob + i;
+            m(r, 0) = centers[b][0] + rng.nextGaussian();
+            m(r, 1) = centers[b][1] + rng.nextGaussian();
+        }
+    return m;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs)
+{
+    Pcg32 rng(101);
+    Matrix data = threeBlobs(rng);
+    auto res = kMeans(data, 3, rng);
+    // All points of a blob share a label; blobs get distinct labels.
+    for (std::size_t b = 0; b < 3; ++b)
+        for (std::size_t i = 1; i < 20; ++i)
+            EXPECT_EQ(res.labels[b * 20], res.labels[b * 20 + i]);
+    std::set<std::size_t> distinct{res.labels[0], res.labels[20],
+                                   res.labels[40]};
+    EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans, LabelsInRangeAndCentersFinite)
+{
+    Pcg32 rng(103);
+    Matrix data = threeBlobs(rng);
+    auto res = kMeans(data, 5, rng);
+    EXPECT_EQ(res.k, 5u);
+    EXPECT_EQ(res.centers.rows(), 5u);
+    for (std::size_t lbl : res.labels)
+        EXPECT_LT(lbl, 5u);
+}
+
+TEST(KMeans, EachClusterNonEmpty)
+{
+    Pcg32 rng(107);
+    Matrix data = threeBlobs(rng);
+    for (std::size_t k : {2u, 3u, 4u, 7u}) {
+        auto res = kMeans(data, k, rng);
+        auto groups = bds::groupByLabel(res.labels, k);
+        for (const auto &g : groups)
+            EXPECT_FALSE(g.empty()) << "empty cluster at k=" << k;
+    }
+}
+
+TEST(KMeans, CentersAreClusterMeans)
+{
+    Pcg32 rng(109);
+    Matrix data = threeBlobs(rng);
+    auto res = kMeans(data, 3, rng);
+    auto groups = bds::groupByLabel(res.labels, 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            double mean = 0.0;
+            for (std::size_t r : groups[c])
+                mean += data(r, j);
+            mean /= static_cast<double>(groups[c].size());
+            EXPECT_NEAR(res.centers(c, j), mean, 1e-6);
+        }
+    }
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    Pcg32 rng(113);
+    Matrix data = threeBlobs(rng);
+    double prev = -1.0;
+    for (std::size_t k = 1; k <= 6; ++k) {
+        Pcg32 local(113); // identical seeding per k for fairness
+        auto res = kMeans(data, k, local);
+        if (prev >= 0.0) {
+            EXPECT_LE(res.inertia, prev * 1.001)
+                << "inertia rose from k=" << k - 1 << " to " << k;
+        }
+        prev = res.inertia;
+    }
+}
+
+TEST(KMeans, InertiaMatchesDefinition)
+{
+    Pcg32 rng(127);
+    Matrix data = threeBlobs(rng);
+    auto res = kMeans(data, 3, rng);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        acc += bds::squaredEuclidean(data.row(r),
+                                     res.centers.row(res.labels[r]));
+    EXPECT_NEAR(acc, res.inertia, 1e-9);
+}
+
+TEST(KMeans, AssignmentIsNearestCenter)
+{
+    Pcg32 rng(131);
+    Matrix data = threeBlobs(rng);
+    auto res = kMeans(data, 4, rng);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        double own = bds::squaredEuclidean(data.row(r),
+                                           res.centers.row(res.labels[r]));
+        for (std::size_t c = 0; c < res.k; ++c)
+            EXPECT_LE(own,
+                      bds::squaredEuclidean(data.row(r),
+                                            res.centers.row(c)) + 1e-9);
+    }
+}
+
+TEST(KMeans, DeterministicGivenSeed)
+{
+    Pcg32 rng_a(137), rng_b(137);
+    Matrix data = threeBlobs(rng_a);
+    Pcg32 rng_a2(139), rng_b2(139);
+    auto ra = kMeans(data, 3, rng_a2);
+    auto rb = kMeans(data, 3, rng_b2);
+    EXPECT_EQ(ra.labels, rb.labels);
+    EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+    (void)rng_b;
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia)
+{
+    Matrix data{{0, 0}, {1, 1}, {2, 2}, {5, 5}};
+    Pcg32 rng(149);
+    auto res = kMeans(data, 4, rng);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidArgumentsAreFatal)
+{
+    Matrix data{{0, 0}, {1, 1}};
+    Pcg32 rng(151);
+    EXPECT_THROW(kMeans(data, 0, rng), bds::FatalError);
+    EXPECT_THROW(kMeans(data, 3, rng), bds::FatalError);
+}
+
+TEST(KMeans, GroupByLabelValidatesRange)
+{
+    EXPECT_THROW(bds::groupByLabel({0, 1, 2}, 2), bds::FatalError);
+    auto g = bds::groupByLabel({0, 1, 0}, 2);
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ(g[0], (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(g[1], (std::vector<std::size_t>{1}));
+}
+
+/** Restarts should never make the solution worse. */
+TEST(KMeans, MoreRestartsNoWorse)
+{
+    Pcg32 data_rng(157);
+    Matrix data = threeBlobs(data_rng, 15);
+    bds::KMeansOptions few{.maxIterations = 200, .restarts = 1};
+    bds::KMeansOptions many{.maxIterations = 200, .restarts = 16};
+    Pcg32 r1(163), r2(163);
+    auto a = kMeans(data, 4, r1, few);
+    auto b = kMeans(data, 4, r2, many);
+    EXPECT_LE(b.inertia, a.inertia + 1e-9);
+}
+
+} // namespace

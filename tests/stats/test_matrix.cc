@@ -1,0 +1,117 @@
+/** @file Unit tests for the dense Matrix type. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "stats/matrix.h"
+
+namespace {
+
+using bds::Matrix;
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerIsFatal)
+{
+    EXPECT_THROW((Matrix{{1, 2}, {3}}), bds::FatalError);
+}
+
+TEST(Matrix, CheckedAccessThrowsOutOfBounds)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), bds::FatalError);
+    EXPECT_THROW(m.at(0, 2), bds::FatalError);
+    EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowAndColViews)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+    EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+    EXPECT_THROW(m.row(2), bds::FatalError);
+    EXPECT_THROW(m.col(3), bds::FatalError);
+}
+
+TEST(Matrix, SetRow)
+{
+    Matrix m(2, 2);
+    m.setRow(0, {7, 8});
+    EXPECT_EQ(m(0, 0), 7.0);
+    EXPECT_EQ(m(0, 1), 8.0);
+    EXPECT_THROW(m.setRow(0, {1}), bds::FatalError);
+    EXPECT_THROW(m.setRow(5, {1, 2}), bds::FatalError);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6.0);
+    EXPECT_EQ(Matrix::maxAbsDiff(t.transposed(), m), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a.multiply(b);
+    EXPECT_EQ(c(0, 0), 19.0);
+    EXPECT_EQ(c(0, 1), 22.0);
+    EXPECT_EQ(c(1, 0), 43.0);
+    EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchIsFatal)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a.multiply(b), bds::FatalError);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeUnit)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    Matrix i = Matrix::identity(2);
+    EXPECT_EQ(Matrix::maxAbsDiff(m.multiply(i), m), 0.0);
+    EXPECT_EQ(Matrix::maxAbsDiff(i.multiply(m), m), 0.0);
+}
+
+TEST(Matrix, ColMeansAndStddevs)
+{
+    Matrix m{{1, 10}, {3, 10}, {5, 10}};
+    auto mean = m.colMeans();
+    EXPECT_DOUBLE_EQ(mean[0], 3.0);
+    EXPECT_DOUBLE_EQ(mean[1], 10.0);
+    auto sd = m.colStddevs();
+    EXPECT_DOUBLE_EQ(sd[0], 2.0); // sample stddev of {1,3,5}
+    EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{1, 2.5}, {3, 4}};
+    EXPECT_DOUBLE_EQ(Matrix::maxAbsDiff(a, b), 0.5);
+    Matrix c(1, 2);
+    EXPECT_THROW(Matrix::maxAbsDiff(a, c), bds::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+/** @file Tests for z-score normalization. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/normalize.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::zscore;
+
+TEST(ZScore, ProducesZeroMeanUnitVariance)
+{
+    bds::Pcg32 rng(5);
+    Matrix m(40, 6);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = 100.0 * (c + 1) + 7.0 * rng.nextGaussian();
+
+    auto res = zscore(m);
+    auto mean = res.normalized.colMeans();
+    auto sd = res.normalized.colStddevs();
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        EXPECT_NEAR(mean[c], 0.0, 1e-10);
+        EXPECT_NEAR(sd[c], 1.0, 1e-10);
+    }
+}
+
+TEST(ZScore, RoundTripsViaStoredParameters)
+{
+    Matrix m{{1, 5}, {2, 7}, {3, 9}, {4, 11}};
+    auto res = zscore(m);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            double back = res.normalized(r, c) * res.stddevs[c]
+                + res.means[c];
+            EXPECT_NEAR(back, m(r, c), 1e-12);
+        }
+}
+
+TEST(ZScore, ConstantColumnsBecomeZero)
+{
+    Matrix m{{5, 1}, {5, 2}, {5, 3}};
+    auto res = zscore(m);
+    ASSERT_EQ(res.constantColumns.size(), 1u);
+    EXPECT_EQ(res.constantColumns[0], 0u);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(res.normalized(r, 0), 0.0);
+    // Non-constant column normalized as usual.
+    EXPECT_NEAR(res.normalized(0, 1), -1.0, 1e-12);
+    EXPECT_NEAR(res.normalized(2, 1), 1.0, 1e-12);
+}
+
+TEST(ZScore, SingleRowIsFatal)
+{
+    Matrix m(1, 3);
+    EXPECT_THROW(zscore(m), bds::FatalError);
+}
+
+TEST(ZScore, PreservesRowOrdering)
+{
+    // Monotone input column stays monotone after normalization.
+    Matrix m{{1, 0}, {2, 0}, {10, 0}, {20, 0}};
+    auto res = zscore(m);
+    EXPECT_LT(res.normalized(0, 0), res.normalized(1, 0));
+    EXPECT_LT(res.normalized(1, 0), res.normalized(2, 0));
+    EXPECT_LT(res.normalized(2, 0), res.normalized(3, 0));
+}
+
+} // namespace

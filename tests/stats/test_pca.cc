@@ -1,0 +1,198 @@
+/** @file Unit and property tests for PCA with Kaiser's criterion. */
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/normalize.h"
+#include "stats/pca.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::pca;
+using bds::PcaOptions;
+
+/** Synthetic data with one dominant direction plus small noise. */
+Matrix
+dominantDirectionData(std::size_t n, std::size_t d, bds::Pcg32 &rng)
+{
+    Matrix m(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+        double t = rng.nextGaussian() * 10.0;
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = t * (c + 1.0) + 0.01 * rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(Pca, CovarianceOfKnownData)
+{
+    // Two perfectly correlated columns -> covariance = [[v, v], [v, v]].
+    Matrix m{{-1, -1}, {0, 0}, {1, 1}};
+    Matrix cov = bds::covariance(m);
+    EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 1.0, 1e-12);
+}
+
+TEST(Pca, PerfectlyCorrelatedDataKeepsOnePc)
+{
+    bds::Pcg32 rng(11);
+    Matrix m = dominantDirectionData(50, 5, rng);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized);
+    // One direction carries ~all variance; Kaiser keeps just that PC.
+    EXPECT_EQ(res.numComponents, 1u);
+    EXPECT_GT(res.varianceRatio[0], 0.99);
+}
+
+TEST(Pca, ScoresAreUncorrelated)
+{
+    bds::Pcg32 rng(13);
+    Matrix m(60, 6);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() * (c + 1.0)
+                + (c > 0 ? 0.5 * m(r, c - 1) : 0.0);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 6});
+    Matrix cov = bds::covariance(res.scores);
+    for (std::size_t i = 0; i < cov.rows(); ++i)
+        for (std::size_t j = 0; j < cov.cols(); ++j)
+            if (i != j) {
+                EXPECT_NEAR(cov(i, j), 0.0, 1e-8);
+            }
+}
+
+TEST(Pca, ScoreVarianceEqualsEigenvalue)
+{
+    bds::Pcg32 rng(17);
+    Matrix m(80, 5);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() * (5.0 - c);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 5});
+    auto sd = res.scores.colStddevs();
+    for (std::size_t j = 0; j < 5; ++j)
+        EXPECT_NEAR(sd[j] * sd[j], res.eigenvalues[j], 1e-8);
+}
+
+TEST(Pca, EigenvaluesSumToDimensionForZScoredInput)
+{
+    // Correlation matrix has trace d, so eigenvalues sum to d.
+    bds::Pcg32 rng(19);
+    Matrix m(45, 7);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() + 0.3 * static_cast<double>(c * r);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 7});
+    double sum = std::accumulate(res.eigenvalues.begin(),
+                                 res.eigenvalues.end(), 0.0);
+    EXPECT_NEAR(sum, 7.0, 1e-8);
+}
+
+TEST(Pca, LoadingsAreScaledComponents)
+{
+    bds::Pcg32 rng(23);
+    Matrix m(30, 4);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() * (c + 1.0);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 4});
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(res.loadings(i, j),
+                        res.components(i, j)
+                            * std::sqrt(std::max(0.0, res.eigenvalues[j])),
+                        1e-10);
+}
+
+TEST(Pca, KaiserKeepsEigenvaluesAtLeastOne)
+{
+    bds::Pcg32 rng(29);
+    Matrix m(40, 10);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian()
+                + (c < 3 ? 2.0 * rng.nextGaussian() : 0.0);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized);
+    ASSERT_GE(res.numComponents, 1u);
+    for (std::size_t j = 0; j < res.numComponents; ++j)
+        EXPECT_GE(res.eigenvalues[j], 1.0 - 1e-9);
+    if (res.numComponents < res.eigenvalues.size()) {
+        EXPECT_LT(res.eigenvalues[res.numComponents], 1.0);
+    }
+}
+
+TEST(Pca, ForcedComponentCountWins)
+{
+    bds::Pcg32 rng(31);
+    Matrix m(20, 6);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian();
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 3});
+    EXPECT_EQ(res.numComponents, 3u);
+    EXPECT_EQ(res.scores.cols(), 3u);
+    EXPECT_EQ(res.loadings.cols(), 3u);
+}
+
+TEST(Pca, VarianceRatioIsAFraction)
+{
+    bds::Pcg32 rng(37);
+    Matrix m(25, 5);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian() * (1.0 + c);
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized);
+    double acc = 0.0;
+    for (double v : res.varianceRatio) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0 + 1e-12);
+        acc += v;
+    }
+    EXPECT_NEAR(acc, res.totalVarianceRetained, 1e-12);
+    EXPECT_LE(res.totalVarianceRetained, 1.0 + 1e-9);
+}
+
+TEST(Pca, DistancePreservedWithAllComponents)
+{
+    // With all PCs kept, projection is an isometry (rotation).
+    bds::Pcg32 rng(41);
+    Matrix m(15, 4);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.nextGaussian();
+    auto z = bds::zscore(m);
+    auto res = pca(z.normalized, PcaOptions{.forcedComponents = 4});
+    for (std::size_t a = 0; a < 5; ++a) {
+        for (std::size_t b = a + 1; b < 5; ++b) {
+            double d0 = 0.0, d1 = 0.0;
+            for (std::size_t c = 0; c < 4; ++c) {
+                double u = z.normalized(a, c) - z.normalized(b, c);
+                double v = res.scores(a, c) - res.scores(b, c);
+                d0 += u * u;
+                d1 += v * v;
+            }
+            EXPECT_NEAR(d0, d1, 1e-8);
+        }
+    }
+}
+
+TEST(Pca, TooFewRowsIsFatal)
+{
+    Matrix m(1, 3);
+    EXPECT_THROW(pca(m), bds::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+/** @file Tests for the silhouette score. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "stats/silhouette.h"
+
+namespace {
+
+using bds::Matrix;
+using bds::silhouetteScore;
+
+TEST(Silhouette, PerfectSeparationNearOne)
+{
+    Matrix data{{0, 0}, {0.1, 0}, {100, 100}, {100.1, 100}};
+    double s = silhouetteScore(data, {0, 0, 1, 1});
+    EXPECT_GT(s, 0.99);
+}
+
+TEST(Silhouette, BadAssignmentScoresLower)
+{
+    Matrix data{{0, 0}, {0.1, 0}, {100, 100}, {100.1, 100}};
+    double good = silhouetteScore(data, {0, 0, 1, 1});
+    double bad = silhouetteScore(data, {0, 1, 0, 1});
+    EXPECT_GT(good, bad);
+    EXPECT_LT(bad, 0.0);
+}
+
+TEST(Silhouette, BoundedInMinusOneOne)
+{
+    bds::Pcg32 rng(3);
+    Matrix data(20, 3);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            data(r, c) = rng.nextGaussian();
+    std::vector<std::size_t> labels(20);
+    for (std::size_t i = 0; i < 20; ++i)
+        labels[i] = i % 4;
+    double s = silhouetteScore(data, labels);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+}
+
+TEST(Silhouette, SingletonClustersContributeZero)
+{
+    Matrix data{{0, 0}, {50, 50}, {100, 100}};
+    // Every cluster is a singleton -> total score 0.
+    EXPECT_DOUBLE_EQ(silhouetteScore(data, {0, 1, 2}), 0.0);
+}
+
+TEST(Silhouette, RequiresTwoClusters)
+{
+    Matrix data{{0, 0}, {1, 1}};
+    EXPECT_THROW(silhouetteScore(data, {0, 0}), bds::FatalError);
+    EXPECT_THROW(silhouetteScore(data, {0}), bds::FatalError);
+}
+
+} // namespace

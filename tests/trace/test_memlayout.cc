@@ -1,0 +1,79 @@
+/** @file Tests for the simulated address-space layout. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "trace/memlayout.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::Region;
+
+TEST(MemLayout, RegionsDoNotOverlap)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Region::NumRegions);
+         ++i) {
+        for (unsigned j = i + 1;
+             j < static_cast<unsigned>(Region::NumRegions); ++j) {
+            auto ri = static_cast<Region>(i);
+            auto rj = static_cast<Region>(j);
+            std::uint64_t lo_i = bds::regionBase(ri);
+            std::uint64_t hi_i = lo_i + bds::regionCapacity(ri);
+            std::uint64_t lo_j = bds::regionBase(rj);
+            std::uint64_t hi_j = lo_j + bds::regionCapacity(rj);
+            EXPECT_TRUE(hi_i <= lo_j || hi_j <= lo_i)
+                << "regions " << i << " and " << j << " overlap";
+        }
+    }
+}
+
+TEST(MemLayout, AllocationsAreLineAlignedAndDisjoint)
+{
+    AddressSpace space;
+    std::uint64_t a = space.allocate(Region::Heap, 100);
+    std::uint64_t b = space.allocate(Region::Heap, 1);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 128); // 100 rounds to 128
+}
+
+TEST(MemLayout, UsedTracksAllocation)
+{
+    AddressSpace space;
+    EXPECT_EQ(space.used(Region::Heap), 0u);
+    space.allocate(Region::Heap, 64);
+    space.allocate(Region::Heap, 64);
+    EXPECT_EQ(space.used(Region::Heap), 128u);
+}
+
+TEST(MemLayout, ResetRegionReclaims)
+{
+    AddressSpace space;
+    std::uint64_t a = space.allocate(Region::KernelBuffer, 64);
+    space.resetRegion(Region::KernelBuffer);
+    EXPECT_EQ(space.used(Region::KernelBuffer), 0u);
+    std::uint64_t b = space.allocate(Region::KernelBuffer, 64);
+    EXPECT_EQ(a, b);
+}
+
+TEST(MemLayout, ExhaustionIsFatal)
+{
+    AddressSpace space;
+    EXPECT_THROW(
+        space.allocate(Region::UserCode,
+                       bds::regionCapacity(Region::UserCode) + 64),
+        bds::FatalError);
+}
+
+TEST(MemLayout, RegionOfRoundTrips)
+{
+    AddressSpace space;
+    std::uint64_t heap = space.allocate(Region::Heap, 64);
+    std::uint64_t code = space.allocate(Region::FrameworkCode, 64);
+    EXPECT_EQ(bds::regionOf(heap), Region::Heap);
+    EXPECT_EQ(bds::regionOf(code), Region::FrameworkCode);
+    EXPECT_THROW(bds::regionOf(0x10), bds::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/** @file Tests for trace recording, serialization, and replay. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "trace/recorder.h"
+#include "trace/runtime.h"
+#include "uarch/system.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::CountingSink;
+using bds::ExecContext;
+using bds::MicroOp;
+using bds::NodeConfig;
+using bds::Region;
+using bds::SystemModel;
+using bds::TraceRecorder;
+
+TEST(Recorder, TeesToDownstreamSink)
+{
+    CountingSink downstream;
+    TraceRecorder rec(&downstream);
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(rec, 0, user.defineFunction(128));
+    ctx.load(0x7f0000000000ULL);
+    ctx.intOps(3);
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(downstream.total, 4u);
+}
+
+TEST(Recorder, ReplayReproducesTheStream)
+{
+    TraceRecorder rec;
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(rec, 2, user.defineFunction(128));
+    ctx.load(0x7f0000000040ULL);
+    ctx.loadDependent(0x7f0000000080ULL);
+    ctx.store(0x7f00000000c0ULL);
+    ctx.branch(true);
+    ctx.microcoded(3);
+
+    CountingSink sink;
+    rec.replay(sink);
+    EXPECT_EQ(sink.total, 7u);
+    EXPECT_EQ(sink.loads, 2u);
+    EXPECT_EQ(sink.stores, 1u);
+    EXPECT_EQ(sink.branches, 1u);
+    EXPECT_EQ(sink.instructions, 5u);
+    EXPECT_EQ(sink.maxCore, 2u);
+}
+
+TEST(Recorder, SaveLoadRoundTrip)
+{
+    TraceRecorder rec;
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(rec, 1, user.defineFunction(128));
+    ctx.load(0x7f0000000000ULL);
+    ctx.branch(false);
+    rec.recordDma(0xffff900000000000ULL, 4096);
+
+    std::stringstream buf;
+    rec.save(buf);
+    TraceRecorder loaded = TraceRecorder::load(buf);
+    EXPECT_EQ(loaded.size(), rec.size());
+
+    CountingSink a, b;
+    std::uint64_t dma_a = 0, dma_b = 0;
+    rec.replay(a, [&](std::uint64_t, std::uint64_t n) { dma_a = n; });
+    loaded.replay(b, [&](std::uint64_t, std::uint64_t n) { dma_b = n; });
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(dma_a, 4096u);
+    EXPECT_EQ(dma_b, 4096u);
+}
+
+TEST(Recorder, LoadRejectsGarbage)
+{
+    std::stringstream buf("this is not a trace");
+    EXPECT_THROW(TraceRecorder::load(buf), bds::FatalError);
+    std::stringstream empty;
+    EXPECT_THROW(TraceRecorder::load(empty), bds::FatalError);
+}
+
+/**
+ * The headline property: replaying a recorded run into an
+ * identically configured fresh SystemModel reproduces the counters
+ * exactly.
+ */
+TEST(Recorder, ReplayIntoSameConfigIsExact)
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    TraceRecorder rec;
+    bds::PmcCounters live;
+    {
+        SystemModel sys(cfg);
+        sys.attachRecorder(&rec);
+        AddressSpace space;
+        CodeImage user(space, Region::UserCode);
+        std::vector<bds::FunctionDesc> fns;
+        for (int i = 0; i < 16; ++i)
+            fns.push_back(user.defineFunction(192));
+        ExecContext c0(sys, 0, fns[0]);
+        ExecContext c1(sys, 1, fns[1]);
+        std::uint64_t buf = space.allocate(Region::Heap, 4 << 20);
+        bds::Pcg32 rng(3);
+        for (int i = 0; i < 20000; ++i) {
+            ExecContext &ctx = (i & 1) ? c1 : c0;
+            ctx.call(fns[rng.nextBounded(16)]);
+            ctx.load(buf + (rng.next() % (4u << 20)) / 8 * 8);
+            ctx.branch(rng.nextDouble() < 0.7);
+            if (i % 5 == 0)
+                ctx.store(buf + (rng.next() % (4u << 20)) / 8 * 8);
+            ctx.ret();
+            if (i % 4096 == 0)
+                sys.dmaFill(buf + (rng.next() % (2u << 20)), 8192);
+        }
+        live = sys.aggregateCounters();
+    }
+
+    SystemModel replayed(cfg);
+    rec.replay(replayed, [&](std::uint64_t a, std::uint64_t n) {
+        replayed.dmaFill(a, n);
+    });
+    bds::PmcCounters again = replayed.aggregateCounters();
+
+    EXPECT_EQ(live.instructions, again.instructions);
+    EXPECT_EQ(live.uops, again.uops);
+    EXPECT_DOUBLE_EQ(live.cycles, again.cycles);
+    EXPECT_EQ(live.l1iMisses, again.l1iMisses);
+    EXPECT_EQ(live.l2Misses, again.l2Misses);
+    EXPECT_EQ(live.l3Misses, again.l3Misses);
+    EXPECT_EQ(live.loadLlcMiss, again.loadLlcMiss);
+    EXPECT_EQ(live.dtlbWalks, again.dtlbWalks);
+    EXPECT_EQ(live.branchesMispredicted, again.branchesMispredicted);
+    EXPECT_EQ(live.snoopHitM, again.snoopHitM);
+    EXPECT_EQ(live.offcoreWb, again.offcoreWb);
+}
+
+/** Replaying into a bigger L3 must not increase LLC misses. */
+TEST(Recorder, BiggerLlcNeverHurtsOnReplay)
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    TraceRecorder rec;
+    {
+        SystemModel sys(cfg);
+        sys.attachRecorder(&rec);
+        AddressSpace space;
+        CodeImage user(space, Region::UserCode);
+        ExecContext ctx(sys, 0, user.defineFunction(192));
+        std::uint64_t buf = space.allocate(Region::Heap, 24 << 20);
+        for (int pass = 0; pass < 2; ++pass)
+            ctx.scan(buf, 24 << 20, 256, 1);
+    }
+    auto misses_at = [&](std::uint64_t l3_bytes) {
+        NodeConfig c = cfg;
+        c.l3.sizeBytes = l3_bytes;
+        SystemModel sys(c);
+        rec.replay(sys, [&](std::uint64_t a, std::uint64_t n) {
+            sys.dmaFill(a, n);
+        });
+        return sys.aggregateCounters().l3Misses;
+    };
+    std::uint64_t small = misses_at(6ULL << 20);
+    std::uint64_t big = misses_at(48ULL << 20);
+    EXPECT_LT(big, small);
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/** @file Tests for CodeImage and the ExecContext instrumentation API. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "trace/memlayout.h"
+#include "trace/runtime.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::CountingSink;
+using bds::ExecContext;
+using bds::FunctionDesc;
+using bds::Mode;
+using bds::OpClass;
+using bds::Region;
+
+struct RuntimeFixture : public ::testing::Test
+{
+    AddressSpace space;
+    CodeImage user{space, Region::UserCode};
+    CountingSink sink;
+};
+
+TEST_F(RuntimeFixture, CodeImageAllocatesDisjointFunctions)
+{
+    FunctionDesc a = user.defineFunction(256);
+    FunctionDesc b = user.defineFunction(1024);
+    EXPECT_GE(b.base, a.base + a.size);
+    EXPECT_EQ(user.footprint(), 256u + 1024u);
+    EXPECT_EQ(user.numFunctions(), 2u);
+    EXPECT_EQ(user.function(0).base, a.base);
+    EXPECT_THROW(user.function(2), bds::FatalError);
+    EXPECT_THROW(user.defineFunction(0), bds::FatalError);
+}
+
+TEST_F(RuntimeFixture, CodeImageRequiresCodeRegion)
+{
+    EXPECT_THROW(CodeImage(space, Region::Heap), bds::FatalError);
+}
+
+TEST_F(RuntimeFixture, OpClassesAreEmittedAsRequested)
+{
+    FunctionDesc fn = user.defineFunction(512);
+    ExecContext ctx(sink, 0, fn);
+    ctx.load(0x7f0000000000ULL);
+    ctx.store(0x7f0000000040ULL);
+    ctx.branch(true);
+    ctx.intOps(3);
+    ctx.fpOps(2);
+    ctx.sseOps(1);
+    EXPECT_EQ(sink.loads, 1u);
+    EXPECT_EQ(sink.stores, 1u);
+    EXPECT_EQ(sink.branches, 1u);
+    EXPECT_EQ(sink.intAlu, 3u);
+    EXPECT_EQ(sink.fpAlu, 2u);
+    EXPECT_EQ(sink.sseAlu, 1u);
+    EXPECT_EQ(sink.total, 9u);
+    EXPECT_EQ(sink.instructions, 9u);
+    EXPECT_EQ(ctx.opsEmitted(), 9u);
+}
+
+TEST_F(RuntimeFixture, IpStaysInsideCurrentFunction)
+{
+    FunctionDesc fn = user.defineFunction(64); // 16 instruction slots
+    ExecContext ctx(sink, 0, fn);
+    for (int i = 0; i < 100; ++i) {
+        ctx.intOps(1);
+        EXPECT_GE(sink.last.ip, fn.base);
+        EXPECT_LT(sink.last.ip, fn.base + fn.size);
+    }
+}
+
+TEST_F(RuntimeFixture, CallAndRetSwitchFrames)
+{
+    FunctionDesc outer = user.defineFunction(256);
+    FunctionDesc inner = user.defineFunction(256);
+    ExecContext ctx(sink, 0, outer);
+    ctx.call(inner);
+    ctx.intOps(1);
+    EXPECT_GE(sink.last.ip, inner.base);
+    EXPECT_LT(sink.last.ip, inner.base + inner.size);
+    ctx.ret();
+    ctx.intOps(1);
+    EXPECT_GE(sink.last.ip, outer.base);
+    EXPECT_LT(sink.last.ip, outer.base + outer.size);
+}
+
+TEST_F(RuntimeFixture, RetFromEntryIsFatal)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    EXPECT_THROW(ctx.ret(), bds::FatalError);
+}
+
+TEST_F(RuntimeFixture, DeepRecursionIsFatal)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 1000; ++i)
+                ctx.call(fn);
+        },
+        bds::FatalError);
+}
+
+TEST_F(RuntimeFixture, ModeIsCarriedOnOps)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    ctx.intOps(2);
+    ctx.setMode(Mode::Kernel);
+    ctx.intOps(3);
+    ctx.setMode(Mode::User);
+    ctx.intOps(1);
+    EXPECT_EQ(sink.kernelOps, 3u);
+}
+
+TEST_F(RuntimeFixture, MicrocodedCountsOneInstructionManyUops)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    ctx.microcoded(5);
+    EXPECT_EQ(sink.total, 5u);
+    EXPECT_EQ(sink.instructions, 1u);
+    EXPECT_EQ(ctx.instructionsEmitted(), 1u);
+    EXPECT_THROW(ctx.microcoded(0), bds::FatalError);
+}
+
+TEST_F(RuntimeFixture, DependentLoadSetsFlag)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    ctx.load(0x7f0000000000ULL);
+    EXPECT_FALSE(sink.last.dependsOnPrevLoad);
+    ctx.loadDependent(0x7f0000000100ULL);
+    EXPECT_TRUE(sink.last.dependsOnPrevLoad);
+}
+
+TEST_F(RuntimeFixture, ScanTouchesWholeBuffer)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    ctx.scan(0x7f0000000000ULL, 4096, 64, 2);
+    EXPECT_EQ(sink.loads, 64u);            // 4096 / 64
+    EXPECT_EQ(sink.intAlu, 128u);          // 2 per element
+    EXPECT_EQ(sink.branches, 64u);         // loop back-edges
+    // The final back-edge is not taken (loop exit).
+    EXPECT_FALSE(sink.last.taken);
+}
+
+TEST_F(RuntimeFixture, MemcopyPairsLoadsAndStores)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 0, fn);
+    ctx.memcopy(0x7f0000100000ULL, 0x7f0000000000ULL, 1024);
+    EXPECT_EQ(sink.loads, 16u);
+    EXPECT_EQ(sink.stores, 16u);
+}
+
+TEST_F(RuntimeFixture, CoreIndexPropagates)
+{
+    FunctionDesc fn = user.defineFunction(64);
+    ExecContext ctx(sink, 3, fn);
+    ctx.intOps(1);
+    EXPECT_EQ(sink.maxCore, 3u);
+    EXPECT_EQ(ctx.core(), 3u);
+}
+
+} // namespace

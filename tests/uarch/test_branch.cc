@@ -1,0 +1,80 @@
+/** @file Tests for the gshare branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "uarch/branch.h"
+
+namespace {
+
+using bds::GshareBranchPredictor;
+
+TEST(Branch, LearnsAlwaysTaken)
+{
+    GshareBranchPredictor bp(12);
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (bp.predictAndTrain(0x400000, true))
+            ++correct;
+    EXPECT_GT(correct, 980);
+}
+
+TEST(Branch, LearnsAlwaysNotTaken)
+{
+    GshareBranchPredictor bp(12);
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (bp.predictAndTrain(0x400100, false))
+            ++correct;
+    EXPECT_GT(correct, 980);
+}
+
+TEST(Branch, LearnsShortPeriodicPattern)
+{
+    // Pattern T T T N repeated: global history disambiguates it.
+    GshareBranchPredictor bp(12);
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        bool taken = (i % 4) != 3;
+        if (bp.predictAndTrain(0x400200, taken))
+            ++correct;
+    }
+    EXPECT_GT(correct, n * 0.9);
+}
+
+TEST(Branch, RandomOutcomesNearChance)
+{
+    GshareBranchPredictor bp(12);
+    bds::Pcg32 rng(99);
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (bp.predictAndTrain(0x400300 + (rng.next() % 64) * 4,
+                               rng.nextDouble() < 0.5))
+            ++correct;
+    double acc = static_cast<double>(correct) / n;
+    EXPECT_GT(acc, 0.40);
+    EXPECT_LT(acc, 0.60);
+}
+
+TEST(Branch, BiasedOutcomesBeatChance)
+{
+    GshareBranchPredictor bp(12);
+    bds::Pcg32 rng(100);
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (bp.predictAndTrain(0x400400, rng.nextDouble() < 0.9))
+            ++correct;
+    EXPECT_GT(static_cast<double>(correct) / n, 0.85);
+}
+
+TEST(Branch, InvalidHistoryIsFatal)
+{
+    EXPECT_THROW(GshareBranchPredictor(0), bds::FatalError);
+    EXPECT_THROW(GshareBranchPredictor(30), bds::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "uarch/cache.h"
+
+namespace {
+
+using bds::CacheConfig;
+using bds::CoherenceState;
+using bds::SetAssocCache;
+
+CacheConfig
+tiny()
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return CacheConfig{512, 2, 64};
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.access(0x1000).hit);
+    c.insert(0x1000, CoherenceState::Exclusive);
+    auto look = c.access(0x1000);
+    EXPECT_TRUE(look.hit);
+    EXPECT_EQ(look.state, CoherenceState::Exclusive);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    SetAssocCache c(tiny());
+    c.insert(0x1000, CoherenceState::Shared);
+    EXPECT_TRUE(c.access(0x1001).hit);
+    EXPECT_TRUE(c.access(0x103F).hit);
+    EXPECT_FALSE(c.access(0x1040).hit); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache c(tiny());
+    // Three lines mapping to set 0 (set stride = 4 lines = 256 B).
+    std::uint64_t a = 0x0000, b = 0x0100, d = 0x0200;
+    c.insert(a, CoherenceState::Exclusive);
+    c.insert(b, CoherenceState::Exclusive);
+    c.access(a); // make b the LRU
+    auto ev = c.insert(d, CoherenceState::Exclusive);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b / 64);
+    EXPECT_TRUE(c.probe(a).hit);
+    EXPECT_FALSE(c.probe(b).hit);
+    EXPECT_TRUE(c.probe(d).hit);
+}
+
+TEST(Cache, EvictionReportsDirty)
+{
+    SetAssocCache c(tiny());
+    std::uint64_t a = 0x0000, b = 0x0100, d = 0x0200;
+    c.insert(a, CoherenceState::Modified);
+    c.setDirty(a);
+    c.insert(b, CoherenceState::Exclusive);
+    c.access(b); // a becomes LRU
+    auto ev = c.insert(d, CoherenceState::Exclusive);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a / 64);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, ProbeDoesNotDisturbLru)
+{
+    SetAssocCache c(tiny());
+    std::uint64_t a = 0x0000, b = 0x0100, d = 0x0200;
+    c.insert(a, CoherenceState::Exclusive);
+    c.insert(b, CoherenceState::Exclusive);
+    c.probe(a); // must NOT refresh a
+    auto ev = c.insert(d, CoherenceState::Exclusive);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a / 64); // a was still LRU
+}
+
+TEST(Cache, StateTransitions)
+{
+    SetAssocCache c(tiny());
+    c.insert(0x40, CoherenceState::Exclusive);
+    c.setState(0x40, CoherenceState::Shared);
+    EXPECT_EQ(c.probe(0x40).state, CoherenceState::Shared);
+    c.setState(0x40, CoherenceState::Modified);
+    EXPECT_EQ(c.probe(0x40).state, CoherenceState::Modified);
+    EXPECT_THROW(c.setState(0x40, CoherenceState::Invalid),
+                 bds::FatalError);
+    EXPECT_THROW(c.setState(0x9999000, CoherenceState::Shared),
+                 bds::FatalError);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness)
+{
+    SetAssocCache c(tiny());
+    c.insert(0x40, CoherenceState::Modified);
+    c.setDirty(0x40);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.probe(0x40).hit);
+    EXPECT_FALSE(c.invalidate(0x40)); // now absent
+}
+
+TEST(Cache, SharedMark)
+{
+    SetAssocCache c(tiny());
+    c.insert(0x40, CoherenceState::Shared);
+    EXPECT_FALSE(c.isMarkedShared(0x40));
+    c.markShared(0x40);
+    EXPECT_TRUE(c.isMarkedShared(0x40));
+    EXPECT_FALSE(c.isMarkedShared(0x8000)); // absent line
+    EXPECT_THROW(c.markShared(0x8000), bds::FatalError);
+}
+
+TEST(Cache, DoubleInsertIsPanic)
+{
+    SetAssocCache c(tiny());
+    c.insert(0x40, CoherenceState::Shared);
+    EXPECT_THROW(c.insert(0x40, CoherenceState::Shared), bds::FatalError);
+}
+
+TEST(Cache, ValidLineCount)
+{
+    SetAssocCache c(tiny());
+    EXPECT_EQ(c.validLines(), 0u);
+    c.insert(0x0, CoherenceState::Shared);
+    c.insert(0x40, CoherenceState::Shared);
+    EXPECT_EQ(c.validLines(), 2u);
+    c.invalidate(0x0);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    EXPECT_THROW(SetAssocCache(CacheConfig{512, 3, 64}), bds::FatalError);
+    EXPECT_THROW(SetAssocCache(CacheConfig{512, 2, 63}), bds::FatalError);
+    EXPECT_THROW(SetAssocCache(CacheConfig{0, 2, 64}), bds::FatalError);
+}
+
+/** Working-set sweep: hit rate collapses once the set exceeds capacity. */
+class CacheCapacity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheCapacity, WorkingSetVsCapacity)
+{
+    CacheConfig cfg{32 * 1024, 8, 64}; // 32 KB
+    SetAssocCache c(cfg);
+    std::uint64_t ws = GetParam();
+
+    std::uint64_t hits = 0, accesses = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t addr = 0; addr < ws; addr += 64) {
+            ++accesses;
+            if (c.access(addr).hit)
+                ++hits;
+            else
+                c.insert(addr, CoherenceState::Exclusive);
+        }
+    }
+    double rate = static_cast<double>(hits) / accesses;
+    if (ws <= cfg.sizeBytes) {
+        EXPECT_GT(rate, 0.70) << "ws=" << ws;
+    } else if (ws >= 2 * cfg.sizeBytes) {
+        EXPECT_LT(rate, 0.05) << "ws=" << ws; // LRU thrash on loop
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, CacheCapacity,
+                         ::testing::Values(8 * 1024, 16 * 1024, 32 * 1024,
+                                           64 * 1024, 128 * 1024));
+
+} // namespace

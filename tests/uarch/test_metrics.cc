@@ -1,0 +1,248 @@
+/** @file Tests for Table II metric extraction. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "trace/runtime.h"
+#include "uarch/metrics.h"
+#include "uarch/system.h"
+#include "uarch/pmc.h"
+
+namespace {
+
+using bds::extractMetrics;
+using bds::kNumMetrics;
+using bds::Metric;
+using bds::MetricVector;
+using bds::PmcCounters;
+
+double
+get(const MetricVector &v, Metric m)
+{
+    return v[static_cast<std::size_t>(m)];
+}
+
+PmcCounters
+sampleCounters()
+{
+    PmcCounters pmc;
+    pmc.instructions = 1000;
+    pmc.uops = 1300;
+    pmc.cycles = 2000.0;
+    pmc.loadInstrs = 300;
+    pmc.storeInstrs = 100;
+    pmc.branchInstrs = 150;
+    pmc.intInstrs = 400;
+    pmc.fpInstrs = 30;
+    pmc.sseInstrs = 20;
+    pmc.kernelInstrs = 250;
+    pmc.userInstrs = 750;
+    pmc.l1iHits = 900;
+    pmc.l1iMisses = 100;
+    pmc.l2Hits = 80;
+    pmc.l2Misses = 60;
+    pmc.l3Hits = 40;
+    pmc.l3Misses = 20;
+    pmc.loadHitLfb = 15;
+    pmc.loadHitL2 = 50;
+    pmc.loadHitSibling = 5;
+    pmc.loadHitL3Unshared = 30;
+    pmc.loadLlcMiss = 18;
+    pmc.itlbWalks = 4;
+    pmc.itlbWalkCycles = 120.0;
+    pmc.dtlbWalks = 8;
+    pmc.dtlbWalkCycles = 240.0;
+    pmc.dataHitStlb = 12;
+    pmc.branchesRetired = 150;
+    pmc.branchesMispredicted = 15;
+    pmc.branchesExecuted = 180;
+    pmc.fetchStallCycles = 200.0;
+    pmc.ildStallCycles = 30.0;
+    pmc.decoderStallCycles = 20.0;
+    pmc.ratStallCycles = 60.0;
+    pmc.resourceStallCycles = 300.0;
+    pmc.uopsExecutedCycles = 325.0;
+    pmc.offcoreData = 50;
+    pmc.offcoreCode = 20;
+    pmc.offcoreRfo = 20;
+    pmc.offcoreWb = 10;
+    pmc.snoopHit = 6;
+    pmc.snoopHitE = 4;
+    pmc.snoopHitM = 2;
+    pmc.mlpSum = 36.0;
+    pmc.mlpSamples = 18;
+    return pmc;
+}
+
+TEST(Metrics, TableIIValues)
+{
+    MetricVector v = extractMetrics(sampleCounters());
+    EXPECT_DOUBLE_EQ(get(v, Metric::Load), 0.3);
+    EXPECT_DOUBLE_EQ(get(v, Metric::Store), 0.1);
+    EXPECT_DOUBLE_EQ(get(v, Metric::Branch), 0.15);
+    EXPECT_DOUBLE_EQ(get(v, Metric::Integer), 0.4);
+    EXPECT_DOUBLE_EQ(get(v, Metric::FpX87), 0.03);
+    EXPECT_DOUBLE_EQ(get(v, Metric::SseFp), 0.02);
+    EXPECT_DOUBLE_EQ(get(v, Metric::KernelMode), 0.25);
+    EXPECT_DOUBLE_EQ(get(v, Metric::UserMode), 0.75);
+    EXPECT_DOUBLE_EQ(get(v, Metric::UopsToIns), 1.3);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L1iMiss), 100.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L1iHit), 900.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L2Miss), 60.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L2Hit), 80.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L3Miss), 20.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::L3Hit), 40.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::LoadHitLfb), 15.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::LoadHitL2), 50.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::LoadHitSibe), 5.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::LoadHitL3), 30.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::LoadLlcMiss), 18.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::ItlbMiss), 4.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::ItlbCycle), 0.06);
+    EXPECT_DOUBLE_EQ(get(v, Metric::DtlbMiss), 8.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::DtlbCycle), 0.12);
+    EXPECT_DOUBLE_EQ(get(v, Metric::DataHitStlb), 12.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::BrMiss), 0.1);
+    EXPECT_DOUBLE_EQ(get(v, Metric::BrExeToRe), 1.2);
+    EXPECT_DOUBLE_EQ(get(v, Metric::FetchStall), 0.1);
+    EXPECT_DOUBLE_EQ(get(v, Metric::IldStall), 0.015);
+    EXPECT_DOUBLE_EQ(get(v, Metric::DecoderStall), 0.01);
+    EXPECT_DOUBLE_EQ(get(v, Metric::RatStall), 0.03);
+    EXPECT_DOUBLE_EQ(get(v, Metric::ResourceStall), 0.15);
+    EXPECT_DOUBLE_EQ(get(v, Metric::UopsExeCycle), 0.1625);
+    EXPECT_DOUBLE_EQ(get(v, Metric::UopsStall), 0.8375);
+    EXPECT_DOUBLE_EQ(get(v, Metric::OffcoreData), 0.5);
+    EXPECT_DOUBLE_EQ(get(v, Metric::OffcoreCode), 0.2);
+    EXPECT_DOUBLE_EQ(get(v, Metric::OffcoreRfo), 0.2);
+    EXPECT_DOUBLE_EQ(get(v, Metric::OffcoreWb), 0.1);
+    EXPECT_DOUBLE_EQ(get(v, Metric::SnoopHit), 6.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::SnoopHitE), 4.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::SnoopHitM), 2.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::Ilp), 0.5);
+    EXPECT_DOUBLE_EQ(get(v, Metric::Mlp), 2.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::IntToMem), 1.0);
+    EXPECT_DOUBLE_EQ(get(v, Metric::FpToMem), 0.125);
+}
+
+TEST(Metrics, ZeroCountersProduceFiniteDefaults)
+{
+    MetricVector v = extractMetrics(PmcCounters{});
+    for (double m : v)
+        EXPECT_TRUE(std::isfinite(m));
+    EXPECT_DOUBLE_EQ(get(v, Metric::Mlp), 1.0); // no samples -> 1
+}
+
+TEST(Metrics, NamesMatchTableII)
+{
+    EXPECT_STREQ(bds::metricName(Metric::L3Miss), "L3 MISS");
+    EXPECT_STREQ(bds::metricName(Metric::DataHitStlb), "DATA HIT STLB");
+    EXPECT_STREQ(bds::metricName(Metric::FpToMem), "FP TO MEM");
+    EXPECT_STREQ(bds::metricName(std::size_t{0}), "LOAD");
+    EXPECT_THROW(bds::metricName(std::size_t{45}), bds::FatalError);
+    auto names = bds::metricNames();
+    ASSERT_EQ(names.size(), kNumMetrics);
+    EXPECT_EQ(names[41], "ILP");
+}
+
+TEST(Metrics, InstructionSharesSumToOne)
+{
+    MetricVector v = extractMetrics(sampleCounters());
+    double mix = get(v, Metric::Load) + get(v, Metric::Store)
+        + get(v, Metric::Branch) + get(v, Metric::Integer)
+        + get(v, Metric::FpX87) + get(v, Metric::SseFp);
+    EXPECT_NEAR(mix, 1.0, 1e-12);
+    EXPECT_NEAR(get(v, Metric::KernelMode) + get(v, Metric::UserMode),
+                1.0, 1e-12);
+    double off = get(v, Metric::OffcoreData) + get(v, Metric::OffcoreCode)
+        + get(v, Metric::OffcoreRfo) + get(v, Metric::OffcoreWb);
+    EXPECT_NEAR(off, 1.0, 1e-12);
+}
+
+/**
+ * Property: metrics extracted from any live random op soup stay in
+ * their domains — shares in [0, 1], per-K-instruction rates and
+ * parallelism degrees non-negative and finite.
+ */
+class MetricDomains : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MetricDomains, RandomSoupStaysInDomain)
+{
+    bds::SystemModel sys(bds::NodeConfig::defaultSim());
+    bds::AddressSpace space;
+    bds::CodeImage user(space, bds::Region::UserCode);
+    std::vector<bds::FunctionDesc> fns;
+    for (int i = 0; i < 24; ++i)
+        fns.push_back(user.defineFunction(160));
+    bds::ExecContext ctx(sys, 0, fns[0]);
+    std::uint64_t heap = space.allocate(bds::Region::Heap, 8 << 20);
+
+    bds::Pcg32 rng(GetParam());
+    for (int i = 0; i < 30000; ++i) {
+        switch (rng.nextBounded(8)) {
+          case 0: ctx.load(heap + rng.next() % (8u << 20)); break;
+          case 1: ctx.store(heap + rng.next() % (8u << 20)); break;
+          case 2: ctx.branch(rng.nextDouble() < 0.6); break;
+          case 3: ctx.fpOps(1); break;
+          case 4: ctx.sseOps(1); break;
+          case 5: ctx.microcoded(1 + rng.nextBounded(4)); break;
+          case 6:
+            ctx.call(fns[rng.nextBounded(24)]);
+            ctx.intOps(2);
+            ctx.ret();
+            break;
+          case 7: ctx.loadDependent(heap + rng.next() % (8u << 20));
+            break;
+        }
+    }
+
+    MetricVector v = extractMetrics(sys.aggregateCounters());
+    auto get = [&](Metric m) {
+        return v[static_cast<std::size_t>(m)];
+    };
+    for (Metric m : {Metric::Load, Metric::Store, Metric::Branch,
+                     Metric::Integer, Metric::FpX87, Metric::SseFp,
+                     Metric::KernelMode, Metric::UserMode,
+                     Metric::BrMiss, Metric::FetchStall,
+                     Metric::IldStall, Metric::DecoderStall,
+                     Metric::RatStall, Metric::ResourceStall,
+                     Metric::UopsExeCycle, Metric::UopsStall,
+                     Metric::OffcoreData, Metric::OffcoreCode,
+                     Metric::OffcoreRfo, Metric::OffcoreWb}) {
+        EXPECT_GE(get(m), 0.0) << static_cast<unsigned>(m);
+        EXPECT_LE(get(m), 1.0) << static_cast<unsigned>(m);
+    }
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        EXPECT_TRUE(std::isfinite(v[i])) << i;
+        EXPECT_GE(v[i], 0.0) << i;
+    }
+    EXPECT_GE(get(Metric::UopsToIns), 1.0);
+    EXPECT_GE(get(Metric::Mlp), 1.0);
+    EXPECT_GE(get(Metric::BrExeToRe), 1.0);
+    // Stall shares cannot exceed total cycles.
+    EXPECT_LE(get(Metric::FetchStall) + get(Metric::ResourceStall)
+                  + get(Metric::RatStall),
+              1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricDomains,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Metrics, AggregationIsAdditive)
+{
+    PmcCounters a = sampleCounters();
+    PmcCounters b = sampleCounters();
+    b.instructions = 500;
+    b.l3Misses = 100;
+    PmcCounters sum = a;
+    sum += b;
+    EXPECT_EQ(sum.instructions, 1500u);
+    EXPECT_EQ(sum.l3Misses, 120u);
+    EXPECT_DOUBLE_EQ(sum.cycles, 4000.0);
+}
+
+} // namespace

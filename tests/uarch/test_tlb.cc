@@ -1,0 +1,93 @@
+/** @file Tests for the two-level TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "uarch/tlb.h"
+
+namespace {
+
+using bds::TlbArray;
+using bds::TlbConfig;
+using bds::TlbOutcome;
+using bds::TwoLevelTlb;
+
+TwoLevelTlb
+westmereTlb()
+{
+    return TwoLevelTlb(TlbConfig{64, 4}, TlbConfig{64, 4},
+                       TlbConfig{512, 4}, 4096);
+}
+
+TEST(Tlb, ColdAccessWalksThenHits)
+{
+    auto tlb = westmereTlb();
+    EXPECT_EQ(tlb.translateData(0x1000), TlbOutcome::Walk);
+    EXPECT_EQ(tlb.translateData(0x1008), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.translateData(0x1FFF), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.translateData(0x2000), TlbOutcome::Walk); // next page
+}
+
+TEST(Tlb, StlbCatchesL1Evictions)
+{
+    auto tlb = westmereTlb();
+    // Touch 128 pages: fills the 64-entry L1 DTLB twice over but fits
+    // comfortably in the 512-entry STLB.
+    for (std::uint64_t p = 0; p < 128; ++p)
+        tlb.translateData(p * 4096);
+    // Re-touch the early pages: L1 evicted them, STLB still has them.
+    int stlb_hits = 0;
+    for (std::uint64_t p = 0; p < 32; ++p)
+        if (tlb.translateData(p * 4096) == TlbOutcome::StlbHit)
+            ++stlb_hits;
+    EXPECT_GT(stlb_hits, 24);
+}
+
+TEST(Tlb, FootprintBeyondStlbWalksAgain)
+{
+    auto tlb = westmereTlb();
+    // 2048 pages (8 MB) blow out the 512-entry STLB.
+    for (std::uint64_t p = 0; p < 2048; ++p)
+        tlb.translateData(p * 4096);
+    int walks = 0;
+    for (std::uint64_t p = 0; p < 64; ++p)
+        if (tlb.translateData(p * 4096) == TlbOutcome::Walk)
+            ++walks;
+    EXPECT_GT(walks, 48);
+}
+
+TEST(Tlb, CodeAndDataL1sAreSplit)
+{
+    auto tlb = westmereTlb();
+    EXPECT_EQ(tlb.translateData(0x5000), TlbOutcome::Walk);
+    // Same page via the code path misses its own L1 but hits the
+    // shared STLB, which the data walk filled.
+    EXPECT_EQ(tlb.translateCode(0x5000), TlbOutcome::StlbHit);
+    // Now both L1s hold it.
+    EXPECT_EQ(tlb.translateCode(0x5004), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.translateData(0x5008), TlbOutcome::L1Hit);
+}
+
+TEST(Tlb, ArrayLruReplacement)
+{
+    TlbArray arr(TlbConfig{4, 2}); // 2 sets x 2 ways
+    // Pages 0, 2, 4 all map to set 0.
+    arr.insert(0);
+    arr.insert(2);
+    EXPECT_TRUE(arr.access(0)); // refresh 0; page 2 becomes LRU
+    arr.insert(4);
+    EXPECT_TRUE(arr.access(0));
+    EXPECT_FALSE(arr.access(2));
+    EXPECT_TRUE(arr.access(4));
+}
+
+TEST(Tlb, BadGeometryIsFatal)
+{
+    EXPECT_THROW(TlbArray(TlbConfig{5, 2}), bds::FatalError);
+    EXPECT_THROW(TlbArray(TlbConfig{0, 2}), bds::FatalError);
+    EXPECT_THROW(TwoLevelTlb(TlbConfig{64, 4}, TlbConfig{64, 4},
+                             TlbConfig{512, 4}, 1000),
+                 bds::FatalError);
+}
+
+} // namespace

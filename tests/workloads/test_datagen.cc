@@ -1,0 +1,149 @@
+/** @file Tests for the synthetic data generators. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "workloads/datagen.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::Dataset;
+
+TEST(Datagen, CorpusShapeAndZipf)
+{
+    AddressSpace space;
+    Dataset c = bds::makeTextCorpus(space, 40000, 500, 4, 3, 7);
+    EXPECT_EQ(c.partitions().size(), 4u);
+    EXPECT_EQ(c.totalRecords(), 40000u);
+
+    std::map<std::uint64_t, unsigned> freq;
+    std::set<std::uint64_t> classes;
+    for (const auto &p : c.partitions())
+        for (const auto &r : p.host) {
+            EXPECT_LT(r.key, 500u);
+            ++freq[r.key];
+            classes.insert(r.value & 0xff);
+        }
+    // Zipf: the most frequent word dwarfs the median.
+    EXPECT_GT(freq[0], 40000u / 500u * 10);
+    // All classes appear and are within range.
+    EXPECT_EQ(classes.size(), 3u);
+    for (std::uint64_t cls : classes)
+        EXPECT_LT(cls, 3u);
+}
+
+TEST(Datagen, CorpusIsDeterministic)
+{
+    AddressSpace s1, s2;
+    Dataset a = bds::makeTextCorpus(s1, 1000, 100, 2, 2, 11);
+    Dataset b = bds::makeTextCorpus(s2, 1000, 100, 2, 2, 11);
+    for (std::size_t p = 0; p < 2; ++p)
+        for (std::size_t i = 0; i < a.partitions()[p].host.size(); ++i) {
+            EXPECT_EQ(a.partitions()[p].host[i].key,
+                      b.partitions()[p].host[i].key);
+            EXPECT_EQ(a.partitions()[p].host[i].value,
+                      b.partitions()[p].host[i].value);
+        }
+}
+
+TEST(Datagen, DifferentSeedsDiffer)
+{
+    AddressSpace s1, s2;
+    Dataset a = bds::makeTextCorpus(s1, 1000, 100, 1, 2, 1);
+    Dataset b = bds::makeTextCorpus(s2, 1000, 100, 1, 2, 2);
+    unsigned same = 0;
+    for (std::size_t i = 0; i < 1000; ++i)
+        if (a.partitions()[0].host[i].key == b.partitions()[0].host[i].key)
+            ++same;
+    EXPECT_LT(same, 500u);
+}
+
+TEST(Datagen, TableKeysInRange)
+{
+    AddressSpace space;
+    Dataset t = bds::makeTable(space, 5000, 37, 4, 96, 3);
+    EXPECT_EQ(t.totalRecords(), 5000u);
+    for (const auto &p : t.partitions()) {
+        EXPECT_EQ(p.ext.recordBytes, 96u);
+        for (const auto &r : p.host)
+            EXPECT_LT(r.key, 37u);
+    }
+    // Simulated footprint matches rows x row_bytes.
+    EXPECT_EQ(t.totalBytes(), 5000u * 96u);
+}
+
+TEST(Datagen, GraphEdgesInRange)
+{
+    AddressSpace space;
+    Dataset g = bds::makeGraph(space, 10000, 256, 4, 5);
+    std::map<std::uint64_t, unsigned> indeg;
+    for (const auto &p : g.partitions())
+        for (const auto &r : p.host) {
+            EXPECT_LT(r.key, 256u);
+            EXPECT_LT(r.value, 256u);
+            ++indeg[r.value];
+        }
+    // Preferential attachment: vertex 0 collects far more in-edges
+    // than the uniform share.
+    EXPECT_GT(indeg[0], 10000u / 256u * 5);
+}
+
+TEST(Datagen, PointPackingRoundTrips)
+{
+    double xs[] = {0.0, 1.5, -2.25, 300.125, -511.5};
+    for (double x : xs)
+        for (double y : xs) {
+            std::uint64_t packed = bds::packPoint(x, y);
+            EXPECT_NEAR(bds::pointX(packed), x, 1e-4);
+            EXPECT_NEAR(bds::pointY(packed), y, 1e-4);
+        }
+}
+
+TEST(Datagen, PointsClusterAroundCenters)
+{
+    AddressSpace space;
+    Dataset pts = bds::makePoints(space, 4000, 4, 4, 9);
+    EXPECT_EQ(pts.totalRecords(), 4000u);
+    // Every point is within a few sigma of one of the 4 centers.
+    for (const auto &p : pts.partitions())
+        for (const auto &r : p.host) {
+            double x = bds::pointX(r.value);
+            double y = bds::pointY(r.value);
+            bool near_center = false;
+            for (unsigned c = 0; c < 4; ++c) {
+                double dx = x - 100.0 * (c % 4);
+                double dy = y - 100.0 * (c / 4);
+                if (dx * dx + dy * dy < 40.0 * 40.0)
+                    near_center = true;
+            }
+            EXPECT_TRUE(near_center) << x << "," << y;
+        }
+}
+
+TEST(Datagen, InvalidParametersAreFatal)
+{
+    AddressSpace space;
+    EXPECT_THROW(bds::makeTextCorpus(space, 100, 0, 2, 2, 1),
+                 bds::FatalError);
+    EXPECT_THROW(bds::makeTextCorpus(space, 100, 10, 0, 2, 1),
+                 bds::FatalError);
+    EXPECT_THROW(bds::makeTable(space, 100, 0, 2, 96, 1),
+                 bds::FatalError);
+    EXPECT_THROW(bds::makeGraph(space, 100, 0, 2, 1), bds::FatalError);
+    EXPECT_THROW(bds::makePoints(space, 100, 0, 2, 1), bds::FatalError);
+}
+
+TEST(Datagen, ScaleProfilesAreOrdered)
+{
+    auto q = bds::ScaleProfile::quick();
+    auto s = bds::ScaleProfile::standard();
+    auto f = bds::ScaleProfile::full();
+    EXPECT_LT(q.unitRecords, s.unitRecords);
+    EXPECT_LT(s.unitRecords, f.unitRecords);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/** @file Semantic tests for the six offline algorithms on both engines. */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "stack/hadoop.h"
+#include "stack/spark.h"
+#include "workloads/datagen.h"
+#include "workloads/offline.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::Dataset;
+using bds::MapReduceEngine;
+using bds::NodeConfig;
+using bds::OfflineWorkloads;
+using bds::RddEngine;
+using bds::Record;
+using bds::SystemModel;
+
+struct OfflineFixture : public ::testing::TestWithParam<bool>
+{
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys{cfg};
+    AddressSpace space;
+    std::unique_ptr<bds::StackEngine> eng;
+
+    void
+    SetUp() override
+    {
+        if (GetParam())
+            eng = std::make_unique<RddEngine>(sys, space);
+        else
+            eng = std::make_unique<MapReduceEngine>(sys, space);
+    }
+};
+
+TEST_P(OfflineFixture, SortOrdersAllRecords)
+{
+    Dataset in = bds::makeTable(space, 3000, UINT64_MAX, 4, 64, 1);
+    OfflineWorkloads wl(*eng);
+    Dataset out = wl.runSort(in);
+    std::vector<std::uint64_t> keys;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            keys.push_back(r.key);
+    EXPECT_EQ(keys.size(), 3000u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(OfflineFixture, WordCountMatchesReference)
+{
+    Dataset corpus = bds::makeTextCorpus(space, 5000, 200, 4, 2, 2);
+    std::map<std::uint64_t, std::uint64_t> expected;
+    for (const auto &p : corpus.partitions())
+        for (const Record &r : p.host)
+            ++expected[r.key];
+
+    OfflineWorkloads wl(*eng);
+    Dataset out = wl.runWordCount(corpus);
+    std::map<std::uint64_t, std::uint64_t> got;
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            got[r.key] += r.value;
+    EXPECT_EQ(got, expected);
+}
+
+TEST_P(OfflineFixture, GrepSelectsAroundFivePercent)
+{
+    Dataset corpus = bds::makeTextCorpus(space, 8000, 200, 4, 2, 3);
+    OfflineWorkloads wl(*eng);
+    Dataset out = wl.runGrep(corpus);
+    double sel = static_cast<double>(out.totalRecords()) / 8000.0;
+    EXPECT_GT(sel, 0.02);
+    EXPECT_LT(sel, 0.10);
+}
+
+TEST_P(OfflineFixture, BayesClassifiesEveryRecord)
+{
+    Dataset corpus = bds::makeTextCorpus(space, 4000, 128, 4, 3, 4);
+    OfflineWorkloads wl(*eng);
+    Dataset out = wl.runNaiveBayes(corpus, 3, 128);
+    EXPECT_EQ(out.totalRecords(), 4000u);
+    for (const auto &p : out.partitions())
+        for (const Record &r : p.host)
+            EXPECT_LT(r.value, 3u);
+}
+
+TEST_P(OfflineFixture, KMeansRecoversPlantedCenters)
+{
+    Dataset points = bds::makePoints(space, 4000, 4, 4, 5);
+    OfflineWorkloads wl(*eng);
+    wl.runKMeans(points, 4, 4);
+    const auto &centers = wl.centers();
+    ASSERT_EQ(centers.size(), 4u);
+    // Lloyd's algorithm can land in a local optimum, but at least
+    // three of the four planted centers must be recovered closely.
+    unsigned recovered = 0;
+    for (unsigned pc = 0; pc < 4; ++pc) {
+        double px = 100.0 * (pc % 4);
+        double py = 100.0 * (pc / 4);
+        for (std::uint64_t c : centers) {
+            double dx = bds::pointX(c) - px;
+            double dy = bds::pointY(c) - py;
+            if (dx * dx + dy * dy < 20.0 * 20.0) {
+                ++recovered;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(recovered, 3u);
+}
+
+TEST_P(OfflineFixture, PageRankFavorsPopularVertices)
+{
+    const std::uint64_t vertices = 200;
+    Dataset edges = bds::makeGraph(space, 8000, vertices, 4, 6);
+    OfflineWorkloads wl(*eng);
+    wl.runPageRank(edges, vertices, 3);
+    const auto &ranks = wl.ranks();
+    ASSERT_EQ(ranks.size(), vertices);
+    // Vertex 0 is the Zipf-most-popular destination: its rank must
+    // beat the median by a wide margin.
+    std::vector<std::uint64_t> sorted(ranks.begin(), ranks.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_GT(ranks[0], 3 * sorted[vertices / 2]);
+}
+
+TEST_P(OfflineFixture, InvalidParametersAreFatal)
+{
+    Dataset corpus = bds::makeTextCorpus(space, 100, 32, 2, 2, 7);
+    OfflineWorkloads wl(*eng);
+    EXPECT_THROW(wl.runNaiveBayes(corpus, 0, 32), bds::FatalError);
+    EXPECT_THROW(wl.runKMeans(corpus, 0, 1), bds::FatalError);
+    EXPECT_THROW(wl.runPageRank(corpus, 0, 1), bds::FatalError);
+    EXPECT_THROW(wl.runKMeans(corpus, 4, 0), bds::FatalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, OfflineFixture,
+                         ::testing::Values(false, true),
+                         [](const auto &info) {
+                             return info.param ? "Spark" : "Hadoop";
+                         });
+
+} // namespace

@@ -1,0 +1,164 @@
+/** @file Tests for the 32-workload registry and runner. */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using bds::Algorithm;
+using bds::allWorkloads;
+using bds::kNumMetrics;
+using bds::Metric;
+using bds::NodeConfig;
+using bds::ScaleProfile;
+using bds::StackKind;
+using bds::WorkloadId;
+using bds::WorkloadRunner;
+
+TEST(Registry, ThirtyTwoUniqueWorkloads)
+{
+    auto ids = allWorkloads();
+    ASSERT_EQ(ids.size(), 32u);
+    std::set<std::string> names;
+    for (const auto &id : ids)
+        names.insert(id.name());
+    EXPECT_EQ(names.size(), 32u);
+    EXPECT_TRUE(names.count("H-Sort"));
+    EXPECT_TRUE(names.count("S-AggQuery"));
+    EXPECT_TRUE(names.count("H-SelectQuery"));
+    EXPECT_TRUE(names.count("S-Kmeans"));
+}
+
+TEST(Registry, NamesUsePaperPrefixes)
+{
+    WorkloadId h{Algorithm::PageRank, StackKind::Hadoop};
+    WorkloadId s{Algorithm::PageRank, StackKind::Spark};
+    EXPECT_EQ(h.name(), "H-PageRank");
+    EXPECT_EQ(s.name(), "S-PageRank");
+}
+
+TEST(Registry, InteractiveSplitMatchesTableI)
+{
+    unsigned interactive = 0;
+    for (unsigned a = 0; a < bds::kNumAlgorithms; ++a)
+        if (bds::isInteractive(static_cast<Algorithm>(a)))
+            ++interactive;
+    EXPECT_EQ(interactive, 10u);
+    EXPECT_FALSE(bds::isInteractive(Algorithm::PageRank));
+    EXPECT_TRUE(bds::isInteractive(Algorithm::Projection));
+}
+
+TEST(Registry, RelativeSizesFollowTableI)
+{
+    EXPECT_DOUBLE_EQ(bds::relativeInputSize(Algorithm::WordCount), 1.0);
+    EXPECT_LT(bds::relativeInputSize(Algorithm::KMeans), 0.5);
+    EXPECT_LT(bds::relativeInputSize(Algorithm::JoinQuery),
+              bds::relativeInputSize(Algorithm::OrderBy));
+}
+
+struct RunnerFixture : public ::testing::Test
+{
+    WorkloadRunner runner{NodeConfig::defaultSim(),
+                          ScaleProfile::quick(), 42};
+};
+
+TEST_F(RunnerFixture, RunProducesFiniteMetrics)
+{
+    auto res = runner.run(WorkloadId{Algorithm::WordCount,
+                                     StackKind::Hadoop});
+    EXPECT_GT(res.counters.instructions, 100000u);
+    for (double m : res.metrics)
+        EXPECT_TRUE(std::isfinite(m));
+    // Basic sanity: instruction mix fractions in [0, 1].
+    EXPECT_GT(res.metrics[static_cast<std::size_t>(Metric::Load)], 0.0);
+    EXPECT_LT(res.metrics[static_cast<std::size_t>(Metric::Load)], 1.0);
+}
+
+TEST_F(RunnerFixture, RunsAreDeterministic)
+{
+    WorkloadId id{Algorithm::Grep, StackKind::Spark};
+    auto a = runner.run(id);
+    auto b = runner.run(id);
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]);
+}
+
+TEST_F(RunnerFixture, StacksDifferOnSameAlgorithm)
+{
+    // The data-footprint asymmetry needs inputs that exceed the L3,
+    // so this test runs at a larger scale than the quick profile.
+    ScaleProfile mid = ScaleProfile::quick();
+    mid.unitRecords = 60000;
+    WorkloadRunner mid_runner{NodeConfig::defaultSim(), mid, 42};
+    auto h = mid_runner.run(WorkloadId{Algorithm::Aggregation,
+                                       StackKind::Hadoop});
+    auto s = mid_runner.run(WorkloadId{Algorithm::Aggregation,
+                                       StackKind::Spark});
+    // The headline asymmetries hold even at quick scale.
+    double h_l1i = h.metrics[static_cast<std::size_t>(Metric::L1iMiss)];
+    double s_l1i = s.metrics[static_cast<std::size_t>(Metric::L1iMiss)];
+    EXPECT_GT(h_l1i, s_l1i);
+    double h_l3 = h.metrics[static_cast<std::size_t>(Metric::L3Miss)];
+    double s_l3 = s.metrics[static_cast<std::size_t>(Metric::L3Miss)];
+    EXPECT_GT(s_l3, h_l3);
+}
+
+TEST_F(RunnerFixture, PaperSixCoreConfigRuns)
+{
+    // The paper preset (6 cores per socket) must work end to end.
+    WorkloadRunner paper{NodeConfig::westmere(), ScaleProfile::quick(),
+                         42};
+    auto res = paper.run(WorkloadId{Algorithm::Filter,
+                                    StackKind::Spark});
+    EXPECT_GT(res.counters.instructions, 10000u);
+    for (double m : res.metrics)
+        EXPECT_TRUE(std::isfinite(m));
+}
+
+TEST_F(RunnerFixture, ClusterModeAveragesNodes)
+{
+    WorkloadRunner cluster{NodeConfig::defaultSim(),
+                           ScaleProfile::quick(), 42};
+    cluster.setClusterNodes(2);
+    EXPECT_EQ(cluster.clusterNodes(), 2u);
+
+    WorkloadId id{Algorithm::Grep, StackKind::Hadoop};
+    auto single = runner.run(id);
+    auto multi = cluster.run(id);
+
+    // Counters aggregate over nodes; metrics are per-node means.
+    EXPECT_GT(multi.counters.instructions,
+              15 * single.counters.instructions / 10);
+    for (double m : multi.metrics)
+        EXPECT_TRUE(std::isfinite(m));
+    // Shares stay shares after averaging.
+    double kernel = multi.metrics[static_cast<std::size_t>(
+        Metric::KernelMode)];
+    EXPECT_GT(kernel, 0.0);
+    EXPECT_LT(kernel, 1.0);
+
+    // Deterministic.
+    auto again = cluster.run(id);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        EXPECT_DOUBLE_EQ(multi.metrics[i], again.metrics[i]);
+
+    EXPECT_THROW(cluster.setClusterNodes(0), bds::FatalError);
+}
+
+TEST_F(RunnerFixture, EveryWorkloadRunsAtQuickScale)
+{
+    // Smoke-run all 32; each must complete and produce instructions.
+    for (const auto &id : allWorkloads()) {
+        auto res = runner.run(id);
+        EXPECT_GT(res.counters.instructions, 10000u) << id.name();
+        EXPECT_GT(res.counters.cycles, 0.0) << id.name();
+    }
+}
+
+} // namespace
