@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_sweep.dir/ablation_cache_sweep.cc.o"
+  "CMakeFiles/ablation_cache_sweep.dir/ablation_cache_sweep.cc.o.d"
+  "ablation_cache_sweep"
+  "ablation_cache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

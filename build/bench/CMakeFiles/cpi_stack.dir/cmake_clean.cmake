@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi_stack.dir/cpi_stack.cc.o"
+  "CMakeFiles/cpi_stack.dir/cpi_stack.cc.o.d"
+  "cpi_stack"
+  "cpi_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

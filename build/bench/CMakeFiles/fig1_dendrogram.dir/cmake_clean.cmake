@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dendrogram.dir/fig1_dendrogram.cc.o"
+  "CMakeFiles/fig1_dendrogram.dir/fig1_dendrogram.cc.o.d"
+  "fig1_dendrogram"
+  "fig1_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pc12_scatter.dir/fig2_pc12_scatter.cc.o"
+  "CMakeFiles/fig2_pc12_scatter.dir/fig2_pc12_scatter.cc.o.d"
+  "fig2_pc12_scatter"
+  "fig2_pc12_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pc12_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_pc12_scatter.
+# This may be replaced when dependencies are built.

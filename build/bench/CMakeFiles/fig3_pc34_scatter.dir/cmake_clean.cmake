@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pc34_scatter.dir/fig3_pc34_scatter.cc.o"
+  "CMakeFiles/fig3_pc34_scatter.dir/fig3_pc34_scatter.cc.o.d"
+  "fig3_pc34_scatter"
+  "fig3_pc34_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pc34_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

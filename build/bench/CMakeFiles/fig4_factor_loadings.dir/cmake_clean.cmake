@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_factor_loadings.dir/fig4_factor_loadings.cc.o"
+  "CMakeFiles/fig4_factor_loadings.dir/fig4_factor_loadings.cc.o.d"
+  "fig4_factor_loadings"
+  "fig4_factor_loadings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_factor_loadings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

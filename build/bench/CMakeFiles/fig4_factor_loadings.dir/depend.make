@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_factor_loadings.
+# This may be replaced when dependencies are built.

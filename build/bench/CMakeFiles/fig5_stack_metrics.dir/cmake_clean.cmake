@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stack_metrics.dir/fig5_stack_metrics.cc.o"
+  "CMakeFiles/fig5_stack_metrics.dir/fig5_stack_metrics.cc.o.d"
+  "fig5_stack_metrics"
+  "fig5_stack_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stack_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

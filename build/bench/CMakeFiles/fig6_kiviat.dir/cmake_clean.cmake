@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_kiviat.dir/fig6_kiviat.cc.o"
+  "CMakeFiles/fig6_kiviat.dir/fig6_kiviat.cc.o.d"
+  "fig6_kiviat"
+  "fig6_kiviat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_kiviat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

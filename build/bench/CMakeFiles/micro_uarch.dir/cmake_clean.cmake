@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_uarch.dir/micro_uarch.cc.o"
+  "CMakeFiles/micro_uarch.dir/micro_uarch.cc.o.d"
+  "micro_uarch"
+  "micro_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

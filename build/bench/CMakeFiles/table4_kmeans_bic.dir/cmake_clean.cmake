@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_kmeans_bic.dir/table4_kmeans_bic.cc.o"
+  "CMakeFiles/table4_kmeans_bic.dir/table4_kmeans_bic.cc.o.d"
+  "table4_kmeans_bic"
+  "table4_kmeans_bic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_kmeans_bic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_kmeans_bic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_representatives.dir/table5_representatives.cc.o"
+  "CMakeFiles/table5_representatives.dir/table5_representatives.cc.o.d"
+  "table5_representatives"
+  "table5_representatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_representatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_common.dir/log.cc.o"
+  "CMakeFiles/bds_common.dir/log.cc.o.d"
+  "CMakeFiles/bds_common.dir/rng.cc.o"
+  "CMakeFiles/bds_common.dir/rng.cc.o.d"
+  "CMakeFiles/bds_common.dir/table.cc.o"
+  "CMakeFiles/bds_common.dir/table.cc.o.d"
+  "libbds_common.a"
+  "libbds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

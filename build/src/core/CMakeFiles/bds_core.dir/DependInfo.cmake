@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/bds_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/csvio.cc" "src/core/CMakeFiles/bds_core.dir/csvio.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/csvio.cc.o.d"
+  "/root/repo/src/core/findings.cc" "src/core/CMakeFiles/bds_core.dir/findings.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/findings.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/bds_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/bds_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/report.cc.o.d"
+  "/root/repo/src/core/subset.cc" "src/core/CMakeFiles/bds_core.dir/subset.cc.o" "gcc" "src/core/CMakeFiles/bds_core.dir/subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/bds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/bds_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_core.dir/analysis.cc.o"
+  "CMakeFiles/bds_core.dir/analysis.cc.o.d"
+  "CMakeFiles/bds_core.dir/csvio.cc.o"
+  "CMakeFiles/bds_core.dir/csvio.cc.o.d"
+  "CMakeFiles/bds_core.dir/findings.cc.o"
+  "CMakeFiles/bds_core.dir/findings.cc.o.d"
+  "CMakeFiles/bds_core.dir/pipeline.cc.o"
+  "CMakeFiles/bds_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/bds_core.dir/report.cc.o"
+  "CMakeFiles/bds_core.dir/report.cc.o.d"
+  "CMakeFiles/bds_core.dir/subset.cc.o"
+  "CMakeFiles/bds_core.dir/subset.cc.o.d"
+  "libbds_core.a"
+  "libbds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

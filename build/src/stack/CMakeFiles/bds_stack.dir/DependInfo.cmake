@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/dataset.cc" "src/stack/CMakeFiles/bds_stack.dir/dataset.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/dataset.cc.o.d"
+  "/root/repo/src/stack/engine.cc" "src/stack/CMakeFiles/bds_stack.dir/engine.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/engine.cc.o.d"
+  "/root/repo/src/stack/hadoop.cc" "src/stack/CMakeFiles/bds_stack.dir/hadoop.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/hadoop.cc.o.d"
+  "/root/repo/src/stack/partition.cc" "src/stack/CMakeFiles/bds_stack.dir/partition.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/partition.cc.o.d"
+  "/root/repo/src/stack/spark.cc" "src/stack/CMakeFiles/bds_stack.dir/spark.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/spark.cc.o.d"
+  "/root/repo/src/stack/sql.cc" "src/stack/CMakeFiles/bds_stack.dir/sql.cc.o" "gcc" "src/stack/CMakeFiles/bds_stack.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/bds_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_stack.dir/dataset.cc.o"
+  "CMakeFiles/bds_stack.dir/dataset.cc.o.d"
+  "CMakeFiles/bds_stack.dir/engine.cc.o"
+  "CMakeFiles/bds_stack.dir/engine.cc.o.d"
+  "CMakeFiles/bds_stack.dir/hadoop.cc.o"
+  "CMakeFiles/bds_stack.dir/hadoop.cc.o.d"
+  "CMakeFiles/bds_stack.dir/partition.cc.o"
+  "CMakeFiles/bds_stack.dir/partition.cc.o.d"
+  "CMakeFiles/bds_stack.dir/spark.cc.o"
+  "CMakeFiles/bds_stack.dir/spark.cc.o.d"
+  "CMakeFiles/bds_stack.dir/sql.cc.o"
+  "CMakeFiles/bds_stack.dir/sql.cc.o.d"
+  "libbds_stack.a"
+  "libbds_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

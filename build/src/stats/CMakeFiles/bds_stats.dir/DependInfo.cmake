@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bic.cc" "src/stats/CMakeFiles/bds_stats.dir/bic.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/bic.cc.o.d"
+  "/root/repo/src/stats/distance.cc" "src/stats/CMakeFiles/bds_stats.dir/distance.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/distance.cc.o.d"
+  "/root/repo/src/stats/eigen.cc" "src/stats/CMakeFiles/bds_stats.dir/eigen.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/eigen.cc.o.d"
+  "/root/repo/src/stats/hcluster.cc" "src/stats/CMakeFiles/bds_stats.dir/hcluster.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/hcluster.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/stats/CMakeFiles/bds_stats.dir/kmeans.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/kmeans.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/bds_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/normalize.cc" "src/stats/CMakeFiles/bds_stats.dir/normalize.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/normalize.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/stats/CMakeFiles/bds_stats.dir/pca.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/pca.cc.o.d"
+  "/root/repo/src/stats/silhouette.cc" "src/stats/CMakeFiles/bds_stats.dir/silhouette.cc.o" "gcc" "src/stats/CMakeFiles/bds_stats.dir/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_stats.dir/bic.cc.o"
+  "CMakeFiles/bds_stats.dir/bic.cc.o.d"
+  "CMakeFiles/bds_stats.dir/distance.cc.o"
+  "CMakeFiles/bds_stats.dir/distance.cc.o.d"
+  "CMakeFiles/bds_stats.dir/eigen.cc.o"
+  "CMakeFiles/bds_stats.dir/eigen.cc.o.d"
+  "CMakeFiles/bds_stats.dir/hcluster.cc.o"
+  "CMakeFiles/bds_stats.dir/hcluster.cc.o.d"
+  "CMakeFiles/bds_stats.dir/kmeans.cc.o"
+  "CMakeFiles/bds_stats.dir/kmeans.cc.o.d"
+  "CMakeFiles/bds_stats.dir/matrix.cc.o"
+  "CMakeFiles/bds_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/bds_stats.dir/normalize.cc.o"
+  "CMakeFiles/bds_stats.dir/normalize.cc.o.d"
+  "CMakeFiles/bds_stats.dir/pca.cc.o"
+  "CMakeFiles/bds_stats.dir/pca.cc.o.d"
+  "CMakeFiles/bds_stats.dir/silhouette.cc.o"
+  "CMakeFiles/bds_stats.dir/silhouette.cc.o.d"
+  "libbds_stats.a"
+  "libbds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

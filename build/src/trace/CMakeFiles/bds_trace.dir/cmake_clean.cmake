@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_trace.dir/memlayout.cc.o"
+  "CMakeFiles/bds_trace.dir/memlayout.cc.o.d"
+  "CMakeFiles/bds_trace.dir/recorder.cc.o"
+  "CMakeFiles/bds_trace.dir/recorder.cc.o.d"
+  "CMakeFiles/bds_trace.dir/runtime.cc.o"
+  "CMakeFiles/bds_trace.dir/runtime.cc.o.d"
+  "libbds_trace.a"
+  "libbds_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

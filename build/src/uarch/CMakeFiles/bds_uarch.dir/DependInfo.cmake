@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cc" "src/uarch/CMakeFiles/bds_uarch.dir/branch.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/branch.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/bds_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/config.cc" "src/uarch/CMakeFiles/bds_uarch.dir/config.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/config.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/bds_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/metrics.cc" "src/uarch/CMakeFiles/bds_uarch.dir/metrics.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/metrics.cc.o.d"
+  "/root/repo/src/uarch/pmc.cc" "src/uarch/CMakeFiles/bds_uarch.dir/pmc.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/pmc.cc.o.d"
+  "/root/repo/src/uarch/system.cc" "src/uarch/CMakeFiles/bds_uarch.dir/system.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/system.cc.o.d"
+  "/root/repo/src/uarch/tlb.cc" "src/uarch/CMakeFiles/bds_uarch.dir/tlb.cc.o" "gcc" "src/uarch/CMakeFiles/bds_uarch.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_uarch.dir/branch.cc.o"
+  "CMakeFiles/bds_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/cache.cc.o"
+  "CMakeFiles/bds_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/config.cc.o"
+  "CMakeFiles/bds_uarch.dir/config.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/core.cc.o"
+  "CMakeFiles/bds_uarch.dir/core.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/metrics.cc.o"
+  "CMakeFiles/bds_uarch.dir/metrics.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/pmc.cc.o"
+  "CMakeFiles/bds_uarch.dir/pmc.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/system.cc.o"
+  "CMakeFiles/bds_uarch.dir/system.cc.o.d"
+  "CMakeFiles/bds_uarch.dir/tlb.cc.o"
+  "CMakeFiles/bds_uarch.dir/tlb.cc.o.d"
+  "libbds_uarch.a"
+  "libbds_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

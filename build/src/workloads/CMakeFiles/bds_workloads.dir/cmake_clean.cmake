@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bds_workloads.dir/datagen.cc.o"
+  "CMakeFiles/bds_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/bds_workloads.dir/offline.cc.o"
+  "CMakeFiles/bds_workloads.dir/offline.cc.o.d"
+  "CMakeFiles/bds_workloads.dir/registry.cc.o"
+  "CMakeFiles/bds_workloads.dir/registry.cc.o.d"
+  "libbds_workloads.a"
+  "libbds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

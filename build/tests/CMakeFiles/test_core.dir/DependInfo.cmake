@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analysis.cc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cc.o.d"
+  "/root/repo/tests/core/test_csvio.cc" "tests/CMakeFiles/test_core.dir/core/test_csvio.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_csvio.cc.o.d"
+  "/root/repo/tests/core/test_findings.cc" "tests/CMakeFiles/test_core.dir/core/test_findings.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_findings.cc.o.d"
+  "/root/repo/tests/core/test_pipeline.cc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "/root/repo/tests/core/test_robustness.cc" "tests/CMakeFiles/test_core.dir/core/test_robustness.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_robustness.cc.o.d"
+  "/root/repo/tests/core/test_subset.cc" "tests/CMakeFiles/test_core.dir/core/test_subset.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/bds_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_analysis.cc.o"
+  "CMakeFiles/test_core.dir/core/test_analysis.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_csvio.cc.o"
+  "CMakeFiles/test_core.dir/core/test_csvio.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_findings.cc.o"
+  "CMakeFiles/test_core.dir/core/test_findings.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_robustness.cc.o"
+  "CMakeFiles/test_core.dir/core/test_robustness.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_subset.cc.o"
+  "CMakeFiles/test_core.dir/core/test_subset.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack.dir/stack/test_engine.cc.o"
+  "CMakeFiles/test_stack.dir/stack/test_engine.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/test_internals.cc.o"
+  "CMakeFiles/test_stack.dir/stack/test_internals.cc.o.d"
+  "CMakeFiles/test_stack.dir/stack/test_sql.cc.o"
+  "CMakeFiles/test_stack.dir/stack/test_sql.cc.o.d"
+  "test_stack"
+  "test_stack.pdb"
+  "test_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_bic.cc" "tests/CMakeFiles/test_stats.dir/stats/test_bic.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_bic.cc.o.d"
+  "/root/repo/tests/stats/test_distance.cc" "tests/CMakeFiles/test_stats.dir/stats/test_distance.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_distance.cc.o.d"
+  "/root/repo/tests/stats/test_eigen.cc" "tests/CMakeFiles/test_stats.dir/stats/test_eigen.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_eigen.cc.o.d"
+  "/root/repo/tests/stats/test_hcluster.cc" "tests/CMakeFiles/test_stats.dir/stats/test_hcluster.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_hcluster.cc.o.d"
+  "/root/repo/tests/stats/test_kmeans.cc" "tests/CMakeFiles/test_stats.dir/stats/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_kmeans.cc.o.d"
+  "/root/repo/tests/stats/test_matrix.cc" "tests/CMakeFiles/test_stats.dir/stats/test_matrix.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_matrix.cc.o.d"
+  "/root/repo/tests/stats/test_normalize.cc" "tests/CMakeFiles/test_stats.dir/stats/test_normalize.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_normalize.cc.o.d"
+  "/root/repo/tests/stats/test_pca.cc" "tests/CMakeFiles/test_stats.dir/stats/test_pca.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_pca.cc.o.d"
+  "/root/repo/tests/stats/test_silhouette.cc" "tests/CMakeFiles/test_stats.dir/stats/test_silhouette.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/bds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

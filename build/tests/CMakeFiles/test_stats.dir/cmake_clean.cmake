@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_bic.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_bic.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_distance.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_distance.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_eigen.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_eigen.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_hcluster.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_hcluster.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_kmeans.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_kmeans.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_matrix.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_matrix.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_normalize.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_normalize.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_pca.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_pca.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_silhouette.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_silhouette.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_memlayout.cc" "tests/CMakeFiles/test_trace.dir/trace/test_memlayout.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_memlayout.cc.o.d"
+  "/root/repo/tests/trace/test_recorder.cc" "tests/CMakeFiles/test_trace.dir/trace/test_recorder.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_recorder.cc.o.d"
+  "/root/repo/tests/trace/test_runtime.cc" "tests/CMakeFiles/test_trace.dir/trace/test_runtime.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/bds_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

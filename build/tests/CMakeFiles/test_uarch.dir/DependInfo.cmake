@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uarch/test_branch.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_branch.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_branch.cc.o.d"
+  "/root/repo/tests/uarch/test_cache.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_cache.cc.o.d"
+  "/root/repo/tests/uarch/test_metrics.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_metrics.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_metrics.cc.o.d"
+  "/root/repo/tests/uarch/test_system.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_system.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_system.cc.o.d"
+  "/root/repo/tests/uarch/test_tlb.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_tlb.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/bds_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

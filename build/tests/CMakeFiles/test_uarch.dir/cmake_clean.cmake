@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/uarch/test_branch.cc.o"
+  "CMakeFiles/test_uarch.dir/uarch/test_branch.cc.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/test_cache.cc.o"
+  "CMakeFiles/test_uarch.dir/uarch/test_cache.cc.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/test_metrics.cc.o"
+  "CMakeFiles/test_uarch.dir/uarch/test_metrics.cc.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/test_system.cc.o"
+  "CMakeFiles/test_uarch.dir/uarch/test_system.cc.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/test_tlb.cc.o"
+  "CMakeFiles/test_uarch.dir/uarch/test_tlb.cc.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
