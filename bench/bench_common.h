@@ -9,8 +9,13 @@
  * BDS_SCALE / BDS_SEED) to force re-simulation.
  *
  * Environment:
- *   BDS_SCALE = quick | standard | full   (default: standard)
- *   BDS_SEED  = <integer>                 (default: 42)
+ *   BDS_SCALE   = quick | standard | full (default: standard)
+ *   BDS_SEED    = <integer>               (default: 42)
+ *   BDS_THREADS = <integer>               (default: 0 = all cores;
+ *                                          1 = serial)
+ *
+ * The matrix is bitwise identical for every BDS_THREADS value (see
+ * docs/THREADING.md), so the cache stays valid across thread counts.
  */
 
 #ifndef BDS_BENCH_COMMON_H
@@ -54,6 +59,18 @@ seedFromEnv()
     return env ? std::strtoull(env, nullptr, 10) : 42ULL;
 }
 
+/** Worker threads selected by BDS_THREADS (default 0 = all cores). */
+inline bds::ParallelOptions
+parallelFromEnv()
+{
+    const char *env = std::getenv("BDS_THREADS");
+    bds::ParallelOptions par;
+    if (env)
+        par.threads =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return par;
+}
+
 /**
  * Load a cached metric matrix; returns false when absent/mismatched.
  */
@@ -87,6 +104,7 @@ characterizedPipeline()
     std::string scale_name;
     bds::ScaleProfile scale = scaleFromEnv(&scale_name);
     std::uint64_t seed = seedFromEnv();
+    bds::ParallelOptions par = parallelFromEnv();
     std::string cache = "bds_metrics_" + scale_name + "_"
         + std::to_string(seed) + ".csv";
 
@@ -97,10 +115,16 @@ characterizedPipeline()
                   << '\n';
     } else {
         std::cerr << "[bench] characterizing 32 workloads at scale '"
-                  << scale_name << "' (cache: " << cache << ")\n";
+                  << scale_name << "' on " << par.resolved()
+                  << " thread(s) (cache: " << cache << ")\n";
         bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
                                    seed);
-        metrics = runner.runAll();
+        runner.setParallel(par);
+        bds::SweepTiming timing;
+        metrics = runner.runAll(nullptr, &timing);
+        std::cerr << "[bench] characterized 32 workloads in "
+                  << timing.totalSeconds << " s on " << timing.threads
+                  << " thread(s)\n";
         for (const auto &id : bds::allWorkloads())
             names.push_back(id.name());
 
@@ -110,7 +134,9 @@ characterizedPipeline()
         std::ofstream out(cache);
         bds::writeMetricsCsv(out, tmp);
     }
-    return bds::runPipeline(metrics, names);
+    bds::PipelineOptions opts;
+    opts.parallel = par;
+    return bds::runPipeline(metrics, names, opts);
 }
 
 } // namespace bdsbench

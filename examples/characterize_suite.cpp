@@ -6,9 +6,12 @@
  * code.
  *
  * Runs at quick scale by default so it finishes in seconds; pass
- * "standard" or "full" as argv[1] for the larger scales.
+ * "standard" or "full" as argv[1] for the larger scales, and a
+ * worker-thread count as argv[2] (default: all cores; the result is
+ * identical for every thread count — see docs/THREADING.md).
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -24,19 +27,31 @@ main(int argc, char **argv)
     ScaleProfile scale = scale_name == "full" ? ScaleProfile::full()
         : scale_name == "standard"            ? ScaleProfile::standard()
                                               : ScaleProfile::quick();
+    ParallelOptions par;
+    if (argc > 2)
+        par.threads = static_cast<unsigned>(
+            std::strtoul(argv[2], nullptr, 10));
 
-    // 1. Measure: 45 metrics per workload on a simulated node.
+    // 1. Measure: 45 metrics per workload on a simulated node; the
+    //    sweep fans out one pool task per workload.
     std::cout << "characterizing 32 workloads at scale '" << scale_name
-              << "'...\n";
+              << "' on " << par.resolved() << " thread(s)...\n";
     WorkloadRunner runner(NodeConfig::defaultSim(), scale, 42);
-    Matrix metrics = runner.runAll();
+    runner.setParallel(par);
+    SweepTiming timing;
+    Matrix metrics = runner.runAll(nullptr, &timing);
+    std::cout << "swept the suite in " << timing.totalSeconds
+              << " s\n";
     std::vector<std::string> names;
     for (const auto &id : allWorkloads())
         names.push_back(id.name());
 
     // 2. Analyze: z-score -> PCA (Kaiser) -> single-linkage
-    //    clustering -> BIC-selected K-means.
-    PipelineResult res = runPipeline(metrics, names);
+    //    clustering -> BIC-selected K-means (the K sweep reuses the
+    //    same thread budget).
+    PipelineOptions opts;
+    opts.parallel = par;
+    PipelineResult res = runPipeline(metrics, names, opts);
 
     // 3. Report.
     writePcaSummary(std::cout, res);

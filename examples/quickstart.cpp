@@ -20,9 +20,13 @@ main()
     using namespace bds;
 
     // A simulated Westmere-style node (Table III geometry) and the
-    // quick input scale: each run takes well under a second.
+    // quick input scale: each run takes well under a second. The
+    // runner uses every core by default; results are identical at
+    // any thread count (docs/THREADING.md), so pick threads purely
+    // for wall clock — {1} pins everything serial.
     WorkloadRunner runner(NodeConfig::defaultSim(),
                           ScaleProfile::quick(), /*seed=*/42);
+    runner.setParallel({0}); // 0 = all cores (the default)
 
     // Same algorithm, different stacks — and vice versa.
     WorkloadId h_wc{Algorithm::WordCount, StackKind::Hadoop};

@@ -1,11 +1,16 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace bds {
 
 namespace {
-LogLevel g_threshold = LogLevel::Warn;
+// Workload sweeps log from pool workers; the threshold is an atomic
+// and emission is serialized so lines never interleave mid-message.
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_emit_mutex;
 } // namespace
 
 void
@@ -17,17 +22,18 @@ Log::setThreshold(LogLevel lvl)
 LogLevel
 Log::threshold()
 {
-    return g_threshold;
+    return g_threshold.load();
 }
 
 void
 Log::emit(LogLevel lvl, const std::string &msg)
 {
-    if (static_cast<int>(lvl) < static_cast<int>(g_threshold))
+    if (static_cast<int>(lvl) < static_cast<int>(g_threshold.load()))
         return;
     const char *tag = lvl == LogLevel::Debug ? "debug"
                     : lvl == LogLevel::Info  ? "info"
                                              : "warn";
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
     std::cerr << "[bds:" << tag << "] " << msg << '\n';
 }
 

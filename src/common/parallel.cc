@@ -1,0 +1,126 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+
+#include "common/log.h"
+
+namespace bds {
+
+unsigned
+ParallelOptions::resolved() const
+{
+    if (threads != 0)
+        return threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+ParallelOptions::resolvedFor(std::size_t tasks) const
+{
+    unsigned r = resolved();
+    if (tasks == 0)
+        return 1;
+    if (static_cast<std::size_t>(r) > tasks)
+        r = static_cast<unsigned>(tasks);
+    return r == 0 ? 1 : r;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = ParallelOptions{threads}.resolved();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            BDS_PANIC("submit on a stopping ThreadPool");
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task(); // packaged_task: exceptions land in the future
+    }
+}
+
+void
+parallelFor(std::size_t n, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    unsigned workers = ParallelOptions{threads}.resolvedFor(n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+
+    auto body = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n || failed.load())
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 1; t < workers; ++t)
+        pool.emplace_back(body);
+    body(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace bds

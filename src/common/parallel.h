@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fixed-size thread pool and parallel-for for the embarrassingly
+ * parallel layers of the toolkit (the 32-workload sweep, the
+ * per-node cluster fan-out, the K-means/BIC K sweep).
+ *
+ * Design rules:
+ *  - No work stealing, no dynamic resizing: a pool owns a fixed set
+ *    of workers and a single FIFO task queue.
+ *  - Exceptions propagate: ThreadPool::submit returns a future that
+ *    rethrows on get(); parallelFor rethrows the first task
+ *    exception on the calling thread after all workers join.
+ *  - `threads == 1` never spawns a thread — the work runs inline on
+ *    the caller, byte-for-byte reproducing the serial behavior.
+ *  - Determinism stays the caller's contract: tasks must not share
+ *    mutable state or RNG streams. Every parallelized layer in this
+ *    codebase derives an independent seed per task (see
+ *    docs/THREADING.md).
+ */
+
+#ifndef BDS_COMMON_PARALLEL_H
+#define BDS_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bds {
+
+/**
+ * Parallelism knob threaded through PipelineOptions, WorkloadRunner
+ * and the bench/example entry points.
+ */
+struct ParallelOptions
+{
+    /**
+     * Worker count. 0 means "use the hardware": resolves to
+     * std::thread::hardware_concurrency(). 1 reproduces the serial
+     * behavior exactly (no threads are spawned).
+     */
+    unsigned threads = 0;
+
+    /** The effective worker count (resolves 0 to the hardware). */
+    unsigned resolved() const;
+
+    /** Effective worker count clamped to `tasks` (never 0). */
+    unsigned resolvedFor(std::size_t tasks) const;
+};
+
+/**
+ * Fixed-size thread pool with a FIFO task queue.
+ *
+ * Workers are spawned in the constructor and joined in the
+ * destructor; pending tasks are drained before destruction returns.
+ * submit() hands back a std::future carrying the task's result or
+ * exception. Tasks must not block on futures of tasks in the same
+ * pool (no nested submission waits) — the parallelized layers here
+ * are flat fan-outs, so the restriction never binds.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 resolves to the hardware
+     *                concurrency. Must resolve to >= 1.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers after draining the queue. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a callable; returns a future for its result. The
+     * future rethrows any exception the task threw.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+  private:
+    /** Push a type-erased task and wake one worker. */
+    void enqueue(std::function<void()> task);
+
+    /** Worker main loop: pop tasks until stopped and drained. */
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(0), fn(1), ..., fn(n - 1) across `threads` workers.
+ *
+ * Iterations are claimed dynamically from an atomic counter, so the
+ * assignment of iteration to thread is nondeterministic — callers
+ * must make each iteration independent (own output slot, own derived
+ * seed). With threads <= 1 the loop runs inline in index order on
+ * the calling thread, exactly matching a plain for loop.
+ *
+ * The first exception thrown by any iteration is rethrown on the
+ * calling thread after all workers finish; remaining iterations
+ * that have not started are abandoned.
+ *
+ * @param n Iteration count.
+ * @param threads Worker count; 0 resolves to the hardware.
+ * @param fn Body, called with the iteration index.
+ */
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+/** parallelFor with the thread count taken from ParallelOptions. */
+inline void
+parallelFor(std::size_t n, const ParallelOptions &par,
+            const std::function<void(std::size_t)> &fn)
+{
+    parallelFor(n, par.resolvedFor(n), fn);
+}
+
+} // namespace bds
+
+#endif // BDS_COMMON_PARALLEL_H

@@ -21,10 +21,9 @@ runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
     res.pca = pca(res.z.normalized, opts.pca);
     res.dendrogram = hierarchicalCluster(res.pca.scores, opts.linkage);
 
-    Pcg32 rng(opts.seed, 0xb1cULL);
     std::size_t k_max = std::min(opts.kMax, metrics.rows() - 1);
-    res.bic = sweepBic(res.pca.scores, opts.kMin, k_max, rng,
-                       opts.kmeans);
+    res.bic = sweepBic(res.pca.scores, opts.kMin, k_max, opts.seed,
+                       opts.kmeans, opts.parallel);
     if (opts.useFirstLocalBicMax)
         res.bic.bestIndex = res.bic.firstLocalMaxIndex();
     return res;

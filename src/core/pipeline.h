@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "stats/bic.h"
 #include "stats/hcluster.h"
 #include "stats/normalize.h"
@@ -41,8 +42,20 @@ struct PipelineOptions
     /** K-means options for each sweep point. */
     KMeansOptions kmeans;
 
-    /** Seed for the K-means sweep. */
+    /**
+     * Seed for the K-means sweep. Each K of the sweep draws from its
+     * own RNG stream derived from (seed, K), so the sweep result
+     * does not depend on the execution order or thread count.
+     */
     std::uint64_t seed = 7;
+
+    /**
+     * Worker threads for the parallel stages (currently the BIC K
+     * sweep). 0 means hardware concurrency; 1 runs serially. Every
+     * setting yields an identical PipelineResult — see
+     * docs/THREADING.md for the determinism contract.
+     */
+    ParallelOptions parallel;
 
     /**
      * Select K at the first local BIC maximum instead of the global

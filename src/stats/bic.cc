@@ -80,9 +80,11 @@ BicSweepResult::firstLocalMaxIndex() const
     return globalMaxIndex();
 }
 
-BicSweepResult
-sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
-         Pcg32 &rng, const KMeansOptions &opts)
+namespace {
+
+/** Clamp and validate a sweep range; returns the effective k_max. */
+std::size_t
+checkSweepRange(const Matrix &data, std::size_t k_min, std::size_t k_max)
 {
     if (k_min == 0)
         BDS_FATAL("sweepBic requires k_min >= 1");
@@ -90,6 +92,25 @@ sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
     if (k_min > k_max)
         BDS_FATAL("sweepBic with empty range [" << k_min << ',' << k_max
                   << ']');
+    return k_max;
+}
+
+/** Pick bestIndex as the global BIC maximum. */
+void
+selectBest(BicSweepResult &sweep)
+{
+    for (std::size_t i = 1; i < sweep.points.size(); ++i)
+        if (sweep.points[i].bic > sweep.points[sweep.bestIndex].bic)
+            sweep.bestIndex = i;
+}
+
+} // namespace
+
+BicSweepResult
+sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
+         Pcg32 &rng, const KMeansOptions &opts)
+{
+    k_max = checkSweepRange(data, k_min, k_max);
 
     BicSweepResult sweep;
     for (std::size_t k = k_min; k <= k_max; ++k) {
@@ -99,9 +120,45 @@ sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
         pt.bic = bicScore(data, pt.result);
         sweep.points.push_back(std::move(pt));
     }
-    for (std::size_t i = 1; i < sweep.points.size(); ++i)
-        if (sweep.points[i].bic > sweep.points[sweep.bestIndex].bic)
-            sweep.bestIndex = i;
+    selectBest(sweep);
+    return sweep;
+}
+
+Pcg32
+sweepPointRng(std::uint64_t seed, std::size_t k)
+{
+    // SplitMix64-style finalizer over K decorrelates neighbouring
+    // streams; the stream selector keeps sweep RNGs disjoint from
+    // every other Pcg32 user (data generators use small streams).
+    std::uint64_t z = (static_cast<std::uint64_t>(k)
+                       + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return Pcg32(seed ^ z, 0xb1cULL + static_cast<std::uint64_t>(k));
+}
+
+BicSweepResult
+sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
+         std::uint64_t seed, const KMeansOptions &opts,
+         const ParallelOptions &par)
+{
+    k_max = checkSweepRange(data, k_min, k_max);
+
+    // Each K owns a derived RNG stream and a preallocated slot, so
+    // the fan-out is race-free and the sweep result is identical for
+    // every thread count.
+    BicSweepResult sweep;
+    sweep.points.resize(k_max - k_min + 1);
+    parallelFor(sweep.points.size(), par, [&](std::size_t i) {
+        std::size_t k = k_min + i;
+        Pcg32 rng = sweepPointRng(seed, k);
+        BicSweepPoint &pt = sweep.points[i];
+        pt.k = k;
+        pt.result = kMeans(data, k, rng, opts);
+        pt.bic = bicScore(data, pt.result);
+    });
+    selectBest(sweep);
     return sweep;
 }
 

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "stats/kmeans.h"
 #include "stats/matrix.h"
@@ -39,8 +40,8 @@ double pooledVariance(const Matrix &data, const KMeansResult &clustering);
 /** One entry of a BIC sweep. */
 struct BicSweepPoint
 {
-    std::size_t k;       ///< number of clusters tried
-    double bic;          ///< BIC score (larger is better)
+    std::size_t k = 0;   ///< number of clusters tried
+    double bic = 0.0;    ///< BIC score (larger is better)
     KMeansResult result; ///< the clustering itself
 };
 
@@ -71,7 +72,12 @@ struct BicSweepResult
 };
 
 /**
- * Run K-means for each K in [k_min, k_max] and score each with BIC.
+ * Run K-means for each K in [k_min, k_max] and score each with BIC,
+ * sequentially, drawing every initialization from one shared RNG.
+ *
+ * The K results therefore depend on the sweep order; prefer the
+ * seeded overload below, whose per-K derived streams make the sweep
+ * order-free (and parallelizable) without losing determinism.
  *
  * @param data Observations in rows.
  * @param k_min Smallest K tried (>= 1).
@@ -82,6 +88,34 @@ struct BicSweepResult
 BicSweepResult sweepBic(const Matrix &data, std::size_t k_min,
                         std::size_t k_max, Pcg32 &rng,
                         const KMeansOptions &opts = {});
+
+/**
+ * Seed of the RNG stream used for one K of a seeded sweep.
+ *
+ * Exposed so callers can reproduce a single sweep point (a bench
+ * re-running the chosen K, a test pinning one K) without executing
+ * the whole sweep.
+ */
+Pcg32 sweepPointRng(std::uint64_t seed, std::size_t k);
+
+/**
+ * Seeded BIC sweep: each K draws from its own RNG stream derived
+ * from (seed, K), so every sweep point is independent and the K
+ * loop fans out across `par` worker threads. The result — scores,
+ * clusterings and selected K — is identical for every thread count,
+ * including the serial `par.threads == 1`.
+ *
+ * @param data Observations in rows.
+ * @param k_min Smallest K tried (>= 1).
+ * @param k_max Largest K tried (<= rows; clamped).
+ * @param seed Base seed; K's stream is derived from (seed, K).
+ * @param opts Per-K K-means options.
+ * @param par Worker-thread knob for the K fan-out.
+ */
+BicSweepResult sweepBic(const Matrix &data, std::size_t k_min,
+                        std::size_t k_max, std::uint64_t seed,
+                        const KMeansOptions &opts = {},
+                        const ParallelOptions &par = {});
 
 } // namespace bds
 

@@ -1,5 +1,6 @@
 #include "workloads/registry.h"
 
+#include <chrono>
 #include <memory>
 
 #include "common/log.h"
@@ -106,26 +107,46 @@ WorkloadRunner::setClusterNodes(unsigned nodes)
 WorkloadResult
 WorkloadRunner::run(const WorkloadId &id) const
 {
+    return runWithThreads(id, parallel_.resolvedFor(nodes_));
+}
+
+WorkloadResult
+WorkloadRunner::runWithThreads(const WorkloadId &id,
+                               unsigned node_threads) const
+{
     // Data seeds depend on the algorithm only: both stacks consume
     // identically generated inputs (the paper's "identical data
-    // sets" requirement). Each cluster node processes its own shard.
+    // sets" requirement). Each cluster node processes its own shard
+    // with a node-derived seed, so node simulations are independent
+    // and can fan out across the pool.
+    auto start = std::chrono::steady_clock::now();
     std::uint64_t base_seed =
         seed_ + 1000 * static_cast<std::uint64_t>(id.alg);
-    WorkloadResult total = runOnNode(id, base_seed);
-    if (nodes_ == 1)
-        return total;
 
-    MetricVector mean = total.metrics;
-    for (unsigned node = 1; node < nodes_; ++node) {
-        WorkloadResult per =
-            runOnNode(id, base_seed + 7919ULL * node);
-        total.counters += per.counters;
-        for (std::size_t i = 0; i < kNumMetrics; ++i)
-            mean[i] += per.metrics[i];
+    std::vector<WorkloadResult> per_node(nodes_);
+    parallelFor(nodes_, node_threads, [&](std::size_t node) {
+        per_node[node] = runOnNode(
+            id, base_seed + 7919ULL * static_cast<std::uint64_t>(node));
+    });
+
+    // Reduce in fixed node order so the mean is bitwise identical to
+    // the serial accumulation regardless of the thread count.
+    WorkloadResult total = std::move(per_node[0]);
+    if (nodes_ > 1) {
+        MetricVector mean = total.metrics;
+        for (unsigned node = 1; node < nodes_; ++node) {
+            const WorkloadResult &per = per_node[node];
+            total.counters += per.counters;
+            for (std::size_t i = 0; i < kNumMetrics; ++i)
+                mean[i] += per.metrics[i];
+        }
+        for (double &v : mean)
+            v /= static_cast<double>(nodes_);
+        total.metrics = mean;
     }
-    for (double &v : mean)
-        v /= static_cast<double>(nodes_);
-    total.metrics = mean;
+    total.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start).count();
     return total;
 }
 
@@ -254,18 +275,45 @@ WorkloadRunner::runOnNode(const WorkloadId &id,
 }
 
 Matrix
-WorkloadRunner::runAll(std::vector<WorkloadResult> *details) const
+WorkloadRunner::runAll(std::vector<WorkloadResult> *details,
+                       SweepTiming *timing) const
 {
+    auto start = std::chrono::steady_clock::now();
     auto ids = allWorkloads();
     Matrix m(ids.size(), kNumMetrics);
-    for (std::size_t i = 0; i < ids.size(); ++i) {
+
+    // One pool task per workload, each writing its preallocated
+    // result slot. Workload simulations are seeded per algorithm and
+    // per node (never from shared state), so the slot contents —
+    // and therefore the matrix assembled below in allWorkloads()
+    // order — are bitwise identical for every thread count. When the
+    // sweep itself is parallel the per-node fan-out stays serial so
+    // the machine is never oversubscribed.
+    unsigned sweep_threads = parallel_.resolvedFor(ids.size());
+    unsigned node_threads = sweep_threads > 1
+        ? 1 : parallel_.resolvedFor(nodes_);
+    std::vector<WorkloadResult> slots(ids.size());
+    parallelFor(ids.size(), sweep_threads, [&](std::size_t i) {
         inform("running workload " + ids[i].name());
-        WorkloadResult res = run(ids[i]);
+        slots[i] = runWithThreads(ids[i], node_threads);
+    });
+
+    for (std::size_t i = 0; i < ids.size(); ++i)
         for (std::size_t j = 0; j < kNumMetrics; ++j)
-            m(i, j) = res.metrics[j];
-        if (details)
-            details->push_back(std::move(res));
+            m(i, j) = slots[i].metrics[j];
+
+    if (timing) {
+        timing->perWorkloadSeconds.clear();
+        for (const WorkloadResult &r : slots)
+            timing->perWorkloadSeconds.push_back(r.wallSeconds);
+        timing->totalSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count();
+        timing->threads = sweep_threads;
     }
+    if (details)
+        for (WorkloadResult &r : slots)
+            details->push_back(std::move(r));
     return m;
 }
 

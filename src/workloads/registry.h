@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "stats/matrix.h"
 #include "uarch/config.h"
 #include "uarch/metrics.h"
@@ -81,6 +82,20 @@ struct WorkloadResult
     WorkloadId id;        ///< which workload ran
     PmcCounters counters; ///< aggregated raw events
     MetricVector metrics; ///< the 45 Table II metrics
+    double wallSeconds = 0.0; ///< host wall-clock spent simulating
+};
+
+/** Wall-clock accounting for one runAll() sweep. */
+struct SweepTiming
+{
+    /** Host seconds per workload, in allWorkloads() order. */
+    std::vector<double> perWorkloadSeconds;
+
+    /** Wall-clock of the whole sweep (not the sum of the rows). */
+    double totalSeconds = 0.0;
+
+    /** Worker threads the sweep actually used. */
+    unsigned threads = 1;
 };
 
 /**
@@ -115,15 +130,31 @@ class WorkloadRunner
     /** Number of simulated slave nodes per run. */
     unsigned clusterNodes() const { return nodes_; }
 
-    /** Run one workload to completion. */
+    /**
+     * Set the parallelism for runAll() and the per-node fan-out.
+     *
+     * `threads = 1` reproduces the serial sweep exactly; any other
+     * value produces a bitwise-identical metric matrix (every
+     * workload/node simulation is seeded independently and written
+     * into its preallocated row slot) — only the wall clock changes.
+     * Defaults to the hardware concurrency (`threads = 0`).
+     */
+    void setParallel(ParallelOptions par) { parallel_ = par; }
+
+    /** The parallelism knob in effect. */
+    const ParallelOptions &parallel() const { return parallel_; }
+
+    /** Run one workload to completion (nodes may run in parallel). */
     WorkloadResult run(const WorkloadId &id) const;
 
     /**
-     * Run all 32 workloads.
+     * Run all 32 workloads, one pool task per workload.
      * @param details Optional sink for the per-workload results.
+     * @param timing Optional sink for the wall-clock report.
      * @return 32 x 45 metric matrix, rows in allWorkloads() order.
      */
-    Matrix runAll(std::vector<WorkloadResult> *details = nullptr) const;
+    Matrix runAll(std::vector<WorkloadResult> *details = nullptr,
+                  SweepTiming *timing = nullptr) const;
 
     /** The scale profile in use. */
     const ScaleProfile &scale() const { return scale_; }
@@ -136,10 +167,15 @@ class WorkloadRunner
     WorkloadResult runOnNode(const WorkloadId &id,
                              std::uint64_t data_seed) const;
 
+    /** run() with an explicit thread budget for the node fan-out. */
+    WorkloadResult runWithThreads(const WorkloadId &id,
+                                  unsigned node_threads) const;
+
     NodeConfig cfg_;
     ScaleProfile scale_;
     std::uint64_t seed_;
     unsigned nodes_ = 1;
+    ParallelOptions parallel_;
 };
 
 } // namespace bds

@@ -1,0 +1,147 @@
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/parallel.h"
+
+namespace {
+
+TEST(ParallelOptions, ZeroResolvesToHardwareConcurrency)
+{
+    bds::ParallelOptions par;
+    unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(par.resolved(), hw == 0 ? 1u : hw);
+    EXPECT_GE(par.resolved(), 1u);
+}
+
+TEST(ParallelOptions, ExplicitCountWins)
+{
+    bds::ParallelOptions par{3};
+    EXPECT_EQ(par.resolved(), 3u);
+}
+
+TEST(ParallelOptions, ResolvedForClampsToTaskCount)
+{
+    bds::ParallelOptions par{8};
+    EXPECT_EQ(par.resolvedFor(3), 3u);
+    EXPECT_EQ(par.resolvedFor(100), 8u);
+    EXPECT_EQ(par.resolvedFor(0), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareDefault)
+{
+    bds::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), bds::ParallelOptions{}.resolved());
+}
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce)
+{
+    bds::ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 100; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue)
+{
+    bds::ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ResultIndependentOfCompletionOrder)
+{
+    // Tasks finish in arbitrary order; each writes its own slot, so
+    // the assembled output must equal the serial result.
+    bds::ThreadPool pool(4);
+    std::vector<int> out(64, -1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&out, i] { out[i] = i * i; }));
+    for (auto &f : futures)
+        f.get();
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    bds::ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    auto ok = pool.submit([] { return 1; });
+    EXPECT_EQ(ok.get(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    bds::parallelFor(hits.size(), 4,
+                     [&](std::size_t i) { hits[i]++; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineInOrder)
+{
+    std::vector<std::size_t> order;
+    std::thread::id caller = std::this_thread::get_id();
+    bds::parallelFor(8, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> expect(8);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, FirstExceptionRethrownOnCaller)
+{
+    EXPECT_THROW(
+        bds::parallelFor(100, 4,
+                         [](std::size_t i) {
+                             if (i == 13)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, FatalErrorKeepsItsType)
+{
+    EXPECT_THROW(bds::parallelFor(16, 3,
+                                  [](std::size_t) {
+                                      BDS_FATAL("user error in task");
+                                  }),
+                 bds::FatalError);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop)
+{
+    bool ran = false;
+    bds::parallelFor(0, 4, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsSafe)
+{
+    std::atomic<int> count{0};
+    bds::parallelFor(3, 64, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+} // namespace

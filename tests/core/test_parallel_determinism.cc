@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The determinism contract of the parallel execution engine
+ * (docs/THREADING.md): any thread count produces exactly the result
+ * of the serial run — a bitwise-identical metric matrix from
+ * WorkloadRunner::runAll and an identical PipelineResult (dendrogram
+ * merges, BIC sweep, chosen K) from runPipeline.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "workloads/registry.h"
+
+namespace {
+
+/** runAll at quick scale with the given thread count. */
+bds::Matrix
+sweepMatrix(unsigned threads, unsigned nodes,
+            std::vector<bds::WorkloadResult> *details = nullptr)
+{
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    runner.setClusterNodes(nodes);
+    runner.setParallel(bds::ParallelOptions{threads});
+    return runner.runAll(details);
+}
+
+/** Bitwise equality of two matrices (no epsilon — exact doubles). */
+void
+expectBitwiseEqual(const bds::Matrix &a, const bds::Matrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            double x = a(r, c), y = b(r, c);
+            EXPECT_EQ(std::memcmp(&x, &y, sizeof x), 0)
+                << "matrix differs at (" << r << ',' << c << "): "
+                << x << " vs " << y;
+        }
+}
+
+TEST(ParallelDeterminism, RunAllMatrixBitwiseIdenticalAcrossThreads)
+{
+    std::vector<bds::WorkloadResult> serial_details;
+    std::vector<bds::WorkloadResult> parallel_details;
+    bds::Matrix serial = sweepMatrix(1, 1, &serial_details);
+    bds::Matrix parallel = sweepMatrix(4, 1, &parallel_details);
+
+    expectBitwiseEqual(serial, parallel);
+
+    // Row order and per-workload identities/counters survive too.
+    ASSERT_EQ(serial_details.size(), parallel_details.size());
+    for (std::size_t i = 0; i < serial_details.size(); ++i) {
+        EXPECT_EQ(serial_details[i].id.name(),
+                  parallel_details[i].id.name());
+        EXPECT_EQ(serial_details[i].counters.instructions,
+                  parallel_details[i].counters.instructions);
+        EXPECT_EQ(serial_details[i].counters.cycles,
+                  parallel_details[i].counters.cycles);
+    }
+}
+
+TEST(ParallelDeterminism, NodeFanOutIdenticalAcrossThreads)
+{
+    // Cluster simulation: per-node fan-out must reduce in node order
+    // so the mean is bitwise stable under any thread count.
+    bds::Matrix serial = sweepMatrix(1, 3);
+    bds::Matrix parallel = sweepMatrix(4, 3);
+    expectBitwiseEqual(serial, parallel);
+}
+
+TEST(ParallelDeterminism, PipelineResultIdenticalAcrossThreads)
+{
+    // A synthetic but structured matrix: three well-separated bands
+    // plus deterministic noise, enough for a nontrivial sweep.
+    bds::Pcg32 rng(1234);
+    const std::size_t n = 24, d = 12;
+    bds::Matrix m(n, d);
+    std::vector<std::string> names;
+    for (std::size_t r = 0; r < n; ++r) {
+        names.push_back("W" + std::to_string(r));
+        double base = static_cast<double>(r % 3) * 10.0;
+        for (std::size_t c = 0; c < d; ++c)
+            m(r, c) = base + rng.nextGaussian();
+    }
+
+    bds::PipelineOptions serial_opts;
+    serial_opts.parallel.threads = 1;
+    bds::PipelineOptions parallel_opts;
+    parallel_opts.parallel.threads = 4;
+
+    bds::PipelineResult a = bds::runPipeline(m, names, serial_opts);
+    bds::PipelineResult b = bds::runPipeline(m, names, parallel_opts);
+
+    // Chosen K and the whole BIC sweep.
+    EXPECT_EQ(a.bic.bestK(), b.bic.bestK());
+    ASSERT_EQ(a.bic.points.size(), b.bic.points.size());
+    for (std::size_t i = 0; i < a.bic.points.size(); ++i) {
+        EXPECT_EQ(a.bic.points[i].k, b.bic.points[i].k);
+        double x = a.bic.points[i].bic, y = b.bic.points[i].bic;
+        EXPECT_EQ(std::memcmp(&x, &y, sizeof x), 0)
+            << "BIC differs at sweep point " << i;
+        EXPECT_EQ(a.bic.points[i].result.labels,
+                  b.bic.points[i].result.labels);
+    }
+
+    // Dendrogram merges.
+    const auto &ma = a.dendrogram.merges();
+    const auto &mb = b.dendrogram.merges();
+    ASSERT_EQ(ma.size(), mb.size());
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+        EXPECT_EQ(ma[i].left, mb[i].left);
+        EXPECT_EQ(ma[i].right, mb[i].right);
+        EXPECT_EQ(ma[i].distance, mb[i].distance);
+    }
+
+    // PCA scores feed both stages; they are computed serially and
+    // must match trivially.
+    expectBitwiseEqual(a.pca.scores, b.pca.scores);
+}
+
+TEST(ParallelDeterminism, SeededSweepIndependentOfThreadCount)
+{
+    bds::Pcg32 rng(99);
+    bds::Matrix m(16, 4);
+    for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m(r, c) = rng.nextGaussian();
+
+    auto serial = bds::sweepBic(m, 2, 9, /*seed=*/7, {},
+                                bds::ParallelOptions{1});
+    auto parallel = bds::sweepBic(m, 2, 9, /*seed=*/7, {},
+                                  bds::ParallelOptions{4});
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    EXPECT_EQ(serial.bestIndex, parallel.bestIndex);
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        EXPECT_EQ(serial.points[i].bic, parallel.points[i].bic);
+        EXPECT_EQ(serial.points[i].result.labels,
+                  parallel.points[i].result.labels);
+    }
+}
+
+} // namespace
