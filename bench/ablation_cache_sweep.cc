@@ -16,6 +16,7 @@
 #include "stack/spark.h"
 #include "trace/recorder.h"
 #include "uarch/metrics.h"
+#include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"
 

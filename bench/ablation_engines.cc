@@ -22,6 +22,7 @@
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "uarch/metrics.h"
+#include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"
 

@@ -14,13 +14,25 @@
  *   BDS_THREADS = <integer>               (default: 0 = all cores;
  *                                          1 = serial)
  *
- * The matrix is bitwise identical for every BDS_THREADS value (see
- * docs/THREADING.md), so the cache stays valid across thread counts.
+ * Sampled-simulation knobs (docs/SAMPLING.md):
+ *   BDS_SAMPLE          = 0 | 1  (default 0: full detailed runs)
+ *   BDS_SAMPLE_INTERVAL = <uops per interval>
+ *   BDS_SAMPLE_BBV      = <BBV hash buckets>
+ *   BDS_SAMPLE_KMAX     = <max interval clusters>
+ *   BDS_SAMPLE_WARMUP   = <warm intervals before each rep; 0 = all>
+ *   BDS_SAMPLE_SEED     = <interval-clustering seed>
+ *
+ * Every numeric knob is parsed strictly: a value that is not a plain
+ * non-negative decimal integer is a fatal error, not a silent
+ * default. The matrix is bitwise identical for every BDS_THREADS
+ * value (see docs/THREADING.md), so the cache stays valid across
+ * thread counts.
  */
 
 #ifndef BDS_BENCH_COMMON_H
 #define BDS_BENCH_COMMON_H
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,9 +44,30 @@
 #include "core/csvio.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "sample/characterizer.h"
 #include "workloads/registry.h"
 
 namespace bdsbench {
+
+/**
+ * Strict environment integer: the whole value must be a plain
+ * non-negative decimal. Signs, whitespace, trailing junk, or an empty
+ * string fail fast — a typo in a knob should never silently become 0.
+ */
+inline std::uint64_t
+envUint(const char *name, const char *value)
+{
+    std::string s(value);
+    if (s.empty()
+        || s.find_first_not_of("0123456789") != std::string::npos)
+        BDS_FATAL(name << " must be a non-negative integer, got '"
+                       << s << "'");
+    errno = 0;
+    std::uint64_t v = std::strtoull(s.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        BDS_FATAL(name << " is out of range: '" << s << "'");
+    return v;
+}
 
 /** Scale selected by BDS_SCALE (default standard). */
 inline bds::ScaleProfile
@@ -42,6 +75,9 @@ scaleFromEnv(std::string *name_out = nullptr)
 {
     const char *env = std::getenv("BDS_SCALE");
     std::string name = env ? env : "standard";
+    if (name != "quick" && name != "standard" && name != "full")
+        BDS_FATAL("BDS_SCALE must be quick, standard or full, got '"
+                  << name << "'");
     if (name_out)
         *name_out = name;
     if (name == "quick")
@@ -56,7 +92,7 @@ inline std::uint64_t
 seedFromEnv()
 {
     const char *env = std::getenv("BDS_SEED");
-    return env ? std::strtoull(env, nullptr, 10) : 42ULL;
+    return env ? envUint("BDS_SEED", env) : 42ULL;
 }
 
 /** Worker threads selected by BDS_THREADS (default 0 = all cores). */
@@ -67,8 +103,38 @@ parallelFromEnv()
     bds::ParallelOptions par;
     if (env)
         par.threads =
-            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+            static_cast<unsigned>(envUint("BDS_THREADS", env));
     return par;
+}
+
+/** Sampling knobs from BDS_SAMPLE / BDS_SAMPLE_* (defaults apply). */
+inline bds::SamplingOptions
+samplingFromEnv()
+{
+    bds::SamplingOptions s;
+    if (const char *v = std::getenv("BDS_SAMPLE"))
+        s.enabled = envUint("BDS_SAMPLE", v) != 0;
+    if (const char *v = std::getenv("BDS_SAMPLE_INTERVAL")) {
+        s.intervalUops = envUint("BDS_SAMPLE_INTERVAL", v);
+        if (s.intervalUops == 0)
+            BDS_FATAL("BDS_SAMPLE_INTERVAL must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_BBV")) {
+        s.bbvDims = envUint("BDS_SAMPLE_BBV", v);
+        if (s.bbvDims == 0)
+            BDS_FATAL("BDS_SAMPLE_BBV must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_KMAX")) {
+        s.kMax = envUint("BDS_SAMPLE_KMAX", v);
+        if (s.kMax == 0)
+            BDS_FATAL("BDS_SAMPLE_KMAX must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_WARMUP"))
+        s.warmupIntervals =
+            static_cast<unsigned>(envUint("BDS_SAMPLE_WARMUP", v));
+    if (const char *v = std::getenv("BDS_SAMPLE_SEED"))
+        s.seed = envUint("BDS_SAMPLE_SEED", v);
+    return s;
 }
 
 /**
@@ -96,7 +162,10 @@ loadMetricsCsv(const std::string &path, std::vector<std::string> &names,
 
 /**
  * Characterize the 32 workloads (or load the cached matrix) and run
- * the paper's pipeline over it.
+ * the paper's pipeline over it. With BDS_SAMPLE=1 the matrix comes
+ * from the sampled-simulation path (src/sample) and is cached under a
+ * distinct name, so any figure/table bench can run off sampled
+ * metrics side by side with its full-run cache.
  */
 inline bds::PipelineResult
 characterizedPipeline()
@@ -105,8 +174,10 @@ characterizedPipeline()
     bds::ScaleProfile scale = scaleFromEnv(&scale_name);
     std::uint64_t seed = seedFromEnv();
     bds::ParallelOptions par = parallelFromEnv();
+    bds::SamplingOptions sampling = samplingFromEnv();
     std::string cache = "bds_metrics_" + scale_name + "_"
-        + std::to_string(seed) + ".csv";
+        + std::to_string(seed)
+        + (sampling.enabled ? "_sampled" : "") + ".csv";
 
     std::vector<std::string> names;
     bds::Matrix metrics;
@@ -116,15 +187,22 @@ characterizedPipeline()
     } else {
         std::cerr << "[bench] characterizing 32 workloads at scale '"
                   << scale_name << "' on " << par.resolved()
-                  << " thread(s) (cache: " << cache << ")\n";
+                  << " thread(s)"
+                  << (sampling.enabled ? ", sampled" : "")
+                  << " (cache: " << cache << ")\n";
         bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
                                    seed);
         runner.setParallel(par);
-        bds::SweepTiming timing;
-        metrics = runner.runAll(nullptr, &timing);
-        std::cerr << "[bench] characterized 32 workloads in "
-                  << timing.totalSeconds << " s on " << timing.threads
-                  << " thread(s)\n";
+        if (sampling.enabled) {
+            bds::SampledCharacterizer sampler(runner, sampling);
+            metrics = sampler.runAll();
+        } else {
+            bds::SweepTiming timing;
+            metrics = runner.runAll(nullptr, &timing);
+            std::cerr << "[bench] characterized 32 workloads in "
+                      << timing.totalSeconds << " s on "
+                      << timing.threads << " thread(s)\n";
+        }
         for (const auto &id : bds::allWorkloads())
             names.push_back(id.name());
 
@@ -136,6 +214,7 @@ characterizedPipeline()
     }
     bds::PipelineOptions opts;
     opts.parallel = par;
+    opts.sampling = sampling;
     return bds::runPipeline(metrics, names, opts);
 }
 

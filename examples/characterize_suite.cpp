@@ -8,14 +8,19 @@
  * Runs at quick scale by default so it finishes in seconds; pass
  * "standard" or "full" as argv[1] for the larger scales, and a
  * worker-thread count as argv[2] (default: all cores; the result is
- * identical for every thread count — see docs/THREADING.md).
+ * identical for every thread count — see docs/THREADING.md). Pass
+ * "sampled" as a trailing argument to run the sampled-simulation
+ * path side by side with the full sweep and see how closely the
+ * estimated metrics track the detailed ones (docs/SAMPLING.md).
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/report.h"
+#include "sample/characterizer.h"
 #include "workloads/registry.h"
 
 int
@@ -23,14 +28,24 @@ main(int argc, char **argv)
 {
     using namespace bds;
 
-    std::string scale_name = argc > 1 ? argv[1] : "quick";
+    bool sampled = false;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (auto it = args.begin(); it != args.end();)
+        if (*it == "sampled") {
+            sampled = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+
+    std::string scale_name = !args.empty() ? args[0] : "quick";
     ScaleProfile scale = scale_name == "full" ? ScaleProfile::full()
         : scale_name == "standard"            ? ScaleProfile::standard()
                                               : ScaleProfile::quick();
     ParallelOptions par;
-    if (argc > 2)
+    if (args.size() > 1)
         par.threads = static_cast<unsigned>(
-            std::strtoul(argv[2], nullptr, 10));
+            std::strtoul(args[1].c_str(), nullptr, 10));
 
     // 1. Measure: 45 metrics per workload on a simulated node; the
     //    sweep fans out one pool task per workload.
@@ -46,11 +61,32 @@ main(int argc, char **argv)
     for (const auto &id : allWorkloads())
         names.push_back(id.name());
 
+    // 1b. Optional: the sampled path next to the full sweep. The
+    //     SampledCharacterizer replays only representative intervals
+    //     in detail; the pipeline below then runs on its estimated
+    //     matrix instead of the measured one.
+    PipelineOptions opts;
+    opts.parallel = par;
+    opts.sampling.enabled = sampled;
+    if (sampled) {
+        SampledCharacterizer sampler(runner, opts.sampling);
+        std::vector<SampledWorkloadResult> details;
+        Matrix estimated = sampler.runAll(&details);
+        std::uint64_t total = 0, detail = 0;
+        for (const auto &d : details) {
+            total += d.stats.totalOps;
+            detail += d.stats.detailOps;
+        }
+        std::cout << "sampled sweep: " << total << " uops recorded, "
+                  << detail << " simulated in detail ("
+                  << (detail ? static_cast<double>(total) / detail : 0)
+                  << "x reduction)\n";
+        metrics = estimated;
+    }
+
     // 2. Analyze: z-score -> PCA (Kaiser) -> single-linkage
     //    clustering -> BIC-selected K-means (the K sweep reuses the
     //    same thread budget).
-    PipelineOptions opts;
-    opts.parallel = par;
     PipelineResult res = runPipeline(metrics, names, opts);
 
     // 3. Report.

@@ -16,6 +16,7 @@
 #include "core/analysis.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
+#include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/registry.h"
 

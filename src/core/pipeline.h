@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "sample/options.h"
 #include "stats/bic.h"
 #include "stats/hcluster.h"
 #include "stats/normalize.h"
@@ -65,6 +66,15 @@ struct PipelineOptions
      * sweep itself always records every K for inspection.
      */
     bool useFirstLocalBicMax = false;
+
+    /**
+     * Sampled-simulation knobs for callers that build the metric
+     * matrix themselves (bench/bench_common.h, the examples): when
+     * sampling.enabled, the matrix comes from a SampledCharacterizer
+     * (src/sample) instead of full detailed runs. runPipeline()
+     * itself is matrix-in, so it ignores this field.
+     */
+    SamplingOptions sampling;
 };
 
 /** Everything the paper's Sections V and VI derive from the data. */

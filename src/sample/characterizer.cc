@@ -1,0 +1,143 @@
+#include "sample/characterizer.h"
+
+#include <chrono>
+
+#include "common/log.h"
+#include "sample/interval.h"
+#include "sample/picker.h"
+#include "uarch/system.h"
+
+namespace bds {
+
+namespace {
+
+/**
+ * Per-(workload, node) seed for the interval clustering sweep —
+ * derived from fixed identities only, so sampled selection never
+ * depends on execution order or thread count.
+ */
+std::uint64_t
+pickerSeed(const SamplingOptions &opts, const WorkloadId &id,
+           unsigned node)
+{
+    return opts.seed + 1000 * static_cast<std::uint64_t>(id.alg)
+        + (id.stack == StackKind::Spark ? 500000ULL : 0ULL)
+        + 7919ULL * static_cast<std::uint64_t>(node);
+}
+
+} // namespace
+
+SampledCharacterizer::SampledCharacterizer(const WorkloadRunner &runner,
+                                           SamplingOptions opts)
+    : runner_(runner), opts_(opts)
+{
+    if (opts_.intervalUops == 0)
+        BDS_FATAL("sampling interval must be at least one uop");
+    if (opts_.bbvDims == 0)
+        BDS_FATAL("sampling BBV needs at least one bucket");
+}
+
+SampledWorkloadResult
+SampledCharacterizer::runOnNode(const WorkloadId &id,
+                                unsigned node) const
+{
+    // 1. Record: drive the stack engine into a recording-only target
+    //    — the op stream of a detailed run at profiling cost.
+    RecordingTarget target(runner_.config().numCores);
+    runner_.execute(id, target, runner_.nodeDataSeed(id, node));
+    const TraceRecorder &trace = target.trace();
+
+    // 2. Profile: split into intervals with BBV/mix features.
+    IntervalProfiler profiler(opts_.intervalUops, opts_.bbvDims);
+    trace.replay(profiler);
+    profiler.finish();
+
+    // 3. Pick: cluster intervals, choose weighted representatives.
+    RepresentativePicker picker(opts_);
+    PickResult picked = picker.pick(profiler.featureMatrix(),
+                                    profiler.intervals(),
+                                    pickerSeed(opts_, id, node));
+
+    // 4. Replay: functional warming + detailed representatives.
+    SystemModel sys(runner_.config());
+    SampledReplayer replayer(sys, opts_.intervalUops,
+                             opts_.warmupIntervals);
+    SampledReplayStats stats;
+    std::vector<PmcCounters> snaps =
+        replayer.replay(trace, picked, &stats);
+
+    // 5. Estimate: weighted counter reconstruction.
+    SampleEstimate est = estimateMetrics(snaps, picked);
+
+    SampledWorkloadResult res;
+    res.id = id;
+    res.counters = est.counters;
+    res.metrics = est.metrics;
+    res.stats = stats;
+    res.numIntervals = profiler.numIntervals();
+    res.k = picked.k;
+    res.numReps = picked.reps.size();
+    return res;
+}
+
+SampledWorkloadResult
+SampledCharacterizer::run(const WorkloadId &id) const
+{
+    auto start = std::chrono::steady_clock::now();
+    unsigned nodes = runner_.clusterNodes();
+
+    SampledWorkloadResult total = runOnNode(id, 0);
+    if (nodes > 1) {
+        // Fixed node order, as in the full path's mean reduction.
+        MetricVector mean = total.metrics;
+        for (unsigned node = 1; node < nodes; ++node) {
+            SampledWorkloadResult per = runOnNode(id, node);
+            total.counters += per.counters;
+            total.stats.totalOps += per.stats.totalOps;
+            total.stats.detailOps += per.stats.detailOps;
+            total.stats.warmOps += per.stats.warmOps;
+            total.stats.skippedOps += per.stats.skippedOps;
+            total.numIntervals += per.numIntervals;
+            total.k += per.k;
+            total.numReps += per.numReps;
+            for (std::size_t i = 0; i < kNumMetrics; ++i)
+                mean[i] += per.metrics[i];
+        }
+        for (double &v : mean)
+            v /= static_cast<double>(nodes);
+        total.metrics = mean;
+    }
+    total.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - start).count();
+    return total;
+}
+
+Matrix
+SampledCharacterizer::runAll(
+    std::vector<SampledWorkloadResult> *details) const
+{
+    auto ids = allWorkloads();
+    Matrix m(ids.size(), kNumMetrics);
+
+    // One pool task per workload into a preallocated slot; each task
+    // derives every seed from the workload identity, so the matrix is
+    // bitwise identical for every thread count.
+    unsigned threads = runner_.parallel().resolvedFor(ids.size());
+    std::vector<SampledWorkloadResult> slots(ids.size());
+    parallelFor(ids.size(), threads, [&](std::size_t i) {
+        inform("sampling workload " + ids[i].name());
+        slots[i] = run(ids[i]);
+    });
+
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (std::size_t j = 0; j < kNumMetrics; ++j)
+            m(i, j) = slots[i].metrics[j];
+
+    if (details)
+        for (SampledWorkloadResult &r : slots)
+            details->push_back(std::move(r));
+    return m;
+}
+
+} // namespace bds

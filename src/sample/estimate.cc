@@ -1,0 +1,55 @@
+#include "sample/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace bds {
+
+SampleEstimate
+estimateMetrics(const std::vector<PmcCounters> &reps,
+                const PickResult &picked)
+{
+    if (reps.size() != picked.reps.size())
+        BDS_FATAL("counter snapshots (" << reps.size()
+                  << ") do not match representatives ("
+                  << picked.reps.size() << ")");
+
+    std::array<double, PmcCounters::kNumFields> total{};
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+        auto v = reps[r].toArray();
+        double w = picked.reps[r].weight;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            total[i] += w * v[i];
+    }
+
+    SampleEstimate out;
+    out.counters = PmcCounters::fromArray(total);
+    out.metrics = extractMetrics(out.counters);
+    return out;
+}
+
+MetricErrorReport
+compareMetrics(const MetricVector &full, const MetricVector &sampled)
+{
+    constexpr double kEps = 1e-12;
+    MetricErrorReport rep;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        double denom = std::max(std::abs(full[i]), kEps);
+        double err = std::abs(sampled[i] - full[i]) / denom;
+        if (std::abs(full[i]) < kEps && std::abs(sampled[i]) < kEps)
+            err = 0.0;
+        rep.relError[i] = err;
+        sum += err;
+        if (err > rep.maxError) {
+            rep.maxError = err;
+            rep.worstMetric = i;
+        }
+    }
+    rep.meanError = sum / static_cast<double>(kNumMetrics);
+    return rep;
+}
+
+} // namespace bds

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Metric reconstruction from weighted representative intervals.
+ *
+ * Each representative's counters stand in for its whole cluster:
+ * full-run counter totals are estimated as sum_r weight_r * pmc_r
+ * (weight_r = cluster ops / representative ops), and the 45 Table II
+ * metrics are derived from the estimated totals with the very same
+ * extractMetrics() the full path uses. The error report quantifies
+ * the sampling accuracy contract per metric.
+ */
+
+#ifndef BDS_SAMPLE_ESTIMATE_H
+#define BDS_SAMPLE_ESTIMATE_H
+
+#include <array>
+#include <vector>
+
+#include "sample/picker.h"
+#include "uarch/metrics.h"
+#include "uarch/pmc.h"
+
+namespace bds {
+
+/** Reconstructed full-run counters and metrics. */
+struct SampleEstimate
+{
+    PmcCounters counters; ///< weighted counter totals
+    MetricVector metrics; ///< Table II metrics of those totals
+};
+
+/**
+ * Reconstruct full-run counters/metrics from per-representative
+ * counter snapshots (SampledReplayer::replay output, same order as
+ * picked.reps).
+ */
+SampleEstimate estimateMetrics(const std::vector<PmcCounters> &reps,
+                               const PickResult &picked);
+
+/** Per-metric reconstruction error of a sampled run. */
+struct MetricErrorReport
+{
+    /**
+     * |sampled - full| / max(|full|, eps) per metric. Metrics that
+     * are zero in both runs report zero error.
+     */
+    std::array<double, kNumMetrics> relError{};
+
+    double meanError = 0.0; ///< mean of relError
+    double maxError = 0.0;  ///< worst metric's relError
+    std::size_t worstMetric = 0; ///< index of that metric
+};
+
+/** Compare a sampled metric vector against the full run's. */
+MetricErrorReport compareMetrics(const MetricVector &full,
+                                 const MetricVector &sampled);
+
+} // namespace bds
+
+#endif // BDS_SAMPLE_ESTIMATE_H

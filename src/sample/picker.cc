@@ -1,0 +1,100 @@
+#include "sample/picker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "stats/bic.h"
+#include "stats/kmeans.h"
+#include "stats/normalize.h"
+
+namespace bds {
+
+PickResult
+RepresentativePicker::pick(const Matrix &features,
+                           const std::vector<IntervalRecord> &intervals,
+                           std::uint64_t seed) const
+{
+    if (features.rows() != intervals.size())
+        BDS_FATAL("feature rows (" << features.rows()
+                  << ") do not match interval count ("
+                  << intervals.size() << ")");
+    if (intervals.empty())
+        BDS_FATAL("cannot pick representatives of an empty stream");
+
+    PickResult out;
+    for (const IntervalRecord &r : intervals)
+        out.totalOps += r.opCount;
+
+    // Too few intervals to cluster: simulate everything in detail.
+    // (Also covers the degenerate single-interval stream.)
+    std::size_t n = intervals.size();
+    if (n <= opts_.kMin || n < 2) {
+        for (std::size_t i = 0; i < n; ++i) {
+            Representative rep;
+            rep.interval = i;
+            rep.cluster = i;
+            rep.clusterSize = 1;
+            rep.weight = 1.0;
+            out.reps.push_back(rep);
+            out.detailOps += intervals[i].opCount;
+        }
+        out.k = n;
+        return out;
+    }
+
+    // The paper's pipeline, on intervals: z-score the features, sweep
+    // K with seeded per-K streams, pick the first local BIC maximum
+    // (the compact knee). The sweep runs serially — pick() may itself
+    // be inside a parallel per-workload fan-out.
+    ZScoreResult z = zscore(features);
+    std::size_t k_max = std::min(opts_.kMax, n);
+    std::size_t k_min = std::max<std::size_t>(1, opts_.kMin);
+    ParallelOptions serial;
+    serial.threads = 1;
+    BicSweepResult sweep =
+        sweepBic(z.normalized, k_min, k_max, seed, {}, serial);
+    const KMeansResult &best =
+        sweep.points[sweep.firstLocalMaxIndex()].result;
+    out.k = best.k;
+
+    // Representative of each cluster: the member interval closest to
+    // the centroid (ties break to the earliest interval, so the
+    // choice is deterministic).
+    auto groups = groupByLabel(best.labels, best.k);
+    for (std::size_t c = 0; c < groups.size(); ++c) {
+        if (groups[c].empty())
+            continue;
+        std::size_t rep_idx = groups[c].front();
+        double best_d = std::numeric_limits<double>::infinity();
+        std::uint64_t cluster_ops = 0;
+        for (std::size_t idx : groups[c]) {
+            cluster_ops += intervals[idx].opCount;
+            double d = 0.0;
+            for (std::size_t j = 0; j < z.normalized.cols(); ++j) {
+                double diff = z.normalized(idx, j) - best.centers(c, j);
+                d += diff * diff;
+            }
+            if (d < best_d) {
+                best_d = d;
+                rep_idx = idx;
+            }
+        }
+        Representative rep;
+        rep.interval = rep_idx;
+        rep.cluster = c;
+        rep.clusterSize = groups[c].size();
+        rep.weight = static_cast<double>(cluster_ops)
+            / static_cast<double>(intervals[rep_idx].opCount);
+        out.reps.push_back(rep);
+        out.detailOps += intervals[rep_idx].opCount;
+    }
+
+    std::sort(out.reps.begin(), out.reps.end(),
+              [](const Representative &a, const Representative &b) {
+                  return a.interval < b.interval;
+              });
+    return out;
+}
+
+} // namespace bds

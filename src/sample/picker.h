@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Representative-interval selection: the paper's subsetting method
+ * (z-score, seeded K-means++ sweep, BIC) applied to the interval
+ * feature matrix of one workload.
+ *
+ * Each cluster of similar intervals is represented by the member
+ * closest to the cluster centroid, carrying a weight equal to the
+ * cluster's share of the op stream — exactly how the paper represents
+ * a workload cluster by the workload nearest the center.
+ */
+
+#ifndef BDS_SAMPLE_PICKER_H
+#define BDS_SAMPLE_PICKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/interval.h"
+#include "sample/options.h"
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** One chosen interval and its estimation weight. */
+struct Representative
+{
+    std::size_t interval = 0;    ///< interval index in stream order
+    std::size_t cluster = 0;     ///< cluster it represents
+    std::size_t clusterSize = 0; ///< intervals in that cluster
+    /**
+     * Estimation weight: cluster micro-ops over representative
+     * micro-ops. Weighted per-interval counters summed with these
+     * weights reconstruct full-run totals.
+     */
+    double weight = 1.0;
+};
+
+/** Outcome of representative selection for one workload. */
+struct PickResult
+{
+    /** Chosen intervals, ascending by interval index. */
+    std::vector<Representative> reps;
+
+    /** Number of interval clusters the BIC sweep selected. */
+    std::size_t k = 0;
+
+    /** Total micro-ops across all intervals. */
+    std::uint64_t totalOps = 0;
+
+    /** Micro-ops inside the chosen intervals (the detail cost). */
+    std::uint64_t detailOps = 0;
+};
+
+/** Chooses weighted representative intervals for one workload. */
+class RepresentativePicker
+{
+  public:
+    explicit RepresentativePicker(const SamplingOptions &opts)
+        : opts_(opts)
+    {
+    }
+
+    /**
+     * Select representatives.
+     *
+     * Runs serially regardless of any outer parallelism; the result
+     * depends only on (features, intervals, seed), never on thread
+     * count — the property the sampled determinism test enforces.
+     *
+     * @param features Interval feature matrix (IntervalProfiler).
+     * @param intervals Matching interval records.
+     * @param seed Per-workload seed for the K-means sweep.
+     */
+    PickResult pick(const Matrix &features,
+                    const std::vector<IntervalRecord> &intervals,
+                    std::uint64_t seed) const;
+
+  private:
+    SamplingOptions opts_;
+};
+
+} // namespace bds
+
+#endif // BDS_SAMPLE_PICKER_H

@@ -77,7 +77,7 @@ sparkProfile()
     return p;
 }
 
-StackEngine::StackEngine(SystemModel &sys, AddressSpace &space,
+StackEngine::StackEngine(ExecTarget &sys, AddressSpace &space,
                          StackProfile profile, std::uint64_t seed)
     : sys_(sys), space_(space), profile_(std::move(profile)),
       rng_(seed, 0x5eed5eedULL),

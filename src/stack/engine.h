@@ -22,8 +22,8 @@
 
 #include "common/rng.h"
 #include "stack/dataset.h"
+#include "trace/microop.h"
 #include "trace/runtime.h"
-#include "uarch/system.h"
 
 namespace bds {
 
@@ -142,12 +142,14 @@ class StackEngine
 {
   public:
     /**
-     * @param sys Simulated node the engine runs on.
+     * @param sys Execution target the engine runs on — the detailed
+     *        uarch SystemModel, or the sampling subsystem's
+     *        recording-only target (src/sample).
      * @param space Address space of the engine's process.
      * @param profile Stack mechanism profile.
      * @param seed Engine-private RNG seed.
      */
-    StackEngine(SystemModel &sys, AddressSpace &space,
+    StackEngine(ExecTarget &sys, AddressSpace &space,
                 StackProfile profile, std::uint64_t seed);
 
     virtual ~StackEngine() = default;
@@ -164,8 +166,8 @@ class StackEngine
     /** Address space (workload builders allocate user code here). */
     AddressSpace &space() { return space_; }
 
-    /** The node being driven. */
-    SystemModel &system() { return sys_; }
+    /** The execution target being driven. */
+    ExecTarget &system() { return sys_; }
 
     /** Engine RNG (deterministic). */
     Pcg32 &rng() { return rng_; }
@@ -222,7 +224,7 @@ class StackEngine
     void instrumentedSort(ExecContext &ctx, std::vector<Record> &recs,
                           const SimExtent &buf_ext);
 
-    SystemModel &sys_;
+    ExecTarget &sys_;
     AddressSpace &space_;
     StackProfile profile_;
     Pcg32 rng_;

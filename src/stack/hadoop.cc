@@ -7,13 +7,13 @@
 
 namespace bds {
 
-MapReduceEngine::MapReduceEngine(SystemModel &sys, AddressSpace &space,
+MapReduceEngine::MapReduceEngine(ExecTarget &sys, AddressSpace &space,
                                  std::uint64_t seed)
     : MapReduceEngine(sys, space, hadoopProfile(), seed)
 {
 }
 
-MapReduceEngine::MapReduceEngine(SystemModel &sys, AddressSpace &space,
+MapReduceEngine::MapReduceEngine(ExecTarget &sys, AddressSpace &space,
                                  StackProfile profile, std::uint64_t seed)
     : StackEngine(sys, space, std::move(profile), seed)
 {

@@ -33,14 +33,14 @@ class MapReduceEngine : public StackEngine
      * @param space Process address space.
      * @param seed Engine RNG seed.
      */
-    MapReduceEngine(SystemModel &sys, AddressSpace &space,
+    MapReduceEngine(ExecTarget &sys, AddressSpace &space,
                     std::uint64_t seed = 0x4adaaULL);
 
     /**
      * Build with a custom mechanism profile (ablation studies: e.g.,
      * a MapReduce engine carrying Spark's code footprint).
      */
-    MapReduceEngine(SystemModel &sys, AddressSpace &space,
+    MapReduceEngine(ExecTarget &sys, AddressSpace &space,
                     StackProfile profile, std::uint64_t seed);
 
     Dataset runJob(const JobSpec &job) override;

@@ -8,13 +8,13 @@
 
 namespace bds {
 
-RddEngine::RddEngine(SystemModel &sys, AddressSpace &space,
+RddEngine::RddEngine(ExecTarget &sys, AddressSpace &space,
                      std::uint64_t seed)
     : RddEngine(sys, space, sparkProfile(), seed)
 {
 }
 
-RddEngine::RddEngine(SystemModel &sys, AddressSpace &space,
+RddEngine::RddEngine(ExecTarget &sys, AddressSpace &space,
                      StackProfile profile, std::uint64_t seed)
     : StackEngine(sys, space, std::move(profile), seed)
 {

@@ -37,14 +37,14 @@ class RddEngine : public StackEngine
      * @param space Process address space.
      * @param seed Engine RNG seed.
      */
-    RddEngine(SystemModel &sys, AddressSpace &space,
+    RddEngine(ExecTarget &sys, AddressSpace &space,
               std::uint64_t seed = 0x5aa4cULL);
 
     /**
      * Build with a custom mechanism profile (ablation studies: e.g.,
      * an RDD engine carrying Hadoop's code footprint).
      */
-    RddEngine(SystemModel &sys, AddressSpace &space,
+    RddEngine(ExecTarget &sys, AddressSpace &space,
               StackProfile profile, std::uint64_t seed);
 
     Dataset runJob(const JobSpec &job) override;

@@ -80,6 +80,26 @@ class OpSink
     virtual void consume(unsigned core, const MicroOp &op) = 0;
 };
 
+/**
+ * Execution platform the workload/stack layer drives: an op sink
+ * plus the two node-level services engines need — the core count
+ * (for task scheduling) and device DMA (for the I/O path).
+ *
+ * The uarch SystemModel is the detailed implementation. The sampling
+ * subsystem (src/sample) provides a recording-only implementation,
+ * so a profiling pass can generate the op stream of a workload
+ * without paying for detailed simulation.
+ */
+class ExecTarget : public OpSink
+{
+  public:
+    /** Number of simulated cores tasks may be scheduled onto. */
+    virtual unsigned numCores() const = 0;
+
+    /** Model a device DMA write of `bytes` at `addr` into memory. */
+    virtual void dmaFill(std::uint64_t addr, std::uint64_t bytes) = 0;
+};
+
 } // namespace bds
 
 #endif // BDS_TRACE_MICROOP_H

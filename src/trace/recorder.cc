@@ -100,6 +100,30 @@ TraceRecorder::load(std::istream &is)
         BDS_FATAL("unsupported trace version " << version);
     std::uint64_t count = 0;
     is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        BDS_FATAL("truncated trace header");
+
+    // Entries are 20 bytes on disk. A seekable stream lets us check
+    // the payload against the header count up front, before trusting
+    // `count` for the reserve — a bogus header must not OOM us, and
+    // both truncation and trailing garbage are rejected.
+    constexpr std::uint64_t kEntryBytes = 20;
+    std::istream::pos_type body = is.tellg();
+    if (body != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        std::uint64_t remaining =
+            static_cast<std::uint64_t>(is.tellg() - body);
+        is.seekg(body);
+        if (count > remaining / kEntryBytes)
+            BDS_FATAL("truncated trace: header promises " << count
+                      << " entries but only " << remaining
+                      << " payload bytes remain");
+        if (remaining != count * kEntryBytes)
+            BDS_FATAL("oversized trace: "
+                      << remaining - count * kEntryBytes
+                      << " trailing bytes after " << count
+                      << " entries");
+    }
 
     TraceRecorder rec;
     rec.entries_.reserve(count);
@@ -121,6 +145,10 @@ TraceRecorder::load(std::istream &is)
             BDS_FATAL("corrupt trace entry " << i);
         rec.entries_.push_back(e);
     }
+    // Non-seekable streams reach here without the up-front size
+    // check; trailing bytes mean the writer and header disagree.
+    if (is.peek() != std::char_traits<char>::eof())
+        BDS_FATAL("oversized trace: data past the last entry");
     return rec;
 }
 

@@ -39,7 +39,7 @@ CoreModel::accountLlcMiss(bool dependent)
     // time: an OoO core keeps issuing independent misses while an
     // earlier one is outstanding. A miss occupies the window of uops
     // the fill latency could have covered.
-    double now = static_cast<double>(pmc.uops);
+    double now = static_cast<double>(uopClock);
     while (!outstanding_.empty() && outstanding_.front() <= now)
         outstanding_.pop_front();
 
@@ -53,8 +53,6 @@ CoreModel::accountLlcMiss(bool dependent)
     if (outstanding_.size() > lfbEntries_)
         outstanding_.pop_front();
 
-    pmc.mlpSum += overlap;
-    ++pmc.mlpSamples;
     return overlap;
 }
 

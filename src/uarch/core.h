@@ -36,6 +36,27 @@ class CoreModel
     PmcCounters pmc;          ///< this core's counters
 
     /**
+     * Counter sink used while the node's counter-freeze mode is on
+     * (SystemModel::setCounterFreeze): all PMC writes land here so
+     * `pmc` stays untouched during functional warming. Never read.
+     */
+    PmcCounters discard;
+
+    /**
+     * Microarchitectural time in cycles. Advances in lockstep with
+     * pmc.cycles but is never reset or frozen: the LFB in-flight
+     * window keys off this clock, so resetCounters() and the
+     * counter-freeze mode leave timing state coherent.
+     */
+    double clock = 0.0;
+
+    /**
+     * Microarchitectural time in issued uops; same contract as
+     * `clock` but in issue time. Drives the MLP overlap window.
+     */
+    std::uint64_t uopClock = 0;
+
+    /**
      * Line-fill-buffer probe: true when the line has an outstanding
      * fill that has not completed by `now` (the access merges into
      * the in-flight fill). Expired entries are pruned.
@@ -49,7 +70,9 @@ class CoreModel
     void lfbAllocate(std::uint64_t line_addr, double ready);
 
     /**
-     * Account one LLC miss in the MLP model.
+     * Account one LLC miss in the MLP model (the overlap window
+     * state only; the caller records mlpSum/mlpSamples so the freeze
+     * mode can redirect the counter writes).
      * @param dependent True for pointer-chase loads that cannot
      *        overlap the previous miss.
      * @return The overlap degree (>= 1) used to scale the unhidden

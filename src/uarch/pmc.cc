@@ -1,6 +1,64 @@
 #include "uarch/pmc.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace bds {
+
+namespace {
+
+/**
+ * One X(field) line per counter, in declaration order — the single
+ * source of truth for toArray()/fromArray(). U marks integral
+ * (rounded) fields, D the double-valued accounting fields.
+ */
+#define BDS_PMC_FIELDS(U, D)                                          \
+    U(instructions) U(uops) D(cycles)                                 \
+    U(loadInstrs) U(storeInstrs) U(branchInstrs) U(intInstrs)         \
+    U(fpInstrs) U(sseInstrs) U(kernelInstrs) U(userInstrs)            \
+    U(l1iHits) U(l1iMisses) U(l2Hits) U(l2Misses)                     \
+    U(l3Hits) U(l3Misses)                                             \
+    U(loadHitLfb) U(loadHitL2) U(loadHitSibling)                      \
+    U(loadHitL3Unshared) U(loadLlcMiss)                               \
+    U(itlbWalks) D(itlbWalkCycles) U(dtlbWalks) D(dtlbWalkCycles)     \
+    U(dataHitStlb)                                                    \
+    U(branchesRetired) U(branchesMispredicted) U(branchesExecuted)    \
+    D(fetchStallCycles) D(ildStallCycles) D(decoderStallCycles)       \
+    D(ratStallCycles) D(resourceStallCycles) D(uopsExecutedCycles)    \
+    U(offcoreData) U(offcoreCode) U(offcoreRfo) U(offcoreWb)          \
+    U(snoopHit) U(snoopHitE) U(snoopHitM)                             \
+    D(mlpSum) U(mlpSamples)
+
+} // namespace
+
+std::array<double, PmcCounters::kNumFields>
+PmcCounters::toArray() const
+{
+    std::array<double, kNumFields> out{};
+    std::size_t i = 0;
+#define BDS_PMC_U(f) out[i++] = static_cast<double>(f);
+#define BDS_PMC_D(f) out[i++] = f;
+    BDS_PMC_FIELDS(BDS_PMC_U, BDS_PMC_D)
+#undef BDS_PMC_U
+#undef BDS_PMC_D
+    static_assert(kNumFields == 45, "field count drifted");
+    return out;
+}
+
+PmcCounters
+PmcCounters::fromArray(const std::array<double, kNumFields> &v)
+{
+    PmcCounters out;
+    std::size_t i = 0;
+#define BDS_PMC_U(f)                                                  \
+    out.f = static_cast<std::uint64_t>(                               \
+        std::llround(std::max(0.0, v[i++])));
+#define BDS_PMC_D(f) out.f = v[i++];
+    BDS_PMC_FIELDS(BDS_PMC_U, BDS_PMC_D)
+#undef BDS_PMC_U
+#undef BDS_PMC_D
+    return out;
+}
 
 PmcCounters &
 PmcCounters::operator+=(const PmcCounters &rhs)

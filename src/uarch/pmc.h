@@ -9,6 +9,7 @@
 #ifndef BDS_UARCH_PMC_H
 #define BDS_UARCH_PMC_H
 
+#include <array>
 #include <cstdint>
 
 namespace bds {
@@ -84,6 +85,23 @@ struct PmcCounters
     // Parallelism
     double mlpSum = 0.0;           ///< sum of overlap degree per miss
     std::uint64_t mlpSamples = 0;  ///< number of LLC misses sampled
+
+    /** Number of counter fields (toArray()/fromArray() length). */
+    static constexpr std::size_t kNumFields = 45;
+
+    /**
+     * Flatten into a fixed-order double vector — the representation
+     * the sampling estimator does weighted arithmetic on. Field
+     * order matches the declaration order above.
+     */
+    std::array<double, kNumFields> toArray() const;
+
+    /**
+     * Rebuild counters from a toArray()-ordered vector. Integral
+     * fields are rounded to the nearest count, so estimates built
+     * from weighted sums come back as plausible event counts.
+     */
+    static PmcCounters fromArray(const std::array<double, kNumFields> &v);
 
     /** Element-wise accumulate (for aggregating cores). */
     PmcCounters &operator+=(const PmcCounters &rhs);

@@ -150,7 +150,7 @@ void
 SystemModel::settleSnoop(unsigned requester, std::uint64_t addr,
                          const SnoopResult &sr, bool for_ownership)
 {
-    PmcCounters &pmc = cores_[requester]->pmc;
+    PmcCounters &pmc = counters(requester);
     switch (sr.state) {
       case CoherenceState::Modified:
         ++pmc.snoopHitM;
@@ -204,7 +204,7 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
                       bool dependent_load)
 {
     CoreModel &core = *cores_[requester];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(requester);
     FillOutcome out;
 
     // Offcore request classification.
@@ -274,8 +274,11 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
     ++pmc.l3Misses;
     out.memAccess = true;
     double overlap = 1.0;
-    if (!is_code && !for_ownership)
+    if (!is_code && !for_ownership) {
         overlap = core.accountLlcMiss(dependent_load);
+        pmc.mlpSum += overlap;
+        ++pmc.mlpSamples;
+    }
     out.latency = cfg_.memLatency / overlap;
     out.fillState = for_ownership ? CoherenceState::Modified
                                   : CoherenceState::Exclusive;
@@ -298,7 +301,7 @@ SystemModel::installLine(unsigned core_id, std::uint64_t addr,
             bool l1d_dirty = core.l1d.invalidate(victim_addr);
             core.l1i.invalidate(victim_addr);
             if (ev.dirty || l1d_dirty) {
-                ++core.pmc.offcoreWb;
+                ++counters(core_id).offcoreWb;
                 if (l3_.probe(victim_addr).hit)
                     l3_.setDirty(victim_addr);
             }
@@ -326,7 +329,7 @@ void
 SystemModel::doFetch(unsigned core_id, const MicroOp &op)
 {
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
 
     std::uint64_t line = op.ip / cfg_.l1i.lineBytes;
     if (line == core.lastFetchLine)
@@ -340,9 +343,11 @@ SystemModel::doFetch(unsigned core_id, const MicroOp &op)
         pmc.itlbWalkCycles += cfg_.walkLatency;
         pmc.fetchStallCycles += cfg_.walkLatency;
         pmc.cycles += cfg_.walkLatency;
+        core.clock += cfg_.walkLatency;
     } else if (t == TlbOutcome::StlbHit) {
         pmc.fetchStallCycles += cfg_.stlbHitPenalty;
         pmc.cycles += cfg_.stlbHitPenalty;
+        core.clock += cfg_.stlbHitPenalty;
     }
 
     // L1I.
@@ -371,6 +376,7 @@ SystemModel::doFetch(unsigned core_id, const MicroOp &op)
     pmc.fetchStallCycles += latency;
     pmc.ildStallCycles += 0.15 * latency;
     pmc.cycles += 1.15 * latency;
+    core.clock += 1.15 * latency;
 
     // Next-line instruction prefetch (Westmere's L1I streaming
     // prefetcher): fetch the following line behind the demand miss.
@@ -394,17 +400,19 @@ void
 SystemModel::translateData(unsigned core_id, std::uint64_t addr)
 {
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
     TlbOutcome t = core.tlb.translateData(addr);
     if (t == TlbOutcome::Walk) {
         ++pmc.dtlbWalks;
         pmc.dtlbWalkCycles += cfg_.walkLatency;
         pmc.resourceStallCycles += 0.6 * cfg_.walkLatency;
         pmc.cycles += 0.6 * cfg_.walkLatency;
+        core.clock += 0.6 * cfg_.walkLatency;
     } else if (t == TlbOutcome::StlbHit) {
         ++pmc.dataHitStlb;
         pmc.resourceStallCycles += 0.2 * cfg_.stlbHitPenalty;
         pmc.cycles += 0.2 * cfg_.stlbHitPenalty;
+        core.clock += 0.2 * cfg_.stlbHitPenalty;
     }
 }
 
@@ -412,7 +420,7 @@ void
 SystemModel::doLoad(unsigned core_id, const MicroOp &op)
 {
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
 
     translateData(core_id, op.addr);
 
@@ -420,7 +428,7 @@ SystemModel::doLoad(unsigned core_id, const MicroOp &op)
         return; // L1D hits are latency-hidden by the OoO core
 
     std::uint64_t line = op.addr / cfg_.l1d.lineBytes;
-    if (core.lfbInFlight(line, pmc.cycles)) {
+    if (core.lfbInFlight(line, core.clock)) {
         ++pmc.loadHitLfb;
         return;
     }
@@ -434,6 +442,7 @@ SystemModel::doLoad(unsigned core_id, const MicroOp &op)
         double stall = 0.3 * cfg_.l2Latency;
         pmc.ratStallCycles += stall;
         pmc.cycles += stall;
+        core.clock += stall;
         return;
     }
 
@@ -443,23 +452,26 @@ SystemModel::doLoad(unsigned core_id, const MicroOp &op)
     // The line lands in the L2 now; the L1D copy arrives only when a
     // later touch finds the fill complete (see class comment).
     installLine(core_id, op.addr, fill.fillState, false, false);
-    core.lfbAllocate(line, pmc.cycles + cfg_.l2Latency + fill.latency);
+    core.lfbAllocate(line, core.clock + cfg_.l2Latency + fill.latency);
 
     if (fill.fromSibling) {
         ++pmc.loadHitSibling;
         double stall = 0.4 * fill.latency;
         pmc.resourceStallCycles += stall;
         pmc.cycles += stall;
+        core.clock += stall;
     } else if (fill.l3Hit) {
         ++pmc.loadHitL3Unshared;
         pmc.resourceStallCycles += 0.3 * fill.latency;
         pmc.ratStallCycles += 0.1 * fill.latency;
         pmc.cycles += 0.4 * fill.latency;
+        core.clock += 0.4 * fill.latency;
     } else {
         ++pmc.loadLlcMiss;
         pmc.resourceStallCycles += 0.75 * fill.latency;
         pmc.ratStallCycles += 0.1 * fill.latency;
         pmc.cycles += 0.85 * fill.latency;
+        core.clock += 0.85 * fill.latency;
     }
 }
 
@@ -467,7 +479,7 @@ void
 SystemModel::doStore(unsigned core_id, const MicroOp &op)
 {
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
 
     translateData(core_id, op.addr);
 
@@ -495,11 +507,12 @@ SystemModel::doStore(unsigned core_id, const MicroOp &op)
         double stall = 0.3 * cfg_.c2cLatency;
         pmc.resourceStallCycles += stall;
         pmc.cycles += stall;
+        core.clock += stall;
         return;
     }
 
     std::uint64_t line = op.addr / cfg_.l1d.lineBytes;
-    if (core.lfbInFlight(line, pmc.cycles)) {
+    if (core.lfbInFlight(line, core.clock)) {
         // Merge into the outstanding fill; ownership is settled when
         // the fill completes and a later access re-probes.
         if (core.l2.probe(op.addr).hit) {
@@ -537,13 +550,14 @@ SystemModel::doStore(unsigned core_id, const MicroOp &op)
     double stall = 0.25 * fill.latency;
     pmc.resourceStallCycles += stall;
     pmc.cycles += stall;
+    core.clock += stall;
 }
 
 void
 SystemModel::doBranch(unsigned core_id, const MicroOp &op)
 {
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
     ++pmc.branchesRetired;
     bool correct = core.bp.predictAndTrain(op.ip, op.taken);
     if (correct) {
@@ -554,6 +568,7 @@ SystemModel::doBranch(unsigned core_id, const MicroOp &op)
         pmc.branchesExecuted += 3;
         pmc.fetchStallCycles += cfg_.branchMissPenalty;
         pmc.cycles += cfg_.branchMissPenalty;
+        core.clock += cfg_.branchMissPenalty;
     }
 }
 
@@ -566,10 +581,12 @@ SystemModel::consume(unsigned core_id, const MicroOp &op)
     if (recorder_)
         recorder_->consume(core_id, op);
     CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = core.pmc;
+    PmcCounters &pmc = counters(core_id);
 
     ++pmc.uops;
+    ++core.uopClock;
     pmc.cycles += invIssueWidth_;
+    core.clock += invIssueWidth_;
     pmc.uopsExecutedCycles += invIssueWidth_;
 
     if (op.newInstruction) {
@@ -591,6 +608,7 @@ SystemModel::consume(unsigned core_id, const MicroOp &op)
         // Microcode sequencer pressure.
         pmc.decoderStallCycles += 0.4;
         pmc.cycles += 0.4;
+        core.clock += 0.4;
     }
 
     switch (op.cls) {
@@ -607,6 +625,7 @@ SystemModel::consume(unsigned core_id, const MicroOp &op)
         // x87 is microcode-heavy on Westmere-class cores.
         pmc.decoderStallCycles += 0.2;
         pmc.cycles += 0.2;
+        core.clock += 0.2;
         break;
       case OpClass::IntAlu:
       case OpClass::SseAlu:

@@ -31,7 +31,7 @@
 namespace bds {
 
 /** One simulated multicore node. */
-class SystemModel : public OpSink
+class SystemModel : public ExecTarget
 {
   public:
     /** Build a node from a configuration. */
@@ -44,7 +44,7 @@ class SystemModel : public OpSink
     const NodeConfig &config() const { return cfg_; }
 
     /** Number of cores. */
-    unsigned numCores() const
+    unsigned numCores() const override
     {
         return static_cast<unsigned>(cores_.size());
     }
@@ -62,13 +62,29 @@ class SystemModel : public OpSink
     void resetCounters();
 
     /**
+     * Functional-warming switch for sampled simulation. While on,
+     * every micro-op still advances the full microarchitectural
+     * state — caches, TLBs, the branch predictor, coherence, the
+     * LFB/MLP windows, and the monotonic core clocks — but all
+     * PmcCounters writes are redirected to each core's `discard`
+     * sink, so `pmc` (and therefore cycle accounting) stands still.
+     * Freeze→unfreeze→replay of a trace reproduces the counters of
+     * an uninterrupted detailed run bitwise, because no observable
+     * counter state depends on the frozen counters themselves.
+     */
+    void setCounterFreeze(bool on) { frozen_ = on; }
+
+    /** Whether the counter-freeze (functional warming) mode is on. */
+    bool counterFrozen() const { return frozen_; }
+
+    /**
      * Model a device DMA write into memory (e.g., a disk or NIC
      * filling a page-cache buffer): every cached copy of the touched
      * lines is invalidated, so subsequent reads pay real DRAM
      * accesses. This is what makes I/O-bound stacks generate memory
      * traffic even when their buffers are reused.
      */
-    void dmaFill(std::uint64_t addr, std::uint64_t bytes);
+    void dmaFill(std::uint64_t addr, std::uint64_t bytes) override;
 
     /**
      * Attach a recorder: every subsequent micro-op and DMA fill is
@@ -143,6 +159,13 @@ class SystemModel : public OpSink
                      CoherenceState state, bool is_code,
                      bool install_l1 = true);
 
+    /** The core's live counters, or its discard sink while frozen. */
+    PmcCounters &counters(unsigned core_id)
+    {
+        CoreModel &c = *cores_[core_id];
+        return frozen_ ? c.discard : c.pmc;
+    }
+
     /** Handle an instruction fetch for the op's ip. */
     void doFetch(unsigned core_id, const MicroOp &op);
 
@@ -158,6 +181,7 @@ class SystemModel : public OpSink
     SetAssocCache l3_;
     double invIssueWidth_;
     TraceRecorder *recorder_ = nullptr;
+    bool frozen_ = false; ///< counter-freeze (functional warming) mode
 };
 
 } // namespace bds

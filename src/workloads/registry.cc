@@ -120,13 +120,10 @@ WorkloadRunner::runWithThreads(const WorkloadId &id,
     // with a node-derived seed, so node simulations are independent
     // and can fan out across the pool.
     auto start = std::chrono::steady_clock::now();
-    std::uint64_t base_seed =
-        seed_ + 1000 * static_cast<std::uint64_t>(id.alg);
-
     std::vector<WorkloadResult> per_node(nodes_);
     parallelFor(nodes_, node_threads, [&](std::size_t node) {
         per_node[node] = runOnNode(
-            id, base_seed + 7919ULL * static_cast<std::uint64_t>(node));
+            id, nodeDataSeed(id, static_cast<unsigned>(node)));
     });
 
     // Reduce in fixed node order so the mean is bitwise identical to
@@ -150,18 +147,28 @@ WorkloadRunner::runWithThreads(const WorkloadId &id,
     return total;
 }
 
-WorkloadResult
-WorkloadRunner::runOnNode(const WorkloadId &id,
-                          std::uint64_t data_seed) const
+std::uint64_t
+WorkloadRunner::nodeDataSeed(const WorkloadId &id, unsigned node) const
 {
-    SystemModel sys(cfg_);
+    // Data seeds depend on the algorithm only: both stacks consume
+    // identically generated inputs (the paper's "identical data
+    // sets" requirement). Each cluster node processes its own shard
+    // with a node-derived seed, so node simulations are independent.
+    return seed_ + 1000 * static_cast<std::uint64_t>(id.alg)
+        + 7919ULL * static_cast<std::uint64_t>(node);
+}
+
+void
+WorkloadRunner::execute(const WorkloadId &id, ExecTarget &target,
+                        std::uint64_t data_seed) const
+{
     AddressSpace space;
 
     std::unique_ptr<StackEngine> engine;
     if (id.stack == StackKind::Hadoop)
-        engine = std::make_unique<MapReduceEngine>(sys, space);
+        engine = std::make_unique<MapReduceEngine>(target, space);
     else
-        engine = std::make_unique<RddEngine>(sys, space);
+        engine = std::make_unique<RddEngine>(target, space);
 
     std::uint64_t n = std::max<std::uint64_t>(
         static_cast<std::uint64_t>(
@@ -266,6 +273,14 @@ WorkloadRunner::runOnNode(const WorkloadId &id,
             BDS_PANIC("not an offline algorithm");
         }
     }
+}
+
+WorkloadResult
+WorkloadRunner::runOnNode(const WorkloadId &id,
+                          std::uint64_t data_seed) const
+{
+    SystemModel sys(cfg_);
+    execute(id, sys, data_seed);
 
     WorkloadResult res;
     res.id = id;

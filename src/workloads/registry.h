@@ -14,6 +14,7 @@
 
 #include "common/parallel.h"
 #include "stats/matrix.h"
+#include "trace/microop.h"
 #include "uarch/config.h"
 #include "uarch/metrics.h"
 #include "workloads/datagen.h"
@@ -146,6 +147,22 @@ class WorkloadRunner
 
     /** Run one workload to completion (nodes may run in parallel). */
     WorkloadResult run(const WorkloadId &id) const;
+
+    /**
+     * Drive one node's worth of a workload into an arbitrary
+     * execution target: the stack engine, datasets, and seeds are
+     * built exactly as in run(), so feeding a SystemModel here
+     * reproduces a detailed node simulation, while feeding a
+     * recording-only target (src/sample) captures the identical op
+     * stream without paying for detailed simulation.
+     * @param data_seed Per-node data seed (see nodeDataSeed()).
+     */
+    void execute(const WorkloadId &id, ExecTarget &target,
+                 std::uint64_t data_seed) const;
+
+    /** The data seed run() uses for shard `node` of a workload. */
+    std::uint64_t nodeDataSeed(const WorkloadId &id,
+                               unsigned node) const;
 
     /**
      * Run all 32 workloads, one pool task per workload.

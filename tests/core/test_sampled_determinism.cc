@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The determinism contract of the sampled characterization path
+ * (src/sample): any thread count — and repeated runs with the same
+ * seed — must produce a bitwise-identical estimated metric matrix,
+ * exactly like the full path's contract in
+ * test_parallel_determinism.cc.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sample/characterizer.h"
+#include "workloads/registry.h"
+
+namespace {
+
+/** Sampled runAll at quick scale with the given thread count. */
+bds::Matrix
+sampledMatrix(unsigned threads, unsigned nodes, std::uint64_t seed,
+              std::vector<bds::SampledWorkloadResult> *details
+              = nullptr)
+{
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    runner.setClusterNodes(nodes);
+    runner.setParallel(bds::ParallelOptions{threads});
+    bds::SamplingOptions opts;
+    opts.enabled = true;
+    opts.seed = seed;
+    bds::SampledCharacterizer sampler(runner, opts);
+    return sampler.runAll(details);
+}
+
+/** Bitwise equality of two matrices (no epsilon — exact doubles). */
+void
+expectBitwiseEqual(const bds::Matrix &a, const bds::Matrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            double x = a(r, c), y = b(r, c);
+            EXPECT_EQ(std::memcmp(&x, &y, sizeof x), 0)
+                << "sampled matrix differs at (" << r << ',' << c
+                << "): " << x << " vs " << y;
+        }
+}
+
+TEST(SampledDeterminism, MatrixBitwiseIdenticalAcrossThreads)
+{
+    std::vector<bds::SampledWorkloadResult> serial_details;
+    std::vector<bds::SampledWorkloadResult> parallel_details;
+    bds::Matrix serial = sampledMatrix(1, 1, 7, &serial_details);
+    bds::Matrix parallel = sampledMatrix(4, 1, 7, &parallel_details);
+
+    expectBitwiseEqual(serial, parallel);
+
+    // The whole sampling decision — interval count, chosen K, picked
+    // representatives, replay accounting — must match, not just the
+    // final metrics.
+    ASSERT_EQ(serial_details.size(), parallel_details.size());
+    for (std::size_t i = 0; i < serial_details.size(); ++i) {
+        EXPECT_EQ(serial_details[i].id.name(),
+                  parallel_details[i].id.name());
+        EXPECT_EQ(serial_details[i].numIntervals,
+                  parallel_details[i].numIntervals);
+        EXPECT_EQ(serial_details[i].k, parallel_details[i].k);
+        EXPECT_EQ(serial_details[i].numReps,
+                  parallel_details[i].numReps);
+        EXPECT_EQ(serial_details[i].stats.detailOps,
+                  parallel_details[i].stats.detailOps);
+        EXPECT_EQ(serial_details[i].stats.totalOps,
+                  parallel_details[i].stats.totalOps);
+    }
+}
+
+TEST(SampledDeterminism, NodeFanOutIdenticalAcrossThreads)
+{
+    bds::Matrix serial = sampledMatrix(1, 2, 7);
+    bds::Matrix parallel = sampledMatrix(4, 2, 7);
+    expectBitwiseEqual(serial, parallel);
+}
+
+TEST(SampledDeterminism, RepeatedRunsAreBitwiseStable)
+{
+    bds::Matrix first = sampledMatrix(2, 1, 7);
+    bds::Matrix second = sampledMatrix(2, 1, 7);
+    expectBitwiseEqual(first, second);
+}
+
+TEST(SampledDeterminism, SeedChangesTheSelectionNotTheContract)
+{
+    std::vector<bds::SampledWorkloadResult> a_details, b_details;
+    bds::Matrix a = sampledMatrix(2, 1, 7, &a_details);
+    bds::Matrix b = sampledMatrix(2, 1, 1234, &b_details);
+
+    // Different clustering seeds may pick different representatives,
+    // but the op accounting invariants hold for both.
+    for (const auto &d : a_details)
+        EXPECT_EQ(d.stats.detailOps + d.stats.warmOps
+                      + d.stats.skippedOps,
+                  d.stats.totalOps);
+    for (const auto &d : b_details)
+        EXPECT_EQ(d.stats.detailOps + d.stats.warmOps
+                      + d.stats.skippedOps,
+                  d.stats.totalOps);
+    // And the trace itself is seed-independent: same total ops.
+    ASSERT_EQ(a_details.size(), b_details.size());
+    for (std::size_t i = 0; i < a_details.size(); ++i)
+        EXPECT_EQ(a_details[i].stats.totalOps,
+                  b_details[i].stats.totalOps);
+}
+
+} // namespace

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the sampled-simulation subsystem: interval
+ * profiling, representative selection, warmed replay, and metric
+ * reconstruction.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sample/characterizer.h"
+#include "sample/estimate.h"
+#include "sample/interval.h"
+#include "sample/picker.h"
+#include "sample/replay.h"
+#include "trace/memlayout.h"
+#include "trace/runtime.h"
+#include "uarch/system.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::ExecContext;
+using bds::IntervalProfiler;
+using bds::IntervalRecord;
+using bds::Matrix;
+using bds::PickResult;
+using bds::PmcCounters;
+using bds::RecordingTarget;
+using bds::Region;
+using bds::Representative;
+using bds::RepresentativePicker;
+using bds::SampledReplayer;
+using bds::SampledReplayStats;
+using bds::SamplingOptions;
+using bds::TraceRecorder;
+
+/** A short synthetic trace: loads, branches, stores on one core. */
+TraceRecorder
+makeTrace(int iterations)
+{
+    TraceRecorder rec;
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(rec, 0, user.defineFunction(128));
+    std::uint64_t buf = space.allocate(Region::Heap, 1 << 20);
+    for (int i = 0; i < iterations; ++i) {
+        ctx.load(buf + (i * 64) % (1 << 20));
+        ctx.intOps(2);
+        ctx.branch(i % 3 == 0);
+        if (i % 4 == 0)
+            ctx.store(buf + (i * 128) % (1 << 20));
+    }
+    return rec;
+}
+
+TEST(IntervalProfiler, SplitsAtExactBoundaries)
+{
+    TraceRecorder rec = makeTrace(200);
+    std::uint64_t total = rec.size();
+
+    IntervalProfiler prof(100, 8);
+    rec.replay(prof);
+    prof.finish();
+
+    ASSERT_GT(prof.numIntervals(), 1u);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < prof.intervals().size(); ++i) {
+        const IntervalRecord &iv = prof.intervals()[i];
+        EXPECT_EQ(iv.firstOp, seen);
+        seen += iv.opCount;
+        // Every interval but the trailing partial is exactly full.
+        if (i + 1 < prof.intervals().size())
+            EXPECT_EQ(iv.opCount, 100u);
+    }
+    EXPECT_EQ(seen, total);
+}
+
+TEST(IntervalProfiler, FinishIsIdempotent)
+{
+    TraceRecorder rec = makeTrace(30);
+    IntervalProfiler prof(1000, 8);
+    rec.replay(prof);
+    prof.finish();
+    std::size_t n = prof.numIntervals();
+    prof.finish();
+    EXPECT_EQ(prof.numIntervals(), n);
+    EXPECT_EQ(n, 1u); // fewer ops than one interval: one partial
+}
+
+TEST(IntervalProfiler, FeaturesAreNormalizedPerUop)
+{
+    TraceRecorder rec = makeTrace(500);
+    IntervalProfiler prof(128, 16);
+    rec.replay(prof);
+    prof.finish();
+
+    Matrix f = prof.featureMatrix();
+    ASSERT_EQ(f.rows(), prof.numIntervals());
+    ASSERT_EQ(f.cols(), 16u + 6u + 2u);
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+        double class_sum = 0.0, mode_sum = 0.0;
+        for (std::size_t c = 16; c < 22; ++c)
+            class_sum += f(r, c);
+        for (std::size_t c = 22; c < 24; ++c)
+            mode_sum += f(r, c);
+        // Op-class and mode shares each partition the interval's uops.
+        EXPECT_NEAR(class_sum, 1.0, 1e-9);
+        EXPECT_NEAR(mode_sum, 1.0, 1e-9);
+        for (std::size_t c = 0; c < f.cols(); ++c)
+            EXPECT_GE(f(r, c), 0.0);
+    }
+}
+
+TEST(IntervalProfiler, RejectsZeroKnobs)
+{
+    EXPECT_THROW(IntervalProfiler(0, 8), bds::FatalError);
+    EXPECT_THROW(IntervalProfiler(100, 0), bds::FatalError);
+}
+
+TEST(RecordingTarget, RecordsWithoutSimulating)
+{
+    RecordingTarget target(4);
+    EXPECT_EQ(target.numCores(), 4u);
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(target, 1, user.defineFunction(64));
+    ctx.intOps(5);
+    target.dmaFill(0xffff900000000000ULL, 4096);
+    EXPECT_EQ(target.trace().size(), 6u); // 5 ops + the DMA entry
+
+    std::uint64_t dma_bytes = 0;
+    bds::CountingSink sink;
+    target.trace().replay(sink, [&](std::uint64_t, std::uint64_t n) {
+        dma_bytes = n;
+    });
+    EXPECT_EQ(sink.total, 5u);
+    EXPECT_EQ(dma_bytes, 4096u);
+}
+
+/** Features + intervals for a stream with two clearly distinct modes. */
+struct PickFixture
+{
+    Matrix features{20, 3};
+    std::vector<IntervalRecord> intervals;
+
+    PickFixture()
+    {
+        for (std::size_t i = 0; i < 20; ++i) {
+            double base = i < 12 ? 0.0 : 10.0;
+            features(i, 0) = base + 0.01 * static_cast<double>(i);
+            features(i, 1) = base;
+            features(i, 2) = -base;
+            IntervalRecord iv;
+            iv.firstOp = i * 100;
+            iv.opCount = 100;
+            iv.instructions = 40;
+            intervals.push_back(iv);
+        }
+    }
+};
+
+TEST(RepresentativePicker, WeightsReconstructTotalOps)
+{
+    PickFixture fx;
+    SamplingOptions opts;
+    opts.kMax = 4;
+    RepresentativePicker picker(opts);
+    PickResult res = picker.pick(fx.features, fx.intervals, 7);
+
+    EXPECT_EQ(res.totalOps, 2000u);
+    ASSERT_FALSE(res.reps.empty());
+    double reconstructed = 0.0;
+    std::uint64_t detail = 0;
+    for (const Representative &r : res.reps) {
+        reconstructed += r.weight
+            * static_cast<double>(fx.intervals[r.interval].opCount);
+        detail += fx.intervals[r.interval].opCount;
+    }
+    EXPECT_NEAR(reconstructed, 2000.0, 1e-6);
+    EXPECT_EQ(res.detailOps, detail);
+    // Representatives are in stream order and unique.
+    for (std::size_t i = 1; i < res.reps.size(); ++i)
+        EXPECT_LT(res.reps[i - 1].interval, res.reps[i].interval);
+}
+
+TEST(RepresentativePicker, SeparatesObviousClusters)
+{
+    PickFixture fx;
+    SamplingOptions opts;
+    opts.kMax = 4;
+    RepresentativePicker picker(opts);
+    PickResult res = picker.pick(fx.features, fx.intervals, 7);
+
+    // The two bands are far apart; the sweep must find at least two
+    // clusters and pick representatives from both.
+    EXPECT_GE(res.k, 2u);
+    bool low = false, high = false;
+    for (const Representative &r : res.reps)
+        (r.interval < 12 ? low : high) = true;
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(RepresentativePicker, DeterministicForSameSeed)
+{
+    PickFixture fx;
+    SamplingOptions opts;
+    RepresentativePicker picker(opts);
+    PickResult a = picker.pick(fx.features, fx.intervals, 11);
+    PickResult b = picker.pick(fx.features, fx.intervals, 11);
+    ASSERT_EQ(a.reps.size(), b.reps.size());
+    for (std::size_t i = 0; i < a.reps.size(); ++i) {
+        EXPECT_EQ(a.reps[i].interval, b.reps[i].interval);
+        EXPECT_EQ(a.reps[i].weight, b.reps[i].weight);
+    }
+    EXPECT_EQ(a.k, b.k);
+}
+
+TEST(RepresentativePicker, TinyStreamsGoFullDetail)
+{
+    Matrix features(1, 3);
+    features(0, 0) = 1.0;
+    std::vector<IntervalRecord> intervals(1);
+    intervals[0].opCount = 42;
+
+    RepresentativePicker picker(SamplingOptions{});
+    PickResult res = picker.pick(features, intervals, 3);
+    ASSERT_EQ(res.reps.size(), 1u);
+    EXPECT_EQ(res.reps[0].interval, 0u);
+    EXPECT_EQ(res.reps[0].weight, 1.0);
+    EXPECT_EQ(res.detailOps, 42u);
+}
+
+TEST(Estimator, ReconstructsWeightedCounterSum)
+{
+    PickResult picked;
+    Representative r0;
+    r0.interval = 0;
+    r0.weight = 3.0;
+    Representative r1;
+    r1.interval = 5;
+    r1.weight = 1.5;
+    picked.reps = {r0, r1};
+
+    PmcCounters c0;
+    c0.instructions = 100;
+    c0.cycles = 200.0;
+    c0.l3Misses = 10;
+    PmcCounters c1;
+    c1.instructions = 40;
+    c1.cycles = 90.0;
+    c1.l3Misses = 4;
+
+    bds::SampleEstimate est = bds::estimateMetrics({c0, c1}, picked);
+    EXPECT_EQ(est.counters.instructions, 360u); // 3*100 + 1.5*40
+    EXPECT_DOUBLE_EQ(est.counters.cycles, 735.0);
+    EXPECT_EQ(est.counters.l3Misses, 36u);
+}
+
+TEST(Estimator, CompareMetricsIsZeroForIdenticalRuns)
+{
+    bds::MetricVector v{};
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        v[i] = static_cast<double>(i) * 0.25;
+    bds::MetricErrorReport rep = bds::compareMetrics(v, v);
+    EXPECT_EQ(rep.meanError, 0.0);
+    EXPECT_EQ(rep.maxError, 0.0);
+}
+
+TEST(Estimator, CompareMetricsFlagsTheWorstMetric)
+{
+    bds::MetricVector full{}, sampled{};
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        full[i] = sampled[i] = 1.0;
+    sampled[7] = 1.5; // 50% off
+    sampled[3] = 1.1; // 10% off
+    bds::MetricErrorReport rep = bds::compareMetrics(full, sampled);
+    EXPECT_EQ(rep.worstMetric, 7u);
+    EXPECT_NEAR(rep.maxError, 0.5, 1e-12);
+    EXPECT_NEAR(rep.relError[3], 0.1, 1e-12);
+}
+
+TEST(SampledReplayer, AccountsEveryOpExactlyOnce)
+{
+    TraceRecorder rec = makeTrace(400);
+    IntervalProfiler prof(100, 8);
+    rec.replay(prof);
+    prof.finish();
+
+    SamplingOptions opts;
+    RepresentativePicker picker(opts);
+    PickResult picked =
+        picker.pick(prof.featureMatrix(), prof.intervals(), 5);
+
+    bds::NodeConfig cfg = bds::NodeConfig::defaultSim();
+    bds::SystemModel sys(cfg);
+    SampledReplayer replayer(sys, 100, opts.warmupIntervals);
+    SampledReplayStats stats;
+    std::vector<PmcCounters> snaps =
+        replayer.replay(rec, picked, &stats);
+
+    EXPECT_EQ(snaps.size(), picked.reps.size());
+    EXPECT_EQ(stats.totalOps, rec.size());
+    EXPECT_EQ(stats.detailOps + stats.warmOps + stats.skippedOps,
+              stats.totalOps);
+    EXPECT_EQ(stats.detailOps, picked.detailOps);
+    // warmupIntervals == 0 warms everything outside the reps.
+    EXPECT_EQ(stats.skippedOps, 0u);
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+        EXPECT_EQ(snaps[i].uops,
+                  prof.intervals()[picked.reps[i].interval].opCount);
+}
+
+TEST(SampledReplayer, WarmupWindowSkipsDistantIntervals)
+{
+    TraceRecorder rec = makeTrace(2000);
+    IntervalProfiler prof(100, 8);
+    rec.replay(prof);
+    prof.finish();
+    ASSERT_GT(prof.numIntervals(), 10u);
+
+    SamplingOptions opts;
+    opts.kMax = 2;
+    RepresentativePicker picker(opts);
+    PickResult picked =
+        picker.pick(prof.featureMatrix(), prof.intervals(), 5);
+
+    bds::NodeConfig cfg = bds::NodeConfig::defaultSim();
+    bds::SystemModel sys(cfg);
+    SampledReplayer replayer(sys, 100, /*warmup_intervals=*/1);
+    SampledReplayStats stats;
+    replayer.replay(rec, picked, &stats);
+    // With a 1-interval window and few representatives, some
+    // intervals must be fast-forwarded.
+    EXPECT_GT(stats.skippedOps, 0u);
+    EXPECT_EQ(stats.detailOps + stats.warmOps + stats.skippedOps,
+              stats.totalOps);
+}
+
+TEST(SampledCharacterizer, EstimatesTrackTheFullRun)
+{
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    bds::WorkloadId id = bds::allWorkloads()[0];
+    bds::WorkloadResult full = runner.run(id);
+
+    SamplingOptions opts;
+    opts.enabled = true;
+    bds::SampledCharacterizer sampler(runner, opts);
+    bds::SampledWorkloadResult sampled = sampler.run(id);
+
+    EXPECT_EQ(sampled.id.name(), id.name());
+    EXPECT_GT(sampled.numIntervals, 0u);
+    EXPECT_GE(sampled.numReps, 1u);
+    EXPECT_LT(sampled.stats.detailOps, sampled.stats.totalOps);
+    bds::MetricErrorReport rep =
+        bds::compareMetrics(full.metrics, sampled.metrics);
+    // Loose sanity bound; the bench tracks the tight contract.
+    EXPECT_LT(rep.meanError, 0.5);
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        EXPECT_TRUE(std::isfinite(sampled.metrics[i]));
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "uarch/metrics.h"
+#include "uarch/system.h"
 
 namespace {
 

@@ -11,6 +11,7 @@
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "stack/sql.h"
+#include "uarch/system.h"
 
 namespace {
 

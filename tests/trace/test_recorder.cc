@@ -89,6 +89,79 @@ TEST(Recorder, LoadRejectsGarbage)
     EXPECT_THROW(TraceRecorder::load(empty), bds::FatalError);
 }
 
+/** A small saved trace to corrupt in the round-trip tests below. */
+std::string
+savedTraceBytes()
+{
+    TraceRecorder rec;
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    ExecContext ctx(rec, 0, user.defineFunction(128));
+    for (int i = 0; i < 8; ++i) {
+        ctx.load(0x7f0000000000ULL + i * 64);
+        ctx.branch(i & 1);
+    }
+    rec.recordDma(0xffff900000000000ULL, 4096);
+    std::stringstream buf;
+    rec.save(buf);
+    return buf.str();
+}
+
+TEST(Recorder, LoadRejectsTruncatedStream)
+{
+    std::string bytes = savedTraceBytes();
+    // Chop at every structurally interesting point: inside the
+    // header, at the count field, and mid-entry.
+    for (std::size_t cut : {std::size_t{4}, std::size_t{10},
+                            std::size_t{16}, bytes.size() - 1,
+                            bytes.size() - 7}) {
+        std::stringstream buf(bytes.substr(0, cut));
+        EXPECT_THROW(TraceRecorder::load(buf), bds::FatalError)
+            << "load accepted a stream truncated to " << cut
+            << " bytes";
+    }
+}
+
+TEST(Recorder, LoadRejectsOversizedStream)
+{
+    std::string bytes = savedTraceBytes();
+    // Whole extra entries and ragged trailing bytes must both fail:
+    // a trace file holds exactly one trace.
+    for (std::size_t extra : {std::size_t{1}, std::size_t{20}}) {
+        std::stringstream buf(bytes + std::string(extra, '\x5a'));
+        EXPECT_THROW(TraceRecorder::load(buf), bds::FatalError)
+            << "load accepted " << extra << " trailing bytes";
+    }
+}
+
+TEST(Recorder, LoadRejectsOverstatedCount)
+{
+    std::string bytes = savedTraceBytes();
+    // The count field sits right after the 8-byte magic and 4-byte
+    // version. Claim more entries than the payload holds.
+    std::uint64_t huge = 1ULL << 40;
+    bytes.replace(12, sizeof huge,
+                  reinterpret_cast<const char *>(&huge), sizeof huge);
+    std::stringstream buf(bytes);
+    EXPECT_THROW(TraceRecorder::load(buf), bds::FatalError);
+}
+
+TEST(Recorder, CorruptionRoundTrip)
+{
+    // The uncorrupted bytes still load fine after all that.
+    std::stringstream buf(savedTraceBytes());
+    TraceRecorder loaded = TraceRecorder::load(buf);
+    // 8 iterations x (load + branch) plus the DMA entry.
+    EXPECT_EQ(loaded.size(), 17u);
+    CountingSink sink;
+    std::uint64_t dma = 0;
+    loaded.replay(sink, [&](std::uint64_t, std::uint64_t n) {
+        dma = n;
+    });
+    EXPECT_EQ(sink.total, 16u);
+    EXPECT_EQ(dma, 4096u);
+}
+
 /**
  * The headline property: replaying a recorded run into an
  * identically configured fresh SystemModel reproduces the counters

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The functional-warming contract of SystemModel::setCounterFreeze:
+ * frozen replay advances caches, TLBs and the branch predictor while
+ * every PmcCounters field stands still, and toggling the freeze is
+ * bitwise neutral for a subsequent measured run.
+ */
+
+#include <array>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/memlayout.h"
+#include "trace/recorder.h"
+#include "trace/runtime.h"
+#include "uarch/system.h"
+
+namespace {
+
+using bds::AddressSpace;
+using bds::CodeImage;
+using bds::ExecContext;
+using bds::NodeConfig;
+using bds::PmcCounters;
+using bds::Region;
+using bds::SystemModel;
+using bds::TraceRecorder;
+
+/** A trace with enough reuse that warming visibly helps. */
+TraceRecorder
+makeWarmableTrace()
+{
+    TraceRecorder rec;
+    AddressSpace space;
+    CodeImage user(space, Region::UserCode);
+    std::vector<bds::FunctionDesc> fns;
+    for (int i = 0; i < 8; ++i)
+        fns.push_back(user.defineFunction(256));
+    ExecContext ctx(rec, 0, fns[0]);
+    std::uint64_t buf = space.allocate(Region::Heap, 8 << 20);
+    bds::Pcg32 rng(17);
+    for (int pass = 0; pass < 3; ++pass)
+        for (int i = 0; i < 2000; ++i) {
+            ctx.call(fns[rng.nextBounded(8)]);
+            ctx.load(buf + (i * 64) % (8u << 20));
+            ctx.branch(rng.nextDouble() < 0.6);
+            if (i % 7 == 0)
+                ctx.store(buf + (i * 256) % (8u << 20));
+            ctx.ret();
+        }
+    return rec;
+}
+
+void
+replayInto(const TraceRecorder &rec, SystemModel &sys)
+{
+    rec.replay(sys, [&](std::uint64_t a, std::uint64_t n) {
+        sys.dmaFill(a, n);
+    });
+}
+
+TEST(CounterFreeze, FrozenReplayTouchesNoCounterField)
+{
+    TraceRecorder rec = makeWarmableTrace();
+    NodeConfig cfg = NodeConfig::defaultSim();
+    SystemModel sys(cfg);
+
+    sys.setCounterFreeze(true);
+    EXPECT_TRUE(sys.counterFrozen());
+    replayInto(rec, sys);
+
+    // Every one of the 45 fields, bitwise: the frozen run must look
+    // like no run at all to the counters.
+    std::array<double, PmcCounters::kNumFields> after =
+        sys.aggregateCounters().toArray();
+    std::array<double, PmcCounters::kNumFields> zero =
+        PmcCounters{}.toArray();
+    for (std::size_t i = 0; i < after.size(); ++i)
+        EXPECT_EQ(std::memcmp(&after[i], &zero[i], sizeof(double)), 0)
+            << "counter field " << i << " moved during frozen replay";
+}
+
+TEST(CounterFreeze, FrozenReplayStillWarmsTheMachine)
+{
+    TraceRecorder rec = makeWarmableTrace();
+    NodeConfig cfg = NodeConfig::defaultSim();
+
+    // Cold baseline: replay once, measured.
+    SystemModel cold(cfg);
+    replayInto(rec, cold);
+    PmcCounters cold_pmc = cold.aggregateCounters();
+
+    // Warmed: same replay counter-frozen first, then measured.
+    SystemModel warmed(cfg);
+    warmed.setCounterFreeze(true);
+    replayInto(rec, warmed);
+    warmed.setCounterFreeze(false);
+    replayInto(rec, warmed);
+    PmcCounters warm_pmc = warmed.aggregateCounters();
+
+    // Identical measured ops — but the warmed machine starts with
+    // populated caches/TLBs/predictor, so misses must drop.
+    EXPECT_EQ(warm_pmc.instructions, cold_pmc.instructions);
+    EXPECT_EQ(warm_pmc.uops, cold_pmc.uops);
+    EXPECT_LT(warm_pmc.l3Misses, cold_pmc.l3Misses);
+    EXPECT_LT(warm_pmc.l1iMisses, cold_pmc.l1iMisses);
+    EXPECT_LE(warm_pmc.dtlbWalks, cold_pmc.dtlbWalks);
+    // (Branch mispredicts are not asserted: on a random-outcome
+    // stream a warmed predictor is not reliably better.)
+}
+
+TEST(CounterFreeze, ToggleIsBitwiseNeutral)
+{
+    TraceRecorder rec = makeWarmableTrace();
+    NodeConfig cfg = NodeConfig::defaultSim();
+
+    SystemModel plain(cfg);
+    replayInto(rec, plain);
+
+    SystemModel toggled(cfg);
+    toggled.setCounterFreeze(true); // no ops while frozen
+    toggled.setCounterFreeze(false);
+    replayInto(rec, toggled);
+
+    std::array<double, PmcCounters::kNumFields> a =
+        plain.aggregateCounters().toArray();
+    std::array<double, PmcCounters::kNumFields> b =
+        toggled.aggregateCounters().toArray();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << "counter field " << i
+            << " differs after a freeze toggle";
+}
+
+TEST(PmcArray, RoundTripsEveryField)
+{
+    std::array<double, PmcCounters::kNumFields> in{};
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<double>(3 * i + 1);
+    PmcCounters c = PmcCounters::fromArray(in);
+    std::array<double, PmcCounters::kNumFields> out = c.toArray();
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], in[i]) << "field " << i;
+
+    // Integral fields round and clamp at zero.
+    std::array<double, PmcCounters::kNumFields> neg{};
+    neg[0] = -5.0; // instructions is the first declared field
+    EXPECT_EQ(PmcCounters::fromArray(neg).toArray()[0], 0.0);
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
+#include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"
 
