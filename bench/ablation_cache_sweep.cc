@@ -15,7 +15,7 @@
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "trace/recorder.h"
-#include "uarch/metrics.h"
+#include "metrics/schema.h"
 #include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"

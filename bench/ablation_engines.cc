@@ -21,7 +21,7 @@
 #include "common/table.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
-#include "uarch/metrics.h"
+#include "metrics/schema.h"
 #include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"

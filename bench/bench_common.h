@@ -138,25 +138,36 @@ samplingFromEnv()
 }
 
 /**
- * Load a cached metric matrix; returns false when absent/mismatched.
+ * Load a cached metric matrix, matching columns against `set` by
+ * canonical name (any column order works; extra columns are
+ * ignored). Returns false — after printing why — when the file is
+ * absent, lacks a required metric column, or has the wrong row
+ * count, so the caller re-simulates instead of misreading positions.
  */
 inline bool
 loadMetricsCsv(const std::string &path, std::vector<std::string> &names,
-               bds::Matrix &metrics)
+               bds::Matrix &metrics,
+               const bds::MetricSet &set = bds::MetricSet::tableII())
 {
     std::ifstream in(path);
     if (!in)
         return false;
     try {
         bds::MetricTable table = bds::readMetricsCsv(in);
-        if (table.columns.size() != bds::kNumMetrics ||
-            table.names.size() != bds::allWorkloads().size())
+        if (table.names.size() != bds::allWorkloads().size()) {
+            std::cerr << "[bench] ignoring cache " << path << ": "
+                      << table.names.size() << " rows, expected "
+                      << bds::allWorkloads().size() << "\n";
             return false;
+        }
+        metrics = bds::alignMetricTable(table, set);
         names = std::move(table.names);
-        metrics = std::move(table.values);
         return true;
-    } catch (const bds::FatalError &) {
-        return false; // stale or foreign file: re-simulate
+    } catch (const bds::FatalError &e) {
+        // Stale or foreign file: say why, then re-simulate.
+        std::cerr << "[bench] ignoring cache " << path << ": "
+                  << e.what() << "\n";
+        return false;
     }
 }
 

@@ -12,6 +12,10 @@
  * "sampled" as a trailing argument to run the sampled-simulation
  * path side by side with the full sweep and see how closely the
  * estimated metrics track the detailed ones (docs/SAMPLING.md).
+ *
+ * `characterize_suite --list-metrics` prints the Table II metric
+ * schema — name, unit kind, derivation, and description — straight
+ * from src/metrics (docs/METRICS.md) and exits.
  */
 
 #include <cstdlib>
@@ -19,9 +23,33 @@
 #include <string>
 #include <vector>
 
+#include "common/table.h"
 #include "core/report.h"
+#include "metrics/schema.h"
 #include "sample/characterizer.h"
 #include "workloads/registry.h"
+
+namespace {
+
+/** Print the metric schema as an aligned table and exit. */
+int
+listMetrics()
+{
+    bds::TextTable t({"#", "NAME", "UNIT", "DERIVATION",
+                      "DESCRIPTION"});
+    for (const bds::MetricSpec &spec : bds::metricSchema())
+        t.addRow({std::to_string(
+                      static_cast<std::size_t>(spec.id) + 1),
+                  spec.name, bds::unitKindName(spec.unit),
+                  bds::metricFormula(spec), spec.description});
+    t.print(std::cout);
+    std::cout << '\n' << t.rows()
+              << " metrics (the paper's Table II); pass any subset "
+                 "of the NAME column to MetricSet::fromNames().\n";
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -34,6 +62,8 @@ main(int argc, char **argv)
         if (*it == "sampled") {
             sampled = true;
             it = args.erase(it);
+        } else if (*it == "--list-metrics") {
+            return listMetrics();
         } else {
             ++it;
         }

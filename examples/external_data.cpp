@@ -70,7 +70,11 @@ main(int argc, char **argv)
 
     std::cout << "analyzing " << names.size() << " workloads x "
               << metrics.cols() << " metrics from " << path << "\n\n";
-    auto res = bds::runPipeline(metrics, names);
+    // External columns are not schema metrics; hand the pipeline the
+    // CSV's own header so reports label loadings by real names.
+    bds::PipelineOptions opts;
+    opts.columnLabels = table.columns;
+    auto res = bds::runPipeline(metrics, names, opts);
     bds::writePcaSummary(std::cout, res);
     std::cout << '\n' << res.dendrogram.renderAscii(res.names) << '\n';
     bds::writeSimilarityObservations(std::cout, res);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <unordered_map>
 
 #include "common/log.h"
 
@@ -87,6 +88,45 @@ readMetricsCsvFile(const std::string &path)
     if (!in)
         BDS_FATAL("cannot open metric CSV '" << path << "'");
     return readMetricsCsv(in);
+}
+
+Matrix
+alignMetricTable(const MetricTable &table, const MetricSet &set)
+{
+    // Map column name -> position, rejecting duplicates outright: a
+    // doubled header cell means the file is not what it claims.
+    std::unordered_map<std::string, std::size_t> by_name;
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+        auto [it, fresh] = by_name.emplace(table.columns[c], c);
+        if (!fresh)
+            BDS_FATAL("metric CSV lists column '" << table.columns[c]
+                      << "' twice");
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(set.size());
+    std::string missing;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        auto it = by_name.find(set.specAt(i).name);
+        if (it == by_name.end()) {
+            if (!missing.empty())
+                missing += ", ";
+            missing += "'" + std::string(set.specAt(i).name) + "'";
+            continue;
+        }
+        order.push_back(it->second);
+    }
+    if (!missing.empty())
+        BDS_FATAL("metric CSV lacks required metric column(s) "
+                  << missing << " (have " << table.columns.size()
+                  << " columns); columns are matched by name, "
+                  << "never by position");
+
+    Matrix out(table.values.rows(), order.size());
+    for (std::size_t r = 0; r < table.values.rows(); ++r)
+        for (std::size_t c = 0; c < order.size(); ++c)
+            out(r, c) = table.values(r, order[c]);
+    return out;
 }
 
 } // namespace bds

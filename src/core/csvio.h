@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/set.h"
 #include "stats/matrix.h"
 
 namespace bds {
@@ -42,6 +43,19 @@ MetricTable readMetricsCsv(std::istream &in);
 
 /** Load a metric CSV from a file; fatal when unreadable. */
 MetricTable readMetricsCsvFile(const std::string &path);
+
+/**
+ * Align a loaded table's columns to `set` order by canonical name.
+ *
+ * Columns may appear in any order; columns outside the set are
+ * ignored (so a full Table II CSV feeds any declared subset). A set
+ * metric missing from the table, or a duplicated column name, is
+ * fatal with a diagnostic naming the offending columns — positions
+ * are never trusted.
+ *
+ * @return The table's values with columns reordered to set order.
+ */
+Matrix alignMetricTable(const MetricTable &table, const MetricSet &set);
 
 } // namespace bds
 

@@ -6,7 +6,7 @@
 #include "common/table.h"
 #include "core/analysis.h"
 #include "core/subset.h"
-#include "uarch/metrics.h"
+#include "metrics/set.h"
 
 namespace bds {
 
@@ -84,7 +84,14 @@ evaluatePaperFindings(const PipelineResult &res)
             + ", |r| = " + fmtDouble(diff.correlation, 2),
         diff.correlation > 0.5);
 
-    if (res.rawMetrics.cols() == kNumMetrics) {
+    // Figure 5 metric checks: looked up by schema metric in the
+    // result's resolved metric set (the full Table II for legacy
+    // hand-built 45-column matrices), so a declared subset is scored
+    // on whichever key metrics it provides.
+    MetricSet set = res.metrics;
+    if (set.empty() && res.rawMetrics.cols() == kNumMetrics)
+        set = MetricSet::tableII();
+    if (!set.empty()) {
         struct Direction
         {
             Metric metric;
@@ -100,8 +107,10 @@ evaluatePaperFindings(const PipelineResult &res)
             {Metric::ItlbMiss, true},
         };
         for (const Direction &d : dirs) {
-            double ratio =
-                diff.hadoopOverSpark[static_cast<std::size_t>(d.metric)];
+            std::size_t idx = set.indexOf(d.metric);
+            if (idx >= set.size())
+                continue;
+            double ratio = diff.hadoopOverSpark[idx];
             bool pass = d.hadoopHigher ? ratio > 1.0 : ratio < 1.0;
             add(out,
                 std::string("fig5.") + metricName(d.metric),

@@ -4,6 +4,55 @@
 
 namespace bds {
 
+namespace {
+
+/**
+ * Resolve which schema metrics the matrix columns are, projecting a
+ * full Table II matrix onto a declared subset when needed. Leaves
+ * res.metrics empty for non-schema (external) columns.
+ */
+void
+resolveMetricSet(PipelineResult &res, const PipelineOptions &opts)
+{
+    const std::size_t cols = res.rawMetrics.cols();
+    if (opts.metrics.size() == cols) {
+        res.metrics = opts.metrics;
+    } else if (!opts.metrics.isFullTableII()) {
+        if (cols == kNumMetrics) {
+            // A full Table II matrix analyzed on a declared subset:
+            // select the subset's columns before normalization.
+            inform("pipeline: projecting " + std::to_string(cols)
+                   + "-column Table II matrix onto "
+                   + std::to_string(opts.metrics.size())
+                   + " declared metrics");
+            res.rawMetrics = opts.metrics.selectColumns(res.rawMetrics);
+            res.metrics = opts.metrics;
+        } else {
+            BDS_FATAL("pipeline metric set declares "
+                      << opts.metrics.size() << " metrics but the "
+                      << "matrix has " << cols
+                      << " columns (and is not a full Table II "
+                      << "matrix to project from)");
+        }
+    } else {
+        // Default full set with a foreign column count: external
+        // data whose columns are not schema metrics.
+        res.metrics = MetricSet::none();
+    }
+
+    if (!res.metrics.empty()) {
+        res.metricLabels = res.metrics.names();
+    } else if (!opts.columnLabels.empty()) {
+        if (opts.columnLabels.size() != res.rawMetrics.cols())
+            BDS_FATAL("pipeline got " << opts.columnLabels.size()
+                      << " column labels for "
+                      << res.rawMetrics.cols() << " columns");
+        res.metricLabels = opts.columnLabels;
+    }
+}
+
+} // namespace
+
 PipelineResult
 runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
             const PipelineOptions &opts)
@@ -17,7 +66,8 @@ runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
     PipelineResult res;
     res.names = names;
     res.rawMetrics = metrics;
-    res.z = zscore(metrics);
+    resolveMetricSet(res, opts);
+    res.z = zscore(res.rawMetrics);
     res.pca = pca(res.z.normalized, opts.pca);
     res.dendrogram = hierarchicalCluster(res.pca.scores, opts.linkage);
 

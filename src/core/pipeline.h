@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "metrics/set.h"
 #include "sample/options.h"
 #include "stats/bic.h"
 #include "stats/hcluster.h"
@@ -75,6 +76,25 @@ struct PipelineOptions
      * itself is matrix-in, so it ignores this field.
      */
     SamplingOptions sampling;
+
+    /**
+     * The schema metrics this analysis runs on (default: the full
+     * Table II). When the input matrix has exactly this many columns
+     * they are taken to be these metrics in set order; when a full
+     * 45-column matrix is given with a declared subset, runPipeline
+     * projects the matrix onto the subset's columns first. Any other
+     * combination with a non-default set is a fatal mismatch. A full
+     * default set with a foreign column count leaves the columns
+     * unnamed (external, non-Table-II data).
+     */
+    MetricSet metrics;
+
+    /**
+     * Optional column labels for matrices whose columns are not
+     * schema metrics (e.g. external CSV measurements). Used for
+     * report headers only; must be empty or one label per column.
+     */
+    std::vector<std::string> columnLabels;
 };
 
 /** Everything the paper's Sections V and VI derive from the data. */
@@ -83,7 +103,20 @@ struct PipelineResult
     /** Workload labels, one per row. */
     std::vector<std::string> names;
 
-    /** Raw 45-metric matrix (rows = workloads). */
+    /**
+     * The schema metrics behind rawMetrics' columns, in column
+     * order; empty when the columns are not schema metrics.
+     */
+    MetricSet metrics = MetricSet::none();
+
+    /**
+     * One label per rawMetrics column: schema names when `metrics`
+     * applies, caller-provided labels otherwise, else generated
+     * ("m0", "m1", ...). Report writers read only this.
+     */
+    std::vector<std::string> metricLabels;
+
+    /** Raw metric matrix (rows = workloads, cols = metricLabels). */
     Matrix rawMetrics;
 
     /** Z-scored matrix and the normalization parameters. */

@@ -4,19 +4,39 @@
 
 #include "common/log.h"
 #include "common/table.h"
-#include "uarch/metrics.h"
+#include "metrics/set.h"
 
 namespace bds {
 
 namespace {
 
-/** Column label: Table II names for 45-metric data, else generic. */
+/**
+ * Label of column `m`: the result's resolved labels when present,
+ * schema names for full hand-built Table II matrices, else generic.
+ */
 std::string
-colName(std::size_t m, std::size_t cols)
+colName(const PipelineResult &res, std::size_t m)
 {
-    if (cols == kNumMetrics)
+    if (m < res.metricLabels.size())
+        return res.metricLabels[m];
+    if (res.rawMetrics.cols() == kNumMetrics)
         return metricName(m);
     return "m" + std::to_string(m);
+}
+
+/**
+ * The schema metrics behind the result's columns: the resolved set
+ * when the pipeline named them, the full Table II for hand-built
+ * 45-column matrices, the empty set for foreign columns.
+ */
+MetricSet
+effectiveMetricSet(const PipelineResult &res)
+{
+    if (!res.metrics.empty())
+        return res.metrics;
+    if (res.rawMetrics.cols() == kNumMetrics)
+        return MetricSet::tableII();
+    return MetricSet::none();
 }
 
 } // namespace
@@ -131,7 +151,7 @@ writeLoadingsReport(std::ostream &os, const PipelineResult &res,
         os << ",PC" << pc + 1;
     os << '\n';
     for (std::size_t m = 0; m < res.pca.loadings.rows(); ++m) {
-        os << csvEscape(colName(m, res.pca.loadings.rows()));
+        os << csvEscape(colName(res, m));
         for (std::size_t pc = 0; pc < num_pcs; ++pc)
             os << ',' << fmtDouble(res.pca.loadings(m, pc), 4);
         os << '\n';
@@ -147,49 +167,70 @@ writeStackDifferentiationReport(std::ostream &os,
        << " (|point-biserial correlation| = "
        << fmtDouble(diff.correlation, 3) << "; paper: PC2)\n\n";
 
-    const std::size_t cols = res.rawMetrics.cols();
     TextTable t({"metric", "loading sign", "Hadoop/Spark mean ratio"});
     for (std::size_t m : diff.negativeMetrics)
-        t.addRow({colName(m, cols), "negative",
+        t.addRow({colName(res, m), "negative",
                   fmtDouble(diff.hadoopOverSpark[m], 3)});
     for (std::size_t m : diff.positiveMetrics)
-        t.addRow({colName(m, cols), "positive",
+        t.addRow({colName(res, m), "positive",
                   fmtDouble(diff.hadoopOverSpark[m], 3)});
     t.print(os);
 
-    if (cols != kNumMetrics)
-        return; // the named key ratios below need Table II columns
+    // The paper's Figure 5 key ratios, looked up by schema metric in
+    // whatever set the loaded columns provide; metrics absent from
+    // the set are reported as skipped instead of silently dropped.
+    struct KeyRatio
+    {
+        Metric metric;
+        const char *direction;
+    };
+    static const KeyRatio kKeyRatios[] = {
+        {Metric::L3Miss, "< 1 (Spark ~2x)"},
+        {Metric::L1iMiss, "> 1 (~1.3x)"},
+        {Metric::DtlbMiss, "< 1"},
+        {Metric::DataHitStlb, "> 1"},
+        {Metric::FetchStall, "> 1"},
+        {Metric::ResourceStall, "< 1"},
+        {Metric::SnoopHit, "< 1"},
+        {Metric::SnoopHitE, "< 1"},
+        {Metric::SnoopHitM, "< 1"},
+        {Metric::Store, "> 1"},
+        {Metric::Ilp, "> 1"},
+        {Metric::UopsExeCycle, "> 1"},
+        {Metric::UopsStall, "< 1"},
+        {Metric::OffcoreData, "> 1"},
+    };
 
+    MetricSet set = effectiveMetricSet(res);
+    if (set.empty()) {
+        warn("stack differentiation: columns are not schema metrics; "
+             "skipping the named key Figure 5 ratios");
+        os << "\n(key Figure 5 ratios unavailable: the loaded columns "
+              "are not Table II metrics)\n";
+        return;
+    }
+
+    std::string missing;
     os << "\nkey Figure 5 ratios (Hadoop mean / Spark mean):\n";
     TextTable k({"metric", "ratio", "paper direction"});
-    auto ratio = [&](Metric m) {
-        return diff.hadoopOverSpark[static_cast<std::size_t>(m)];
-    };
-    k.addRow({"L3 MISS", fmtDouble(ratio(Metric::L3Miss), 3),
-              "< 1 (Spark ~2x)"});
-    k.addRow({"L1I MISS", fmtDouble(ratio(Metric::L1iMiss), 3),
-              "> 1 (~1.3x)"});
-    k.addRow({"DTLB MISS", fmtDouble(ratio(Metric::DtlbMiss), 3), "< 1"});
-    k.addRow({"DATA HIT STLB", fmtDouble(ratio(Metric::DataHitStlb), 3),
-              "> 1"});
-    k.addRow({"FETCH STALL", fmtDouble(ratio(Metric::FetchStall), 3),
-              "> 1"});
-    k.addRow({"RESOURCE STALL",
-              fmtDouble(ratio(Metric::ResourceStall), 3), "< 1"});
-    k.addRow({"SNOOP HIT", fmtDouble(ratio(Metric::SnoopHit), 3), "< 1"});
-    k.addRow({"SNOOP HITE", fmtDouble(ratio(Metric::SnoopHitE), 3),
-              "< 1"});
-    k.addRow({"SNOOP HITM", fmtDouble(ratio(Metric::SnoopHitM), 3),
-              "< 1"});
-    k.addRow({"STORE", fmtDouble(ratio(Metric::Store), 3), "> 1"});
-    k.addRow({"ILP", fmtDouble(ratio(Metric::Ilp), 3), "> 1"});
-    k.addRow({"UOPS EXE CYCLE",
-              fmtDouble(ratio(Metric::UopsExeCycle), 3), "> 1"});
-    k.addRow({"UOPS STALL", fmtDouble(ratio(Metric::UopsStall), 3),
-              "< 1"});
-    k.addRow({"OFFCORE DATA", fmtDouble(ratio(Metric::OffcoreData), 3),
-              "> 1"});
+    for (const KeyRatio &key : kKeyRatios) {
+        std::size_t idx = set.indexOf(key.metric);
+        if (idx >= set.size()) {
+            if (!missing.empty())
+                missing += ", ";
+            missing += metricName(key.metric);
+            continue;
+        }
+        k.addRow({metricName(key.metric),
+                  fmtDouble(diff.hadoopOverSpark[idx], 3),
+                  key.direction});
+    }
     k.print(os);
+    if (!missing.empty()) {
+        warn("stack differentiation: metric set lacks key ratios: "
+             + missing);
+        os << "(not in the loaded metric set: " << missing << ")\n";
+    }
 }
 
 namespace {
@@ -298,7 +339,7 @@ writeMetricsCsv(std::ostream &os, const PipelineResult &res)
 {
     os << "workload";
     for (std::size_t m = 0; m < res.rawMetrics.cols(); ++m)
-        os << ',' << csvEscape(colName(m, res.rawMetrics.cols()));
+        os << ',' << csvEscape(colName(res, m));
     os << '\n';
     for (std::size_t i = 0; i < res.names.size(); ++i) {
         os << res.names[i];

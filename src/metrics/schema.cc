@@ -1,0 +1,360 @@
+#include "metrics/schema.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+using CF = CounterField;
+
+constexpr CounterSum
+term(CF a)
+{
+    return {{a, a, a, a}, 1};
+}
+
+constexpr CounterSum
+term(CF a, CF b)
+{
+    return {{a, b, b, b}, 2};
+}
+
+constexpr CounterSum
+term(CF a, CF b, CF c, CF d)
+{
+    return {{a, b, c, d}, 4};
+}
+
+constexpr CounterSum
+noTerm()
+{
+    return {{CF::instructions, CF::instructions, CF::instructions,
+             CF::instructions},
+            0};
+}
+
+/** Shorthand for the recurring denominators. */
+constexpr CounterSum kIns = term(CF::instructions);
+constexpr CounterSum kCyc = term(CF::cycles);
+constexpr CounterSum kMemAcc = term(CF::loadInstrs, CF::storeInstrs);
+constexpr CounterSum kOffcore = term(CF::offcoreData, CF::offcoreCode,
+                                     CF::offcoreRfo, CF::offcoreWb);
+
+constexpr MetricSpec
+share(Metric id, const char *name, const char *desc, CounterSum num,
+      CounterSum den, bool complement = false)
+{
+    return {id, name, desc, UnitKind::Share, num, den, 0.0, complement};
+}
+
+constexpr MetricSpec
+perKilo(Metric id, const char *name, const char *desc, CF field)
+{
+    return {id, name, desc, UnitKind::PerKilo, term(field), kIns, 0.0,
+            false};
+}
+
+constexpr MetricSpec
+ratio(Metric id, const char *name, const char *desc, CounterSum num,
+      CounterSum den, double fallback = 0.0)
+{
+    return {id, name, desc, UnitKind::Ratio, num, den, fallback, false};
+}
+
+constexpr std::array<MetricSpec, kNumMetrics> kSchema = {{
+    share(Metric::Load, "LOAD", "load operations' percentage",
+          term(CF::loadInstrs), kIns),
+    share(Metric::Store, "STORE", "store operations' percentage",
+          term(CF::storeInstrs), kIns),
+    share(Metric::Branch, "BRANCH", "branch operations' percentage",
+          term(CF::branchInstrs), kIns),
+    share(Metric::Integer, "INTEGER", "integer operations' percentage",
+          term(CF::intInstrs), kIns),
+    share(Metric::FpX87, "FP",
+          "X87 floating point operations' percentage",
+          term(CF::fpInstrs), kIns),
+    share(Metric::SseFp, "SSE FP",
+          "SSE floating point operations' percentage",
+          term(CF::sseInstrs), kIns),
+    share(Metric::KernelMode, "KERNEL MODE",
+          "ratio of instructions running in kernel mode",
+          term(CF::kernelInstrs), kIns),
+    share(Metric::UserMode, "USER MODE",
+          "ratio of instructions running in user mode",
+          term(CF::userInstrs), kIns),
+    ratio(Metric::UopsToIns, "UOPS TO INS",
+          "ratio of micro operations to instructions", term(CF::uops),
+          kIns),
+    perKilo(Metric::L1iMiss, "L1I MISS",
+            "L1 instruction cache misses per K instructions",
+            CF::l1iMisses),
+    perKilo(Metric::L1iHit, "L1I HIT",
+            "L1 instruction cache hits per K instructions",
+            CF::l1iHits),
+    perKilo(Metric::L2Miss, "L2 MISS",
+            "L2 cache misses per K instructions", CF::l2Misses),
+    perKilo(Metric::L2Hit, "L2 HIT", "L2 cache hits per K instructions",
+            CF::l2Hits),
+    perKilo(Metric::L3Miss, "L3 MISS",
+            "L3 cache misses per K instructions", CF::l3Misses),
+    perKilo(Metric::L3Hit, "L3 HIT", "L3 cache hits per K instructions",
+            CF::l3Hits),
+    perKilo(Metric::LoadHitLfb, "LOAD HIT LFB",
+            "loads missing L1D hitting the line fill buffer "
+            "per K instructions",
+            CF::loadHitLfb),
+    perKilo(Metric::LoadHitL2, "LOAD HIT L2",
+            "loads hitting the L2 cache per K instructions",
+            CF::loadHitL2),
+    perKilo(Metric::LoadHitSibe, "LOAD HIT SIBE",
+            "loads hitting a sibling core's L2 per K "
+            "instructions",
+            CF::loadHitSibling),
+    perKilo(Metric::LoadHitL3, "LOAD HIT L3",
+            "loads hitting unshared L3 lines per K instructions",
+            CF::loadHitL3Unshared),
+    perKilo(Metric::LoadLlcMiss, "LOAD LLC MISS",
+            "loads missing the L3 per K instructions",
+            CF::loadLlcMiss),
+    perKilo(Metric::ItlbMiss, "ITLB MISS",
+            "all-level instruction TLB misses per K instructions",
+            CF::itlbWalks),
+    share(Metric::ItlbCycle, "ITLB CYCLE",
+          "instruction TLB walk cycles over total cycles",
+          term(CF::itlbWalkCycles), kCyc),
+    perKilo(Metric::DtlbMiss, "DTLB MISS",
+            "all-level data TLB misses per K instructions",
+            CF::dtlbWalks),
+    share(Metric::DtlbCycle, "DTLB CYCLE",
+          "data TLB walk cycles over total cycles",
+          term(CF::dtlbWalkCycles), kCyc),
+    perKilo(Metric::DataHitStlb, "DATA HIT STLB",
+            "DTLB first-level misses hitting the STLB per K "
+            "instructions",
+            CF::dataHitStlb),
+    ratio(Metric::BrMiss, "BR MISS", "branch misprediction ratio",
+          term(CF::branchesMispredicted), term(CF::branchesRetired)),
+    ratio(Metric::BrExeToRe, "BR EXE TO RE",
+          "executed to retired branch instruction ratio",
+          term(CF::branchesExecuted), term(CF::branchesRetired)),
+    share(Metric::FetchStall, "FETCH STALL",
+          "instruction fetch stall cycles over total cycles",
+          term(CF::fetchStallCycles), kCyc),
+    share(Metric::IldStall, "ILD STALL",
+          "instruction length decoder stall cycles over total",
+          term(CF::ildStallCycles), kCyc),
+    share(Metric::DecoderStall, "DECODER STALL",
+          "decoder stall cycles over total cycles",
+          term(CF::decoderStallCycles), kCyc),
+    share(Metric::RatStall, "RAT STALL",
+          "register allocation table stall cycles over total",
+          term(CF::ratStallCycles), kCyc),
+    share(Metric::ResourceStall, "RESOURCE STALL",
+          "resource-related stall cycles over total",
+          term(CF::resourceStallCycles), kCyc),
+    share(Metric::UopsExeCycle, "UOPS EXE CYCLE",
+          "cycles with micro-ops executed over total",
+          term(CF::uopsExecutedCycles), kCyc),
+    share(Metric::UopsStall, "UOPS STALL",
+          "cycles with no micro-op executed over total",
+          term(CF::uopsExecutedCycles), kCyc, true),
+    share(Metric::OffcoreData, "OFFCORE DATA",
+          "share of offcore data requests", term(CF::offcoreData),
+          kOffcore),
+    share(Metric::OffcoreCode, "OFFCORE CODE",
+          "share of offcore code requests", term(CF::offcoreCode),
+          kOffcore),
+    share(Metric::OffcoreRfo, "OFFCORE RFO",
+          "share of offcore requests-for-ownership",
+          term(CF::offcoreRfo), kOffcore),
+    share(Metric::OffcoreWb, "OFFCORE WB",
+          "share of offcore data write-backs", term(CF::offcoreWb),
+          kOffcore),
+    perKilo(Metric::SnoopHit, "SNOOP HIT",
+            "HIT snoop responses per K instructions", CF::snoopHit),
+    perKilo(Metric::SnoopHitE, "SNOOP HITE",
+            "HIT-Exclusive snoop responses per K instructions",
+            CF::snoopHitE),
+    perKilo(Metric::SnoopHitM, "SNOOP HITM",
+            "HIT-Modified snoop responses per K instructions",
+            CF::snoopHitM),
+    ratio(Metric::Ilp, "ILP", "instruction level parallelism (IPC)",
+          term(CF::instructions), kCyc),
+    ratio(Metric::Mlp, "MLP", "memory level parallelism",
+          term(CF::mlpSum), term(CF::mlpSamples), 1.0),
+    ratio(Metric::IntToMem, "INT TO MEM",
+          "integer computation to memory access ratio",
+          term(CF::intInstrs), kMemAcc),
+    ratio(Metric::FpToMem, "FP TO MEM",
+          "floating point computation to memory access ratio",
+          term(CF::fpInstrs, CF::sseInstrs), kMemAcc),
+}};
+
+constexpr const char *kCounterFieldNames[kNumCounterFields] = {
+#define BDS_PMC_X(f) #f,
+    BDS_PMC_FIELDS(BDS_PMC_X, BDS_PMC_X)
+#undef BDS_PMC_X
+};
+
+double
+sumFields(const CounterSum &s,
+          const std::array<double, kNumCounterFields> &c)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < s.count; ++i)
+        total += c[static_cast<std::size_t>(s.fields[i])];
+    return total;
+}
+
+std::string
+sumFormula(const CounterSum &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.count; ++i) {
+        if (i)
+            out += " + ";
+        out += counterFieldName(s.fields[i]);
+    }
+    return s.count > 1 ? "(" + out + ")" : out;
+}
+
+} // namespace
+
+const char *
+counterFieldName(CounterField f)
+{
+    auto idx = static_cast<std::size_t>(f);
+    if (idx >= kNumCounterFields)
+        BDS_PANIC("counter field " << idx << " out of range");
+    return kCounterFieldNames[idx];
+}
+
+const char *
+unitKindName(UnitKind u)
+{
+    switch (u) {
+      case UnitKind::Share: return "share";
+      case UnitKind::PerKilo: return "per-K-instructions";
+      case UnitKind::Ratio: return "ratio";
+      case UnitKind::Absolute: return "absolute";
+    }
+    BDS_PANIC("unknown unit kind");
+}
+
+const std::array<MetricSpec, kNumMetrics> &
+metricSchema()
+{
+    return kSchema;
+}
+
+const MetricSpec &
+metricSpec(Metric m)
+{
+    return metricSpec(static_cast<std::size_t>(m));
+}
+
+const MetricSpec &
+metricSpec(std::size_t idx)
+{
+    if (idx >= kNumMetrics)
+        BDS_FATAL("metric index " << idx << " out of range");
+    return kSchema[idx];
+}
+
+const char *
+metricName(Metric m)
+{
+    return metricSpec(m).name;
+}
+
+const char *
+metricName(std::size_t idx)
+{
+    return metricSpec(idx).name;
+}
+
+const char *
+metricDescription(Metric m)
+{
+    return metricSpec(m).description;
+}
+
+std::vector<std::string>
+metricNames()
+{
+    std::vector<std::string> out;
+    out.reserve(kNumMetrics);
+    for (const MetricSpec &spec : kSchema)
+        out.emplace_back(spec.name);
+    return out;
+}
+
+std::size_t
+metricIndexByName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        if (name == kSchema[i].name)
+            return i;
+    return kNumMetrics;
+}
+
+double
+evaluateMetric(const MetricSpec &spec,
+               const std::array<double, kNumCounterFields> &c)
+{
+    double num = sumFields(spec.num, c);
+    if (spec.num.count == 0)
+        BDS_PANIC("metric '" << spec.name << "' has no numerator");
+    if (spec.den.count == 0)
+        return num; // Absolute
+    double den = sumFields(spec.den, c);
+
+    // Keep the operation order of the original hand-written
+    // derivations so refactored extraction stays bitwise identical:
+    // per-K metrics multiply by a shared 1000/instructions factor
+    // instead of dividing num * 1000 by instructions.
+    if (spec.unit == UnitKind::PerKilo)
+        return num * (den > 0.0 ? 1000.0 / den : 0.0);
+
+    double v = den != 0.0 ? num / den : spec.fallback;
+    if (spec.complement)
+        v = std::max(0.0, 1.0 - v);
+    return v;
+}
+
+MetricVector
+extractMetrics(const PmcCounters &pmc)
+{
+    const std::array<double, kNumCounterFields> c = pmc.toArray();
+    MetricVector v{};
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        v[i] = evaluateMetric(kSchema[i], c);
+    return v;
+}
+
+std::string
+metricFormula(const MetricSpec &spec)
+{
+    std::string num = sumFormula(spec.num);
+    if (spec.den.count == 0)
+        return num;
+    std::string den = sumFormula(spec.den);
+    std::string core;
+    if (spec.unit == UnitKind::PerKilo)
+        core = "1000 * " + num + " / " + den;
+    else
+        core = num + " / " + den;
+    if (spec.complement)
+        core = "1 - " + core;
+    if (spec.fallback != 0.0) {
+        std::ostringstream fb;
+        fb << spec.fallback;
+        core += " [" + fb.str() + " when " + den + " = 0]";
+    }
+    return core;
+}
+
+} // namespace bds

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The declarative metric schema: the paper's Table II as data.
+ *
+ * Every metric is one MetricSpec row — id, canonical CSV name,
+ * description, unit kind, and a derivation expressed as counter-field
+ * accessors over PmcCounters (numerator sum, denominator sum, plus a
+ * zero-denominator fallback and an optional complement). Extraction,
+ * report headers, findings' key ratios, the sampled-path error
+ * report, and CSV column matching all interpret this one table; no
+ * metric name, description, or formula exists anywhere else.
+ *
+ * Metric order matches Table II exactly (index = table number - 1),
+ * so factor-loading output lines up with the paper's Figure 4.
+ * Ratios are expressed as fractions (not x100 percentages); PCA is
+ * scale-invariant after z-scoring, so only relative values matter.
+ *
+ * Alternate metric sets (other platforms' PMU events, as in Wang et
+ * al. 2015 or Gao et al. 2018) become new spec tables plus a
+ * MetricSet selection (set.h) — data, not code.
+ */
+
+#ifndef BDS_METRICS_SCHEMA_H
+#define BDS_METRICS_SCHEMA_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uarch/pmc.h"
+#include "uarch/pmc_fields.h"
+
+namespace bds {
+
+/** Number of Table II metrics (the full schema size). */
+constexpr std::size_t kNumMetrics = 45;
+
+/** Table II metric identifiers (index = table number - 1). */
+enum class Metric : unsigned
+{
+    Load = 0,     ///< 1: load instruction share
+    Store,        ///< 2: store instruction share
+    Branch,       ///< 3: branch instruction share
+    Integer,      ///< 4: integer instruction share
+    FpX87,        ///< 5: x87 FP instruction share
+    SseFp,        ///< 6: SSE FP instruction share
+    KernelMode,   ///< 7: kernel-mode instruction ratio
+    UserMode,     ///< 8: user-mode instruction ratio
+    UopsToIns,    ///< 9: uops per instruction
+    L1iMiss,      ///< 10: L1I misses per K instructions
+    L1iHit,       ///< 11: L1I hits per K instructions
+    L2Miss,       ///< 12: L2 misses per K instructions
+    L2Hit,        ///< 13: L2 hits per K instructions
+    L3Miss,       ///< 14: L3 misses per K instructions
+    L3Hit,        ///< 15: L3 hits per K instructions
+    LoadHitLfb,   ///< 16: loads merged into the LFB per K instructions
+    LoadHitL2,    ///< 17: loads hitting own L2 per K instructions
+    LoadHitSibe,  ///< 18: loads hitting a sibling L2 per K instructions
+    LoadHitL3,    ///< 19: loads hitting unshared L3 lines per K instrs
+    LoadLlcMiss,  ///< 20: loads missing the L3 per K instructions
+    ItlbMiss,     ///< 21: ITLB all-level misses per K instructions
+    ItlbCycle,    ///< 22: ITLB walk cycle share
+    DtlbMiss,     ///< 23: DTLB all-level misses per K instructions
+    DtlbCycle,    ///< 24: DTLB walk cycle share
+    DataHitStlb,  ///< 25: DTLB L1 misses hitting STLB per K instrs
+    BrMiss,       ///< 26: branch misprediction ratio
+    BrExeToRe,    ///< 27: executed-to-retired branch ratio
+    FetchStall,   ///< 28: instruction fetch stall cycle share
+    IldStall,     ///< 29: instruction length decoder stall share
+    DecoderStall, ///< 30: decoder stall cycle share
+    RatStall,     ///< 31: register allocation table stall share
+    ResourceStall,///< 32: resource-related stall cycle share
+    UopsExeCycle, ///< 33: cycles with uops executing, share
+    UopsStall,    ///< 34: cycles with no uop executed, share
+    OffcoreData,  ///< 35: offcore data request share
+    OffcoreCode,  ///< 36: offcore code request share
+    OffcoreRfo,   ///< 37: offcore RFO request share
+    OffcoreWb,    ///< 38: offcore write-back share
+    SnoopHit,     ///< 39: HIT snoop responses per K instructions
+    SnoopHitE,    ///< 40: HIT-E snoop responses per K instructions
+    SnoopHitM,    ///< 41: HIT-M snoop responses per K instructions
+    Ilp,          ///< 42: instructions per cycle
+    Mlp,          ///< 43: mean outstanding-miss overlap
+    IntToMem,     ///< 44: integer ops per memory access
+    FpToMem,      ///< 45: FP ops per memory access
+};
+
+/** All metrics in Table II order. */
+using MetricVector = std::array<double, kNumMetrics>;
+
+/**
+ * Counter-field accessors, generated from the same X-macro as
+ * PmcCounters::toArray() (uarch/pmc_fields.h), so the enum value IS
+ * the toArray() index of that field.
+ */
+enum class CounterField : unsigned
+{
+#define BDS_PMC_X(f) f,
+    BDS_PMC_FIELDS(BDS_PMC_X, BDS_PMC_X)
+#undef BDS_PMC_X
+};
+
+/** Number of counter fields (== PmcCounters::kNumFields). */
+constexpr std::size_t kNumCounterFields = PmcCounters::kNumFields;
+
+/** Field name as spelled in PmcCounters ("l1iMisses", ...). */
+const char *counterFieldName(CounterField f);
+
+/** What a metric's value denotes (printing/docs; see evaluation). */
+enum class UnitKind : unsigned
+{
+    Share,    ///< fraction of a total (instructions, cycles, requests)
+    PerKilo,  ///< events per 1000 instructions
+    Ratio,    ///< unbounded ratio of two counts
+    Absolute, ///< raw counter value (reserved for custom sets)
+};
+
+/** Unit kind as a short printable token ("share", "per-K", ...). */
+const char *unitKindName(UnitKind u);
+
+/**
+ * Sum of up to four counter fields. count == 0 means "no term"
+ * (an Absolute metric's denominator).
+ */
+struct CounterSum
+{
+    std::array<CounterField, 4> fields;
+    std::size_t count;
+};
+
+/**
+ * One schema row: everything there is to know about a metric.
+ *
+ * Evaluation semantics (evaluateMetric):
+ *  - PerKilo:  num * (1000 / den), 0 when den == 0
+ *  - Share / Ratio: num / den, `fallback` when den == 0; when
+ *    `complement` is set the value is max(0, 1 - that ratio)
+ *  - Absolute (den.count == 0): the numerator sum itself
+ */
+struct MetricSpec
+{
+    Metric id;               ///< position in Table II
+    const char *name;        ///< canonical CSV/report name
+    const char *description; ///< Table II's right column
+    UnitKind unit;           ///< unit kind
+    CounterSum num;          ///< numerator counter fields
+    CounterSum den;          ///< denominator counter fields
+    double fallback;         ///< value when the denominator is zero
+    bool complement;         ///< value = max(0, 1 - num/den)
+};
+
+/** The full Table II schema, index = table number - 1. */
+const std::array<MetricSpec, kNumMetrics> &metricSchema();
+
+/** Schema row of one metric. */
+const MetricSpec &metricSpec(Metric m);
+
+/** Schema row by index; fatal when out of range. */
+const MetricSpec &metricSpec(std::size_t idx);
+
+/** Short metric name as printed in the paper ("L3 MISS", ...). */
+const char *metricName(Metric m);
+
+/** Short metric name by index. */
+const char *metricName(std::size_t idx);
+
+/** One-line description (Table II's right column). */
+const char *metricDescription(Metric m);
+
+/** All 45 names in order. */
+std::vector<std::string> metricNames();
+
+/**
+ * Index of the named metric in the schema, or kNumMetrics when the
+ * name matches no schema row. Matching is exact (canonical names).
+ */
+std::size_t metricIndexByName(std::string_view name);
+
+/** Evaluate one spec over flattened counters (toArray() order). */
+double evaluateMetric(const MetricSpec &spec,
+                      const std::array<double, kNumCounterFields> &c);
+
+/** Derive the 45 metrics from raw counters (schema interpretation). */
+MetricVector extractMetrics(const PmcCounters &pmc);
+
+/**
+ * Human-readable derivation, e.g. "1000 * l1iMisses / instructions"
+ * or "1 - uopsExecutedCycles / cycles".
+ */
+std::string metricFormula(const MetricSpec &spec);
+
+} // namespace bds
+
+#endif // BDS_METRICS_SCHEMA_H

@@ -1,0 +1,160 @@
+#include "metrics/set.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace {
+
+std::vector<Metric>
+fullTableII()
+{
+    std::vector<Metric> all;
+    all.reserve(kNumMetrics);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        all.push_back(static_cast<Metric>(i));
+    return all;
+}
+
+void
+rejectDuplicates(const std::vector<Metric> &members)
+{
+    std::vector<bool> seen(kNumMetrics, false);
+    for (Metric m : members) {
+        auto idx = static_cast<std::size_t>(m);
+        if (idx >= kNumMetrics)
+            BDS_FATAL("metric id " << idx << " out of schema range");
+        if (seen[idx])
+            BDS_FATAL("metric set lists '" << metricName(m)
+                      << "' twice");
+        seen[idx] = true;
+    }
+}
+
+} // namespace
+
+MetricSet::MetricSet() : members_(fullTableII()) {}
+
+MetricSet::MetricSet(std::vector<Metric> members)
+    : members_(std::move(members))
+{
+}
+
+MetricSet
+MetricSet::tableII()
+{
+    return MetricSet();
+}
+
+MetricSet
+MetricSet::none()
+{
+    return MetricSet(std::vector<Metric>{});
+}
+
+MetricSet
+MetricSet::fromMetrics(const std::vector<Metric> &members)
+{
+    rejectDuplicates(members);
+    return MetricSet(members);
+}
+
+MetricSet
+MetricSet::fromNames(const std::vector<std::string> &names)
+{
+    std::vector<Metric> members;
+    members.reserve(names.size());
+    std::string unknown;
+    for (const std::string &name : names) {
+        std::size_t idx = metricIndexByName(name);
+        if (idx == kNumMetrics) {
+            if (!unknown.empty())
+                unknown += ", ";
+            unknown += "'" + name + "'";
+            continue;
+        }
+        members.push_back(static_cast<Metric>(idx));
+    }
+    if (!unknown.empty())
+        BDS_FATAL("metric set names match no schema metric: "
+                  << unknown);
+    rejectDuplicates(members);
+    return MetricSet(std::move(members));
+}
+
+bool
+MetricSet::isFullTableII() const
+{
+    if (members_.size() != kNumMetrics)
+        return false;
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        if (members_[i] != static_cast<Metric>(i))
+            return false;
+    return true;
+}
+
+Metric
+MetricSet::at(std::size_t i) const
+{
+    if (i >= members_.size())
+        BDS_FATAL("metric set index " << i << " out of range (size "
+                  << members_.size() << ")");
+    return members_[i];
+}
+
+const MetricSpec &
+MetricSet::specAt(std::size_t i) const
+{
+    return metricSpec(at(i));
+}
+
+std::vector<std::string>
+MetricSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(members_.size());
+    for (Metric m : members_)
+        out.emplace_back(metricName(m));
+    return out;
+}
+
+std::size_t
+MetricSet::indexOf(Metric m) const
+{
+    auto it = std::find(members_.begin(), members_.end(), m);
+    return static_cast<std::size_t>(it - members_.begin());
+}
+
+std::vector<double>
+MetricSet::project(const MetricVector &full) const
+{
+    std::vector<double> out;
+    out.reserve(members_.size());
+    for (Metric m : members_)
+        out.push_back(full[static_cast<std::size_t>(m)]);
+    return out;
+}
+
+std::vector<double>
+MetricSet::extract(const PmcCounters &pmc) const
+{
+    return project(extractMetrics(pmc));
+}
+
+Matrix
+MetricSet::selectColumns(const Matrix &full) const
+{
+    if (full.cols() != kNumMetrics)
+        BDS_FATAL("metric set projection needs a full "
+                  << kNumMetrics << "-column matrix, got "
+                  << full.cols() << " columns");
+    Matrix out(full.rows(), members_.size());
+    for (std::size_t r = 0; r < full.rows(); ++r)
+        for (std::size_t c = 0; c < members_.size(); ++c)
+            out(r, c) = full(r, static_cast<std::size_t>(members_[c]));
+    return out;
+}
+
+} // namespace bds

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MetricSet: an ordered selection of schema metrics — the handle an
+ * analysis declares to say which Table II metrics it runs on.
+ *
+ * The default set is the full Table II (all 45 metrics in table
+ * order). Subsets keep schema order-independence: members are looked
+ * up by canonical name or Metric id, projections reorder full
+ * vectors/matrices into the set's own column order, and CSV loading
+ * (core/csvio.h alignMetricTable) matches columns by name against the
+ * set instead of trusting positions.
+ */
+
+#ifndef BDS_METRICS_SET_H
+#define BDS_METRICS_SET_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/schema.h"
+#include "stats/matrix.h"
+
+namespace bds {
+
+/** Ordered selection of schema metrics. Cheap to copy. */
+class MetricSet
+{
+  public:
+    /** The default set: all of Table II, in table order. */
+    MetricSet();
+
+    /** The full Table II set (same as the default constructor). */
+    static MetricSet tableII();
+
+    /** The empty set ("columns are not schema metrics"). */
+    static MetricSet none();
+
+    /**
+     * A subset in the given order; fatal on duplicates.
+     */
+    static MetricSet fromMetrics(const std::vector<Metric> &members);
+
+    /**
+     * Resolve canonical names against the schema; fatal on unknown
+     * or duplicate names (the diagnostic lists the offenders).
+     */
+    static MetricSet fromNames(const std::vector<std::string> &names);
+
+    /** Number of selected metrics (the column count of analyses). */
+    std::size_t size() const { return members_.size(); }
+
+    /** True when no metric is selected. */
+    bool empty() const { return members_.empty(); }
+
+    /** True when this is the full Table II in table order. */
+    bool isFullTableII() const;
+
+    /** The i-th selected metric. */
+    Metric at(std::size_t i) const;
+
+    /** Schema row of the i-th selected metric. */
+    const MetricSpec &specAt(std::size_t i) const;
+
+    /** Canonical names, one per selected metric, in set order. */
+    std::vector<std::string> names() const;
+
+    /** Position of `m` in this set, or size() when absent. */
+    std::size_t indexOf(Metric m) const;
+
+    /** True when `m` is a member. */
+    bool contains(Metric m) const { return indexOf(m) < size(); }
+
+    /** Project a full Table II vector onto this set's order. */
+    std::vector<double> project(const MetricVector &full) const;
+
+    /** Derive only this set's metrics from raw counters. */
+    std::vector<double> extract(const PmcCounters &pmc) const;
+
+    /**
+     * Select this set's columns out of a full 45-column matrix
+     * (rows = workloads); fatal when the matrix is not 45 wide.
+     */
+    Matrix selectColumns(const Matrix &full) const;
+
+    bool operator==(const MetricSet &rhs) const
+    {
+        return members_ == rhs.members_;
+    }
+
+  private:
+    explicit MetricSet(std::vector<Metric> members);
+
+    std::vector<Metric> members_;
+};
+
+} // namespace bds
+
+#endif // BDS_METRICS_SET_H

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "sample/picker.h"
-#include "uarch/metrics.h"
+#include "metrics/schema.h"
 #include "uarch/pmc.h"
 
 namespace bds {

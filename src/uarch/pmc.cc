@@ -3,33 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "uarch/pmc_fields.h"
+
 namespace bds {
-
-namespace {
-
-/**
- * One X(field) line per counter, in declaration order — the single
- * source of truth for toArray()/fromArray(). U marks integral
- * (rounded) fields, D the double-valued accounting fields.
- */
-#define BDS_PMC_FIELDS(U, D)                                          \
-    U(instructions) U(uops) D(cycles)                                 \
-    U(loadInstrs) U(storeInstrs) U(branchInstrs) U(intInstrs)         \
-    U(fpInstrs) U(sseInstrs) U(kernelInstrs) U(userInstrs)            \
-    U(l1iHits) U(l1iMisses) U(l2Hits) U(l2Misses)                     \
-    U(l3Hits) U(l3Misses)                                             \
-    U(loadHitLfb) U(loadHitL2) U(loadHitSibling)                      \
-    U(loadHitL3Unshared) U(loadLlcMiss)                               \
-    U(itlbWalks) D(itlbWalkCycles) U(dtlbWalks) D(dtlbWalkCycles)     \
-    U(dataHitStlb)                                                    \
-    U(branchesRetired) U(branchesMispredicted) U(branchesExecuted)    \
-    D(fetchStallCycles) D(ildStallCycles) D(decoderStallCycles)       \
-    D(ratStallCycles) D(resourceStallCycles) D(uopsExecutedCycles)    \
-    U(offcoreData) U(offcoreCode) U(offcoreRfo) U(offcoreWb)          \
-    U(snoopHit) U(snoopHitE) U(snoopHitM)                             \
-    D(mlpSum) U(mlpSamples)
-
-} // namespace
 
 std::array<double, PmcCounters::kNumFields>
 PmcCounters::toArray() const

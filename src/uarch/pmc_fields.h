@@ -1,0 +1,34 @@
+/**
+ * @file
+ * X-macro listing every PmcCounters field in declaration order — the
+ * single source of truth for the counter flattening
+ * (PmcCounters::toArray()/fromArray(), src/uarch/pmc.cc) and for the
+ * metric schema's CounterField accessors (src/metrics/schema.h).
+ *
+ * U(field) marks integral counters (rounded on fromArray()), D(field)
+ * the double-valued accounting fields. Adding a counter means adding
+ * one line here plus the struct member in pmc.h; every consumer picks
+ * it up by expansion.
+ */
+
+#ifndef BDS_UARCH_PMC_FIELDS_H
+#define BDS_UARCH_PMC_FIELDS_H
+
+#define BDS_PMC_FIELDS(U, D)                                          \
+    U(instructions) U(uops) D(cycles)                                 \
+    U(loadInstrs) U(storeInstrs) U(branchInstrs) U(intInstrs)         \
+    U(fpInstrs) U(sseInstrs) U(kernelInstrs) U(userInstrs)            \
+    U(l1iHits) U(l1iMisses) U(l2Hits) U(l2Misses)                     \
+    U(l3Hits) U(l3Misses)                                             \
+    U(loadHitLfb) U(loadHitL2) U(loadHitSibling)                      \
+    U(loadHitL3Unshared) U(loadLlcMiss)                               \
+    U(itlbWalks) D(itlbWalkCycles) U(dtlbWalks) D(dtlbWalkCycles)     \
+    U(dataHitStlb)                                                    \
+    U(branchesRetired) U(branchesMispredicted) U(branchesExecuted)    \
+    D(fetchStallCycles) D(ildStallCycles) D(decoderStallCycles)       \
+    D(ratStallCycles) D(resourceStallCycles) D(uopsExecutedCycles)    \
+    U(offcoreData) U(offcoreCode) U(offcoreRfo) U(offcoreWb)          \
+    U(snoopHit) U(snoopHitE) U(snoopHitM)                             \
+    D(mlpSum) U(mlpSamples)
+
+#endif // BDS_UARCH_PMC_FIELDS_H

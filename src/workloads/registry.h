@@ -16,7 +16,7 @@
 #include "stats/matrix.h"
 #include "trace/microop.h"
 #include "uarch/config.h"
-#include "uarch/metrics.h"
+#include "metrics/schema.h"
 #include "workloads/datagen.h"
 
 namespace bds {

@@ -83,6 +83,63 @@ TEST(CsvIo, RejectsMalformedInput)
                  bds::FatalError);
 }
 
+TEST(CsvIo, AlignRealignsShuffledColumns)
+{
+    // Columns deliberately out of set order: matching is by name.
+    std::istringstream in("workload,ILP,LOAD,L3 MISS\n"
+                          "A,0.9,0.3,20\n"
+                          "B,1.1,0.4,10\n");
+    auto table = readMetricsCsv(in);
+    bds::MetricSet set = bds::MetricSet::fromNames(
+        {"LOAD", "L3 MISS", "ILP"});
+    bds::Matrix m = bds::alignMetricTable(table, set);
+    ASSERT_EQ(m.rows(), 2u);
+    ASSERT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.3);
+    EXPECT_DOUBLE_EQ(m(0, 1), 20.0);
+    EXPECT_DOUBLE_EQ(m(0, 2), 0.9);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.1);
+}
+
+TEST(CsvIo, AlignIgnoresExtraColumns)
+{
+    // A full-looking file feeding a subset: foreign columns are
+    // skipped, not an error.
+    std::istringstream in("workload,LOAD,STORE,custom,ILP\n"
+                          "A,0.3,0.1,99,0.9\n");
+    auto table = readMetricsCsv(in);
+    bds::MetricSet set = bds::MetricSet::fromNames({"ILP", "STORE"});
+    bds::Matrix m = bds::alignMetricTable(table, set);
+    ASSERT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.9);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.1);
+}
+
+TEST(CsvIo, AlignNamesMissingColumns)
+{
+    std::istringstream in("workload,LOAD\nA,0.3\n");
+    auto table = readMetricsCsv(in);
+    bds::MetricSet set =
+        bds::MetricSet::fromNames({"LOAD", "ILP", "MLP"});
+    try {
+        bds::alignMetricTable(table, set);
+        FAIL() << "expected FatalError";
+    } catch (const bds::FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("'ILP'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'MLP'"), std::string::npos) << msg;
+    }
+}
+
+TEST(CsvIo, AlignRejectsDuplicateColumns)
+{
+    std::istringstream in("workload,LOAD,LOAD\nA,0.3,0.4\n");
+    auto table = readMetricsCsv(in);
+    EXPECT_THROW(
+        bds::alignMetricTable(table, bds::MetricSet::fromNames({"LOAD"})),
+        bds::FatalError);
+}
+
 TEST(CsvIo, RoundTripsThroughWriteMetricsCsv)
 {
     // Build a tiny pipeline result, write it, read it back.

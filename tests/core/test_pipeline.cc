@@ -113,4 +113,82 @@ TEST(Pipeline, ForcedPcCountIsHonored)
     EXPECT_EQ(res.pca.numComponents, 3u);
 }
 
+/** A deterministic full 45-column matrix for metric-set tests. */
+Matrix
+fullWidthSuite(std::vector<std::string> &names)
+{
+    names = {"H-A", "H-B", "H-C", "S-A", "S-B", "S-C"};
+    Matrix m(6, bds::kNumMetrics);
+    bds::Pcg32 rng(7);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = static_cast<double>(c)
+                + (r < 3 ? 0.0 : 5.0) * (c % 2 ? 1.0 : -1.0)
+                + 0.1 * rng.nextGaussian();
+    return m;
+}
+
+TEST(Pipeline, DefaultFullMatrixIsLabeledTableII)
+{
+    std::vector<std::string> names;
+    Matrix m = fullWidthSuite(names);
+    auto res = runPipeline(m, names);
+    EXPECT_TRUE(res.metrics.isFullTableII());
+    ASSERT_EQ(res.metricLabels.size(), bds::kNumMetrics);
+    EXPECT_EQ(res.metricLabels.front(), "LOAD");
+    EXPECT_EQ(res.metricLabels.back(), "FP TO MEM");
+}
+
+TEST(Pipeline, SubsetProjectsFullMatrix)
+{
+    std::vector<std::string> names;
+    Matrix m = fullWidthSuite(names);
+    PipelineOptions opts;
+    opts.metrics = bds::MetricSet::fromNames({"L3 MISS", "ILP", "LOAD"});
+    auto res = runPipeline(m, names, opts);
+    ASSERT_EQ(res.rawMetrics.cols(), 3u);
+    EXPECT_EQ(res.metricLabels,
+              (std::vector<std::string>{"L3 MISS", "ILP", "LOAD"}));
+    // Projection selects the set's columns in set order.
+    EXPECT_DOUBLE_EQ(res.rawMetrics(0, 0), m(0, 13));
+    EXPECT_DOUBLE_EQ(res.rawMetrics(0, 1), m(0, 41));
+    EXPECT_DOUBLE_EQ(res.rawMetrics(0, 2), m(0, 0));
+    EXPECT_EQ(res.metrics.at(0), bds::Metric::L3Miss);
+}
+
+TEST(Pipeline, SubsetMatchingColumnCountIsTakenAsIs)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names); // 6 columns
+    PipelineOptions opts;
+    opts.metrics = bds::MetricSet::fromNames(
+        {"LOAD", "STORE", "BRANCH", "ILP", "MLP", "L3 MISS"});
+    auto res = runPipeline(m, names, opts);
+    EXPECT_EQ(res.rawMetrics.cols(), 6u);
+    EXPECT_EQ(res.metricLabels[5], "L3 MISS");
+}
+
+TEST(Pipeline, SubsetMismatchIsFatal)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names); // 6 columns, not a full matrix
+    PipelineOptions opts;
+    opts.metrics = bds::MetricSet::fromNames({"LOAD", "ILP"});
+    EXPECT_THROW(runPipeline(m, names, opts), bds::FatalError);
+}
+
+TEST(Pipeline, ExternalColumnsUseCallerLabels)
+{
+    std::vector<std::string> names;
+    Matrix m = syntheticSuite(names); // 6 non-schema columns
+    PipelineOptions opts;
+    opts.columnLabels = {"c0", "c1", "c2", "c3", "c4", "c5"};
+    auto res = runPipeline(m, names, opts);
+    EXPECT_TRUE(res.metrics.empty());
+    EXPECT_EQ(res.metricLabels, opts.columnLabels);
+
+    opts.columnLabels.pop_back();
+    EXPECT_THROW(runPipeline(m, names, opts), bds::FatalError);
+}
+
 } // namespace

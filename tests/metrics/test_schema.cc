@@ -1,13 +1,16 @@
-/** @file Tests for Table II metric extraction. */
+/** @file Tests for the metric schema and Table II extraction. */
 
 #include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "metrics/schema.h"
 #include "trace/runtime.h"
-#include "uarch/metrics.h"
 #include "uarch/system.h"
 #include "uarch/pmc.h"
 
@@ -243,6 +246,109 @@ TEST(Metrics, AggregationIsAdditive)
     EXPECT_EQ(sum.instructions, 1500u);
     EXPECT_EQ(sum.l3Misses, 120u);
     EXPECT_DOUBLE_EQ(sum.cycles, 4000.0);
+}
+
+/**
+ * Golden test: the schema's canonical CSV names must match the header
+ * of the shipped reference matrix byte for byte. Renaming a metric
+ * (or reordering the schema) silently orphans every cached CSV, so
+ * this pins the contract to real data.
+ */
+TEST(Schema, GoldenCsvHeaderMatchesSchemaNames)
+{
+    std::ifstream in(BDS_REFERENCE_CSV);
+    ASSERT_TRUE(in) << "missing reference CSV: " << BDS_REFERENCE_CSV;
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    if (!header.empty() && header.back() == '\r')
+        header.pop_back();
+
+    std::string expected = "workload";
+    for (const auto &name : bds::metricNames())
+        expected += "," + name;
+    EXPECT_EQ(header, expected);
+}
+
+TEST(Schema, RowsAreSelfConsistent)
+{
+    const auto &schema = bds::metricSchema();
+    ASSERT_EQ(schema.size(), kNumMetrics);
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        const bds::MetricSpec &spec = schema[i];
+        // The id doubles as the index; a shuffled table would break
+        // every enum-based lookup.
+        EXPECT_EQ(static_cast<std::size_t>(spec.id), i);
+        ASSERT_NE(spec.name, nullptr);
+        ASSERT_NE(spec.description, nullptr);
+        EXPECT_FALSE(std::string(spec.name).empty()) << i;
+        EXPECT_FALSE(std::string(spec.description).empty()) << i;
+        names.insert(spec.name);
+        EXPECT_LE(spec.num.count, spec.num.fields.size());
+        EXPECT_LE(spec.den.count, spec.den.fields.size());
+        EXPECT_GE(spec.num.count, 1u) << spec.name;
+        for (std::size_t t = 0; t < spec.num.count; ++t)
+            EXPECT_LT(static_cast<std::size_t>(spec.num.fields[t]),
+                      bds::kNumCounterFields);
+        for (std::size_t t = 0; t < spec.den.count; ++t)
+            EXPECT_LT(static_cast<std::size_t>(spec.den.fields[t]),
+                      bds::kNumCounterFields);
+        EXPECT_FALSE(bds::metricFormula(spec).empty()) << spec.name;
+    }
+    EXPECT_EQ(names.size(), kNumMetrics) << "duplicate metric names";
+}
+
+TEST(Schema, IndexByNameRoundTrips)
+{
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        EXPECT_EQ(bds::metricIndexByName(bds::metricName(i)), i);
+    EXPECT_EQ(bds::metricIndexByName("NO SUCH METRIC"), kNumMetrics);
+    EXPECT_EQ(bds::metricIndexByName(""), kNumMetrics);
+    // Matching is exact: case and spacing matter.
+    EXPECT_EQ(bds::metricIndexByName("l3 miss"), kNumMetrics);
+}
+
+TEST(Schema, EvaluateMatchesExtract)
+{
+    PmcCounters pmc = sampleCounters();
+    MetricVector direct = extractMetrics(pmc);
+    auto c = pmc.toArray();
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        EXPECT_EQ(direct[i], bds::evaluateMetric(bds::metricSpec(i), c))
+            << bds::metricName(i);
+}
+
+TEST(Schema, CounterFieldEnumMatchesToArrayOrder)
+{
+    // CounterField values index pmc.toArray(); verify on a few fields
+    // by setting each to a sentinel and reading it back through the
+    // enum. A drifted X-macro would misroute every derivation.
+    PmcCounters pmc;
+    pmc.instructions = 111;
+    pmc.cycles = 222.5;
+    pmc.mlpSamples = 333;
+    auto c = pmc.toArray();
+    using CF = bds::CounterField;
+    EXPECT_EQ(c[static_cast<std::size_t>(CF::instructions)], 111.0);
+    EXPECT_EQ(c[static_cast<std::size_t>(CF::cycles)], 222.5);
+    EXPECT_EQ(c[static_cast<std::size_t>(CF::mlpSamples)], 333.0);
+    EXPECT_EQ(c.size(), bds::kNumCounterFields);
+    EXPECT_STREQ(bds::counterFieldName(CF::instructions),
+                 "instructions");
+    EXPECT_STREQ(bds::counterFieldName(CF::mlpSamples), "mlpSamples");
+}
+
+TEST(Schema, FormulaRendersDerivations)
+{
+    using bds::Metric;
+    EXPECT_EQ(bds::metricFormula(bds::metricSpec(Metric::L1iMiss)),
+              "1000 * l1iMisses / instructions");
+    EXPECT_EQ(bds::metricFormula(bds::metricSpec(Metric::UopsStall)),
+              "1 - uopsExecutedCycles / cycles");
+    // Fallback values other than zero are part of the derivation.
+    std::string mlp = bds::metricFormula(bds::metricSpec(Metric::Mlp));
+    EXPECT_NE(mlp.find("mlpSum / mlpSamples"), std::string::npos);
+    EXPECT_NE(mlp.find("1 when mlpSamples = 0"), std::string::npos);
 }
 
 } // namespace

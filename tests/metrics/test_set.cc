@@ -1,0 +1,143 @@
+/** @file Tests for MetricSet selection, projection, and lookup. */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "metrics/set.h"
+#include "uarch/pmc.h"
+
+namespace {
+
+using bds::extractMetrics;
+using bds::kNumMetrics;
+using bds::Metric;
+using bds::MetricSet;
+using bds::MetricVector;
+using bds::PmcCounters;
+
+PmcCounters
+someCounters()
+{
+    PmcCounters pmc;
+    pmc.instructions = 1000;
+    pmc.cycles = 2000.0;
+    pmc.loadInstrs = 300;
+    pmc.storeInstrs = 100;
+    pmc.l3Misses = 20;
+    pmc.l1iMisses = 100;
+    pmc.mlpSum = 36.0;
+    pmc.mlpSamples = 18;
+    return pmc;
+}
+
+TEST(MetricSet, DefaultIsFullTableII)
+{
+    MetricSet set;
+    EXPECT_EQ(set.size(), kNumMetrics);
+    EXPECT_TRUE(set.isFullTableII());
+    EXPECT_FALSE(set.empty());
+    EXPECT_TRUE(set == MetricSet::tableII());
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        EXPECT_EQ(set.at(i), static_cast<Metric>(i));
+        EXPECT_EQ(set.indexOf(static_cast<Metric>(i)), i);
+    }
+    EXPECT_EQ(set.names(), bds::metricNames());
+}
+
+TEST(MetricSet, NoneIsEmpty)
+{
+    MetricSet set = MetricSet::none();
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.isFullTableII());
+    EXPECT_FALSE(set.contains(Metric::Load));
+}
+
+TEST(MetricSet, FromNamesRoundTrips)
+{
+    std::vector<std::string> names = {"L3 MISS", "ILP", "LOAD"};
+    MetricSet set = MetricSet::fromNames(names);
+    ASSERT_EQ(set.size(), 3u);
+    // Order is the caller's, not the schema's.
+    EXPECT_EQ(set.at(0), Metric::L3Miss);
+    EXPECT_EQ(set.at(1), Metric::Ilp);
+    EXPECT_EQ(set.at(2), Metric::Load);
+    EXPECT_EQ(set.names(), names);
+    EXPECT_FALSE(set.isFullTableII());
+}
+
+TEST(MetricSet, FromNamesRejectsUnknownAndDuplicate)
+{
+    EXPECT_THROW(MetricSet::fromNames({"LOAD", "BOGUS"}),
+                 bds::FatalError);
+    EXPECT_THROW(MetricSet::fromNames({"LOAD", "LOAD"}),
+                 bds::FatalError);
+    EXPECT_THROW(MetricSet::fromMetrics({Metric::Ilp, Metric::Ilp}),
+                 bds::FatalError);
+}
+
+TEST(MetricSet, IndexOfAbsentMemberIsSize)
+{
+    MetricSet set = MetricSet::fromMetrics({Metric::Ilp, Metric::Mlp});
+    EXPECT_EQ(set.indexOf(Metric::Mlp), 1u);
+    EXPECT_EQ(set.indexOf(Metric::Load), set.size());
+    EXPECT_TRUE(set.contains(Metric::Ilp));
+    EXPECT_FALSE(set.contains(Metric::Load));
+    EXPECT_THROW(set.at(2), bds::FatalError);
+}
+
+TEST(MetricSet, ProjectReordersFullVector)
+{
+    MetricVector full{};
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        full[i] = static_cast<double>(i) + 0.5;
+    MetricSet set = MetricSet::fromMetrics(
+        {Metric::FpToMem, Metric::Load, Metric::Ilp});
+    std::vector<double> got = set.project(full);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_DOUBLE_EQ(got[0], 44.5);
+    EXPECT_DOUBLE_EQ(got[1], 0.5);
+    EXPECT_DOUBLE_EQ(got[2], 41.5);
+}
+
+TEST(MetricSet, ExtractEqualsProjectedFullExtraction)
+{
+    PmcCounters pmc = someCounters();
+    MetricSet set = MetricSet::fromMetrics(
+        {Metric::L3Miss, Metric::Mlp, Metric::Ilp, Metric::Load});
+    std::vector<double> subset = set.extract(pmc);
+    MetricVector full = extractMetrics(pmc);
+    ASSERT_EQ(subset.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_EQ(subset[i],
+                  full[static_cast<std::size_t>(set.at(i))]);
+}
+
+TEST(MetricSet, SelectColumnsPicksAndReorders)
+{
+    bds::Matrix full(2, kNumMetrics);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < kNumMetrics; ++c)
+            full(r, c) = static_cast<double>(100 * r + c);
+    MetricSet set =
+        MetricSet::fromMetrics({Metric::Store, Metric::L1iMiss});
+    bds::Matrix sub = set.selectColumns(full);
+    ASSERT_EQ(sub.rows(), 2u);
+    ASSERT_EQ(sub.cols(), 2u);
+    EXPECT_DOUBLE_EQ(sub(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(sub(0, 1), 9.0);
+    EXPECT_DOUBLE_EQ(sub(1, 0), 101.0);
+    EXPECT_DOUBLE_EQ(sub(1, 1), 109.0);
+}
+
+TEST(MetricSet, SelectColumnsRejectsPartialMatrix)
+{
+    bds::Matrix narrow(2, 3);
+    MetricSet set = MetricSet::fromMetrics({Metric::Load});
+    EXPECT_THROW(set.selectColumns(narrow), bds::FatalError);
+}
+
+} // namespace

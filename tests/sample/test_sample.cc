@@ -284,6 +284,50 @@ TEST(Estimator, CompareMetricsFlagsTheWorstMetric)
     EXPECT_NEAR(rep.relError[3], 0.1, 1e-12);
 }
 
+TEST(Estimator, CompareMetricsZeroInBothRunsIsZeroError)
+{
+    // A metric absent from both runs (e.g. no FP at all) must not
+    // count as error, even though the relative denominator is eps.
+    bds::MetricVector full{}, sampled{};
+    full[4] = 0.0;
+    sampled[4] = 0.0;
+    full[0] = 1.0;
+    sampled[0] = 1.0;
+    bds::MetricErrorReport rep = bds::compareMetrics(full, sampled);
+    EXPECT_EQ(rep.relError[4], 0.0);
+    EXPECT_EQ(rep.meanError, 0.0);
+    EXPECT_EQ(rep.maxError, 0.0);
+}
+
+TEST(Estimator, CompareMetricsEpsGuardsNearZeroFullValues)
+{
+    // full ~ 0 but sampled clearly nonzero: the eps floor keeps the
+    // relative error finite instead of dividing by ~0.
+    bds::MetricVector full{}, sampled{};
+    full[2] = 0.0;
+    sampled[2] = 0.5;
+    bds::MetricErrorReport rep = bds::compareMetrics(full, sampled);
+    EXPECT_TRUE(std::isfinite(rep.relError[2]));
+    EXPECT_GT(rep.relError[2], 0.0);
+    EXPECT_DOUBLE_EQ(rep.relError[2], 0.5 / 1e-12);
+    EXPECT_EQ(rep.worstMetric, 2u);
+}
+
+TEST(Estimator, CompareMetricsWorstMetricTieKeepsFirstIndex)
+{
+    // Ties update with strict '>': the first metric reaching the
+    // maximum error stays the reported worst.
+    bds::MetricVector full{}, sampled{};
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        full[i] = sampled[i] = 2.0;
+    sampled[5] = 3.0; // 50% off
+    sampled[9] = 1.0; // 50% off, same magnitude
+    bds::MetricErrorReport rep = bds::compareMetrics(full, sampled);
+    EXPECT_EQ(rep.worstMetric, 5u);
+    EXPECT_NEAR(rep.maxError, 0.5, 1e-12);
+    EXPECT_NEAR(rep.relError[9], 0.5, 1e-12);
+}
+
 TEST(SampledReplayer, AccountsEveryOpExactlyOnce)
 {
     TraceRecorder rec = makeTrace(400);

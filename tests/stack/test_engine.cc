@@ -9,7 +9,6 @@
 #include "common/rng.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
-#include "uarch/metrics.h"
 #include "uarch/system.h"
 
 namespace {
