@@ -19,6 +19,7 @@
 #include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"
+#include "bench_common.h"
 
 namespace {
 
@@ -62,8 +63,10 @@ replayWithL3(const TraceRecorder &trace, std::uint64_t l3_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bds::Session session(
+        bdsbench::benchConfig("ablation_cache_sweep", argc, argv));
     std::cout << "Trace-driven L3 capacity sweep — WordCount on both "
                  "stacks\n(record once, replay per configuration)\n\n";
 

@@ -19,12 +19,14 @@
 #include <memory>
 
 #include "common/table.h"
+#include "obs/session.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "metrics/schema.h"
 #include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/offline.h"
+#include "bench_common.h"
 
 namespace {
 
@@ -79,8 +81,10 @@ addRow(TextTable &t, const char *label, const MetricVector &m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bds::Session session(
+        bdsbench::benchConfig("ablation_engines", argc, argv));
     std::cout << "Engine-mechanism ablation — WordCount, 60k records\n"
               << "(frontend metrics must follow the code-footprint "
                  "mechanism;\n data-path metrics must stay with the "

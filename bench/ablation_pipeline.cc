@@ -17,10 +17,12 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
-    auto base = bdsbench::characterizedPipeline();
+    Session session(
+        bdsbench::benchConfig("ablation_pipeline", argc, argv));
+    auto base = bdsbench::characterizedPipeline(session);
     const Matrix &metrics = base.rawMetrics;
     const auto &names = base.names;
 

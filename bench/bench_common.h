@@ -8,35 +8,31 @@
  * directory and the rest load it. Delete the cache (or change
  * BDS_SCALE / BDS_SEED) to force re-simulation.
  *
- * Environment:
- *   BDS_SCALE   = quick | standard | full (default: standard)
- *   BDS_SEED    = <integer>               (default: 42)
- *   BDS_THREADS = <integer>               (default: 0 = all cores;
- *                                          1 = serial)
+ * All configuration — scale, seed, threads, sampling, metric subset,
+ * tracing and manifests — comes from bds::RunConfig (src/obs), the
+ * single entry point that resolves BDS_* environment variables and
+ * --flags. See src/obs/runconfig.h for the full knob list. The
+ * matrix is bitwise identical for every BDS_THREADS value (see
+ * docs/THREADING.md), so the cache stays valid across thread counts.
  *
- * Sampled-simulation knobs (docs/SAMPLING.md):
- *   BDS_SAMPLE          = 0 | 1  (default 0: full detailed runs)
- *   BDS_SAMPLE_INTERVAL = <uops per interval>
- *   BDS_SAMPLE_BBV      = <BBV hash buckets>
- *   BDS_SAMPLE_KMAX     = <max interval clusters>
- *   BDS_SAMPLE_WARMUP   = <warm intervals before each rep; 0 = all>
- *   BDS_SAMPLE_SEED     = <interval-clustering seed>
+ * A bench main is three lines of plumbing:
  *
- * Every numeric knob is parsed strictly: a value that is not a plain
- * non-negative decimal integer is a fatal error, not a silent
- * default. The matrix is bitwise identical for every BDS_THREADS
- * value (see docs/THREADING.md), so the cache stays valid across
- * thread counts.
+ *   int main(int argc, char **argv) {
+ *       bds::Session session(bdsbench::benchConfig("fig1", argc, argv));
+ *       auto res = bdsbench::characterizedPipeline(session);
+ *       ... print the table/figure to stdout ...
+ *   }
+ *
+ * The Session destructor writes the run manifest (fig1.manifest.json)
+ * and, when BDS_TRACE=1, the trace summary.
  */
 
 #ifndef BDS_BENCH_COMMON_H
 #define BDS_BENCH_COMMON_H
 
-#include <cerrno>
-#include <cstdlib>
+#include <chrono>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,97 +40,21 @@
 #include "core/csvio.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "obs/session.h"
 #include "sample/characterizer.h"
 #include "workloads/registry.h"
 
 namespace bdsbench {
 
 /**
- * Strict environment integer: the whole value must be a plain
- * non-negative decimal. Signs, whitespace, trailing junk, or an empty
- * string fail fast — a typo in a knob should never silently become 0.
+ * Resolve the bench's RunConfig from the environment and command
+ * line. Benches take no positional arguments, so any unconsumed
+ * argument is fatal (RunConfig::resolve enforces this).
  */
-inline std::uint64_t
-envUint(const char *name, const char *value)
+inline bds::RunConfig
+benchConfig(const std::string &tool, int argc = 0, char **argv = nullptr)
 {
-    std::string s(value);
-    if (s.empty()
-        || s.find_first_not_of("0123456789") != std::string::npos)
-        BDS_FATAL(name << " must be a non-negative integer, got '"
-                       << s << "'");
-    errno = 0;
-    std::uint64_t v = std::strtoull(s.c_str(), nullptr, 10);
-    if (errno == ERANGE)
-        BDS_FATAL(name << " is out of range: '" << s << "'");
-    return v;
-}
-
-/** Scale selected by BDS_SCALE (default standard). */
-inline bds::ScaleProfile
-scaleFromEnv(std::string *name_out = nullptr)
-{
-    const char *env = std::getenv("BDS_SCALE");
-    std::string name = env ? env : "standard";
-    if (name != "quick" && name != "standard" && name != "full")
-        BDS_FATAL("BDS_SCALE must be quick, standard or full, got '"
-                  << name << "'");
-    if (name_out)
-        *name_out = name;
-    if (name == "quick")
-        return bds::ScaleProfile::quick();
-    if (name == "full")
-        return bds::ScaleProfile::full();
-    return bds::ScaleProfile::standard();
-}
-
-/** Seed selected by BDS_SEED (default 42). */
-inline std::uint64_t
-seedFromEnv()
-{
-    const char *env = std::getenv("BDS_SEED");
-    return env ? envUint("BDS_SEED", env) : 42ULL;
-}
-
-/** Worker threads selected by BDS_THREADS (default 0 = all cores). */
-inline bds::ParallelOptions
-parallelFromEnv()
-{
-    const char *env = std::getenv("BDS_THREADS");
-    bds::ParallelOptions par;
-    if (env)
-        par.threads =
-            static_cast<unsigned>(envUint("BDS_THREADS", env));
-    return par;
-}
-
-/** Sampling knobs from BDS_SAMPLE / BDS_SAMPLE_* (defaults apply). */
-inline bds::SamplingOptions
-samplingFromEnv()
-{
-    bds::SamplingOptions s;
-    if (const char *v = std::getenv("BDS_SAMPLE"))
-        s.enabled = envUint("BDS_SAMPLE", v) != 0;
-    if (const char *v = std::getenv("BDS_SAMPLE_INTERVAL")) {
-        s.intervalUops = envUint("BDS_SAMPLE_INTERVAL", v);
-        if (s.intervalUops == 0)
-            BDS_FATAL("BDS_SAMPLE_INTERVAL must be positive");
-    }
-    if (const char *v = std::getenv("BDS_SAMPLE_BBV")) {
-        s.bbvDims = envUint("BDS_SAMPLE_BBV", v);
-        if (s.bbvDims == 0)
-            BDS_FATAL("BDS_SAMPLE_BBV must be positive");
-    }
-    if (const char *v = std::getenv("BDS_SAMPLE_KMAX")) {
-        s.kMax = envUint("BDS_SAMPLE_KMAX", v);
-        if (s.kMax == 0)
-            BDS_FATAL("BDS_SAMPLE_KMAX must be positive");
-    }
-    if (const char *v = std::getenv("BDS_SAMPLE_WARMUP"))
-        s.warmupIntervals =
-            static_cast<unsigned>(envUint("BDS_SAMPLE_WARMUP", v));
-    if (const char *v = std::getenv("BDS_SAMPLE_SEED"))
-        s.seed = envUint("BDS_SAMPLE_SEED", v);
-    return s;
+    return bds::RunConfig::resolve(tool, argc, argv);
 }
 
 /**
@@ -171,41 +91,53 @@ loadMetricsCsv(const std::string &path, std::vector<std::string> &names,
     }
 }
 
+/** The cache file a configuration characterizes into. */
+inline std::string
+metricsCachePath(const bds::RunConfig &cfg)
+{
+    return "bds_metrics_" + cfg.scaleName + "_"
+        + std::to_string(cfg.seed)
+        + (cfg.sampling.enabled ? "_sampled" : "") + ".csv";
+}
+
 /**
  * Characterize the 32 workloads (or load the cached matrix) and run
- * the paper's pipeline over it. With BDS_SAMPLE=1 the matrix comes
- * from the sampled-simulation path (src/sample) and is cached under a
- * distinct name, so any figure/table bench can run off sampled
- * metrics side by side with its full-run cache.
+ * the paper's pipeline over it, under the session's configuration.
+ * With sampling enabled the matrix comes from the sampled-simulation
+ * path (src/sample) and is cached under a distinct name, so any
+ * figure/table bench can run off sampled metrics side by side with
+ * its full-run cache. The cache file and per-stage wall-clocks are
+ * recorded on the session's manifest.
  */
 inline bds::PipelineResult
-characterizedPipeline()
+characterizedPipeline(bds::Session &session)
 {
-    std::string scale_name;
-    bds::ScaleProfile scale = scaleFromEnv(&scale_name);
-    std::uint64_t seed = seedFromEnv();
-    bds::ParallelOptions par = parallelFromEnv();
-    bds::SamplingOptions sampling = samplingFromEnv();
-    std::string cache = "bds_metrics_" + scale_name + "_"
-        + std::to_string(seed)
-        + (sampling.enabled ? "_sampled" : "") + ".csv";
+    const bds::RunConfig &cfg = session.config();
+    bds::ScaleProfile scale = bds::ScaleProfile::byName(cfg.scaleName);
+    std::string cache = metricsCachePath(cfg);
 
     std::vector<std::string> names;
     bds::Matrix metrics;
+    auto acquire_start = std::chrono::steady_clock::now();
+    auto acquireSeconds = [acquire_start] {
+        return std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - acquire_start).count();
+    };
     if (loadMetricsCsv(cache, names, metrics)) {
         std::cerr << "[bench] loaded cached metrics from " << cache
                   << '\n';
+        session.recordStage("load-cache", acquireSeconds());
     } else {
         std::cerr << "[bench] characterizing 32 workloads at scale '"
-                  << scale_name << "' on " << par.resolved()
-                  << " thread(s)"
-                  << (sampling.enabled ? ", sampled" : "")
+                  << cfg.scaleName << "' on "
+                  << cfg.parallel.resolved() << " thread(s)"
+                  << (cfg.sampling.enabled ? ", sampled" : "")
                   << " (cache: " << cache << ")\n";
         bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                                   seed);
-        runner.setParallel(par);
-        if (sampling.enabled) {
-            bds::SampledCharacterizer sampler(runner, sampling);
+                                   cfg.seed);
+        runner.setParallel(cfg.parallel);
+        if (cfg.sampling.enabled) {
+            bds::SampledCharacterizer sampler(runner, cfg.sampling);
             metrics = sampler.runAll();
         } else {
             bds::SweepTiming timing;
@@ -222,11 +154,13 @@ characterizedPipeline()
         tmp.rawMetrics = metrics;
         std::ofstream out(cache);
         bds::writeMetricsCsv(out, tmp);
+        session.recordStage("characterize", acquireSeconds());
     }
-    bds::PipelineOptions opts;
-    opts.parallel = par;
-    opts.sampling = sampling;
-    return bds::runPipeline(metrics, names, opts);
+    session.noteArtifact(cache);
+
+    bds::StageTimer stage(session, "analyze");
+    return bds::runPipeline(metrics, names,
+                            bds::pipelineOptionsFor(cfg));
 }
 
 } // namespace bdsbench

@@ -9,14 +9,18 @@
 #include <iostream>
 
 #include "core/report.h"
+#include "obs/session.h"
 #include "workloads/registry.h"
+#include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
+    Session session(bdsbench::benchConfig("cpi_stack", argc, argv));
     WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(), 42);
+                          ScaleProfile::quick(),
+                          session.config().seed);
 
     std::cout << "CPI stacks (quick scale) — cycle shares per "
                  "workload\n\n";

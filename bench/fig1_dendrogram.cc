@@ -10,9 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig1_dendrogram", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     bds::writeDendrogramReport(std::cout, res);
     std::cout << '\n';
     bds::writeSimilarityObservations(std::cout, res);

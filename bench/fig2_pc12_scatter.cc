@@ -10,9 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig2_pc12_scatter", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     bds::writePcaSummary(std::cout, res);
     std::cout << "\nFigure 2 — PC1/PC2 scatter\n";
     bds::writeScatterReport(std::cout, res, 0, 1);

@@ -8,9 +8,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig3_pc34_scatter", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     if (res.pca.numComponents < 4) {
         std::cout << "fewer than four PCs retained; nothing to plot\n";
         return 0;

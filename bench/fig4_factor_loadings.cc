@@ -9,9 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig4_factor_loadings", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     bds::writePcaSummary(std::cout, res);
     std::cout << "\nFigure 4 — factor loadings (CSV)\n";
     bds::writeLoadingsReport(std::cout, res, 4);

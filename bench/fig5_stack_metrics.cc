@@ -9,9 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig5_stack_metrics", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     std::cout << "Figure 5 — metrics causing Hadoop and Spark to "
                  "behave differently\n\n";
     bds::writeStackDifferentiationReport(std::cout, res);

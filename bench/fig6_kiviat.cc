@@ -9,9 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("fig6_kiviat", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     // The paper selects seven representatives; use its K for the
     // Kiviat view (the BIC-selected clustering is in table4's bench).
     bds::writeKiviatReport(std::cout, res, 7);

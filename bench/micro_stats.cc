@@ -15,6 +15,8 @@
 #include "stats/pca.h"
 #include "stats/silhouette.h"
 
+#include "obs/session.h"
+
 namespace {
 
 bds::Matrix
@@ -106,4 +108,17 @@ BENCHMARK(BM_Silhouette);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark owns the command line, so RunConfig reads the
+    // BDS_* environment only (tracing, manifest) and --benchmark_*
+    // flags pass through untouched.
+    bds::Session session(bds::RunConfig::resolve("micro_stats"));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,6 +11,8 @@
 #include "trace/runtime.h"
 #include "uarch/system.h"
 
+#include "obs/session.h"
+
 namespace {
 
 void
@@ -122,4 +124,17 @@ BENCHMARK(BM_SystemMixedOps);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark owns the command line, so RunConfig reads the
+    // BDS_* environment only (tracing, manifest) and --benchmark_*
+    // flags pass through untouched.
+    bds::Session session(bds::RunConfig::resolve("micro_uarch"));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * obs_check — validate run-observability artifacts.
+ *
+ * CI runs a traced characterize_suite and then this checker over the
+ * manifest and trace it produced:
+ *
+ *   obs_check --manifest characterize_suite.manifest.json \
+ *             --trace characterize_suite.trace.jsonl \
+ *             --require-span workload.run:32 \
+ *             --require-span bic.k:14
+ *
+ * Exits 0 when every given artifact is structurally valid and every
+ * --require-span NAME:MINCOUNT is satisfied by the trace; prints each
+ * violation to stderr and exits 1 otherwise. See docs/OBSERVABILITY.md
+ * for the event grammar the trace checker enforces.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/check.h"
+#include "obs/runconfig.h"
+
+namespace {
+
+struct SpanRequirement
+{
+    std::string name;
+    std::uint64_t minCount = 1;
+};
+
+/** Parse "NAME:MINCOUNT" (the count defaults to 1). */
+SpanRequirement
+parseRequirement(const std::string &arg)
+{
+    SpanRequirement req;
+    std::string::size_type colon = arg.rfind(':');
+    if (colon == std::string::npos) {
+        req.name = arg;
+        return req;
+    }
+    req.name = arg.substr(0, colon);
+    req.minCount = bds::detail::parseUint("--require-span count",
+                                          arg.substr(colon + 1));
+    if (req.name.empty())
+        BDS_FATAL("--require-span needs a span name, got '" << arg
+                  << "'");
+    return req;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: obs_check [--manifest FILE] [--trace FILE]\n"
+          "                 [--require-span NAME[:MINCOUNT]]...\n"
+          "\n"
+          "Validates a bds run manifest and/or JSON-lines trace.\n"
+          "--require-span asserts the trace holds at least MINCOUNT\n"
+          "completed spans of NAME (default 1). Exit 0 = all valid.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string manifest_path, trace_path;
+    std::vector<SpanRequirement> requirements;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size())
+                BDS_FATAL(flag << " needs a value");
+            return args[++i];
+        };
+        if (args[i] == "--help" || args[i] == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (args[i] == "--manifest") {
+            manifest_path = value("--manifest");
+        } else if (args[i] == "--trace") {
+            trace_path = value("--trace");
+        } else if (args[i] == "--require-span") {
+            requirements.push_back(
+                parseRequirement(value("--require-span")));
+        } else {
+            std::cerr << "obs_check: unknown argument '" << args[i]
+                      << "'\n";
+            usage(std::cerr);
+            return 1;
+        }
+    }
+    if (manifest_path.empty() && trace_path.empty()) {
+        usage(std::cerr);
+        return 1;
+    }
+    if (!requirements.empty() && trace_path.empty())
+        BDS_FATAL("--require-span needs --trace");
+
+    std::size_t violations = 0;
+    auto report = [&](const std::string &what,
+                      const std::vector<std::string> &errors) {
+        if (errors.empty()) {
+            std::cerr << "[obs_check] " << what << ": OK\n";
+            return;
+        }
+        for (const std::string &e : errors)
+            std::cerr << "[obs_check] " << what << ": " << e << "\n";
+        violations += errors.size();
+    };
+
+    if (!manifest_path.empty())
+        report("manifest " + manifest_path,
+               bds::checkManifestFile(manifest_path));
+
+    if (!trace_path.empty()) {
+        bds::TraceCheckResult res = bds::checkTraceFile(trace_path);
+        std::vector<std::string> errors = res.errors;
+        for (const SpanRequirement &req : requirements) {
+            auto it = res.spanCounts.find(req.name);
+            std::uint64_t have =
+                it == res.spanCounts.end() ? 0 : it->second;
+            if (have < req.minCount)
+                errors.push_back("span '" + req.name + "': have "
+                                 + std::to_string(have) + ", need >= "
+                                 + std::to_string(req.minCount));
+        }
+        report("trace " + trace_path + " ("
+               + std::to_string(res.events) + " events)", errors);
+    }
+
+    return violations == 0 ? 0 : 1;
+}

@@ -51,14 +51,15 @@ writeTimingJson(std::ostream &os, const char *key,
 
 /** Time serial vs parallel runAll() and write the JSON baseline. */
 void
-recordParallelBaseline()
+recordParallelBaseline(bds::Session &session)
 {
-    const std::uint64_t seed = bdsbench::seedFromEnv();
+    const bds::RunConfig &cfg = session.config();
+    const std::uint64_t seed = cfg.seed;
     // Quick scale keeps the doubled sweep cheap; relative speedup is
     // what the baseline tracks, not absolute simulation time.
     const bds::ScaleProfile scale = bds::ScaleProfile::quick();
     unsigned hw = bds::ParallelOptions{}.resolved();
-    unsigned par_threads = bdsbench::parallelFromEnv().resolved();
+    unsigned par_threads = cfg.parallel.resolved();
 
     std::cerr << "[bench] timing 32-workload sweep: serial vs "
               << par_threads << " thread(s)\n";
@@ -79,6 +80,7 @@ recordParallelBaseline()
     os << ",\n";
     writeTimingJson(os, "parallel", parallel, "  ");
     os << ",\n  \"speedup\": " << speedup << "\n}\n";
+    session.noteArtifact("BENCH_parallel_runall.json");
 
     std::cout << "\nparallel runAll baseline: serial "
               << serial.totalSeconds << " s, " << parallel.threads
@@ -94,19 +96,18 @@ recordParallelBaseline()
  * row keeps the headline numbers on the scorecard.
  */
 void
-checkSampledAccuracy()
+checkSampledAccuracy(bds::Session &session)
 {
-    const std::uint64_t seed = bdsbench::seedFromEnv();
+    const bds::RunConfig &cfg = session.config();
     const bds::ScaleProfile scale = bds::ScaleProfile::quick();
     bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                               seed);
-    runner.setParallel(bdsbench::parallelFromEnv());
+                               cfg.seed);
+    runner.setParallel(cfg.parallel);
 
     std::cerr << "[bench] sampled-vs-full spot check at quick scale\n";
     std::vector<bds::WorkloadResult> full;
     runner.runAll(&full);
-    bds::SampledCharacterizer sampler(runner,
-                                      bdsbench::samplingFromEnv());
+    bds::SampledCharacterizer sampler(runner, cfg.sampling);
     std::vector<bds::SampledWorkloadResult> sampled;
     sampler.runAll(&sampled);
 
@@ -133,9 +134,11 @@ checkSampledAccuracy()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(
+        bdsbench::benchConfig("repro_scorecard", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     std::cout << "Reproduction scorecard — paper claims vs this run\n\n";
     auto findings = bds::evaluatePaperFindings(res);
     std::size_t failed = bds::writeFindingsReport(std::cout, findings);
@@ -145,7 +148,7 @@ main()
     std::cout << (failed == 0 ? "\nall findings reproduced\n"
                               : "\nsee EXPERIMENTS.md for the "
                                 "documented deviations\n");
-    recordParallelBaseline();
-    checkSampledAccuracy();
+    recordParallelBaseline(session);
+    checkSampledAccuracy(session);
     return 0;
 }

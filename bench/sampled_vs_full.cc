@@ -41,13 +41,16 @@ q(const std::string &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::string scale_name;
-    bds::ScaleProfile scale = bdsbench::scaleFromEnv(&scale_name);
-    std::uint64_t seed = bdsbench::seedFromEnv();
-    bds::ParallelOptions par = bdsbench::parallelFromEnv();
-    bds::SamplingOptions sampling = bdsbench::samplingFromEnv();
+    bds::Session session(
+        bdsbench::benchConfig("sampled_vs_full", argc, argv));
+    const bds::RunConfig &cfg = session.config();
+    const std::string &scale_name = cfg.scaleName;
+    bds::ScaleProfile scale = bds::ScaleProfile::byName(scale_name);
+    std::uint64_t seed = cfg.seed;
+    bds::ParallelOptions par = cfg.parallel;
+    bds::SamplingOptions sampling = cfg.sampling;
     sampling.enabled = true; // this bench always runs both paths
 
     bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
@@ -200,6 +203,7 @@ main()
     for (std::size_t i = 0; i < flipped.size(); ++i)
         os << (i ? ", " : "") << q(flipped[i]);
     os << "]}\n}\n";
+    session.noteArtifact("BENCH_sampled.json");
     std::cout << "\n-> BENCH_sampled.json\n";
 
     // The sampling contract: at least 5x fewer detail-simulated ops

@@ -10,10 +10,12 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::string scale_name;
-    bds::ScaleProfile scale = bdsbench::scaleFromEnv(&scale_name);
+    bds::Session session(
+        bdsbench::benchConfig("table1_workloads", argc, argv));
+    const std::string &scale_name = session.config().scaleName;
+    bds::ScaleProfile scale = bds::ScaleProfile::byName(scale_name);
 
     std::cout << "Table I — representative data analysis workloads "
                  "(scale '" << scale_name << "', unit = "

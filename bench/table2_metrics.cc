@@ -11,12 +11,15 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
 
+    Session session(
+        bdsbench::benchConfig("table2_metrics", argc, argv));
     WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(), bdsbench::seedFromEnv());
+                          ScaleProfile::quick(),
+                          session.config().seed);
     auto h = runner.run(
         WorkloadId{Algorithm::WordCount, StackKind::Hadoop});
     auto s = runner.run(

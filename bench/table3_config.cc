@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "uarch/config.h"
+#include "bench_common.h"
 
 namespace {
 
@@ -58,8 +59,10 @@ print(const char *title, const bds::NodeConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bds::Session session(
+        bdsbench::benchConfig("table3_config", argc, argv));
     std::cout << "Table III — hardware configuration of the simulated "
                  "node\n\n";
     print("paper configuration (one E5645 socket):",

@@ -9,9 +9,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("table4_kmeans_bic", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     std::cout << "Table IV — K-means clustering with BIC selection\n\n";
     bds::writeClusterReport(std::cout, res);
     return 0;

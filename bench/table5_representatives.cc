@@ -10,9 +10,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto res = bdsbench::characterizedPipeline();
+    bds::Session session(bdsbench::benchConfig("table5_representatives", argc, argv));
+    auto res = bdsbench::characterizedPipeline(session);
     std::cout << "at the BIC-selected K:\n";
     bds::writeRepresentativesReport(std::cout, res);
     std::cout << "at the paper's K = 7:\n";

@@ -12,13 +12,14 @@
  * "sampled" as a trailing argument to run the sampled-simulation
  * path side by side with the full sweep and see how closely the
  * estimated metrics track the detailed ones (docs/SAMPLING.md).
+ * The common flags and BDS_* environment knobs work too — see
+ * --help and examples/common.h.
  *
  * `characterize_suite --list-metrics` prints the Table II metric
  * schema — name, unit kind, derivation, and description — straight
  * from src/metrics (docs/METRICS.md) and exits.
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,12 +29,13 @@
 #include "metrics/schema.h"
 #include "sample/characterizer.h"
 #include "workloads/registry.h"
+#include "common.h"
 
 namespace {
 
 /** Print the metric schema as an aligned table and exit. */
 int
-listMetrics()
+listMetrics(std::ostream &os)
 {
     bds::TextTable t({"#", "NAME", "UNIT", "DERIVATION",
                       "DESCRIPTION"});
@@ -42,10 +44,10 @@ listMetrics()
                       static_cast<std::size_t>(spec.id) + 1),
                   spec.name, bds::unitKindName(spec.unit),
                   bds::metricFormula(spec), spec.description});
-    t.print(std::cout);
-    std::cout << '\n' << t.rows()
-              << " metrics (the paper's Table II); pass any subset "
-                 "of the NAME column to MetricSet::fromNames().\n";
+    t.print(os);
+    os << '\n' << t.rows()
+       << " metrics (the paper's Table II); pass any subset "
+          "of the NAME column to MetricSet::fromNames().\n";
     return 0;
 }
 
@@ -56,74 +58,100 @@ main(int argc, char **argv)
 {
     using namespace bds;
 
-    bool sampled = false;
-    std::vector<std::string> args(argv + 1, argv + argc);
-    for (auto it = args.begin(); it != args.end();)
-        if (*it == "sampled") {
-            sampled = true;
-            it = args.erase(it);
-        } else if (*it == "--list-metrics") {
-            return listMetrics();
-        } else {
-            ++it;
+    const bdsex::ExampleSpec spec{
+        "characterize_suite",
+        "Characterize the 32-workload suite and print the paper's "
+        "similarity analysis.",
+        "[quick|standard|full] [threads] [sampled]",
+        "Pass --list-metrics to print the Table II metric schema and "
+        "exit."};
+
+    return bdsex::runExample(spec, argc, argv, [](
+        RunConfig cfg, std::vector<std::string> args,
+        bdsex::ExampleIo &io) -> int {
+
+        // Legacy positional interface: a scale word, a numeric thread
+        // count, and the word "sampled", in any order after the scale.
+        for (auto it = args.begin(); it != args.end();)
+            if (*it == "sampled") {
+                cfg.sampling.enabled = true;
+                it = args.erase(it);
+            } else if (*it == "--list-metrics") {
+                return listMetrics(io.out);
+            } else {
+                ++it;
+            }
+        if (!args.empty())
+            cfg.scaleName = args[0];
+        if (args.size() > 1)
+            cfg.parallel.threads = static_cast<unsigned>(
+                detail::parseUint("threads", args[1]));
+
+        Session session(cfg);
+        ScaleProfile scale = ScaleProfile::byName(cfg.scaleName);
+
+        // 1. Measure: 45 metrics per workload on a simulated node;
+        //    the sweep fans out one pool task per workload.
+        std::cerr << "characterizing 32 workloads at scale '"
+                  << cfg.scaleName << "' on "
+                  << cfg.parallel.resolved() << " thread(s)...\n";
+        WorkloadRunner runner(NodeConfig::defaultSim(), scale,
+                              cfg.seed);
+        runner.setParallel(cfg.parallel);
+        Matrix metrics;
+        {
+            StageTimer stage(session, "characterize");
+            SweepTiming timing;
+            metrics = runner.runAll(nullptr, &timing);
+            std::cerr << "swept the suite in " << timing.totalSeconds
+                      << " s\n";
+        }
+        std::vector<std::string> names;
+        for (const auto &id : allWorkloads())
+            names.push_back(id.name());
+
+        // 1b. Optional: the sampled path next to the full sweep. The
+        //     SampledCharacterizer replays only representative
+        //     intervals in detail; the pipeline below then runs on
+        //     its estimated matrix instead of the measured one.
+        if (cfg.sampling.enabled) {
+            StageTimer stage(session, "sample");
+            SampledCharacterizer sampler(runner, cfg.sampling);
+            std::vector<SampledWorkloadResult> details;
+            Matrix estimated = sampler.runAll(&details);
+            std::uint64_t total = 0, detail_ops = 0;
+            for (const auto &d : details) {
+                total += d.stats.totalOps;
+                detail_ops += d.stats.detailOps;
+            }
+            std::cerr << "sampled sweep: " << total
+                      << " uops recorded, " << detail_ops
+                      << " simulated in detail ("
+                      << (detail_ops
+                          ? static_cast<double>(total) / detail_ops
+                          : 0)
+                      << "x reduction)\n";
+            metrics = estimated;
         }
 
-    std::string scale_name = !args.empty() ? args[0] : "quick";
-    ScaleProfile scale = scale_name == "full" ? ScaleProfile::full()
-        : scale_name == "standard"            ? ScaleProfile::standard()
-                                              : ScaleProfile::quick();
-    ParallelOptions par;
-    if (args.size() > 1)
-        par.threads = static_cast<unsigned>(
-            std::strtoul(args[1].c_str(), nullptr, 10));
-
-    // 1. Measure: 45 metrics per workload on a simulated node; the
-    //    sweep fans out one pool task per workload.
-    std::cout << "characterizing 32 workloads at scale '" << scale_name
-              << "' on " << par.resolved() << " thread(s)...\n";
-    WorkloadRunner runner(NodeConfig::defaultSim(), scale, 42);
-    runner.setParallel(par);
-    SweepTiming timing;
-    Matrix metrics = runner.runAll(nullptr, &timing);
-    std::cout << "swept the suite in " << timing.totalSeconds
-              << " s\n";
-    std::vector<std::string> names;
-    for (const auto &id : allWorkloads())
-        names.push_back(id.name());
-
-    // 1b. Optional: the sampled path next to the full sweep. The
-    //     SampledCharacterizer replays only representative intervals
-    //     in detail; the pipeline below then runs on its estimated
-    //     matrix instead of the measured one.
-    PipelineOptions opts;
-    opts.parallel = par;
-    opts.sampling.enabled = sampled;
-    if (sampled) {
-        SampledCharacterizer sampler(runner, opts.sampling);
-        std::vector<SampledWorkloadResult> details;
-        Matrix estimated = sampler.runAll(&details);
-        std::uint64_t total = 0, detail = 0;
-        for (const auto &d : details) {
-            total += d.stats.totalOps;
-            detail += d.stats.detailOps;
+        // 2. Analyze: z-score -> PCA (Kaiser) -> single-linkage
+        //    clustering -> BIC-selected K-means (the K sweep reuses
+        //    the same thread budget).
+        PipelineResult res;
+        {
+            StageTimer stage(session, "analyze");
+            res = runPipeline(metrics, names, pipelineOptionsFor(cfg));
         }
-        std::cout << "sampled sweep: " << total << " uops recorded, "
-                  << detail << " simulated in detail ("
-                  << (detail ? static_cast<double>(total) / detail : 0)
-                  << "x reduction)\n";
-        metrics = estimated;
-    }
 
-    // 2. Analyze: z-score -> PCA (Kaiser) -> single-linkage
-    //    clustering -> BIC-selected K-means (the K sweep reuses the
-    //    same thread budget).
-    PipelineResult res = runPipeline(metrics, names, opts);
-
-    // 3. Report.
-    writePcaSummary(std::cout, res);
-    std::cout << '\n' << res.dendrogram.renderAscii(res.names) << '\n';
-    writeSimilarityObservations(std::cout, res);
-    std::cout << '\n';
-    writeStackDifferentiationReport(std::cout, res);
-    return 0;
+        // 3. Report.
+        writePcaSummary(io.out, res);
+        io.out << '\n' << res.dendrogram.renderAscii(res.names)
+               << '\n';
+        writeSimilarityObservations(io.out, res);
+        io.out << '\n';
+        writeStackDifferentiationReport(io.out, res);
+        if (!io.outputPath.empty())
+            session.noteArtifact(io.outputPath);
+        return 0;
+    });
 }

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared example plumbing: usage/help text, RunConfig resolution,
+ * output-path handling, and uniform error reporting — so each
+ * example's main() is only the parts specific to its lesson.
+ *
+ * Every example accepts the common flag set (src/obs/runconfig.h):
+ * --scale/--seed/--threads/--metrics/--sampled, the observability
+ * knobs --trace/--trace-file/--manifest/--no-manifest, plus --help
+ * and --output FILE (write the report to FILE instead of stdout).
+ * The BDS_* environment configures the same knobs; flags win.
+ *
+ * Reports and tables go to stdout (or --output); all progress and
+ * diagnostic text goes to stderr, so piping an example's output into
+ * a file or parser stays clean.
+ */
+
+#ifndef BDS_EXAMPLES_COMMON_H
+#define BDS_EXAMPLES_COMMON_H
+
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/runconfig.h"
+#include "obs/session.h"
+
+namespace bdsex {
+
+/** Static description of one example binary (for --help). */
+struct ExampleSpec
+{
+    /** Binary name, also the RunConfig tool name. */
+    const char *tool;
+
+    /** One-line summary shown at the top of --help. */
+    const char *oneLiner;
+
+    /** Positional-argument synopsis, e.g. "[scale] [threads]". */
+    const char *positionals = "";
+
+    /** Extra help paragraph (may be multi-line); "" for none. */
+    const char *notes = "";
+};
+
+/** Where the example's report goes. */
+struct ExampleIo
+{
+    /** Report sink: std::cout, or the --output file. */
+    std::ostream &out;
+
+    /** The --output path; empty when writing to stdout. */
+    std::string outputPath;
+};
+
+inline void
+printUsage(const ExampleSpec &spec, std::ostream &os)
+{
+    os << "usage: " << spec.tool << " [options]";
+    if (spec.positionals[0] != '\0')
+        os << ' ' << spec.positionals;
+    os << "\n\n" << spec.oneLiner << "\n";
+    if (spec.notes[0] != '\0')
+        os << "\n" << spec.notes << "\n";
+    os << "\ncommon options (flags win over the BDS_* environment):\n"
+          "  --scale quick|standard|full  workload input scale\n"
+          "  --seed N                     data-generation seed\n"
+          "  --threads N                  worker threads (0 = all "
+          "cores)\n"
+          "  --metrics a,b,c              analyze a Table II subset\n"
+          "  --sampled                    sampled characterization\n"
+          "  --trace [--trace-file F]     JSON-lines tracing "
+          "(docs/OBSERVABILITY.md)\n"
+          "  --manifest F | --no-manifest run-manifest emission\n"
+          "  --output F, -o F             write the report to F\n"
+          "  --help, -h                   this text\n";
+}
+
+/**
+ * Resolve the command line and run the example body with uniform
+ * error handling.
+ *
+ * The RunConfig starts from the example defaults (quick scale — every
+ * example is a seconds-long demo), overlays the BDS_* environment,
+ * then the flags. --help prints usage and exits 0; --output redirects
+ * the report stream handed to the body. Leftover positionals are
+ * passed through for the example to interpret; fatal errors (bad
+ * knobs, failed runs) print to stderr and exit 1.
+ *
+ * The body constructs its own bds::Session from the config (after
+ * applying any positional overrides), so the manifest reflects what
+ * actually ran.
+ */
+inline int
+runExample(const ExampleSpec &spec, int argc, char **argv,
+           const std::function<int(bds::RunConfig,
+                                   std::vector<std::string>,
+                                   ExampleIo &)> &body)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &a : args)
+        if (a == "--help" || a == "-h") {
+            printUsage(spec, std::cout);
+            return 0;
+        }
+
+    try {
+        bds::RunConfig cfg;
+        cfg.tool = spec.tool;
+        cfg.scaleName = "quick";
+        cfg.argv.assign(argv, argv + argc);
+        cfg.applyEnv();
+        std::vector<std::string> leftovers = cfg.applyArgs(args);
+
+        std::string output_path;
+        for (auto it = leftovers.begin(); it != leftovers.end();) {
+            if (*it == "--output" || *it == "-o") {
+                if (it + 1 == leftovers.end())
+                    BDS_FATAL(*it << " needs a path");
+                it = leftovers.erase(it);
+                output_path = *it;
+                it = leftovers.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (output_path.empty()) {
+            ExampleIo io{std::cout, ""};
+            return body(std::move(cfg), std::move(leftovers), io);
+        }
+        std::ofstream file(output_path);
+        if (!file)
+            BDS_FATAL("cannot open --output file '" << output_path
+                      << "'");
+        ExampleIo io{file, output_path};
+        return body(std::move(cfg), std::move(leftovers), io);
+    } catch (const bds::FatalError &e) {
+        std::cerr << spec.tool << ": " << e.what() << "\n";
+        return 1;
+    } catch (const bds::PanicError &e) {
+        std::cerr << spec.tool << ": internal error: " << e.what()
+                  << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << spec.tool << ": " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace bdsex
+
+#endif // BDS_EXAMPLES_COMMON_H

@@ -14,6 +14,7 @@
 
 #include "common/table.h"
 #include "core/analysis.h"
+#include "common.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "uarch/system.h"
@@ -81,21 +82,37 @@ measure(StackKind stack)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
 
-    // Stock suite at quick scale.
-    std::cout << "characterizing the stock 32 workloads...\n";
+    const bdsex::ExampleSpec spec{
+        "custom_workload",
+        "Extend the suite with a user-defined inverted-index workload "
+        "and place it in the paper's PC space."};
+
+    return bdsex::runExample(spec, argc, argv, [](
+        RunConfig cfg, std::vector<std::string> args,
+        bdsex::ExampleIo &io) -> int {
+    if (!args.empty())
+        BDS_FATAL("custom_workload takes no positional arguments, "
+                  "got '" << args[0] << "'");
+    Session session(cfg);
+
+    // Stock suite (quick scale by default).
+    std::cerr << "characterizing the stock 32 workloads...\n";
     WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(), 42);
+                          ScaleProfile::byName(cfg.scaleName),
+                          cfg.seed);
+    runner.setParallel(cfg.parallel);
+    StageTimer stage(session, "run");
     Matrix stock = runner.runAll();
     std::vector<std::string> names;
     for (const auto &id : allWorkloads())
         names.push_back(id.name());
 
     // The custom workload on both stacks.
-    std::cout << "running the custom InvertedIndex workload...\n";
+    std::cerr << "running the custom InvertedIndex workload...\n";
     MetricVector h = measure(StackKind::Hadoop);
     MetricVector s = measure(StackKind::Spark);
 
@@ -128,12 +145,15 @@ main()
         }
         t.addRow({names[row], names[arg], fmtDouble(best, 3)});
     }
-    t.print(std::cout);
+    t.print(io.out);
 
-    std::cout << "\nIf the neighbours are same-stack workloads (they "
-                 "are, at any scale we\ntested), the new algorithm "
-                 "inherits its stack's behavior — more evidence\nfor "
-                 "the paper's conclusion that benchmarks must vary the "
-                 "stack, not just\nthe algorithm.\n";
+    io.out << "\nIf the neighbours are same-stack workloads (they "
+              "are, at any scale we\ntested), the new algorithm "
+              "inherits its stack's behavior — more evidence\nfor "
+              "the paper's conclusion that benchmarks must vary the "
+              "stack, not just\nthe algorithm.\n";
+    if (!io.outputPath.empty())
+        session.noteArtifact(io.outputPath);
     return 0;
+    });
 }

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "core/csvio.h"
 #include "core/report.h"
+#include "common.h"
 
 namespace {
 
@@ -58,32 +59,52 @@ writeDemoCsv(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    std::string path = argc > 1 ? argv[1] : "demo_metrics.csv";
-    if (argc <= 1) {
+    const bdsex::ExampleSpec spec{
+        "external_data",
+        "Run the analysis pipeline on externally measured metrics.",
+        "[metrics.csv]",
+        "With no argument a demo CSV is generated and analyzed."};
+
+    return bdsex::runExample(spec, argc, argv, [](
+        bds::RunConfig cfg, std::vector<std::string> args,
+        bdsex::ExampleIo &io) -> int {
+    if (args.size() > 1)
+        BDS_FATAL("external_data takes at most one CSV path, got '"
+                  << args[1] << "'");
+    bds::Session session(cfg);
+
+    std::string path = !args.empty() ? args[0] : "demo_metrics.csv";
+    if (args.empty()) {
         writeDemoCsv(path);
-        std::cout << "wrote demo measurements to " << path << "\n\n";
+        std::cerr << "wrote demo measurements to " << path << "\n";
+        session.noteArtifact(path);
     }
 
     bds::MetricTable table = bds::readMetricsCsvFile(path);
     const std::vector<std::string> &names = table.names;
     const bds::Matrix &metrics = table.values;
 
-    std::cout << "analyzing " << names.size() << " workloads x "
-              << metrics.cols() << " metrics from " << path << "\n\n";
+    std::cerr << "analyzing " << names.size() << " workloads x "
+              << metrics.cols() << " metrics from " << path << "\n";
     // External columns are not schema metrics; hand the pipeline the
     // CSV's own header so reports label loadings by real names.
+    bds::StageTimer stage(session, "analyze");
     bds::PipelineOptions opts;
+    opts.parallel = cfg.parallel;
     opts.columnLabels = table.columns;
     auto res = bds::runPipeline(metrics, names, opts);
-    bds::writePcaSummary(std::cout, res);
-    std::cout << '\n' << res.dendrogram.renderAscii(res.names) << '\n';
-    bds::writeSimilarityObservations(std::cout, res);
+    bds::writePcaSummary(io.out, res);
+    io.out << '\n' << res.dendrogram.renderAscii(res.names) << '\n';
+    bds::writeSimilarityObservations(io.out, res);
 
     auto subset = bds::selectRepresentatives(
         res, bds::RepresentativeStrategy::FarthestFromCentroid);
-    std::cout << "\nrepresentative subset:";
+    io.out << "\nrepresentative subset:";
     for (std::size_t rep : subset.representatives)
-        std::cout << ' ' << names[rep];
-    std::cout << '\n';
+        io.out << ' ' << names[rep];
+    io.out << '\n';
+    if (!io.outputPath.empty())
+        session.noteArtifact(io.outputPath);
     return 0;
+    });
 }

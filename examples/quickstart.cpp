@@ -13,45 +13,65 @@
 
 #include "common/table.h"
 #include "workloads/registry.h"
+#include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
 
-    // A simulated Westmere-style node (Table III geometry) and the
-    // quick input scale: each run takes well under a second. The
-    // runner uses every core by default; results are identical at
-    // any thread count (docs/THREADING.md), so pick threads purely
-    // for wall clock — {1} pins everything serial.
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(), /*seed=*/42);
-    runner.setParallel({0}); // 0 = all cores (the default)
+    const bdsex::ExampleSpec spec{
+        "quickstart",
+        "Run WordCount and Sort on both stacks and compare their "
+        "microarchitectural metrics."};
 
-    // Same algorithm, different stacks — and vice versa.
-    WorkloadId h_wc{Algorithm::WordCount, StackKind::Hadoop};
-    WorkloadId s_wc{Algorithm::WordCount, StackKind::Spark};
-    WorkloadId h_sort{Algorithm::Sort, StackKind::Hadoop};
-    WorkloadId s_sort{Algorithm::Sort, StackKind::Spark};
+    return bdsex::runExample(spec, argc, argv, [](
+        RunConfig cfg, std::vector<std::string> args,
+        bdsex::ExampleIo &io) -> int {
+        if (!args.empty())
+            BDS_FATAL("quickstart takes no positional arguments, got '"
+                      << args[0] << "'");
+        Session session(cfg);
 
-    TextTable t({"workload", "IPC", "L1I MPKI", "L3 MPKI",
-                 "kernel share", "snoop HITM/KI"});
-    for (const WorkloadId &id : {h_wc, s_wc, h_sort, s_sort}) {
-        WorkloadResult res = runner.run(id);
-        auto metric = [&](Metric m) {
-            return res.metrics[static_cast<std::size_t>(m)];
-        };
-        t.addRow({id.name(), fmtDouble(metric(Metric::Ilp), 3),
-                  fmtDouble(metric(Metric::L1iMiss), 2),
-                  fmtDouble(metric(Metric::L3Miss), 2),
-                  fmtDouble(metric(Metric::KernelMode), 3),
-                  fmtDouble(metric(Metric::SnoopHitM), 3)});
-    }
-    t.print(std::cout);
+        // A simulated Westmere-style node (Table III geometry) and
+        // the quick input scale: each run takes well under a second.
+        // The runner uses every core by default; results are
+        // identical at any thread count (docs/THREADING.md), so pick
+        // threads purely for wall clock — --threads 1 pins
+        // everything serial.
+        WorkloadRunner runner(NodeConfig::defaultSim(),
+                              ScaleProfile::byName(cfg.scaleName),
+                              cfg.seed);
+        runner.setParallel(cfg.parallel);
 
-    std::cout << "\nNote how H-WordCount resembles H-Sort more than it "
-                 "resembles S-WordCount:\nthe software stack, not the "
-                 "algorithm, dominates the microarchitectural\n"
-                 "behavior — the paper's headline finding.\n";
-    return 0;
+        // Same algorithm, different stacks — and vice versa.
+        WorkloadId h_wc{Algorithm::WordCount, StackKind::Hadoop};
+        WorkloadId s_wc{Algorithm::WordCount, StackKind::Spark};
+        WorkloadId h_sort{Algorithm::Sort, StackKind::Hadoop};
+        WorkloadId s_sort{Algorithm::Sort, StackKind::Spark};
+
+        StageTimer stage(session, "measure");
+        TextTable t({"workload", "IPC", "L1I MPKI", "L3 MPKI",
+                     "kernel share", "snoop HITM/KI"});
+        for (const WorkloadId &id : {h_wc, s_wc, h_sort, s_sort}) {
+            WorkloadResult res = runner.run(id);
+            auto metric = [&](Metric m) {
+                return res.metrics[static_cast<std::size_t>(m)];
+            };
+            t.addRow({id.name(), fmtDouble(metric(Metric::Ilp), 3),
+                      fmtDouble(metric(Metric::L1iMiss), 2),
+                      fmtDouble(metric(Metric::L3Miss), 2),
+                      fmtDouble(metric(Metric::KernelMode), 3),
+                      fmtDouble(metric(Metric::SnoopHitM), 3)});
+        }
+        t.print(io.out);
+
+        io.out << "\nNote how H-WordCount resembles H-Sort more than "
+                  "it resembles S-WordCount:\nthe software stack, not "
+                  "the algorithm, dominates the microarchitectural\n"
+                  "behavior — the paper's headline finding.\n";
+        if (!io.outputPath.empty())
+            session.noteArtifact(io.outputPath);
+        return 0;
+    });
 }

@@ -11,25 +11,43 @@
 #include "common/table.h"
 #include "core/report.h"
 #include "workloads/registry.h"
+#include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bds;
 
-    ScaleProfile scale = ScaleProfile::quick();
-    WorkloadRunner runner(NodeConfig::defaultSim(), scale, 42);
+    const bdsex::ExampleSpec spec{
+        "subset_selection",
+        "Select representative workload subsets and quantify the "
+        "simulation work they save."};
 
-    std::cout << "characterizing 32 workloads...\n";
+    return bdsex::runExample(spec, argc, argv, [](
+        RunConfig cfg, std::vector<std::string> args,
+        bdsex::ExampleIo &io) -> int {
+    if (!args.empty())
+        BDS_FATAL("subset_selection takes no positional arguments, "
+                  "got '" << args[0] << "'");
+    Session session(cfg);
+
+    WorkloadRunner runner(NodeConfig::defaultSim(),
+                          ScaleProfile::byName(cfg.scaleName),
+                          cfg.seed);
+    runner.setParallel(cfg.parallel);
+
+    std::cerr << "characterizing 32 workloads...\n";
+    StageTimer stage(session, "run");
     std::vector<WorkloadResult> details;
     Matrix metrics = runner.runAll(&details);
     std::vector<std::string> names;
     for (const auto &id : allWorkloads())
         names.push_back(id.name());
 
-    PipelineResult res = runPipeline(metrics, names);
+    PipelineResult res =
+        runPipeline(metrics, names, pipelineOptionsFor(cfg));
 
-    std::cout << "\nBIC-selected K = " << res.bic.bestK() << "\n\n";
+    io.out << "\nBIC-selected K = " << res.bic.bestK() << "\n\n";
 
     std::uint64_t total_instructions = 0;
     for (const auto &d : details)
@@ -42,7 +60,7 @@ main()
         for (std::size_t rep : subset.representatives)
             subset_instructions += details[rep].counters.instructions;
 
-        std::cout << strategyName(strat) << ":\n";
+        io.out << strategyName(strat) << ":\n";
         TextTable t({"representative", "covers", "instructions"});
         for (std::size_t c = 0; c < subset.representatives.size();
              ++c) {
@@ -53,17 +71,20 @@ main()
                       std::to_string(
                           details[rep].counters.instructions)});
         }
-        t.print(std::cout);
+        t.print(io.out);
         double saved = 1.0
             - static_cast<double>(subset_instructions)
                 / static_cast<double>(total_instructions);
-        std::cout << "diversity (max linkage distance): "
-                  << fmtDouble(subset.maxPairwiseLinkage, 2)
-                  << "; simulation work saved: "
-                  << fmtDouble(100.0 * saved, 1) << "%\n\n";
+        io.out << "diversity (max linkage distance): "
+               << fmtDouble(subset.maxPairwiseLinkage, 2)
+               << "; simulation work saved: "
+               << fmtDouble(100.0 * saved, 1) << "%\n\n";
     }
 
-    std::cout << "Kiviat view of the boundary-strategy subset:\n";
-    writeKiviatReport(std::cout, res, 7);
+    io.out << "Kiviat view of the boundary-strategy subset:\n";
+    writeKiviatReport(io.out, res, 7);
+    if (!io.outputPath.empty())
+        session.noteArtifact(io.outputPath);
     return 0;
+    });
 }

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace bds {
 
@@ -63,20 +64,44 @@ runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
     if (metrics.rows() < 3)
         BDS_FATAL("pipeline needs at least three workloads");
 
+    TraceSpan span("pipeline.run");
     PipelineResult res;
     res.names = names;
     res.rawMetrics = metrics;
     resolveMetricSet(res, opts);
-    res.z = zscore(res.rawMetrics);
-    res.pca = pca(res.z.normalized, opts.pca);
-    res.dendrogram = hierarchicalCluster(res.pca.scores, opts.linkage);
-
-    std::size_t k_max = std::min(opts.kMax, metrics.rows() - 1);
-    res.bic = sweepBic(res.pca.scores, opts.kMin, k_max, opts.seed,
-                       opts.kmeans, opts.parallel);
+    {
+        TraceSpan stage("pipeline.zscore");
+        res.z = zscore(res.rawMetrics);
+    }
+    {
+        TraceSpan stage("pipeline.pca");
+        res.pca = pca(res.z.normalized, opts.pca);
+    }
+    {
+        TraceSpan stage("pipeline.hcluster");
+        res.dendrogram =
+            hierarchicalCluster(res.pca.scores, opts.linkage);
+    }
+    {
+        TraceSpan stage("pipeline.bic_sweep");
+        std::size_t k_max = std::min(opts.kMax, metrics.rows() - 1);
+        res.bic = sweepBic(res.pca.scores, opts.kMin, k_max, opts.seed,
+                           opts.kmeans, opts.parallel);
+    }
     if (opts.useFirstLocalBicMax)
         res.bic.bestIndex = res.bic.firstLocalMaxIndex();
     return res;
+}
+
+PipelineOptions
+pipelineOptionsFor(const RunConfig &cfg)
+{
+    PipelineOptions opts;
+    opts.parallel = cfg.parallel;
+    opts.sampling = cfg.sampling;
+    if (!cfg.metricNames.empty())
+        opts.metrics = MetricSet::fromNames(cfg.metricNames);
+    return opts;
 }
 
 } // namespace bds

@@ -18,6 +18,7 @@
 
 #include "common/parallel.h"
 #include "metrics/set.h"
+#include "obs/runconfig.h"
 #include "sample/options.h"
 #include "stats/bic.h"
 #include "stats/hcluster.h"
@@ -142,6 +143,16 @@ struct PipelineResult
 PipelineResult runPipeline(const Matrix &metrics,
                            const std::vector<std::string> &names,
                            const PipelineOptions &opts = {});
+
+/**
+ * Resolve a RunConfig (the unified env/CLI entry point, src/obs)
+ * into PipelineOptions: worker threads, sampling knobs, and the
+ * metric set (cfg.metricNames validated through
+ * MetricSet::fromNames(); empty means the full Table II). The
+ * analysis-internal knobs (linkage, PCA retention, the K-sweep seed)
+ * keep their paper defaults.
+ */
+PipelineOptions pipelineOptionsFor(const RunConfig &cfg);
 
 } // namespace bds
 

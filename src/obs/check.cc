@@ -1,0 +1,186 @@
+#include "obs/check.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace bds {
+
+namespace {
+
+/** Open-span bookkeeping while replaying one thread's events. */
+struct OpenSpan
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t beginUs = 0;
+};
+
+} // namespace
+
+TraceCheckResult
+checkTrace(std::istream &is)
+{
+    TraceCheckResult res;
+    std::map<std::uint64_t, std::vector<OpenSpan>> stacks; // per tid
+    std::map<std::uint64_t, std::uint64_t> lastUs;         // per tid
+    std::map<std::uint64_t, bool> seenIds;
+
+    auto fail = [&](std::size_t lineno, const std::string &why) {
+        res.errors.push_back("line " + std::to_string(lineno) + ": "
+                             + why);
+    };
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty()) {
+            fail(lineno, "empty line");
+            continue;
+        }
+        JsonValue ev;
+        try {
+            ev = parseJson(line);
+        } catch (const FatalError &e) {
+            fail(lineno, e.what());
+            continue;
+        }
+        ++res.events;
+        std::string kind;
+        try {
+            kind = ev.at("ev").asString();
+
+            if (kind == "M")
+                continue;
+
+            std::uint64_t tid = ev.at("tid").asUint();
+            std::uint64_t t_us = ev.at("t_us").asUint();
+            if (t_us < lastUs[tid])
+                fail(lineno, "timestamp not monotonic on tid "
+                                 + std::to_string(tid));
+            lastUs[tid] = t_us;
+
+            if (kind == "B") {
+                std::uint64_t id = ev.at("id").asUint();
+                if (seenIds[id])
+                    fail(lineno, "duplicate span id "
+                                     + std::to_string(id));
+                seenIds[id] = true;
+                // The parent must be this thread's innermost open
+                // span (or 0 at top level): spans strictly nest per
+                // thread.
+                std::uint64_t parent = ev.at("parent").asUint();
+                const auto &stack = stacks[tid];
+                std::uint64_t expect =
+                    stack.empty() ? 0 : stack.back().id;
+                if (parent != expect)
+                    fail(lineno,
+                         "span " + std::to_string(id) + " parent "
+                             + std::to_string(parent) + " != expected "
+                             + std::to_string(expect));
+                stacks[tid].push_back(
+                    OpenSpan{id, ev.at("name").asString(), t_us});
+            } else if (kind == "E") {
+                std::uint64_t id = ev.at("id").asUint();
+                auto &stack = stacks[tid];
+                if (stack.empty() || stack.back().id != id) {
+                    fail(lineno, "end of span " + std::to_string(id)
+                                     + " does not match open span");
+                } else {
+                    const OpenSpan &open = stack.back();
+                    std::string name = ev.at("name").asString();
+                    if (name != open.name)
+                        fail(lineno, "end name '" + name
+                                         + "' != begin name '"
+                                         + open.name + "'");
+                    std::uint64_t dur = ev.at("dur_us").asUint();
+                    if (open.beginUs + dur > t_us + 1)
+                        fail(lineno,
+                             "duration exceeds begin/end distance");
+                    ++res.spanCounts[name];
+                    stack.pop_back();
+                }
+            } else if (kind == "C") {
+                res.counterTotals[ev.at("name").asString()] +=
+                    ev.at("delta").asUint();
+            } else if (kind == "G") {
+                ev.at("name").asString();
+                ev.at("value").asNumber();
+            } else {
+                fail(lineno, "unknown event kind '" + kind + "'");
+            }
+        } catch (const FatalError &e) {
+            fail(lineno, e.what());
+        }
+    }
+
+    for (const auto &[tid, stack] : stacks)
+        for (const OpenSpan &open : stack)
+            res.errors.push_back(
+                "span " + std::to_string(open.id) + " ('" + open.name
+                + "') on tid " + std::to_string(tid)
+                + " never closed");
+    if (res.events == 0)
+        res.errors.push_back("trace contains no events");
+    return res;
+}
+
+TraceCheckResult
+checkTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        TraceCheckResult res;
+        res.errors.push_back("cannot open trace '" + path + "'");
+        return res;
+    }
+    return checkTrace(in);
+}
+
+std::vector<std::string>
+checkManifestFile(const std::string &path)
+{
+    std::vector<std::string> errors;
+    RunManifest m;
+    try {
+        m = readRunManifestFile(path);
+    } catch (const FatalError &e) {
+        errors.push_back(e.what());
+        return errors;
+    }
+
+    if (m.manifestVersion != 1)
+        errors.push_back("unsupported manifest_version "
+                         + std::to_string(m.manifestVersion));
+    if (m.tool.empty())
+        errors.push_back("tool is empty");
+    if (m.version.empty())
+        errors.push_back("bds_version is empty");
+    if (m.created.size() != 20 || m.created.back() != 'Z')
+        errors.push_back("created is not ISO-8601 UTC: '" + m.created
+                         + "'");
+    const std::string &scale = m.config.scaleName;
+    if (scale != "quick" && scale != "standard" && scale != "full")
+        errors.push_back("unknown scale '" + scale + "'");
+    if (m.config.parallel.resolved() < 1)
+        errors.push_back("resolved threads < 1");
+    if (m.config.sampling.intervalUops == 0)
+        errors.push_back("sampling interval_uops is 0");
+    if (m.wallSeconds < 0.0)
+        errors.push_back("negative wall_seconds");
+    for (const StageTime &st : m.stages) {
+        if (st.name.empty())
+            errors.push_back("stage with empty name");
+        if (st.seconds < 0.0)
+            errors.push_back("stage '" + st.name
+                             + "' has negative seconds");
+    }
+    return errors;
+}
+
+} // namespace bds

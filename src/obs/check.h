@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural validation of trace files and run manifests — shared by
+ * the test suite and the bench/obs_check CLI (which CI runs against
+ * a traced characterize_suite invocation).
+ *
+ * The trace checker replays the JSON-lines stream and verifies the
+ * event grammar: every line parses, begin/end events balance with
+ * strict per-thread nesting, ids are unique, per-thread timestamps
+ * are monotonic, and durations are consistent. It returns per-name
+ * span counts so callers can assert coverage ("32 workload.run
+ * spans, one bic.k per sweep point").
+ */
+
+#ifndef BDS_OBS_CHECK_H
+#define BDS_OBS_CHECK_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bds {
+
+/** Outcome of validating one trace stream. */
+struct TraceCheckResult
+{
+    /** Total events seen (including metadata). */
+    std::size_t events = 0;
+
+    /** Completed spans per name. */
+    std::map<std::string, std::size_t> spanCounts;
+
+    /** Counter totals per name. */
+    std::map<std::string, std::uint64_t> counterTotals;
+
+    /** Every grammar violation found (empty = valid). */
+    std::vector<std::string> errors;
+
+    /** True when no violations were found. */
+    bool ok() const { return errors.empty(); }
+};
+
+/** Validate a JSON-lines trace stream. */
+TraceCheckResult checkTrace(std::istream &is);
+
+/** checkTrace() over a file; unreadable files are an error entry. */
+TraceCheckResult checkTraceFile(const std::string &path);
+
+/**
+ * Validate a run manifest: parse it (fatal errors are captured as an
+ * error entry) and check field sanity — a known scale name, resolved
+ * threads >= 1, non-negative wall clocks, and stage names present.
+ * Returns the violations (empty = valid).
+ */
+std::vector<std::string> checkManifestFile(const std::string &path);
+
+} // namespace bds
+
+#endif // BDS_OBS_CHECK_H

@@ -1,0 +1,151 @@
+#include "obs/manifest.h"
+
+#include <ctime>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace bds {
+
+const char *
+bdsVersion()
+{
+#ifdef BDS_VERSION
+    return BDS_VERSION;
+#else
+    return "0.0.0";
+#endif
+}
+
+namespace {
+
+/** Write a JSON string array on one line. */
+void
+writeStringArray(std::ostream &os,
+                 const std::vector<std::string> &items)
+{
+    os << '[';
+    for (std::size_t i = 0; i < items.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(items[i]) << '"';
+    os << ']';
+}
+
+std::vector<std::string>
+readStringArray(const JsonValue &v)
+{
+    std::vector<std::string> out;
+    for (const JsonValue &item : v.asArray())
+        out.push_back(item.asString());
+    return out;
+}
+
+} // namespace
+
+void
+writeRunManifest(std::ostream &os, const RunManifest &m)
+{
+    const RunConfig &c = m.config;
+    os << "{\n"
+       << "  \"manifest_version\": " << m.manifestVersion << ",\n"
+       << "  \"tool\": \"" << jsonEscape(m.tool) << "\",\n"
+       << "  \"bds_version\": \"" << jsonEscape(m.version) << "\",\n"
+       << "  \"created\": \"" << jsonEscape(m.created) << "\",\n"
+       << "  \"argv\": ";
+    writeStringArray(os, m.argv);
+    os << ",\n"
+       << "  \"config\": {\n"
+       << "    \"scale\": \"" << jsonEscape(c.scaleName) << "\",\n"
+       << "    \"seed\": " << c.seed << ",\n"
+       << "    \"threads\": {\"requested\": " << c.parallel.threads
+       << ", \"resolved\": " << c.parallel.resolved() << "},\n"
+       << "    \"metrics\": ";
+    writeStringArray(os, c.metricNames);
+    os << ",\n"
+       << "    \"sampling\": {\"enabled\": "
+       << (c.sampling.enabled ? "true" : "false")
+       << ", \"interval_uops\": " << c.sampling.intervalUops
+       << ", \"bbv_dims\": " << c.sampling.bbvDims
+       << ", \"k_min\": " << c.sampling.kMin
+       << ", \"k_max\": " << c.sampling.kMax
+       << ", \"warmup_intervals\": " << c.sampling.warmupIntervals
+       << ", \"seed\": " << c.sampling.seed << "},\n"
+       << "    \"trace\": {\"enabled\": "
+       << (c.trace ? "true" : "false") << ", \"path\": \""
+       << jsonEscape(c.trace ? c.resolvedTracePath() : std::string())
+       << "\"}\n"
+       << "  },\n"
+       << "  \"stages\": [";
+    for (std::size_t i = 0; i < m.stages.size(); ++i)
+        os << (i ? ", " : "") << "{\"name\": \""
+           << jsonEscape(m.stages[i].name) << "\", \"seconds\": "
+           << jsonNumber(m.stages[i].seconds) << "}";
+    os << "],\n"
+       << "  \"wall_seconds\": " << jsonNumber(m.wallSeconds) << ",\n"
+       << "  \"peak_rss_kb\": " << m.peakRssKb << ",\n"
+       << "  \"artifacts\": ";
+    writeStringArray(os, m.artifacts);
+    os << "\n}\n";
+}
+
+RunManifest
+parseRunManifest(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonValue root = parseJson(buf.str());
+
+    RunManifest m;
+    m.manifestVersion =
+        static_cast<int>(root.at("manifest_version").asUint());
+    m.tool = root.at("tool").asString();
+    m.version = root.at("bds_version").asString();
+    m.created = root.at("created").asString();
+    m.argv = readStringArray(root.at("argv"));
+
+    const JsonValue &cfg = root.at("config");
+    m.config.tool = m.tool;
+    m.config.scaleName = cfg.at("scale").asString();
+    m.config.seed = cfg.at("seed").asUint();
+    m.config.parallel.threads = static_cast<unsigned>(
+        cfg.at("threads").at("requested").asUint());
+    m.config.metricNames = readStringArray(cfg.at("metrics"));
+
+    const JsonValue &s = cfg.at("sampling");
+    m.config.sampling.enabled = s.at("enabled").asBool();
+    m.config.sampling.intervalUops = s.at("interval_uops").asUint();
+    m.config.sampling.bbvDims = s.at("bbv_dims").asUint();
+    m.config.sampling.kMin = s.at("k_min").asUint();
+    m.config.sampling.kMax = s.at("k_max").asUint();
+    m.config.sampling.warmupIntervals =
+        static_cast<unsigned>(s.at("warmup_intervals").asUint());
+    m.config.sampling.seed = s.at("seed").asUint();
+
+    const JsonValue &t = cfg.at("trace");
+    m.config.trace = t.at("enabled").asBool();
+    m.config.tracePath = t.at("path").asString();
+
+    for (const JsonValue &st : root.at("stages").asArray()) {
+        StageTime stage;
+        stage.name = st.at("name").asString();
+        stage.seconds = st.at("seconds").asNumber();
+        m.stages.push_back(std::move(stage));
+    }
+    m.wallSeconds = root.at("wall_seconds").asNumber();
+    m.peakRssKb = static_cast<long>(root.at("peak_rss_kb").asUint());
+    m.artifacts = readStringArray(root.at("artifacts"));
+    return m;
+}
+
+RunManifest
+readRunManifestFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        BDS_FATAL("cannot open manifest '" << path << "'");
+    return parseRunManifest(in);
+}
+
+} // namespace bds

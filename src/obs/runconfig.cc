@@ -1,0 +1,240 @@
+#include "obs/runconfig.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace bds {
+
+namespace detail {
+
+std::uint64_t
+parseUint(const std::string &what, const std::string &value)
+{
+    if (value.empty()
+        || value.find_first_not_of("0123456789") != std::string::npos)
+        BDS_FATAL(what << " must be a non-negative integer, got '"
+                       << value << "'");
+    errno = 0;
+    std::uint64_t v = std::strtoull(value.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        BDS_FATAL(what << " is out of range: '" << value << "'");
+    return v;
+}
+
+} // namespace detail
+
+namespace {
+
+using detail::parseUint;
+
+/** Validate a scale name (the one knob that is an enumeration). */
+void
+checkScaleName(const std::string &what, const std::string &name)
+{
+    if (name != "quick" && name != "standard" && name != "full")
+        BDS_FATAL(what << " must be quick, standard or full, got '"
+                       << name << "'");
+}
+
+/** Split a comma-separated list, rejecting empty elements. */
+std::vector<std::string>
+splitNames(const std::string &what, const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            BDS_FATAL(what << " has an empty metric name in '" << csv
+                           << "'");
+        out.push_back(item);
+    }
+    if (out.empty())
+        BDS_FATAL(what << " must name at least one metric");
+    return out;
+}
+
+/** A 0/1 switch (BDS_SAMPLE, BDS_TRACE). */
+bool
+parseSwitch(const std::string &what, const std::string &value)
+{
+    if (value == "0")
+        return false;
+    if (value == "1")
+        return true;
+    BDS_FATAL(what << " must be 0 or 1, got '" << value << "'");
+}
+
+} // namespace
+
+RunConfig
+RunConfig::resolve(const std::string &tool, int argc, char **argv)
+{
+    RunConfig cfg;
+    cfg.tool = tool;
+    cfg.applyEnv();
+    if (argc > 0 && argv) {
+        cfg.argv.assign(argv, argv + argc);
+        std::vector<std::string> rest = cfg.applyArgs(
+            std::vector<std::string>(argv + 1, argv + argc));
+        if (!rest.empty())
+            BDS_FATAL(tool << " got an unexpected argument '"
+                           << rest.front() << "'");
+    }
+    return cfg;
+}
+
+void
+RunConfig::applyEnv()
+{
+    if (const char *v = std::getenv("BDS_SCALE")) {
+        checkScaleName("BDS_SCALE", v);
+        scaleName = v;
+    }
+    if (const char *v = std::getenv("BDS_SEED"))
+        seed = parseUint("BDS_SEED", v);
+    if (const char *v = std::getenv("BDS_THREADS"))
+        parallel.threads =
+            static_cast<unsigned>(parseUint("BDS_THREADS", v));
+    if (const char *v = std::getenv("BDS_METRICS"))
+        metricNames = splitNames("BDS_METRICS", v);
+
+    if (const char *v = std::getenv("BDS_SAMPLE"))
+        sampling.enabled = parseSwitch("BDS_SAMPLE", v);
+    if (const char *v = std::getenv("BDS_SAMPLE_INTERVAL")) {
+        sampling.intervalUops = parseUint("BDS_SAMPLE_INTERVAL", v);
+        if (sampling.intervalUops == 0)
+            BDS_FATAL("BDS_SAMPLE_INTERVAL must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_BBV")) {
+        sampling.bbvDims = parseUint("BDS_SAMPLE_BBV", v);
+        if (sampling.bbvDims == 0)
+            BDS_FATAL("BDS_SAMPLE_BBV must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_KMAX")) {
+        sampling.kMax = parseUint("BDS_SAMPLE_KMAX", v);
+        if (sampling.kMax == 0)
+            BDS_FATAL("BDS_SAMPLE_KMAX must be positive");
+    }
+    if (const char *v = std::getenv("BDS_SAMPLE_WARMUP"))
+        sampling.warmupIntervals = static_cast<unsigned>(
+            parseUint("BDS_SAMPLE_WARMUP", v));
+    if (const char *v = std::getenv("BDS_SAMPLE_SEED"))
+        sampling.seed = parseUint("BDS_SAMPLE_SEED", v);
+
+    if (const char *v = std::getenv("BDS_TRACE"))
+        trace = parseSwitch("BDS_TRACE", v);
+    if (const char *v = std::getenv("BDS_TRACE_FILE")) {
+        tracePath = v;
+        trace = true;
+    }
+    if (const char *v = std::getenv("BDS_MANIFEST")) {
+        std::string s(v);
+        if (s == "0") {
+            manifest = false;
+        } else if (s == "1") {
+            manifest = true;
+        } else {
+            manifest = true;
+            manifestPath = s;
+        }
+    }
+}
+
+std::vector<std::string>
+RunConfig::applyArgs(const std::vector<std::string> &args)
+{
+    std::vector<std::string> rest;
+    if (argv.empty())
+        argv = args;
+
+    // Flags come as "--flag value" or "--flag=value"; `take` fetches
+    // the value either way, fataling on a flag with no value.
+    std::size_t i = 0;
+    auto take = [&](const std::string &flag,
+                    const std::string &inlineVal,
+                    bool hasInline) -> std::string {
+        if (hasInline)
+            return inlineVal;
+        if (i + 1 >= args.size())
+            BDS_FATAL(flag << " needs a value");
+        return args[++i];
+    };
+
+    for (; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        std::string flag = arg, inlineVal;
+        bool hasInline = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            flag = arg.substr(0, eq);
+            inlineVal = arg.substr(eq + 1);
+            hasInline = true;
+        }
+
+        if (flag == "--scale") {
+            std::string v = take(flag, inlineVal, hasInline);
+            checkScaleName("--scale", v);
+            scaleName = v;
+        } else if (flag == "--seed") {
+            seed = parseUint("--seed", take(flag, inlineVal, hasInline));
+        } else if (flag == "--threads") {
+            parallel.threads = static_cast<unsigned>(
+                parseUint("--threads", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--metrics") {
+            metricNames = splitNames(
+                "--metrics", take(flag, inlineVal, hasInline));
+        } else if (flag == "--sampled" || flag == "--sample") {
+            sampling.enabled = true;
+        } else if (flag == "--trace") {
+            trace = true;
+        } else if (flag == "--no-trace") {
+            trace = false;
+        } else if (flag == "--trace-file") {
+            tracePath = take(flag, inlineVal, hasInline);
+            trace = true;
+        } else if (flag == "--manifest") {
+            manifestPath = take(flag, inlineVal, hasInline);
+            manifest = true;
+        } else if (flag == "--no-manifest") {
+            manifest = false;
+        } else {
+            rest.push_back(arg);
+        }
+    }
+    return rest;
+}
+
+std::string
+RunConfig::resolvedTracePath() const
+{
+    return tracePath.empty() ? tool + ".trace.jsonl" : tracePath;
+}
+
+std::string
+RunConfig::resolvedManifestPath() const
+{
+    return manifestPath.empty() ? tool + ".manifest.json"
+                                : manifestPath;
+}
+
+std::string
+RunConfig::describe() const
+{
+    std::ostringstream os;
+    os << "scale=" << scaleName << " seed=" << seed
+       << " threads=" << parallel.resolved();
+    if (!metricNames.empty())
+        os << " metrics=" << metricNames.size() << "/45";
+    if (sampling.enabled)
+        os << " sampled(interval=" << sampling.intervalUops
+           << ",kmax=" << sampling.kMax
+           << ",warmup=" << sampling.warmupIntervals << ")";
+    if (trace)
+        os << " trace=" << resolvedTracePath();
+    return os.str();
+}
+
+} // namespace bds

@@ -1,0 +1,143 @@
+#include "obs/session.h"
+
+#include <ctime>
+#include <fstream>
+#include <iostream>
+
+#include "common/log.h"
+#include "obs/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace bds {
+
+namespace {
+
+/** Current wall-clock time as ISO-8601 UTC. */
+std::string
+isoNow()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/** Peak resident set size in KB, 0 when the platform hides it. */
+long
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return ru.ru_maxrss / 1024; // bytes on Darwin
+#else
+        return ru.ru_maxrss; // kilobytes on Linux
+#endif
+    }
+#endif
+    return 0;
+}
+
+} // namespace
+
+Session::Session(RunConfig cfg)
+    : cfg_(std::move(cfg)), start_(std::chrono::steady_clock::now())
+{
+    if (cfg_.trace) {
+        Tracer::global().enable(cfg_.resolvedTracePath());
+        Tracer::global().emitMeta(cfg_.tool, bdsVersion());
+        std::cerr << "[obs] " << cfg_.tool << ": tracing to "
+                  << cfg_.resolvedTracePath() << '\n';
+    }
+}
+
+Session::~Session()
+{
+    try {
+        finish();
+    } catch (const std::exception &e) {
+        // Destructor context (possibly unwinding): report, don't
+        // rethrow.
+        std::cerr << "[obs] manifest write failed: " << e.what()
+                  << '\n';
+    }
+}
+
+void
+Session::recordStage(const std::string &name, double seconds)
+{
+    stages_.push_back(StageTime{name, seconds});
+}
+
+void
+Session::noteArtifact(const std::string &path)
+{
+    artifacts_.push_back(path);
+}
+
+RunManifest
+Session::buildManifest() const
+{
+    RunManifest m;
+    m.tool = cfg_.tool;
+    m.version = bdsVersion();
+    m.created = isoNow();
+    m.argv = cfg_.argv;
+    m.config = cfg_;
+    m.stages = stages_;
+    m.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    m.peakRssKb = peakRssKb();
+    m.artifacts = artifacts_;
+    return m;
+}
+
+void
+Session::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    if (cfg_.trace) {
+        Tracer::global().writeSummary(std::cerr);
+        Tracer::global().disable();
+    }
+    if (cfg_.manifest) {
+        RunManifest m = buildManifest();
+        const std::string path = cfg_.resolvedManifestPath();
+        std::ofstream os(path);
+        if (!os)
+            BDS_FATAL("cannot write manifest '" << path << "'");
+        writeRunManifest(os, m);
+        std::cerr << "[obs] " << cfg_.tool << ": wrote " << path
+                  << '\n';
+    }
+}
+
+StageTimer::StageTimer(Session &session, std::string name)
+    : session_(session), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+StageTimer::~StageTimer()
+{
+    session_.recordStage(
+        name_, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+}
+
+} // namespace bds

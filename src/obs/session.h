@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Session: the RAII lifecycle of one observed run.
+ *
+ * Constructed from a resolved RunConfig, a Session enables the
+ * global tracer when requested, accumulates stage wall-clocks and
+ * artifact notes as the tool works, and on finish() (or destruction)
+ * writes the RunManifest next to the run's artifacts and prints the
+ * tracer's end-of-run summary to stderr.
+ *
+ * All Session output is diagnostic and goes to stderr or to files —
+ * never to stdout, so piping a report or CSV stays clean.
+ */
+
+#ifndef BDS_OBS_SESSION_H
+#define BDS_OBS_SESSION_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "obs/runconfig.h"
+
+namespace bds {
+
+/** One observed run of a tool. */
+class Session
+{
+  public:
+    /**
+     * Start the run: snapshot the config, start the wall clock, and
+     * enable tracing per cfg.trace. Only one Session may be tracing
+     * at a time (the tracer is process-global).
+     */
+    explicit Session(RunConfig cfg);
+
+    /** finish() if the tool did not, swallowing write errors. */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** The resolved configuration this run executes under. */
+    const RunConfig &config() const { return cfg_; }
+
+    /** Record a completed stage's wall-clock. */
+    void recordStage(const std::string &name, double seconds);
+
+    /** Note an artifact path this run wrote (for the manifest). */
+    void noteArtifact(const std::string &path);
+
+    /**
+     * End the run: write the manifest (unless disabled), print the
+     * trace summary to stderr and disable the tracer. Idempotent.
+     */
+    void finish();
+
+    /** The manifest as it would be written now (tests, inspection). */
+    RunManifest buildManifest() const;
+
+  private:
+    RunConfig cfg_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<StageTime> stages_;
+    std::vector<std::string> artifacts_;
+    bool finished_ = false;
+};
+
+/**
+ * RAII stage clock: times the enclosing scope and records it on the
+ * session at scope exit.
+ */
+class StageTimer
+{
+  public:
+    StageTimer(Session &session, std::string name);
+    ~StageTimer();
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    Session &session_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bds
+
+#endif // BDS_OBS_SESSION_H

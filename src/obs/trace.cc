@@ -1,0 +1,298 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace bds {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+/**
+ * Per-thread open-span stack. Spans strictly nest within a thread
+ * (they are RAII scopes), so the parent of a new span is whatever
+ * this thread opened last. Pool workers each get their own stack, so
+ * a span opened inside a worker task parents to the task's enclosing
+ * span, not to some other worker's.
+ */
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+/** Monotonically assigned small ids for event attribution. */
+std::atomic<unsigned> g_next_thread_tag{0};
+
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    static Tracer instance;
+    return instance;
+}
+
+unsigned
+Tracer::threadTag()
+{
+    thread_local unsigned tag =
+        g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+void
+Tracer::enable(const std::string &path)
+{
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!*file)
+        BDS_FATAL("cannot open trace file '" << path << "'");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sink_)
+            BDS_FATAL("tracer is already enabled");
+        file_ = std::move(file);
+        sink_ = file_.get();
+        path_ = path;
+        t0_ = std::chrono::steady_clock::now();
+        spans_.clear();
+        counters_.clear();
+        gauges_.clear();
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::enableStream(std::ostream *os)
+{
+    if (!os)
+        BDS_FATAL("tracer needs a sink stream");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sink_)
+            BDS_FATAL("tracer is already enabled");
+        sink_ = os;
+        path_.clear();
+        t0_ = std::chrono::steady_clock::now();
+        spans_.clear();
+        counters_.clear();
+        gauges_.clear();
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    detail::g_trace_enabled.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_)
+        file_->flush();
+    file_.reset();
+    sink_ = nullptr;
+    path_.clear();
+}
+
+std::uint64_t
+Tracer::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+}
+
+void
+Tracer::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        *sink_ << line << '\n';
+}
+
+void
+Tracer::emitMeta(const std::string &tool, const std::string &version)
+{
+    if (!traceEnabled())
+        return;
+    std::ostringstream os;
+    os << "{\"ev\":\"M\",\"tool\":\"" << jsonEscape(tool)
+       << "\",\"version\":\"" << jsonEscape(version)
+       << "\",\"t_us\":" << nowUs() << "}";
+    writeLine(os.str());
+}
+
+std::uint64_t
+Tracer::beginSpan(const char *name, const std::string &attrJson,
+                 std::uint64_t *t0_us)
+{
+    std::uint64_t id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t parent =
+        t_span_stack.empty() ? 0 : t_span_stack.back();
+    *t0_us = nowUs();
+    std::ostringstream os;
+    os << "{\"ev\":\"B\",\"id\":" << id << ",\"parent\":" << parent
+       << ",\"tid\":" << threadTag() << ",\"t_us\":" << *t0_us
+       << ",\"name\":\"" << jsonEscape(name) << '"';
+    if (!attrJson.empty())
+        os << ",\"attrs\":" << attrJson;
+    os << "}";
+    writeLine(os.str());
+    t_span_stack.push_back(id);
+    return id;
+}
+
+void
+Tracer::endSpan(std::uint64_t id, const char *name,
+                std::uint64_t t0_us)
+{
+    // The stack top must be this span: TraceSpan is a strict RAII
+    // scope, so an imbalance means the instrumentation has a bug.
+    if (t_span_stack.empty() || t_span_stack.back() != id)
+        BDS_PANIC("trace span imbalance closing '" << name << "'");
+    t_span_stack.pop_back();
+
+    std::uint64_t now = nowUs();
+    std::uint64_t dur = now >= t0_us ? now - t0_us : 0;
+    std::ostringstream os;
+    os << "{\"ev\":\"E\",\"id\":" << id << ",\"tid\":" << threadTag()
+       << ",\"t_us\":" << now << ",\"name\":\"" << jsonEscape(name)
+       << "\",\"dur_us\":" << dur << "}";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        *sink_ << os.str() << '\n';
+    SpanStats &st = spans_[name];
+    ++st.count;
+    st.totalUs += dur;
+}
+
+void
+Tracer::counter(const char *name, std::uint64_t delta)
+{
+    if (!traceEnabled())
+        return;
+    std::ostringstream os;
+    os << "{\"ev\":\"C\",\"tid\":" << threadTag()
+       << ",\"t_us\":" << nowUs() << ",\"name\":\"" << jsonEscape(name)
+       << "\",\"delta\":" << delta << "}";
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        *sink_ << os.str() << '\n';
+    counters_[name] += delta;
+}
+
+void
+Tracer::gauge(const char *name, double value)
+{
+    if (!traceEnabled())
+        return;
+    std::ostringstream os;
+    os << "{\"ev\":\"G\",\"tid\":" << threadTag()
+       << ",\"t_us\":" << nowUs() << ",\"name\":\"" << jsonEscape(name)
+       << "\",\"value\":" << jsonNumber(value) << "}";
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        *sink_ << os.str() << '\n';
+    gauges_[name] = value;
+}
+
+std::map<std::string, SpanStats>
+Tracer::spanSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::map<std::string, std::uint64_t>
+Tracer::counterSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::map<std::string, double>
+Tracer::gaugeSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_;
+}
+
+void
+Tracer::writeSummary(std::ostream &os) const
+{
+    auto spans = spanSummary();
+    auto counters = counterSummary();
+    auto gauges = gaugeSummary();
+
+    os << "trace summary\n";
+    if (!spans.empty()) {
+        TextTable t({"span", "count", "total"});
+        for (const auto &[name, st] : spans)
+            t.addRow({name, std::to_string(st.count),
+                      fmtDouble(static_cast<double>(st.totalUs) / 1e6,
+                                3)
+                          + " s"});
+        t.print(os);
+    }
+    if (!counters.empty()) {
+        TextTable t({"counter", "total"});
+        for (const auto &[name, total] : counters)
+            t.addRow({name, std::to_string(total)});
+        t.print(os);
+    }
+    if (!gauges.empty()) {
+        TextTable t({"gauge", "last value"});
+        for (const auto &[name, value] : gauges)
+            t.addRow({name, fmtDouble(value, 4)});
+        t.print(os);
+    }
+}
+
+TraceSpan::TraceSpan(const char *name)
+{
+    if (!traceEnabled())
+        return;
+    id_ = Tracer::global().beginSpan(name, std::string(), &t0Us_);
+    name_ = name;
+    active_ = true;
+}
+
+TraceSpan::TraceSpan(const char *name, const char *key,
+                     const std::string &value)
+{
+    if (!traceEnabled())
+        return;
+    id_ = Tracer::global().beginSpan(name,
+                                     "{\"" + jsonEscape(key) + "\":\""
+                                         + jsonEscape(value) + "\"}",
+                                     &t0Us_);
+    name_ = name;
+    active_ = true;
+}
+
+TraceSpan::TraceSpan(const char *name, const char *key,
+                     std::uint64_t value)
+{
+    if (!traceEnabled())
+        return;
+    id_ = Tracer::global().beginSpan(
+        name,
+        "{\"" + jsonEscape(key) + "\":" + std::to_string(value) + "}",
+        &t0Us_);
+    name_ = name;
+    active_ = true;
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    Tracer::global().endSpan(id_, name_, t0Us_);
+}
+
+} // namespace bds

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Run-level tracing: hierarchical spans plus named counters and
+ * gauges, emitted as JSON-lines events and aggregated into an
+ * end-of-run summary.
+ *
+ * The instrumented layers (runPipeline stages, per-workload
+ * simulation, the sampled-path stages, each K of the BIC sweep) open
+ * a TraceSpan around their work. When tracing is disabled — the
+ * default — every hook is a null sink: one relaxed atomic load and
+ * an early return, no clock reads, no allocation, no locking, and no
+ * effect whatsoever on computed results. The determinism contract of
+ * docs/THREADING.md therefore holds with tracing on or off: the
+ * tracer only observes.
+ *
+ * Span nesting is tracked per thread (a thread-local span stack), so
+ * spans opened inside thread-pool workers parent correctly to the
+ * enclosing span of *that worker's* current task, and events from
+ * different workers interleave in the output without corrupting each
+ * other (one mutex-guarded line write per event).
+ *
+ * Event schema (one JSON object per line, docs/OBSERVABILITY.md):
+ *   {"ev":"M", ...}                               run metadata
+ *   {"ev":"B","id":N,"parent":N,"tid":N,"t_us":N,
+ *    "name":"...","attrs":{...}}                  span begin
+ *   {"ev":"E","id":N,"tid":N,"t_us":N,
+ *    "name":"...","dur_us":N}                     span end
+ *   {"ev":"C","tid":N,"t_us":N,"name":"...",
+ *    "delta":N}                                   counter increment
+ *   {"ev":"G","tid":N,"t_us":N,"name":"...",
+ *    "value":X}                                   gauge sample
+ */
+
+#ifndef BDS_OBS_TRACE_H
+#define BDS_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace bds {
+
+namespace detail {
+/** Global trace switch; read inline on every hook. */
+extern std::atomic<bool> g_trace_enabled;
+} // namespace detail
+
+/** True when the global tracer is recording. */
+inline bool
+traceEnabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/** Aggregated statistics of one span name. */
+struct SpanStats
+{
+    std::uint64_t count = 0;   ///< completed spans
+    std::uint64_t totalUs = 0; ///< summed durations
+};
+
+/**
+ * The process-global tracer. All mutation goes through enable() /
+ * disable() (normally driven by a Session); the instrumentation
+ * hooks are TraceSpan, counter() and gauge().
+ */
+class Tracer
+{
+  public:
+    /** The singleton instance. */
+    static Tracer &global();
+
+    /**
+     * Start recording to a JSON-lines file at `path`. Fatal when the
+     * file cannot be opened or tracing is already enabled.
+     */
+    void enable(const std::string &path);
+
+    /**
+     * Start recording to a caller-owned stream (tests). The stream
+     * must outlive the enabled period.
+     */
+    void enableStream(std::ostream *os);
+
+    /** Stop recording and close/flush the sink. Idempotent. */
+    void disable();
+
+    /** The sink path of the current enable(), empty for streams. */
+    const std::string &sinkPath() const { return path_; }
+
+    /** Emit the run-metadata event ("ev":"M"). */
+    void emitMeta(const std::string &tool, const std::string &version);
+
+    /** Add `delta` to the named counter (no-op when disabled). */
+    void counter(const char *name, std::uint64_t delta);
+
+    /** Record a gauge sample (no-op when disabled). */
+    void gauge(const char *name, double value);
+
+    /** Per-name span aggregates collected since enable(). */
+    std::map<std::string, SpanStats> spanSummary() const;
+
+    /** Counter totals collected since enable(). */
+    std::map<std::string, std::uint64_t> counterSummary() const;
+
+    /** Last-seen gauge values collected since enable(). */
+    std::map<std::string, double> gaugeSummary() const;
+
+    /**
+     * Human-readable end-of-run summary: one aligned row per span
+     * name (count, total wall-clock) plus counter totals and gauges.
+     */
+    void writeSummary(std::ostream &os) const;
+
+  private:
+    friend class TraceSpan;
+
+    Tracer() = default;
+
+    /**
+     * Begin a span; returns its id and stores the timestamp written
+     * into the begin event in *t0_us, so the closing event's
+     * duration agrees exactly with the emitted begin/end pair.
+     * attrJson may be empty.
+     */
+    std::uint64_t beginSpan(const char *name,
+                            const std::string &attrJson,
+                            std::uint64_t *t0_us);
+
+    /** End the span `id` opened with `name` at begin-time `t0_us`. */
+    void endSpan(std::uint64_t id, const char *name,
+                 std::uint64_t t0_us);
+
+    /** Microseconds since enable(). */
+    std::uint64_t nowUs() const;
+
+    /** Small per-thread id for event attribution. */
+    static unsigned threadTag();
+
+    /** Serialize one event line to the sink. */
+    void writeLine(const std::string &line);
+
+    mutable std::mutex mutex_;
+    std::ostream *sink_ = nullptr;
+    std::unique_ptr<std::ofstream> file_;
+    std::string path_;
+    std::chrono::steady_clock::time_point t0_;
+    std::atomic<std::uint64_t> nextId_{1};
+    std::map<std::string, SpanStats> spans_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+/**
+ * RAII span: opens on construction, closes on destruction. When
+ * tracing is disabled the constructor is one atomic load and the
+ * destructor one branch.
+ *
+ * Span names must be string literals (they are stored as pointers
+ * and used as summary keys).
+ */
+class TraceSpan
+{
+  public:
+    /** Open an attribute-less span. */
+    explicit TraceSpan(const char *name);
+
+    /** Open a span with one string attribute. */
+    TraceSpan(const char *name, const char *key,
+              const std::string &value);
+
+    /** Open a span with one integer attribute. */
+    TraceSpan(const char *name, const char *key, std::uint64_t value);
+
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool active_ = false;
+    std::uint64_t id_ = 0;
+    std::uint64_t t0Us_ = 0;
+    const char *name_ = nullptr;
+};
+
+} // namespace bds
+
+#endif // BDS_OBS_TRACE_H

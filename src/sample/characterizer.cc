@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "sample/interval.h"
 #include "sample/picker.h"
 #include "uarch/system.h"
@@ -44,30 +45,49 @@ SampledCharacterizer::runOnNode(const WorkloadId &id,
     // 1. Record: drive the stack engine into a recording-only target
     //    — the op stream of a detailed run at profiling cost.
     RecordingTarget target(runner_.config().numCores);
-    runner_.execute(id, target, runner_.nodeDataSeed(id, node));
+    {
+        TraceSpan stage("sample.record");
+        runner_.execute(id, target, runner_.nodeDataSeed(id, node));
+    }
     const TraceRecorder &trace = target.trace();
 
     // 2. Profile: split into intervals with BBV/mix features.
     IntervalProfiler profiler(opts_.intervalUops, opts_.bbvDims);
-    trace.replay(profiler);
-    profiler.finish();
+    {
+        TraceSpan stage("sample.profile");
+        trace.replay(profiler);
+        profiler.finish();
+    }
 
     // 3. Pick: cluster intervals, choose weighted representatives.
     RepresentativePicker picker(opts_);
-    PickResult picked = picker.pick(profiler.featureMatrix(),
-                                    profiler.intervals(),
-                                    pickerSeed(opts_, id, node));
+    PickResult picked;
+    {
+        TraceSpan stage("sample.pick");
+        picked = picker.pick(profiler.featureMatrix(),
+                             profiler.intervals(),
+                             pickerSeed(opts_, id, node));
+    }
 
     // 4. Replay: functional warming + detailed representatives.
     SystemModel sys(runner_.config());
     SampledReplayer replayer(sys, opts_.intervalUops,
                              opts_.warmupIntervals);
     SampledReplayStats stats;
-    std::vector<PmcCounters> snaps =
-        replayer.replay(trace, picked, &stats);
+    std::vector<PmcCounters> snaps;
+    {
+        TraceSpan stage("sample.replay");
+        snaps = replayer.replay(trace, picked, &stats);
+    }
+    Tracer::global().counter("sample.total_ops", stats.totalOps);
+    Tracer::global().counter("sample.detail_ops", stats.detailOps);
 
     // 5. Estimate: weighted counter reconstruction.
-    SampleEstimate est = estimateMetrics(snaps, picked);
+    SampleEstimate est;
+    {
+        TraceSpan stage("sample.estimate");
+        est = estimateMetrics(snaps, picked);
+    }
 
     SampledWorkloadResult res;
     res.id = id;
@@ -83,6 +103,7 @@ SampledCharacterizer::runOnNode(const WorkloadId &id,
 SampledWorkloadResult
 SampledCharacterizer::run(const WorkloadId &id) const
 {
+    TraceSpan span("workload.sample", "workload", id.name());
     auto start = std::chrono::steady_clock::now();
     unsigned nodes = runner_.clusterNodes();
 
@@ -117,6 +138,7 @@ Matrix
 SampledCharacterizer::runAll(
     std::vector<SampledWorkloadResult> *details) const
 {
+    TraceSpan span("sampler.runAll");
     auto ids = allWorkloads();
     Matrix m(ids.size(), kNumMetrics);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace bds {
 
@@ -152,6 +153,7 @@ sweepBic(const Matrix &data, std::size_t k_min, std::size_t k_max,
     sweep.points.resize(k_max - k_min + 1);
     parallelFor(sweep.points.size(), par, [&](std::size_t i) {
         std::size_t k = k_min + i;
+        TraceSpan span("bic.k", "k", static_cast<std::uint64_t>(k));
         Pcg32 rng = sweepPointRng(seed, k);
         BicSweepPoint &pt = sweep.points[i];
         pt.k = k;

@@ -36,6 +36,19 @@ ScaleProfile::full()
     return p;
 }
 
+ScaleProfile
+ScaleProfile::byName(const std::string &name)
+{
+    if (name == "quick")
+        return quick();
+    if (name == "standard")
+        return standard();
+    if (name == "full")
+        return full();
+    BDS_FATAL("unknown scale '" << name
+              << "' (expected quick, standard, or full)");
+}
+
 Dataset
 makeTextCorpus(AddressSpace &space, std::uint64_t records,
                std::uint64_t vocabulary, unsigned parts,

@@ -13,6 +13,7 @@
 #define BDS_WORKLOADS_DATAGEN_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.h"
 #include "stack/dataset.h"
@@ -39,6 +40,13 @@ struct ScaleProfile
 
     /** Larger runs for headline benches. */
     static ScaleProfile full();
+
+    /**
+     * Look up a profile by its configuration name ("quick",
+     * "standard", "full" — the values BDS_SCALE/--scale accept).
+     * Unknown names are fatal.
+     */
+    static ScaleProfile byName(const std::string &name);
 };
 
 /**

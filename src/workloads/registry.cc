@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "stack/sql.h"
@@ -119,6 +120,7 @@ WorkloadRunner::runWithThreads(const WorkloadId &id,
     // sets" requirement). Each cluster node processes its own shard
     // with a node-derived seed, so node simulations are independent
     // and can fan out across the pool.
+    TraceSpan span("workload.run", "workload", id.name());
     auto start = std::chrono::steady_clock::now();
     std::vector<WorkloadResult> per_node(nodes_);
     parallelFor(nodes_, node_threads, [&](std::size_t node) {
@@ -293,6 +295,7 @@ Matrix
 WorkloadRunner::runAll(std::vector<WorkloadResult> *details,
                        SweepTiming *timing) const
 {
+    TraceSpan span("runner.runAll");
     auto start = std::chrono::steady_clock::now();
     auto ids = allWorkloads();
     Matrix m(ids.size(), kNumMetrics);

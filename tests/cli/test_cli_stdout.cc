@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end stdout hygiene of the characterize_suite example: the
+ * report goes to stdout, every progress/diagnostic line goes to
+ * stderr, and turning tracing on changes neither — stdout stays
+ * byte-identical while the trace and manifest files validate.
+ *
+ * The binary path is injected by CMake as BDS_CHARACTERIZE_SUITE_BIN.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/check.h"
+#include "obs/manifest.h"
+
+namespace bds {
+namespace {
+
+/** Run `cmd` under sh, returning its stdout; fails the test on rc != 0. */
+std::string
+capture(const std::string &cmd)
+{
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return {};
+    }
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    int rc = ::pclose(pipe);
+    EXPECT_EQ(rc, 0) << "command failed: " << cmd;
+    return out;
+}
+
+/** BDS_* knobs fixed so the ambient environment cannot interfere. */
+std::string
+withEnv(const std::string &extra, const std::string &binAndArgs)
+{
+    return "env -u BDS_TRACE_FILE -u BDS_METRICS -u BDS_SAMPLE "
+           "BDS_SCALE=quick BDS_SEED=42 BDS_THREADS=0 "
+           "BDS_TRACE=0 BDS_MANIFEST=0 "
+           + extra + " " + binAndArgs + " 2>/dev/null";
+}
+
+TEST(CliStdout, ReportOnlyOnStdoutAndTracingIsByteNeutral)
+{
+    const std::string bin = BDS_CHARACTERIZE_SUITE_BIN;
+    const std::string trace = "cli_stdout.trace.jsonl";
+    const std::string manifest = "cli_stdout.manifest.json";
+    std::remove(trace.c_str());
+    std::remove(manifest.c_str());
+
+    // Plain run: no manifest, no trace.
+    const std::string plain = capture(withEnv("", bin));
+    ASSERT_FALSE(plain.empty());
+
+    // The report content is there...
+    EXPECT_NE(plain.find("PCA"), std::string::npos);
+    // ...and none of the progress/diagnostic chatter is.
+    EXPECT_EQ(plain.find("characterizing 32 workloads"),
+              std::string::npos);
+    EXPECT_EQ(plain.find("swept the suite"), std::string::npos);
+    EXPECT_EQ(plain.find("trace summary"), std::string::npos);
+    EXPECT_EQ(plain.find("[obs]"), std::string::npos);
+
+    // Traced run with a manifest: stdout must not change by a byte.
+    const std::string traced = capture(withEnv(
+        "BDS_TRACE=1 BDS_TRACE_FILE=" + trace
+            + " BDS_MANIFEST=" + manifest,
+        bin));
+    EXPECT_EQ(traced, plain);
+
+    // The trace validates and covers the run: the full 32-workload
+    // sweep, the pipeline stages, and every K of the 2..15 sweep.
+    TraceCheckResult check = checkTraceFile(trace);
+    for (const std::string &e : check.errors)
+        ADD_FAILURE() << e;
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check.spanCounts.at("runner.runAll"), 1u);
+    EXPECT_EQ(check.spanCounts.at("workload.run"), 32u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.run"), 1u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.pca"), 1u);
+    EXPECT_EQ(check.spanCounts.at("bic.k"), 14u);
+
+    // The manifest validates and records what the run did.
+    std::vector<std::string> errors = checkManifestFile(manifest);
+    for (const std::string &e : errors)
+        ADD_FAILURE() << e;
+    RunManifest m = readRunManifestFile(manifest);
+    EXPECT_EQ(m.tool, "characterize_suite");
+    EXPECT_EQ(m.config.scaleName, "quick");
+    EXPECT_EQ(m.config.seed, 42u);
+    EXPECT_TRUE(m.config.trace);
+    EXPECT_EQ(m.config.tracePath, trace);
+    ASSERT_GE(m.stages.size(), 2u);
+    EXPECT_EQ(m.stages.front().name, "characterize");
+    EXPECT_EQ(m.stages.back().name, "analyze");
+
+    std::remove(trace.c_str());
+    std::remove(manifest.c_str());
+}
+
+TEST(CliStdout, HelpAndListMetricsGoToStdout)
+{
+    const std::string bin = BDS_CHARACTERIZE_SUITE_BIN;
+    const std::string help = capture(withEnv("", bin + " --help"));
+    EXPECT_NE(help.find("characterize_suite"), std::string::npos);
+    EXPECT_NE(help.find("--scale"), std::string::npos);
+
+    const std::string schema =
+        capture(withEnv("", bin + " --list-metrics"));
+    EXPECT_NE(schema.find("Table II"), std::string::npos);
+    EXPECT_NE(schema.find("IPC"), std::string::npos);
+}
+
+} // namespace
+} // namespace bds

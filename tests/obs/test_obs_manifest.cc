@@ -1,0 +1,224 @@
+/**
+ * @file
+ * RunManifest round-trip tests: writeRunManifest() followed by
+ * parseRunManifest() must reproduce every resolved-option field, and
+ * checkManifestFile() must accept what the writer produces. Also
+ * covers the corner cases of the small JSON layer underneath.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "obs/check.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace bds {
+namespace {
+
+/** A manifest exercising every field with non-default values. */
+RunManifest
+sampleManifest()
+{
+    RunManifest m;
+    m.tool = "unit_tool";
+    m.version = bdsVersion();
+    m.created = "2026-08-05T12:34:56Z";
+    m.argv = {"unit_tool", "--scale", "full", "--trace"};
+
+    m.config.tool = "unit_tool";
+    m.config.scaleName = "full";
+    m.config.seed = 123;
+    m.config.parallel.threads = 3;
+    m.config.metricNames = {"IPC", "L3_MPKI", "DTLB_MPKI"};
+    m.config.sampling.enabled = true;
+    m.config.sampling.intervalUops = 250000;
+    m.config.sampling.bbvDims = 64;
+    m.config.sampling.kMin = 2;
+    m.config.sampling.kMax = 9;
+    m.config.sampling.warmupIntervals = 4;
+    m.config.sampling.seed = 99;
+    m.config.trace = true;
+    m.config.tracePath = "unit.trace.jsonl";
+
+    m.stages = {{"characterize", 1.25}, {"analyze", 0.03125}};
+    m.wallSeconds = 1.5;
+    m.peakRssKb = 4096;
+    m.artifacts = {"report.txt", "bds_metrics_full_123.csv"};
+    return m;
+}
+
+TEST(ObsManifest, RoundTripsEveryField)
+{
+    RunManifest m = sampleManifest();
+    std::ostringstream os;
+    writeRunManifest(os, m);
+
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+
+    EXPECT_EQ(r.manifestVersion, m.manifestVersion);
+    EXPECT_EQ(r.tool, m.tool);
+    EXPECT_EQ(r.version, m.version);
+    EXPECT_EQ(r.created, m.created);
+    EXPECT_EQ(r.argv, m.argv);
+
+    // The parser rebuilds config.tool from the manifest's tool.
+    EXPECT_EQ(r.config.tool, m.tool);
+    EXPECT_EQ(r.config.scaleName, m.config.scaleName);
+    EXPECT_EQ(r.config.seed, m.config.seed);
+    EXPECT_EQ(r.config.parallel.threads, m.config.parallel.threads);
+    EXPECT_EQ(r.config.metricNames, m.config.metricNames);
+    EXPECT_EQ(r.config.sampling.enabled, m.config.sampling.enabled);
+    EXPECT_EQ(r.config.sampling.intervalUops,
+              m.config.sampling.intervalUops);
+    EXPECT_EQ(r.config.sampling.bbvDims, m.config.sampling.bbvDims);
+    EXPECT_EQ(r.config.sampling.kMin, m.config.sampling.kMin);
+    EXPECT_EQ(r.config.sampling.kMax, m.config.sampling.kMax);
+    EXPECT_EQ(r.config.sampling.warmupIntervals,
+              m.config.sampling.warmupIntervals);
+    EXPECT_EQ(r.config.sampling.seed, m.config.sampling.seed);
+    EXPECT_EQ(r.config.trace, m.config.trace);
+    EXPECT_EQ(r.config.tracePath, m.config.tracePath);
+
+    ASSERT_EQ(r.stages.size(), m.stages.size());
+    for (std::size_t i = 0; i < m.stages.size(); ++i) {
+        EXPECT_EQ(r.stages[i].name, m.stages[i].name);
+        EXPECT_EQ(r.stages[i].seconds, m.stages[i].seconds);
+    }
+    EXPECT_EQ(r.wallSeconds, m.wallSeconds);
+    EXPECT_EQ(r.peakRssKb, m.peakRssKb);
+    EXPECT_EQ(r.artifacts, m.artifacts);
+}
+
+TEST(ObsManifest, TraceDisabledWritesAnEmptyTracePath)
+{
+    RunManifest m = sampleManifest();
+    m.config.trace = false;
+    m.config.tracePath = "would-be-ignored.jsonl";
+
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+
+    EXPECT_FALSE(r.config.trace);
+    // The writer records the path of the trace that was actually
+    // produced: none when tracing was off.
+    EXPECT_TRUE(r.config.tracePath.empty());
+}
+
+TEST(ObsManifest, TraceEnabledWithDefaultPathRecordsTheResolvedOne)
+{
+    RunManifest m = sampleManifest();
+    m.config.trace = true;
+    m.config.tracePath.clear();
+
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+
+    EXPECT_EQ(r.config.tracePath, "unit_tool.trace.jsonl");
+}
+
+TEST(ObsManifest, EscapesSpecialCharactersInStrings)
+{
+    RunManifest m = sampleManifest();
+    m.argv = {"unit_tool", "--manifest", "dir with \"quotes\"\\x.json"};
+    m.artifacts = {"line\nbreak.txt", "tab\there.csv"};
+
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+
+    EXPECT_EQ(r.argv, m.argv);
+    EXPECT_EQ(r.artifacts, m.artifacts);
+}
+
+TEST(ObsManifest, CheckerAcceptsAWrittenManifestFile)
+{
+    const std::string path = "unit_manifest_ok.json";
+    {
+        std::ofstream out(path);
+        writeRunManifest(out, sampleManifest());
+    }
+    std::vector<std::string> errors = checkManifestFile(path);
+    for (const std::string &e : errors)
+        ADD_FAILURE() << e;
+    std::remove(path.c_str());
+}
+
+TEST(ObsManifest, CheckerRejectsMissingAndMalformedFiles)
+{
+    EXPECT_FALSE(checkManifestFile("no_such_manifest.json").empty());
+
+    const std::string path = "unit_manifest_bad.json";
+    {
+        std::ofstream out(path);
+        out << "{\"manifest_version\": 1, \"tool\": \"x\"";
+    }
+    EXPECT_FALSE(checkManifestFile(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(ObsManifest, CheckerFlagsFieldViolations)
+{
+    RunManifest m = sampleManifest();
+    m.config.scaleName = "galactic";
+    m.created = "yesterday";
+    const std::string path = "unit_manifest_viol.json";
+    {
+        std::ofstream out(path);
+        writeRunManifest(out, m);
+    }
+    std::vector<std::string> errors = checkManifestFile(path);
+    EXPECT_EQ(errors.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ObsJson, ParsesScalarsArraysAndObjects)
+{
+    JsonValue v = parseJson(
+        " {\"a\": [1, 2.5, -3e2], \"b\": {\"t\": true, \"f\": false, "
+        "\"n\": null}, \"s\": \"\\u0041\\n\\\"\"} ");
+    ASSERT_TRUE(v.isObject());
+    const auto &a = v.at("a").asArray();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[0].asUint(), 1u);
+    EXPECT_EQ(a[1].asNumber(), 2.5);
+    EXPECT_EQ(a[2].asNumber(), -300.0);
+    EXPECT_TRUE(v.at("b").at("t").asBool());
+    EXPECT_FALSE(v.at("b").at("f").asBool());
+    EXPECT_TRUE(v.at("b").at("n").isNull());
+    EXPECT_EQ(v.at("s").asString(), "A\n\"");
+}
+
+TEST(ObsJson, RejectsTrailingGarbageAndTypeMismatch)
+{
+    EXPECT_THROW(parseJson("{} extra"), FatalError);
+    EXPECT_THROW(parseJson("[1,]"), FatalError);
+    EXPECT_THROW(parseJson("\"unterminated"), FatalError);
+    JsonValue v = parseJson("{\"n\": 1}");
+    EXPECT_THROW(v.at("n").asString(), FatalError);
+    EXPECT_THROW(v.at("missing"), FatalError);
+    EXPECT_THROW(parseJson("{\"neg\": -4}").at("neg").asUint(),
+                 FatalError);
+}
+
+TEST(ObsJson, NumberFormattingRoundTrips)
+{
+    for (double d : {0.0, 1.0, 0.1, 1e-9, 12345.6789, 1.0 / 3.0}) {
+        JsonValue v = parseJson(jsonNumber(d));
+        EXPECT_EQ(v.asNumber(), d) << "via " << jsonNumber(d);
+    }
+}
+
+} // namespace
+} // namespace bds

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The observability neutrality contract: enabling tracing must not
+ * change any computed result. The tracer only observes — a traced
+ * run and an untraced run of the same work produce bitwise-identical
+ * pipeline results and metric vectors.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "obs/check.h"
+#include "obs/trace.h"
+#include "workloads/registry.h"
+
+namespace bds {
+namespace {
+
+/** Deterministic synthetic metric matrix with visible structure. */
+Matrix
+syntheticMetrics(std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    Pcg32 rng(1234);
+    for (std::size_t r = 0; r < rows; ++r) {
+        double base = r < rows / 2 ? 0.3 : 0.8;
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = base + 0.2 * rng.nextDouble()
+                + (c % 3 == 0 ? 0.1 * static_cast<double>(r) : 0.0);
+    }
+    return m;
+}
+
+std::vector<std::string>
+rowNames(std::size_t rows)
+{
+    std::vector<std::string> names;
+    for (std::size_t r = 0; r < rows; ++r)
+        names.push_back("w" + std::to_string(r));
+    return names;
+}
+
+/** Exact equality of two pipeline results, field by field. */
+void
+expectIdentical(const PipelineResult &a, const PipelineResult &b)
+{
+    EXPECT_EQ(a.names, b.names);
+    EXPECT_EQ(a.metricLabels, b.metricLabels);
+    EXPECT_EQ(a.rawMetrics.data(), b.rawMetrics.data());
+    EXPECT_EQ(a.z.normalized.data(), b.z.normalized.data());
+    EXPECT_EQ(a.z.means, b.z.means);
+    EXPECT_EQ(a.z.stddevs, b.z.stddevs);
+    EXPECT_EQ(a.pca.eigenvalues, b.pca.eigenvalues);
+    EXPECT_EQ(a.pca.numComponents, b.pca.numComponents);
+    EXPECT_EQ(a.pca.scores.data(), b.pca.scores.data());
+    EXPECT_EQ(a.pca.components.data(), b.pca.components.data());
+    ASSERT_EQ(a.bic.points.size(), b.bic.points.size());
+    EXPECT_EQ(a.bic.bestIndex, b.bic.bestIndex);
+    for (std::size_t i = 0; i < a.bic.points.size(); ++i) {
+        EXPECT_EQ(a.bic.points[i].k, b.bic.points[i].k);
+        EXPECT_EQ(a.bic.points[i].bic, b.bic.points[i].bic);
+        EXPECT_EQ(a.bic.points[i].result.labels,
+                  b.bic.points[i].result.labels);
+        EXPECT_EQ(a.bic.points[i].result.centers.data(),
+                  b.bic.points[i].result.centers.data());
+    }
+}
+
+class ObsNeutralityTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Tracer::global().disable(); }
+};
+
+TEST_F(ObsNeutralityTest, TracingDoesNotChangeThePipelineResult)
+{
+    Matrix metrics = syntheticMetrics(24, 12);
+    std::vector<std::string> names = rowNames(24);
+
+    ASSERT_FALSE(traceEnabled());
+    PipelineResult plain = runPipeline(metrics, names);
+
+    std::ostringstream trace;
+    Tracer::global().enableStream(&trace);
+    PipelineResult traced = runPipeline(metrics, names);
+    Tracer::global().disable();
+
+    expectIdentical(plain, traced);
+
+    // The traced run must actually have been observed: a valid
+    // stream covering every stage and every K of the BIC sweep.
+    std::istringstream is(trace.str());
+    TraceCheckResult check = checkTrace(is);
+    for (const std::string &e : check.errors)
+        ADD_FAILURE() << e;
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check.spanCounts.at("pipeline.run"), 1u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.zscore"), 1u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.pca"), 1u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.hcluster"), 1u);
+    EXPECT_EQ(check.spanCounts.at("pipeline.bic_sweep"), 1u);
+    // kMin = 2 .. kMax = 15 clamped to the 24 rows: 14 sweep points.
+    EXPECT_EQ(check.spanCounts.at("bic.k"), 14u);
+}
+
+TEST_F(ObsNeutralityTest, TracingDoesNotChangeAWorkloadRun)
+{
+    WorkloadRunner plainRunner(NodeConfig::defaultSim(),
+                               ScaleProfile::byName("quick"), 42);
+    WorkloadId id{Algorithm::Grep, StackKind::Spark};
+    WorkloadResult plain = plainRunner.run(id);
+
+    std::ostringstream trace;
+    Tracer::global().enableStream(&trace);
+    WorkloadRunner tracedRunner(NodeConfig::defaultSim(),
+                                ScaleProfile::byName("quick"), 42);
+    WorkloadResult traced = tracedRunner.run(id);
+    Tracer::global().disable();
+
+    ASSERT_EQ(plain.metrics.size(), traced.metrics.size());
+    for (std::size_t i = 0; i < plain.metrics.size(); ++i)
+        EXPECT_EQ(plain.metrics[i], traced.metrics[i]) << "metric " << i;
+    EXPECT_EQ(plain.counters.instructions,
+              traced.counters.instructions);
+    EXPECT_EQ(plain.counters.cycles, traced.counters.cycles);
+
+    std::istringstream is(trace.str());
+    TraceCheckResult check = checkTrace(is);
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check.spanCounts.at("workload.run"), 1u);
+}
+
+} // namespace
+} // namespace bds

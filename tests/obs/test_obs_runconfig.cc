@@ -1,0 +1,240 @@
+/**
+ * @file
+ * RunConfig resolution tests: BDS_* environment parsing, --flag
+ * handling (including --flag=value), precedence (defaults, then env,
+ * then flags), strict numeric parsing, and the resolved default
+ * paths for trace and manifest output.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "obs/runconfig.h"
+
+namespace bds {
+namespace {
+
+const char *const kEnvVars[] = {
+    "BDS_SCALE",         "BDS_SEED",        "BDS_THREADS",
+    "BDS_METRICS",       "BDS_SAMPLE",      "BDS_SAMPLE_INTERVAL",
+    "BDS_SAMPLE_BBV",    "BDS_SAMPLE_KMAX", "BDS_SAMPLE_WARMUP",
+    "BDS_SAMPLE_SEED",   "BDS_TRACE",       "BDS_TRACE_FILE",
+    "BDS_MANIFEST",
+};
+
+/** Clears every BDS_* variable for the test, restoring it after. */
+class ObsRunConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        for (const char *name : kEnvVars) {
+            if (const char *v = std::getenv(name))
+                saved_[name] = v;
+            ::unsetenv(name);
+        }
+    }
+
+    void TearDown() override
+    {
+        for (const char *name : kEnvVars) {
+            auto it = saved_.find(name);
+            if (it != saved_.end())
+                ::setenv(name, it->second.c_str(), 1);
+            else
+                ::unsetenv(name);
+        }
+    }
+
+    std::map<std::string, std::string> saved_;
+};
+
+TEST_F(ObsRunConfigTest, DefaultsWithACleanEnvironment)
+{
+    RunConfig cfg = RunConfig::resolve("toolname");
+    EXPECT_EQ(cfg.tool, "toolname");
+    EXPECT_EQ(cfg.scaleName, "standard");
+    EXPECT_EQ(cfg.seed, 42u);
+    EXPECT_EQ(cfg.parallel.threads, 0u);
+    EXPECT_TRUE(cfg.metricNames.empty());
+    EXPECT_FALSE(cfg.sampling.enabled);
+    EXPECT_FALSE(cfg.trace);
+    EXPECT_TRUE(cfg.manifest);
+    EXPECT_EQ(cfg.resolvedTracePath(), "toolname.trace.jsonl");
+    EXPECT_EQ(cfg.resolvedManifestPath(), "toolname.manifest.json");
+}
+
+TEST_F(ObsRunConfigTest, EnvironmentOverlaysEveryKnob)
+{
+    ::setenv("BDS_SCALE", "full", 1);
+    ::setenv("BDS_SEED", "7", 1);
+    ::setenv("BDS_THREADS", "5", 1);
+    ::setenv("BDS_METRICS", "IPC,L3_MPKI", 1);
+    ::setenv("BDS_SAMPLE", "1", 1);
+    ::setenv("BDS_SAMPLE_INTERVAL", "12345", 1);
+    ::setenv("BDS_SAMPLE_BBV", "16", 1);
+    ::setenv("BDS_SAMPLE_KMAX", "4", 1);
+    ::setenv("BDS_SAMPLE_WARMUP", "2", 1);
+    ::setenv("BDS_SAMPLE_SEED", "11", 1);
+    ::setenv("BDS_TRACE", "1", 1);
+
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_EQ(cfg.scaleName, "full");
+    EXPECT_EQ(cfg.seed, 7u);
+    EXPECT_EQ(cfg.parallel.threads, 5u);
+    EXPECT_EQ(cfg.metricNames,
+              (std::vector<std::string>{"IPC", "L3_MPKI"}));
+    EXPECT_TRUE(cfg.sampling.enabled);
+    EXPECT_EQ(cfg.sampling.intervalUops, 12345u);
+    EXPECT_EQ(cfg.sampling.bbvDims, 16u);
+    EXPECT_EQ(cfg.sampling.kMax, 4u);
+    EXPECT_EQ(cfg.sampling.warmupIntervals, 2u);
+    EXPECT_EQ(cfg.sampling.seed, 11u);
+    EXPECT_TRUE(cfg.trace);
+}
+
+TEST_F(ObsRunConfigTest, TraceFileImpliesTracing)
+{
+    ::setenv("BDS_TRACE_FILE", "/tmp/run.jsonl", 1);
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_TRUE(cfg.trace);
+    EXPECT_EQ(cfg.resolvedTracePath(), "/tmp/run.jsonl");
+}
+
+TEST_F(ObsRunConfigTest, ManifestSwitchTakesZeroOneOrAPath)
+{
+    ::setenv("BDS_MANIFEST", "0", 1);
+    EXPECT_FALSE(RunConfig::resolve("t").manifest);
+
+    ::setenv("BDS_MANIFEST", "1", 1);
+    RunConfig on = RunConfig::resolve("t");
+    EXPECT_TRUE(on.manifest);
+    EXPECT_EQ(on.resolvedManifestPath(), "t.manifest.json");
+
+    ::setenv("BDS_MANIFEST", "out/custom.json", 1);
+    RunConfig custom = RunConfig::resolve("t");
+    EXPECT_TRUE(custom.manifest);
+    EXPECT_EQ(custom.resolvedManifestPath(), "out/custom.json");
+}
+
+TEST_F(ObsRunConfigTest, MalformedEnvironmentValuesAreFatal)
+{
+    ::setenv("BDS_SEED", "abc", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SEED");
+
+    ::setenv("BDS_SCALE", "huge", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SCALE");
+
+    ::setenv("BDS_SAMPLE", "yes", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SAMPLE");
+
+    ::setenv("BDS_SAMPLE_INTERVAL", "0", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SAMPLE_INTERVAL");
+
+    ::setenv("BDS_METRICS", "IPC,,L3_MPKI", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+}
+
+TEST_F(ObsRunConfigTest, StrictUintParsing)
+{
+    EXPECT_EQ(detail::parseUint("x", "0"), 0u);
+    EXPECT_EQ(detail::parseUint("x", "12345"), 12345u);
+    EXPECT_THROW(detail::parseUint("x", ""), FatalError);
+    EXPECT_THROW(detail::parseUint("x", "-1"), FatalError);
+    EXPECT_THROW(detail::parseUint("x", "+1"), FatalError);
+    EXPECT_THROW(detail::parseUint("x", " 1"), FatalError);
+    EXPECT_THROW(detail::parseUint("x", "1x"), FatalError);
+    EXPECT_THROW(detail::parseUint("x", "0x10"), FatalError);
+    EXPECT_THROW(detail::parseUint("x", "99999999999999999999999"),
+                 FatalError);
+}
+
+TEST_F(ObsRunConfigTest, FlagsInBothFormsAndLeftoversInOrder)
+{
+    RunConfig cfg;
+    cfg.tool = "t";
+    std::vector<std::string> rest = cfg.applyArgs(
+        {"positional1", "--scale", "quick", "--seed=9",
+         "--threads", "2", "--metrics=IPC", "--sampled", "--trace",
+         "--unknown-flag", "positional2"});
+    EXPECT_EQ(cfg.scaleName, "quick");
+    EXPECT_EQ(cfg.seed, 9u);
+    EXPECT_EQ(cfg.parallel.threads, 2u);
+    EXPECT_EQ(cfg.metricNames, (std::vector<std::string>{"IPC"}));
+    EXPECT_TRUE(cfg.sampling.enabled);
+    EXPECT_TRUE(cfg.trace);
+    EXPECT_EQ(rest,
+              (std::vector<std::string>{"positional1",
+                                        "--unknown-flag",
+                                        "positional2"}));
+}
+
+TEST_F(ObsRunConfigTest, FlagsWinOverTheEnvironment)
+{
+    ::setenv("BDS_SCALE", "full", 1);
+    ::setenv("BDS_TRACE", "1", 1);
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    cfg.applyArgs({"--scale", "quick", "--no-trace"});
+    EXPECT_EQ(cfg.scaleName, "quick");
+    EXPECT_FALSE(cfg.trace);
+}
+
+TEST_F(ObsRunConfigTest, FlagValueErrorsAreFatal)
+{
+    RunConfig cfg;
+    EXPECT_THROW(cfg.applyArgs({"--seed"}), FatalError);
+    EXPECT_THROW(cfg.applyArgs({"--seed", "nine"}), FatalError);
+    EXPECT_THROW(cfg.applyArgs({"--scale=planetary"}), FatalError);
+}
+
+TEST_F(ObsRunConfigTest, ResolveRejectsUnconsumedArguments)
+{
+    const char *argv[] = {"tool", "--seed", "1", "stray"};
+    EXPECT_THROW(RunConfig::resolve("tool", 4,
+                                    const_cast<char **>(argv)),
+                 FatalError);
+}
+
+TEST_F(ObsRunConfigTest, ResolveCapturesTheCommandLine)
+{
+    const char *argv[] = {"tool", "--trace-file=t.jsonl",
+                          "--manifest", "m.json"};
+    RunConfig cfg =
+        RunConfig::resolve("tool", 4, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.argv,
+              (std::vector<std::string>{"tool", "--trace-file=t.jsonl",
+                                        "--manifest", "m.json"}));
+    EXPECT_TRUE(cfg.trace);
+    EXPECT_EQ(cfg.resolvedTracePath(), "t.jsonl");
+    EXPECT_TRUE(cfg.manifest);
+    EXPECT_EQ(cfg.resolvedManifestPath(), "m.json");
+}
+
+TEST_F(ObsRunConfigTest, DescribeSummarizesTheRun)
+{
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.scaleName = "quick";
+    cfg.seed = 5;
+    cfg.parallel.threads = 2;
+    cfg.trace = true;
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("scale=quick"), std::string::npos);
+    EXPECT_NE(d.find("seed=5"), std::string::npos);
+    EXPECT_NE(d.find("threads=2"), std::string::npos);
+    EXPECT_NE(d.find("trace=t.trace.jsonl"), std::string::npos);
+}
+
+} // namespace
+} // namespace bds

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tracer unit tests: the null-sink contract when disabled, event
+ * grammar of the emitted JSON-lines stream, per-thread span nesting
+ * under the worker pool, and aggregation into the end-of-run summary.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "obs/check.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace bds {
+namespace {
+
+/** Every test leaves the global tracer disabled. */
+class ObsTraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Tracer::global().disable(); }
+};
+
+TEST_F(ObsTraceTest, DisabledHooksAreNoOps)
+{
+    ASSERT_FALSE(traceEnabled());
+    {
+        TraceSpan outer("never.recorded");
+        TraceSpan inner("never.recorded.child", "k",
+                        std::uint64_t(1));
+    }
+    Tracer::global().counter("never.counted", 42);
+    Tracer::global().gauge("never.gauged", 3.5);
+    // Nothing above may have reached the (absent) sink or the
+    // aggregates once a stream is attached afterwards.
+    std::ostringstream os;
+    Tracer::global().enableStream(&os);
+    Tracer::global().disable();
+    EXPECT_TRUE(os.str().empty());
+    EXPECT_TRUE(Tracer::global().spanSummary().empty());
+    EXPECT_TRUE(Tracer::global().counterSummary().empty());
+}
+
+TEST_F(ObsTraceTest, EmitsValidNestedEventStream)
+{
+    std::ostringstream os;
+    Tracer::global().enableStream(&os);
+    ASSERT_TRUE(traceEnabled());
+    Tracer::global().emitMeta("unit_tool", "1.2.3");
+    {
+        TraceSpan outer("outer");
+        {
+            TraceSpan inner("inner", "k", std::uint64_t(3));
+        }
+        {
+            TraceSpan inner("inner", "workload",
+                            std::string("H-Sort"));
+        }
+        Tracer::global().counter("ops", 5);
+        Tracer::global().counter("ops", 7);
+        Tracer::global().gauge("accuracy", 0.875);
+    }
+    Tracer::global().disable();
+
+    std::istringstream is(os.str());
+    TraceCheckResult res = checkTrace(is);
+    for (const std::string &e : res.errors)
+        ADD_FAILURE() << e;
+    ASSERT_TRUE(res.ok());
+    // 1 meta + 3 begin + 3 end + 2 counter + 1 gauge.
+    EXPECT_EQ(res.events, 10u);
+    EXPECT_EQ(res.spanCounts.at("outer"), 1u);
+    EXPECT_EQ(res.spanCounts.at("inner"), 2u);
+    EXPECT_EQ(res.counterTotals.at("ops"), 12u);
+}
+
+TEST_F(ObsTraceTest, ChildSpansParentToTheEnclosingSpan)
+{
+    std::ostringstream os;
+    Tracer::global().enableStream(&os);
+    {
+        TraceSpan outer("outer");
+        TraceSpan inner("inner");
+    }
+    Tracer::global().disable();
+
+    std::uint64_t outerId = 0, innerParent = 1;
+    std::istringstream is(os.str());
+    std::string line;
+    while (std::getline(is, line)) {
+        JsonValue ev = parseJson(line);
+        if (ev.at("ev").asString() != "B")
+            continue;
+        if (ev.at("name").asString() == "outer") {
+            outerId = ev.at("id").asUint();
+            EXPECT_EQ(ev.at("parent").asUint(), 0u);
+        } else {
+            innerParent = ev.at("parent").asUint();
+        }
+    }
+    EXPECT_NE(outerId, 0u);
+    EXPECT_EQ(innerParent, outerId);
+}
+
+TEST_F(ObsTraceTest, SpansNestPerThreadUnderTheWorkerPool)
+{
+    constexpr std::size_t kTasks = 64;
+    std::ostringstream os;
+    Tracer::global().enableStream(&os);
+    {
+        TraceSpan root("pool.root");
+        parallelFor(kTasks, 4u, [](std::size_t i) {
+            TraceSpan task("pool.task", "i",
+                           static_cast<std::uint64_t>(i));
+            TraceSpan step("pool.task.step");
+            Tracer::global().counter("pool.iterations", 1);
+        });
+    }
+    // Aggregates must match before the stream is torn down.
+    auto spans = Tracer::global().spanSummary();
+    auto counters = Tracer::global().counterSummary();
+    Tracer::global().disable();
+
+    std::istringstream is(os.str());
+    TraceCheckResult res = checkTrace(is);
+    for (const std::string &e : res.errors)
+        ADD_FAILURE() << e;
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.spanCounts.at("pool.root"), 1u);
+    EXPECT_EQ(res.spanCounts.at("pool.task"), kTasks);
+    EXPECT_EQ(res.spanCounts.at("pool.task.step"), kTasks);
+    EXPECT_EQ(res.counterTotals.at("pool.iterations"), kTasks);
+
+    EXPECT_EQ(spans.at("pool.task").count, kTasks);
+    EXPECT_EQ(spans.at("pool.task.step").count, kTasks);
+    EXPECT_EQ(counters.at("pool.iterations"), kTasks);
+}
+
+TEST_F(ObsTraceTest, WriteSummaryListsSpansCountersAndGauges)
+{
+    std::ostringstream os;
+    Tracer::global().enableStream(&os);
+    {
+        TraceSpan span("summary.span");
+    }
+    Tracer::global().counter("summary.counter", 9);
+    Tracer::global().gauge("summary.gauge", 2.25);
+
+    std::ostringstream summary;
+    Tracer::global().writeSummary(summary);
+    Tracer::global().disable();
+
+    const std::string text = summary.str();
+    EXPECT_NE(text.find("summary.span"), std::string::npos);
+    EXPECT_NE(text.find("summary.counter"), std::string::npos);
+    EXPECT_NE(text.find("summary.gauge"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, CheckerRejectsCorruptStreams)
+{
+    // A begin with no matching end.
+    {
+        std::istringstream is(
+            "{\"ev\":\"B\",\"id\":1,\"parent\":0,\"tid\":0,"
+            "\"t_us\":0,\"name\":\"open\"}\n");
+        EXPECT_FALSE(checkTrace(is).ok());
+    }
+    // An end with no begin.
+    {
+        std::istringstream is(
+            "{\"ev\":\"E\",\"id\":9,\"tid\":0,\"t_us\":5,"
+            "\"name\":\"ghost\",\"dur_us\":5}\n");
+        EXPECT_FALSE(checkTrace(is).ok());
+    }
+    // A line that is not JSON at all.
+    {
+        std::istringstream is("this is not an event\n");
+        EXPECT_FALSE(checkTrace(is).ok());
+    }
+}
+
+} // namespace
+} // namespace bds
