@@ -136,27 +136,40 @@ characterizedPipeline(bds::Session &session)
         bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
                                    cfg.seed);
         runner.setParallel(cfg.parallel);
+        runner.setRecovery(cfg.fault.recovery);
+        bds::SweepReport report;
         if (cfg.sampling.enabled) {
             bds::SampledCharacterizer sampler(runner, cfg.sampling);
-            metrics = sampler.runAll();
+            metrics = sampler.runAll(nullptr, &report);
         } else {
             bds::SweepTiming timing;
-            metrics = runner.runAll(nullptr, &timing);
-            std::cerr << "[bench] characterized 32 workloads in "
+            metrics = runner.runAll(nullptr, &timing, &report);
+            std::cerr << "[bench] characterized "
+                      << report.survivors.size() << " workloads in "
                       << timing.totalSeconds << " s on "
                       << timing.threads << " thread(s)\n";
         }
-        for (const auto &id : bds::allWorkloads())
-            names.push_back(id.name());
+        session.recordSweep(report);
+        names = report.survivorNames();
 
-        bds::PipelineResult tmp;
-        tmp.names = names;
-        tmp.rawMetrics = metrics;
-        std::ofstream out(cache);
-        bds::writeMetricsCsv(out, tmp);
+        if (report.allOk()) {
+            bds::PipelineResult tmp;
+            tmp.names = names;
+            tmp.rawMetrics = metrics;
+            std::ofstream out(cache);
+            bds::writeMetricsCsv(out, tmp);
+        } else {
+            // A quarantined sweep is incomplete by design — never let
+            // its shrunken matrix masquerade as the 32-row cache.
+            std::cerr << "[bench] not caching: "
+                      << (bds::allWorkloads().size() - names.size())
+                      << " workload(s) quarantined\n";
+            cache.clear();
+        }
         session.recordStage("characterize", acquireSeconds());
     }
-    session.noteArtifact(cache);
+    if (!cache.empty())
+        session.noteArtifact(cache);
 
     bds::StageTimer stage(session, "analyze");
     return bds::runPipeline(metrics, names,

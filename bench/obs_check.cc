@@ -10,10 +10,19 @@
  *             --require-span workload.run:32 \
  *             --require-span bic.k:14
  *
+ * The CI fault-injection matrix adds the failure-record assertions:
+ *
+ *   obs_check --manifest quarantine.manifest.json \
+ *             --require-failure-record \
+ *             --require-counter fault.quarantined:3
+ *
  * Exits 0 when every given artifact is structurally valid and every
- * --require-span NAME:MINCOUNT is satisfied by the trace; prints each
- * violation to stderr and exits 1 otherwise. See docs/OBSERVABILITY.md
- * for the event grammar the trace checker enforces.
+ * --require-span NAME:MINCOUNT / --require-counter NAME:MINTOTAL is
+ * satisfied by the trace, and (with --require-failure-record) the
+ * manifest holds at least one grammar-valid failure record. Prints
+ * each violation to stderr and exits 1 otherwise. See
+ * docs/OBSERVABILITY.md for the event grammar and docs/ROBUSTNESS.md
+ * for the failure-record grammar.
  */
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 
 #include "common/log.h"
 #include "obs/check.h"
+#include "obs/manifest.h"
 #include "obs/runconfig.h"
 
 namespace {
@@ -35,7 +45,7 @@ struct SpanRequirement
 
 /** Parse "NAME:MINCOUNT" (the count defaults to 1). */
 SpanRequirement
-parseRequirement(const std::string &arg)
+parseRequirement(const char *flag, const std::string &arg)
 {
     SpanRequirement req;
     std::string::size_type colon = arg.rfind(':');
@@ -44,11 +54,10 @@ parseRequirement(const std::string &arg)
         return req;
     }
     req.name = arg.substr(0, colon);
-    req.minCount = bds::detail::parseUint("--require-span count",
-                                          arg.substr(colon + 1));
+    req.minCount = bds::detail::parseUint(
+        std::string(flag) + " count", arg.substr(colon + 1));
     if (req.name.empty())
-        BDS_FATAL("--require-span needs a span name, got '" << arg
-                  << "'");
+        BDS_FATAL(flag << " needs a name, got '" << arg << "'");
     return req;
 }
 
@@ -57,10 +66,16 @@ usage(std::ostream &os)
 {
     os << "usage: obs_check [--manifest FILE] [--trace FILE]\n"
           "                 [--require-span NAME[:MINCOUNT]]...\n"
+          "                 [--require-counter NAME[:MINTOTAL]]...\n"
+          "                 [--require-failure-record]\n"
           "\n"
           "Validates a bds run manifest and/or JSON-lines trace.\n"
           "--require-span asserts the trace holds at least MINCOUNT\n"
-          "completed spans of NAME (default 1). Exit 0 = all valid.\n";
+          "completed spans of NAME (default 1); --require-counter\n"
+          "asserts counter NAME totals at least MINTOTAL (default 1).\n"
+          "--require-failure-record asserts the manifest records at\n"
+          "least one workload failure (grammar-checked: status enum,\n"
+          "attempt counts, quarantine list). Exit 0 = all valid.\n";
 }
 
 } // namespace
@@ -70,6 +85,8 @@ main(int argc, char **argv)
 {
     std::string manifest_path, trace_path;
     std::vector<SpanRequirement> requirements;
+    std::vector<SpanRequirement> counter_requirements;
+    bool require_failure_record = false;
 
     std::vector<std::string> args(argv + 1, argv + argc);
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -86,8 +103,13 @@ main(int argc, char **argv)
         } else if (args[i] == "--trace") {
             trace_path = value("--trace");
         } else if (args[i] == "--require-span") {
-            requirements.push_back(
-                parseRequirement(value("--require-span")));
+            requirements.push_back(parseRequirement(
+                "--require-span", value("--require-span")));
+        } else if (args[i] == "--require-counter") {
+            counter_requirements.push_back(parseRequirement(
+                "--require-counter", value("--require-counter")));
+        } else if (args[i] == "--require-failure-record") {
+            require_failure_record = true;
         } else {
             std::cerr << "obs_check: unknown argument '" << args[i]
                       << "'\n";
@@ -101,6 +123,10 @@ main(int argc, char **argv)
     }
     if (!requirements.empty() && trace_path.empty())
         BDS_FATAL("--require-span needs --trace");
+    if (!counter_requirements.empty() && trace_path.empty())
+        BDS_FATAL("--require-counter needs --trace");
+    if (require_failure_record && manifest_path.empty())
+        BDS_FATAL("--require-failure-record needs --manifest");
 
     std::size_t violations = 0;
     auto report = [&](const std::string &what,
@@ -114,9 +140,18 @@ main(int argc, char **argv)
         violations += errors.size();
     };
 
-    if (!manifest_path.empty())
-        report("manifest " + manifest_path,
-               bds::checkManifestFile(manifest_path));
+    if (!manifest_path.empty()) {
+        std::vector<std::string> errors =
+            bds::checkManifestFile(manifest_path);
+        if (require_failure_record && errors.empty()) {
+            bds::RunManifest m =
+                bds::readRunManifestFile(manifest_path);
+            if (m.failures.empty())
+                errors.push_back(
+                    "expected at least one failure record");
+        }
+        report("manifest " + manifest_path, errors);
+    }
 
     if (!trace_path.empty()) {
         bds::TraceCheckResult res = bds::checkTraceFile(trace_path);
@@ -127,6 +162,15 @@ main(int argc, char **argv)
                 it == res.spanCounts.end() ? 0 : it->second;
             if (have < req.minCount)
                 errors.push_back("span '" + req.name + "': have "
+                                 + std::to_string(have) + ", need >= "
+                                 + std::to_string(req.minCount));
+        }
+        for (const SpanRequirement &req : counter_requirements) {
+            auto it = res.counterTotals.find(req.name);
+            std::uint64_t have =
+                it == res.counterTotals.end() ? 0 : it->second;
+            if (have < req.minCount)
+                errors.push_back("counter '" + req.name + "': have "
                                  + std::to_string(have) + ", need >= "
                                  + std::to_string(req.minCount));
         }

@@ -98,17 +98,20 @@ main(int argc, char **argv)
         WorkloadRunner runner(NodeConfig::defaultSim(), scale,
                               cfg.seed);
         runner.setParallel(cfg.parallel);
+        runner.setRecovery(cfg.fault.recovery);
         Matrix metrics;
+        SweepReport report;
         {
             StageTimer stage(session, "characterize");
             SweepTiming timing;
-            metrics = runner.runAll(nullptr, &timing);
+            metrics = runner.runAll(nullptr, &timing, &report);
             std::cerr << "swept the suite in " << timing.totalSeconds
                       << " s\n";
         }
-        std::vector<std::string> names;
-        for (const auto &id : allWorkloads())
-            names.push_back(id.name());
+        session.recordSweep(report);
+        // Under quarantine the analysis continues on the survivors;
+        // on a clean run this is all 32 workloads.
+        std::vector<std::string> names = report.survivorNames();
 
         // 1b. Optional: the sampled path next to the full sweep. The
         //     SampledCharacterizer replays only representative
@@ -118,7 +121,11 @@ main(int argc, char **argv)
             StageTimer stage(session, "sample");
             SampledCharacterizer sampler(runner, cfg.sampling);
             std::vector<SampledWorkloadResult> details;
-            Matrix estimated = sampler.runAll(&details);
+            SweepReport sampled_report;
+            Matrix estimated = sampler.runAll(&details,
+                                              &sampled_report);
+            session.recordSweep(sampled_report);
+            names = sampled_report.survivorNames();
             std::uint64_t total = 0, detail_ops = 0;
             for (const auto &d : details) {
                 total += d.stats.totalOps;

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/log.h"
+#include "fault/error.h"
 #include "obs/trace.h"
 
 namespace bds {
@@ -59,10 +60,13 @@ runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
             const PipelineOptions &opts)
 {
     if (names.size() != metrics.rows())
-        BDS_FATAL("pipeline needs one name per row: " << names.size()
-                  << " names, " << metrics.rows() << " rows");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "pipeline needs one name per row: " << names.size()
+                      << " names, " << metrics.rows() << " rows");
     if (metrics.rows() < 3)
-        BDS_FATAL("pipeline needs at least three workloads");
+        BDS_RAISE(ErrorCode::DegenerateData,
+                  "pipeline needs at least three workloads, got "
+                      << metrics.rows());
 
     TraceSpan span("pipeline.run");
     PipelineResult res;
@@ -76,6 +80,13 @@ runPipeline(const Matrix &metrics, const std::vector<std::string> &names,
     {
         TraceSpan stage("pipeline.pca");
         res.pca = pca(res.z.normalized, opts.pca);
+        if (opts.pca.forcedComponents > 0
+            && res.pca.numComponents < opts.pca.forcedComponents)
+            warn("pipeline: retained "
+                 + std::to_string(res.pca.numComponents)
+                 + " principal components of the "
+                 + std::to_string(opts.pca.forcedComponents)
+                 + " requested (rank-limited input)");
     }
     {
         TraceSpan stage("pipeline.hcluster");

@@ -1,0 +1,51 @@
+#include "fault/error.h"
+
+namespace bds {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "none";
+      case ErrorCode::InvalidConfig: return "invalid_config";
+      case ErrorCode::UnknownName: return "unknown_name";
+      case ErrorCode::DegenerateData: return "degenerate_data";
+      case ErrorCode::WorkloadFailure: return "workload_failure";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::AllocFailure: return "alloc_failure";
+      case ErrorCode::InjectedFault: return "injected_fault";
+      case ErrorCode::Io: return "io";
+      case ErrorCode::Internal: return "internal";
+    }
+    BDS_PANIC("unknown error code");
+}
+
+bool
+errorCodeFromName(const std::string &name, ErrorCode *out)
+{
+    for (unsigned c = 0;
+         c <= static_cast<unsigned>(ErrorCode::Internal); ++c) {
+        ErrorCode code = static_cast<ErrorCode>(c);
+        if (name == errorCodeName(code)) {
+            *out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace detail {
+
+void
+throwError(ErrorCode code, const char *file, int line,
+           const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << errorCodeName(code) << ": " << msg << " (" << file << ':'
+        << line << ')';
+    throw Error(code, oss.str());
+}
+
+} // namespace detail
+
+} // namespace bds

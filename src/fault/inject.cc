@@ -1,0 +1,152 @@
+#include "fault/inject.h"
+
+#include <sstream>
+#include <thread>
+
+#include "fault/error.h"
+
+namespace bds {
+
+namespace {
+
+thread_local const AttemptContext *tl_attempt = nullptr;
+
+/** Split a comma-separated target list; empty input yields empty. */
+std::vector<std::string>
+splitTargets(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+AttemptScope::AttemptScope(const AttemptContext &ctx) : prev_(tl_attempt)
+{
+    tl_attempt = &ctx;
+}
+
+AttemptScope::~AttemptScope()
+{
+    tl_attempt = prev_;
+}
+
+const AttemptContext *
+currentAttempt()
+{
+    return tl_attempt;
+}
+
+void
+faultCheckpoint()
+{
+    const AttemptContext *ctx = tl_attempt;
+    if (!ctx || !ctx->hasDeadline)
+        return;
+    if (std::chrono::steady_clock::now() > ctx->deadline)
+        BDS_RAISE(ErrorCode::Timeout,
+                  "watchdog deadline exceeded on attempt "
+                      << ctx->attempt);
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector instance;
+    return instance;
+}
+
+void
+FaultInjector::arm(const FaultOptions &opts)
+{
+    throwAt_ = splitTargets(opts.throwAt);
+    stallAt_ = splitTargets(opts.stallAt);
+    corruptAt_ = splitTargets(opts.corruptAt);
+    allocAt_ = splitTargets(opts.allocAt);
+    stallMs_ = opts.stallMs;
+    attempts_ = opts.attempts;
+    armed_.store(opts.any(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_.store(false, std::memory_order_relaxed);
+    throwAt_.clear();
+    stallAt_.clear();
+    corruptAt_.clear();
+    allocAt_.clear();
+}
+
+bool
+FaultInjector::matches(const std::vector<std::string> &list,
+                       const std::string &target)
+{
+    for (const std::string &t : list)
+        if (t == "*" || t == target)
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::attemptEligible() const
+{
+    if (attempts_ == 0)
+        return true;
+    const AttemptContext *ctx = tl_attempt;
+    unsigned attempt = ctx ? ctx->attempt : 0;
+    return attempt < attempts_;
+}
+
+void
+FaultInjector::maybeThrow(const std::string &workload) const
+{
+    if (!armed())
+        return;
+    if (matches(throwAt_, workload) && attemptEligible())
+        BDS_RAISE(ErrorCode::InjectedFault,
+                  "injected exception in workload " << workload);
+}
+
+void
+FaultInjector::maybeStall(const std::string &workload) const
+{
+    if (!armed())
+        return;
+    if (!matches(stallAt_, workload) || !attemptEligible())
+        return;
+    // 1 ms slices keep the watchdog responsive: a deadline that
+    // expires mid-stall surfaces as a typed Timeout within ~1 ms.
+    auto until = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(stallMs_);
+    while (std::chrono::steady_clock::now() < until) {
+        faultCheckpoint();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    faultCheckpoint();
+}
+
+bool
+FaultInjector::shouldCorrupt(const std::string &workload) const
+{
+    if (!armed())
+        return false;
+    return matches(corruptAt_, workload) && attemptEligible();
+}
+
+void
+FaultInjector::checkAlloc(const char *site) const
+{
+    if (!armed())
+        return;
+    if (matches(allocAt_, site) && attemptEligible())
+        BDS_RAISE(ErrorCode::AllocFailure,
+                  "injected allocation failure at site " << site);
+}
+
+} // namespace bds

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic, seeded-by-identity fault injection plus the
+ * cooperative watchdog.
+ *
+ * FaultInjector is process-global like the Tracer (src/obs/trace.h)
+ * and follows the same null-sink discipline: when disarmed — the
+ * default — every hook is one relaxed atomic load and an early
+ * return, so the fault layer is bitwise-neutral when idle. arm() is
+ * normally driven by a Session from RunConfig's BDS_FAULT_* /
+ * --fault-* knobs; tests arm it directly.
+ *
+ * Injection is deterministic: a hook fires iff its (site, target,
+ * attempt) triple matches the armed FaultOptions — membership tests
+ * only, no RNG — so a given spec always fails the same workloads at
+ * the same points, and every recovery path can be pinned by tests
+ * and the CI fault matrix.
+ *
+ * The watchdog is cooperative. Each workload attempt installs an
+ * AttemptScope (thread-local attempt index + wall-clock deadline);
+ * faultCheckpoint() raises a typed Timeout once the deadline passes.
+ * Checkpoints sit at attempt start and inside every injected stall
+ * slice, so a stalled workload converts into a timed-out one instead
+ * of wedging the sweep. Genuinely non-cooperative code cannot be
+ * interrupted — the checkpoints bound where a stuck attempt is
+ * detected (see docs/ROBUSTNESS.md).
+ */
+
+#ifndef BDS_FAULT_INJECT_H
+#define BDS_FAULT_INJECT_H
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "fault/options.h"
+
+namespace bds {
+
+/** Thread-local identity of the workload attempt in progress. */
+struct AttemptContext
+{
+    /** 0-based attempt index (0 = first try). */
+    unsigned attempt = 0;
+
+    /** True when `deadline` is armed. */
+    bool hasDeadline = false;
+
+    /** Wall-clock point after which checkpoints raise Timeout. */
+    std::chrono::steady_clock::time_point deadline{};
+};
+
+/**
+ * RAII installer of the thread-local AttemptContext. The sweep
+ * drivers install one per attempt on the attempt's executing thread
+ * (and again inside per-node pool tasks, which do not inherit
+ * thread-locals). The referenced context must outlive the scope.
+ */
+class AttemptScope
+{
+  public:
+    explicit AttemptScope(const AttemptContext &ctx);
+    ~AttemptScope();
+
+    AttemptScope(const AttemptScope &) = delete;
+    AttemptScope &operator=(const AttemptScope &) = delete;
+
+  private:
+    const AttemptContext *prev_;
+};
+
+/** The installed context, or nullptr outside any attempt. */
+const AttemptContext *currentAttempt();
+
+/**
+ * Cooperative watchdog check: raises Error(Timeout) when the
+ * installed attempt's deadline has passed. A no-op without an
+ * installed deadline.
+ */
+void faultCheckpoint();
+
+/**
+ * The process-global fault injector. All mutation goes through
+ * arm()/disarm(); the hooks are called from the execution paths.
+ */
+class FaultInjector
+{
+  public:
+    /** The singleton instance. */
+    static FaultInjector &global();
+
+    /** Parse and enable an injection spec. Overwrites any prior arm. */
+    void arm(const FaultOptions &opts);
+
+    /** Disable all injection. Idempotent. */
+    void disarm();
+
+    /** True when an injection spec is armed. */
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Throw site: raises Error(InjectedFault) for matched targets. */
+    void maybeThrow(const std::string &workload) const;
+
+    /**
+     * Stall site: sleeps stallMs in 1 ms slices for matched targets,
+     * calling faultCheckpoint() per slice so a watchdog deadline
+     * converts the stall into a typed Timeout.
+     */
+    void maybeStall(const std::string &workload) const;
+
+    /** Corruption site: true when the target's result must be poisoned. */
+    bool shouldCorrupt(const std::string &workload) const;
+
+    /** Allocation site: raises Error(AllocFailure) for matched sites. */
+    void checkAlloc(const char *site) const;
+
+  private:
+    FaultInjector() = default;
+
+    /** True when `target` is in `list` ("*" matches everything). */
+    static bool matches(const std::vector<std::string> &list,
+                        const std::string &target);
+
+    /** Attempt gating: true when the current attempt may inject. */
+    bool attemptEligible() const;
+
+    std::atomic<bool> armed_{false};
+    std::vector<std::string> throwAt_;
+    std::vector<std::string> stallAt_;
+    std::vector<std::string> corruptAt_;
+    std::vector<std::string> allocAt_;
+    std::uint64_t stallMs_ = 0;
+    unsigned attempts_ = 0;
+};
+
+} // namespace bds
+
+#endif // BDS_FAULT_INJECT_H

@@ -1,0 +1,92 @@
+#include "fault/status.h"
+
+namespace bds {
+
+const char *
+failPolicyName(FailPolicy policy)
+{
+    switch (policy) {
+      case FailPolicy::FailFast: return "failfast";
+      case FailPolicy::Quarantine: return "quarantine";
+    }
+    BDS_PANIC("unknown fail policy");
+}
+
+bool
+failPolicyFromName(const std::string &name, FailPolicy *out)
+{
+    if (name == "failfast") {
+        *out = FailPolicy::FailFast;
+        return true;
+    }
+    if (name == "quarantine") {
+        *out = FailPolicy::Quarantine;
+        return true;
+    }
+    return false;
+}
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::RetriedOk: return "retried_ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed_out";
+      case RunStatus::Quarantined: return "quarantined";
+    }
+    BDS_PANIC("unknown run status");
+}
+
+bool
+runStatusFromName(const std::string &name, RunStatus *out)
+{
+    for (unsigned s = 0;
+         s <= static_cast<unsigned>(RunStatus::Quarantined); ++s) {
+        RunStatus status = static_cast<RunStatus>(s);
+        if (name == runStatusName(status)) {
+            *out = status;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SweepReport::allOk() const
+{
+    return survivors.size() == records.size();
+}
+
+std::vector<std::string>
+SweepReport::survivorNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(survivors.size());
+    for (std::size_t i : survivors)
+        out.push_back(records[i].name);
+    return out;
+}
+
+std::vector<RunRecord>
+SweepReport::failures() const
+{
+    std::vector<RunRecord> out;
+    for (const RunRecord &r : records)
+        if (r.status != RunStatus::Ok)
+            out.push_back(r);
+    return out;
+}
+
+std::vector<std::string>
+SweepReport::quarantinedNames() const
+{
+    std::vector<std::string> out;
+    for (const RunRecord &r : records)
+        if (r.status == RunStatus::Quarantined)
+            out.push_back(r.name);
+    return out;
+}
+
+} // namespace bds

@@ -180,6 +180,44 @@ checkManifestFile(const std::string &path)
             errors.push_back("stage '" + st.name
                              + "' has negative seconds");
     }
+
+    // Failure-record grammar: the parser already rejected unknown
+    // status/code names, so what is left is internal consistency —
+    // attempt counts that match the status, causes on terminal
+    // failures, and a quarantined list that mirrors the quarantined
+    // records in order.
+    std::vector<std::string> expect_quarantined;
+    for (const RunRecord &r : m.failures) {
+        if (r.name.empty())
+            errors.push_back("failure record with empty name");
+        if (r.status == RunStatus::Ok)
+            errors.push_back("failure record '" + r.name
+                             + "' has status ok");
+        if (r.attempts < 1)
+            errors.push_back("failure record '" + r.name
+                             + "' has attempts < 1");
+        if (r.status == RunStatus::RetriedOk && r.attempts < 2)
+            errors.push_back("retried_ok record '" + r.name
+                             + "' has attempts < 2");
+        if (r.status != RunStatus::RetriedOk
+            && r.code == ErrorCode::None)
+            errors.push_back("failure record '" + r.name
+                             + "' has no error code");
+        if (r.status == RunStatus::TimedOut
+            && r.code != ErrorCode::Timeout)
+            errors.push_back("timed_out record '" + r.name
+                             + "' has code "
+                             + errorCodeName(r.code));
+        if (r.seconds < 0.0)
+            errors.push_back("failure record '" + r.name
+                             + "' has negative seconds");
+        if (r.status == RunStatus::Quarantined)
+            expect_quarantined.push_back(r.name);
+    }
+    if (m.quarantined != expect_quarantined)
+        errors.push_back(
+            "quarantined list does not match the quarantined "
+            "failure records");
     return errors;
 }
 

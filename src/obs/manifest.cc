@@ -75,7 +75,13 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
        << "    \"trace\": {\"enabled\": "
        << (c.trace ? "true" : "false") << ", \"path\": \""
        << jsonEscape(c.trace ? c.resolvedTracePath() : std::string())
-       << "\"}\n"
+       << "\"},\n"
+       << "    \"recovery\": {\"policy\": \""
+       << failPolicyName(c.fault.recovery.policy)
+       << "\", \"retries\": " << c.fault.recovery.maxRetries
+       << ", \"timeout_ms\": " << c.fault.recovery.timeoutMs
+       << ", \"fault_injection\": "
+       << (c.fault.any() ? "true" : "false") << "}\n"
        << "  },\n"
        << "  \"stages\": [";
     for (std::size_t i = 0; i < m.stages.size(); ++i)
@@ -87,6 +93,23 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
        << "  \"peak_rss_kb\": " << m.peakRssKb << ",\n"
        << "  \"artifacts\": ";
     writeStringArray(os, m.artifacts);
+    // Failure records only appear when something went wrong, so a
+    // clean run's manifest is unchanged by the fault layer.
+    if (!m.failures.empty()) {
+        os << ",\n  \"failures\": [\n";
+        for (std::size_t i = 0; i < m.failures.size(); ++i) {
+            const RunRecord &r = m.failures[i];
+            os << (i ? ",\n" : "") << "    {\"name\": \""
+               << jsonEscape(r.name) << "\", \"status\": \""
+               << runStatusName(r.status)
+               << "\", \"attempts\": " << r.attempts
+               << ", \"code\": \"" << errorCodeName(r.code)
+               << "\", \"message\": \"" << jsonEscape(r.message)
+               << "\", \"seconds\": " << jsonNumber(r.seconds) << "}";
+        }
+        os << "\n  ],\n  \"quarantined\": ";
+        writeStringArray(os, m.quarantined);
+    }
     os << "\n}\n";
 }
 
@@ -127,6 +150,19 @@ parseRunManifest(std::istream &is)
     m.config.trace = t.at("enabled").asBool();
     m.config.tracePath = t.at("path").asString();
 
+    // Pre-fault-layer manifests lack the recovery block.
+    if (cfg.has("recovery")) {
+        const JsonValue &r = cfg.at("recovery");
+        if (!failPolicyFromName(r.at("policy").asString(),
+                                &m.config.fault.recovery.policy))
+            BDS_FATAL("manifest has unknown fail policy '"
+                      << r.at("policy").asString() << "'");
+        m.config.fault.recovery.maxRetries =
+            static_cast<unsigned>(r.at("retries").asUint());
+        m.config.fault.recovery.timeoutMs =
+            r.at("timeout_ms").asUint();
+    }
+
     for (const JsonValue &st : root.at("stages").asArray()) {
         StageTime stage;
         stage.name = st.at("name").asString();
@@ -136,6 +172,25 @@ parseRunManifest(std::istream &is)
     m.wallSeconds = root.at("wall_seconds").asNumber();
     m.peakRssKb = static_cast<long>(root.at("peak_rss_kb").asUint());
     m.artifacts = readStringArray(root.at("artifacts"));
+    if (root.has("failures")) {
+        for (const JsonValue &f : root.at("failures").asArray()) {
+            RunRecord r;
+            r.name = f.at("name").asString();
+            if (!runStatusFromName(f.at("status").asString(),
+                                   &r.status))
+                BDS_FATAL("manifest has unknown run status '"
+                          << f.at("status").asString() << "'");
+            r.attempts =
+                static_cast<unsigned>(f.at("attempts").asUint());
+            if (!errorCodeFromName(f.at("code").asString(), &r.code))
+                BDS_FATAL("manifest has unknown error code '"
+                          << f.at("code").asString() << "'");
+            r.message = f.at("message").asString();
+            r.seconds = f.at("seconds").asNumber();
+            m.failures.push_back(std::move(r));
+        }
+        m.quarantined = readStringArray(root.at("quarantined"));
+    }
     return m;
 }
 

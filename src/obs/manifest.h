@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/status.h"
 #include "obs/runconfig.h"
 
 namespace bds {
@@ -66,6 +67,17 @@ struct RunManifest
 
     /** Paths of the artifacts the run wrote (reports, CSVs, JSON). */
     std::vector<std::string> artifacts;
+
+    /**
+     * Workloads that did not end Ok (retried, failed, timed out or
+     * quarantined), in sweep order. Empty for clean runs — the field
+     * is omitted from the JSON entirely, keeping pre-fault-layer
+     * manifests byte-identical.
+     */
+    std::vector<RunRecord> failures;
+
+    /** Names of the quarantined (dropped) workloads, in sweep order. */
+    std::vector<std::string> quarantined;
 };
 
 /** Serialize `m` as pretty-printed JSON. */

@@ -68,6 +68,17 @@ parseSwitch(const std::string &what, const std::string &value)
     BDS_FATAL(what << " must be 0 or 1, got '" << value << "'");
 }
 
+/** Parse a fail-policy name, fataling on anything unknown. */
+FailPolicy
+parsePolicy(const std::string &what, const std::string &value)
+{
+    FailPolicy policy;
+    if (!failPolicyFromName(value, &policy))
+        BDS_FATAL(what << " must be failfast or quarantine, got '"
+                       << value << "'");
+    return policy;
+}
+
 } // namespace
 
 RunConfig
@@ -124,6 +135,27 @@ RunConfig::applyEnv()
             parseUint("BDS_SAMPLE_WARMUP", v));
     if (const char *v = std::getenv("BDS_SAMPLE_SEED"))
         sampling.seed = parseUint("BDS_SAMPLE_SEED", v);
+
+    if (const char *v = std::getenv("BDS_FAIL_POLICY"))
+        fault.recovery.policy = parsePolicy("BDS_FAIL_POLICY", v);
+    if (const char *v = std::getenv("BDS_RETRIES"))
+        fault.recovery.maxRetries =
+            static_cast<unsigned>(parseUint("BDS_RETRIES", v));
+    if (const char *v = std::getenv("BDS_RUN_TIMEOUT_MS"))
+        fault.recovery.timeoutMs = parseUint("BDS_RUN_TIMEOUT_MS", v);
+    if (const char *v = std::getenv("BDS_FAULT_THROW"))
+        fault.throwAt = v;
+    if (const char *v = std::getenv("BDS_FAULT_STALL"))
+        fault.stallAt = v;
+    if (const char *v = std::getenv("BDS_FAULT_CORRUPT"))
+        fault.corruptAt = v;
+    if (const char *v = std::getenv("BDS_FAULT_ALLOC"))
+        fault.allocAt = v;
+    if (const char *v = std::getenv("BDS_FAULT_STALL_MS"))
+        fault.stallMs = parseUint("BDS_FAULT_STALL_MS", v);
+    if (const char *v = std::getenv("BDS_FAULT_ATTEMPTS"))
+        fault.attempts = static_cast<unsigned>(
+            parseUint("BDS_FAULT_ATTEMPTS", v));
 
     if (const char *v = std::getenv("BDS_TRACE"))
         trace = parseSwitch("BDS_TRACE", v);
@@ -200,6 +232,29 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
             manifest = true;
         } else if (flag == "--no-manifest") {
             manifest = false;
+        } else if (flag == "--fail-policy") {
+            fault.recovery.policy = parsePolicy(
+                "--fail-policy", take(flag, inlineVal, hasInline));
+        } else if (flag == "--retries") {
+            fault.recovery.maxRetries = static_cast<unsigned>(
+                parseUint("--retries", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--run-timeout-ms") {
+            fault.recovery.timeoutMs = parseUint(
+                "--run-timeout-ms", take(flag, inlineVal, hasInline));
+        } else if (flag == "--fault-throw") {
+            fault.throwAt = take(flag, inlineVal, hasInline);
+        } else if (flag == "--fault-stall") {
+            fault.stallAt = take(flag, inlineVal, hasInline);
+        } else if (flag == "--fault-corrupt") {
+            fault.corruptAt = take(flag, inlineVal, hasInline);
+        } else if (flag == "--fault-alloc") {
+            fault.allocAt = take(flag, inlineVal, hasInline);
+        } else if (flag == "--fault-stall-ms") {
+            fault.stallMs = parseUint(
+                "--fault-stall-ms", take(flag, inlineVal, hasInline));
+        } else if (flag == "--fault-attempts") {
+            fault.attempts = static_cast<unsigned>(parseUint(
+                "--fault-attempts", take(flag, inlineVal, hasInline)));
         } else {
             rest.push_back(arg);
         }
@@ -232,6 +287,15 @@ RunConfig::describe() const
         os << " sampled(interval=" << sampling.intervalUops
            << ",kmax=" << sampling.kMax
            << ",warmup=" << sampling.warmupIntervals << ")";
+    if (fault.recovery.policy != FailPolicy::FailFast
+        || fault.recovery.maxRetries > 0
+        || fault.recovery.timeoutMs > 0)
+        os << " recovery("
+           << failPolicyName(fault.recovery.policy)
+           << ",retries=" << fault.recovery.maxRetries
+           << ",timeout_ms=" << fault.recovery.timeoutMs << ")";
+    if (fault.any())
+        os << " fault-injection=on";
     if (trace)
         os << " trace=" << resolvedTracePath();
     return os.str();

@@ -34,11 +34,25 @@
  *   BDS_TRACE      = 0 | 1                  JSON-lines tracing
  *   BDS_TRACE_FILE = <path>                 trace sink (implies on)
  *   BDS_MANIFEST   = 0 | 1 | <path>         run-manifest emission
+ *   BDS_FAIL_POLICY    = failfast | quarantine   sweep failure policy
+ *   BDS_RETRIES        = <n>                retries per workload
+ *   BDS_RUN_TIMEOUT_MS = <ms>               watchdog per attempt
+ *                                           (0 = off)
+ *   BDS_FAULT_THROW    = w1,w2 | *          inject exceptions
+ *   BDS_FAULT_STALL    = w1,w2 | *          inject stalls
+ *   BDS_FAULT_CORRUPT  = w1,w2 | *          poison extracted metrics
+ *   BDS_FAULT_ALLOC    = site,... | *       fail named allocations
+ *   BDS_FAULT_STALL_MS = <ms>               injected stall duration
+ *   BDS_FAULT_ATTEMPTS = <n>                inject only while the
+ *                                           attempt index < n
+ *                                           (0 = every attempt)
  *
  * Flags (each also accepts --flag=value):
  *   --scale S, --seed N, --threads N, --metrics a,b,c, --sampled,
  *   --trace, --no-trace, --trace-file PATH, --manifest PATH,
- *   --no-manifest
+ *   --no-manifest, --fail-policy P, --retries N, --run-timeout-ms N,
+ *   --fault-throw L, --fault-stall L, --fault-corrupt L,
+ *   --fault-alloc L, --fault-stall-ms N, --fault-attempts N
  */
 
 #ifndef BDS_OBS_RUNCONFIG_H
@@ -49,6 +63,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "fault/options.h"
 #include "sample/options.h"
 
 namespace bds {
@@ -70,6 +85,14 @@ struct RunConfig
 
     /** Sampled-simulation knobs (BDS_SAMPLE*). */
     SamplingOptions sampling;
+
+    /**
+     * Recovery policy and fault-injection spec (BDS_FAIL_POLICY,
+     * BDS_RETRIES, BDS_RUN_TIMEOUT_MS, BDS_FAULT_*). All defaults
+     * are off, keeping runs bitwise-identical to the pre-fault-layer
+     * behaviour unless a knob is set.
+     */
+    FaultOptions fault;
 
     /**
      * Metric subset by canonical schema name; empty means the full

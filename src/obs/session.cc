@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/log.h"
+#include "fault/inject.h"
 #include "obs/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -59,6 +60,12 @@ Session::Session(RunConfig cfg)
         std::cerr << "[obs] " << cfg_.tool << ": tracing to "
                   << cfg_.resolvedTracePath() << '\n';
     }
+    if (cfg_.fault.any()) {
+        FaultInjector::global().arm(cfg_.fault);
+        armedInjector_ = true;
+        std::cerr << "[obs] " << cfg_.tool
+                  << ": fault injection armed\n";
+    }
 }
 
 Session::~Session()
@@ -85,6 +92,24 @@ Session::noteArtifact(const std::string &path)
     artifacts_.push_back(path);
 }
 
+void
+Session::recordSweep(const SweepReport &report)
+{
+    std::vector<RunRecord> failures = report.failures();
+    failures_.insert(failures_.end(), failures.begin(),
+                     failures.end());
+    std::vector<std::string> dropped = report.quarantinedNames();
+    quarantined_.insert(quarantined_.end(), dropped.begin(),
+                        dropped.end());
+    if (!dropped.empty()) {
+        std::cerr << "[obs] " << cfg_.tool << ": quarantined "
+                  << dropped.size() << " workload(s):";
+        for (const std::string &name : dropped)
+            std::cerr << ' ' << name;
+        std::cerr << '\n';
+    }
+}
+
 RunManifest
 Session::buildManifest() const
 {
@@ -100,6 +125,8 @@ Session::buildManifest() const
                         .count();
     m.peakRssKb = peakRssKb();
     m.artifacts = artifacts_;
+    m.failures = failures_;
+    m.quarantined = quarantined_;
     return m;
 }
 
@@ -110,6 +137,8 @@ Session::finish()
         return;
     finished_ = true;
 
+    if (armedInjector_)
+        FaultInjector::global().disarm();
     if (cfg_.trace) {
         Tracer::global().writeSummary(std::cerr);
         Tracer::global().disable();

@@ -51,6 +51,14 @@ class Session
     void noteArtifact(const std::string &path);
 
     /**
+     * Record a sweep's failure outcome: failures() land in the
+     * manifest's failures array, quarantinedNames() in its
+     * quarantined list, and a one-line summary goes to stderr when
+     * anything was dropped. A clean report is a no-op.
+     */
+    void recordSweep(const SweepReport &report);
+
+    /**
      * End the run: write the manifest (unless disabled), print the
      * trace summary to stderr and disable the tracer. Idempotent.
      */
@@ -64,6 +72,9 @@ class Session
     std::chrono::steady_clock::time_point start_;
     std::vector<StageTime> stages_;
     std::vector<std::string> artifacts_;
+    std::vector<RunRecord> failures_;
+    std::vector<std::string> quarantined_;
+    bool armedInjector_ = false;
     bool finished_ = false;
 };
 

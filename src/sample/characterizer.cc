@@ -1,8 +1,11 @@
 #include "sample/characterizer.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 
 #include "common/log.h"
+#include "fault/recover.h"
 #include "obs/trace.h"
 #include "sample/interval.h"
 #include "sample/picker.h"
@@ -33,9 +36,11 @@ SampledCharacterizer::SampledCharacterizer(const WorkloadRunner &runner,
     : runner_(runner), opts_(opts)
 {
     if (opts_.intervalUops == 0)
-        BDS_FATAL("sampling interval must be at least one uop");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "sampling interval must be at least one uop");
     if (opts_.bbvDims == 0)
-        BDS_FATAL("sampling BBV needs at least one bucket");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "sampling BBV needs at least one bucket");
 }
 
 SampledWorkloadResult
@@ -47,7 +52,13 @@ SampledCharacterizer::runOnNode(const WorkloadId &id,
     RecordingTarget target(runner_.config().numCores);
     {
         TraceSpan stage("sample.record");
-        runner_.execute(id, target, runner_.nodeDataSeed(id, node));
+        // Attempt 0 records over the plain node seed (bitwise equal
+        // to the pre-recovery path); retries record over the same
+        // attempt-salted seed the full path would use.
+        const AttemptContext *ctx = currentAttempt();
+        runner_.execute(id, target,
+                        runner_.attemptDataSeed(
+                            id, node, ctx ? ctx->attempt : 0));
     }
     const TraceRecorder &trace = target.trace();
 
@@ -97,6 +108,13 @@ SampledCharacterizer::runOnNode(const WorkloadId &id,
     res.numIntervals = profiler.numIntervals();
     res.k = picked.k;
     res.numReps = picked.reps.size();
+    if (FaultInjector::global().shouldCorrupt(id.name()))
+        res.metrics[0] = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        if (!std::isfinite(res.metrics[i]))
+            BDS_RAISE(ErrorCode::DegenerateData,
+                      "sampled workload " << id.name()
+                          << " estimated a non-finite metric");
     return res;
 }
 
@@ -105,6 +123,8 @@ SampledCharacterizer::run(const WorkloadId &id) const
 {
     TraceSpan span("workload.sample", "workload", id.name());
     auto start = std::chrono::steady_clock::now();
+    FaultInjector::global().maybeThrow(id.name());
+    FaultInjector::global().maybeStall(id.name());
     unsigned nodes = runner_.clusterNodes();
 
     SampledWorkloadResult total = runOnNode(id, 0);
@@ -136,29 +156,55 @@ SampledCharacterizer::run(const WorkloadId &id) const
 
 Matrix
 SampledCharacterizer::runAll(
-    std::vector<SampledWorkloadResult> *details) const
+    std::vector<SampledWorkloadResult> *details,
+    SweepReport *report) const
 {
     TraceSpan span("sampler.runAll");
     auto ids = allWorkloads();
-    Matrix m(ids.size(), kNumMetrics);
 
     // One pool task per workload into a preallocated slot; each task
     // derives every seed from the workload identity, so the matrix is
-    // bitwise identical for every thread count.
+    // bitwise identical for every thread count. guardedRun isolates
+    // failures per slot; policy is settled after the loop, in
+    // allWorkloads() order, exactly as in WorkloadRunner::runAll.
+    const RecoveryOptions &rec = runner_.recovery();
     unsigned threads = runner_.parallel().resolvedFor(ids.size());
     std::vector<SampledWorkloadResult> slots(ids.size());
+    std::vector<RunRecord> records(ids.size());
     parallelFor(ids.size(), threads, [&](std::size_t i) {
         inform("sampling workload " + ids[i].name());
-        slots[i] = run(ids[i]);
+        records[i] = guardedRun(
+            ids[i].name(), rec, [&](const AttemptContext &) {
+                slots[i] = run(ids[i]);
+            });
     });
 
-    for (std::size_t i = 0; i < ids.size(); ++i)
+    SweepReport rep;
+    rep.policy = rec.policy;
+    rep.records = std::move(records);
+    if (rec.policy == FailPolicy::FailFast) {
+        for (const RunRecord &r : rep.records)
+            if (!runStatusOk(r.status))
+                throw Error(r.code, r.message);
+    } else {
+        for (RunRecord &r : rep.records)
+            if (!runStatusOk(r.status))
+                r.status = RunStatus::Quarantined;
+    }
+    for (std::size_t i = 0; i < rep.records.size(); ++i)
+        if (runStatusOk(rep.records[i].status))
+            rep.survivors.push_back(i);
+
+    Matrix m(rep.survivors.size(), kNumMetrics);
+    for (std::size_t row = 0; row < rep.survivors.size(); ++row)
         for (std::size_t j = 0; j < kNumMetrics; ++j)
-            m(i, j) = slots[i].metrics[j];
+            m(row, j) = slots[rep.survivors[row]].metrics[j];
 
     if (details)
-        for (SampledWorkloadResult &r : slots)
-            details->push_back(std::move(r));
+        for (std::size_t i : rep.survivors)
+            details->push_back(std::move(slots[i]));
+    if (report)
+        *report = std::move(rep);
     return m;
 }
 

@@ -54,12 +54,21 @@ class SampledCharacterizer
     SampledWorkloadResult run(const WorkloadId &id) const;
 
     /**
-     * Sample all 32 workloads.
-     * @param details Optional per-workload result sink.
-     * @return 32 x 45 estimated metric matrix, allWorkloads() order.
+     * Sample all 32 workloads under the runner's recovery policy
+     * (WorkloadRunner::setRecovery), mirroring the full path's
+     * failure isolation: every workload is attempted, failures are
+     * settled after the sweep in allWorkloads() order (fail-fast
+     * rethrow of the lowest-index failure, or quarantine row drop).
+     * @param details Optional per-workload result sink, rows
+     *        parallel to the returned matrix.
+     * @param report Optional sink for the per-workload RunRecords
+     *        and the survivor set.
+     * @return survivors x 45 estimated metric matrix, allWorkloads()
+     *         order (all 32 rows on a clean run).
      */
     Matrix runAll(std::vector<SampledWorkloadResult> *details
-                  = nullptr) const;
+                  = nullptr,
+                  SweepReport *report = nullptr) const;
 
     /** The sampling options in effect. */
     const SamplingOptions &options() const { return opts_; }

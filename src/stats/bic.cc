@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "fault/error.h"
 #include "obs/trace.h"
 
 namespace bds {
@@ -88,11 +89,16 @@ std::size_t
 checkSweepRange(const Matrix &data, std::size_t k_min, std::size_t k_max)
 {
     if (k_min == 0)
-        BDS_FATAL("sweepBic requires k_min >= 1");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "sweepBic requires k_min >= 1");
+    // K can never exceed the observation count; clamp, and treat a
+    // range the clamp empties (k_min > rows) as degenerate input.
     k_max = std::min(k_max, data.rows());
     if (k_min > k_max)
-        BDS_FATAL("sweepBic with empty range [" << k_min << ',' << k_max
-                  << ']');
+        BDS_RAISE(ErrorCode::DegenerateData,
+                  "sweepBic with empty range [" << k_min << ','
+                      << k_max << "] (only " << data.rows()
+                      << " observations)");
     return k_max;
 }
 

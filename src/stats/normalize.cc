@@ -1,6 +1,9 @@
 #include "stats/normalize.h"
 
+#include <cmath>
+
 #include "common/log.h"
+#include "fault/error.h"
 
 namespace bds {
 
@@ -8,8 +11,19 @@ ZScoreResult
 zscore(const Matrix &data, double eps)
 {
     if (data.rows() < 2)
-        BDS_FATAL("zscore needs at least two observations, got "
-                  << data.rows());
+        BDS_RAISE(ErrorCode::DegenerateData,
+                  "zscore needs at least two observations, got "
+                      << data.rows());
+    // A single NaN/Inf cell would silently poison its column's mean
+    // and stddev and then the whole normalized column; reject the
+    // matrix up front with the cell's coordinates instead.
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            if (!std::isfinite(data(r, c)))
+                BDS_RAISE(ErrorCode::DegenerateData,
+                          "zscore input has a non-finite value at ("
+                              << r << ',' << c << ')');
+
     ZScoreResult res;
     res.means = data.colMeans();
     res.stddevs = data.colStddevs();
@@ -24,6 +38,9 @@ zscore(const Matrix &data, double eps)
             res.normalized(r, c) =
                 (data(r, c) - res.means[c]) / res.stddevs[c];
     }
+    if (!res.constantColumns.empty())
+        warn("zscore: " + std::to_string(res.constantColumns.size())
+             + " zero-variance column(s) mapped to zero");
     return res;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "fault/error.h"
+#include "fault/inject.h"
 
 namespace bds {
 
@@ -45,8 +47,9 @@ ScaleProfile::byName(const std::string &name)
         return standard();
     if (name == "full")
         return full();
-    BDS_FATAL("unknown scale '" << name
-              << "' (expected quick, standard, or full)");
+    BDS_RAISE(ErrorCode::UnknownName,
+              "unknown scale '" << name
+                  << "' (expected quick, standard, or full)");
 }
 
 Dataset
@@ -55,7 +58,9 @@ makeTextCorpus(AddressSpace &space, std::uint64_t records,
                unsigned num_classes, std::uint64_t seed)
 {
     if (vocabulary == 0 || parts == 0 || num_classes == 0)
-        BDS_FATAL("invalid corpus parameters");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "invalid corpus parameters");
+    FaultInjector::global().checkAlloc("datagen");
     Pcg32 rng(seed, 0x7e47ULL);
     ZipfSampler words(vocabulary, 1.0); // natural-language skew
     Dataset ds("text-corpus");
@@ -78,7 +83,9 @@ makeTable(AddressSpace &space, std::uint64_t rows,
           std::uint32_t row_bytes, std::uint64_t seed)
 {
     if (key_space == 0 || parts == 0)
-        BDS_FATAL("invalid table parameters");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "invalid table parameters");
+    FaultInjector::global().checkAlloc("datagen");
     Pcg32 rng(seed, 0x7ab1eULL);
     Dataset ds("table");
     for (unsigned p = 0; p < parts; ++p) {
@@ -97,7 +104,9 @@ makeGraph(AddressSpace &space, std::uint64_t edges,
           std::uint64_t vertices, unsigned parts, std::uint64_t seed)
 {
     if (vertices == 0 || parts == 0)
-        BDS_FATAL("invalid graph parameters");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "invalid graph parameters");
+    FaultInjector::global().checkAlloc("datagen");
     Pcg32 rng(seed, 0x6a4fULL);
     ZipfSampler popular(vertices, 0.9); // preferential attachment
     Dataset ds("graph-edges");
@@ -143,7 +152,9 @@ makePoints(AddressSpace &space, std::uint64_t points, unsigned clusters,
            unsigned parts, std::uint64_t seed)
 {
     if (clusters == 0 || parts == 0)
-        BDS_FATAL("invalid points parameters");
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "invalid points parameters");
+    FaultInjector::global().checkAlloc("datagen");
     Pcg32 rng(seed, 0x90127ULL);
     Dataset ds("points");
     std::uint64_t id = 0;

@@ -1,9 +1,12 @@
 #include "workloads/registry.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/log.h"
+#include "fault/recover.h"
 #include "obs/trace.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
@@ -113,7 +116,8 @@ WorkloadRunner::run(const WorkloadId &id) const
 
 WorkloadResult
 WorkloadRunner::runWithThreads(const WorkloadId &id,
-                               unsigned node_threads) const
+                               unsigned node_threads,
+                               const AttemptContext &ctx) const
 {
     // Data seeds depend on the algorithm only: both stacks consume
     // identically generated inputs (the paper's "identical data
@@ -122,10 +126,17 @@ WorkloadRunner::runWithThreads(const WorkloadId &id,
     // and can fan out across the pool.
     TraceSpan span("workload.run", "workload", id.name());
     auto start = std::chrono::steady_clock::now();
+    FaultInjector::global().maybeThrow(id.name());
+    FaultInjector::global().maybeStall(id.name());
     std::vector<WorkloadResult> per_node(nodes_);
     parallelFor(nodes_, node_threads, [&](std::size_t node) {
+        // Pool threads do not inherit the attempt context; install
+        // it so the watchdog deadline covers the node simulations.
+        AttemptScope scope(ctx);
+        faultCheckpoint();
         per_node[node] = runOnNode(
-            id, nodeDataSeed(id, static_cast<unsigned>(node)));
+            id, attemptDataSeed(id, static_cast<unsigned>(node),
+                                ctx.attempt));
     });
 
     // Reduce in fixed node order so the mean is bitwise identical to
@@ -158,6 +169,21 @@ WorkloadRunner::nodeDataSeed(const WorkloadId &id, unsigned node) const
     // with a node-derived seed, so node simulations are independent.
     return seed_ + 1000 * static_cast<std::uint64_t>(id.alg)
         + 7919ULL * static_cast<std::uint64_t>(node);
+}
+
+std::uint64_t
+WorkloadRunner::attemptDataSeed(const WorkloadId &id, unsigned node,
+                                unsigned attempt) const
+{
+    // Attempt 0 is the plain node seed, so a run that never retries
+    // is bitwise-identical to the pre-recovery sweep. Retries salt
+    // the seed with an attempt-dependent odd constant: distinct per
+    // attempt, still a function of (algorithm, node) only, so both
+    // stacks keep consuming identical retry data.
+    std::uint64_t s = nodeDataSeed(id, node);
+    if (attempt == 0)
+        return s;
+    return s + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt);
 }
 
 void
@@ -277,6 +303,26 @@ WorkloadRunner::execute(const WorkloadId &id, ExecTarget &target,
     }
 }
 
+namespace {
+
+/**
+ * Degenerate-data guard over an extracted metric vector: a NaN or
+ * infinity anywhere means corrupted counters (or an injected
+ * corruption), and must fail the workload rather than poison the
+ * z-scores of every other row downstream.
+ */
+void
+validateMetrics(const MetricVector &metrics, const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        if (!std::isfinite(metrics[i]))
+            BDS_RAISE(ErrorCode::DegenerateData,
+                      "workload " << name << " produced a non-finite "
+                      << metricSchema()[i].name << " metric");
+}
+
+} // namespace
+
 WorkloadResult
 WorkloadRunner::runOnNode(const WorkloadId &id,
                           std::uint64_t data_seed) const
@@ -288,17 +334,20 @@ WorkloadRunner::runOnNode(const WorkloadId &id,
     res.id = id;
     res.counters = sys.aggregateCounters();
     res.metrics = extractMetrics(res.counters);
+    if (FaultInjector::global().shouldCorrupt(id.name()))
+        res.metrics[0] = std::numeric_limits<double>::quiet_NaN();
+    validateMetrics(res.metrics, id.name());
     return res;
 }
 
 Matrix
 WorkloadRunner::runAll(std::vector<WorkloadResult> *details,
-                       SweepTiming *timing) const
+                       SweepTiming *timing,
+                       SweepReport *report) const
 {
     TraceSpan span("runner.runAll");
     auto start = std::chrono::steady_clock::now();
     auto ids = allWorkloads();
-    Matrix m(ids.size(), kNumMetrics);
 
     // One pool task per workload, each writing its preallocated
     // result slot. Workload simulations are seeded per algorithm and
@@ -307,31 +356,78 @@ WorkloadRunner::runAll(std::vector<WorkloadResult> *details,
     // order — are bitwise identical for every thread count. When the
     // sweep itself is parallel the per-node fan-out stays serial so
     // the machine is never oversubscribed.
+    //
+    // guardedRun isolates every failure inside its slot, so a
+    // throwing workload never abandons the rest of the sweep; policy
+    // is settled below, after all slots finish, in allWorkloads()
+    // order — the outcome is the same at any thread count.
     unsigned sweep_threads = parallel_.resolvedFor(ids.size());
     unsigned node_threads = sweep_threads > 1
         ? 1 : parallel_.resolvedFor(nodes_);
     std::vector<WorkloadResult> slots(ids.size());
+    std::vector<RunRecord> records(ids.size());
     parallelFor(ids.size(), sweep_threads, [&](std::size_t i) {
         inform("running workload " + ids[i].name());
-        slots[i] = runWithThreads(ids[i], node_threads);
+        records[i] = guardedRun(
+            ids[i].name(), recovery_, [&](const AttemptContext &ctx) {
+                slots[i] = runWithThreads(ids[i], node_threads, ctx);
+            });
     });
 
-    for (std::size_t i = 0; i < ids.size(); ++i)
+    SweepReport rep;
+    rep.policy = recovery_.policy;
+    rep.records = std::move(records);
+    if (recovery_.policy == FailPolicy::FailFast) {
+        for (const RunRecord &r : rep.records)
+            if (!runStatusOk(r.status))
+                throw Error(r.code, r.message);
+    } else {
+        for (RunRecord &r : rep.records)
+            if (!runStatusOk(r.status))
+                r.status = RunStatus::Quarantined;
+    }
+    for (std::size_t i = 0; i < rep.records.size(); ++i)
+        if (runStatusOk(rep.records[i].status))
+            rep.survivors.push_back(i);
+
+    // Failure counters land in the trace only when something went
+    // wrong, keeping clean traces byte-identical. Emitted here, after
+    // the parallel loop, in deterministic order.
+    std::uint64_t retries = 0, retried_ok = 0, timeouts = 0;
+    for (const RunRecord &r : rep.records) {
+        retries += r.attempts - 1;
+        retried_ok += r.status == RunStatus::RetriedOk ? 1 : 0;
+        timeouts += r.code == ErrorCode::Timeout ? 1 : 0;
+    }
+    if (retries)
+        Tracer::global().counter("fault.retries", retries);
+    if (retried_ok)
+        Tracer::global().counter("fault.retried_ok", retried_ok);
+    if (timeouts)
+        Tracer::global().counter("fault.timeout", timeouts);
+    if (std::size_t dropped = rep.records.size() - rep.survivors.size())
+        Tracer::global().counter("fault.quarantined", dropped);
+
+    Matrix m(rep.survivors.size(), kNumMetrics);
+    for (std::size_t row = 0; row < rep.survivors.size(); ++row)
         for (std::size_t j = 0; j < kNumMetrics; ++j)
-            m(i, j) = slots[i].metrics[j];
+            m(row, j) = slots[rep.survivors[row]].metrics[j];
 
     if (timing) {
         timing->perWorkloadSeconds.clear();
-        for (const WorkloadResult &r : slots)
-            timing->perWorkloadSeconds.push_back(r.wallSeconds);
+        for (std::size_t i : rep.survivors)
+            timing->perWorkloadSeconds.push_back(
+                slots[i].wallSeconds);
         timing->totalSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start).count();
         timing->threads = sweep_threads;
     }
     if (details)
-        for (WorkloadResult &r : slots)
-            details->push_back(std::move(r));
+        for (std::size_t i : rep.survivors)
+            details->push_back(std::move(slots[i]));
+    if (report)
+        *report = std::move(rep);
     return m;
 }
 

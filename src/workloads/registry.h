@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "fault/inject.h"
+#include "fault/status.h"
 #include "stats/matrix.h"
 #include "trace/microop.h"
 #include "uarch/config.h"
@@ -89,7 +91,7 @@ struct WorkloadResult
 /** Wall-clock accounting for one runAll() sweep. */
 struct SweepTiming
 {
-    /** Host seconds per workload, in allWorkloads() order. */
+    /** Host seconds per surviving workload, in sweep row order. */
     std::vector<double> perWorkloadSeconds;
 
     /** Wall-clock of the whole sweep (not the sum of the rows). */
@@ -145,6 +147,19 @@ class WorkloadRunner
     /** The parallelism knob in effect. */
     const ParallelOptions &parallel() const { return parallel_; }
 
+    /**
+     * Set the failure-isolation policy for runAll(): what happens
+     * when a workload throws or times out (fail-fast rethrow vs
+     * quarantine-and-continue), how many bounded retries each
+     * workload gets, and the per-attempt watchdog budget. The
+     * default (fail-fast, no retries, no watchdog) reproduces the
+     * pre-recovery behavior exactly.
+     */
+    void setRecovery(const RecoveryOptions &rec) { recovery_ = rec; }
+
+    /** The recovery policy in effect. */
+    const RecoveryOptions &recovery() const { return recovery_; }
+
     /** Run one workload to completion (nodes may run in parallel). */
     WorkloadResult run(const WorkloadId &id) const;
 
@@ -165,13 +180,36 @@ class WorkloadRunner
                                unsigned node) const;
 
     /**
-     * Run all 32 workloads, one pool task per workload.
-     * @param details Optional sink for the per-workload results.
-     * @param timing Optional sink for the wall-clock report.
-     * @return 32 x 45 metric matrix, rows in allWorkloads() order.
+     * The data seed of retry attempt `attempt` for shard `node`.
+     * Attempt 0 is nodeDataSeed() — a clean run is bitwise-identical
+     * to the pre-recovery sweep — and each retry derives a distinct
+     * deterministic seed that still depends on the algorithm and
+     * node only (never the stack), preserving the identical-inputs
+     * contract across reruns and thread counts.
+     */
+    std::uint64_t attemptDataSeed(const WorkloadId &id, unsigned node,
+                                  unsigned attempt) const;
+
+    /**
+     * Run all 32 workloads, one pool task per workload, under the
+     * recovery policy (setRecovery). Every workload is attempted —
+     * a failure never abandons the remaining slots — and failures
+     * are settled afterwards in allWorkloads() order, so the outcome
+     * is deterministic at any thread count: under fail-fast the
+     * lowest-index failure is rethrown as a typed bds::Error; under
+     * quarantine the failed rows are dropped and the survivors kept.
+     * @param details Optional sink for the per-workload results,
+     *        rows parallel to the returned matrix.
+     * @param timing Optional sink for the wall-clock report, rows
+     *        parallel to the returned matrix.
+     * @param report Optional sink for the per-workload RunRecords
+     *        (all 32, in allWorkloads() order) and the survivor set.
+     * @return survivors x 45 metric matrix, rows in allWorkloads()
+     *         order (all 32 rows on a clean run).
      */
     Matrix runAll(std::vector<WorkloadResult> *details = nullptr,
-                  SweepTiming *timing = nullptr) const;
+                  SweepTiming *timing = nullptr,
+                  SweepReport *report = nullptr) const;
 
     /** The scale profile in use. */
     const ScaleProfile &scale() const { return scale_; }
@@ -184,15 +222,21 @@ class WorkloadRunner
     WorkloadResult runOnNode(const WorkloadId &id,
                              std::uint64_t data_seed) const;
 
-    /** run() with an explicit thread budget for the node fan-out. */
+    /**
+     * run() with an explicit thread budget for the node fan-out,
+     * executing as attempt `ctx` (the attempt context is re-installed
+     * inside the pool tasks, which do not inherit thread-locals).
+     */
     WorkloadResult runWithThreads(const WorkloadId &id,
-                                  unsigned node_threads) const;
+                                  unsigned node_threads,
+                                  const AttemptContext &ctx = {}) const;
 
     NodeConfig cfg_;
     ScaleProfile scale_;
     std::uint64_t seed_;
     unsigned nodes_ = 1;
     ParallelOptions parallel_;
+    RecoveryOptions recovery_;
 };
 
 } // namespace bds

@@ -1,0 +1,54 @@
+/** Tests for the typed error taxonomy (src/fault/error.h). */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "fault/error.h"
+
+namespace bds {
+namespace {
+
+TEST(ErrorTaxonomy, RaiseCarriesCodeAndFormatsMessage)
+{
+    try {
+        BDS_RAISE(ErrorCode::DegenerateData, "matrix has " << 3
+                                                           << " rows");
+        FAIL() << "BDS_RAISE did not throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::DegenerateData);
+        EXPECT_NE(std::string(e.what()).find("degenerate_data"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("matrix has 3 rows"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, ErrorIsAFatalError)
+{
+    // Every pre-existing catch (const FatalError &) site keeps
+    // catching typed errors.
+    EXPECT_THROW(
+        BDS_RAISE(ErrorCode::Io, "cannot open"), FatalError);
+}
+
+TEST(ErrorTaxonomy, CodeNamesRoundTrip)
+{
+    for (unsigned c = 0;
+         c <= static_cast<unsigned>(ErrorCode::Internal); ++c) {
+        ErrorCode code = static_cast<ErrorCode>(c);
+        ErrorCode parsed = ErrorCode::None;
+        EXPECT_TRUE(errorCodeFromName(errorCodeName(code), &parsed))
+            << errorCodeName(code);
+        EXPECT_EQ(parsed, code);
+    }
+}
+
+TEST(ErrorTaxonomy, UnknownCodeNameIsRejected)
+{
+    ErrorCode code = ErrorCode::Io;
+    EXPECT_FALSE(errorCodeFromName("not_a_code", &code));
+    EXPECT_EQ(code, ErrorCode::Io); // untouched
+}
+
+} // namespace
+} // namespace bds

@@ -1,0 +1,131 @@
+/**
+ * Tests for the deterministic fault injector and the cooperative
+ * watchdog (src/fault/inject.h). The injector is process-global, so
+ * every test disarms it on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "fault/error.h"
+#include "fault/inject.h"
+
+namespace bds {
+namespace {
+
+class InjectorTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::global().disarm(); }
+};
+
+TEST_F(InjectorTest, DisarmedHooksAreNoOps)
+{
+    FaultInjector &inj = FaultInjector::global();
+    EXPECT_FALSE(inj.armed());
+    EXPECT_NO_THROW(inj.maybeThrow("H-Sort"));
+    EXPECT_NO_THROW(inj.maybeStall("H-Sort"));
+    EXPECT_FALSE(inj.shouldCorrupt("H-Sort"));
+    EXPECT_NO_THROW(inj.checkAlloc("datagen"));
+}
+
+TEST_F(InjectorTest, ThrowSiteMatchesListedTargetsOnly)
+{
+    FaultOptions opts;
+    opts.throwAt = "H-Sort,S-Grep";
+    FaultInjector::global().arm(opts);
+
+    EXPECT_NO_THROW(FaultInjector::global().maybeThrow("H-Grep"));
+    try {
+        FaultInjector::global().maybeThrow("S-Grep");
+        FAIL() << "expected an injected fault";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InjectedFault);
+    }
+}
+
+TEST_F(InjectorTest, WildcardMatchesEveryTarget)
+{
+    FaultOptions opts;
+    opts.allocAt = "*";
+    FaultInjector::global().arm(opts);
+    try {
+        FaultInjector::global().checkAlloc("datagen");
+        FAIL() << "expected an allocation failure";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::AllocFailure);
+    }
+}
+
+TEST_F(InjectorTest, AttemptGatingStopsInjectingAfterTheBound)
+{
+    FaultOptions opts;
+    opts.throwAt = "H-Sort";
+    opts.attempts = 1; // inject on attempt 0 only
+    FaultInjector::global().arm(opts);
+
+    AttemptContext first;
+    first.attempt = 0;
+    {
+        AttemptScope scope(first);
+        EXPECT_THROW(FaultInjector::global().maybeThrow("H-Sort"),
+                     Error);
+    }
+    AttemptContext retry;
+    retry.attempt = 1;
+    {
+        AttemptScope scope(retry);
+        EXPECT_NO_THROW(FaultInjector::global().maybeThrow("H-Sort"));
+    }
+}
+
+TEST_F(InjectorTest, StallConvertsToTimeoutUnderADeadline)
+{
+    FaultOptions opts;
+    opts.stallAt = "H-Sort";
+    opts.stallMs = 200;
+    FaultInjector::global().arm(opts);
+
+    AttemptContext ctx;
+    ctx.hasDeadline = true;
+    ctx.deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(10);
+    AttemptScope scope(ctx);
+    try {
+        FaultInjector::global().maybeStall("H-Sort");
+        FAIL() << "expected the watchdog to fire mid-stall";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+    }
+}
+
+TEST_F(InjectorTest, CheckpointIsANoOpWithoutADeadline)
+{
+    EXPECT_NO_THROW(faultCheckpoint()); // no context installed
+    AttemptContext ctx;                 // context, no deadline
+    AttemptScope scope(ctx);
+    EXPECT_NO_THROW(faultCheckpoint());
+}
+
+TEST_F(InjectorTest, AttemptScopeRestoresThePreviousContext)
+{
+    EXPECT_EQ(currentAttempt(), nullptr);
+    AttemptContext outer;
+    outer.attempt = 3;
+    {
+        AttemptScope a(outer);
+        EXPECT_EQ(currentAttempt()->attempt, 3u);
+        AttemptContext inner;
+        inner.attempt = 7;
+        {
+            AttemptScope b(inner);
+            EXPECT_EQ(currentAttempt()->attempt, 7u);
+        }
+        EXPECT_EQ(currentAttempt()->attempt, 3u);
+    }
+    EXPECT_EQ(currentAttempt(), nullptr);
+}
+
+} // namespace
+} // namespace bds

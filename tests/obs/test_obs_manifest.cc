@@ -183,6 +183,127 @@ TEST(ObsManifest, CheckerFlagsFieldViolations)
     std::remove(path.c_str());
 }
 
+TEST(ObsManifest, FailureRecordsRoundTrip)
+{
+    RunManifest m = sampleManifest();
+    m.config.fault.recovery.policy = FailPolicy::Quarantine;
+    m.config.fault.recovery.maxRetries = 2;
+    m.config.fault.recovery.timeoutMs = 9000;
+    m.config.fault.throwAt = "H-Grep";
+    m.failures = {
+        RunRecord{"H-Grep", RunStatus::Quarantined, 3,
+                  ErrorCode::InjectedFault,
+                  "injected exception in workload H-Grep", 0.5},
+        RunRecord{"S-Sort", RunStatus::RetriedOk, 2,
+                  ErrorCode::Timeout, "watchdog fired", 1.25},
+    };
+    m.quarantined = {"H-Grep"};
+
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+
+    EXPECT_EQ(r.config.fault.recovery.policy,
+              FailPolicy::Quarantine);
+    EXPECT_EQ(r.config.fault.recovery.maxRetries, 2u);
+    EXPECT_EQ(r.config.fault.recovery.timeoutMs, 9000u);
+    ASSERT_EQ(r.failures.size(), 2u);
+    EXPECT_EQ(r.failures[0].name, "H-Grep");
+    EXPECT_EQ(r.failures[0].status, RunStatus::Quarantined);
+    EXPECT_EQ(r.failures[0].attempts, 3u);
+    EXPECT_EQ(r.failures[0].code, ErrorCode::InjectedFault);
+    EXPECT_EQ(r.failures[0].message,
+              "injected exception in workload H-Grep");
+    EXPECT_EQ(r.failures[0].seconds, 0.5);
+    EXPECT_EQ(r.failures[1].status, RunStatus::RetriedOk);
+    EXPECT_EQ(r.failures[1].code, ErrorCode::Timeout);
+    EXPECT_EQ(r.quarantined, m.quarantined);
+}
+
+TEST(ObsManifest, CleanManifestOmitsTheFailuresSection)
+{
+    std::ostringstream os;
+    writeRunManifest(os, sampleManifest());
+    EXPECT_EQ(os.str().find("\"failures\""), std::string::npos);
+    // And the parser tolerates manifests written before the recovery
+    // section existed.
+    std::istringstream is(os.str());
+    RunManifest r = parseRunManifest(is);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_TRUE(r.quarantined.empty());
+}
+
+TEST(ObsManifest, CheckerEnforcesTheFailureRecordGrammar)
+{
+    // Each manifest violates one grammar rule; the checker must
+    // catch every one of them.
+    struct Case {
+        const char *label;
+        RunRecord record;
+    };
+    const Case cases[] = {
+        {"empty name",
+         RunRecord{"", RunStatus::Failed, 1,
+                   ErrorCode::WorkloadFailure, "x", 0.1}},
+        {"ok status in failures",
+         RunRecord{"H-Sort", RunStatus::Ok, 1, ErrorCode::None, "",
+                   0.1}},
+        {"zero attempts",
+         RunRecord{"H-Sort", RunStatus::Failed, 0,
+                   ErrorCode::WorkloadFailure, "x", 0.1}},
+        {"retried_ok after one attempt",
+         RunRecord{"H-Sort", RunStatus::RetriedOk, 1,
+                   ErrorCode::InjectedFault, "x", 0.1}},
+        {"failure without a code",
+         RunRecord{"H-Sort", RunStatus::Failed, 1, ErrorCode::None,
+                   "x", 0.1}},
+        {"timeout status with a non-timeout code",
+         RunRecord{"H-Sort", RunStatus::TimedOut, 1,
+                   ErrorCode::InjectedFault, "x", 0.1}},
+        {"negative seconds",
+         RunRecord{"H-Sort", RunStatus::Failed, 1,
+                   ErrorCode::WorkloadFailure, "x", -0.1}},
+    };
+    const std::string path = "unit_manifest_grammar.json";
+    for (const Case &c : cases) {
+        RunManifest m = sampleManifest();
+        m.failures = {c.record};
+        if (c.record.status == RunStatus::Quarantined)
+            m.quarantined = {c.record.name};
+        {
+            std::ofstream out(path);
+            writeRunManifest(out, m);
+        }
+        EXPECT_FALSE(checkManifestFile(path).empty()) << c.label;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ObsManifest, CheckerRequiresQuarantinedListToMatchRecords)
+{
+    RunManifest m = sampleManifest();
+    m.failures = {RunRecord{"H-Grep", RunStatus::Quarantined, 1,
+                            ErrorCode::InjectedFault, "boom", 0.1}};
+    m.quarantined = {}; // list disagrees with the records
+    const std::string path = "unit_manifest_quar.json";
+    {
+        std::ofstream out(path);
+        writeRunManifest(out, m);
+    }
+    EXPECT_FALSE(checkManifestFile(path).empty());
+
+    m.quarantined = {"H-Grep"};
+    {
+        std::ofstream out(path);
+        writeRunManifest(out, m);
+    }
+    std::vector<std::string> errors = checkManifestFile(path);
+    for (const std::string &e : errors)
+        ADD_FAILURE() << e;
+    std::remove(path.c_str());
+}
+
 TEST(ObsJson, ParsesScalarsArraysAndObjects)
 {
     JsonValue v = parseJson(

@@ -24,7 +24,10 @@ const char *const kEnvVars[] = {
     "BDS_METRICS",       "BDS_SAMPLE",      "BDS_SAMPLE_INTERVAL",
     "BDS_SAMPLE_BBV",    "BDS_SAMPLE_KMAX", "BDS_SAMPLE_WARMUP",
     "BDS_SAMPLE_SEED",   "BDS_TRACE",       "BDS_TRACE_FILE",
-    "BDS_MANIFEST",
+    "BDS_MANIFEST",      "BDS_FAIL_POLICY", "BDS_RETRIES",
+    "BDS_RUN_TIMEOUT_MS", "BDS_FAULT_THROW", "BDS_FAULT_STALL",
+    "BDS_FAULT_CORRUPT", "BDS_FAULT_ALLOC", "BDS_FAULT_STALL_MS",
+    "BDS_FAULT_ATTEMPTS",
 };
 
 /** Clears every BDS_* variable for the test, restoring it after. */
@@ -219,6 +222,88 @@ TEST_F(ObsRunConfigTest, ResolveCapturesTheCommandLine)
     EXPECT_EQ(cfg.resolvedTracePath(), "t.jsonl");
     EXPECT_TRUE(cfg.manifest);
     EXPECT_EQ(cfg.resolvedManifestPath(), "m.json");
+}
+
+TEST_F(ObsRunConfigTest, RecoveryAndFaultKnobsDefaultOff)
+{
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_EQ(cfg.fault.recovery.policy, FailPolicy::FailFast);
+    EXPECT_EQ(cfg.fault.recovery.maxRetries, 0u);
+    EXPECT_EQ(cfg.fault.recovery.timeoutMs, 0u);
+    EXPECT_FALSE(cfg.fault.any());
+}
+
+TEST_F(ObsRunConfigTest, EnvironmentOverlaysTheFaultKnobs)
+{
+    ::setenv("BDS_FAIL_POLICY", "quarantine", 1);
+    ::setenv("BDS_RETRIES", "2", 1);
+    ::setenv("BDS_RUN_TIMEOUT_MS", "5000", 1);
+    ::setenv("BDS_FAULT_THROW", "H-Sort,S-Grep", 1);
+    ::setenv("BDS_FAULT_STALL", "H-Bayes", 1);
+    ::setenv("BDS_FAULT_CORRUPT", "*", 1);
+    ::setenv("BDS_FAULT_ALLOC", "datagen", 1);
+    ::setenv("BDS_FAULT_STALL_MS", "25", 1);
+    ::setenv("BDS_FAULT_ATTEMPTS", "1", 1);
+
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_EQ(cfg.fault.recovery.policy, FailPolicy::Quarantine);
+    EXPECT_EQ(cfg.fault.recovery.maxRetries, 2u);
+    EXPECT_EQ(cfg.fault.recovery.timeoutMs, 5000u);
+    EXPECT_EQ(cfg.fault.throwAt, "H-Sort,S-Grep");
+    EXPECT_EQ(cfg.fault.stallAt, "H-Bayes");
+    EXPECT_EQ(cfg.fault.corruptAt, "*");
+    EXPECT_EQ(cfg.fault.allocAt, "datagen");
+    EXPECT_EQ(cfg.fault.stallMs, 25u);
+    EXPECT_EQ(cfg.fault.attempts, 1u);
+    EXPECT_TRUE(cfg.fault.any());
+}
+
+TEST_F(ObsRunConfigTest, FaultFlagsWinOverTheEnvironment)
+{
+    ::setenv("BDS_FAIL_POLICY", "failfast", 1);
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    std::vector<std::string> rest = cfg.applyArgs(
+        {"--fail-policy", "quarantine", "--retries=1",
+         "--run-timeout-ms", "100", "--fault-throw=H-Grep",
+         "--fault-stall-ms=10", "--fault-attempts", "1"});
+    EXPECT_TRUE(rest.empty());
+    EXPECT_EQ(cfg.fault.recovery.policy, FailPolicy::Quarantine);
+    EXPECT_EQ(cfg.fault.recovery.maxRetries, 1u);
+    EXPECT_EQ(cfg.fault.recovery.timeoutMs, 100u);
+    EXPECT_EQ(cfg.fault.throwAt, "H-Grep");
+    EXPECT_EQ(cfg.fault.stallMs, 10u);
+    EXPECT_EQ(cfg.fault.attempts, 1u);
+}
+
+TEST_F(ObsRunConfigTest, UnknownFailPolicyIsFatal)
+{
+    ::setenv("BDS_FAIL_POLICY", "explode", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_FAIL_POLICY");
+
+    RunConfig cfg;
+    EXPECT_THROW(cfg.applyArgs({"--fail-policy=explode"}),
+                 FatalError);
+}
+
+TEST_F(ObsRunConfigTest, DescribeMentionsRecoveryAndInjection)
+{
+    RunConfig cfg;
+    cfg.tool = "t";
+    // Defaults: neither recovery nor injection appears.
+    EXPECT_EQ(cfg.describe().find("recovery"), std::string::npos);
+    EXPECT_EQ(cfg.describe().find("fault-injection"),
+              std::string::npos);
+
+    cfg.fault.recovery.policy = FailPolicy::Quarantine;
+    cfg.fault.recovery.maxRetries = 2;
+    cfg.fault.throwAt = "H-Sort";
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("recovery(quarantine"), std::string::npos) << d;
+    EXPECT_NE(d.find("retries=2"), std::string::npos) << d;
+    EXPECT_NE(d.find("fault-injection=on"), std::string::npos) << d;
 }
 
 TEST_F(ObsRunConfigTest, DescribeSummarizesTheRun)

@@ -1,11 +1,13 @@
 /** @file Tests for z-score normalization. */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "fault/error.h"
 #include "stats/normalize.h"
 
 namespace {
@@ -59,6 +61,52 @@ TEST(ZScore, SingleRowIsFatal)
 {
     Matrix m(1, 3);
     EXPECT_THROW(zscore(m), bds::FatalError);
+}
+
+TEST(ZScore, TooFewRowsIsTypedDegenerateData)
+{
+    Matrix m(1, 3);
+    try {
+        zscore(m);
+        FAIL() << "zscore accepted a single row";
+    } catch (const bds::Error &e) {
+        EXPECT_EQ(e.code(), bds::ErrorCode::DegenerateData);
+    }
+}
+
+TEST(ZScore, NonFiniteInputIsTypedDegenerateData)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    m(1, 1) = std::numeric_limits<double>::quiet_NaN();
+    try {
+        zscore(m);
+        FAIL() << "zscore accepted a NaN cell";
+    } catch (const bds::Error &e) {
+        EXPECT_EQ(e.code(), bds::ErrorCode::DegenerateData);
+        // The message locates the bad cell for the user.
+        EXPECT_NE(std::string(e.what()).find("(1,1)"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ZScore, InfinityIsRejectedLikeNaN)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    m(2, 0) = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(zscore(m), bds::Error);
+}
+
+TEST(ZScore, AllConstantMatrixNormalizesToZeros)
+{
+    // Every column degenerate: the result is well-defined (all
+    // zeros), not a crash — callers see it via constantColumns.
+    Matrix m{{7, 7}, {7, 7}, {7, 7}};
+    auto res = zscore(m);
+    EXPECT_EQ(res.constantColumns.size(), 2u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(res.normalized(r, c), 0.0);
 }
 
 TEST(ZScore, PreservesRowOrdering)

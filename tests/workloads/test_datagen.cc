@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/log.h"
+#include "fault/error.h"
 #include "workloads/datagen.h"
 
 namespace {
@@ -144,6 +145,32 @@ TEST(Datagen, ScaleProfilesAreOrdered)
     auto f = bds::ScaleProfile::full();
     EXPECT_LT(q.unitRecords, s.unitRecords);
     EXPECT_LT(s.unitRecords, f.unitRecords);
+}
+
+TEST(Datagen, UnknownScaleNameIsATypedError)
+{
+    try {
+        bds::ScaleProfile::byName("nope");
+        FAIL() << "byName accepted an unknown scale";
+    } catch (const bds::Error &e) {
+        EXPECT_EQ(e.code(), bds::ErrorCode::UnknownName);
+        EXPECT_NE(std::string(e.what()).find("nope"),
+                  std::string::npos);
+        // The message teaches the valid spellings.
+        EXPECT_NE(std::string(e.what()).find("quick"),
+                  std::string::npos);
+    }
+}
+
+TEST(Datagen, InvalidParametersCarryInvalidConfig)
+{
+    AddressSpace space;
+    try {
+        bds::makeTextCorpus(space, 100, 0, 2, 2, 1);
+        FAIL() << "makeTextCorpus accepted a zero vocabulary";
+    } catch (const bds::Error &e) {
+        EXPECT_EQ(e.code(), bds::ErrorCode::InvalidConfig);
+    }
 }
 
 } // namespace
