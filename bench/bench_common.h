@@ -34,7 +34,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "common/log.h"
 #include "core/csvio.h"
@@ -55,6 +60,47 @@ inline bds::RunConfig
 benchConfig(const std::string &tool, int argc = 0, char **argv = nullptr)
 {
     return bds::RunConfig::resolve(tool, argc, argv);
+}
+
+/**
+ * Write the run-environment JSON object — "environment": {...} with
+ * no trailing comma or newline — into a bench artifact. Performance
+ * numbers are only comparable within one environment, so every
+ * BENCH_*.json records where it was captured: core count, compiler,
+ * build type and flags, and the kernel/arch.
+ */
+inline void
+writeEnvironmentJson(std::ostream &os, const char *indent = "  ")
+{
+    os << indent << "\"environment\": {\n"
+       << indent << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << indent << "  \"compiler\": \""
+#if defined(__clang__)
+       << "clang " << __VERSION__
+#elif defined(__GNUC__)
+       << "gcc " << __VERSION__
+#else
+       << "unknown"
+#endif
+       << "\",\n"
+#ifdef BDS_BUILD_TYPE
+       << indent << "  \"build_type\": \"" << BDS_BUILD_TYPE << "\",\n"
+#endif
+#ifdef BDS_BUILD_FLAGS
+       << indent << "  \"flags\": \"" << BDS_BUILD_FLAGS << "\",\n"
+#endif
+       << indent << "  \"os\": \"";
+#if defined(__unix__) || defined(__APPLE__)
+    utsname u{};
+    if (::uname(&u) == 0)
+        os << u.sysname << ' ' << u.release << ' ' << u.machine;
+    else
+        os << "unknown";
+#else
+    os << "unknown";
+#endif
+    os << "\"\n" << indent << "}";
 }
 
 /**

@@ -76,6 +76,8 @@ recordParallelBaseline(bds::Session &session)
        << "  \"seed\": " << seed << ",\n"
        << "  \"workloads\": " << bds::allWorkloads().size() << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n";
+    bdsbench::writeEnvironmentJson(os, "  ");
+    os << ",\n";
     writeTimingJson(os, "serial", serial, "  ");
     os << ",\n";
     writeTimingJson(os, "parallel", parallel, "  ");

@@ -161,7 +161,9 @@ main(int argc, char **argv)
     os << "{\n"
        << "  \"bench\": \"sampled_vs_full\",\n"
        << "  \"scale\": " << q(scale_name) << ",\n"
-       << "  \"seed\": " << seed << ",\n"
+       << "  \"seed\": " << seed << ",\n";
+    bdsbench::writeEnvironmentJson(os, "  ");
+    os << ",\n"
        << "  \"sampling\": {\n"
        << "    \"interval_uops\": " << sampling.intervalUops << ",\n"
        << "    \"bbv_dims\": " << sampling.bbvDims << ",\n"

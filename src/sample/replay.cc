@@ -32,17 +32,19 @@ class PlanSink : public OpSink
           repOf_(rep_of), snaps_(snaps), stats_(stats)
     {
         enterInterval(0);
+        left_ = intervalUops_;
     }
 
     void consume(unsigned core, const MicroOp &op) override
     {
-        std::size_t interval = static_cast<std::size_t>(
-            pos_ / intervalUops_);
-        if (interval != current_) {
+        // Countdown to the interval boundary; ops arrive one at a
+        // time, so the interval index only ever advances by one.
+        if (left_ == 0) {
             leaveInterval();
-            enterInterval(interval);
+            enterInterval(current_ + 1);
+            left_ = intervalUops_;
         }
-        ++pos_;
+        --left_;
         ++stats_.totalOps;
         switch (mode_) {
           case IntervalMode::Skip:
@@ -100,7 +102,7 @@ class PlanSink : public OpSink
     std::vector<PmcCounters> &snaps_;
     SampledReplayStats &stats_;
 
-    std::uint64_t pos_ = 0;
+    std::uint64_t left_ = 0; ///< uops left in the current interval
     std::size_t current_ = 0;
     IntervalMode mode_ = IntervalMode::Warm;
 };

@@ -5,27 +5,11 @@
 namespace bds {
 
 GshareBranchPredictor::GshareBranchPredictor(unsigned history_bits)
-    : historyBits_(history_bits)
 {
     if (history_bits == 0 || history_bits > 24)
         BDS_FATAL("gshare history bits must be in [1, 24]");
+    mask_ = (1u << history_bits) - 1;
     table_.assign(1u << history_bits, 2); // weakly taken
-}
-
-bool
-GshareBranchPredictor::predictAndTrain(std::uint64_t ip, bool taken)
-{
-    std::uint32_t mask = (1u << historyBits_) - 1;
-    std::uint32_t idx =
-        (static_cast<std::uint32_t>(ip >> 2) ^ history_) & mask;
-    std::uint8_t &ctr = table_[idx];
-    bool prediction = ctr >= 2;
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask;
-    return prediction == taken;
 }
 
 } // namespace bds

@@ -6,6 +6,9 @@
  * Branch outcomes come from the workloads' real data-dependent
  * control flow, so prediction accuracy — and with it the paper's
  * BR MISS metric — is emergent.
+ *
+ * The table is always a power of two (2^history_bits counters), so
+ * indexing is a stored mask; the predict-and-train path is inline.
  */
 
 #ifndef BDS_UARCH_BRANCH_H
@@ -32,10 +35,22 @@ class GshareBranchPredictor
      * @param taken Actual outcome.
      * @return True when the prediction was correct.
      */
-    bool predictAndTrain(std::uint64_t ip, bool taken);
+    bool predictAndTrain(std::uint64_t ip, bool taken)
+    {
+        std::uint32_t idx =
+            (static_cast<std::uint32_t>(ip >> 2) ^ history_) & mask_;
+        std::uint8_t &ctr = table_[idx];
+        bool prediction = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask_;
+        return prediction == taken;
+    }
 
   private:
-    unsigned historyBits_;
+    std::uint32_t mask_;    ///< table size - 1
     std::uint32_t history_ = 0;
     std::vector<std::uint8_t> table_;
 };

@@ -26,146 +26,96 @@ SetAssocCache::SetAssocCache(const CacheConfig &cfg)
         BDS_FATAL("cache geometry does not divide evenly: " << lines
                   << " lines, " << cfg_.assoc << " ways");
     numSets_ = lines / cfg_.assoc;
-    lines_.resize(lines);
-}
-
-int
-SetAssocCache::findWay(std::uint64_t set, std::uint64_t tag) const
-{
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        const Line &l = lineAt(set, w);
-        if (l.state != CoherenceState::Invalid && l.tag == tag)
-            return static_cast<int>(w);
+    setsPow2_ = isPow2(numSets_);
+    setMask_ = setsPow2_ ? numSets_ - 1 : 0;
+    oddFactor_ = numSets_;
+    twoPow_ = 0;
+    while ((oddFactor_ & 1) == 0) {
+        oddFactor_ >>= 1;
+        ++twoPow_;
     }
-    return -1;
+    twoMask_ = (1ULL << twoPow_) - 1;
+    lineShift_ = 0;
+    while ((1u << lineShift_) < cfg_.lineBytes)
+        ++lineShift_;
+    tags_.assign(lines, kInvalidTag);
+    lru_.assign(lines, 0);
+    states_.assign(lines, CoherenceState::Invalid);
+    flags_.assign(lines, 0);
 }
 
-CacheLookup
-SetAssocCache::probe(std::uint64_t addr) const
+void
+SetAssocCache::fatalInvalidInsert()
 {
-    std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
-    if (w < 0)
-        return {};
-    return {true, lineAt(set, static_cast<std::uint32_t>(w)).state};
+    BDS_FATAL("cannot insert an Invalid line");
 }
 
-CacheLookup
-SetAssocCache::access(std::uint64_t addr)
+void
+SetAssocCache::fatalAlreadyPresent(std::uint64_t la)
 {
-    std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
-    if (w < 0)
-        return {};
-    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
-    l.lru = ++tick_;
-    return {true, l.state};
-}
-
-Eviction
-SetAssocCache::insert(std::uint64_t addr, CoherenceState state)
-{
-    if (state == CoherenceState::Invalid)
-        BDS_FATAL("cannot insert an Invalid line");
-    std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    if (findWay(set, la) >= 0)
-        BDS_FATAL("inserting line already present: 0x" << std::hex << la);
-
-    // Prefer an invalid way; otherwise evict true-LRU.
-    std::uint32_t victim = 0;
-    bool found_invalid = false;
-    std::uint64_t oldest = UINT64_MAX;
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Line &l = lineAt(set, w);
-        if (l.state == CoherenceState::Invalid) {
-            victim = w;
-            found_invalid = true;
-            break;
-        }
-        if (l.lru < oldest) {
-            oldest = l.lru;
-            victim = w;
-        }
-    }
-
-    Eviction ev;
-    Line &l = lineAt(set, victim);
-    if (!found_invalid) {
-        ev.valid = true;
-        ev.lineAddr = l.tag;
-        ev.dirty = l.dirty;
-    }
-    l.tag = la;
-    l.state = state;
-    l.dirty = false;
-    l.sharedEver = false;
-    l.lru = ++tick_;
-    return ev;
+    BDS_FATAL("inserting line already present: 0x" << std::hex << la);
 }
 
 void
 SetAssocCache::setState(std::uint64_t addr, CoherenceState state)
 {
     std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
+    std::uint64_t base = setBase(la);
+    int w = findWay(base, la);
     if (w < 0)
         BDS_FATAL("setState on absent line 0x" << std::hex << la);
     if (state == CoherenceState::Invalid)
         BDS_FATAL("use invalidate() to drop a line");
-    lineAt(set, static_cast<std::uint32_t>(w)).state = state;
+    states_[base + static_cast<std::uint64_t>(w)] = state;
+}
+
+void
+SetAssocCache::setStateDirty(std::uint64_t addr, CoherenceState state)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t base = setBase(la);
+    int w = findWay(base, la);
+    if (w < 0)
+        BDS_FATAL("setStateDirty on absent line 0x" << std::hex << la);
+    if (state == CoherenceState::Invalid)
+        BDS_FATAL("use invalidate() to drop a line");
+    std::uint64_t i = base + static_cast<std::uint64_t>(w);
+    states_[i] = state;
+    flags_[i] |= kDirty;
 }
 
 void
 SetAssocCache::setDirty(std::uint64_t addr)
 {
     std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
+    std::uint64_t base = setBase(la);
+    int w = findWay(base, la);
     if (w < 0)
         BDS_FATAL("setDirty on absent line 0x" << std::hex << la);
-    lineAt(set, static_cast<std::uint32_t>(w)).dirty = true;
+    flags_[base + static_cast<std::uint64_t>(w)] |= kDirty;
 }
 
 void
 SetAssocCache::markShared(std::uint64_t addr)
 {
     std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
+    std::uint64_t base = setBase(la);
+    int w = findWay(base, la);
     if (w < 0)
         BDS_FATAL("markShared on absent line 0x" << std::hex << la);
-    lineAt(set, static_cast<std::uint32_t>(w)).sharedEver = true;
+    flags_[base + static_cast<std::uint64_t>(w)] |= kSharedEver;
 }
 
 bool
 SetAssocCache::isMarkedShared(std::uint64_t addr) const
 {
     std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
+    std::uint64_t base = setBase(la);
+    int w = findWay(base, la);
     if (w < 0)
         return false;
-    return lineAt(set, static_cast<std::uint32_t>(w)).sharedEver;
-}
-
-bool
-SetAssocCache::invalidate(std::uint64_t addr)
-{
-    std::uint64_t la = lineAddr(addr);
-    std::uint64_t set = la % numSets_;
-    int w = findWay(set, la);
-    if (w < 0)
-        return false;
-    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
-    bool dirty = l.dirty;
-    l.state = CoherenceState::Invalid;
-    l.dirty = false;
-    l.sharedEver = false;
-    return dirty;
+    return (flags_[base + static_cast<std::uint64_t>(w)] & kSharedEver)
+        != 0;
 }
 
 void
@@ -173,17 +123,17 @@ SetAssocCache::forEachLine(
     const std::function<void(std::uint64_t, CoherenceState, bool)> &fn)
     const
 {
-    for (const Line &l : lines_)
-        if (l.state != CoherenceState::Invalid)
-            fn(l.tag, l.state, l.dirty);
+    for (std::size_t i = 0; i < tags_.size(); ++i)
+        if (tags_[i] != kInvalidTag)
+            fn(tags_[i], states_[i], (flags_[i] & kDirty) != 0);
 }
 
 std::uint64_t
 SetAssocCache::validLines() const
 {
     std::uint64_t n = 0;
-    for (const Line &l : lines_)
-        if (l.state != CoherenceState::Invalid)
+    for (std::uint64_t t : tags_)
+        if (t != kInvalidTag)
             ++n;
     return n;
 }

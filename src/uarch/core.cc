@@ -9,27 +9,39 @@ CoreModel::CoreModel(const NodeConfig &cfg)
       tlb(cfg.itlb, cfg.dtlb, cfg.stlb, cfg.pageBytes),
       bp(cfg.historyBits),
       lfbEntries_(cfg.lfbEntries),
-      missWindowUops_(cfg.memLatency * cfg.issueWidth)
+      lfb_(cfg.lfbEntries + 1),
+      missWindowUops_(cfg.memLatency * cfg.issueWidth),
+      outstanding_(cfg.lfbEntries + 1)
 {
 }
 
 bool
 CoreModel::lfbInFlight(std::uint64_t line_addr, double now)
 {
-    while (!lfb_.empty() && lfb_.front().ready <= now)
-        lfb_.pop_front();
-    for (const LfbEntry &e : lfb_)
+    std::size_t cap = lfb_.size();
+    while (lfbCount_ > 0 && lfb_[lfbHead_].ready <= now) {
+        lfbHead_ = (lfbHead_ + 1) % cap;
+        --lfbCount_;
+    }
+    for (std::size_t k = 0; k < lfbCount_; ++k) {
+        const LfbEntry &e = lfb_[(lfbHead_ + k) % cap];
         if (e.line == line_addr && e.ready > now)
             return true;
+    }
     return false;
 }
 
 void
 CoreModel::lfbAllocate(std::uint64_t line_addr, double ready)
 {
-    lfb_.push_back(LfbEntry{line_addr, ready});
-    if (lfb_.size() > lfbEntries_)
-        lfb_.pop_front();
+    std::size_t cap = lfb_.size();
+    lfb_[(lfbHead_ + lfbCount_) % cap] = LfbEntry{line_addr, ready};
+    if (lfbCount_ < lfbEntries_) {
+        ++lfbCount_;
+    } else {
+        // Full: the push displaces the oldest entry.
+        lfbHead_ = (lfbHead_ + 1) % cap;
+    }
 }
 
 double
@@ -40,18 +52,25 @@ CoreModel::accountLlcMiss(bool dependent)
     // earlier one is outstanding. A miss occupies the window of uops
     // the fill latency could have covered.
     double now = static_cast<double>(uopClock);
-    while (!outstanding_.empty() && outstanding_.front() <= now)
-        outstanding_.pop_front();
+    std::size_t cap = outstanding_.size();
+    while (outCount_ > 0 && outstanding_[outHead_] <= now) {
+        outHead_ = (outHead_ + 1) % cap;
+        --outCount_;
+    }
 
     double overlap;
-    if (dependent || outstanding_.empty()) {
+    if (dependent || outCount_ == 0) {
         overlap = 1.0;
     } else {
-        overlap = std::min<double>(outstanding_.size() + 1, lfbEntries_);
+        overlap = std::min<double>(static_cast<double>(outCount_ + 1),
+                                   lfbEntries_);
     }
-    outstanding_.push_back(now + missWindowUops_);
-    if (outstanding_.size() > lfbEntries_)
-        outstanding_.pop_front();
+    outstanding_[(outHead_ + outCount_) % cap] = now + missWindowUops_;
+    if (outCount_ < lfbEntries_) {
+        ++outCount_;
+    } else {
+        outHead_ = (outHead_ + 1) % cap;
+    }
 
     return overlap;
 }

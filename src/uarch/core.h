@@ -5,13 +5,17 @@
  *
  * The cross-core data path (L3, coherence, offcore accounting) lives
  * in SystemModel; CoreModel owns everything private to a core.
+ *
+ * The LFB and MLP windows are fixed-capacity ring buffers (the
+ * hardware they model is a ten-entry structure); they replace the
+ * seed's std::deque with identical drop-oldest semantics.
  */
 
 #ifndef BDS_UARCH_CORE_H
 #define BDS_UARCH_CORE_H
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "uarch/branch.h"
 #include "uarch/cache.h"
@@ -34,13 +38,6 @@ class CoreModel
     TwoLevelTlb tlb;          ///< two-level TLB
     GshareBranchPredictor bp; ///< branch predictor
     PmcCounters pmc;          ///< this core's counters
-
-    /**
-     * Counter sink used while the node's counter-freeze mode is on
-     * (SystemModel::setCounterFreeze): all PMC writes land here so
-     * `pmc` stays untouched during functional warming. Never read.
-     */
-    PmcCounters discard;
 
     /**
      * Microarchitectural time in cycles. Advances in lockstep with
@@ -91,10 +88,20 @@ class CoreModel
     };
 
     unsigned lfbEntries_;
-    std::deque<LfbEntry> lfb_;
+
+    // LFB ring: capacity lfbEntries_ + 1 so a push can momentarily
+    // exceed the architectural size before the oldest entry drops,
+    // exactly like the seed's push_back-then-pop_front deque.
+    std::vector<LfbEntry> lfb_;
+    std::size_t lfbHead_ = 0;
+    std::size_t lfbCount_ = 0;
 
     double missWindowUops_; ///< fill-latency window in issue (uop) time
-    std::deque<double> outstanding_; ///< miss-window ends (uop time)
+
+    // MLP miss-window ring (ends in uop time), same shape as lfb_.
+    std::vector<double> outstanding_;
+    std::size_t outHead_ = 0;
+    std::size_t outCount_ = 0;
 };
 
 } // namespace bds

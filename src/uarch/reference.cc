@@ -1,0 +1,349 @@
+#include "uarch/reference.h"
+
+#include "common/log.h"
+
+namespace bds::refmodel {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (!isPow2(cfg_.lineBytes))
+        BDS_FATAL("line size must be a power of two");
+    if (cfg_.assoc == 0 || cfg_.sizeBytes == 0)
+        BDS_FATAL("cache must have nonzero size and associativity");
+    std::uint64_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (lines == 0 || lines % cfg_.assoc != 0)
+        BDS_FATAL("cache geometry does not divide evenly: " << lines
+                  << " lines, " << cfg_.assoc << " ways");
+    numSets_ = lines / cfg_.assoc;
+    lines_.resize(lines);
+}
+
+int
+SetAssocCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.state != CoherenceState::Invalid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+CacheLookup
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return {};
+    return {true, lineAt(set, static_cast<std::uint32_t>(w)).state};
+}
+
+CacheLookup
+SetAssocCache::access(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return {};
+    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
+    l.lru = ++tick_;
+    return {true, l.state};
+}
+
+Eviction
+SetAssocCache::insert(std::uint64_t addr, CoherenceState state,
+                      bool dirty)
+{
+    if (state == CoherenceState::Invalid)
+        BDS_FATAL("cannot insert an Invalid line");
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    if (findWay(set, la) >= 0)
+        BDS_FATAL("inserting line already present: 0x" << std::hex << la);
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    std::uint32_t victim = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &l = lineAt(set, w);
+        if (l.state == CoherenceState::Invalid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+        if (l.lru < oldest) {
+            oldest = l.lru;
+            victim = w;
+        }
+    }
+
+    Eviction ev;
+    Line &l = lineAt(set, victim);
+    if (!found_invalid) {
+        ev.valid = true;
+        ev.lineAddr = l.tag;
+        ev.dirty = l.dirty;
+    }
+    l.tag = la;
+    l.state = state;
+    l.dirty = dirty;
+    l.sharedEver = false;
+    l.lru = ++tick_;
+    return ev;
+}
+
+Eviction
+SetAssocCache::insertOrSetState(std::uint64_t addr, CoherenceState state)
+{
+    // Definition of the flat model's combined op: a probe followed by
+    // either setState (present; LRU untouched) or insert (absent).
+    if (probe(addr).hit) {
+        setState(addr, state);
+        return {};
+    }
+    return insert(addr, state);
+}
+
+void
+SetAssocCache::setState(std::uint64_t addr, CoherenceState state)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("setState on absent line 0x" << std::hex << la);
+    if (state == CoherenceState::Invalid)
+        BDS_FATAL("use invalidate() to drop a line");
+    lineAt(set, static_cast<std::uint32_t>(w)).state = state;
+}
+
+void
+SetAssocCache::setStateDirty(std::uint64_t addr, CoherenceState state)
+{
+    setState(addr, state);
+    setDirty(addr);
+}
+
+bool
+SetAssocCache::setStateIfPresent(std::uint64_t addr, CoherenceState state)
+{
+    if (!probe(addr).hit)
+        return false;
+    setState(addr, state);
+    return true;
+}
+
+void
+SetAssocCache::setDirty(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("setDirty on absent line 0x" << std::hex << la);
+    lineAt(set, static_cast<std::uint32_t>(w)).dirty = true;
+}
+
+bool
+SetAssocCache::setDirtyIfPresent(std::uint64_t addr)
+{
+    if (!probe(addr).hit)
+        return false;
+    setDirty(addr);
+    return true;
+}
+
+void
+SetAssocCache::markShared(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        BDS_FATAL("markShared on absent line 0x" << std::hex << la);
+    lineAt(set, static_cast<std::uint32_t>(w)).sharedEver = true;
+}
+
+bool
+SetAssocCache::markSharedIfPresent(std::uint64_t addr, bool also_dirty)
+{
+    if (!probe(addr).hit)
+        return false;
+    markShared(addr);
+    if (also_dirty)
+        setDirty(addr);
+    return true;
+}
+
+bool
+SetAssocCache::isMarkedShared(std::uint64_t addr) const
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return false;
+    return lineAt(set, static_cast<std::uint32_t>(w)).sharedEver;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = la % numSets_;
+    int w = findWay(set, la);
+    if (w < 0)
+        return false;
+    Line &l = lineAt(set, static_cast<std::uint32_t>(w));
+    bool dirty = l.dirty;
+    l.state = CoherenceState::Invalid;
+    l.dirty = false;
+    l.sharedEver = false;
+    return dirty;
+}
+
+void
+SetAssocCache::forEachLine(
+    const std::function<void(std::uint64_t, CoherenceState, bool)> &fn)
+    const
+{
+    for (const Line &l : lines_)
+        if (l.state != CoherenceState::Invalid)
+            fn(l.tag, l.state, l.dirty);
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &l : lines_)
+        if (l.state != CoherenceState::Invalid)
+            ++n;
+    return n;
+}
+
+TlbArray::TlbArray(const TlbConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.entries == 0 || cfg_.assoc == 0 ||
+        cfg_.entries % cfg_.assoc != 0)
+        BDS_FATAL("TLB geometry does not divide evenly");
+    numSets_ = cfg_.entries / cfg_.assoc;
+    entries_.resize(cfg_.entries);
+}
+
+bool
+TlbArray::access(std::uint64_t page)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = entries_[set * cfg_.assoc + w];
+        if (e.valid && e.page == page) {
+            e.lru = ++tick_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TlbArray::insert(std::uint64_t page)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Entry &e = entries_[set * cfg_.assoc + w];
+        if (!e.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (e.lru < oldest) {
+            oldest = e.lru;
+            victim = w;
+        }
+    }
+    Entry &e = entries_[set * cfg_.assoc + victim];
+    e.page = page;
+    e.valid = true;
+    e.lru = ++tick_;
+}
+
+TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1i, const TlbConfig &l1d,
+                         const TlbConfig &stlb, std::uint32_t page_bytes)
+    : pageShift_(0), itlb_(l1i), dtlb_(l1d), stlb_(stlb)
+{
+    if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0)
+        BDS_FATAL("page size must be a power of two");
+    while ((1u << pageShift_) < page_bytes)
+        ++pageShift_;
+}
+
+TlbOutcome
+TwoLevelTlb::translate(TlbArray &l1, std::uint64_t addr)
+{
+    std::uint64_t page = addr >> pageShift_;
+    if (l1.access(page))
+        return TlbOutcome::L1Hit;
+    if (stlb_.access(page)) {
+        l1.insert(page);
+        return TlbOutcome::StlbHit;
+    }
+    stlb_.insert(page);
+    l1.insert(page);
+    return TlbOutcome::Walk;
+}
+
+TlbOutcome
+TwoLevelTlb::translateCode(std::uint64_t addr)
+{
+    return translate(itlb_, addr);
+}
+
+TlbOutcome
+TwoLevelTlb::translateData(std::uint64_t addr)
+{
+    return translate(dtlb_, addr);
+}
+
+GshareBranchPredictor::GshareBranchPredictor(unsigned history_bits)
+    : historyBits_(history_bits)
+{
+    if (history_bits == 0 || history_bits > 24)
+        BDS_FATAL("gshare history bits must be in [1, 24]");
+    table_.assign(1u << history_bits, 2); // weakly taken
+}
+
+bool
+GshareBranchPredictor::predictAndTrain(std::uint64_t ip, bool taken)
+{
+    std::uint32_t mask = (1u << historyBits_) - 1;
+    std::uint32_t idx =
+        (static_cast<std::uint32_t>(ip >> 2) ^ history_) & mask;
+    std::uint8_t &ctr = table_[idx];
+    bool prediction = ctr >= 2;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask;
+    return prediction == taken;
+}
+
+} // namespace bds::refmodel

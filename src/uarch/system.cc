@@ -11,8 +11,11 @@ SystemModel::SystemModel(const NodeConfig &cfg)
 {
     if (cfg_.numCores == 0)
         BDS_FATAL("node needs at least one core");
+    if (cfg_.numCores > 64)
+        BDS_FATAL("node supports at most 64 cores (snoop holder mask)");
+    cores_.reserve(cfg_.numCores);
     for (unsigned i = 0; i < cfg_.numCores; ++i)
-        cores_.push_back(std::make_unique<CoreModel>(cfg_));
+        cores_.emplace_back(cfg_);
 }
 
 const PmcCounters &
@@ -20,7 +23,7 @@ SystemModel::coreCounters(unsigned core) const
 {
     if (core >= cores_.size())
         BDS_FATAL("core index " << core << " out of range");
-    return cores_[core]->pmc;
+    return cores_[core].pmc;
 }
 
 CoreModel &
@@ -28,7 +31,7 @@ SystemModel::core(unsigned idx)
 {
     if (idx >= cores_.size())
         BDS_FATAL("core index " << idx << " out of range");
-    return *cores_[idx];
+    return cores_[idx];
 }
 
 PmcCounters
@@ -36,7 +39,7 @@ SystemModel::aggregateCounters() const
 {
     PmcCounters total;
     for (const auto &c : cores_)
-        total += c->pmc;
+        total += c.pmc;
     return total;
 }
 
@@ -44,7 +47,7 @@ void
 SystemModel::resetCounters()
 {
     for (auto &c : cores_)
-        c->pmc = PmcCounters{};
+        c.pmc = PmcCounters{};
 }
 
 void
@@ -62,7 +65,7 @@ SystemModel::checkInvariants() const
     // Line -> (owner core, strongest L2 state) over all cores.
     std::map<std::uint64_t, std::pair<unsigned, CoherenceState>> owners;
     for (unsigned c = 0; c < cores_.size(); ++c) {
-        cores_[c]->l2.forEachLine(
+        cores_[c].l2.forEachLine(
             [&](std::uint64_t la, CoherenceState s, bool) {
                 auto it = owners.find(la);
                 if (it == owners.end()) {
@@ -84,7 +87,7 @@ SystemModel::checkInvariants() const
             l1.forEachLine([&](std::uint64_t la, CoherenceState s,
                                bool) {
                 std::uint64_t addr = la * cfg_.l2.lineBytes;
-                CacheLookup in_l2 = cores_[c]->l2.probe(addr);
+                CacheLookup in_l2 = cores_[c].l2.probe(addr);
                 if (!in_l2.hit)
                     BDS_PANIC("core " << c << ' ' << which
                               << " holds line 0x" << std::hex << la
@@ -95,8 +98,8 @@ SystemModel::checkInvariants() const
                               << std::hex << la);
             });
         };
-        check_l1(cores_[c]->l1d, "L1D");
-        check_l1(cores_[c]->l1i, "L1I");
+        check_l1(cores_[c].l1d, "L1D");
+        check_l1(cores_[c].l1i, "L1I");
     }
 }
 
@@ -111,9 +114,13 @@ SystemModel::dmaFill(std::uint64_t addr, std::uint64_t bytes)
     for (std::uint64_t la = first; la < last; ++la) {
         std::uint64_t a = la * line_bytes;
         for (auto &c : cores_) {
-            c->l1d.invalidate(a);
-            c->l1i.invalidate(a);
-            c->l2.invalidate(a);
+            // Inclusion: an L2 miss means no L1 can hold the line,
+            // so one probe settles all three private levels.
+            if (c.l2.probe(a).hit) {
+                c.l1d.invalidate(a);
+                c.l1i.invalidate(a);
+                c.l2.invalidate(a);
+            }
         }
         l3_.invalidate(a);
     }
@@ -126,9 +133,10 @@ SystemModel::snoop(unsigned requester, std::uint64_t addr) const
     for (unsigned i = 0; i < cores_.size(); ++i) {
         if (i == requester)
             continue;
-        CacheLookup look = cores_[i]->l2.probe(addr);
+        CacheLookup look = cores_[i].l2.probe(addr);
         if (!look.hit)
             continue;
+        best.holders |= 1ULL << i;
         // Severity order: Modified > Exclusive > Shared.
         auto rank = [](CoherenceState s) {
             switch (s) {
@@ -146,38 +154,39 @@ SystemModel::snoop(unsigned requester, std::uint64_t addr) const
     return best;
 }
 
+template <bool kFrozen>
 void
 SystemModel::settleSnoop(unsigned requester, std::uint64_t addr,
                          const SnoopResult &sr, bool for_ownership)
 {
-    PmcCounters &pmc = counters(requester);
-    switch (sr.state) {
-      case CoherenceState::Modified:
-        ++pmc.snoopHitM;
-        break;
-      case CoherenceState::Exclusive:
-        ++pmc.snoopHitE;
-        break;
-      case CoherenceState::Shared:
-        ++pmc.snoopHit;
-        break;
-      case CoherenceState::Invalid:
+    if (sr.state == CoherenceState::Invalid)
         return;
+    if constexpr (!kFrozen) {
+        PmcCounters &pmc = cores_[requester].pmc;
+        switch (sr.state) {
+          case CoherenceState::Modified:
+            ++pmc.snoopHitM;
+            break;
+          case CoherenceState::Exclusive:
+            ++pmc.snoopHitE;
+            break;
+          case CoherenceState::Shared:
+            ++pmc.snoopHit;
+            break;
+          case CoherenceState::Invalid:
+            break;
+        }
     }
 
-    // A modified sibling line is written back into the L3 on its way
-    // to the requester.
-    if (sr.state == CoherenceState::Modified) {
-        if (l3_.probe(addr).hit)
-            l3_.setDirty(addr);
-    }
+    // One L3 scan records the shared history — and, for a modified
+    // sibling, the write-back the transfer implies (the dirty bit).
+    l3_.markSharedIfPresent(addr,
+                            sr.state == CoherenceState::Modified);
 
-    for (unsigned i = 0; i < cores_.size(); ++i) {
-        if (i == requester)
-            continue;
-        CoreModel &sib = *cores_[i];
-        if (!sib.l2.probe(addr).hit)
-            continue;
+    // Touch only the siblings the snoop saw holding the line.
+    for (std::uint64_t m = sr.holders; m != 0; m &= m - 1) {
+        unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+        CoreModel &sib = cores_[i];
         if (for_ownership) {
             // Invalidate everywhere; dirty data was already captured
             // logically by the L3 write-back above.
@@ -186,34 +195,31 @@ SystemModel::settleSnoop(unsigned requester, std::uint64_t addr,
             sib.l1i.invalidate(addr);
         } else {
             sib.l2.setState(addr, CoherenceState::Shared);
-            if (sib.l1d.probe(addr).hit)
-                sib.l1d.setState(addr, CoherenceState::Shared);
-            if (sib.l1i.probe(addr).hit)
-                sib.l1i.setState(addr, CoherenceState::Shared);
+            sib.l1d.setStateIfPresent(addr, CoherenceState::Shared);
+            sib.l1i.setStateIfPresent(addr, CoherenceState::Shared);
         }
     }
-
-    // A line observed in two places is shared history for the L3.
-    if (l3_.probe(addr).hit)
-        l3_.markShared(addr);
 }
 
+template <bool kFrozen>
 SystemModel::FillOutcome
 SystemModel::fillLine(unsigned requester, std::uint64_t addr,
                       bool for_ownership, bool is_code,
                       bool dependent_load)
 {
-    CoreModel &core = *cores_[requester];
-    PmcCounters &pmc = counters(requester);
+    CoreModel &core = cores_[requester];
+    PmcCounters &pmc = core.pmc;
     FillOutcome out;
 
     // Offcore request classification.
-    if (is_code)
-        ++pmc.offcoreCode;
-    else if (for_ownership)
-        ++pmc.offcoreRfo;
-    else
-        ++pmc.offcoreData;
+    if constexpr (!kFrozen) {
+        if (is_code)
+            ++pmc.offcoreCode;
+        else if (for_ownership)
+            ++pmc.offcoreRfo;
+        else
+            ++pmc.offcoreData;
+    }
 
     SnoopResult sr = snoop(requester, addr);
     CacheLookup l3look = l3_.access(addr);
@@ -221,14 +227,16 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
     if (sr.state == CoherenceState::Modified ||
         sr.state == CoherenceState::Exclusive) {
         // Cache-to-cache transfer from the owning sibling.
-        settleSnoop(requester, addr, sr, for_ownership);
+        settleSnoop<kFrozen>(requester, addr, sr, for_ownership);
         out.latency = cfg_.c2cLatency;
         out.fromSibling = true;
         out.l3Hit = l3look.hit;
-        if (l3look.hit)
-            ++pmc.l3Hits;
-        else
-            ++pmc.l3Misses;
+        if constexpr (!kFrozen) {
+            if (l3look.hit)
+                ++pmc.l3Hits;
+            else
+                ++pmc.l3Misses;
+        }
         out.fillState = for_ownership ? CoherenceState::Modified
                                       : CoherenceState::Shared;
         return out;
@@ -239,7 +247,8 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
             // Inclusive-L3 behavior: a clean shared line is served
             // straight from the L3; the sharers are left alone and no
             // snoop response is generated (core-valid bits filter it).
-            ++pmc.l3Hits;
+            if constexpr (!kFrozen)
+                ++pmc.l3Hits;
             out.l3Hit = true;
             out.latency = cfg_.l3Latency;
             out.fillState = CoherenceState::Shared;
@@ -247,14 +256,16 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
         }
         // RFO must invalidate the sharers; an L3 miss falls back to a
         // cache-to-cache transfer. Both generate snoop responses.
-        settleSnoop(requester, addr, sr, for_ownership);
+        settleSnoop<kFrozen>(requester, addr, sr, for_ownership);
         out.fromSibling = !for_ownership;
         out.l3Hit = l3look.hit;
         out.latency = l3look.hit ? cfg_.l3Latency : cfg_.c2cLatency;
-        if (l3look.hit)
-            ++pmc.l3Hits;
-        else
-            ++pmc.l3Misses;
+        if constexpr (!kFrozen) {
+            if (l3look.hit)
+                ++pmc.l3Hits;
+            else
+                ++pmc.l3Misses;
+        }
         out.fillState = for_ownership ? CoherenceState::Modified
                                       : CoherenceState::Shared;
         return out;
@@ -262,7 +273,8 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
 
     // No sibling holds the line.
     if (l3look.hit) {
-        ++pmc.l3Hits;
+        if constexpr (!kFrozen)
+            ++pmc.l3Hits;
         out.l3Hit = true;
         out.latency = cfg_.l3Latency;
         out.fillState = for_ownership ? CoherenceState::Modified
@@ -271,13 +283,16 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
     }
 
     // Memory access.
-    ++pmc.l3Misses;
+    if constexpr (!kFrozen)
+        ++pmc.l3Misses;
     out.memAccess = true;
     double overlap = 1.0;
     if (!is_code && !for_ownership) {
         overlap = core.accountLlcMiss(dependent_load);
-        pmc.mlpSum += overlap;
-        ++pmc.mlpSamples;
+        if constexpr (!kFrozen) {
+            pmc.mlpSum += overlap;
+            ++pmc.mlpSamples;
+        }
     }
     out.latency = cfg_.memLatency / overlap;
     out.fillState = for_ownership ? CoherenceState::Modified
@@ -287,51 +302,53 @@ SystemModel::fillLine(unsigned requester, std::uint64_t addr,
     return out;
 }
 
+template <bool kFrozen>
 void
-SystemModel::installLine(unsigned core_id, std::uint64_t addr,
-                         CoherenceState state, bool is_code,
-                         bool install_l1)
+SystemModel::installMissFill(unsigned core_id, std::uint64_t addr,
+                             CoherenceState state, bool is_code,
+                             bool install_l1, bool dirty)
 {
-    CoreModel &core = *cores_[core_id];
-    if (!core.l2.probe(addr).hit) {
-        Eviction ev = core.l2.insert(addr, state);
-        if (ev.valid) {
-            std::uint64_t victim_addr = ev.lineAddr * cfg_.l2.lineBytes;
-            // Inclusion: L1 copies of the victim go away too.
-            bool l1d_dirty = core.l1d.invalidate(victim_addr);
-            core.l1i.invalidate(victim_addr);
-            if (ev.dirty || l1d_dirty) {
-                ++counters(core_id).offcoreWb;
-                if (l3_.probe(victim_addr).hit)
-                    l3_.setDirty(victim_addr);
-            }
+    CoreModel &core = cores_[core_id];
+    Eviction ev = core.l2.insert(addr, state, dirty);
+    if (ev.valid) {
+        std::uint64_t victim_addr = ev.lineAddr * cfg_.l2.lineBytes;
+        // Inclusion: L1 copies of the victim go away too.
+        bool l1d_dirty = core.l1d.invalidate(victim_addr);
+        core.l1i.invalidate(victim_addr);
+        if (ev.dirty || l1d_dirty) {
+            if constexpr (!kFrozen)
+                ++core.pmc.offcoreWb;
+            l3_.setDirtyIfPresent(victim_addr);
         }
-    } else {
-        core.l2.setState(addr, state);
     }
 
-    if (!install_l1)
-        return;
+    if (install_l1)
+        installL1Fill<kFrozen>(core_id, addr, state, is_code, dirty);
+}
+
+template <bool kFrozen>
+void
+SystemModel::installL1Fill(unsigned core_id, std::uint64_t addr,
+                           CoherenceState state, bool is_code,
+                           bool dirty)
+{
+    CoreModel &core = cores_[core_id];
     SetAssocCache &l1 = is_code ? core.l1i : core.l1d;
-    if (!l1.probe(addr).hit) {
-        Eviction ev = l1.insert(addr, state);
-        if (ev.valid && ev.dirty) {
-            std::uint64_t victim_addr = ev.lineAddr * cfg_.l1d.lineBytes;
-            if (core.l2.probe(victim_addr).hit)
-                core.l2.setDirty(victim_addr);
-        }
-    } else {
-        l1.setState(addr, state);
+    Eviction ev = l1.insert(addr, state, dirty);
+    if (ev.valid && ev.dirty) {
+        std::uint64_t victim_addr = ev.lineAddr * cfg_.l1d.lineBytes;
+        core.l2.setDirtyIfPresent(victim_addr);
     }
 }
 
+template <bool kFrozen>
 void
 SystemModel::doFetch(unsigned core_id, const MicroOp &op)
 {
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
 
-    std::uint64_t line = op.ip / cfg_.l1i.lineBytes;
+    std::uint64_t line = core.l1i.lineAddr(op.ip);
     if (line == core.lastFetchLine)
         return;
     core.lastFetchLine = line;
@@ -339,43 +356,53 @@ SystemModel::doFetch(unsigned core_id, const MicroOp &op)
     // Instruction TLB.
     TlbOutcome t = core.tlb.translateCode(op.ip);
     if (t == TlbOutcome::Walk) {
-        ++pmc.itlbWalks;
-        pmc.itlbWalkCycles += cfg_.walkLatency;
-        pmc.fetchStallCycles += cfg_.walkLatency;
-        pmc.cycles += cfg_.walkLatency;
+        if constexpr (!kFrozen) {
+            ++pmc.itlbWalks;
+            pmc.itlbWalkCycles += cfg_.walkLatency;
+            pmc.fetchStallCycles += cfg_.walkLatency;
+            pmc.cycles += cfg_.walkLatency;
+        }
         core.clock += cfg_.walkLatency;
     } else if (t == TlbOutcome::StlbHit) {
-        pmc.fetchStallCycles += cfg_.stlbHitPenalty;
-        pmc.cycles += cfg_.stlbHitPenalty;
+        if constexpr (!kFrozen) {
+            pmc.fetchStallCycles += cfg_.stlbHitPenalty;
+            pmc.cycles += cfg_.stlbHitPenalty;
+        }
         core.clock += cfg_.stlbHitPenalty;
     }
 
     // L1I.
     if (core.l1i.access(op.ip).hit) {
-        ++pmc.l1iHits;
+        if constexpr (!kFrozen)
+            ++pmc.l1iHits;
         return;
     }
-    ++pmc.l1iMisses;
+    if constexpr (!kFrozen)
+        ++pmc.l1iMisses;
 
     double latency;
-    CoherenceState state;
-    if (core.l2.access(op.ip).hit) {
-        ++pmc.l2Hits;
+    CacheLookup l2look = core.l2.access(op.ip);
+    if (l2look.hit) {
+        if constexpr (!kFrozen)
+            ++pmc.l2Hits;
         latency = cfg_.l2Latency;
-        state = core.l2.probe(op.ip).state;
-        SetAssocCache &l1 = core.l1i;
-        if (!l1.probe(op.ip).hit)
-            l1.insert(op.ip, state);
+        // The L1I is known to miss here (the demand access above).
+        core.l1i.insert(op.ip, l2look.state);
     } else {
-        ++pmc.l2Misses;
-        FillOutcome fill = fillLine(core_id, op.ip, false, true, false);
+        if constexpr (!kFrozen)
+            ++pmc.l2Misses;
+        FillOutcome fill =
+            fillLine<kFrozen>(core_id, op.ip, false, true, false);
         latency = cfg_.l2Latency + fill.latency;
-        installLine(core_id, op.ip, fill.fillState, true);
+        installMissFill<kFrozen>(core_id, op.ip, fill.fillState, true,
+                                 true);
     }
 
-    pmc.fetchStallCycles += latency;
-    pmc.ildStallCycles += 0.15 * latency;
-    pmc.cycles += 1.15 * latency;
+    if constexpr (!kFrozen) {
+        pmc.fetchStallCycles += latency;
+        pmc.ildStallCycles += 0.15 * latency;
+        pmc.cycles += 1.15 * latency;
+    }
     core.clock += 1.15 * latency;
 
     // Next-line instruction prefetch (Westmere's L1I streaming
@@ -386,102 +413,127 @@ SystemModel::doFetch(unsigned core_id, const MicroOp &op)
     // to leave the core.
     std::uint64_t next_addr = (line + 1) * cfg_.l1i.lineBytes;
     if (!core.l1i.probe(next_addr).hit) {
-        if (core.l2.access(next_addr).hit) {
-            core.l1i.insert(next_addr, core.l2.probe(next_addr).state);
+        CacheLookup pfl2 = core.l2.access(next_addr);
+        if (pfl2.hit) {
+            core.l1i.insert(next_addr, pfl2.state);
         } else {
-            FillOutcome pf = fillLine(core_id, next_addr, false, true,
-                                      false);
-            installLine(core_id, next_addr, pf.fillState, true);
+            FillOutcome pf =
+                fillLine<kFrozen>(core_id, next_addr, false, true,
+                                  false);
+            installMissFill<kFrozen>(core_id, next_addr, pf.fillState,
+                                     true, true);
         }
     }
 }
 
+template <bool kFrozen>
 void
 SystemModel::translateData(unsigned core_id, std::uint64_t addr)
 {
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
     TlbOutcome t = core.tlb.translateData(addr);
     if (t == TlbOutcome::Walk) {
-        ++pmc.dtlbWalks;
-        pmc.dtlbWalkCycles += cfg_.walkLatency;
-        pmc.resourceStallCycles += 0.6 * cfg_.walkLatency;
-        pmc.cycles += 0.6 * cfg_.walkLatency;
+        if constexpr (!kFrozen) {
+            ++pmc.dtlbWalks;
+            pmc.dtlbWalkCycles += cfg_.walkLatency;
+            pmc.resourceStallCycles += 0.6 * cfg_.walkLatency;
+            pmc.cycles += 0.6 * cfg_.walkLatency;
+        }
         core.clock += 0.6 * cfg_.walkLatency;
     } else if (t == TlbOutcome::StlbHit) {
-        ++pmc.dataHitStlb;
-        pmc.resourceStallCycles += 0.2 * cfg_.stlbHitPenalty;
-        pmc.cycles += 0.2 * cfg_.stlbHitPenalty;
+        if constexpr (!kFrozen) {
+            ++pmc.dataHitStlb;
+            pmc.resourceStallCycles += 0.2 * cfg_.stlbHitPenalty;
+            pmc.cycles += 0.2 * cfg_.stlbHitPenalty;
+        }
         core.clock += 0.2 * cfg_.stlbHitPenalty;
     }
 }
 
+template <bool kFrozen>
 void
 SystemModel::doLoad(unsigned core_id, const MicroOp &op)
 {
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
 
-    translateData(core_id, op.addr);
+    translateData<kFrozen>(core_id, op.addr);
 
     if (core.l1d.access(op.addr).hit)
         return; // L1D hits are latency-hidden by the OoO core
 
-    std::uint64_t line = op.addr / cfg_.l1d.lineBytes;
+    std::uint64_t line = core.l1d.lineAddr(op.addr);
     if (core.lfbInFlight(line, core.clock)) {
-        ++pmc.loadHitLfb;
+        if constexpr (!kFrozen)
+            ++pmc.loadHitLfb;
         return;
     }
 
-    if (core.l2.access(op.addr).hit) {
-        ++pmc.l2Hits;
-        ++pmc.loadHitL2;
-        CoherenceState state = core.l2.probe(op.addr).state;
-        if (!core.l1d.probe(op.addr).hit)
-            installLine(core_id, op.addr, state, false);
+    CacheLookup l2look = core.l2.access(op.addr);
+    if (l2look.hit) {
+        if constexpr (!kFrozen) {
+            ++pmc.l2Hits;
+            ++pmc.loadHitL2;
+        }
+        // The L1D is known to miss here (the demand access above),
+        // and the L2 already holds the line in this very state.
+        installL1Fill<kFrozen>(core_id, op.addr, l2look.state, false);
         double stall = 0.3 * cfg_.l2Latency;
-        pmc.ratStallCycles += stall;
-        pmc.cycles += stall;
+        if constexpr (!kFrozen) {
+            pmc.ratStallCycles += stall;
+            pmc.cycles += stall;
+        }
         core.clock += stall;
         return;
     }
 
-    ++pmc.l2Misses;
-    FillOutcome fill = fillLine(core_id, op.addr, false, false,
-                                op.dependsOnPrevLoad);
+    if constexpr (!kFrozen)
+        ++pmc.l2Misses;
+    FillOutcome fill = fillLine<kFrozen>(core_id, op.addr, false, false,
+                                         op.dependsOnPrevLoad);
     // The line lands in the L2 now; the L1D copy arrives only when a
     // later touch finds the fill complete (see class comment).
-    installLine(core_id, op.addr, fill.fillState, false, false);
+    installMissFill<kFrozen>(core_id, op.addr, fill.fillState, false,
+                             false);
     core.lfbAllocate(line, core.clock + cfg_.l2Latency + fill.latency);
 
     if (fill.fromSibling) {
-        ++pmc.loadHitSibling;
+        if constexpr (!kFrozen)
+            ++pmc.loadHitSibling;
         double stall = 0.4 * fill.latency;
-        pmc.resourceStallCycles += stall;
-        pmc.cycles += stall;
+        if constexpr (!kFrozen) {
+            pmc.resourceStallCycles += stall;
+            pmc.cycles += stall;
+        }
         core.clock += stall;
     } else if (fill.l3Hit) {
-        ++pmc.loadHitL3Unshared;
-        pmc.resourceStallCycles += 0.3 * fill.latency;
-        pmc.ratStallCycles += 0.1 * fill.latency;
-        pmc.cycles += 0.4 * fill.latency;
+        if constexpr (!kFrozen) {
+            ++pmc.loadHitL3Unshared;
+            pmc.resourceStallCycles += 0.3 * fill.latency;
+            pmc.ratStallCycles += 0.1 * fill.latency;
+            pmc.cycles += 0.4 * fill.latency;
+        }
         core.clock += 0.4 * fill.latency;
     } else {
-        ++pmc.loadLlcMiss;
-        pmc.resourceStallCycles += 0.75 * fill.latency;
-        pmc.ratStallCycles += 0.1 * fill.latency;
-        pmc.cycles += 0.85 * fill.latency;
+        if constexpr (!kFrozen) {
+            ++pmc.loadLlcMiss;
+            pmc.resourceStallCycles += 0.75 * fill.latency;
+            pmc.ratStallCycles += 0.1 * fill.latency;
+            pmc.cycles += 0.85 * fill.latency;
+        }
         core.clock += 0.85 * fill.latency;
     }
 }
 
+template <bool kFrozen>
 void
 SystemModel::doStore(unsigned core_id, const MicroOp &op)
 {
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
 
-    translateData(core_id, op.addr);
+    translateData<kFrozen>(core_id, op.addr);
 
     CacheLookup l1 = core.l1d.access(op.addr);
     if (l1.hit) {
@@ -490,85 +542,161 @@ SystemModel::doStore(unsigned core_id, const MicroOp &op)
             return;
         }
         if (l1.state == CoherenceState::Exclusive) {
-            core.l1d.setState(op.addr, CoherenceState::Modified);
-            core.l1d.setDirty(op.addr);
-            if (core.l2.probe(op.addr).hit)
-                core.l2.setState(op.addr, CoherenceState::Modified);
+            core.l1d.setStateDirty(op.addr, CoherenceState::Modified);
+            core.l2.setStateIfPresent(op.addr,
+                                      CoherenceState::Modified);
             return;
         }
         // Shared: upgrade via RFO.
-        ++pmc.offcoreRfo;
+        if constexpr (!kFrozen)
+            ++pmc.offcoreRfo;
         SnoopResult sr = snoop(core_id, op.addr);
-        settleSnoop(core_id, op.addr, sr, true);
-        core.l1d.setState(op.addr, CoherenceState::Modified);
-        core.l1d.setDirty(op.addr);
-        if (core.l2.probe(op.addr).hit)
-            core.l2.setState(op.addr, CoherenceState::Modified);
+        settleSnoop<kFrozen>(core_id, op.addr, sr, true);
+        core.l1d.setStateDirty(op.addr, CoherenceState::Modified);
+        core.l2.setStateIfPresent(op.addr, CoherenceState::Modified);
         double stall = 0.3 * cfg_.c2cLatency;
-        pmc.resourceStallCycles += stall;
-        pmc.cycles += stall;
+        if constexpr (!kFrozen) {
+            pmc.resourceStallCycles += stall;
+            pmc.cycles += stall;
+        }
         core.clock += stall;
         return;
     }
 
-    std::uint64_t line = op.addr / cfg_.l1d.lineBytes;
+    std::uint64_t line = core.l1d.lineAddr(op.addr);
     if (core.lfbInFlight(line, core.clock)) {
         // Merge into the outstanding fill; ownership is settled when
         // the fill completes and a later access re-probes.
-        if (core.l2.probe(op.addr).hit) {
-            if (core.l2.probe(op.addr).state == CoherenceState::Shared) {
-                ++pmc.offcoreRfo;
+        CacheLookup l2look = core.l2.probe(op.addr);
+        if (l2look.hit) {
+            if (l2look.state == CoherenceState::Shared) {
+                if constexpr (!kFrozen)
+                    ++pmc.offcoreRfo;
                 SnoopResult sr = snoop(core_id, op.addr);
-                settleSnoop(core_id, op.addr, sr, true);
+                settleSnoop<kFrozen>(core_id, op.addr, sr, true);
             }
-            core.l2.setState(op.addr, CoherenceState::Modified);
-            core.l2.setDirty(op.addr);
+            core.l2.setStateDirty(op.addr, CoherenceState::Modified);
         }
         return;
     }
 
-    if (core.l2.access(op.addr).hit) {
-        ++pmc.l2Hits;
-        CoherenceState state = core.l2.probe(op.addr).state;
-        if (state == CoherenceState::Shared) {
-            ++pmc.offcoreRfo;
+    CacheLookup l2look = core.l2.access(op.addr);
+    if (l2look.hit) {
+        if constexpr (!kFrozen)
+            ++pmc.l2Hits;
+        if (l2look.state == CoherenceState::Shared) {
+            if constexpr (!kFrozen)
+                ++pmc.offcoreRfo;
             SnoopResult sr = snoop(core_id, op.addr);
-            settleSnoop(core_id, op.addr, sr, true);
+            settleSnoop<kFrozen>(core_id, op.addr, sr, true);
         }
-        core.l2.setState(op.addr, CoherenceState::Modified);
-        installLine(core_id, op.addr, CoherenceState::Modified, false);
-        core.l1d.setDirty(op.addr);
-        core.l2.setDirty(op.addr);
+        core.l2.setStateDirty(op.addr, CoherenceState::Modified);
+        installL1Fill<kFrozen>(core_id, op.addr,
+                               CoherenceState::Modified, false, true);
         return;
     }
 
-    ++pmc.l2Misses;
-    FillOutcome fill = fillLine(core_id, op.addr, true, false, false);
-    installLine(core_id, op.addr, CoherenceState::Modified, false);
-    core.l1d.setDirty(op.addr);
-    core.l2.setDirty(op.addr);
+    if constexpr (!kFrozen)
+        ++pmc.l2Misses;
+    FillOutcome fill =
+        fillLine<kFrozen>(core_id, op.addr, true, false, false);
+    installMissFill<kFrozen>(core_id, op.addr,
+                             CoherenceState::Modified, false, true,
+                             /*dirty=*/true);
     double stall = 0.25 * fill.latency;
-    pmc.resourceStallCycles += stall;
-    pmc.cycles += stall;
+    if constexpr (!kFrozen) {
+        pmc.resourceStallCycles += stall;
+        pmc.cycles += stall;
+    }
     core.clock += stall;
 }
 
+template <bool kFrozen>
 void
 SystemModel::doBranch(unsigned core_id, const MicroOp &op)
 {
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
-    ++pmc.branchesRetired;
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
+    if constexpr (!kFrozen)
+        ++pmc.branchesRetired;
     bool correct = core.bp.predictAndTrain(op.ip, op.taken);
     if (correct) {
-        ++pmc.branchesExecuted;
+        if constexpr (!kFrozen)
+            ++pmc.branchesExecuted;
     } else {
-        ++pmc.branchesMispredicted;
-        // Retired + wrong-path work flushed at the redirect.
-        pmc.branchesExecuted += 3;
-        pmc.fetchStallCycles += cfg_.branchMissPenalty;
-        pmc.cycles += cfg_.branchMissPenalty;
+        if constexpr (!kFrozen) {
+            ++pmc.branchesMispredicted;
+            // Retired + wrong-path work flushed at the redirect.
+            pmc.branchesExecuted += 3;
+            pmc.fetchStallCycles += cfg_.branchMissPenalty;
+            pmc.cycles += cfg_.branchMissPenalty;
+        }
         core.clock += cfg_.branchMissPenalty;
+    }
+}
+
+template <bool kFrozen>
+void
+SystemModel::consumeOp(unsigned core_id, const MicroOp &op)
+{
+    CoreModel &core = cores_[core_id];
+    PmcCounters &pmc = core.pmc;
+
+    if constexpr (!kFrozen) {
+        ++pmc.uops;
+        pmc.cycles += invIssueWidth_;
+        pmc.uopsExecutedCycles += invIssueWidth_;
+    }
+    ++core.uopClock;
+    core.clock += invIssueWidth_;
+
+    if (op.newInstruction) {
+        if constexpr (!kFrozen) {
+            ++pmc.instructions;
+            if (op.mode == Mode::Kernel)
+                ++pmc.kernelInstrs;
+            else
+                ++pmc.userInstrs;
+            switch (op.cls) {
+              case OpClass::Load: ++pmc.loadInstrs; break;
+              case OpClass::Store: ++pmc.storeInstrs; break;
+              case OpClass::Branch: ++pmc.branchInstrs; break;
+              case OpClass::IntAlu: ++pmc.intInstrs; break;
+              case OpClass::FpAlu: ++pmc.fpInstrs; break;
+              case OpClass::SseAlu: ++pmc.sseInstrs; break;
+            }
+        }
+        doFetch<kFrozen>(core_id, op);
+    } else {
+        // Microcode sequencer pressure.
+        if constexpr (!kFrozen) {
+            pmc.decoderStallCycles += 0.4;
+            pmc.cycles += 0.4;
+        }
+        core.clock += 0.4;
+    }
+
+    switch (op.cls) {
+      case OpClass::Load:
+        doLoad<kFrozen>(core_id, op);
+        break;
+      case OpClass::Store:
+        doStore<kFrozen>(core_id, op);
+        break;
+      case OpClass::Branch:
+        doBranch<kFrozen>(core_id, op);
+        break;
+      case OpClass::FpAlu:
+        // x87 is microcode-heavy on Westmere-class cores.
+        if constexpr (!kFrozen) {
+            pmc.decoderStallCycles += 0.2;
+            pmc.cycles += 0.2;
+        }
+        core.clock += 0.2;
+        break;
+      case OpClass::IntAlu:
+      case OpClass::SseAlu:
+        break;
     }
 }
 
@@ -580,57 +708,10 @@ SystemModel::consume(unsigned core_id, const MicroOp &op)
                   << cores_.size() << "-core node");
     if (recorder_)
         recorder_->consume(core_id, op);
-    CoreModel &core = *cores_[core_id];
-    PmcCounters &pmc = counters(core_id);
-
-    ++pmc.uops;
-    ++core.uopClock;
-    pmc.cycles += invIssueWidth_;
-    core.clock += invIssueWidth_;
-    pmc.uopsExecutedCycles += invIssueWidth_;
-
-    if (op.newInstruction) {
-        ++pmc.instructions;
-        if (op.mode == Mode::Kernel)
-            ++pmc.kernelInstrs;
-        else
-            ++pmc.userInstrs;
-        switch (op.cls) {
-          case OpClass::Load: ++pmc.loadInstrs; break;
-          case OpClass::Store: ++pmc.storeInstrs; break;
-          case OpClass::Branch: ++pmc.branchInstrs; break;
-          case OpClass::IntAlu: ++pmc.intInstrs; break;
-          case OpClass::FpAlu: ++pmc.fpInstrs; break;
-          case OpClass::SseAlu: ++pmc.sseInstrs; break;
-        }
-        doFetch(core_id, op);
-    } else {
-        // Microcode sequencer pressure.
-        pmc.decoderStallCycles += 0.4;
-        pmc.cycles += 0.4;
-        core.clock += 0.4;
-    }
-
-    switch (op.cls) {
-      case OpClass::Load:
-        doLoad(core_id, op);
-        break;
-      case OpClass::Store:
-        doStore(core_id, op);
-        break;
-      case OpClass::Branch:
-        doBranch(core_id, op);
-        break;
-      case OpClass::FpAlu:
-        // x87 is microcode-heavy on Westmere-class cores.
-        pmc.decoderStallCycles += 0.2;
-        pmc.cycles += 0.2;
-        core.clock += 0.2;
-        break;
-      case OpClass::IntAlu:
-      case OpClass::SseAlu:
-        break;
-    }
+    if (frozen_)
+        consumeOp<true>(core_id, op);
+    else
+        consumeOp<false>(core_id, op);
 }
 
 } // namespace bds

@@ -13,12 +13,20 @@
  *    copies and write dirty data back (offcore WB)
  *  - one snoop response is recorded per offcore request, using the
  *    most severe sibling state (M > E > S)
+ *
+ * The op path is compiled twice from one source (a kFrozen template
+ * parameter): the detail path updates PmcCounters and state; the
+ * fast path — taken while the counter-freeze (functional warming)
+ * mode is on — strips every counter write and updates only
+ * microarchitectural state and the monotonic clocks. Both paths
+ * drive state identically, which is what makes warming-then-
+ * measuring bitwise-equal to an uninterrupted detailed run
+ * (docs/PERFORMANCE.md, tests/uarch/test_warm_paths.cc).
  */
 
 #ifndef BDS_UARCH_SYSTEM_H
 #define BDS_UARCH_SYSTEM_H
 
-#include <memory>
 #include <vector>
 
 #include "trace/microop.h"
@@ -65,12 +73,12 @@ class SystemModel : public ExecTarget
      * Functional-warming switch for sampled simulation. While on,
      * every micro-op still advances the full microarchitectural
      * state — caches, TLBs, the branch predictor, coherence, the
-     * LFB/MLP windows, and the monotonic core clocks — but all
-     * PmcCounters writes are redirected to each core's `discard`
-     * sink, so `pmc` (and therefore cycle accounting) stands still.
-     * Freeze→unfreeze→replay of a trace reproduces the counters of
-     * an uninterrupted detailed run bitwise, because no observable
-     * counter state depends on the frozen counters themselves.
+     * LFB/MLP windows, and the monotonic core clocks — but the op
+     * stream runs on the stripped fast path, which compiles out all
+     * PmcCounters writes, so `pmc` (and therefore cycle accounting)
+     * stands still. Freeze→unfreeze→replay of a trace reproduces the
+     * counters of an uninterrupted detailed run bitwise, because no
+     * observable state depends on the counters themselves.
      */
     void setCounterFreeze(bool on) { frozen_ = on; }
 
@@ -118,6 +126,13 @@ class SystemModel : public ExecTarget
     {
         CoherenceState state = CoherenceState::Invalid; ///< best state
         int owner = -1; ///< core holding it at that state
+
+        /**
+         * Bit i set when core i's L2 holds the line (any state).
+         * Lets settleSnoop touch only the actual holders instead of
+         * re-probing every sibling.
+         */
+        std::uint64_t holders = 0;
     };
 
     /** Probe all cores but `requester` for the line. */
@@ -125,8 +140,10 @@ class SystemModel : public ExecTarget
 
     /**
      * Downgrade/invalidate sibling copies after a snoop hit and
-     * record the snoop response in the requester's counters.
+     * record the snoop response in the requester's counters (detail
+     * path only).
      */
+    template <bool kFrozen>
     void settleSnoop(unsigned requester, std::uint64_t addr,
                      const SnoopResult &sr, bool for_ownership);
 
@@ -142,42 +159,58 @@ class SystemModel : public ExecTarget
 
     /**
      * Service a private-hierarchy miss: snoop, L3 lookup, memory.
-     * Updates offcore/snoop/L3 counters; does NOT insert into the
-     * requester's private caches (the caller does).
+     * Updates offcore/snoop/L3 counters on the detail path; does NOT
+     * insert into the requester's private caches (the caller does).
      */
+    template <bool kFrozen>
     FillOutcome fillLine(unsigned requester, std::uint64_t addr,
                          bool for_ownership, bool is_code,
                          bool dependent_load);
 
     /**
-     * Insert into L2 (handling eviction + inclusion) and optionally
-     * into an L1. Load fills skip the L1D install — the line sits in
-     * the LFB until a later touch pulls it from the L2 — which is
-     * what makes LOAD HIT LFB observable.
+     * Install a line the private hierarchy was known to miss: insert
+     * into L2 (handling eviction + inclusion) and optionally into an
+     * L1. Load fills skip the L1D install — the line sits in the LFB
+     * until a later touch pulls it from the L2 — which is what makes
+     * LOAD HIT LFB observable.
+     * @param dirty Insert the copies already marked dirty (stores).
      */
-    void installLine(unsigned core_id, std::uint64_t addr,
-                     CoherenceState state, bool is_code,
-                     bool install_l1 = true);
+    template <bool kFrozen>
+    void installMissFill(unsigned core_id, std::uint64_t addr,
+                         CoherenceState state, bool is_code,
+                         bool install_l1, bool dirty = false);
 
-    /** The core's live counters, or its discard sink while frozen. */
-    PmcCounters &counters(unsigned core_id)
-    {
-        CoreModel &c = *cores_[core_id];
-        return frozen_ ? c.discard : c.pmc;
-    }
+    /**
+     * Pull a line the L2 already holds into an L1 it was known to
+     * miss (the L2-hit halves of loads/stores; the caller has already
+     * settled the L2 state).
+     */
+    template <bool kFrozen>
+    void installL1Fill(unsigned core_id, std::uint64_t addr,
+                       CoherenceState state, bool is_code,
+                       bool dirty = false);
+
+    /** The templated op path; consume() dispatches on frozen_. */
+    template <bool kFrozen>
+    void consumeOp(unsigned core_id, const MicroOp &op);
 
     /** Handle an instruction fetch for the op's ip. */
+    template <bool kFrozen>
     void doFetch(unsigned core_id, const MicroOp &op);
 
+    template <bool kFrozen>
     void doLoad(unsigned core_id, const MicroOp &op);
+    template <bool kFrozen>
     void doStore(unsigned core_id, const MicroOp &op);
+    template <bool kFrozen>
     void doBranch(unsigned core_id, const MicroOp &op);
 
     /** Data-TLB translation with stall accounting. */
+    template <bool kFrozen>
     void translateData(unsigned core_id, std::uint64_t addr);
 
     NodeConfig cfg_;
-    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::vector<CoreModel> cores_;
     SetAssocCache l3_;
     double invIssueWidth_;
     TraceRecorder *recorder_ = nullptr;

@@ -11,45 +11,10 @@ TlbArray::TlbArray(const TlbConfig &cfg)
         cfg_.entries % cfg_.assoc != 0)
         BDS_FATAL("TLB geometry does not divide evenly");
     numSets_ = cfg_.entries / cfg_.assoc;
-    entries_.resize(cfg_.entries);
-}
-
-bool
-TlbArray::access(std::uint64_t page)
-{
-    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Entry &e = entries_[set * cfg_.assoc + w];
-        if (e.valid && e.page == page) {
-            e.lru = ++tick_;
-            return true;
-        }
-    }
-    return false;
-}
-
-void
-TlbArray::insert(std::uint64_t page)
-{
-    std::uint32_t set = static_cast<std::uint32_t>(page % numSets_);
-    std::uint32_t victim = 0;
-    std::uint64_t oldest = UINT64_MAX;
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Entry &e = entries_[set * cfg_.assoc + w];
-        if (!e.valid) {
-            victim = w;
-            oldest = 0;
-            break;
-        }
-        if (e.lru < oldest) {
-            oldest = e.lru;
-            victim = w;
-        }
-    }
-    Entry &e = entries_[set * cfg_.assoc + victim];
-    e.page = page;
-    e.valid = true;
-    e.lru = ++tick_;
+    setsPow2_ = (numSets_ & (numSets_ - 1)) == 0;
+    setMask_ = setsPow2_ ? numSets_ - 1 : 0;
+    pages_.assign(cfg_.entries, kInvalidPage);
+    lru_.assign(cfg_.entries, 0);
 }
 
 TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1i, const TlbConfig &l1d,
@@ -60,33 +25,6 @@ TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1i, const TlbConfig &l1d,
         BDS_FATAL("page size must be a power of two");
     while ((1u << pageShift_) < page_bytes)
         ++pageShift_;
-}
-
-TlbOutcome
-TwoLevelTlb::translate(TlbArray &l1, std::uint64_t addr)
-{
-    std::uint64_t page = addr >> pageShift_;
-    if (l1.access(page))
-        return TlbOutcome::L1Hit;
-    if (stlb_.access(page)) {
-        l1.insert(page);
-        return TlbOutcome::StlbHit;
-    }
-    stlb_.insert(page);
-    l1.insert(page);
-    return TlbOutcome::Walk;
-}
-
-TlbOutcome
-TwoLevelTlb::translateCode(std::uint64_t addr)
-{
-    return translate(itlb_, addr);
-}
-
-TlbOutcome
-TwoLevelTlb::translateData(std::uint64_t addr)
-{
-    return translate(dtlb_, addr);
 }
 
 } // namespace bds
