@@ -16,6 +16,11 @@
  *             --require-failure-record \
  *             --require-counter fault.quarantined:3
  *
+ * Names ending in '*' are prefix wildcards summed over every
+ * matching span/counter, so a whole family is one assertion:
+ *
+ *   obs_check --trace serve.trace.jsonl --require-counter 'serve.*:4'
+ *
  * Exits 0 when every given artifact is structurally valid and every
  * --require-span NAME:MINCOUNT / --require-counter NAME:MINTOTAL is
  * satisfied by the trace, and (with --require-failure-record) the
@@ -27,6 +32,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -61,6 +67,27 @@ parseRequirement(const char *flag, const std::string &arg)
     return req;
 }
 
+/**
+ * Total of `name` in a trace tally, where a trailing '*' makes the
+ * name a prefix wildcard summed over every match.
+ */
+template <typename Count>
+std::uint64_t
+tallyTotal(const std::map<std::string, Count> &tally,
+           const std::string &name)
+{
+    if (name.empty() || name.back() != '*') {
+        auto it = tally.find(name);
+        return it == tally.end() ? 0 : it->second;
+    }
+    const std::string prefix = name.substr(0, name.size() - 1);
+    std::uint64_t total = 0;
+    for (const auto &kv : tally)
+        if (kv.first.compare(0, prefix.size(), prefix) == 0)
+            total += kv.second;
+    return total;
+}
+
 void
 usage(std::ostream &os)
 {
@@ -75,7 +102,9 @@ usage(std::ostream &os)
           "asserts counter NAME totals at least MINTOTAL (default 1).\n"
           "--require-failure-record asserts the manifest records at\n"
           "least one workload failure (grammar-checked: status enum,\n"
-          "attempt counts, quarantine list). Exit 0 = all valid.\n";
+          "attempt counts, quarantine list). A NAME ending in '*' is\n"
+          "a prefix wildcard summed over every matching span/counter\n"
+          "(e.g. --require-counter 'serve.*:4'). Exit 0 = all valid.\n";
 }
 
 } // namespace
@@ -157,18 +186,15 @@ main(int argc, char **argv)
         bds::TraceCheckResult res = bds::checkTraceFile(trace_path);
         std::vector<std::string> errors = res.errors;
         for (const SpanRequirement &req : requirements) {
-            auto it = res.spanCounts.find(req.name);
-            std::uint64_t have =
-                it == res.spanCounts.end() ? 0 : it->second;
+            std::uint64_t have = tallyTotal(res.spanCounts, req.name);
             if (have < req.minCount)
                 errors.push_back("span '" + req.name + "': have "
                                  + std::to_string(have) + ", need >= "
                                  + std::to_string(req.minCount));
         }
         for (const SpanRequirement &req : counter_requirements) {
-            auto it = res.counterTotals.find(req.name);
             std::uint64_t have =
-                it == res.counterTotals.end() ? 0 : it->second;
+                tallyTotal(res.counterTotals, req.name);
             if (have < req.minCount)
                 errors.push_back("counter '" + req.name + "': have "
                                  + std::to_string(have) + ", need >= "

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * serve_replay — the serving benchmark: replay a binary request log
+ * through an in-process ServeEngine at configurable client
+ * concurrency and report throughput, latency percentiles and the
+ * cache hit rate, cold vs warm.
+ *
+ * Two modes:
+ *
+ *   serve_replay --emit LOG [--requests N] [--distinct D]
+ *                [--scale S] [--seed B] [--sampled]
+ *     Write a synthetic request log: N requests cycling over D
+ *     distinct (seed) cells starting at base seed B, so a warm pass
+ *     has an N/D reuse factor.
+ *
+ *   serve_replay --log LOG [--clients C] [--passes P] [--json OUT]
+ *     Replay LOG P times (pass 1 is the cold pass) with C concurrent
+ *     clients striding the log, and emit BENCH_serve.json: per-pass
+ *     requests/s, p50/p90/p99 latency, hit rate, and the usual
+ *     environment block. The engine answers every client from one
+ *     content-addressed store, so concurrent same-cell requests
+ *     exercise the single-flight path.
+ *
+ * The daemon knobs come from the common BDS_SERVE_* environment /
+ * --serve-* flags (src/obs/runconfig.h): --serve-cache picks the
+ * store directory, --serve-bypass turns the benchmark into a pure
+ * compute-throughput measurement.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/engine.h"
+#include "serve/request.h"
+
+namespace {
+
+/** Latency percentile over a sorted sample, nearest-rank. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/** One replay pass's aggregate. */
+struct PassResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t errors = 0;
+    double seconds = 0.0;
+    std::vector<double> latencies;
+};
+
+/** Replay the log once with `clients` threads striding the records. */
+PassResult
+runPass(bds::ServeEngine &engine,
+        const std::vector<bds::RequestRecord> &log, unsigned clients)
+{
+    PassResult pass;
+    pass.latencies.assign(log.size(), 0.0);
+    std::mutex mutex;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> pool;
+    for (unsigned c = 0; c < clients; ++c)
+        pool.emplace_back([&, c] {
+            std::uint64_t hits = 0, errors = 0, requests = 0;
+            for (std::size_t i = c; i < log.size(); i += clients) {
+                const bds::ServeResponse resp = engine.handle(log[i]);
+                pass.latencies[i] = resp.seconds;
+                ++requests;
+                if (!resp.ok)
+                    ++errors;
+                else if (resp.hit)
+                    ++hits;
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            pass.requests += requests;
+            pass.hits += hits;
+            pass.errors += errors;
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    pass.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    std::sort(pass.latencies.begin(), pass.latencies.end());
+    return pass;
+}
+
+void
+writePassJson(std::ostream &os, const char *name,
+              const PassResult &pass)
+{
+    const double reqs = static_cast<double>(pass.requests);
+    os << "  \"" << name << "\": {\n"
+       << "    \"requests\": " << pass.requests << ",\n"
+       << "    \"hits\": " << pass.hits << ",\n"
+       << "    \"errors\": " << pass.errors << ",\n"
+       << "    \"hit_rate\": "
+       << (pass.requests ? static_cast<double>(pass.hits) / reqs : 0.0)
+       << ",\n"
+       << "    \"seconds\": " << pass.seconds << ",\n"
+       << "    \"requests_per_second\": "
+       << (pass.seconds > 0.0 ? reqs / pass.seconds : 0.0) << ",\n"
+       << "    \"latency_p50_ms\": "
+       << percentile(pass.latencies, 50) * 1e3 << ",\n"
+       << "    \"latency_p90_ms\": "
+       << percentile(pass.latencies, 90) * 1e3 << ",\n"
+       << "    \"latency_p99_ms\": "
+       << percentile(pass.latencies, 99) * 1e3 << "\n"
+       << "  }";
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: serve_replay --emit LOG [--requests N] "
+          "[--distinct D]\n"
+          "                    [--scale S] [--seed B] [--sampled]\n"
+          "       serve_replay --log LOG [--clients C] [--passes P]\n"
+          "                    [--json OUT]\n\n"
+          "--emit writes a synthetic binary request log (N requests\n"
+          "cycling over D distinct seeds); --log replays one through\n"
+          "an in-process ServeEngine, pass 1 cold, and reports\n"
+          "throughput/latency/hit-rate per pass. The BDS_SERVE_*\n"
+          "environment and --serve-* flags configure the store.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--help"
+            || std::string(argv[i]) == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+
+    try {
+        bds::RunConfig cfg;
+        cfg.tool = "serve_replay";
+        cfg.scaleName = "quick";
+        cfg.serve.cacheDir = "bds_serve_cache";
+        cfg.argv.assign(argv, argv + argc);
+        cfg.applyEnv();
+        std::vector<std::string> leftovers = cfg.applyArgs(
+            std::vector<std::string>(argv + 1, argv + argc));
+        cfg.serve.enabled = true;
+
+        std::string emit_path, log_path, json_path;
+        std::uint64_t requests = 32, distinct = 4;
+        unsigned clients = 4, passes = 2;
+        for (auto it = leftovers.begin(); it != leftovers.end();) {
+            auto take = [&]() -> std::string {
+                const std::string flag = *it;
+                if (it + 1 == leftovers.end())
+                    BDS_FATAL(flag << " needs a value");
+                it = leftovers.erase(it);
+                const std::string v = *it;
+                it = leftovers.erase(it);
+                return v;
+            };
+            const std::string flag = *it;
+            if (flag == "--emit")
+                emit_path = take();
+            else if (flag == "--log")
+                log_path = take();
+            else if (flag == "--json")
+                json_path = take();
+            else if (flag == "--requests")
+                requests = bds::detail::parseUint("--requests", take());
+            else if (flag == "--distinct")
+                distinct = bds::detail::parseUint("--distinct", take());
+            else if (flag == "--clients")
+                clients = static_cast<unsigned>(
+                    bds::detail::parseUint("--clients", take()));
+            else if (flag == "--passes")
+                passes = static_cast<unsigned>(
+                    bds::detail::parseUint("--passes", take()));
+            else
+                BDS_FATAL("unknown serve_replay argument '" << flag
+                          << "' (--help lists the options)");
+        }
+
+        if (!emit_path.empty()) {
+            if (distinct == 0 || requests == 0)
+                BDS_FATAL("--requests and --distinct must be "
+                          "positive");
+            std::vector<bds::RequestRecord> log;
+            for (std::uint64_t i = 0; i < requests; ++i) {
+                bds::RequestRecord req;
+                req.scale = bds::serveScaleIndex(cfg.scaleName);
+                req.seed = cfg.seed + i % distinct;
+                if (cfg.sampling.enabled)
+                    req.flags |= bds::kServeFlagSampled;
+                log.push_back(req);
+            }
+            bds::storeRequestLog(emit_path, log);
+            std::cerr << "[serve_replay] wrote " << log.size()
+                      << " request(s) (" << distinct
+                      << " distinct cell(s)) to " << emit_path
+                      << "\n";
+            return 0;
+        }
+
+        if (log_path.empty())
+            BDS_FATAL("serve_replay needs --emit LOG or --log LOG "
+                      "(--help)");
+        if (clients == 0 || passes == 0)
+            BDS_FATAL("--clients and --passes must be positive");
+
+        const std::vector<bds::RequestRecord> log =
+            bds::loadRequestLog(log_path);
+        std::cerr << "[serve_replay] replaying " << log.size()
+                  << " request(s) x " << passes << " pass(es), "
+                  << clients << " client(s), cache "
+                  << cfg.serve.cacheDir
+                  << (cfg.serve.bypassCache ? " (bypassed)" : "")
+                  << "\n";
+
+        bds::ServeEngine engine(cfg);
+        std::vector<PassResult> results;
+        for (unsigned p = 0; p < passes; ++p) {
+            results.push_back(runPass(engine, log, clients));
+            const PassResult &pass = results.back();
+            std::cerr << "[serve_replay] pass " << (p + 1) << ": "
+                      << pass.requests << " request(s) in "
+                      << pass.seconds << " s, " << pass.hits
+                      << " hit(s), " << pass.errors << " error(s)\n";
+        }
+
+        std::ostream *os = &std::cout;
+        std::ofstream file;
+        if (!json_path.empty()) {
+            file.open(json_path, std::ios::trunc);
+            if (!file)
+                BDS_FATAL("cannot write --json file '" << json_path
+                          << "'");
+            os = &file;
+        }
+        *os << "{\n"
+            << "  \"bench\": \"serve_replay\",\n"
+            << "  \"log\": \"" << log_path << "\",\n"
+            << "  \"records\": " << log.size() << ",\n"
+            << "  \"clients\": " << clients << ",\n"
+            << "  \"passes\": " << passes << ",\n"
+            << "  \"scale\": \"" << cfg.scaleName << "\",\n"
+            << "  \"bypass\": "
+            << (cfg.serve.bypassCache ? "true" : "false") << ",\n";
+        writePassJson(*os, "cold", results.front());
+        *os << ",\n";
+        writePassJson(*os, "warm", results.back());
+        *os << ",\n";
+        bdsbench::writeEnvironmentJson(*os);
+        *os << "\n}\n";
+        return 0;
+    } catch (const bds::FatalError &e) {
+        std::cerr << "serve_replay: " << e.what() << "\n";
+        return 1;
+    } catch (const bds::PanicError &e) {
+        std::cerr << "serve_replay: internal error: " << e.what()
+                  << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "serve_replay: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -81,7 +81,20 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
        << "\", \"retries\": " << c.fault.recovery.maxRetries
        << ", \"timeout_ms\": " << c.fault.recovery.timeoutMs
        << ", \"fault_injection\": "
-       << (c.fault.any() ? "true" : "false") << "}\n"
+       << (c.fault.any() ? "true" : "false") << "}";
+    // Only daemons carry a serve block (batch manifests stay
+    // byte-identical to the pre-serve layout).
+    if (c.serve.enabled)
+        os << ",\n"
+           << "    \"serve\": {\"socket\": \""
+           << jsonEscape(c.serve.socketPath) << "\", \"cache_dir\": \""
+           << jsonEscape(c.serve.cacheDir)
+           << "\", \"max_inflight\": " << c.serve.maxInFlight
+           << ", \"bypass\": "
+           << (c.serve.bypassCache ? "true" : "false")
+           << ", \"request_log\": \""
+           << jsonEscape(c.serve.requestLogPath) << "\"}";
+    os << "\n"
        << "  },\n"
        << "  \"stages\": [";
     for (std::size_t i = 0; i < m.stages.size(); ++i)
@@ -161,6 +174,19 @@ parseRunManifest(std::istream &is)
             static_cast<unsigned>(r.at("retries").asUint());
         m.config.fault.recovery.timeoutMs =
             r.at("timeout_ms").asUint();
+    }
+
+    // Only daemon manifests carry the serve block.
+    if (cfg.has("serve")) {
+        const JsonValue &sv = cfg.at("serve");
+        m.config.serve.enabled = true;
+        m.config.serve.socketPath = sv.at("socket").asString();
+        m.config.serve.cacheDir = sv.at("cache_dir").asString();
+        m.config.serve.maxInFlight = static_cast<unsigned>(
+            sv.at("max_inflight").asUint());
+        m.config.serve.bypassCache = sv.at("bypass").asBool();
+        m.config.serve.requestLogPath =
+            sv.at("request_log").asString();
     }
 
     for (const JsonValue &st : root.at("stages").asArray()) {

@@ -157,6 +157,21 @@ RunConfig::applyEnv()
         fault.attempts = static_cast<unsigned>(
             parseUint("BDS_FAULT_ATTEMPTS", v));
 
+    if (const char *v = std::getenv("BDS_SERVE_SOCKET"))
+        serve.socketPath = v;
+    if (const char *v = std::getenv("BDS_SERVE_CACHE")) {
+        if (*v == '\0')
+            BDS_FATAL("BDS_SERVE_CACHE must name a directory");
+        serve.cacheDir = v;
+    }
+    if (const char *v = std::getenv("BDS_SERVE_MAX_INFLIGHT"))
+        serve.maxInFlight = static_cast<unsigned>(
+            parseUint("BDS_SERVE_MAX_INFLIGHT", v));
+    if (const char *v = std::getenv("BDS_SERVE_BYPASS"))
+        serve.bypassCache = parseSwitch("BDS_SERVE_BYPASS", v);
+    if (const char *v = std::getenv("BDS_SERVE_LOG"))
+        serve.requestLogPath = v;
+
     if (const char *v = std::getenv("BDS_TRACE"))
         trace = parseSwitch("BDS_TRACE", v);
     if (const char *v = std::getenv("BDS_TRACE_FILE")) {
@@ -255,6 +270,20 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
         } else if (flag == "--fault-attempts") {
             fault.attempts = static_cast<unsigned>(parseUint(
                 "--fault-attempts", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--serve-socket") {
+            serve.socketPath = take(flag, inlineVal, hasInline);
+        } else if (flag == "--serve-cache") {
+            serve.cacheDir = take(flag, inlineVal, hasInline);
+            if (serve.cacheDir.empty())
+                BDS_FATAL("--serve-cache must name a directory");
+        } else if (flag == "--serve-max-inflight") {
+            serve.maxInFlight = static_cast<unsigned>(parseUint(
+                "--serve-max-inflight",
+                take(flag, inlineVal, hasInline)));
+        } else if (flag == "--serve-bypass") {
+            serve.bypassCache = true;
+        } else if (flag == "--serve-log") {
+            serve.requestLogPath = take(flag, inlineVal, hasInline);
         } else {
             rest.push_back(arg);
         }
@@ -296,6 +325,16 @@ RunConfig::describe() const
            << ",timeout_ms=" << fault.recovery.timeoutMs << ")";
     if (fault.any())
         os << " fault-injection=on";
+    if (serve.enabled) {
+        os << " serve(cache=" << serve.cacheDir;
+        if (!serve.socketPath.empty())
+            os << ",socket=" << serve.socketPath;
+        if (serve.maxInFlight)
+            os << ",max-inflight=" << serve.maxInFlight;
+        if (serve.bypassCache)
+            os << ",bypass";
+        os << ")";
+    }
     if (trace)
         os << " trace=" << resolvedTracePath();
     return os.str();

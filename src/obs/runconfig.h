@@ -46,13 +46,21 @@
  *   BDS_FAULT_ATTEMPTS = <n>                inject only while the
  *                                           attempt index < n
  *                                           (0 = every attempt)
+ *   BDS_SERVE_SOCKET   = <path>             bds_serve Unix socket
+ *   BDS_SERVE_CACHE    = <dir>              result-store directory
+ *   BDS_SERVE_MAX_INFLIGHT = <n>            concurrent sweep bound
+ *                                           (0 = all cores)
+ *   BDS_SERVE_BYPASS   = 0 | 1              skip the result store
+ *   BDS_SERVE_LOG      = <path>             binary request log
  *
  * Flags (each also accepts --flag=value):
  *   --scale S, --seed N, --threads N, --metrics a,b,c, --sampled,
  *   --trace, --no-trace, --trace-file PATH, --manifest PATH,
  *   --no-manifest, --fail-policy P, --retries N, --run-timeout-ms N,
  *   --fault-throw L, --fault-stall L, --fault-corrupt L,
- *   --fault-alloc L, --fault-stall-ms N, --fault-attempts N
+ *   --fault-alloc L, --fault-stall-ms N, --fault-attempts N,
+ *   --serve-socket PATH, --serve-cache DIR, --serve-max-inflight N,
+ *   --serve-bypass, --serve-log PATH
  */
 
 #ifndef BDS_OBS_RUNCONFIG_H
@@ -65,6 +73,7 @@
 #include "common/parallel.h"
 #include "fault/options.h"
 #include "sample/options.h"
+#include "serve/options.h"
 
 namespace bds {
 
@@ -93,6 +102,16 @@ struct RunConfig
      * behaviour unless a knob is set.
      */
     FaultOptions fault;
+
+    /**
+     * Serving knobs (BDS_SERVE_*): socket path, result-store
+     * directory, in-flight bound, cache bypass, request log. Only
+     * bds_serve reads them; serve.enabled marks a daemon config for
+     * the manifest. Like SamplingOptions, the struct is a
+     * dependency-free header so obs stays at the bottom of the
+     * library stack.
+     */
+    ServeOptions serve;
 
     /**
      * Metric subset by canonical schema name; empty means the full

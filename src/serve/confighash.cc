@@ -1,0 +1,74 @@
+#include "serve/confighash.h"
+
+#include <sstream>
+
+namespace bds {
+
+std::string
+canonicalRunConfig(const RunConfig &cfg)
+{
+    // Fixed field order, integers rendered in decimal, booleans as
+    // 0/1 — never touch this rendering without bumping
+    // kConfigHashSchemaVersion (the stability test pins the result).
+    std::ostringstream os;
+    os << "bds-runconfig-v" << kConfigHashSchemaVersion << '\n'
+       << "scale=" << cfg.scaleName << '\n'
+       << "seed=" << cfg.seed << '\n'
+       << "sampling.enabled=" << (cfg.sampling.enabled ? 1 : 0) << '\n'
+       << "sampling.interval_uops=" << cfg.sampling.intervalUops << '\n'
+       << "sampling.bbv_dims=" << cfg.sampling.bbvDims << '\n'
+       << "sampling.k_min=" << cfg.sampling.kMin << '\n'
+       << "sampling.k_max=" << cfg.sampling.kMax << '\n'
+       << "sampling.warmup_intervals=" << cfg.sampling.warmupIntervals
+       << '\n'
+       << "sampling.seed=" << cfg.sampling.seed << '\n'
+       << "recovery.policy="
+       << failPolicyName(cfg.fault.recovery.policy) << '\n'
+       << "recovery.max_retries=" << cfg.fault.recovery.maxRetries
+       << '\n'
+       << "recovery.timeout_ms=" << cfg.fault.recovery.timeoutMs << '\n'
+       << "fault.throw=" << cfg.fault.throwAt << '\n'
+       << "fault.stall=" << cfg.fault.stallAt << '\n'
+       << "fault.corrupt=" << cfg.fault.corruptAt << '\n'
+       << "fault.alloc=" << cfg.fault.allocAt << '\n'
+       << "fault.stall_ms=" << cfg.fault.stallMs << '\n'
+       << "fault.attempts=" << cfg.fault.attempts << '\n';
+    return os.str();
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+runConfigHash(const RunConfig &cfg)
+{
+    return fnv1a64(canonicalRunConfig(cfg));
+}
+
+std::string
+toHex64(std::uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::string
+runConfigHashHex(const RunConfig &cfg)
+{
+    return toHex64(runConfigHash(cfg));
+}
+
+} // namespace bds

@@ -1,0 +1,277 @@
+#include "serve/engine.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <ctime>
+#include <sstream>
+
+#include "core/csvio.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "metrics/set.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+#include "sample/characterizer.h"
+#include "serve/confighash.h"
+#include "workloads/registry.h"
+
+namespace bds {
+
+namespace {
+
+/** Current wall-clock time as ISO-8601 UTC. */
+std::string
+isoNow()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+/**
+ * Counting semaphore bounding concurrent sweep computations. Cache
+ * hits never take a slot, so a slow cold cell cannot starve warm
+ * traffic.
+ */
+struct ServeEngine::Gate
+{
+    explicit Gate(unsigned slots) : free(slots) {}
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    unsigned free;
+
+    struct Slot
+    {
+        explicit Slot(Gate &g) : gate(g)
+        {
+            std::unique_lock<std::mutex> lock(gate.mutex);
+            gate.cv.wait(lock, [&] { return gate.free > 0; });
+            --gate.free;
+        }
+        ~Slot()
+        {
+            {
+                std::lock_guard<std::mutex> lock(gate.mutex);
+                ++gate.free;
+            }
+            gate.cv.notify_one();
+        }
+        Gate &gate;
+    };
+};
+
+ServeEngine::ServeEngine(RunConfig base, Session *session)
+    : base_(std::move(base)), store_(base_.serve.cacheDir),
+      session_(session),
+      maxInFlight_(base_.serve.maxInFlight
+                       ? base_.serve.maxInFlight
+                       : ParallelOptions{0}.resolved()),
+      gate_(std::make_shared<Gate>(maxInFlight_))
+{
+}
+
+RunConfig
+ServeEngine::requestConfig(const RequestRecord &req) const
+{
+    RunConfig cfg = base_;
+    cfg.scaleName = serveScaleName(req.scale);
+    cfg.seed = req.seed;
+    cfg.sampling.enabled = (req.flags & kServeFlagSampled) != 0;
+    // The metric/workload masks are response projections, not part
+    // of the cell (see serve/confighash.h).
+    cfg.metricNames.clear();
+    return cfg;
+}
+
+ComputedResult
+ServeEngine::computeCell(const RunConfig &cfg, ServeResponse *resp)
+{
+    TraceSpan span("serve.compute");
+    WorkloadRunner runner(NodeConfig::defaultSim(),
+                          ScaleProfile::byName(cfg.scaleName),
+                          cfg.seed);
+    runner.setParallel(cfg.parallel);
+    runner.setRecovery(cfg.fault.recovery);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Matrix metrics;
+    SweepReport report;
+    if (cfg.sampling.enabled) {
+        SampledCharacterizer sampler(runner, cfg.sampling);
+        metrics = sampler.runAll(nullptr, &report);
+    } else {
+        metrics = runner.runAll(nullptr, nullptr, &report);
+    }
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (!report.allOk()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        resp->quarantined = report.quarantinedNames();
+        if (session_)
+            session_->recordSweep(report);
+    }
+
+    ComputedResult out;
+    out.cacheable = report.allOk();
+    out.entry.hashHex = runConfigHashHex(cfg);
+    out.entry.canonicalConfig = canonicalRunConfig(cfg);
+    out.entry.names = report.survivorNames();
+
+    // Exactly the batch tools' CSV: full Table II columns by schema
+    // name, 6-significant-digit cells (core/report.cc).
+    PipelineResult res;
+    res.names = out.entry.names;
+    res.rawMetrics = metrics;
+    std::ostringstream csv;
+    writeMetricsCsv(csv, res);
+    out.entry.csv = csv.str();
+
+    std::ostringstream mf;
+    mf << "{\"tool\": \"" << jsonEscape(base_.tool)
+       << "\", \"bds_version\": \"" << jsonEscape(bdsVersion())
+       << "\", \"created\": \"" << isoNow() << "\", \"hash\": \""
+       << out.entry.hashHex << "\", \"scale\": \"" << cfg.scaleName
+       << "\", \"seed\": " << cfg.seed << ", \"sampled\": "
+       << (cfg.sampling.enabled ? "true" : "false")
+       << ", \"workloads\": " << out.entry.names.size()
+       << ", \"compute_seconds\": " << jsonNumber(seconds) << "}\n";
+    out.entry.manifestJson = mf.str();
+    return out;
+}
+
+std::string
+ServeEngine::projectPayload(const ResultEntry &entry,
+                            const RequestRecord &req)
+{
+    const bool all_rows = req.workloadMask == 0xffffffffu;
+    if (all_rows && req.metricMask == 0)
+        return entry.csv; // the byte-identical full-width fast path
+
+    std::istringstream in(entry.csv);
+    MetricTable table = readMetricsCsv(in);
+    MetricSet set =
+        req.metricMask
+            ? MetricSet::fromNames(metricNamesFromMask(req.metricMask))
+            : MetricSet::tableII();
+    Matrix aligned = alignMetricTable(table, set);
+
+    std::vector<std::size_t> rows;
+    if (all_rows) {
+        for (std::size_t i = 0; i < table.names.size(); ++i)
+            rows.push_back(i);
+    } else {
+        // Keep the cell's row order; requested workloads missing
+        // from the entry (quarantined) are simply absent.
+        for (const std::string &name :
+             workloadNamesFromMask(req.workloadMask))
+            for (std::size_t i = 0; i < table.names.size(); ++i)
+                if (table.names[i] == name) {
+                    rows.push_back(i);
+                    break;
+                }
+    }
+
+    PipelineResult res;
+    res.metrics = set;
+    res.metricLabels = set.names();
+    res.rawMetrics = Matrix(rows.size(), set.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        res.names.push_back(table.names[rows[r]]);
+        for (std::size_t c = 0; c < set.size(); ++c)
+            res.rawMetrics(r, c) = aligned(rows[r], c);
+    }
+    std::ostringstream csv;
+    writeMetricsCsv(csv, res);
+    return csv.str();
+}
+
+ServeResponse
+ServeEngine::handle(const RequestRecord &req)
+{
+    Tracer::global().counter("serve.requests", 1);
+    TraceSpan span("serve.request");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+    }
+
+    ServeResponse resp;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        if (req.op != static_cast<std::uint32_t>(ServeOp::Characterize))
+            BDS_RAISE(ErrorCode::InvalidConfig,
+                      "unsupported request op " << req.op);
+        const RunConfig cfg = requestConfig(req);
+        resp.hashHex = runConfigHashHex(cfg);
+
+        ResultEntry entry;
+        const bool bypass = base_.serve.bypassCache
+            || (req.flags & kServeFlagBypass);
+        if (bypass) {
+            Tracer::global().counter("serve.bypass", 1);
+            Gate::Slot slot(*gate_);
+            entry = computeCell(cfg, &resp).entry;
+        } else {
+            entry = store_.getOrCompute(
+                resp.hashHex,
+                [&]() -> ComputedResult {
+                    Gate::Slot slot(*gate_);
+                    return computeCell(cfg, &resp);
+                },
+                &resp.hit);
+        }
+        resp.payload = projectPayload(entry, req);
+        resp.ok = true;
+    } catch (const Error &e) {
+        resp.code = e.code();
+        resp.message = e.what();
+    } catch (const FatalError &e) {
+        resp.code = ErrorCode::InvalidConfig;
+        resp.message = e.what();
+    } catch (const std::exception &e) {
+        resp.code = ErrorCode::Internal;
+        resp.message = e.what();
+    }
+    resp.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+    Tracer::global().counter(resp.ok ? (resp.hit ? "serve.hits"
+                                                 : "serve.misses")
+                                     : "serve.errors",
+                             1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!resp.ok)
+            ++stats_.errors;
+        else if (resp.hit)
+            ++stats_.hits;
+        else
+            ++stats_.misses;
+        if (resp.ok
+            && (base_.serve.bypassCache
+                || (req.flags & kServeFlagBypass)))
+            ++stats_.bypassed;
+    }
+    return resp;
+}
+
+ServeStats
+ServeEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace bds

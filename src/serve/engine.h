@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ServeEngine: the transport-independent request handler of the
+ * characterization service.
+ *
+ * One engine owns a ResultStore and a base RunConfig (the daemon's
+ * resolved environment: worker threads, sampling detail knobs, the
+ * fault policy and any armed injection spec). handle() resolves a
+ * RequestRecord into a full RunConfig, content-addresses it with
+ * runConfigHash(), and answers from the store — scheduling a
+ * WorkloadRunner sweep under the fault layer only on a miss.
+ *
+ * handle() is thread-safe and never throws: every failure — an
+ * invalid request, an injected fault, a quarantined sweep that
+ * fail-fast rethrew — becomes an error response with the typed
+ * ErrorCode, so one poisoned request can never take the daemon down
+ * (the per-request quarantine contract). The engine holds no global
+ * mutable state: concurrent requests share only the store (locked,
+ * single-flight) and the process-wide observers (Tracer,
+ * FaultInjector), which are armed once per process by the daemon's
+ * Session, never per request.
+ *
+ * Trace counters: serve.requests, serve.hits, serve.misses,
+ * serve.errors, serve.bypass; spans serve.request / serve.compute.
+ */
+
+#ifndef BDS_SERVE_ENGINE_H
+#define BDS_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/error.h"
+#include "obs/runconfig.h"
+#include "serve/request.h"
+#include "serve/store.h"
+
+namespace bds {
+
+class Session;
+
+/** What the engine answers one request with. */
+struct ServeResponse
+{
+    /** True when a payload was produced. */
+    bool ok = false;
+
+    /** True when the payload came from the result store. */
+    bool hit = false;
+
+    /** The content address of the resolved configuration. */
+    std::string hashHex;
+
+    /** CSV payload (projected to the requested rows/columns). */
+    std::string payload;
+
+    /**
+     * Workloads this request's sweep quarantined (empty on clean
+     * runs and cache hits). The payload still carries the survivors;
+     * the cell is not cached.
+     */
+    std::vector<std::string> quarantined;
+
+    /** Failure classification when !ok. */
+    ErrorCode code = ErrorCode::None;
+
+    /** Failure message when !ok. */
+    std::string message;
+
+    /** Wall-clock spent answering, in seconds. */
+    double seconds = 0.0;
+};
+
+/** Monotonic counters the engine keeps next to the trace counters. */
+struct ServeStats
+{
+    std::uint64_t requests = 0; ///< requests handled
+    std::uint64_t hits = 0;     ///< answered from the store
+    std::uint64_t misses = 0;   ///< computed (and usually cached)
+    std::uint64_t errors = 0;   ///< answered with an error response
+    std::uint64_t bypassed = 0; ///< computed with the store bypassed
+};
+
+/** The transport-independent characterization service. */
+class ServeEngine
+{
+  public:
+    /**
+     * @param base The daemon's resolved configuration. base.serve
+     *        supplies the cache directory, in-flight bound and
+     *        bypass switch.
+     * @param session Optional: per-request sweep failures are
+     *        recorded here so the daemon manifest carries them.
+     */
+    explicit ServeEngine(RunConfig base, Session *session = nullptr);
+
+    /** Answer one request. Thread-safe; never throws. */
+    ServeResponse handle(const RequestRecord &req);
+
+    /** Counter snapshot. */
+    ServeStats stats() const;
+
+    /** The store (tests poke entries directly). */
+    ResultStore &store() { return store_; }
+
+    /**
+     * Resolve a request into the full RunConfig its cell is keyed
+     * by: the daemon's base config with the request's scale, seed
+     * and sampled switch applied. Exposed so replay drivers and
+     * tests can compute the hash a request will be served under.
+     */
+    RunConfig requestConfig(const RequestRecord &req) const;
+
+  private:
+    /** Run the sweep for `cfg`; fills quarantine info in *resp. */
+    ComputedResult computeCell(const RunConfig &cfg,
+                               ServeResponse *resp);
+
+    /** Project an entry's CSV onto the request's rows/columns. */
+    static std::string projectPayload(const ResultEntry &entry,
+                                      const RequestRecord &req);
+
+    RunConfig base_;
+    ResultStore store_;
+    Session *session_;
+    unsigned maxInFlight_;
+
+    mutable std::mutex mutex_; ///< guards stats_ and session_ use
+    ServeStats stats_;
+
+    /** Counting semaphore bounding concurrent sweeps. */
+    struct Gate;
+    std::shared_ptr<Gate> gate_;
+};
+
+} // namespace bds
+
+#endif // BDS_SERVE_ENGINE_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Knobs for the characterization-as-a-service daemon (bds_serve).
+ *
+ * Kept dependency-free (strings and integers only) so RunConfig can
+ * embed a ServeOptions without bds_obs linking the serving machinery;
+ * ServeEngine/ServeServer (src/serve) interpret the knobs.
+ *
+ * Environment / flags (resolved by RunConfig, strict like every
+ * other BDS_* knob — garbage values are fatal, never silent
+ * defaults):
+ *   BDS_SERVE_SOCKET      = <path>   --serve-socket PATH
+ *   BDS_SERVE_CACHE       = <dir>    --serve-cache DIR
+ *   BDS_SERVE_MAX_INFLIGHT= <n>      --serve-max-inflight N
+ *   BDS_SERVE_BYPASS      = 0 | 1    --serve-bypass
+ *   BDS_SERVE_LOG         = <path>   --serve-log PATH
+ */
+
+#ifndef BDS_SERVE_OPTIONS_H
+#define BDS_SERVE_OPTIONS_H
+
+#include <string>
+
+namespace bds {
+
+/** Configuration of the serving front end. */
+struct ServeOptions
+{
+    /**
+     * True inside a serving tool (bds_serve sets it). Controls only
+     * whether manifests persist the serve block; the batch tools
+     * still validate the BDS_SERVE_* environment strictly.
+     */
+    bool enabled = false;
+
+    /**
+     * Unix-domain socket to listen on. Empty — the default — serves
+     * the line protocol on stdin/stdout instead.
+     */
+    std::string socketPath;
+
+    /**
+     * Directory of the content-addressed result store. One file per
+     * distinct resolved configuration, named by its runConfigHash.
+     */
+    std::string cacheDir = "bds_serve_cache";
+
+    /**
+     * Maximum characterization sweeps computed concurrently; cache
+     * hits are never throttled. 0 resolves to the hardware
+     * concurrency.
+     */
+    unsigned maxInFlight = 0;
+
+    /**
+     * Skip the result store entirely: every request recomputes and
+     * nothing is written. For A/B-checking the cache path itself.
+     */
+    bool bypassCache = false;
+
+    /**
+     * Durable request log: every accepted request is appended as a
+     * fixed-size binary record (src/serve/request.h), replayable with
+     * `bds_serve --replay` and bench/serve_replay. Empty = no log.
+     */
+    std::string requestLogPath;
+};
+
+} // namespace bds
+
+#endif // BDS_SERVE_OPTIONS_H

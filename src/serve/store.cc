@@ -1,0 +1,277 @@
+#include "serve/store.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/log.h"
+#include "fault/error.h"
+#include "serve/confighash.h"
+
+namespace bds {
+
+namespace {
+
+/** Read one header line; Error(Io) on EOF. */
+std::string
+readLine(std::istream &is, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": truncated result entry (unexpected EOF)");
+    return line;
+}
+
+/** Parse "<key> <value>" where value is a non-negative integer. */
+std::uint64_t
+readSizeField(std::istream &is, const std::string &what,
+              const std::string &key)
+{
+    const std::string line = readLine(is, what);
+    std::istringstream ss(line);
+    std::string k;
+    std::uint64_t v = 0;
+    if (!(ss >> k >> v) || k != key)
+        BDS_RAISE(ErrorCode::Io, what << ": expected '" << key
+                                      << " <n>', got '" << line << "'");
+    return v;
+}
+
+/** Read exactly `n` payload bytes; Error(Io) on short reads. */
+std::string
+readBytes(std::istream &is, const std::string &what, std::uint64_t n,
+          const std::string &label)
+{
+    std::string out(static_cast<std::size_t>(n), '\0');
+    is.read(out.data(), static_cast<std::streamsize>(n));
+    if (is.gcount() != static_cast<std::streamsize>(n))
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": " << label << " payload truncated ("
+                       << is.gcount() << " of " << n << " bytes)");
+    return out;
+}
+
+} // namespace
+
+void
+writeResultEntry(std::ostream &os, const ResultEntry &entry)
+{
+    os << "BDSRESULT " << kResultStoreVersion << '\n'
+       << "hash " << entry.hashHex << '\n'
+       << "config_bytes " << entry.canonicalConfig.size() << '\n'
+       << entry.canonicalConfig
+       << "names " << entry.names.size() << '\n';
+    for (const std::string &name : entry.names)
+        os << name << '\n';
+    os << "manifest_bytes " << entry.manifestJson.size() << '\n'
+       << entry.manifestJson
+       << "csv_fnv " << toHex64(fnv1a64(entry.csv)) << '\n'
+       << "csv_bytes " << entry.csv.size() << '\n'
+       << entry.csv
+       << "END\n";
+}
+
+ResultEntry
+readResultEntry(std::istream &is, const std::string &what)
+{
+    ResultEntry entry;
+
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string magic;
+        unsigned version = 0;
+        if (!(ss >> magic >> version) || magic != "BDSRESULT")
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": not a bds result entry (bad magic)");
+        if (version != kResultStoreVersion)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": unsupported result-entry version "
+                           << version << " (expected "
+                           << kResultStoreVersion << ")");
+    }
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> entry.hashHex) || key != "hash"
+            || entry.hashHex.size() != 16)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": malformed hash line '" << line << "'");
+    }
+    entry.canonicalConfig = readBytes(
+        is, what, readSizeField(is, what, "config_bytes"), "config");
+    const std::uint64_t names = readSizeField(is, what, "names");
+    for (std::uint64_t i = 0; i < names; ++i)
+        entry.names.push_back(readLine(is, what));
+    entry.manifestJson = readBytes(
+        is, what, readSizeField(is, what, "manifest_bytes"),
+        "manifest");
+    std::string declared_fnv;
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> declared_fnv) || key != "csv_fnv"
+            || declared_fnv.size() != 16)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": malformed csv_fnv line '" << line
+                           << "'");
+    }
+    entry.csv = readBytes(is, what,
+                          readSizeField(is, what, "csv_bytes"), "csv");
+    if (toHex64(fnv1a64(entry.csv)) != declared_fnv)
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": csv payload checksum mismatch "
+                       << "(corrupt entry)");
+    if (readLine(is, what) != "END")
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": missing END sentinel (truncated entry)");
+    return entry;
+}
+
+struct ResultStore::Flight
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ResultEntry entry;
+    std::exception_ptr error;
+};
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "result store needs a cache directory");
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        BDS_RAISE(ErrorCode::Io, "cannot create result store '"
+                                     << dir_ << "': "
+                                     << std::strerror(errno));
+}
+
+std::string
+ResultStore::entryPath(const std::string &hashHex) const
+{
+    return dir_ + "/" + hashHex + ".result";
+}
+
+bool
+ResultStore::load(const std::string &hashHex, ResultEntry *out) const
+{
+    const std::string path = entryPath(hashHex);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    ResultEntry entry = readResultEntry(in, path);
+    if (entry.hashHex != hashHex)
+        BDS_RAISE(ErrorCode::Io,
+                  path << ": entry is keyed to " << entry.hashHex
+                       << ", expected " << hashHex);
+    *out = std::move(entry);
+    return true;
+}
+
+void
+ResultStore::store(const ResultEntry &entry) const
+{
+    const std::string path = entryPath(entry.hashHex);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            BDS_RAISE(ErrorCode::Io,
+                      "cannot write result entry '" << tmp << "'");
+        writeResultEntry(out, entry);
+        if (!out)
+            BDS_RAISE(ErrorCode::Io,
+                      "short write to result entry '" << tmp << "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        BDS_RAISE(ErrorCode::Io, "cannot publish result entry '"
+                                     << path << "': "
+                                     << std::strerror(errno));
+}
+
+ResultEntry
+ResultStore::getOrCompute(const std::string &hashHex,
+                          const std::function<ComputedResult()> &compute,
+                          bool *hit)
+{
+    *hit = false;
+
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = inflight_.find(hashHex);
+        if (it != inflight_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<Flight>();
+            inflight_[hashHex] = flight;
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        // Someone else is computing this cell right now: wait for
+        // their result instead of duplicating a whole sweep.
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        *hit = true;
+        return flight->entry;
+    }
+
+    ResultEntry result;
+    std::exception_ptr error;
+    try {
+        ResultEntry cached;
+        bool have = false;
+        try {
+            have = load(hashHex, &cached);
+        } catch (const Error &e) {
+            // Corrupt/truncated entry: report, recompute, replace.
+            warn(std::string("result store: dropping corrupt entry: ")
+                 + e.what());
+        }
+        if (have) {
+            *hit = true;
+            result = std::move(cached);
+        } else {
+            ComputedResult computed = compute();
+            if (computed.cacheable)
+                store(computed.entry);
+            result = std::move(computed.entry);
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(hashHex);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->entry = result;
+        flight->error = error;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+    if (error)
+        std::rethrow_exception(error);
+    return result;
+}
+
+} // namespace bds

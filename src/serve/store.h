@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The content-addressed result store: disk-backed, versioned cache
+ * entries keyed by runConfigHash(), so a repeated characterization
+ * request is a file read instead of a re-simulation.
+ *
+ * An entry holds everything needed to answer any projection of its
+ * cell — the full-suite 45-metric CSV exactly as the batch tools
+ * write it (byte-identical responses are the contract), the row
+ * labels, the canonical configuration text that hashed to the key
+ * (audit trail + collision tripwire), and a per-request mini
+ * manifest. The payload carries an FNV checksum; loading verifies
+ * magic, version, byte counts, the checksum and the END sentinel, so
+ * a corrupt or truncated entry is a typed Io error the serving layer
+ * converts into a transparent recompute (the same hardening idiom as
+ * the trace loader).
+ *
+ * Writes are atomic (temp file + rename), so concurrent daemons
+ * sharing one cache directory never observe half an entry. Within a
+ * process, getOrCompute() deduplicates concurrent same-key requests:
+ * one computes, the rest wait for its result (single-flight).
+ */
+
+#ifndef BDS_SERVE_STORE_H
+#define BDS_SERVE_STORE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bds {
+
+/** Version of the on-disk entry layout. */
+constexpr unsigned kResultStoreVersion = 1;
+
+/** One cached characterization cell. */
+struct ResultEntry
+{
+    /** The store key: runConfigHashHex() of the resolved config. */
+    std::string hashHex;
+
+    /** canonicalRunConfig() text that produced hashHex. */
+    std::string canonicalConfig;
+
+    /** Surviving workload labels, matrix row order. */
+    std::vector<std::string> names;
+
+    /**
+     * The metric matrix as CSV bytes, exactly what writeMetricsCsv()
+     * emits for the full Table II sweep of this cell.
+     */
+    std::string csv;
+
+    /**
+     * Per-request manifest: a small JSON object recording tool,
+     * library version, creation time and compute wall-clock.
+     */
+    std::string manifestJson;
+};
+
+/** What a getOrCompute() callback returns. */
+struct ComputedResult
+{
+    ResultEntry entry;
+
+    /**
+     * False keeps the entry out of the store — a quarantined sweep
+     * is incomplete by design and must never masquerade as the
+     * full-suite cell.
+     */
+    bool cacheable = true;
+};
+
+/** Disk-backed content-addressed store with single-flight compute. */
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store directory. Error(Io) when
+     * the directory cannot be created.
+     */
+    explicit ResultStore(std::string dir);
+
+    /** The entry file of a key. */
+    std::string entryPath(const std::string &hashHex) const;
+
+    /** The store directory. */
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Load the entry for `hashHex`. Returns false when absent;
+     * raises Error(Io) when present but corrupt, truncated, of a
+     * foreign version, or keyed to a different hash.
+     */
+    bool load(const std::string &hashHex, ResultEntry *out) const;
+
+    /** Atomically persist an entry (temp file + rename). */
+    void store(const ResultEntry &entry) const;
+
+    /**
+     * The serving fast path: return the cached entry for `hashHex`
+     * or run `compute` exactly once — concurrent same-key callers
+     * wait for the winner's result instead of recomputing, and a
+     * corrupt cache file is recomputed and replaced transparently.
+     * Exceptions from `compute` propagate to every waiting caller
+     * and nothing is cached.
+     *
+     * @param hit Set to true iff the entry came from the cache.
+     */
+    ResultEntry getOrCompute(const std::string &hashHex,
+                             const std::function<ComputedResult()> &compute,
+                             bool *hit);
+
+  private:
+    /** In-flight computation shared by concurrent same-key callers. */
+    struct Flight;
+
+    std::string dir_;
+    std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Flight>> inflight_;
+};
+
+/** Serialize an entry to the on-disk format (tests, inspection). */
+void writeResultEntry(std::ostream &os, const ResultEntry &entry);
+
+/**
+ * Parse an entry; `what` names the source in diagnostics. Raises
+ * Error(Io) on any structural violation.
+ */
+ResultEntry readResultEntry(std::istream &is, const std::string &what);
+
+} // namespace bds
+
+#endif // BDS_SERVE_STORE_H

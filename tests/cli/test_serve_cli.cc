@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end protocol tests of the bds_serve binary over
+ * stdin/stdout: framed ok/err responses with exact byte counts, the
+ * pinned content address surviving the process boundary, warm
+ * restarts answering from the on-disk store, malformed requests as
+ * typed err lines that never kill the daemon, and an injected fault
+ * quarantined per request while the daemon keeps serving.
+ *
+ * The binary path is injected by CMake as BDS_SERVE_BIN.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace bds {
+namespace {
+
+/** Run `cmd` under sh, returning its stdout; fails the test on rc != 0. */
+std::string
+capture(const std::string &cmd)
+{
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return {};
+    }
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    int rc = ::pclose(pipe);
+    EXPECT_EQ(rc, 0) << "command failed: " << cmd;
+    return out;
+}
+
+/**
+ * BDS_* knobs fixed so the ambient environment cannot interfere; the
+ * request lines are piped into the daemon's stdin and diagnostics on
+ * stderr are dropped so stdout is pure protocol.
+ */
+std::string
+serveCmd(const std::string &requests, const std::string &extraEnv,
+         const std::string &extraArgs)
+{
+    return "printf '" + requests
+        + "' | env -u BDS_TRACE_FILE -u BDS_METRICS -u BDS_SAMPLE "
+          "-u BDS_FAULT_THROW -u BDS_FAULT_STALL -u BDS_FAULT_CORRUPT "
+          "-u BDS_FAULT_ALLOC -u BDS_FAIL_POLICY "
+          "-u BDS_SERVE_SOCKET -u BDS_SERVE_CACHE "
+          "-u BDS_SERVE_MAX_INFLIGHT -u BDS_SERVE_BYPASS "
+          "-u BDS_SERVE_LOG "
+          "BDS_SCALE=quick BDS_SEED=42 BDS_THREADS=0 "
+          "BDS_TRACE=0 BDS_MANIFEST=0 "
+        + extraEnv + " " + BDS_SERVE_BIN + " " + extraArgs
+        + " 2>/dev/null";
+}
+
+/** One framed response: the header line plus its counted payload. */
+struct Frame
+{
+    std::string header;
+    std::string payload;
+};
+
+/** Value of `key=` in a response header ("" when absent). */
+std::string
+field(const std::string &header, const std::string &key)
+{
+    const std::string needle = " " + key + "=";
+    std::size_t pos = header.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    pos += needle.size();
+    const std::size_t end = header.find(' ', pos);
+    return header.substr(pos, end == std::string::npos ? std::string::npos
+                                                       : end - pos);
+}
+
+/**
+ * Split raw protocol output into frames: every line is a frame, and
+ * an "ok ..." line additionally owns the next `bytes=` payload bytes.
+ */
+std::vector<Frame>
+parseFrames(const std::string &out)
+{
+    std::vector<Frame> frames;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t nl = out.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        Frame f;
+        f.header = out.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (f.header.rfind("ok ", 0) == 0) {
+            const std::size_t bytes = static_cast<std::size_t>(
+                std::atol(field(f.header, "bytes").c_str()));
+            f.payload = out.substr(pos, bytes);
+            pos += bytes;
+        }
+        frames.push_back(f);
+    }
+    return frames;
+}
+
+/** Remove a known cache entry and its directory. */
+void
+wipeCache(const std::string &dir, const std::string &hash)
+{
+    if (!hash.empty())
+        std::remove((dir + "/" + hash + ".result").c_str());
+    ::rmdir(dir.c_str());
+}
+
+// The pinned schema-v1 address of quick/42 with defaults: the same
+// literal tests/serve/test_confighash.cc pins in process, asserted
+// here across the process boundary.
+const char *const kQuick42Hash = "73ec36ad23095195";
+
+TEST(ServeCli, StdinProtocolMissHitAndWarmRestart)
+{
+    const std::string cache =
+        ::testing::TempDir() + "bds_serve_cli_cache";
+    wipeCache(cache, kQuick42Hash);
+
+    const std::string out = capture(serveCmd(
+        "ping\\ncharacterize scale=quick seed=42\\n"
+        "characterize scale=quick seed=42\\nstats\\nquit\\n",
+        "", "--serve-cache " + cache));
+    // stdout is protocol only: no stderr chatter leaked in.
+    EXPECT_EQ(out.find("bds_serve:"), std::string::npos);
+
+    const std::vector<Frame> frames = parseFrames(out);
+    ASSERT_EQ(frames.size(), 5u) << out;
+    EXPECT_EQ(frames[0].header, "pong");
+
+    // Cold request: a miss, addressed by the pinned hash.
+    EXPECT_EQ(frames[1].header.rfind("ok id=1 ", 0), 0u)
+        << frames[1].header;
+    EXPECT_EQ(field(frames[1].header, "hash"), kQuick42Hash);
+    EXPECT_EQ(field(frames[1].header, "hit"), "0");
+    ASSERT_FALSE(frames[1].payload.empty());
+    EXPECT_EQ(frames[1].payload.rfind("workload,", 0), 0u);
+    // The byte count frames the payload exactly: the next header
+    // parsed cleanly, and the payload ends on a line boundary.
+    EXPECT_EQ(frames[1].payload.back(), '\n');
+
+    // Same request again: a hit serving the identical bytes.
+    EXPECT_EQ(frames[2].header.rfind("ok id=2 ", 0), 0u)
+        << frames[2].header;
+    EXPECT_EQ(field(frames[2].header, "hit"), "1");
+    EXPECT_EQ(frames[2].payload, frames[1].payload);
+
+    EXPECT_EQ(frames[3].header,
+              "stats requests=2 hits=1 misses=1 errors=0 bypassed=0");
+    EXPECT_EQ(frames[4].header, "bye");
+
+    // A fresh daemon process answers warm from the on-disk store.
+    const std::string warm = capture(serveCmd(
+        "characterize scale=quick seed=42\\nquit\\n", "",
+        "--serve-cache " + cache));
+    const std::vector<Frame> warmFrames = parseFrames(warm);
+    ASSERT_EQ(warmFrames.size(), 2u) << warm;
+    EXPECT_EQ(field(warmFrames[0].header, "hit"), "1");
+    EXPECT_EQ(warmFrames[0].payload, frames[1].payload);
+
+    wipeCache(cache, kQuick42Hash);
+}
+
+TEST(ServeCli, MalformedRequestsAreErrLinesAndTheDaemonSurvives)
+{
+    const std::string cache =
+        ::testing::TempDir() + "bds_serve_cli_err_cache";
+    const std::string out = capture(serveCmd(
+        "reticulate\\ncharacterize scale=galactic\\n"
+        "characterize seed=nine\\nping\\nquit\\n",
+        "", "--serve-cache " + cache));
+
+    const std::vector<Frame> frames = parseFrames(out);
+    ASSERT_EQ(frames.size(), 5u) << out;
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(frames[i].header.rfind("err id=", 0), 0u)
+            << frames[i].header;
+        EXPECT_EQ(field(frames[i].header, "code"), "invalid_config")
+            << frames[i].header;
+    }
+    // The daemon is still alive and answers after every error.
+    EXPECT_EQ(frames[3].header, "pong");
+    EXPECT_EQ(frames[4].header, "bye");
+
+    wipeCache(cache, "");
+}
+
+TEST(ServeCli, InjectedFaultIsQuarantinedAndTheDaemonKeepsServing)
+{
+    const std::string cache =
+        ::testing::TempDir() + "bds_serve_cli_fault_cache";
+    const std::string out = capture(serveCmd(
+        "characterize scale=quick seed=7\\nping\\nquit\\n",
+        "BDS_FAULT_THROW=H-Sort BDS_FAIL_POLICY=quarantine",
+        "--serve-cache " + cache));
+
+    const std::vector<Frame> frames = parseFrames(out);
+    ASSERT_EQ(frames.size(), 3u) << out;
+    EXPECT_EQ(frames[0].header.rfind("ok id=0 ", 0), 0u)
+        << frames[0].header;
+    EXPECT_EQ(field(frames[0].header, "quarantined"), "H-Sort");
+    // The quarantined row is absent, survivors are served...
+    EXPECT_EQ(frames[0].payload.find("H-Sort,"), std::string::npos);
+    EXPECT_NE(frames[0].payload.find("H-WordCount,"),
+              std::string::npos);
+    // ...and the daemon answers the next request.
+    EXPECT_EQ(frames[1].header, "pong");
+    EXPECT_EQ(frames[2].header, "bye");
+
+    // Quarantined sweeps are served but never cached: the store
+    // directory holds no entry to clean up.
+    wipeCache(cache, "");
+}
+
+TEST(ServeCli, HelpGoesToStdout)
+{
+    const std::string out =
+        capture(std::string(BDS_SERVE_BIN) + " --help 2>/dev/null");
+    EXPECT_NE(out.find("usage: bds_serve"), std::string::npos);
+    EXPECT_NE(out.find("--serve-cache"), std::string::npos);
+}
+
+} // namespace
+} // namespace bds

@@ -27,7 +27,8 @@ const char *const kEnvVars[] = {
     "BDS_MANIFEST",      "BDS_FAIL_POLICY", "BDS_RETRIES",
     "BDS_RUN_TIMEOUT_MS", "BDS_FAULT_THROW", "BDS_FAULT_STALL",
     "BDS_FAULT_CORRUPT", "BDS_FAULT_ALLOC", "BDS_FAULT_STALL_MS",
-    "BDS_FAULT_ATTEMPTS",
+    "BDS_FAULT_ATTEMPTS", "BDS_SERVE_SOCKET", "BDS_SERVE_CACHE",
+    "BDS_SERVE_MAX_INFLIGHT", "BDS_SERVE_BYPASS", "BDS_SERVE_LOG",
 };
 
 /** Clears every BDS_* variable for the test, restoring it after. */
@@ -286,6 +287,91 @@ TEST_F(ObsRunConfigTest, UnknownFailPolicyIsFatal)
     RunConfig cfg;
     EXPECT_THROW(cfg.applyArgs({"--fail-policy=explode"}),
                  FatalError);
+}
+
+TEST_F(ObsRunConfigTest, ServeKnobsDefaultOff)
+{
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_FALSE(cfg.serve.enabled);
+    EXPECT_TRUE(cfg.serve.socketPath.empty());
+    EXPECT_EQ(cfg.serve.cacheDir, "bds_serve_cache");
+    EXPECT_EQ(cfg.serve.maxInFlight, 0u);
+    EXPECT_FALSE(cfg.serve.bypassCache);
+    EXPECT_TRUE(cfg.serve.requestLogPath.empty());
+}
+
+TEST_F(ObsRunConfigTest, EnvironmentOverlaysTheServeKnobs)
+{
+    ::setenv("BDS_SERVE_SOCKET", "/tmp/bds.sock", 1);
+    ::setenv("BDS_SERVE_CACHE", "cachedir", 1);
+    ::setenv("BDS_SERVE_MAX_INFLIGHT", "3", 1);
+    ::setenv("BDS_SERVE_BYPASS", "1", 1);
+    ::setenv("BDS_SERVE_LOG", "req.log", 1);
+
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_EQ(cfg.serve.socketPath, "/tmp/bds.sock");
+    EXPECT_EQ(cfg.serve.cacheDir, "cachedir");
+    EXPECT_EQ(cfg.serve.maxInFlight, 3u);
+    EXPECT_TRUE(cfg.serve.bypassCache);
+    EXPECT_EQ(cfg.serve.requestLogPath, "req.log");
+}
+
+TEST_F(ObsRunConfigTest, ServeFlagsWinOverTheEnvironment)
+{
+    ::setenv("BDS_SERVE_CACHE", "envdir", 1);
+    ::setenv("BDS_SERVE_MAX_INFLIGHT", "9", 1);
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    std::vector<std::string> rest = cfg.applyArgs(
+        {"--serve-cache", "flagdir", "--serve-max-inflight=2",
+         "--serve-bypass", "--serve-socket=/tmp/s.sock",
+         "--serve-log", "l.bin"});
+    EXPECT_TRUE(rest.empty());
+    EXPECT_EQ(cfg.serve.cacheDir, "flagdir");
+    EXPECT_EQ(cfg.serve.maxInFlight, 2u);
+    EXPECT_TRUE(cfg.serve.bypassCache);
+    EXPECT_EQ(cfg.serve.socketPath, "/tmp/s.sock");
+    EXPECT_EQ(cfg.serve.requestLogPath, "l.bin");
+}
+
+TEST_F(ObsRunConfigTest, MalformedServeKnobsAreFatal)
+{
+    ::setenv("BDS_SERVE_MAX_INFLIGHT", "many", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SERVE_MAX_INFLIGHT");
+
+    ::setenv("BDS_SERVE_BYPASS", "yes", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SERVE_BYPASS");
+
+    ::setenv("BDS_SERVE_CACHE", "", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SERVE_CACHE");
+
+    RunConfig cfg;
+    EXPECT_THROW(cfg.applyArgs({"--serve-cache="}), FatalError);
+    EXPECT_THROW(cfg.applyArgs({"--serve-max-inflight", "two"}),
+                 FatalError);
+}
+
+TEST_F(ObsRunConfigTest, DescribeMentionsTheServeBlock)
+{
+    RunConfig cfg;
+    cfg.tool = "t";
+    EXPECT_EQ(cfg.describe().find("serve("), std::string::npos);
+
+    cfg.serve.enabled = true;
+    cfg.serve.socketPath = "/tmp/s.sock";
+    cfg.serve.maxInFlight = 2;
+    cfg.serve.bypassCache = true;
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("serve(cache=bds_serve_cache"),
+              std::string::npos)
+        << d;
+    EXPECT_NE(d.find("socket=/tmp/s.sock"), std::string::npos) << d;
+    EXPECT_NE(d.find("max-inflight=2"), std::string::npos) << d;
+    EXPECT_NE(d.find("bypass"), std::string::npos) << d;
 }
 
 TEST_F(ObsRunConfigTest, DescribeMentionsRecoveryAndInjection)

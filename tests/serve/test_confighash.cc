@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Content-address stability tests: the canonical serialization and
+ * FNV hash that key the result store must never move for a fixed
+ * configuration without a kConfigHashSchemaVersion bump — a silent
+ * change would orphan every cached cell (or worse, alias two
+ * different cells). One test pins a fixed config's hash to a literal;
+ * the rest check what the hash must and must not depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/runconfig.h"
+#include "serve/confighash.h"
+
+namespace bds {
+namespace {
+
+/** The fixed config the pinned-hash test uses. */
+RunConfig
+pinnedConfig()
+{
+    RunConfig cfg;
+    cfg.scaleName = "quick";
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(ServeConfigHash, PinnedHashOfAFixedConfig)
+{
+    // Golden value for schema v1. If this test fails you changed the
+    // canonical serialization: bump kConfigHashSchemaVersion and
+    // re-pin, or revert — never re-pin without a version bump.
+    EXPECT_EQ(kConfigHashSchemaVersion, 1u);
+    EXPECT_EQ(runConfigHashHex(pinnedConfig()), "73ec36ad23095195");
+    EXPECT_EQ(runConfigHash(pinnedConfig()), 0x73ec36ad23095195ULL);
+}
+
+TEST(ServeConfigHash, CanonicalFormIsVersionedAndOrdered)
+{
+    const std::string text = canonicalRunConfig(pinnedConfig());
+    EXPECT_EQ(text.rfind("bds-runconfig-v1\n", 0), 0u) << text;
+    EXPECT_NE(text.find("scale=quick\n"), std::string::npos);
+    EXPECT_NE(text.find("seed=42\n"), std::string::npos);
+    EXPECT_NE(text.find("sampling.enabled=0\n"), std::string::npos);
+    EXPECT_NE(text.find("recovery.policy=failfast\n"),
+              std::string::npos);
+    // Deterministic: same config, same bytes.
+    EXPECT_EQ(text, canonicalRunConfig(pinnedConfig()));
+}
+
+TEST(ServeConfigHash, ThreadsDoNotChangeTheHash)
+{
+    // docs/THREADING.md: the matrix is bitwise identical at any
+    // thread count, so threads must not split the cache.
+    RunConfig a = pinnedConfig(), b = pinnedConfig();
+    a.parallel.threads = 1;
+    b.parallel.threads = 16;
+    EXPECT_EQ(runConfigHashHex(a), runConfigHashHex(b));
+}
+
+TEST(ServeConfigHash, ObservabilityKnobsDoNotChangeTheHash)
+{
+    // The neutrality contract: tracing/manifests change no computed
+    // result, so they must not split the cache either.
+    RunConfig a = pinnedConfig(), b = pinnedConfig();
+    b.trace = true;
+    b.tracePath = "elsewhere.jsonl";
+    b.manifest = false;
+    b.tool = "another_tool";
+    b.argv = {"another_tool", "--trace"};
+    EXPECT_EQ(runConfigHashHex(a), runConfigHashHex(b));
+}
+
+TEST(ServeConfigHash, MetricSubsetsShareTheCell)
+{
+    // Metric subsets are response-time projections of the full
+    // 45-column cell, never separate computations.
+    RunConfig a = pinnedConfig(), b = pinnedConfig();
+    b.metricNames = {"LOAD", "ILP"};
+    EXPECT_EQ(runConfigHashHex(a), runConfigHashHex(b));
+}
+
+TEST(ServeConfigHash, ServeTransportKnobsDoNotChangeTheHash)
+{
+    RunConfig a = pinnedConfig(), b = pinnedConfig();
+    b.serve.enabled = true;
+    b.serve.socketPath = "/tmp/s.sock";
+    b.serve.cacheDir = "elsewhere";
+    b.serve.maxInFlight = 3;
+    EXPECT_EQ(runConfigHashHex(a), runConfigHashHex(b));
+}
+
+TEST(ServeConfigHash, ResultRelevantKnobsEachChangeTheHash)
+{
+    const std::string base = runConfigHashHex(pinnedConfig());
+
+    RunConfig scale = pinnedConfig();
+    scale.scaleName = "standard";
+    EXPECT_NE(runConfigHashHex(scale), base);
+
+    RunConfig seed = pinnedConfig();
+    seed.seed = 43;
+    EXPECT_NE(runConfigHashHex(seed), base);
+
+    RunConfig sampled = pinnedConfig();
+    sampled.sampling.enabled = true;
+    EXPECT_NE(runConfigHashHex(sampled), base);
+
+    RunConfig interval = pinnedConfig();
+    interval.sampling.intervalUops += 1;
+    EXPECT_NE(runConfigHashHex(interval), base);
+
+    RunConfig policy = pinnedConfig();
+    policy.fault.recovery.policy = FailPolicy::Quarantine;
+    EXPECT_NE(runConfigHashHex(policy), base);
+
+    RunConfig retries = pinnedConfig();
+    retries.fault.recovery.maxRetries = 2;
+    EXPECT_NE(runConfigHashHex(retries), base);
+
+    // An armed fault spec is a different experiment: it must never
+    // be answered from (or poison) the clean cell.
+    RunConfig faulted = pinnedConfig();
+    faulted.fault.throwAt = "H-Sort";
+    EXPECT_NE(runConfigHashHex(faulted), base);
+}
+
+TEST(ServeConfigHash, HexRenderingIsZeroPaddedLowercase)
+{
+    EXPECT_EQ(toHex64(0), "0000000000000000");
+    EXPECT_EQ(toHex64(0xabcULL), "0000000000000abc");
+    EXPECT_EQ(toHex64(0xFFFFFFFFFFFFFFFFULL), "ffffffffffffffff");
+}
+
+TEST(ServeConfigHash, Fnv1a64MatchesKnownVectors)
+{
+    // Standard FNV-1a test vectors (offset basis and "a").
+    EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+} // namespace
+} // namespace bds

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * ServeEngine tests: the serving contract end to end, in process.
+ * The expensive quick-scale sweep runs once in a shared fixture;
+ * every case asserts against it — miss-then-hit behaviour,
+ * byte-identity with the batch path's CSV, row/column projection,
+ * cache bypass, per-request fault isolation (an injected failure is
+ * an error response, never a dead engine), and the serve.* counters.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/csvio.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "fault/inject.h"
+#include "obs/trace.h"
+#include "serve/confighash.h"
+#include "serve/engine.h"
+#include "workloads/registry.h"
+
+namespace bds {
+namespace {
+
+/** The engine's base config: quick scale, cache under TempDir. */
+RunConfig
+engineConfig(const std::string &cacheName)
+{
+    RunConfig cfg;
+    cfg.tool = "test_engine";
+    cfg.scaleName = "quick";
+    cfg.seed = 42;
+    cfg.manifest = false;
+    cfg.serve.enabled = true;
+    cfg.serve.cacheDir = ::testing::TempDir() + cacheName;
+    return cfg;
+}
+
+RequestRecord
+quickRequest(std::uint64_t seed = 42)
+{
+    RequestRecord req;
+    req.scale = 0; // quick
+    req.seed = seed;
+    return req;
+}
+
+/** Wipe a cache directory created by a test (flat *.result files). */
+void
+wipeCache(const RunConfig &cfg, ServeEngine *engine,
+          const std::vector<RequestRecord> &reqs)
+{
+    for (const RequestRecord &req : reqs) {
+        const std::string hash =
+            runConfigHashHex(engine->requestConfig(req));
+        std::remove(
+            (cfg.serve.cacheDir + "/" + hash + ".result").c_str());
+    }
+    ::rmdir(cfg.serve.cacheDir.c_str());
+}
+
+/**
+ * One quick-scale sweep + engine shared by the whole suite, so the
+ * simulation cost is paid once.
+ */
+class ServeEngineTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        cfg_ = new RunConfig(engineConfig("bds_engine_cache"));
+        engine_ = new ServeEngine(*cfg_);
+
+        // The reference: the batch path's matrix and CSV bytes,
+        // computed exactly as bench_common's characterizedPipeline.
+        WorkloadRunner runner(NodeConfig::defaultSim(),
+                              ScaleProfile::byName("quick"), 42);
+        runner.setParallel(cfg_->parallel);
+        SweepReport report;
+        Matrix metrics = runner.runAll(nullptr, nullptr, &report);
+        PipelineResult res;
+        res.names = report.survivorNames();
+        res.rawMetrics = metrics;
+        std::ostringstream csv;
+        writeMetricsCsv(csv, res);
+        batchCsv_ = new std::string(csv.str());
+    }
+
+    static void TearDownTestSuite()
+    {
+        wipeCache(*cfg_, engine_, {quickRequest(42)});
+        delete engine_;
+        delete cfg_;
+        delete batchCsv_;
+        engine_ = nullptr;
+        cfg_ = nullptr;
+        batchCsv_ = nullptr;
+    }
+
+    static RunConfig *cfg_;
+    static ServeEngine *engine_;
+    static std::string *batchCsv_;
+};
+
+RunConfig *ServeEngineTest::cfg_ = nullptr;
+ServeEngine *ServeEngineTest::engine_ = nullptr;
+std::string *ServeEngineTest::batchCsv_ = nullptr;
+
+// Cases run in definition order (the binary is one ctest entry), so
+// this first one seeds the cache the later cases answer from.
+TEST_F(ServeEngineTest, MissComputesThenHitServesTheSameBytes)
+{
+    const ServeResponse cold = engine_->handle(quickRequest());
+    ASSERT_TRUE(cold.ok) << cold.message;
+    EXPECT_FALSE(cold.hit);
+    EXPECT_EQ(cold.hashHex,
+              runConfigHashHex(engine_->requestConfig(quickRequest())));
+
+    const ServeResponse warm = engine_->handle(quickRequest());
+    ASSERT_TRUE(warm.ok) << warm.message;
+    EXPECT_TRUE(warm.hit);
+    EXPECT_EQ(warm.payload, cold.payload);
+
+    const ServeStats stats = engine_->stats();
+    EXPECT_GE(stats.requests, 2u);
+    EXPECT_GE(stats.hits, 1u);
+    EXPECT_GE(stats.misses, 1u);
+}
+
+TEST_F(ServeEngineTest, PayloadIsByteIdenticalToTheBatchPath)
+{
+    const ServeResponse resp = engine_->handle(quickRequest());
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.payload, *batchCsv_);
+}
+
+TEST_F(ServeEngineTest, ProjectionSelectsRowsAndColumns)
+{
+    RequestRecord req = parseRequestLine(
+        "characterize scale=quick seed=42 "
+        "workloads=H-Sort,S-Grep metrics=LOAD,ILP");
+    const ServeResponse resp = engine_->handle(req);
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_TRUE(resp.hit); // projections answer from the same cell
+
+    std::istringstream in(resp.payload);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "workload,LOAD,ILP");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.rfind("H-Sort,", 0), 0u) << line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.rfind("S-Grep,", 0), 0u) << line;
+    EXPECT_FALSE(std::getline(in, line));
+
+    // The projected cells match the full payload's columns.
+    const ServeResponse full = engine_->handle(quickRequest());
+    std::istringstream fullIn(full.payload);
+    MetricTable table = readMetricsCsv(fullIn);
+    std::istringstream projIn(resp.payload);
+    MetricTable proj = readMetricsCsv(projIn);
+    ASSERT_EQ(proj.names.size(), 2u);
+    for (std::size_t r = 0; r < proj.names.size(); ++r) {
+        std::size_t fullRow = 0;
+        while (table.names[fullRow] != proj.names[r])
+            ++fullRow;
+        for (std::size_t c = 0; c < proj.columns.size(); ++c) {
+            std::size_t fullCol = 0;
+            while (table.columns[fullCol] != proj.columns[c])
+                ++fullCol;
+            EXPECT_EQ(proj.values(r, c), table.values(fullRow, fullCol));
+        }
+    }
+}
+
+TEST_F(ServeEngineTest, BypassComputesWithoutTouchingTheStore)
+{
+    RequestRecord req = quickRequest();
+    req.flags |= kServeFlagBypass;
+    const ServeStats before = engine_->stats();
+    const ServeResponse resp = engine_->handle(req);
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_FALSE(resp.hit);
+    EXPECT_EQ(resp.payload, *batchCsv_);
+    EXPECT_EQ(engine_->stats().bypassed, before.bypassed + 1);
+}
+
+TEST_F(ServeEngineTest, InvalidRequestsAreErrorResponses)
+{
+    RequestRecord req = quickRequest();
+    req.op = 99;
+    const ServeResponse resp = engine_->handle(req);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, ErrorCode::InvalidConfig);
+
+    RequestRecord badScale = quickRequest();
+    badScale.scale = 7;
+    const ServeResponse resp2 = engine_->handle(badScale);
+    EXPECT_FALSE(resp2.ok);
+    EXPECT_EQ(resp2.code, ErrorCode::InvalidConfig);
+
+    // The engine keeps serving after errors.
+    const ServeResponse after = engine_->handle(quickRequest());
+    EXPECT_TRUE(after.ok);
+    EXPECT_TRUE(after.hit);
+}
+
+TEST_F(ServeEngineTest, CountersTrackRequestsHitsAndMisses)
+{
+    std::ostringstream trace;
+    Tracer::global().enableStream(&trace);
+    const ServeResponse hit = engine_->handle(quickRequest());
+    EXPECT_TRUE(hit.ok);
+    RequestRecord bad = quickRequest();
+    bad.op = 99;
+    engine_->handle(bad);
+    Tracer::global().disable();
+
+    const std::string events = trace.str();
+    EXPECT_NE(events.find("\"serve.requests\""), std::string::npos)
+        << events;
+    EXPECT_NE(events.find("\"serve.hits\""), std::string::npos)
+        << events;
+    EXPECT_NE(events.find("\"serve.errors\""), std::string::npos)
+        << events;
+}
+
+TEST(ServeEngineFault, InjectedFaultIsQuarantinedPerRequest)
+{
+    // A separate engine whose base config arms quarantine + a
+    // deterministic injected failure, as BDS_FAULT_THROW=H-Sort
+    // BDS_FAIL_POLICY=quarantine would.
+    RunConfig cfg = engineConfig("bds_engine_fault_cache");
+    cfg.fault.throwAt = "H-Sort";
+    cfg.fault.recovery.policy = FailPolicy::Quarantine;
+    FaultInjector::global().arm(cfg.fault);
+    ServeEngine engine(cfg);
+
+    const ServeResponse resp = engine.handle(quickRequest(7));
+    FaultInjector::global().disarm();
+
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.quarantined,
+              (std::vector<std::string>{"H-Sort"}));
+    // Survivors are served, the quarantined row is absent...
+    EXPECT_EQ(resp.payload.find("H-Sort,"), std::string::npos);
+    EXPECT_NE(resp.payload.find("H-WordCount,"), std::string::npos);
+    // ...and the incomplete cell was never cached.
+    ResultEntry out;
+    EXPECT_FALSE(engine.store().load(resp.hashHex, &out));
+
+    // The engine survives and keeps answering.
+    RunConfig clean = engineConfig("bds_engine_fault_cache");
+    ServeEngine cleanEngine(clean);
+    const ServeResponse after = cleanEngine.handle(quickRequest(7));
+    EXPECT_TRUE(after.ok) << after.message;
+
+    wipeCache(clean, &cleanEngine, {quickRequest(7)});
+}
+
+TEST(ServeEngineFault, FailFastInjectionIsAnErrorResponse)
+{
+    RunConfig cfg = engineConfig("bds_engine_failfast_cache");
+    cfg.fault.throwAt = "H-Sort"; // policy stays fail-fast
+    FaultInjector::global().arm(cfg.fault);
+    ServeEngine engine(cfg);
+
+    const ServeResponse resp = engine.handle(quickRequest(7));
+    FaultInjector::global().disarm();
+
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, ErrorCode::InjectedFault);
+    // Nothing cached, engine still alive.
+    ResultEntry out;
+    EXPECT_FALSE(engine.store().load(resp.hashHex, &out));
+    EXPECT_EQ(engine.stats().errors, 1u);
+
+    wipeCache(cfg, &engine, {});
+}
+
+} // namespace
+} // namespace bds

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Request-format tests: the text line protocol (strict parsing,
+ * canonical rendering, round-trip with the binary form) and the
+ * fixed-size binary request log (header + packed records, hardened
+ * loading, the append-with-patched-count writer).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/schema.h"
+#include "serve/request.h"
+
+namespace bds {
+namespace {
+
+/** RAII temp path, removed on scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ServeRequest, RecordIsAFixedSizePod)
+{
+    EXPECT_EQ(sizeof(RequestRecord), 32u);
+    EXPECT_TRUE(std::is_trivially_copyable<RequestRecord>::value);
+}
+
+TEST(ServeRequest, ParsesAMinimalLineWithDefaults)
+{
+    RequestRecord req = parseRequestLine("characterize");
+    EXPECT_EQ(req.op, 0u);
+    EXPECT_EQ(req.scale, 0u); // quick
+    EXPECT_EQ(req.seed, 42u);
+    EXPECT_EQ(req.flags, 0u);
+    EXPECT_EQ(req.workloadMask, 0xffffffffu);
+    EXPECT_EQ(req.metricMask, 0u);
+}
+
+TEST(ServeRequest, ParsesEveryKey)
+{
+    RequestRecord req = parseRequestLine(
+        "characterize scale=standard seed=7 sampled=1 bypass=1 "
+        "workloads=H-Sort,S-Grep metrics=LOAD,ILP");
+    EXPECT_EQ(req.scale, 1u);
+    EXPECT_EQ(req.seed, 7u);
+    EXPECT_TRUE(req.flags & kServeFlagSampled);
+    EXPECT_TRUE(req.flags & kServeFlagBypass);
+    EXPECT_EQ(workloadNamesFromMask(req.workloadMask),
+              (std::vector<std::string>{"H-Sort", "S-Grep"}));
+    EXPECT_EQ(metricNamesFromMask(req.metricMask),
+              (std::vector<std::string>{"LOAD", "ILP"}));
+}
+
+TEST(ServeRequest, TextFormRoundTripsThroughFormat)
+{
+    const char *lines[] = {
+        "characterize scale=quick seed=42",
+        "characterize scale=full seed=9 sampled=1",
+        "characterize scale=standard seed=1 bypass=1 "
+        "workloads=H-Sort metrics=LOAD",
+    };
+    for (const char *line : lines) {
+        RequestRecord req = parseRequestLine(line);
+        EXPECT_EQ(formatRequestLine(req), line);
+        // Canonical text parses back to the identical record.
+        RequestRecord again =
+            parseRequestLine(formatRequestLine(req));
+        EXPECT_EQ(std::memcmp(&req, &again, sizeof(req)), 0);
+    }
+}
+
+/** Schema name to wire form: spaces travel as '_'. */
+std::string
+wireName(std::string name)
+{
+    for (char &c : name)
+        if (c == ' ')
+            c = '_';
+    return name;
+}
+
+TEST(ServeRequest, SelectingEveryMetricCanonicalizesToFullSet)
+{
+    std::string all = "characterize metrics=";
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        all += std::string(i ? "," : "") + wireName(metricName(i));
+    RequestRecord req = parseRequestLine(all);
+    EXPECT_EQ(req.metricMask, 0u);
+}
+
+TEST(ServeRequest, SpacedMetricNamesTravelWithUnderscores)
+{
+    // "SSE FP" and "KERNEL MODE" are addressable on the wire as
+    // SSE_FP and KERNEL_MODE, resolve to the schema names, and render
+    // back in wire form.
+    RequestRecord req = parseRequestLine(
+        "characterize metrics=SSE_FP,KERNEL_MODE");
+    EXPECT_EQ(metricNamesFromMask(req.metricMask),
+              (std::vector<std::string>{"SSE FP", "KERNEL MODE"}));
+    const std::string line = formatRequestLine(req);
+    EXPECT_NE(line.find("metrics=SSE_FP,KERNEL_MODE"),
+              std::string::npos)
+        << line;
+    RequestRecord again = parseRequestLine(line);
+    EXPECT_EQ(again.metricMask, req.metricMask);
+}
+
+TEST(ServeRequest, MalformedLinesAreTypedErrors)
+{
+    const char *bad[] = {
+        "reticulate scale=quick",            // unknown verb
+        "characterize scale=galactic",       // unknown scale
+        "characterize seed=nine",            // non-integer
+        "characterize seed=-1",              // sign rejected
+        "characterize sampled=yes",          // non-0/1 switch
+        "characterize frobnicate=1",         // unknown key
+        "characterize scale",                // not key=value
+        "characterize workloads=H-Sort,,S",  // empty element
+    };
+    for (const char *line : bad) {
+        try {
+            parseRequestLine(line);
+            FAIL() << "expected Error for: " << line;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidConfig) << line;
+        }
+    }
+
+    try {
+        parseRequestLine("characterize workloads=Z-Nope");
+        FAIL() << "expected UnknownName";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::UnknownName);
+    }
+    try {
+        parseRequestLine("characterize metrics=BOGOMIPS");
+        FAIL() << "expected UnknownName";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::UnknownName);
+    }
+}
+
+TEST(ServeRequest, ScaleNamesRoundTrip)
+{
+    EXPECT_EQ(serveScaleName(serveScaleIndex("quick")), "quick");
+    EXPECT_EQ(serveScaleName(serveScaleIndex("standard")),
+              "standard");
+    EXPECT_EQ(serveScaleName(serveScaleIndex("full")), "full");
+    EXPECT_THROW(serveScaleName(3), Error);
+    EXPECT_THROW(serveScaleIndex("tiny"), Error);
+}
+
+TEST(ServeRequest, BinaryLogRoundTrips)
+{
+    TempFile log("serve_req_roundtrip.bin");
+    std::vector<RequestRecord> in;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        RequestRecord req;
+        req.scale = static_cast<std::uint32_t>(i % 3);
+        req.seed = 100 + i;
+        req.flags = i % 2 ? kServeFlagSampled : 0u;
+        in.push_back(req);
+    }
+    storeRequestLog(log.path(), in);
+    std::vector<RequestRecord> out = loadRequestLog(log.path());
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(std::memcmp(&in[i], &out[i], sizeof(in[i])), 0);
+}
+
+TEST(ServeRequest, LoadingHardensAgainstCorruption)
+{
+    TempFile log("serve_req_hardened.bin");
+    std::vector<RequestRecord> in(3);
+    storeRequestLog(log.path(), in);
+
+    auto expectIo = [&](const char *why) {
+        try {
+            loadRequestLog(log.path());
+            FAIL() << "expected Error(Io): " << why;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io) << why;
+        }
+    };
+
+    // Truncated mid-record.
+    {
+        std::ifstream f(log.path(), std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(log.path(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 7));
+    }
+    expectIo("truncated record");
+
+    // Bad magic.
+    storeRequestLog(log.path(), in);
+    {
+        std::fstream f(log.path(), std::ios::binary | std::ios::in
+                                       | std::ios::out);
+        f.write("XXXX", 4);
+    }
+    expectIo("bad magic");
+
+    // Unsupported version.
+    storeRequestLog(log.path(), in);
+    {
+        std::fstream f(log.path(), std::ios::binary | std::ios::in
+                                       | std::ios::out);
+        f.seekp(4);
+        const std::uint32_t v = 99;
+        f.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+    expectIo("unsupported version");
+
+    // Trailing bytes beyond the declared count.
+    storeRequestLog(log.path(), in);
+    {
+        std::ofstream f(log.path(), std::ios::binary | std::ios::app);
+        f.write("junk", 4);
+    }
+    expectIo("trailing bytes");
+
+    // Missing file.
+    std::remove(log.path().c_str());
+    expectIo("missing file");
+}
+
+TEST(ServeRequest, WriterPatchesTheCountAfterEveryAppend)
+{
+    TempFile log("serve_req_writer.bin");
+    {
+        RequestLogWriter writer(log.path());
+        EXPECT_EQ(writer.count(), 0u);
+        // An empty log is loadable immediately.
+        EXPECT_TRUE(loadRequestLog(log.path()).empty());
+
+        RequestRecord req;
+        req.seed = 1;
+        writer.append(req);
+        EXPECT_EQ(writer.count(), 1u);
+        // Loadable after every append, not only at close: a crashed
+        // daemon leaves a consistent prefix.
+        EXPECT_EQ(loadRequestLog(log.path()).size(), 1u);
+
+        req.seed = 2;
+        writer.append(req);
+        EXPECT_EQ(loadRequestLog(log.path()).size(), 2u);
+    }
+    std::vector<RequestRecord> out = loadRequestLog(log.path());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].seed, 1u);
+    EXPECT_EQ(out[1].seed, 2u);
+}
+
+} // namespace
+} // namespace bds

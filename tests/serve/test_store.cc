@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Result-store tests: on-disk entry round-trip, the hardening
+ * contract (corrupt/truncated entries are typed Io errors and
+ * getOrCompute recomputes transparently), quarantined results never
+ * cached, and the single-flight guarantee that concurrent same-key
+ * requests compute exactly once.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fault/error.h"
+#include "serve/store.h"
+
+namespace bds {
+namespace {
+
+/** RAII store directory under the test temp dir, wiped on entry. */
+class StoreDir
+{
+  public:
+    explicit StoreDir(const std::string &name)
+        : dir_(::testing::TempDir() + name)
+    {
+        // Entries are flat "<hash>.result" files: removing them and
+        // the directory is a full wipe.
+        wipe();
+    }
+    ~StoreDir() { wipe(); }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    void wipe()
+    {
+        for (const std::string &hash : knownKeys())
+            std::remove((dir_ + "/" + hash + ".result").c_str());
+        ::rmdir(dir_.c_str());
+    }
+    static std::vector<std::string> knownKeys()
+    {
+        return {"00000000000000aa", "00000000000000bb",
+                "00000000000000cc", "00000000000000dd",
+                "00000000000000ee"};
+    }
+    std::string dir_;
+};
+
+ResultEntry
+sampleEntry(const std::string &hashHex)
+{
+    ResultEntry entry;
+    entry.hashHex = hashHex;
+    entry.canonicalConfig = "bds-runconfig-v1\nscale=quick\n";
+    entry.names = {"H-Sort", "S-Grep"};
+    entry.csv = "workload,LOAD\nH-Sort,0.375196\nS-Grep,0.179149\n";
+    entry.manifestJson = "{\"tool\": \"test\"}\n";
+    return entry;
+}
+
+TEST(ServeStore, EntryRoundTripsThroughTheOnDiskFormat)
+{
+    const ResultEntry in = sampleEntry("00000000000000aa");
+    std::ostringstream os;
+    writeResultEntry(os, in);
+    std::istringstream is(os.str());
+    const ResultEntry out = readResultEntry(is, "test");
+    EXPECT_EQ(out.hashHex, in.hashHex);
+    EXPECT_EQ(out.canonicalConfig, in.canonicalConfig);
+    EXPECT_EQ(out.names, in.names);
+    EXPECT_EQ(out.csv, in.csv);
+    EXPECT_EQ(out.manifestJson, in.manifestJson);
+}
+
+TEST(ServeStore, StoreAndLoadThroughTheDirectory)
+{
+    StoreDir tmp("bds_store_roundtrip");
+    ResultStore store(tmp.dir());
+    const ResultEntry in = sampleEntry("00000000000000aa");
+    store.store(in);
+
+    ResultEntry out;
+    ASSERT_TRUE(store.load(in.hashHex, &out));
+    EXPECT_EQ(out.csv, in.csv);
+    // Absent keys are a false return, not an error.
+    EXPECT_FALSE(store.load("00000000000000bb", &out));
+}
+
+TEST(ServeStore, CorruptEntriesAreTypedIoErrors)
+{
+    StoreDir tmp("bds_store_corrupt");
+    ResultStore store(tmp.dir());
+    const ResultEntry in = sampleEntry("00000000000000aa");
+    store.store(in);
+    const std::string path = store.entryPath(in.hashHex);
+
+    auto expectIo = [&](const char *why) {
+        ResultEntry out;
+        try {
+            store.load(in.hashHex, &out);
+            FAIL() << "expected Error(Io): " << why;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io) << why;
+        }
+    };
+
+    // Flip a payload byte: checksum mismatch.
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        const std::size_t pos = bytes.find("0.375196");
+        ASSERT_NE(pos, std::string::npos);
+        bytes[pos] = '9';
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    expectIo("corrupt csv payload");
+
+    // Truncate: missing END sentinel.
+    store.store(in);
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 10));
+    }
+    expectIo("truncated entry");
+
+    // Foreign bytes: bad magic.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "not a result entry\n";
+    }
+    expectIo("bad magic");
+
+    // An entry keyed to a different hash (renamed file).
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        writeResultEntry(out, sampleEntry("00000000000000bb"));
+    }
+    expectIo("foreign key");
+}
+
+TEST(ServeStore, GetOrComputeRecomputesCorruptEntriesTransparently)
+{
+    StoreDir tmp("bds_store_recompute");
+    ResultStore store(tmp.dir());
+    const ResultEntry good = sampleEntry("00000000000000aa");
+    store.store(good);
+
+    // Corrupt the entry on disk.
+    {
+        std::ofstream out(store.entryPath(good.hashHex),
+                          std::ios::binary | std::ios::trunc);
+        out << "garbage\n";
+    }
+
+    int computes = 0;
+    bool hit = true;
+    ResultEntry got = store.getOrCompute(
+        good.hashHex,
+        [&] {
+            ++computes;
+            ComputedResult r;
+            r.entry = good;
+            return r;
+        },
+        &hit);
+    EXPECT_EQ(computes, 1);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(got.csv, good.csv);
+
+    // The recomputed entry replaced the corrupt file.
+    ResultEntry reloaded;
+    ASSERT_TRUE(store.load(good.hashHex, &reloaded));
+    EXPECT_EQ(reloaded.csv, good.csv);
+}
+
+TEST(ServeStore, UncacheableResultsAreServedButNeverStored)
+{
+    StoreDir tmp("bds_store_uncacheable");
+    ResultStore store(tmp.dir());
+    const ResultEntry entry = sampleEntry("00000000000000cc");
+
+    bool hit = true;
+    ResultEntry got = store.getOrCompute(
+        entry.hashHex,
+        [&] {
+            ComputedResult r;
+            r.entry = entry;
+            r.cacheable = false; // e.g. a quarantined sweep
+            return r;
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(got.csv, entry.csv);
+
+    ResultEntry out;
+    EXPECT_FALSE(store.load(entry.hashHex, &out));
+}
+
+TEST(ServeStore, ConcurrentSameKeyRequestsComputeOnce)
+{
+    StoreDir tmp("bds_store_singleflight");
+    ResultStore store(tmp.dir());
+    const ResultEntry entry = sampleEntry("00000000000000dd");
+
+    std::atomic<int> computes{0};
+    std::atomic<int> hits{0};
+    constexpr int kThreads = 8;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            bool hit = false;
+            ResultEntry got = store.getOrCompute(
+                entry.hashHex,
+                [&] {
+                    ++computes;
+                    // Widen the race window so waiters really wait.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    ComputedResult r;
+                    r.entry = entry;
+                    return r;
+                },
+                &hit);
+            EXPECT_EQ(got.csv, entry.csv);
+            if (hit)
+                ++hits;
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    // Exactly one leader computed; every waiter (and no one else)
+    // observed a hit. A loser-side reload may also report a hit, so
+    // the bound is >= kThreads - 1.
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_GE(hits.load(), kThreads - 1);
+}
+
+TEST(ServeStore, ComputeExceptionsPropagateToEveryWaiter)
+{
+    StoreDir tmp("bds_store_exceptions");
+    ResultStore store(tmp.dir());
+
+    std::atomic<int> failures{0};
+    constexpr int kThreads = 4;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            bool hit = false;
+            try {
+                store.getOrCompute(
+                    "00000000000000ee",
+                    [&]() -> ComputedResult {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(30));
+                        BDS_RAISE(ErrorCode::InjectedFault,
+                                  "compute failed");
+                    },
+                    &hit);
+            } catch (const Error &e) {
+                EXPECT_EQ(e.code(), ErrorCode::InjectedFault);
+                ++failures;
+            }
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    // Every caller saw the failure (leader threw, waiters got the
+    // rethrown exception, late arrivals recomputed and threw again),
+    // and nothing was cached.
+    EXPECT_EQ(failures.load(), kThreads);
+    ResultEntry out;
+    EXPECT_FALSE(store.load("00000000000000ee", &out));
+}
+
+TEST(ServeStore, EmptyDirectoryIsInvalidConfig)
+{
+    try {
+        ResultStore store("");
+        FAIL() << "expected Error(InvalidConfig)";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidConfig);
+    }
+}
+
+} // namespace
+} // namespace bds
