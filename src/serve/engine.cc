@@ -92,7 +92,7 @@ ServeEngine::requestConfig(const RequestRecord &req) const
 }
 
 ComputedResult
-ServeEngine::computeCell(const RunConfig &cfg, ServeResponse *resp)
+ServeEngine::computeCell(const RunConfig &cfg)
 {
     TraceSpan span("serve.compute");
     WorkloadRunner runner(NodeConfig::defaultSim(),
@@ -115,15 +115,14 @@ ServeEngine::computeCell(const RunConfig &cfg, ServeResponse *resp)
             std::chrono::steady_clock::now() - t0)
             .count();
 
+    ComputedResult out;
+    out.cacheable = report.allOk();
     if (!report.allOk()) {
+        out.quarantined = report.quarantinedNames();
         std::lock_guard<std::mutex> lock(mutex_);
-        resp->quarantined = report.quarantinedNames();
         if (session_)
             session_->recordSweep(report);
     }
-
-    ComputedResult out;
-    out.cacheable = report.allOk();
     out.entry.hashHex = runConfigHashHex(cfg);
     out.entry.canonicalConfig = canonicalRunConfig(cfg);
     out.entry.names = report.survivorNames();
@@ -215,23 +214,24 @@ ServeEngine::handle(const RequestRecord &req)
         const RunConfig cfg = requestConfig(req);
         resp.hashHex = runConfigHashHex(cfg);
 
-        ResultEntry entry;
+        ComputedResult result;
         const bool bypass = base_.serve.bypassCache
             || (req.flags & kServeFlagBypass);
         if (bypass) {
             Tracer::global().counter("serve.bypass", 1);
             Gate::Slot slot(*gate_);
-            entry = computeCell(cfg, &resp).entry;
+            result = computeCell(cfg);
         } else {
-            entry = store_.getOrCompute(
+            result = store_.getOrCompute(
                 resp.hashHex,
                 [&]() -> ComputedResult {
                     Gate::Slot slot(*gate_);
-                    return computeCell(cfg, &resp);
+                    return computeCell(cfg);
                 },
                 &resp.hit);
         }
-        resp.payload = projectPayload(entry, req);
+        resp.quarantined = result.quarantined;
+        resp.payload = projectPayload(result.entry, req);
         resp.ok = true;
     } catch (const Error &e) {
         resp.code = e.code();

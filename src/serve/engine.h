@@ -114,9 +114,11 @@ class ServeEngine
     RunConfig requestConfig(const RequestRecord &req) const;
 
   private:
-    /** Run the sweep for `cfg`; fills quarantine info in *resp. */
-    ComputedResult computeCell(const RunConfig &cfg,
-                               ServeResponse *resp);
+    /**
+     * Run the sweep for `cfg`. Quarantine info travels in the
+     * returned ComputedResult so single-flight followers see it too.
+     */
+    ComputedResult computeCell(const RunConfig &cfg);
 
     /** Project an entry's CSV onto the request's rows/columns. */
     static std::string projectPayload(const ResultEntry &entry,

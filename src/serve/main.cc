@@ -20,6 +20,7 @@
  * stats line go to stderr, so piping responses stays clean.
  */
 
+#include <csignal>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -78,6 +79,10 @@ writeStatsJson(const std::string &path, const bds::ServeStats &s)
 int
 main(int argc, char **argv)
 {
+    // A client (or stdout pipe) that vanishes mid-response must be a
+    // write error for that request, never a SIGPIPE daemon death.
+    std::signal(SIGPIPE, SIG_IGN);
+
     std::vector<std::string> args(argv + 1, argv + argc);
     for (const std::string &a : args)
         if (a == "--help" || a == "-h") {

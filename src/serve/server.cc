@@ -1,9 +1,12 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -38,6 +41,21 @@ firstToken(const std::string &line)
     ss >> tok;
     return tok;
 }
+
+/**
+ * Book-keeping shared by the accept loop and its (detached) client
+ * threads: the open client fds (so a quit can unblock peers parked
+ * in read), the live-thread count (what shutdown waits on instead of
+ * an ever-growing vector of thread handles), and the accepting flag.
+ */
+struct ClientRoster
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<int> fds;   ///< open client sockets
+    std::size_t active = 0; ///< client threads still running
+    bool running = true;    ///< daemon still accepting
+};
 
 } // namespace
 
@@ -139,6 +157,11 @@ ServeServer::handleLine(const std::string &raw, std::uint64_t id,
                 log_->append(req);
         }
         resp = engine_.handle(req);
+        // Inside the try: a mirror failure (full disk, unwritable
+        // --payload-dir) must degrade to an err response, not an
+        // exception that kills the daemon or a client thread.
+        if (resp.ok)
+            mirrorPayload(resp.payload);
     } catch (const Error &e) {
         resp.ok = false;
         resp.code = e.code();
@@ -148,8 +171,6 @@ ServeServer::handleLine(const std::string &raw, std::uint64_t id,
         resp.code = ErrorCode::InvalidConfig;
         resp.message = e.what();
     }
-    if (resp.ok)
-        mirrorPayload(resp.payload);
     writeResponse(out, id, resp);
     return true;
 }
@@ -199,27 +220,31 @@ ServeServer::serveSocket(const std::string &path)
     }
     inform("bds_serve: listening on " + path);
 
-    bool running = true;
-    std::vector<std::thread> clients;
-    std::mutex run_mutex;
+    auto roster = std::make_shared<ClientRoster>();
     while (true) {
-        {
-            std::lock_guard<std::mutex> lock(run_mutex);
-            if (!running)
-                break;
-        }
         const int client = ::accept(fd, nullptr, nullptr);
         if (client < 0) {
             if (errno == EINTR)
                 continue;
-            break;
+            break; // quit shut the listening socket, or a hard error
         }
-        clients.emplace_back([this, client, fd, &running,
-                              &run_mutex] {
+        {
+            std::lock_guard<std::mutex> lock(roster->mutex);
+            if (!roster->running) {
+                ::close(client);
+                break;
+            }
+            roster->fds.push_back(client);
+            ++roster->active;
+        }
+        // Detached: shutdown waits on roster->active, so a long-
+        // lived daemon never accumulates unreaped thread handles.
+        std::thread([this, client, fd, roster] {
             // Stream-ify the fd: read whole lines, answer framed.
             std::string buf;
             char chunk[4096];
             bool open = true;
+            bool quit = false; // explicit quit verb, not a dead peer
             std::uint64_t id = 0;
             while (open) {
                 const ssize_t n =
@@ -233,14 +258,20 @@ ServeServer::serveSocket(const std::string &path)
                     const std::string line = buf.substr(0, nl);
                     buf.erase(0, nl + 1);
                     std::ostringstream out;
-                    open = handleLine(line, id++, out);
+                    quit = !handleLine(line, id++, out);
+                    open = !quit;
                     const std::string bytes = out.str();
                     std::size_t off = 0;
                     while (off < bytes.size()) {
-                        const ssize_t w =
-                            ::write(client, bytes.data() + off,
-                                    bytes.size() - off);
+                        // MSG_NOSIGNAL: a client that closed its
+                        // socket mid-response is EPIPE here, not a
+                        // SIGPIPE that kills the daemon.
+                        const ssize_t w = ::send(
+                            client, bytes.data() + off,
+                            bytes.size() - off, MSG_NOSIGNAL);
                         if (w <= 0) {
+                            // Dead peer: drop this client only; the
+                            // daemon keeps serving everyone else.
                             open = false;
                             break;
                         }
@@ -248,25 +279,34 @@ ServeServer::serveSocket(const std::string &path)
                     }
                 }
             }
-            ::close(client);
-            if (!open) {
-                // quit shuts the whole daemon down, not just this
-                // client: unblock the accept loop so it can exit.
-                {
-                    std::lock_guard<std::mutex> lock(run_mutex);
-                    running = false;
+            {
+                std::lock_guard<std::mutex> lock(roster->mutex);
+                roster->fds.erase(std::remove(roster->fds.begin(),
+                                              roster->fds.end(),
+                                              client),
+                                  roster->fds.end());
+                ::close(client);
+                if (quit && roster->running) {
+                    // Only the explicit quit verb shuts the daemon
+                    // down: wake the accept loop and every peer
+                    // parked in read so shutdown cannot hang on a
+                    // silent client. Under the lock (and before the
+                    // active decrement releases serveSocket), every
+                    // fd here is still live — no reuse races.
+                    roster->running = false;
+                    ::shutdown(fd, SHUT_RDWR);
+                    for (int peer : roster->fds)
+                        ::shutdown(peer, SHUT_RDWR);
                 }
-                ::shutdown(fd, SHUT_RDWR);
+                --roster->active;
             }
-        });
-        {
-            std::lock_guard<std::mutex> lock(run_mutex);
-            if (!running)
-                break;
-        }
+            roster->cv.notify_all();
+        }).detach();
     }
-    for (std::thread &t : clients)
-        t.join();
+    {
+        std::unique_lock<std::mutex> lock(roster->mutex);
+        roster->cv.wait(lock, [&] { return roster->active == 0; });
+    }
     ::close(fd);
     ::unlink(path.c_str());
 }

@@ -50,7 +50,17 @@ std::string
 readBytes(std::istream &is, const std::string &what, std::uint64_t n,
           const std::string &label)
 {
-    std::string out(static_cast<std::size_t>(n), '\0');
+    std::string out;
+    // The size field comes from the (possibly corrupt) entry itself:
+    // an implausible value must stay a typed Io error, not a
+    // length_error/bad_alloc that escapes the corrupt-entry recovery.
+    try {
+        out.resize(static_cast<std::size_t>(n));
+    } catch (const std::exception &) {
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": " << label << " declares implausible size "
+                       << n << " (corrupt entry)");
+    }
     is.read(out.data(), static_cast<std::streamsize>(n));
     if (is.gcount() != static_cast<std::streamsize>(n))
         BDS_RAISE(ErrorCode::Io,
@@ -143,7 +153,7 @@ struct ResultStore::Flight
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
-    ResultEntry entry;
+    ComputedResult result;
     std::exception_ptr error;
 };
 
@@ -201,7 +211,7 @@ ResultStore::store(const ResultEntry &entry) const
                                      << std::strerror(errno));
 }
 
-ResultEntry
+ComputedResult
 ResultStore::getOrCompute(const std::string &hashHex,
                           const std::function<ComputedResult()> &compute,
                           bool *hit)
@@ -224,35 +234,38 @@ ResultStore::getOrCompute(const std::string &hashHex,
 
     if (!leader) {
         // Someone else is computing this cell right now: wait for
-        // their result instead of duplicating a whole sweep.
+        // their result instead of duplicating a whole sweep. An
+        // uncacheable (quarantined) result is not a hit — the
+        // follower inherits its quarantine list and must report it.
         std::unique_lock<std::mutex> lock(flight->mutex);
         flight->cv.wait(lock, [&] { return flight->done; });
         if (flight->error)
             std::rethrow_exception(flight->error);
-        *hit = true;
-        return flight->entry;
+        *hit = flight->result.cacheable;
+        return flight->result;
     }
 
-    ResultEntry result;
+    ComputedResult result;
     std::exception_ptr error;
     try {
         ResultEntry cached;
         bool have = false;
         try {
             have = load(hashHex, &cached);
-        } catch (const Error &e) {
+        } catch (const std::exception &e) {
             // Corrupt/truncated entry: report, recompute, replace.
+            // std::exception, not just Error, so no corruption mode
+            // can dodge the recompute path.
             warn(std::string("result store: dropping corrupt entry: ")
                  + e.what());
         }
         if (have) {
             *hit = true;
-            result = std::move(cached);
+            result.entry = std::move(cached);
         } else {
-            ComputedResult computed = compute();
-            if (computed.cacheable)
-                store(computed.entry);
-            result = std::move(computed.entry);
+            result = compute();
+            if (result.cacheable)
+                store(result.entry);
         }
     } catch (...) {
         error = std::current_exception();
@@ -264,7 +277,7 @@ ResultStore::getOrCompute(const std::string &hashHex,
     }
     {
         std::lock_guard<std::mutex> lock(flight->mutex);
-        flight->entry = result;
+        flight->result = result;
         flight->error = error;
         flight->done = true;
     }

@@ -73,6 +73,15 @@ struct ComputedResult
      * full-suite cell.
      */
     bool cacheable = true;
+
+    /**
+     * Workloads the sweep quarantined (empty on clean computes and
+     * disk hits). Carried through the single-flight handoff so a
+     * follower of a quarantined compute can report the missing rows
+     * instead of passing the survivor-only payload off as a clean
+     * full-suite hit.
+     */
+    std::vector<std::string> quarantined;
 };
 
 /** Disk-backed content-addressed store with single-flight compute. */
@@ -109,11 +118,14 @@ class ResultStore
      * Exceptions from `compute` propagate to every waiting caller
      * and nothing is cached.
      *
-     * @param hit Set to true iff the entry came from the cache.
+     * @param hit Set to true iff the result is cache-backed: a disk
+     *        read, or a single-flight wait for a cacheable compute.
+     *        A follower of an uncacheable (quarantined) compute is
+     *        not a hit — its payload is survivor-only.
      */
-    ResultEntry getOrCompute(const std::string &hashHex,
-                             const std::function<ComputedResult()> &compute,
-                             bool *hit);
+    ComputedResult getOrCompute(const std::string &hashHex,
+                                const std::function<ComputedResult()> &compute,
+                                bool *hit);
 
   private:
     /** In-flight computation shared by concurrent same-key callers. */

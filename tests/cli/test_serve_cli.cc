@@ -10,11 +10,16 @@
  * The binary path is injected by CMake as BDS_SERVE_BIN.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -224,6 +229,127 @@ TEST(ServeCli, InjectedFaultIsQuarantinedAndTheDaemonKeepsServing)
     // Quarantined sweeps are served but never cached: the store
     // directory holds no entry to clean up.
     wipeCache(cache, "");
+}
+
+/** Connect to a Unix socket with a read timeout; -1 on failure. */
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    timeval tv{30, 0}; // a hung daemon fails the test, not CI
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+}
+
+/** Read from `fd` until the buffer ends in '\n' (or read fails). */
+std::string
+readReply(int fd)
+{
+    std::string out;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+        out.append(buf, static_cast<std::size_t>(n));
+        if (out.back() == '\n')
+            break;
+    }
+    return out;
+}
+
+TEST(ServeCli, SocketClientDisconnectNeverKillsTheDaemon)
+{
+    const std::string sock =
+        ::testing::TempDir() + "bds_serve_cli.sock";
+    const std::string cache =
+        ::testing::TempDir() + "bds_serve_cli_sock_cache";
+    wipeCache(cache, kQuick42Hash);
+    std::remove(sock.c_str());
+
+    // Daemon in a child process, on a Unix socket, environment
+    // scrubbed the same way serveCmd() scrubs the stdin mode.
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        const std::string cmd =
+            "exec env -u BDS_TRACE_FILE -u BDS_METRICS -u BDS_SAMPLE "
+            "-u BDS_FAULT_THROW -u BDS_FAULT_STALL "
+            "-u BDS_FAULT_CORRUPT -u BDS_FAULT_ALLOC "
+            "-u BDS_FAIL_POLICY -u BDS_SERVE_MAX_INFLIGHT "
+            "-u BDS_SERVE_BYPASS -u BDS_SERVE_LOG "
+            "BDS_SCALE=quick BDS_SEED=42 BDS_THREADS=0 "
+            "BDS_TRACE=0 BDS_MANIFEST=0 "
+            + std::string(BDS_SERVE_BIN) + " --serve-socket " + sock
+            + " --serve-cache " + cache + " 2>/dev/null";
+        ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+
+    // Client A connects and stays silent for the whole test: with
+    // the old per-thread join, its parked read hung daemon shutdown.
+    int a = -1;
+    for (int i = 0; i < 200 && a < 0; ++i) {
+        ::usleep(50 * 1000);
+        a = connectUnix(sock);
+    }
+    ASSERT_GE(a, 0) << "daemon never bound " << sock;
+
+    // Client B requests a sweep and vanishes without reading the
+    // response: the daemon's reply hits a closed socket. With plain
+    // ::write this raised SIGPIPE (daemon death) or took the shared
+    // shutdown path (daemon quit).
+    const int b = connectUnix(sock);
+    ASSERT_GE(b, 0);
+    const char *req = "characterize scale=quick seed=42\n";
+    ASSERT_EQ(::write(b, req, std::strlen(req)),
+              static_cast<ssize_t>(std::strlen(req)));
+    ::close(b);
+
+    // The daemon is unimpressed: a fresh client is served normally.
+    const int c = connectUnix(sock);
+    ASSERT_GE(c, 0);
+    ASSERT_EQ(::write(c, "ping\n", 5), 5);
+    EXPECT_EQ(readReply(c), "pong\n");
+
+    // quit shuts the daemon down promptly even though silent client
+    // A never spoke — its parked read is unblocked by the roster.
+    ASSERT_EQ(::write(c, "quit\n", 5), 5);
+    EXPECT_EQ(readReply(c), "bye\n");
+    ::close(c);
+
+    bool exited = false;
+    int status = 0;
+    for (int i = 0; i < 200 && !exited; ++i) {
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            exited = true;
+        else
+            ::usleep(50 * 1000);
+    }
+    if (!exited) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+    }
+    EXPECT_TRUE(exited) << "daemon hung on shutdown";
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "daemon exit status " << status;
+    // A sees EOF from the shutdown, not a live socket.
+    EXPECT_EQ(readReply(a), "");
+    ::close(a);
+
+    wipeCache(cache, kQuick42Hash);
+    std::remove(sock.c_str());
 }
 
 TEST(ServeCli, HelpGoesToStdout)

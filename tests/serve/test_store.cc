@@ -152,6 +152,16 @@ TEST(ServeStore, CorruptEntriesAreTypedIoErrors)
         writeResultEntry(out, sampleEntry("00000000000000bb"));
     }
     expectIo("foreign key");
+
+    // A corrupt size field too large to allocate must be a typed Io
+    // error, not a std::length_error/bad_alloc that dodges the
+    // corrupt-entry recovery.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "BDSRESULT 1\nhash 00000000000000aa\n"
+            << "config_bytes 18446744073709551615\n";
+    }
+    expectIo("implausible declared size");
 }
 
 TEST(ServeStore, GetOrComputeRecomputesCorruptEntriesTransparently)
@@ -170,7 +180,7 @@ TEST(ServeStore, GetOrComputeRecomputesCorruptEntriesTransparently)
 
     int computes = 0;
     bool hit = true;
-    ResultEntry got = store.getOrCompute(
+    ComputedResult got = store.getOrCompute(
         good.hashHex,
         [&] {
             ++computes;
@@ -181,7 +191,7 @@ TEST(ServeStore, GetOrComputeRecomputesCorruptEntriesTransparently)
         &hit);
     EXPECT_EQ(computes, 1);
     EXPECT_FALSE(hit);
-    EXPECT_EQ(got.csv, good.csv);
+    EXPECT_EQ(got.entry.csv, good.csv);
 
     // The recomputed entry replaced the corrupt file.
     ResultEntry reloaded;
@@ -196,18 +206,66 @@ TEST(ServeStore, UncacheableResultsAreServedButNeverStored)
     const ResultEntry entry = sampleEntry("00000000000000cc");
 
     bool hit = true;
-    ResultEntry got = store.getOrCompute(
+    ComputedResult got = store.getOrCompute(
         entry.hashHex,
         [&] {
             ComputedResult r;
             r.entry = entry;
             r.cacheable = false; // e.g. a quarantined sweep
+            r.quarantined = {"M-Bayes"};
             return r;
         },
         &hit);
     EXPECT_FALSE(hit);
-    EXPECT_EQ(got.csv, entry.csv);
+    EXPECT_EQ(got.entry.csv, entry.csv);
+    EXPECT_EQ(got.quarantined,
+              std::vector<std::string>{"M-Bayes"});
 
+    ResultEntry out;
+    EXPECT_FALSE(store.load(entry.hashHex, &out));
+}
+
+TEST(ServeStore, SingleFlightFollowersSeeQuarantinedResults)
+{
+    StoreDir tmp("bds_store_follower_quarantine");
+    ResultStore store(tmp.dir());
+    const ResultEntry entry = sampleEntry("00000000000000ee");
+
+    // Every caller of an uncacheable (quarantined) compute — leader
+    // or single-flight follower — must see the quarantine list and
+    // no hit: the payload is survivor-only, not the full-suite cell.
+    constexpr int kThreads = 6;
+    std::atomic<int> falseHits{0};
+    std::atomic<int> sawQuarantine{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&] {
+            bool hit = true;
+            ComputedResult got = store.getOrCompute(
+                entry.hashHex,
+                [&] {
+                    // Widen the race window so followers really wait.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    ComputedResult r;
+                    r.entry = entry;
+                    r.cacheable = false;
+                    r.quarantined = {"M-Bayes"};
+                    return r;
+                },
+                &hit);
+            EXPECT_EQ(got.entry.csv, entry.csv);
+            if (!hit)
+                ++falseHits;
+            if (got.quarantined
+                == std::vector<std::string>{"M-Bayes"})
+                ++sawQuarantine;
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(falseHits.load(), kThreads);
+    EXPECT_EQ(sawQuarantine.load(), kThreads);
     ResultEntry out;
     EXPECT_FALSE(store.load(entry.hashHex, &out));
 }
@@ -225,7 +283,7 @@ TEST(ServeStore, ConcurrentSameKeyRequestsComputeOnce)
     for (int t = 0; t < kThreads; ++t)
         pool.emplace_back([&] {
             bool hit = false;
-            ResultEntry got = store.getOrCompute(
+            ComputedResult got = store.getOrCompute(
                 entry.hashHex,
                 [&] {
                     ++computes;
@@ -237,7 +295,7 @@ TEST(ServeStore, ConcurrentSameKeyRequestsComputeOnce)
                     return r;
                 },
                 &hit);
-            EXPECT_EQ(got.csv, entry.csv);
+            EXPECT_EQ(got.entry.csv, entry.csv);
             if (hit)
                 ++hits;
         });
