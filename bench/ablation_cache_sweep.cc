@@ -27,10 +27,9 @@ using namespace bds;
 
 /** Record one WordCount run on the chosen stack. */
 TraceRecorder
-recordWordCount(bool hadoop)
+recordWordCount(const NodeConfig &machine, bool hadoop)
 {
-    NodeConfig cfg = NodeConfig::defaultSim();
-    SystemModel sys(cfg);
+    SystemModel sys(machine);
     TraceRecorder rec;
     sys.attachRecorder(&rec);
 
@@ -49,9 +48,10 @@ recordWordCount(bool hadoop)
 
 /** Replay a trace against one L3 capacity; return the metrics. */
 MetricVector
-replayWithL3(const TraceRecorder &trace, std::uint64_t l3_bytes)
+replayWithL3(const NodeConfig &machine, const TraceRecorder &trace,
+             std::uint64_t l3_bytes)
 {
-    NodeConfig cfg = NodeConfig::defaultSim();
+    NodeConfig cfg = machine;
     cfg.l3.sizeBytes = l3_bytes;
     SystemModel sys(cfg);
     trace.replay(sys, [&](std::uint64_t addr, std::uint64_t bytes) {
@@ -67,20 +67,22 @@ main(int argc, char **argv)
 {
     bds::Session session(
         bdsbench::benchConfig("ablation_cache_sweep", argc, argv));
+    const bds::NodeConfig machine =
+        bdsbench::benchMachine(session.config());
     std::cout << "Trace-driven L3 capacity sweep — WordCount on both "
                  "stacks\n(record once, replay per configuration)\n\n";
 
     for (bool hadoop : {true, false}) {
         const char *name = hadoop ? "H-WordCount" : "S-WordCount";
         std::cerr << "[sweep] recording " << name << "...\n";
-        TraceRecorder trace = recordWordCount(hadoop);
+        TraceRecorder trace = recordWordCount(machine, hadoop);
         std::cout << name << " (" << trace.size()
                   << " trace events):\n";
 
         TextTable t({"L3", "L3 MPKI", "LLC load MPKI", "IPC",
                      "resource-stall share"});
         for (std::uint64_t mb : {3ULL, 6ULL, 12ULL, 24ULL, 48ULL}) {
-            MetricVector m = replayWithL3(trace, mb << 20);
+            MetricVector m = replayWithL3(machine, trace, mb << 20);
             auto get = [&](Metric x) {
                 return m[static_cast<std::size_t>(x)];
             };

@@ -33,9 +33,10 @@ namespace {
 using namespace bds;
 
 MetricVector
-measure(bool mapreduce_engine, bool hadoop_code_footprint)
+measure(const NodeConfig &machine, bool mapreduce_engine,
+        bool hadoop_code_footprint)
 {
-    SystemModel sys(NodeConfig::defaultSim());
+    SystemModel sys(machine);
     AddressSpace space;
 
     // Start from the engine's own profile, then transplant the other
@@ -85,6 +86,8 @@ main(int argc, char **argv)
 {
     bds::Session session(
         bdsbench::benchConfig("ablation_engines", argc, argv));
+    const bds::NodeConfig machine =
+        bdsbench::benchMachine(session.config());
     std::cout << "Engine-mechanism ablation — WordCount, 60k records\n"
               << "(frontend metrics must follow the code-footprint "
                  "mechanism;\n data-path metrics must stay with the "
@@ -93,10 +96,14 @@ main(int argc, char **argv)
     TextTable t({"configuration", "L1I MPKI", "ITLB MPKI",
                  "FETCH STALL", "L3 MPKI", "SNOOP HITM/KI",
                  "KERNEL"});
-    addRow(t, "MapReduce + Hadoop code (stock H)", measure(true, true));
-    addRow(t, "MapReduce + Spark code  (swapped)", measure(true, false));
-    addRow(t, "RDD + Spark code        (stock S)", measure(false, false));
-    addRow(t, "RDD + Hadoop code       (swapped)", measure(false, true));
+    addRow(t, "MapReduce + Hadoop code (stock H)",
+           measure(machine, true, true));
+    addRow(t, "MapReduce + Spark code  (swapped)",
+           measure(machine, true, false));
+    addRow(t, "RDD + Spark code        (stock S)",
+           measure(machine, false, false));
+    addRow(t, "RDD + Hadoop code       (swapped)",
+           measure(machine, false, true));
     t.print(std::cout);
 
     std::cout << "\nExpected pattern: the two rows with Hadoop code "

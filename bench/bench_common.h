@@ -47,6 +47,7 @@
 #include "core/report.h"
 #include "obs/session.h"
 #include "sample/characterizer.h"
+#include "uarch/machine.h"
 #include "workloads/registry.h"
 
 namespace bdsbench {
@@ -60,6 +61,30 @@ inline bds::RunConfig
 benchConfig(const std::string &tool, int argc = 0, char **argv = nullptr)
 {
     return bds::RunConfig::resolve(tool, argc, argv);
+}
+
+/**
+ * Resolve the session's machine geometry (--machine / BDS_MACHINE)
+ * through the preset registry. Benches never construct NodeConfig
+ * inline: the machine is an axis of the run configuration, and this
+ * is the one funnel it flows through.
+ */
+inline bds::NodeConfig
+benchMachine(const bds::RunConfig &cfg)
+{
+    return bds::resolveMachineSpec(cfg.machineSpec);
+}
+
+/**
+ * Machine for the benches that manage their own tiny flag sets
+ * instead of RunConfig (uarch_speed, micro_uarch): BDS_MACHINE still
+ * wins, absent means the Table III sim default.
+ */
+inline bds::NodeConfig
+benchMachineFromEnv()
+{
+    const char *spec = std::getenv("BDS_MACHINE");
+    return bds::resolveMachineSpec(spec ? spec : "default");
 }
 
 /**
@@ -137,12 +162,21 @@ loadMetricsCsv(const std::string &path, std::vector<std::string> &names,
     }
 }
 
-/** The cache file a configuration characterizes into. */
+/**
+ * The cache file a configuration characterizes into. The default
+ * machine keeps the legacy name (so seed-era caches stay warm and
+ * the CI byte-identity gate compares like against like); any other
+ * geometry gets its slug in the name, because a matrix simulated on
+ * a different machine is a different matrix.
+ */
 inline std::string
 metricsCachePath(const bds::RunConfig &cfg)
 {
+    std::string machine;
+    if (!bds::isDefaultMachineSpec(cfg.machineSpec))
+        machine = "_" + bds::machineSlug(cfg.machineSpec);
     return "bds_metrics_" + cfg.scaleName + "_"
-        + std::to_string(cfg.seed)
+        + std::to_string(cfg.seed) + machine
         + (cfg.sampling.enabled ? "_sampled" : "") + ".csv";
 }
 
@@ -159,7 +193,6 @@ inline bds::PipelineResult
 characterizedPipeline(bds::Session &session)
 {
     const bds::RunConfig &cfg = session.config();
-    bds::ScaleProfile scale = bds::ScaleProfile::byName(cfg.scaleName);
     std::string cache = metricsCachePath(cfg);
 
     std::vector<std::string> names;
@@ -179,10 +212,8 @@ characterizedPipeline(bds::Session &session)
                   << cfg.parallel.resolved() << " thread(s)"
                   << (cfg.sampling.enabled ? ", sampled" : "")
                   << " (cache: " << cache << ")\n";
-        bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                                   cfg.seed);
-        runner.setParallel(cfg.parallel);
-        runner.setRecovery(cfg.fault.recovery);
+        bds::WorkloadRunner runner =
+            bds::WorkloadRunner::fromRunConfig(cfg);
         bds::SweepReport report;
         if (cfg.sampling.enabled) {
             bds::SampledCharacterizer sampler(runner, cfg.sampling);

@@ -18,9 +18,11 @@ main(int argc, char **argv)
 {
     using namespace bds;
     Session session(bdsbench::benchConfig("cpi_stack", argc, argv));
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(),
-                          session.config().seed);
+    // Pinned to quick scale; machine/seed/recovery still follow the
+    // session config.
+    RunConfig quickCfg = session.config();
+    quickCfg.scaleName = "quick";
+    WorkloadRunner runner = WorkloadRunner::fromRunConfig(quickCfg);
 
     std::cout << "CPI stacks (quick scale) — cycle shares per "
                  "workload\n\n";

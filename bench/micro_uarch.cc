@@ -7,13 +7,31 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "trace/runtime.h"
+#include "uarch/machine.h"
 #include "uarch/system.h"
 
 #include "obs/session.h"
 
 namespace {
+
+/**
+ * The machine the end-to-end BM_System* loops simulate. google-
+ * benchmark owns argv, so the geometry comes from BDS_MACHINE alone;
+ * unset means the Table III sim default, same registry as every bench.
+ */
+const bds::NodeConfig &
+simMachine()
+{
+    static const bds::NodeConfig machine = [] {
+        const char *spec = std::getenv("BDS_MACHINE");
+        return bds::resolveMachineSpec(spec ? spec : "default");
+    }();
+    return machine;
+}
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -64,7 +82,7 @@ BENCHMARK(BM_BranchPredict);
 void
 BM_SystemScan(benchmark::State &state)
 {
-    bds::SystemModel sys(bds::NodeConfig::defaultSim());
+    bds::SystemModel sys(simMachine());
     bds::AddressSpace space;
     bds::CodeImage user(space, bds::Region::UserCode);
     auto fn = user.defineFunction(256);
@@ -83,7 +101,7 @@ BENCHMARK(BM_SystemScan);
 void
 BM_SystemChase(benchmark::State &state)
 {
-    bds::SystemModel sys(bds::NodeConfig::defaultSim());
+    bds::SystemModel sys(simMachine());
     bds::AddressSpace space;
     bds::CodeImage user(space, bds::Region::UserCode);
     auto fn = user.defineFunction(256);
@@ -101,7 +119,7 @@ BENCHMARK(BM_SystemChase);
 void
 BM_SystemMixedOps(benchmark::State &state)
 {
-    bds::SystemModel sys(bds::NodeConfig::defaultSim());
+    bds::SystemModel sys(simMachine());
     bds::AddressSpace space;
     bds::CodeImage user(space, bds::Region::UserCode);
     std::vector<bds::FunctionDesc> fns;

@@ -22,11 +22,11 @@ namespace {
 
 /** One timed runAll() sweep at the given thread count. */
 bds::SweepTiming
-timedSweep(const bds::ScaleProfile &scale, std::uint64_t seed,
+timedSweep(const bds::NodeConfig &machine,
+           const bds::ScaleProfile &scale, std::uint64_t seed,
            unsigned threads)
 {
-    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                               seed);
+    bds::WorkloadRunner runner(machine, scale, seed);
     runner.setParallel(bds::ParallelOptions{threads});
     bds::SweepTiming timing;
     runner.runAll(nullptr, &timing);
@@ -61,10 +61,12 @@ recordParallelBaseline(bds::Session &session)
     unsigned hw = bds::ParallelOptions{}.resolved();
     unsigned par_threads = cfg.parallel.resolved();
 
+    const bds::NodeConfig machine = bdsbench::benchMachine(cfg);
     std::cerr << "[bench] timing 32-workload sweep: serial vs "
               << par_threads << " thread(s)\n";
-    bds::SweepTiming serial = timedSweep(scale, seed, 1);
-    bds::SweepTiming parallel = timedSweep(scale, seed, par_threads);
+    bds::SweepTiming serial = timedSweep(machine, scale, seed, 1);
+    bds::SweepTiming parallel =
+        timedSweep(machine, scale, seed, par_threads);
     double speedup = parallel.totalSeconds > 0.0
         ? serial.totalSeconds / parallel.totalSeconds : 0.0;
 
@@ -100,11 +102,13 @@ recordParallelBaseline(bds::Session &session)
 void
 checkSampledAccuracy(bds::Session &session)
 {
+    // Pinned to quick scale; machine/seed/threads still follow the
+    // session config.
+    bds::RunConfig quickCfg = session.config();
+    quickCfg.scaleName = "quick";
     const bds::RunConfig &cfg = session.config();
-    const bds::ScaleProfile scale = bds::ScaleProfile::quick();
-    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                               cfg.seed);
-    runner.setParallel(cfg.parallel);
+    bds::WorkloadRunner runner =
+        bds::WorkloadRunner::fromRunConfig(quickCfg);
 
     std::cerr << "[bench] sampled-vs-full spot check at quick scale\n";
     std::vector<bds::WorkloadResult> full;

@@ -47,15 +47,11 @@ main(int argc, char **argv)
         bdsbench::benchConfig("sampled_vs_full", argc, argv));
     const bds::RunConfig &cfg = session.config();
     const std::string &scale_name = cfg.scaleName;
-    bds::ScaleProfile scale = bds::ScaleProfile::byName(scale_name);
-    std::uint64_t seed = cfg.seed;
-    bds::ParallelOptions par = cfg.parallel;
     bds::SamplingOptions sampling = cfg.sampling;
     sampling.enabled = true; // this bench always runs both paths
 
-    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(), scale,
-                               seed);
-    runner.setParallel(par);
+    bds::WorkloadRunner runner =
+        bds::WorkloadRunner::fromRunConfig(cfg);
     auto ids = bds::allWorkloads();
     std::vector<std::string> names;
     for (const auto &id : ids)
@@ -114,8 +110,7 @@ main(int argc, char **argv)
         ? full_timing.totalSeconds / sampled_seconds : 0.0;
 
     // --- do the paper findings survive sampling? --------------------
-    bds::PipelineOptions popts;
-    popts.parallel = par;
+    bds::PipelineOptions popts = bds::pipelineOptionsFor(cfg);
     auto full_findings =
         bds::evaluatePaperFindings(bds::runPipeline(full, names, popts));
     auto sampled_findings = bds::evaluatePaperFindings(
@@ -161,7 +156,7 @@ main(int argc, char **argv)
     os << "{\n"
        << "  \"bench\": \"sampled_vs_full\",\n"
        << "  \"scale\": " << q(scale_name) << ",\n"
-       << "  \"seed\": " << seed << ",\n";
+       << "  \"seed\": " << cfg.seed << ",\n";
     bdsbench::writeEnvironmentJson(os, "  ");
     os << ",\n"
        << "  \"sampling\": {\n"

@@ -17,9 +17,11 @@ main(int argc, char **argv)
 
     Session session(
         bdsbench::benchConfig("table2_metrics", argc, argv));
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::quick(),
-                          session.config().seed);
+    // Pinned to quick scale; machine/seed/recovery still follow the
+    // session config.
+    RunConfig quickCfg = session.config();
+    quickCfg.scaleName = "quick";
+    WorkloadRunner runner = WorkloadRunner::fromRunConfig(quickCfg);
     auto h = runner.run(
         WorkloadId{Algorithm::WordCount, StackKind::Hadoop});
     auto s = runner.run(

@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "uarch/config.h"
+#include "uarch/machine.h"
 #include "bench_common.h"
 
 namespace {
@@ -63,10 +64,21 @@ main(int argc, char **argv)
 {
     bds::Session session(
         bdsbench::benchConfig("table3_config", argc, argv));
+    const bds::RunConfig &cfg = session.config();
     std::cout << "Table III — hardware configuration of the simulated "
                  "node\n\n";
     print("paper configuration (one E5645 socket):",
-          bds::NodeConfig::westmere());
-    print("default simulation target:", bds::NodeConfig::defaultSim());
+          bds::machineByName("westmere"));
+    const std::string title = "configured simulation target ("
+        + cfg.machineSpec + "):";
+    print(title.c_str(), bds::resolveMachineSpec(cfg.machineSpec));
+
+    std::cout << "machine preset registry (--machine / BDS_MACHINE; "
+                 "override with key=value,... — see docs/DSE.md)\n";
+    bds::TextTable reg({"preset", "geometry", "summary"});
+    for (const bds::MachinePreset &p : bds::machinePresets())
+        reg.addRow({p.name, bds::describeMachine(p.config),
+                    p.summary});
+    reg.print(std::cout);
     return 0;
 }

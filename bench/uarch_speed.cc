@@ -37,6 +37,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,6 +47,7 @@
 
 #include "common/rng.h"
 #include "trace/recorder.h"
+#include "uarch/machine.h"
 #include "uarch/reference.h"
 #include "uarch/system.h"
 #include "workloads/registry.h"
@@ -263,8 +265,11 @@ struct EndToEnd
 EndToEnd
 benchEndToEnd(bool quick)
 {
-    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
-                               bds::ScaleProfile::quick(), 42);
+    // BDS_MACHINE is honored even though this bench skips RunConfig:
+    // DSE geometries can be speed-checked like the default.
+    const bds::NodeConfig machine = bdsbench::benchMachineFromEnv();
+    bds::WorkloadRunner runner(machine, bds::ScaleProfile::quick(),
+                               42);
     std::vector<bds::WorkloadId> picks = {
         {bds::Algorithm::Sort, bds::StackKind::Hadoop},
         {bds::Algorithm::WordCount, bds::StackKind::Hadoop},
@@ -279,7 +284,9 @@ benchEndToEnd(bool quick)
     bds::TraceRecorder rec;
     struct RecTarget : bds::ExecTarget {
         bds::TraceRecorder &r;
-        explicit RecTarget(bds::TraceRecorder &rr) : r(rr) {}
+        unsigned cores;
+        RecTarget(bds::TraceRecorder &rr, unsigned c)
+            : r(rr), cores(c) {}
         void consume(unsigned c, const bds::MicroOp &op) override
         {
             r.consume(c, op);
@@ -288,8 +295,8 @@ benchEndToEnd(bool quick)
         {
             r.recordDma(a, n);
         }
-        unsigned numCores() const override { return 4; }
-    } target(rec);
+        unsigned numCores() const override { return cores; }
+    } target(rec, machine.numCores);
     for (const auto &id : picks)
         runner.execute(id, target, runner.nodeDataSeed(id, 0));
 
@@ -299,7 +306,7 @@ benchEndToEnd(bool quick)
 
     double cycles = 0.0;
     double detail_s = bestOf(rounds, [&] {
-        bds::SystemModel sys(bds::NodeConfig::defaultSim());
+        bds::SystemModel sys(machine);
         rec.replay(sys, [&](std::uint64_t a, std::uint64_t n) {
             sys.dmaFill(a, n);
         });
@@ -311,7 +318,7 @@ benchEndToEnd(bool quick)
     e.cyclesHex = buf;
 
     double warm_s = bestOf(quick ? 1 : 2, [&] {
-        bds::SystemModel sys(bds::NodeConfig::defaultSim());
+        bds::SystemModel sys(machine);
         sys.setCounterFreeze(true);
         rec.replay(sys, [&](std::uint64_t a, std::uint64_t n) {
             sys.dmaFill(a, n);

@@ -88,17 +88,13 @@ main(int argc, char **argv)
                 detail::parseUint("threads", args[1]));
 
         Session session(cfg);
-        ScaleProfile scale = ScaleProfile::byName(cfg.scaleName);
 
         // 1. Measure: 45 metrics per workload on a simulated node;
         //    the sweep fans out one pool task per workload.
         std::cerr << "characterizing 32 workloads at scale '"
                   << cfg.scaleName << "' on "
                   << cfg.parallel.resolved() << " thread(s)...\n";
-        WorkloadRunner runner(NodeConfig::defaultSim(), scale,
-                              cfg.seed);
-        runner.setParallel(cfg.parallel);
-        runner.setRecovery(cfg.fault.recovery);
+        WorkloadRunner runner = WorkloadRunner::fromRunConfig(cfg);
         Matrix metrics;
         SweepReport report;
         {

@@ -72,6 +72,8 @@ printUsage(const ExampleSpec &spec, std::ostream &os)
           "  --seed N                     data-generation seed\n"
           "  --threads N                  worker threads (0 = all "
           "cores)\n"
+          "  --machine SPEC               machine preset or "
+          "key=value overrides (docs/DSE.md)\n"
           "  --metrics a,b,c              analyze a Table II subset\n"
           "  --sampled                    sampled characterization\n"
           "  --trace [--trace-file F]     JSON-lines tracing "

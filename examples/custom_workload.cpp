@@ -17,6 +17,7 @@
 #include "common.h"
 #include "stack/hadoop.h"
 #include "stack/spark.h"
+#include "uarch/machine.h"
 #include "uarch/system.h"
 #include "workloads/datagen.h"
 #include "workloads/registry.h"
@@ -63,9 +64,9 @@ invertedIndexJob(const Dataset &corpus, CodeImage &user)
 
 /** Run the custom job on one stack and extract its metric vector. */
 MetricVector
-measure(StackKind stack)
+measure(const NodeConfig &machine, StackKind stack)
 {
-    SystemModel sys(NodeConfig::defaultSim());
+    SystemModel sys(machine);
     AddressSpace space;
     std::unique_ptr<StackEngine> engine;
     if (stack == StackKind::Hadoop)
@@ -99,12 +100,12 @@ main(int argc, char **argv)
                   "got '" << args[0] << "'");
     Session session(cfg);
 
-    // Stock suite (quick scale by default).
+    // Stock suite (quick scale by default). The custom workload must
+    // run on the same machine the suite was characterized on, so the
+    // resolved geometry is shared with measure().
     std::cerr << "characterizing the stock 32 workloads...\n";
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::byName(cfg.scaleName),
-                          cfg.seed);
-    runner.setParallel(cfg.parallel);
+    const NodeConfig machine = resolveMachineSpec(cfg.machineSpec);
+    WorkloadRunner runner = WorkloadRunner::fromRunConfig(cfg);
     StageTimer stage(session, "run");
     Matrix stock = runner.runAll();
     std::vector<std::string> names;
@@ -113,8 +114,8 @@ main(int argc, char **argv)
 
     // The custom workload on both stacks.
     std::cerr << "running the custom InvertedIndex workload...\n";
-    MetricVector h = measure(StackKind::Hadoop);
-    MetricVector s = measure(StackKind::Spark);
+    MetricVector h = measure(machine, StackKind::Hadoop);
+    MetricVector s = measure(machine, StackKind::Spark);
 
     Matrix extended(stock.rows() + 2, stock.cols());
     for (std::size_t r = 0; r < stock.rows(); ++r)

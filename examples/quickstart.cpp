@@ -33,16 +33,13 @@ main(int argc, char **argv)
                       << args[0] << "'");
         Session session(cfg);
 
-        // A simulated Westmere-style node (Table III geometry) and
-        // the quick input scale: each run takes well under a second.
-        // The runner uses every core by default; results are
-        // identical at any thread count (docs/THREADING.md), so pick
-        // threads purely for wall clock — --threads 1 pins
-        // everything serial.
-        WorkloadRunner runner(NodeConfig::defaultSim(),
-                              ScaleProfile::byName(cfg.scaleName),
-                              cfg.seed);
-        runner.setParallel(cfg.parallel);
+        // A simulated node — Table III geometry by default, or any
+        // --machine/BDS_MACHINE preset — at the quick input scale:
+        // each run takes well under a second. The runner uses every
+        // core by default; results are identical at any thread count
+        // (docs/THREADING.md), so pick threads purely for wall clock
+        // — --threads 1 pins everything serial.
+        WorkloadRunner runner = WorkloadRunner::fromRunConfig(cfg);
 
         // Same algorithm, different stacks — and vice versa.
         WorkloadId h_wc{Algorithm::WordCount, StackKind::Hadoop};

@@ -31,10 +31,7 @@ main(int argc, char **argv)
                   "got '" << args[0] << "'");
     Session session(cfg);
 
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::byName(cfg.scaleName),
-                          cfg.seed);
-    runner.setParallel(cfg.parallel);
+    WorkloadRunner runner = WorkloadRunner::fromRunConfig(cfg);
 
     std::cerr << "characterizing 32 workloads...\n";
     StageTimer stage(session, "run");

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "fault/error.h"
 #include "obs/trace.h"
+#include "uarch/machine.h"
 
 namespace bds {
 
@@ -110,6 +111,7 @@ pipelineOptionsFor(const RunConfig &cfg)
     PipelineOptions opts;
     opts.parallel = cfg.parallel;
     opts.sampling = cfg.sampling;
+    opts.machine = resolveMachineSpec(cfg.machineSpec);
     if (!cfg.metricNames.empty())
         opts.metrics = MetricSet::fromNames(cfg.metricNames);
     return opts;

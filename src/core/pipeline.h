@@ -24,6 +24,7 @@
 #include "stats/hcluster.h"
 #include "stats/normalize.h"
 #include "stats/pca.h"
+#include "uarch/config.h"
 
 namespace bds {
 
@@ -77,6 +78,15 @@ struct PipelineOptions
      * itself is matrix-in, so it ignores this field.
      */
     SamplingOptions sampling;
+
+    /**
+     * The machine the matrix is (to be) measured on, resolved from
+     * RunConfig.machineSpec by pipelineOptionsFor(). Like `sampling`,
+     * this is for the matrix-building callers — runPipeline() itself
+     * never constructs a node — so no tool hard-codes
+     * NodeConfig::defaultSim() anymore.
+     */
+    NodeConfig machine = NodeConfig::defaultSim();
 
     /**
      * The schema metrics this analysis runs on (default: the full
@@ -146,7 +156,8 @@ PipelineResult runPipeline(const Matrix &metrics,
 
 /**
  * Resolve a RunConfig (the unified env/CLI entry point, src/obs)
- * into PipelineOptions: worker threads, sampling knobs, and the
+ * into PipelineOptions: worker threads, sampling knobs, the machine
+ * geometry (cfg.machineSpec through resolveMachineSpec()), and the
  * metric set (cfg.metricNames validated through
  * MetricSet::fromNames(); empty means the full Table II). The
  * analysis-internal knobs (linkage, PCA retention, the K-sweep seed)

@@ -167,6 +167,16 @@ checkManifestFile(const std::string &path)
     const std::string &scale = m.config.scaleName;
     if (scale != "quick" && scale != "standard" && scale != "full")
         errors.push_back("unknown scale '" + scale + "'");
+    // The machine spec is validated structurally only (empty means a
+    // hand-edited manifest): bds_obs sits below bds_uarch, so the
+    // full resolveMachineSpec() check belongs to the tools that
+    // execute the config, not to the manifest grammar.
+    if (m.config.machineSpec.empty())
+        errors.push_back("machine spec is empty");
+    if (m.config.machineSpec.find_first_of(" \t\n\"")
+        != std::string::npos)
+        errors.push_back("machine spec contains whitespace: '"
+                         + m.config.machineSpec + "'");
     if (m.config.parallel.resolved() < 1)
         errors.push_back("resolved threads < 1");
     if (m.config.sampling.intervalUops == 0)

@@ -59,6 +59,8 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
        << "  \"config\": {\n"
        << "    \"scale\": \"" << jsonEscape(c.scaleName) << "\",\n"
        << "    \"seed\": " << c.seed << ",\n"
+       << "    \"machine\": \"" << jsonEscape(c.machineSpec)
+       << "\",\n"
        << "    \"threads\": {\"requested\": " << c.parallel.threads
        << ", \"resolved\": " << c.parallel.resolved() << "},\n"
        << "    \"metrics\": ";
@@ -145,6 +147,10 @@ parseRunManifest(std::istream &is)
     m.config.tool = m.tool;
     m.config.scaleName = cfg.at("scale").asString();
     m.config.seed = cfg.at("seed").asUint();
+    // Pre-DSE manifests lack the machine field; they were all
+    // recorded on the implicit Table III default.
+    if (cfg.has("machine"))
+        m.config.machineSpec = cfg.at("machine").asString();
     m.config.parallel.threads = static_cast<unsigned>(
         cfg.at("threads").at("requested").asUint());
     m.config.metricNames = readStringArray(cfg.at("metrics"));

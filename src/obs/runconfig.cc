@@ -110,6 +110,12 @@ RunConfig::applyEnv()
     if (const char *v = std::getenv("BDS_THREADS"))
         parallel.threads =
             static_cast<unsigned>(parseUint("BDS_THREADS", v));
+    if (const char *v = std::getenv("BDS_MACHINE")) {
+        if (*v == '\0')
+            BDS_FATAL("BDS_MACHINE must be a machine spec "
+                      "(preset name and/or key=value overrides)");
+        machineSpec = v;
+    }
     if (const char *v = std::getenv("BDS_METRICS"))
         metricNames = splitNames("BDS_METRICS", v);
 
@@ -230,6 +236,11 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
         } else if (flag == "--threads") {
             parallel.threads = static_cast<unsigned>(
                 parseUint("--threads", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--machine") {
+            machineSpec = take(flag, inlineVal, hasInline);
+            if (machineSpec.empty())
+                BDS_FATAL("--machine must be a machine spec "
+                          "(preset name and/or key=value overrides)");
         } else if (flag == "--metrics") {
             metricNames = splitNames(
                 "--metrics", take(flag, inlineVal, hasInline));
@@ -310,6 +321,8 @@ RunConfig::describe() const
     std::ostringstream os;
     os << "scale=" << scaleName << " seed=" << seed
        << " threads=" << parallel.resolved();
+    if (machineSpec != "default" && !machineSpec.empty())
+        os << " machine=" << machineSpec;
     if (!metricNames.empty())
         os << " metrics=" << metricNames.size() << "/45";
     if (sampling.enabled)

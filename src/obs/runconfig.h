@@ -23,6 +23,11 @@
  *   BDS_SCALE   = quick | standard | full   workload input scale
  *   BDS_SEED    = <uint>                    data-generation seed
  *   BDS_THREADS = <uint>                    0 = all cores, 1 = serial
+ *   BDS_MACHINE = <spec>                    machine geometry: preset
+ *                                           name and/or key=value
+ *                                           overrides (resolved by
+ *                                           resolveMachineSpec(),
+ *                                           src/uarch/machine.h)
  *   BDS_METRICS = name,name,...             metric subset (empty =
  *                                           full Table II)
  *   BDS_SAMPLE          = 0 | 1             sampled characterization
@@ -54,7 +59,8 @@
  *   BDS_SERVE_LOG      = <path>             binary request log
  *
  * Flags (each also accepts --flag=value):
- *   --scale S, --seed N, --threads N, --metrics a,b,c, --sampled,
+ *   --scale S, --seed N, --threads N, --machine SPEC,
+ *   --metrics a,b,c, --sampled,
  *   --trace, --no-trace, --trace-file PATH, --manifest PATH,
  *   --no-manifest, --fail-policy P, --retries N, --run-timeout-ms N,
  *   --fault-throw L, --fault-stall L, --fault-corrupt L,
@@ -88,6 +94,18 @@ struct RunConfig
 
     /** Data-generation seed (BDS_SEED). */
     std::uint64_t seed = 42;
+
+    /**
+     * Machine geometry spec (BDS_MACHINE / --machine): a preset name
+     * ("default", "westmere", "l3-4m", ...) optionally followed by
+     * comma-separated key=value overrides. Stored as a plain string
+     * — like scaleName — so bds_obs stays below bds_uarch;
+     * resolveMachineSpec() (src/uarch/machine.h) validates and
+     * converts it where NodeConfig lives. The default resolves to
+     * the Table III simulation machine, keeping every run without
+     * the knob bitwise-identical to the pre-DSE tree.
+     */
+    std::string machineSpec = "default";
 
     /** Worker-thread knob (BDS_THREADS). */
     ParallelOptions parallel;

@@ -1,35 +1,13 @@
 #include "sample/characterizer.h"
 
 #include <chrono>
-#include <cmath>
-#include <limits>
 
 #include "common/log.h"
 #include "fault/recover.h"
 #include "obs/trace.h"
-#include "sample/interval.h"
-#include "sample/picker.h"
-#include "uarch/system.h"
+#include "sample/capture.h"
 
 namespace bds {
-
-namespace {
-
-/**
- * Per-(workload, node) seed for the interval clustering sweep —
- * derived from fixed identities only, so sampled selection never
- * depends on execution order or thread count.
- */
-std::uint64_t
-pickerSeed(const SamplingOptions &opts, const WorkloadId &id,
-           unsigned node)
-{
-    return opts.seed + 1000 * static_cast<std::uint64_t>(id.alg)
-        + (id.stack == StackKind::Spark ? 500000ULL : 0ULL)
-        + 7919ULL * static_cast<std::uint64_t>(node);
-}
-
-} // namespace
 
 SampledCharacterizer::SampledCharacterizer(const WorkloadRunner &runner,
                                            SamplingOptions opts)
@@ -47,75 +25,13 @@ SampledWorkloadResult
 SampledCharacterizer::runOnNode(const WorkloadId &id,
                                 unsigned node) const
 {
-    // 1. Record: drive the stack engine into a recording-only target
-    //    — the op stream of a detailed run at profiling cost.
-    RecordingTarget target(runner_.config().numCores);
-    {
-        TraceSpan stage("sample.record");
-        // Attempt 0 records over the plain node seed (bitwise equal
-        // to the pre-recovery path); retries record over the same
-        // attempt-salted seed the full path would use.
-        const AttemptContext *ctx = currentAttempt();
-        runner_.execute(id, target,
-                        runner_.attemptDataSeed(
-                            id, node, ctx ? ctx->attempt : 0));
-    }
-    const TraceRecorder &trace = target.trace();
-
-    // 2. Profile: split into intervals with BBV/mix features.
-    IntervalProfiler profiler(opts_.intervalUops, opts_.bbvDims);
-    {
-        TraceSpan stage("sample.profile");
-        trace.replay(profiler);
-        profiler.finish();
-    }
-
-    // 3. Pick: cluster intervals, choose weighted representatives.
-    RepresentativePicker picker(opts_);
-    PickResult picked;
-    {
-        TraceSpan stage("sample.pick");
-        picked = picker.pick(profiler.featureMatrix(),
-                             profiler.intervals(),
-                             pickerSeed(opts_, id, node));
-    }
-
-    // 4. Replay: functional warming + detailed representatives.
-    SystemModel sys(runner_.config());
-    SampledReplayer replayer(sys, opts_.intervalUops,
-                             opts_.warmupIntervals);
-    SampledReplayStats stats;
-    std::vector<PmcCounters> snaps;
-    {
-        TraceSpan stage("sample.replay");
-        snaps = replayer.replay(trace, picked, &stats);
-    }
-    Tracer::global().counter("sample.total_ops", stats.totalOps);
-    Tracer::global().counter("sample.detail_ops", stats.detailOps);
-
-    // 5. Estimate: weighted counter reconstruction.
-    SampleEstimate est;
-    {
-        TraceSpan stage("sample.estimate");
-        est = estimateMetrics(snaps, picked);
-    }
-
-    SampledWorkloadResult res;
-    res.id = id;
-    res.counters = est.counters;
-    res.metrics = est.metrics;
-    res.stats = stats;
-    res.numIntervals = profiler.numIntervals();
-    res.k = picked.k;
-    res.numReps = picked.reps.size();
-    if (FaultInjector::global().shouldCorrupt(id.name()))
-        res.metrics[0] = std::numeric_limits<double>::quiet_NaN();
-    for (std::size_t i = 0; i < kNumMetrics; ++i)
-        if (!std::isfinite(res.metrics[i]))
-            BDS_RAISE(ErrorCode::DegenerateData,
-                      "sampled workload " << id.name()
-                          << " estimated a non-finite metric");
-    return res;
+    // The capture/replay seam (sample/capture.h): stages 1-3 are
+    // machine-independent, stages 4-5 run on the runner's machine.
+    // Replaying a fresh capture on the capturing machine is the
+    // monolithic pipeline this method used to inline.
+    const WorkloadCapture cap =
+        captureWorkload(runner_, opts_, id, node);
+    return replayCapture(cap, runner_.config(), opts_);
 }
 
 SampledWorkloadResult

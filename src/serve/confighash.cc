@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "uarch/machine.h"
+
 namespace bds {
 
 std::string
@@ -14,6 +16,12 @@ canonicalRunConfig(const RunConfig &cfg)
     os << "bds-runconfig-v" << kConfigHashSchemaVersion << '\n'
        << "scale=" << cfg.scaleName << '\n'
        << "seed=" << cfg.seed << '\n'
+       // The *resolved* geometry, not the spec string: equivalent
+       // spellings of one machine share a cell, and any override
+       // that actually changes the geometry changes the key.
+       << "machine="
+       << canonicalMachineText(resolveMachineSpec(cfg.machineSpec))
+       << '\n'
        << "sampling.enabled=" << (cfg.sampling.enabled ? 1 : 0) << '\n'
        << "sampling.interval_uops=" << cfg.sampling.intervalUops << '\n'
        << "sampling.bbv_dims=" << cfg.sampling.bbvDims << '\n'

@@ -8,7 +8,10 @@
  * existing entry, so the hash must cover exactly the fields that can
  * change the 45-metric matrix and nothing else:
  *
- *  - INCLUDED: scale name, data seed, every sampling knob, the
+ *  - INCLUDED: scale name, data seed, the resolved machine geometry
+ *    (two machines must never alias one cell; the *resolved*
+ *    canonical text is hashed, so "westmere" and the equivalent
+ *    explicit override spec share a cell), every sampling knob, the
  *    recovery policy and the fault-injection spec (an injected run
  *    must never alias a clean cell).
  *  - EXCLUDED: worker threads (the matrix is bitwise-identical at
@@ -42,8 +45,11 @@ namespace bds {
  * Version of the canonical serialization. Bump when a field is
  * added, removed or reinterpreted; every cache key changes and the
  * store cleanly recomputes instead of serving stale bytes.
+ *
+ * v1: scale/seed/sampling/recovery/fault.
+ * v2: + the resolved machine geometry (the DSE axis).
  */
-constexpr unsigned kConfigHashSchemaVersion = 1;
+constexpr unsigned kConfigHashSchemaVersion = 2;
 
 /**
  * The canonical text form of the result-relevant fields of `cfg`,

@@ -84,6 +84,7 @@ ServeEngine::requestConfig(const RequestRecord &req) const
     RunConfig cfg = base_;
     cfg.scaleName = serveScaleName(req.scale);
     cfg.seed = req.seed;
+    cfg.machineSpec = serveMachineName(req.machine);
     cfg.sampling.enabled = (req.flags & kServeFlagSampled) != 0;
     // The metric/workload masks are response projections, not part
     // of the cell (see serve/confighash.h).
@@ -95,11 +96,9 @@ ComputedResult
 ServeEngine::computeCell(const RunConfig &cfg)
 {
     TraceSpan span("serve.compute");
-    WorkloadRunner runner(NodeConfig::defaultSim(),
-                          ScaleProfile::byName(cfg.scaleName),
-                          cfg.seed);
-    runner.setParallel(cfg.parallel);
-    runner.setRecovery(cfg.fault.recovery);
+    // Everything — machine geometry included — flows from the
+    // request's RunConfig; nothing is hard-coded here.
+    WorkloadRunner runner = WorkloadRunner::fromRunConfig(cfg);
 
     const auto t0 = std::chrono::steady_clock::now();
     Matrix metrics;
@@ -141,7 +140,8 @@ ServeEngine::computeCell(const RunConfig &cfg)
        << "\", \"bds_version\": \"" << jsonEscape(bdsVersion())
        << "\", \"created\": \"" << isoNow() << "\", \"hash\": \""
        << out.entry.hashHex << "\", \"scale\": \"" << cfg.scaleName
-       << "\", \"seed\": " << cfg.seed << ", \"sampled\": "
+       << "\", \"seed\": " << cfg.seed << ", \"machine\": \""
+       << jsonEscape(cfg.machineSpec) << "\", \"sampled\": "
        << (cfg.sampling.enabled ? "true" : "false")
        << ", \"workloads\": " << out.entry.names.size()
        << ", \"compute_seconds\": " << jsonNumber(seconds) << "}\n";

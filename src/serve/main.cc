@@ -56,7 +56,8 @@ printUsage(std::ostream &os)
           "  --payload-dir DIR         mirror payloads to DIR/<i>.csv\n"
           "  --stats-json FILE         final counters as JSON\n\n"
           "plus the common BDS_* knobs: --scale/--seed/--threads/\n"
-          "--sampled/--trace/--manifest... (src/obs/runconfig.h).\n";
+          "--machine/--sampled/--trace/--manifest... "
+          "(src/obs/runconfig.h).\n";
 }
 
 void

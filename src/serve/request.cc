@@ -5,6 +5,7 @@
 
 #include "metrics/schema.h"
 #include "obs/runconfig.h"
+#include "uarch/machine.h"
 #include "workloads/registry.h"
 
 namespace bds {
@@ -150,6 +151,30 @@ serveScaleIndex(const std::string &name)
                   << name << "'");
 }
 
+std::string
+serveMachineName(std::uint32_t machine)
+{
+    const std::vector<MachinePreset> &all = machinePresets();
+    if (machine >= all.size())
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "request record has machine index "
+                      << machine << " beyond the " << all.size()
+                      << "-preset registry (log from a newer build?)");
+    return all[machine].name;
+}
+
+std::uint32_t
+serveMachineIndex(const std::string &name)
+{
+    if (name.find('=') != std::string::npos)
+        BDS_RAISE(ErrorCode::UnknownName,
+                  "request machine '"
+                      << name
+                      << "' looks like an override spec; the wire "
+                         "accepts registry preset names only");
+    return static_cast<std::uint32_t>(machinePresetIndex(name));
+}
+
 std::vector<std::string>
 workloadNamesFromMask(std::uint32_t mask)
 {
@@ -209,6 +234,8 @@ parseRequestLine(const std::string &line)
                 req.flags |= kServeFlagBypass;
             else
                 req.flags &= ~kServeFlagBypass;
+        } else if (key == "machine") {
+            req.machine = serveMachineIndex(value);
         } else if (key == "workloads") {
             req.workloadMask =
                 value == "all"
@@ -238,6 +265,8 @@ formatRequestLine(const RequestRecord &req)
         os << " sampled=1";
     if (req.flags & kServeFlagBypass)
         os << " bypass=1";
+    if (req.machine != 0)
+        os << " machine=" << serveMachineName(req.machine);
     if (req.workloadMask != 0xffffffffu) {
         os << " workloads=";
         const std::vector<std::string> names =
@@ -296,17 +325,23 @@ loadRequestLog(const std::string &path)
         BDS_RAISE(ErrorCode::Io,
                   "'" << path << "' is not a bds request log "
                       << "(bad magic)");
-    if (version != kRequestLogVersion)
+    if (version != kRequestLogVersion && version != 1)
         BDS_RAISE(ErrorCode::Io,
                   "request log '" << path << "' has unsupported "
                       << "version " << version << " (expected "
                       << kRequestLogVersion << ")");
+    // v1 records are a strict 32-byte prefix of the v2 layout — the
+    // machine/reserved tail was appended, never reordered — so a v1
+    // log reads as v2 records with machine 0 (the default, which is
+    // exactly what every v1 request meant).
+    const std::streamsize rec_bytes = static_cast<std::streamsize>(
+        version == 1 ? kRequestRecordV1Bytes : sizeof(RequestRecord));
     std::vector<RequestRecord> out;
     out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         RequestRecord req;
-        in.read(reinterpret_cast<char *>(&req), sizeof(req));
-        if (!in || in.gcount() != sizeof(req))
+        in.read(reinterpret_cast<char *>(&req), rec_bytes);
+        if (!in || in.gcount() != rec_bytes)
             BDS_RAISE(ErrorCode::Io,
                       "request log '" << path << "' declares " << count
                           << " records but ends after " << i);

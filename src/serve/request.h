@@ -9,11 +9,16 @@
  * one line:
  *
  *   characterize scale=quick seed=42 [sampled=0|1] [bypass=0|1]
+ *                [machine=default|westmere|l3-4m|...]
  *                [workloads=all|H-Sort,S-Grep,...]
  *                [metrics=all|LOAD,ILP,SSE_FP,...]
  *
  * Metric names spell their spaces as '_' on the wire ("SSE FP"
- * travels as "SSE_FP") because tokens split on whitespace.
+ * travels as "SSE_FP") because tokens split on whitespace. The
+ * machine key accepts registry preset names only — the record stores
+ * a preset index, keeping it fixed-size; free-form key=value
+ * override specs are a library/CLI feature (--machine), not a wire
+ * one.
  *
  * parseRequestLine() resolves it strictly (unknown keys, unknown
  * workload or metric names, malformed integers are typed
@@ -79,9 +84,18 @@ struct RequestRecord
      * byte-identical full-width CSV).
      */
     std::uint64_t metricMask = 0;
+
+    /**
+     * Machine geometry as an index into machinePresets() (0 is the
+     * Table III default, so a v1 record — which lacks the field —
+     * loads as the machine every v1 request implicitly meant).
+     */
+    std::uint32_t machine = 0;
+
+    std::uint32_t reserved0 = 0; ///< padding, must be 0 on the wire
 };
 
-static_assert(sizeof(RequestRecord) == 32,
+static_assert(sizeof(RequestRecord) == 40,
               "RequestRecord is the on-disk log format");
 
 /** Scale name of a record's scale field; fatal on junk values. */
@@ -89,6 +103,19 @@ std::string serveScaleName(std::uint32_t scale);
 
 /** Scale field value of a scale name; fatal on unknown names. */
 std::uint32_t serveScaleIndex(const std::string &name);
+
+/**
+ * Preset name of a record's machine field; Error(InvalidConfig) on
+ * indices beyond the registry (a log from a newer build).
+ */
+std::string serveMachineName(std::uint32_t machine);
+
+/**
+ * Machine field value of a preset name. Error(UnknownName) for
+ * non-preset names, including override specs — the wire carries
+ * registry presets only.
+ */
+std::uint32_t serveMachineIndex(const std::string &name);
 
 /** Workload names selected by `mask`, in allWorkloads() order. */
 std::vector<std::string> workloadNamesFromMask(std::uint32_t mask);
@@ -112,8 +139,15 @@ std::string formatRequestLine(const RequestRecord &req);
 /** Magic of a binary request log ("BRQ1" little-endian). */
 constexpr std::uint32_t kRequestLogMagic = 0x31515242u;
 
-/** Version of the binary log layout. */
-constexpr std::uint32_t kRequestLogVersion = 1;
+/**
+ * Version of the binary log layout. v1 records are 32 bytes (no
+ * machine field); the loader still accepts v1 logs, resolving every
+ * record to the default machine, so pre-DSE logs stay replayable.
+ */
+constexpr std::uint32_t kRequestLogVersion = 2;
+
+/** Byte size of one record in a v1 log (no machine/reserved tail). */
+constexpr std::size_t kRequestRecordV1Bytes = 32;
 
 /**
  * Write a whole request log: header (magic, version, count) plus

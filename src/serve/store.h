@@ -34,8 +34,15 @@
 
 namespace bds {
 
-/** Version of the on-disk entry layout. */
-constexpr unsigned kResultStoreVersion = 1;
+/**
+ * Version of the on-disk entry layout. v2 retires every v1 entry:
+ * v1 cells were keyed by a config hash that could not distinguish
+ * machine geometries, so replaying them against v2 keys could alias
+ * results across machines. A v1 entry on disk is a typed Io error
+ * from readResultEntry(), which getOrCompute() treats like any other
+ * corrupt entry — recompute and overwrite, never crash.
+ */
+constexpr unsigned kResultStoreVersion = 2;
 
 /** One cached characterization cell. */
 struct ResultEntry

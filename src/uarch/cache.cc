@@ -26,8 +26,8 @@ SetAssocCache::SetAssocCache(const CacheConfig &cfg)
         BDS_FATAL("cache geometry does not divide evenly: " << lines
                   << " lines, " << cfg_.assoc << " ways");
     numSets_ = lines / cfg_.assoc;
-    setsPow2_ = isPow2(numSets_);
-    setMask_ = setsPow2_ ? numSets_ - 1 : 0;
+    const bool pow2 = isPow2(numSets_);
+    setMask_ = pow2 ? numSets_ - 1 : 0;
     oddFactor_ = numSets_;
     twoPow_ = 0;
     while ((oddFactor_ & 1) == 0) {
@@ -38,6 +38,31 @@ SetAssocCache::SetAssocCache(const CacheConfig &cfg)
     lineShift_ = 0;
     while ((1u << lineShift_) < cfg_.lineBytes)
         ++lineShift_;
+
+    // Pick the set-index strategy once, here, instead of assuming it
+    // per access: mask for power-of-two set counts, the divide-free
+    // decomposition for odd factor 3, plain modulo for every other
+    // geometry a DSE sweep may build. The Factor3 choice is verified
+    // against plain modulo on probe addresses spanning several wrap-
+    // arounds — any mismatch (a future edit breaking the identity)
+    // downgrades to the always-correct modulo path rather than
+    // silently mis-indexing sets.
+    if (pow2) {
+        setMap_ = SetMapKind::Pow2;
+    } else if (oddFactor_ == 3) {
+        setMap_ = SetMapKind::Factor3;
+        for (std::uint64_t la = 0; la < 8 * numSets_ + 7;
+             la += numSets_ / 5 + 1) {
+            const std::uint64_t fast =
+                (((la >> twoPow_) % 3) << twoPow_) | (la & twoMask_);
+            if (fast != la % numSets_) {
+                setMap_ = SetMapKind::Modulo;
+                break;
+            }
+        }
+    } else {
+        setMap_ = SetMapKind::Modulo;
+    }
     tags_.assign(lines, kInvalidTag);
     lru_.assign(lines, 0);
     states_.assign(lines, CoherenceState::Invalid);

@@ -236,6 +236,23 @@ class SetAssocCache
         return addr >> lineShift_;
     }
 
+    /**
+     * How setBase maps a line address to its set. Chosen — and for
+     * Factor3, verified against plain modulo — at construction, so
+     * arbitrary DSE geometries are correct by fallback rather than
+     * by assumption (the seed code assumed the Table III 12288-set
+     * L3 was the only non-power-of-two anyone would build).
+     */
+    enum class SetMapKind : std::uint8_t
+    {
+        Pow2,    ///< set count is a power of two: mask
+        Factor3, ///< odd factor 3: divide-free decomposition
+        Modulo,  ///< anything else: plain la % numSets_
+    };
+
+    /** The set-index strategy this geometry selected (for tests). */
+    SetMapKind setMapKind() const { return setMap_; }
+
   private:
     /** Tag value of an invalid way; unreachable as a line address. */
     static constexpr std::uint64_t kInvalidTag = ~0ULL;
@@ -253,9 +270,9 @@ class SetAssocCache
         // common factor 3 (the Table III 12 MB L3 has 12288 sets) the
         // constant modulo compiles to a multiply.
         std::uint64_t set;
-        if (setsPow2_)
+        if (setMap_ == SetMapKind::Pow2)
             set = la & setMask_;
-        else if (oddFactor_ == 3)
+        else if (setMap_ == SetMapKind::Factor3)
             set = ((((la >> twoPow_) % 3) << twoPow_) |
                    (la & twoMask_));
         else
@@ -337,7 +354,7 @@ class SetAssocCache
     std::uint64_t twoMask_;   ///< 2^twoPow_ - 1
     std::uint32_t twoPow_;    ///< exponent of the pow2 part
     std::uint32_t lineShift_; ///< log2(lineBytes)
-    bool setsPow2_;
+    SetMapKind setMap_;       ///< validated at construction
     std::uint64_t tick_ = 0;
 
     // Parallel per-slot arrays, indexed set * assoc + way. A set's

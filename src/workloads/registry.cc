@@ -11,6 +11,7 @@
 #include "stack/hadoop.h"
 #include "stack/spark.h"
 #include "stack/sql.h"
+#include "uarch/machine.h"
 #include "uarch/system.h"
 #include "workloads/offline.h"
 
@@ -98,6 +99,17 @@ WorkloadRunner::WorkloadRunner(NodeConfig cfg, ScaleProfile scale,
                                std::uint64_t seed)
     : cfg_(cfg), scale_(scale), seed_(seed)
 {
+}
+
+WorkloadRunner
+WorkloadRunner::fromRunConfig(const RunConfig &cfg)
+{
+    WorkloadRunner runner(resolveMachineSpec(cfg.machineSpec),
+                          ScaleProfile::byName(cfg.scaleName),
+                          cfg.seed);
+    runner.setParallel(cfg.parallel);
+    runner.setRecovery(cfg.fault.recovery);
+    return runner;
 }
 
 void

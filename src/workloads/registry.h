@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "fault/inject.h"
 #include "fault/status.h"
+#include "obs/runconfig.h"
 #include "stats/matrix.h"
 #include "trace/microop.h"
 #include "uarch/config.h"
@@ -119,6 +120,16 @@ class WorkloadRunner
      */
     WorkloadRunner(NodeConfig cfg, ScaleProfile scale,
                    std::uint64_t seed = 42);
+
+    /**
+     * The one construction path tools should use: resolve the
+     * machine spec, scale name, seed, parallelism and recovery
+     * policy out of a RunConfig. No call site needs to name
+     * NodeConfig::defaultSim() — the machine axis always flows from
+     * the config (BDS_MACHINE / --machine), so a sweep driver or a
+     * user can retarget any tool without code changes.
+     */
+    static WorkloadRunner fromRunConfig(const RunConfig &cfg);
 
     /**
      * Simulate a multi-node cluster: each workload runs on `nodes`

@@ -125,10 +125,10 @@ wipeCache(const std::string &dir, const std::string &hash)
     ::rmdir(dir.c_str());
 }
 
-// The pinned schema-v1 address of quick/42 with defaults: the same
+// The pinned schema-v2 address of quick/42 with defaults: the same
 // literal tests/serve/test_confighash.cc pins in process, asserted
 // here across the process boundary.
-const char *const kQuick42Hash = "73ec36ad23095195";
+const char *const kQuick42Hash = "0f05f95f1abacd81";
 
 TEST(ServeCli, StdinProtocolMissHitAndWarmRestart)
 {

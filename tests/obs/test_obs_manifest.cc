@@ -43,6 +43,7 @@ sampleManifest()
     m.config.sampling.kMax = 9;
     m.config.sampling.warmupIntervals = 4;
     m.config.sampling.seed = 99;
+    m.config.machineSpec = "westmere,l2=512k";
     m.config.trace = true;
     m.config.tracePath = "unit.trace.jsonl";
 
@@ -83,6 +84,7 @@ TEST(ObsManifest, RoundTripsEveryField)
     EXPECT_EQ(r.config.sampling.warmupIntervals,
               m.config.sampling.warmupIntervals);
     EXPECT_EQ(r.config.sampling.seed, m.config.sampling.seed);
+    EXPECT_EQ(r.config.machineSpec, m.config.machineSpec);
     EXPECT_EQ(r.config.trace, m.config.trace);
     EXPECT_EQ(r.config.tracePath, m.config.tracePath);
 
@@ -94,6 +96,24 @@ TEST(ObsManifest, RoundTripsEveryField)
     EXPECT_EQ(r.wallSeconds, m.wallSeconds);
     EXPECT_EQ(r.peakRssKb, m.peakRssKb);
     EXPECT_EQ(r.artifacts, m.artifacts);
+}
+
+TEST(ObsManifest, PreDseManifestsDefaultTheMachine)
+{
+    // Manifests written before the machine axis existed have no
+    // "machine" key; the parser must default it, not fail.
+    RunManifest m = sampleManifest();
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    std::string text = os.str();
+    const std::string line = "    \"machine\": \"westmere,l2=512k\",\n";
+    const std::size_t pos = text.find(line);
+    ASSERT_NE(pos, std::string::npos) << text;
+    text.erase(pos, line.size());
+
+    std::istringstream is(text);
+    RunManifest r = parseRunManifest(is);
+    EXPECT_EQ(r.config.machineSpec, "default");
 }
 
 TEST(ObsManifest, TraceDisabledWritesAnEmptyTracePath)

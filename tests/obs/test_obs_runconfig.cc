@@ -29,6 +29,7 @@ const char *const kEnvVars[] = {
     "BDS_FAULT_CORRUPT", "BDS_FAULT_ALLOC", "BDS_FAULT_STALL_MS",
     "BDS_FAULT_ATTEMPTS", "BDS_SERVE_SOCKET", "BDS_SERVE_CACHE",
     "BDS_SERVE_MAX_INFLIGHT", "BDS_SERVE_BYPASS", "BDS_SERVE_LOG",
+    "BDS_MACHINE",
 };
 
 /** Clears every BDS_* variable for the test, restoring it after. */
@@ -100,6 +101,41 @@ TEST_F(ObsRunConfigTest, EnvironmentOverlaysEveryKnob)
     EXPECT_EQ(cfg.sampling.warmupIntervals, 2u);
     EXPECT_EQ(cfg.sampling.seed, 11u);
     EXPECT_TRUE(cfg.trace);
+}
+
+TEST_F(ObsRunConfigTest, MachineSpecTravelsAsAnOpaqueString)
+{
+    // obs stores the spec without resolving it (the registry lives
+    // above this layer, in bds_uarch); defaults, env, flag and
+    // flag-beats-env behavior match every other knob.
+    EXPECT_EQ(RunConfig::resolve("t").machineSpec, "default");
+
+    ::setenv("BDS_MACHINE", "westmere", 1);
+    EXPECT_EQ(RunConfig::resolve("t").machineSpec, "westmere");
+
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    cfg.applyArgs({"--machine", "l3-4m"});
+    EXPECT_EQ(cfg.machineSpec, "l3-4m");
+
+    RunConfig eq;
+    eq.applyArgs({"--machine=default,l2=512k"});
+    EXPECT_EQ(eq.machineSpec, "default,l2=512k");
+
+    // An empty spec is a config error, not a silent default.
+    ::setenv("BDS_MACHINE", "", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_MACHINE");
+    EXPECT_THROW(cfg.applyArgs({"--machine", ""}), FatalError);
+
+    // Non-default specs surface in the one-line run description.
+    RunConfig shown;
+    shown.machineSpec = "westmere";
+    EXPECT_NE(shown.describe().find("machine=westmere"),
+              std::string::npos);
+    RunConfig quiet;
+    EXPECT_EQ(quiet.describe().find("machine="), std::string::npos);
 }
 
 TEST_F(ObsRunConfigTest, TraceFileImpliesTracing)

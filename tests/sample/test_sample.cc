@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "common/log.h"
+#include "fault/error.h"
+#include "sample/capture.h"
 #include "sample/characterizer.h"
 #include "sample/estimate.h"
 #include "sample/interval.h"
@@ -407,6 +409,87 @@ TEST(SampledCharacterizer, EstimatesTrackTheFullRun)
     EXPECT_LT(rep.meanError, 0.5);
     for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
         EXPECT_TRUE(std::isfinite(sampled.metrics[i]));
+}
+
+TEST(WorkloadCapture, ReplayOnCapturingMachineMatchesTheSampler)
+{
+    // The DSE contract: one capture replayed on the capturing
+    // machine is bitwise the single-machine sampled path.
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    bds::WorkloadId id = bds::allWorkloads()[0];
+    SamplingOptions opts;
+    opts.enabled = true;
+
+    // A default runner is single-node, so run() is exactly the
+    // node-0 pipeline (plus wall time, which we don't compare).
+    bds::SampledCharacterizer sampler(runner, opts);
+    bds::SampledWorkloadResult direct = sampler.run(id);
+
+    const bds::WorkloadCapture cap =
+        bds::captureWorkload(runner, opts, id, 0);
+    bds::SampledWorkloadResult replayed =
+        bds::replayCapture(cap, runner.config(), opts);
+
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        EXPECT_EQ(direct.metrics[i], replayed.metrics[i]) << i;
+    EXPECT_EQ(direct.numIntervals, replayed.numIntervals);
+    EXPECT_EQ(direct.numReps, replayed.numReps);
+    EXPECT_EQ(direct.stats.totalOps, replayed.stats.totalOps);
+    EXPECT_EQ(direct.stats.detailOps, replayed.stats.detailOps);
+}
+
+TEST(WorkloadCapture, OneCaptureReplaysAcrossGeometries)
+{
+    // Same core count, different memory system: the capture is
+    // reused, and a 16x-smaller L1 must not estimate identically.
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    bds::WorkloadId id = bds::allWorkloads()[0];
+    SamplingOptions opts;
+    opts.enabled = true;
+
+    const bds::WorkloadCapture cap =
+        bds::captureWorkload(runner, opts, id, 0);
+
+    bds::NodeConfig tiny = bds::NodeConfig::defaultSim();
+    tiny.l1d.sizeBytes = 2 * 1024;
+    tiny.l2.sizeBytes = 16 * 1024;
+    bds::SampledWorkloadResult base =
+        bds::replayCapture(cap, bds::NodeConfig::defaultSim(), opts);
+    bds::SampledWorkloadResult starved =
+        bds::replayCapture(cap, tiny, opts);
+
+    // Selection state is shared (the whole point of the seam)...
+    EXPECT_EQ(base.numReps, starved.numReps);
+    EXPECT_EQ(base.stats.totalOps, starved.stats.totalOps);
+    // ...but the geometry-dependent estimates move.
+    bool moved = false;
+    for (std::size_t i = 0; i < bds::kNumMetrics; ++i)
+        if (base.metrics[i] != starved.metrics[i])
+            moved = true;
+    EXPECT_TRUE(moved);
+}
+
+TEST(WorkloadCapture, CoreCountMismatchIsATypedError)
+{
+    // The trace bakes in the record-time work sharding: replaying a
+    // 4-core capture on 2 cores would not be a 2-core execution.
+    bds::WorkloadRunner runner(bds::NodeConfig::defaultSim(),
+                               bds::ScaleProfile::quick(), 42);
+    SamplingOptions opts;
+    opts.enabled = true;
+    const bds::WorkloadCapture cap = bds::captureWorkload(
+        runner, opts, bds::allWorkloads()[0], 0);
+
+    bds::NodeConfig twoCore = bds::NodeConfig::defaultSim();
+    twoCore.numCores = 2;
+    try {
+        bds::replayCapture(cap, twoCore, opts);
+        FAIL() << "expected Error(InvalidConfig)";
+    } catch (const bds::Error &e) {
+        EXPECT_EQ(e.code(), bds::ErrorCode::InvalidConfig);
+    }
 }
 
 } // namespace

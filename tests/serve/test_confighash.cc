@@ -8,10 +8,14 @@
  * the rest check what the hash must and must not depend on.
  */
 
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "obs/runconfig.h"
 #include "serve/confighash.h"
+#include "uarch/machine.h"
 
 namespace bds {
 namespace {
@@ -28,25 +32,69 @@ pinnedConfig()
 
 TEST(ServeConfigHash, PinnedHashOfAFixedConfig)
 {
-    // Golden value for schema v1. If this test fails you changed the
-    // canonical serialization: bump kConfigHashSchemaVersion and
-    // re-pin, or revert — never re-pin without a version bump.
-    EXPECT_EQ(kConfigHashSchemaVersion, 1u);
-    EXPECT_EQ(runConfigHashHex(pinnedConfig()), "73ec36ad23095195");
-    EXPECT_EQ(runConfigHash(pinnedConfig()), 0x73ec36ad23095195ULL);
+    // Golden value for schema v2 (v1 pinned 73ec36ad23095195; the
+    // machine-geometry line moved every hash). If this test fails you
+    // changed the canonical serialization: bump
+    // kConfigHashSchemaVersion and re-pin, or revert — never re-pin
+    // without a version bump.
+    EXPECT_EQ(kConfigHashSchemaVersion, 2u);
+    EXPECT_EQ(runConfigHashHex(pinnedConfig()), "0f05f95f1abacd81");
+    EXPECT_EQ(runConfigHash(pinnedConfig()), 0x0f05f95f1abacd81ULL);
 }
 
 TEST(ServeConfigHash, CanonicalFormIsVersionedAndOrdered)
 {
     const std::string text = canonicalRunConfig(pinnedConfig());
-    EXPECT_EQ(text.rfind("bds-runconfig-v1\n", 0), 0u) << text;
+    EXPECT_EQ(text.rfind("bds-runconfig-v2\n", 0), 0u) << text;
     EXPECT_NE(text.find("scale=quick\n"), std::string::npos);
     EXPECT_NE(text.find("seed=42\n"), std::string::npos);
+    EXPECT_NE(text.find("machine=cores=4 "), std::string::npos);
     EXPECT_NE(text.find("sampling.enabled=0\n"), std::string::npos);
     EXPECT_NE(text.find("recovery.policy=failfast\n"),
               std::string::npos);
     // Deterministic: same config, same bytes.
     EXPECT_EQ(text, canonicalRunConfig(pinnedConfig()));
+}
+
+TEST(ServeConfigHash, MachineGeometryChangesTheHash)
+{
+    // The machine axis is result-relevant: every preset that changes
+    // geometry must land in its own cell, and no two presets may
+    // alias.
+    const std::string base = runConfigHashHex(pinnedConfig());
+    std::set<std::string> hashes{base};
+    for (const MachinePreset &p : machinePresets()) {
+        RunConfig cfg = pinnedConfig();
+        cfg.machineSpec = p.name;
+        hashes.insert(runConfigHashHex(cfg));
+    }
+    // "default" collapses onto the base cell; every other preset is
+    // distinct from the base and from each other.
+    EXPECT_EQ(hashes.size(), machinePresets().size());
+}
+
+TEST(ServeConfigHash, EquivalentMachineSpellingsShareTheCell)
+{
+    // The hash covers the *resolved* geometry, not the spec text:
+    // any spelling of the default machine answers from the warm
+    // default cell.
+    const std::string base = runConfigHashHex(pinnedConfig());
+
+    RunConfig named = pinnedConfig();
+    named.machineSpec = "default";
+    EXPECT_EQ(runConfigHashHex(named), base);
+
+    RunConfig spelled = pinnedConfig();
+    spelled.machineSpec = "cores=4";
+    EXPECT_EQ(runConfigHashHex(spelled), base);
+
+    RunConfig sized = pinnedConfig();
+    sized.machineSpec = "default,l2=256k";
+    EXPECT_EQ(runConfigHashHex(sized), base);
+
+    RunConfig grown = pinnedConfig();
+    grown.machineSpec = "l2=512k";
+    EXPECT_NE(runConfigHashHex(grown), base);
 }
 
 TEST(ServeConfigHash, ThreadsDoNotChangeTheHash)

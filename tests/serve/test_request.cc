@@ -39,7 +39,9 @@ class TempFile
 
 TEST(ServeRequest, RecordIsAFixedSizePod)
 {
-    EXPECT_EQ(sizeof(RequestRecord), 32u);
+    // 40 bytes since log v2: the 32-byte v1 record grew a machine
+    // index and a reserved word at the tail.
+    EXPECT_EQ(sizeof(RequestRecord), 40u);
     EXPECT_TRUE(std::is_trivially_copyable<RequestRecord>::value);
 }
 
@@ -58,11 +60,12 @@ TEST(ServeRequest, ParsesEveryKey)
 {
     RequestRecord req = parseRequestLine(
         "characterize scale=standard seed=7 sampled=1 bypass=1 "
-        "workloads=H-Sort,S-Grep metrics=LOAD,ILP");
+        "machine=westmere workloads=H-Sort,S-Grep metrics=LOAD,ILP");
     EXPECT_EQ(req.scale, 1u);
     EXPECT_EQ(req.seed, 7u);
     EXPECT_TRUE(req.flags & kServeFlagSampled);
     EXPECT_TRUE(req.flags & kServeFlagBypass);
+    EXPECT_EQ(serveMachineName(req.machine), "westmere");
     EXPECT_EQ(workloadNamesFromMask(req.workloadMask),
               (std::vector<std::string>{"H-Sort", "S-Grep"}));
     EXPECT_EQ(metricNamesFromMask(req.metricMask),
@@ -74,8 +77,9 @@ TEST(ServeRequest, TextFormRoundTripsThroughFormat)
     const char *lines[] = {
         "characterize scale=quick seed=42",
         "characterize scale=full seed=9 sampled=1",
+        "characterize scale=quick seed=42 machine=l3-4m",
         "characterize scale=standard seed=1 bypass=1 "
-        "workloads=H-Sort metrics=LOAD",
+        "machine=westmere workloads=H-Sort metrics=LOAD",
     };
     for (const char *line : lines) {
         RequestRecord req = parseRequestLine(line);
@@ -156,6 +160,32 @@ TEST(ServeRequest, MalformedLinesAreTypedErrors)
     } catch (const Error &e) {
         EXPECT_EQ(e.code(), ErrorCode::UnknownName);
     }
+    try {
+        parseRequestLine("characterize machine=pentium");
+        FAIL() << "expected UnknownName";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::UnknownName);
+    }
+    // Override specs are a CLI/library affordance; the wire carries
+    // registry preset names only (the record stores an index).
+    try {
+        parseRequestLine("characterize machine=l2=512k");
+        FAIL() << "expected UnknownName for an override spec";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::UnknownName);
+    }
+}
+
+TEST(ServeRequest, MachineNamesRoundTrip)
+{
+    EXPECT_EQ(serveMachineName(0), "default");
+    EXPECT_EQ(serveMachineIndex("default"), 0u);
+    EXPECT_EQ(serveMachineName(serveMachineIndex("westmere")),
+              "westmere");
+    EXPECT_EQ(serveMachineName(serveMachineIndex("l3-4m")), "l3-4m");
+    // An index beyond the registry (a log from a newer build) is a
+    // typed error, not an out-of-bounds read.
+    EXPECT_THROW(serveMachineName(1u << 20), Error);
 }
 
 TEST(ServeRequest, ScaleNamesRoundTrip)
@@ -184,6 +214,46 @@ TEST(ServeRequest, BinaryLogRoundTrips)
     ASSERT_EQ(out.size(), in.size());
     for (std::size_t i = 0; i < in.size(); ++i)
         EXPECT_EQ(std::memcmp(&in[i], &out[i], sizeof(in[i])), 0);
+}
+
+TEST(ServeRequest, LoadsVersionOneLogsWithDefaultMachine)
+{
+    // A v1 log (32-byte records, no machine field) must keep loading:
+    // v1 records are a strict binary prefix of v2, and machine 0 is
+    // the default preset every v1 request meant.
+    TempFile log("serve_req_v1.bin");
+    RequestRecord a, b;
+    a.scale = 1;
+    a.seed = 7;
+    a.flags = kServeFlagSampled;
+    a.machine = 12345; // must NOT survive: v1 carries no machine
+    b.scale = 2;
+    b.seed = 9;
+    {
+        std::ofstream out(log.path(), std::ios::binary);
+        const std::uint32_t magic = kRequestLogMagic;
+        const std::uint32_t version = 1;
+        const std::uint32_t count = 2;
+        out.write(reinterpret_cast<const char *>(&magic),
+                  sizeof(magic));
+        out.write(reinterpret_cast<const char *>(&version),
+                  sizeof(version));
+        out.write(reinterpret_cast<const char *>(&count),
+                  sizeof(count));
+        out.write(reinterpret_cast<const char *>(&a),
+                  kRequestRecordV1Bytes);
+        out.write(reinterpret_cast<const char *>(&b),
+                  kRequestRecordV1Bytes);
+    }
+    std::vector<RequestRecord> out = loadRequestLog(log.path());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].scale, 1u);
+    EXPECT_EQ(out[0].seed, 7u);
+    EXPECT_EQ(out[0].flags, kServeFlagSampled);
+    EXPECT_EQ(out[0].machine, 0u);
+    EXPECT_EQ(out[1].scale, 2u);
+    EXPECT_EQ(out[1].seed, 9u);
+    EXPECT_EQ(out[1].machine, 0u);
 }
 
 TEST(ServeRequest, LoadingHardensAgainstCorruption)

@@ -158,10 +158,67 @@ TEST(ServeStore, CorruptEntriesAreTypedIoErrors)
     // corrupt-entry recovery.
     {
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        out << "BDSRESULT 1\nhash 00000000000000aa\n"
+        out << "BDSRESULT 2\nhash 00000000000000aa\n"
             << "config_bytes 18446744073709551615\n";
     }
     expectIo("implausible declared size");
+}
+
+TEST(ServeStore, VersionOneEntriesAreRejectedAndRecomputed)
+{
+    // Store format v1 predates the machine-geometry axis: its cells
+    // were keyed by confighash schema v1 and say nothing about what
+    // machine produced them. A v1 entry on disk must be a typed Io
+    // error from load, and getOrCompute must recompute and overwrite
+    // it transparently — never serve it.
+    StoreDir tmp("bds_store_v1");
+    ResultStore store(tmp.dir());
+    const ResultEntry good = sampleEntry("00000000000000aa");
+    store.store(good);
+
+    // Rewrite the entry with a v1 header, leaving the body intact.
+    const std::string path = store.entryPath(good.hashHex);
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        const std::string v2 = "BDSRESULT 2\n";
+        ASSERT_EQ(bytes.rfind(v2, 0), 0u);
+        bytes.replace(0, v2.size(), "BDSRESULT 1\n");
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+
+    ResultEntry out;
+    try {
+        store.load(good.hashHex, &out);
+        FAIL() << "expected Error(Io) for a v1 entry";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    int computes = 0;
+    bool hit = true;
+    ComputedResult got = store.getOrCompute(
+        good.hashHex,
+        [&] {
+            ++computes;
+            ComputedResult r;
+            r.entry = good;
+            return r;
+        },
+        &hit);
+    EXPECT_EQ(computes, 1);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(got.entry.csv, good.csv);
+
+    // The v2 recompute replaced the v1 file.
+    ResultEntry reloaded;
+    ASSERT_TRUE(store.load(good.hashHex, &reloaded));
+    EXPECT_EQ(reloaded.csv, good.csv);
 }
 
 TEST(ServeStore, GetOrComputeRecomputesCorruptEntriesTransparently)

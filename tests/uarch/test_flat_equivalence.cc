@@ -182,6 +182,37 @@ TEST(FlatCacheEquivalence, DirectMapped)
     runCachePair({4 * 1024, 1, 64}, 16 * 1024, 30000, 53);
 }
 
+TEST(FlatCacheEquivalence, SetMapStrategyIsChosenAtConstruction)
+{
+    using Kind = bds::SetAssocCache::SetMapKind;
+    // Pow2 sets: 32 KB / 8-way / 64 B = 64 sets.
+    EXPECT_EQ(bds::SetAssocCache({32 * 1024, 8, 64}).setMapKind(),
+              Kind::Pow2);
+    // Factor-3 sets: Table III L3, 12288 sets = 3 * 2^12.
+    EXPECT_EQ(
+        bds::SetAssocCache({12 * 1024 * 1024, 16, 64}).setMapKind(),
+        Kind::Factor3);
+    // Factor-5 sets: 20 sets = 5 * 2^2 must fall back to modulo —
+    // the divide-free paths only cover pow2 and 3*2^k.
+    EXPECT_EQ(bds::SetAssocCache({20 * 2 * 64, 2, 64}).setMapKind(),
+              Kind::Modulo);
+    // Factor-7: another DSE-reachable shape, also modulo.
+    EXPECT_EQ(bds::SetAssocCache({7 * 16 * 4 * 64, 4, 64}).setMapKind(),
+              Kind::Modulo);
+}
+
+TEST(FlatCacheEquivalence, NonTableIIIDseGeometry)
+{
+    // Regression for the DSE sweep: a 10-way, 160-set L2-like shape
+    // (sets = 5 * 2^5) that no preset in the seed tree ever built.
+    // The flat cache must agree with the reference model on the
+    // modulo fallback, not only on the tuned pow2/factor-3 paths.
+    const CacheConfig cfg{160 * 10 * 64, 10, 64};
+    EXPECT_EQ(bds::SetAssocCache(cfg).setMapKind(),
+              bds::SetAssocCache::SetMapKind::Modulo);
+    runCachePair(cfg, 2 * 1024 * 1024, 60000, 61);
+}
+
 TEST(FlatTlbEquivalence, OutcomeStreamsMatch)
 {
     TlbConfig l1i{64, 4}, l1d{64, 4}, stlb{512, 4};

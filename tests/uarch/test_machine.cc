@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Machine-axis tests: the preset registry (stable order, valid
+ * geometry, distinct canonical renderings), the spec grammar
+ * (presets, overrides, suffixes, typed rejection of typos), the
+ * construction-time geometry validator, and the canonical one-line
+ * rendering the result store hashes.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/error.h"
+#include "uarch/machine.h"
+
+namespace bds {
+namespace {
+
+TEST(Machine, RegistryLeadsWithDefaultAndCoversTheSweep)
+{
+    const std::vector<MachinePreset> &all = machinePresets();
+    ASSERT_GE(all.size(), 8u);
+    // Index 0 is part of the wire format: machine=0 in every v1
+    // request log means the default preset.
+    EXPECT_EQ(all[0].name, "default");
+    EXPECT_TRUE(isDefaultMachine(all[0].config));
+    // The sweep needs variation on every axis the tech report varies.
+    EXPECT_NE(findMachinePreset("westmere"), nullptr);
+    EXPECT_NE(findMachinePreset("l2-512k"), nullptr);
+    EXPECT_NE(findMachinePreset("l3-4m"), nullptr);
+    EXPECT_NE(findMachinePreset("cores-2"), nullptr);
+    EXPECT_NE(findMachinePreset("gshare-8"), nullptr);
+
+    std::set<std::string> names, texts;
+    for (const MachinePreset &p : all) {
+        EXPECT_FALSE(p.summary.empty()) << p.name;
+        // Every preset is valid geometry...
+        EXPECT_NO_THROW(validateMachineConfig(p.config)) << p.name;
+        names.insert(p.name);
+        texts.insert(canonicalMachineText(p.config));
+    }
+    // ...uniquely named, and no two alias the same geometry (which
+    // would waste sweep cells and collide store keys by design).
+    EXPECT_EQ(names.size(), all.size());
+    EXPECT_EQ(texts.size(), all.size());
+}
+
+TEST(Machine, PresetIndexMatchesRegistryOrder)
+{
+    const std::vector<MachinePreset> &all = machinePresets();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(machinePresetIndex(all[i].name), i);
+    EXPECT_THROW(machinePresetIndex("not-a-preset"), Error);
+}
+
+TEST(Machine, WestmereIsThePaperMachine)
+{
+    const NodeConfig cfg = NodeConfig::westmere();
+    // One socket of the dual E5645 node: 6 cores, Table III geometry.
+    EXPECT_EQ(cfg.numCores, 6u);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(cfg.l3.sizeBytes, 12u * 1024 * 1024);
+    EXPECT_NO_THROW(validateMachineConfig(cfg));
+    // The registry preset and the NodeConfig factory agree.
+    EXPECT_EQ(canonicalMachineText(machineByName("westmere")),
+              canonicalMachineText(cfg));
+}
+
+TEST(Machine, SpecResolvesPresetsAndOverrides)
+{
+    // Empty and "default" are the Table III default machine.
+    EXPECT_TRUE(isDefaultMachineSpec(""));
+    EXPECT_TRUE(isDefaultMachineSpec("default"));
+    EXPECT_TRUE(isDefaultMachine(resolveMachineSpec("")));
+
+    // Bare overrides apply to the default.
+    NodeConfig big = resolveMachineSpec("l2=512k");
+    EXPECT_EQ(big.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(big.l3.sizeBytes, 12u * 1024 * 1024);
+
+    // preset,overrides composes left to right.
+    NodeConfig w = resolveMachineSpec("westmere,cores=4,l3=24m");
+    EXPECT_EQ(w.numCores, 4u);
+    EXPECT_EQ(w.l3.sizeBytes, 24u * 1024 * 1024);
+
+    // Suffixes and '-'/'_' key spellings.
+    EXPECT_EQ(resolveMachineSpec("l1d=65536").l1d.sizeBytes,
+              resolveMachineSpec("l1d=64k").l1d.sizeBytes);
+    EXPECT_EQ(resolveMachineSpec("l1d-assoc=4").l1d.assoc,
+              resolveMachineSpec("l1d_assoc=4").l1d.assoc);
+
+    // A spec that spells out the default resolves to it exactly.
+    EXPECT_TRUE(isDefaultMachineSpec("cores=4,l2=256k"));
+}
+
+TEST(Machine, SpecTyposAreTypedErrors)
+{
+    // An unknown preset name must never silently become the default
+    // — and a leading token without '=' IS a preset name, so a typo'd
+    // key=value separator surfaces as UnknownName too.
+    for (const char *spec : {"westmore", "l2:512k"}) {
+        try {
+            resolveMachineSpec(spec);
+            FAIL() << "expected UnknownName for: " << spec;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::UnknownName) << spec;
+        }
+    }
+    const char *bad[] = {
+        "westmere,l3:4m",   // override token not key=value
+        "frobnicate=1",     // unknown key
+        "cores=four",       // malformed value
+        "cores=0",          // invalid geometry
+        "cores=65",         // beyond the snoop bitmask
+        "l2=1000",          // does not divide into whole sets
+        "line=48",          // non-pow2 line
+        "history=0",        // degenerate gshare
+        "history=40",       // oversized gshare
+        "l2=512k,,cores=2", // empty element
+    };
+    for (const char *spec : bad) {
+        try {
+            resolveMachineSpec(spec);
+            FAIL() << "expected InvalidConfig for: " << spec;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidConfig) << spec;
+        }
+    }
+}
+
+TEST(Machine, ValidatorRejectsImpossibleGeometry)
+{
+    EXPECT_NO_THROW(validateMachineConfig(NodeConfig::defaultSim()));
+
+    NodeConfig page = NodeConfig::defaultSim();
+    page.pageBytes = 32; // smaller than a 64 B line
+    EXPECT_THROW(validateMachineConfig(page), Error);
+
+    NodeConfig tlb = NodeConfig::defaultSim();
+    tlb.stlb = {510, 4}; // entries not divisible by assoc
+    EXPECT_THROW(validateMachineConfig(tlb), Error);
+
+    NodeConfig lines = NodeConfig::defaultSim();
+    lines.l2.lineBytes = 128; // levels disagree on line size
+    EXPECT_THROW(validateMachineConfig(lines), Error);
+
+    NodeConfig issue = NodeConfig::defaultSim();
+    issue.issueWidth = 0;
+    EXPECT_THROW(validateMachineConfig(issue), Error);
+}
+
+TEST(Machine, CanonicalTextIsSpellingIndependent)
+{
+    // The store key hashes the rendering, so every spelling of one
+    // machine must render to the same bytes.
+    EXPECT_EQ(canonicalMachineText(resolveMachineSpec("default")),
+              canonicalMachineText(resolveMachineSpec("")));
+    EXPECT_EQ(canonicalMachineText(resolveMachineSpec("l2=524288")),
+              canonicalMachineText(resolveMachineSpec("l2=512k")));
+    EXPECT_NE(canonicalMachineText(resolveMachineSpec("l2=512k")),
+              canonicalMachineText(resolveMachineSpec("default")));
+    // One line, fixed leading field, no newline.
+    const std::string text =
+        canonicalMachineText(NodeConfig::defaultSim());
+    EXPECT_EQ(text.rfind("cores=4 ", 0), 0u) << text;
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+TEST(Machine, SlugIsFilesystemSafe)
+{
+    EXPECT_EQ(machineSlug("default"), "default");
+    const std::string slug = machineSlug("westmere,l2=512k");
+    EXPECT_EQ(slug.find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyz0123456789-"),
+              std::string::npos)
+        << slug;
+}
+
+TEST(Machine, DescribeMentionsTheHeadlineNumbers)
+{
+    const std::string text =
+        describeMachine(NodeConfig::defaultSim());
+    EXPECT_NE(text.find("4 cores"), std::string::npos) << text;
+    EXPECT_NE(text.find("12M"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace bds
