@@ -41,6 +41,7 @@
 #include <sys/utsname.h>
 #endif
 
+#include "ckpt/context.h"
 #include "common/log.h"
 #include "core/csvio.h"
 #include "core/pipeline.h"
@@ -78,13 +79,16 @@ benchMachine(const bds::RunConfig &cfg)
 /**
  * Machine for the benches that manage their own tiny flag sets
  * instead of RunConfig (uarch_speed, micro_uarch): BDS_MACHINE still
- * wins, absent means the Table III sim default.
+ * wins, absent means the Table III sim default. Funneled through
+ * RunConfig::applyEnv() — the one env reader — so these benches get
+ * the same strict validation as everything else.
  */
 inline bds::NodeConfig
 benchMachineFromEnv()
 {
-    const char *spec = std::getenv("BDS_MACHINE");
-    return bds::resolveMachineSpec(spec ? spec : "default");
+    bds::RunConfig cfg;
+    cfg.applyEnv();
+    return benchMachine(cfg);
 }
 
 /**
@@ -217,6 +221,11 @@ characterizedPipeline(bds::Session &session)
         bds::SweepReport report;
         if (cfg.sampling.enabled) {
             bds::SampledCharacterizer sampler(runner, cfg.sampling);
+            // ckpt.enabled: replays restore representative-entry
+            // snapshots from the shared cache and write the missing
+            // ones, so a re-characterization of an unchanged config
+            // skips the functional warming (docs/CHECKPOINT.md).
+            sampler.setCheckpoints(bds::checkpointContextFor(cfg));
             metrics = sampler.runAll(nullptr, &report);
         } else {
             bds::SweepTiming timing;

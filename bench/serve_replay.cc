@@ -154,7 +154,7 @@ main(int argc, char **argv)
         bds::RunConfig cfg;
         cfg.tool = "serve_replay";
         cfg.scaleName = "quick";
-        cfg.serve.cacheDir = "bds_serve_cache";
+        cfg.serve.storeDir = "bds_serve_cache";
         cfg.argv.assign(argv, argv + argc);
         cfg.applyEnv();
         std::vector<std::string> leftovers = cfg.applyArgs(
@@ -228,8 +228,8 @@ main(int argc, char **argv)
         std::cerr << "[serve_replay] replaying " << log.size()
                   << " request(s) x " << passes << " pass(es), "
                   << clients << " client(s), cache "
-                  << cfg.serve.cacheDir
-                  << (cfg.serve.bypassCache ? " (bypassed)" : "")
+                  << cfg.serve.storeDir
+                  << (cfg.serve.bypassStore ? " (bypassed)" : "")
                   << "\n";
 
         bds::ServeEngine engine(cfg);
@@ -260,7 +260,7 @@ main(int argc, char **argv)
             << "  \"passes\": " << passes << ",\n"
             << "  \"scale\": \"" << cfg.scaleName << "\",\n"
             << "  \"bypass\": "
-            << (cfg.serve.bypassCache ? "true" : "false") << ",\n";
+            << (cfg.serve.bypassStore ? "true" : "false") << ",\n";
         writePassJson(*os, "cold", results.front());
         *os << ",\n";
         writePassJson(*os, "warm", results.back());

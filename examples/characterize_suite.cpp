@@ -24,11 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "common/table.h"
-#include "core/report.h"
-#include "metrics/schema.h"
-#include "sample/characterizer.h"
-#include "workloads/registry.h"
+#include "bds/bds.h"
 #include "common.h"
 
 namespace {
@@ -116,6 +112,10 @@ main(int argc, char **argv)
         if (cfg.sampling.enabled) {
             StageTimer stage(session, "sample");
             SampledCharacterizer sampler(runner, cfg.sampling);
+            // --ckpt: restore representative-interval state from the
+            // shared cache instead of re-warming (docs/CHECKPOINT.md).
+            if (cfg.ckpt.enabled)
+                sampler.setCheckpoints(checkpointContextFor(cfg));
             std::vector<SampledWorkloadResult> details;
             SweepReport sampled_report;
             Matrix estimated = sampler.runAll(&details,

@@ -26,9 +26,8 @@
 #include <string>
 #include <vector>
 
-#include "common/log.h"
-#include "obs/runconfig.h"
-#include "obs/session.h"
+#include "bds/common.h"
+#include "bds/obs.h"
 
 namespace bdsex {
 

@@ -12,15 +12,8 @@
 
 #include <iostream>
 
-#include "common/table.h"
-#include "core/analysis.h"
+#include "bds/bds.h"
 #include "common.h"
-#include "stack/hadoop.h"
-#include "stack/spark.h"
-#include "uarch/machine.h"
-#include "uarch/system.h"
-#include "workloads/datagen.h"
-#include "workloads/registry.h"
 
 namespace {
 

@@ -17,9 +17,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "common/rng.h"
-#include "core/csvio.h"
-#include "core/report.h"
+#include "bds/common.h"
+#include "bds/core.h"
 #include "common.h"
 
 namespace {

@@ -11,8 +11,7 @@
 
 #include <iostream>
 
-#include "common/table.h"
-#include "workloads/registry.h"
+#include "bds/bds.h"
 #include "common.h"
 
 int

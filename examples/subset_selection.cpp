@@ -8,9 +8,9 @@
 
 #include <iostream>
 
-#include "common/table.h"
-#include "core/report.h"
-#include "workloads/registry.h"
+#include "bds/common.h"
+#include "bds/core.h"
+#include "bds/workloads.h"
 #include "common.h"
 
 int

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Facade: interval checkpoint/restore (docs/CHECKPOINT.md) — the
+ * versioned, checksummed state serialization visitor
+ * (bds::StateSink/StateSource), the shared checkpoint cache keyed by
+ * config hash + machine + workload + interval (bds::CheckpointCache,
+ * CkptStats), and the per-run context the sampled pipeline threads
+ * through its replays (bds::CheckpointContext).
+ */
+
+#ifndef BDS_BDS_CKPT_H
+#define BDS_BDS_CKPT_H
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/context.h"
+#include "ckpt/options.h"
+#include "ckpt/state.h"
+
+#endif // BDS_BDS_CKPT_H

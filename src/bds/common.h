@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Facade: foundation utilities — logging and warnings (bds::inform,
+ * bds::warn, BDS_FATAL), the typed error hierarchy (bds::Error,
+ * ErrorCode, BDS_RAISE), deterministic RNG streams (bds::Rng) and
+ * fixed-width text tables (bds::TextTable, fmtDouble).
+ */
+
+#ifndef BDS_BDS_COMMON_H
+#define BDS_BDS_COMMON_H
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fault/error.h"
+
+#endif // BDS_BDS_COMMON_H

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Facade: the paper's analysis pipeline — characterize→normalize→
+ * PCA→cluster→subset (bds::runPipeline, PipelineOptions,
+ * PipelineResult), the encoded findings of the paper
+ * (core/findings.h), representative-subset selection
+ * (core/subset.h), and the metric CSV read/write + report helpers
+ * every tool shares.
+ */
+
+#ifndef BDS_BDS_CORE_H
+#define BDS_BDS_CORE_H
+
+#include "core/analysis.h"
+#include "core/csvio.h"
+#include "core/findings.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/subset.h"
+
+#endif // BDS_BDS_CORE_H

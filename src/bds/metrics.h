@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Facade: the metric layer — the paper's 45-metric Table II schema
+ * (bds::kNumMetrics, metricName, MetricVector) and named metric
+ * subsets (bds::MetricSet) for projecting matrices onto a chosen
+ * column set.
+ */
+
+#ifndef BDS_BDS_METRICS_H
+#define BDS_BDS_METRICS_H
+
+#include "metrics/schema.h"
+#include "metrics/set.h"
+
+#endif // BDS_BDS_METRICS_H

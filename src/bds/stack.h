@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Facade: the software-stack engines that generate each workload's
+ * op stream — the shared engine seam (stack/engine.h), the
+ * Hadoop-style map/shuffle/reduce and Spark-style RDD pipelines, the
+ * SQL operators of the interactive/query tiers, and the dataset +
+ * partition plumbing they share.
+ */
+
+#ifndef BDS_BDS_STACK_H
+#define BDS_BDS_STACK_H
+
+#include "stack/dataset.h"
+#include "stack/engine.h"
+#include "stack/hadoop.h"
+#include "stack/partition.h"
+#include "stack/spark.h"
+#include "stack/sql.h"
+
+#endif // BDS_BDS_STACK_H

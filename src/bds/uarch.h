@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Facade: the simulated machine — geometry description and the
+ * preset registry (bds::NodeConfig, machinePresets,
+ * resolveMachineSpec, canonicalMachineText), the node model itself
+ * (bds::SystemModel) and its performance counters (bds::PmcCounters).
+ */
+
+#ifndef BDS_BDS_UARCH_H
+#define BDS_BDS_UARCH_H
+
+#include "uarch/config.h"
+#include "uarch/machine.h"
+#include "uarch/pmc.h"
+#include "uarch/system.h"
+
+#endif // BDS_BDS_UARCH_H

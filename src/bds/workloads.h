@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Facade: the workload layer — the 32-workload registry
+ * (bds::allWorkloads, WorkloadId, WorkloadRunner) and the seeded
+ * data generators behind Table I's scaled record counts
+ * (workloads/datagen.h).
+ */
+
+#ifndef BDS_BDS_WORKLOADS_H
+#define BDS_BDS_WORKLOADS_H
+
+#include "workloads/datagen.h"
+#include "workloads/registry.h"
+
+#endif // BDS_BDS_WORKLOADS_H

@@ -1,0 +1,336 @@
+#include "ckpt/checkpoint.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "fault/error.h"
+#include "obs/trace.h"
+#include "serve/confighash.h"
+
+namespace bds {
+
+namespace {
+
+struct AtomicCkptStats
+{
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> bytesRead{0};
+    std::atomic<std::uint64_t> bytesWritten{0};
+};
+
+AtomicCkptStats &
+globalCkptStats()
+{
+    static AtomicCkptStats stats;
+    return stats;
+}
+
+/** Read one header line; Error(Io) on EOF. */
+std::string
+readLine(std::istream &is, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": truncated checkpoint (unexpected EOF)");
+    return line;
+}
+
+/** Parse "<key> <value>" where value is a non-negative integer. */
+std::uint64_t
+readSizeField(std::istream &is, const std::string &what,
+              const std::string &key)
+{
+    const std::string line = readLine(is, what);
+    std::istringstream ss(line);
+    std::string k;
+    std::uint64_t v = 0;
+    if (!(ss >> k >> v) || k != key)
+        BDS_RAISE(ErrorCode::Io, what << ": expected '" << key
+                                      << " <n>', got '" << line << "'");
+    return v;
+}
+
+/** Read exactly `n` payload bytes; Error(Io) on short reads. */
+std::string
+readBytes(std::istream &is, const std::string &what, std::uint64_t n,
+          const std::string &label)
+{
+    std::string out;
+    // The size comes from the (possibly corrupt) entry itself: an
+    // implausible value must stay a typed Io error, not a bad_alloc
+    // that dodges the warm-from-zero fallback.
+    try {
+        out.resize(static_cast<std::size_t>(n));
+    } catch (const std::exception &) {
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": " << label << " declares implausible size "
+                       << n << " (corrupt checkpoint)");
+    }
+    is.read(out.data(), static_cast<std::streamsize>(n));
+    if (is.gcount() != static_cast<std::streamsize>(n))
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": " << label << " payload truncated ("
+                       << is.gcount() << " of " << n << " bytes)");
+    return out;
+}
+
+/** A length-prefixed text field ("<key>_bytes N\n<bytes>"). */
+std::string
+readTextField(std::istream &is, const std::string &what,
+              const std::string &key)
+{
+    return readBytes(is, what, readSizeField(is, what, key + "_bytes"),
+                     key);
+}
+
+/** Filename-safe rendering of a workload name. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '-' || c == '_'
+            || c == '.';
+        out.push_back(ok ? c : '-');
+    }
+    return out;
+}
+
+} // namespace
+
+CkptStats
+ckptStats()
+{
+    const AtomicCkptStats &g = globalCkptStats();
+    CkptStats s;
+    s.hits = g.hits.load(std::memory_order_relaxed);
+    s.misses = g.misses.load(std::memory_order_relaxed);
+    s.writes = g.writes.load(std::memory_order_relaxed);
+    s.fallbacks = g.fallbacks.load(std::memory_order_relaxed);
+    s.bytesRead = g.bytesRead.load(std::memory_order_relaxed);
+    s.bytesWritten = g.bytesWritten.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetCkptStats()
+{
+    AtomicCkptStats &g = globalCkptStats();
+    g.hits.store(0, std::memory_order_relaxed);
+    g.misses.store(0, std::memory_order_relaxed);
+    g.writes.store(0, std::memory_order_relaxed);
+    g.fallbacks.store(0, std::memory_order_relaxed);
+    g.bytesRead.store(0, std::memory_order_relaxed);
+    g.bytesWritten.store(0, std::memory_order_relaxed);
+}
+
+void
+noteCkptMiss()
+{
+    globalCkptStats().misses.fetch_add(1, std::memory_order_relaxed);
+    Tracer::global().counter("ckpt.misses", 1);
+}
+
+void
+noteCkptFallback()
+{
+    globalCkptStats().fallbacks.fetch_add(1, std::memory_order_relaxed);
+    Tracer::global().counter("ckpt.fallbacks", 1);
+}
+
+void
+writeCheckpoint(std::ostream &os, const CheckpointEntry &entry)
+{
+    os << "BDSCKPT " << kCheckpointVersion << '\n'
+       << "hash " << entry.key.configHash << '\n'
+       << "slug " << entry.key.machineSlug << '\n'
+       << "machine_bytes " << entry.key.machineText.size() << '\n'
+       << entry.key.machineText
+       << "workload_bytes " << entry.key.workload.size() << '\n'
+       << entry.key.workload
+       << "node " << entry.key.node << '\n'
+       << "interval " << entry.interval << '\n'
+       << "state_fnv " << toHex64(fnv1a64(entry.state)) << '\n'
+       << "state_bytes " << entry.state.size() << '\n'
+       << entry.state
+       << "END\n";
+}
+
+CheckpointEntry
+readCheckpoint(std::istream &is, const std::string &what,
+               const CheckpointKey &expected,
+               std::uint64_t expectedInterval)
+{
+    CheckpointEntry entry;
+
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string magic;
+        unsigned version = 0;
+        if (!(ss >> magic >> version) || magic != "BDSCKPT")
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": not a bds checkpoint (bad magic)");
+        if (version != kCheckpointVersion)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": unsupported checkpoint version "
+                           << version << " (expected "
+                           << kCheckpointVersion << ")");
+    }
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> entry.key.configHash) || key != "hash"
+            || entry.key.configHash.size() != 16)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": malformed hash line '" << line << "'");
+    }
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> entry.key.machineSlug) || key != "slug")
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": malformed slug line '" << line << "'");
+    }
+    entry.key.machineText = readTextField(is, what, "machine");
+    entry.key.workload = readTextField(is, what, "workload");
+    entry.key.node = static_cast<unsigned>(
+        readSizeField(is, what, "node"));
+    entry.interval = readSizeField(is, what, "interval");
+
+    std::string declared_fnv;
+    {
+        const std::string line = readLine(is, what);
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> declared_fnv) || key != "state_fnv"
+            || declared_fnv.size() != 16)
+            BDS_RAISE(ErrorCode::Io,
+                      what << ": malformed state_fnv line '" << line
+                           << "'");
+    }
+    entry.state = readBytes(
+        is, what, readSizeField(is, what, "state_bytes"), "state");
+    if (toHex64(fnv1a64(entry.state)) != declared_fnv)
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": state payload checksum mismatch "
+                       << "(corrupt checkpoint)");
+    if (readLine(is, what) != "END")
+        BDS_RAISE(ErrorCode::Io,
+                  what << ": missing END sentinel (truncated "
+                       << "checkpoint)");
+
+    // Key verification: the machine text is the load-bearing guard
+    // (equal text implies equal geometry, hence an exactly matching
+    // state layout); hash/slug/workload/node/interval mismatches mean
+    // the file is not the checkpoint the caller asked for.
+    if (entry.key.machineText != expected.machineText
+        || entry.key.machineSlug != expected.machineSlug)
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  what << ": checkpoint was saved on machine '"
+                       << entry.key.machineSlug
+                       << "' and cannot restore on '"
+                       << expected.machineSlug
+                       << "' (geometry mismatch)");
+    if (entry.key.configHash != expected.configHash
+        || entry.key.workload != expected.workload
+        || entry.key.node != expected.node
+        || entry.interval != expectedInterval)
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  what << ": checkpoint is keyed to config "
+                       << entry.key.configHash << "/"
+                       << entry.key.workload << "/n" << entry.key.node
+                       << "/i" << entry.interval << ", expected "
+                       << expected.configHash << "/"
+                       << expected.workload << "/n" << expected.node
+                       << "/i" << expectedInterval);
+    return entry;
+}
+
+CheckpointCache::CheckpointCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        BDS_RAISE(ErrorCode::InvalidConfig,
+                  "checkpoint cache needs a directory");
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        BDS_RAISE(ErrorCode::Io, "cannot create checkpoint cache '"
+                                     << dir_ << "': "
+                                     << std::strerror(errno));
+}
+
+std::string
+CheckpointCache::path(const CheckpointKey &key,
+                      std::uint64_t interval) const
+{
+    std::ostringstream name;
+    name << dir_ << '/' << key.configHash << '_' << key.machineSlug
+         << '_' << sanitize(key.workload) << "_n" << key.node << "_i"
+         << interval << ".ckpt";
+    return name.str();
+}
+
+bool
+CheckpointCache::load(const CheckpointKey &key, std::uint64_t interval,
+                      std::string *state) const
+{
+    const std::string p = path(key, interval);
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    CheckpointEntry entry = readCheckpoint(in, p, key, interval);
+    AtomicCkptStats &g = globalCkptStats();
+    g.hits.fetch_add(1, std::memory_order_relaxed);
+    g.bytesRead.fetch_add(entry.state.size(),
+                          std::memory_order_relaxed);
+    Tracer::global().counter("ckpt.hits", 1);
+    Tracer::global().counter("ckpt.bytes_read", entry.state.size());
+    *state = std::move(entry.state);
+    return true;
+}
+
+void
+CheckpointCache::store(const CheckpointKey &key, std::uint64_t interval,
+                       const std::string &state) const
+{
+    const std::string p = path(key, interval);
+    const std::string tmp = p + ".tmp";
+    CheckpointEntry entry;
+    entry.key = key;
+    entry.interval = interval;
+    entry.state = state;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            BDS_RAISE(ErrorCode::Io,
+                      "cannot write checkpoint '" << tmp << "'");
+        writeCheckpoint(out, entry);
+        if (!out)
+            BDS_RAISE(ErrorCode::Io,
+                      "short write to checkpoint '" << tmp << "'");
+    }
+    if (std::rename(tmp.c_str(), p.c_str()) != 0)
+        BDS_RAISE(ErrorCode::Io, "cannot publish checkpoint '"
+                                     << p << "': "
+                                     << std::strerror(errno));
+    AtomicCkptStats &g = globalCkptStats();
+    g.writes.fetch_add(1, std::memory_order_relaxed);
+    g.bytesWritten.fetch_add(state.size(), std::memory_order_relaxed);
+    Tracer::global().counter("ckpt.writes", 1);
+    Tracer::global().counter("ckpt.bytes_written", state.size());
+}
+
+} // namespace bds

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The interval checkpoint container and its disk cache.
+ *
+ * A checkpoint captures the full SystemModel state at the entry of
+ * one sampled representative interval — after the replayer has
+ * unfrozen and zeroed the counters — so a later run can jump
+ * straight there instead of functionally warming every preceding
+ * interval (docs/CHECKPOINT.md; ROADMAP item 3, the SESC
+ * `*_chpt.conf` idiom).
+ *
+ * Keying: a checkpoint is only valid for the exact op stream and
+ * machine that produced it, so the key is the v2 runConfigHash (which
+ * folds in scale, seed, the resolved machine geometry, every sampling
+ * knob and the fault spec), plus the machine slug (human-readable
+ * filename component + restore tripwire), the workload name, the
+ * cluster-node shard and the interval index. The canonical machine
+ * text rides inside the container and must match exactly on load —
+ * a checkpoint can never be poured into a different geometry.
+ *
+ * Discipline (same as the serve result store): writes are atomic
+ * (temp file + rename) so concurrent processes sharing one directory
+ * never observe half a checkpoint; every load verifies magic,
+ * version, key fields and an FNV checksum, and any violation is a
+ * typed Error(Io) / Error(InvalidConfig) the replayer converts into
+ * a transparent warm-from-zero fallback.
+ */
+
+#ifndef BDS_CKPT_CHECKPOINT_H
+#define BDS_CKPT_CHECKPOINT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bds {
+
+/**
+ * Version of the on-disk checkpoint layout *and* of the state-payload
+ * schema underneath it (the saveState() field lists). Bump on any
+ * change to either; a foreign version on disk is a typed Io error
+ * that the replayer treats as "no checkpoint" — stale state is never
+ * silently restored.
+ */
+constexpr unsigned kCheckpointVersion = 1;
+
+/** Identity of one checkpoint stream (all intervals share it). */
+struct CheckpointKey
+{
+    /** runConfigHashHex() of the resolved run configuration. */
+    std::string configHash;
+
+    /** machineSlug() of the spec — filename component + tripwire. */
+    std::string machineSlug;
+
+    /**
+     * canonicalMachineText() of the resolved geometry. Stored in the
+     * container and compared exactly on load: equality implies every
+     * structure-level geometry guard in the payload matches too.
+     */
+    std::string machineText;
+
+    /** Workload name ("H-Sort", ...). */
+    std::string workload;
+
+    /** Cluster-node shard index. */
+    unsigned node = 0;
+};
+
+/** One checkpoint: the key, the interval, and the state payload. */
+struct CheckpointEntry
+{
+    CheckpointKey key;
+    std::uint64_t interval = 0;
+
+    /** SystemModel::saveState() bytes. */
+    std::string state;
+};
+
+/** Running process-wide checkpoint traffic counters. */
+struct CkptStats
+{
+    std::uint64_t hits = 0;      ///< checkpoints restored
+    std::uint64_t misses = 0;    ///< absent (written on cold passes)
+    std::uint64_t writes = 0;    ///< checkpoints persisted
+    std::uint64_t fallbacks = 0; ///< present but corrupt/mismatched
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+};
+
+/**
+ * Snapshot of the process-wide counters. The serve `stats` verb and
+ * `--stats-json` surface these; the same events are emitted as
+ * `ckpt.*` trace counters as they happen.
+ */
+CkptStats ckptStats();
+
+/** Zero the process-wide counters (tests, bench passes). */
+void resetCkptStats();
+
+/**
+ * Disk-backed checkpoint cache: one directory shared by the sampled
+ * pipeline, bds_serve and bench/dse_sweep. Thread-safe by
+ * construction — entries are immutable once published and writes are
+ * atomic renames.
+ */
+class CheckpointCache
+{
+  public:
+    /**
+     * Open (creating if needed) the cache directory. Error(Io) when
+     * it cannot be created, Error(InvalidConfig) when empty.
+     */
+    explicit CheckpointCache(std::string dir);
+
+    /** The entry file of (key, interval). */
+    std::string path(const CheckpointKey &key,
+                     std::uint64_t interval) const;
+
+    /** The cache directory. */
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Load the state payload for (key, interval) into *state.
+     * Returns false when absent. Raises Error(Io) on a corrupt,
+     * truncated or foreign-version entry and Error(InvalidConfig)
+     * when the entry belongs to a different machine or key — callers
+     * catch and fall back to warming from zero. Counts a hit (and
+     * bytes read) on success; the caller accounts misses/fallbacks,
+     * which are a per-replay policy.
+     */
+    bool load(const CheckpointKey &key, std::uint64_t interval,
+              std::string *state) const;
+
+    /**
+     * Atomically persist a checkpoint (temp file + rename). Counts a
+     * write and the payload bytes.
+     */
+    void store(const CheckpointKey &key, std::uint64_t interval,
+               const std::string &state) const;
+
+  private:
+    std::string dir_;
+};
+
+/** Serialize a checkpoint to the on-disk format (tests). */
+void writeCheckpoint(std::ostream &os, const CheckpointEntry &entry);
+
+/**
+ * Parse and verify a checkpoint against the expected key/interval;
+ * `what` names the source in diagnostics. Error(Io) on structural
+ * violations, Error(InvalidConfig) on machine/key mismatches.
+ */
+CheckpointEntry readCheckpoint(std::istream &is, const std::string &what,
+                               const CheckpointKey &expected,
+                               std::uint64_t expectedInterval);
+
+/** Count one miss / one fallback (replayer accounting helpers). */
+void noteCkptMiss();
+void noteCkptFallback();
+
+} // namespace bds
+
+#endif // BDS_CKPT_CHECKPOINT_H

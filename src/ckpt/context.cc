@@ -1,0 +1,35 @@
+#include "ckpt/context.h"
+
+#include "serve/confighash.h"
+#include "uarch/machine.h"
+
+namespace bds {
+
+CheckpointKey
+CheckpointContext::keyFor(const std::string &workload,
+                          unsigned node) const
+{
+    CheckpointKey key;
+    key.configHash = configHash;
+    key.machineSlug = machineSlug;
+    key.machineText = machineText;
+    key.workload = workload;
+    key.node = node;
+    return key;
+}
+
+CheckpointContext
+checkpointContextFor(const RunConfig &cfg)
+{
+    CheckpointContext ctx;
+    if (!cfg.ckpt.enabled)
+        return ctx;
+    ctx.cache = std::make_shared<CheckpointCache>(cfg.ckpt.dir);
+    ctx.configHash = runConfigHashHex(cfg);
+    ctx.machineSlug = bds::machineSlug(cfg.machineSpec);
+    ctx.machineText =
+        canonicalMachineText(resolveMachineSpec(cfg.machineSpec));
+    return ctx;
+}
+
+} // namespace bds

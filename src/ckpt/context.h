@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CheckpointContext — one resolved handle a run threads through the
+ * sampled pipeline so every replay shares the same cache directory
+ * and key prefix.
+ *
+ * The context is resolved once per RunConfig (checkpointContextFor):
+ * it opens the cache directory and precomputes the key components
+ * that are constant across the run — the v2 runConfigHash, the
+ * machine slug and the canonical machine text. Per-replay code only
+ * fills in what varies: the workload name, the cluster-node shard and
+ * the interval index.
+ *
+ * A disabled context (default-constructed, or resolved from a config
+ * with ckpt.enabled == false) has a null cache and is treated as "no
+ * checkpointing" everywhere — callers never branch on a separate
+ * flag.
+ */
+
+#ifndef BDS_CKPT_CONTEXT_H
+#define BDS_CKPT_CONTEXT_H
+
+#include <memory>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "obs/runconfig.h"
+
+namespace bds {
+
+/** A run's shared checkpoint cache + constant key components. */
+struct CheckpointContext
+{
+    /** Open cache; null means checkpointing is off. */
+    std::shared_ptr<CheckpointCache> cache;
+
+    /** runConfigHashHex() of the resolved configuration. */
+    std::string configHash;
+
+    /** machineSlug() of the run's machine spec. */
+    std::string machineSlug;
+
+    /** canonicalMachineText() of the resolved geometry. */
+    std::string machineText;
+
+    /** True when this context actually checkpoints. */
+    bool enabled() const { return cache != nullptr; }
+
+    /** The full key of one (workload, node) checkpoint stream. */
+    CheckpointKey keyFor(const std::string &workload,
+                         unsigned node) const;
+};
+
+/**
+ * Resolve `cfg` into a context: disabled (null cache) when
+ * cfg.ckpt.enabled is off, otherwise an open CheckpointCache on
+ * cfg.ckpt.dir plus the precomputed key prefix. Raises Error(Io)
+ * when the directory cannot be created and Error(InvalidConfig) /
+ * Error(UnknownName) when the machine spec does not resolve.
+ */
+CheckpointContext checkpointContextFor(const RunConfig &cfg);
+
+} // namespace bds
+
+#endif // BDS_CKPT_CONTEXT_H

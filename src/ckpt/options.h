@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Knobs for the interval checkpoint/restore subsystem.
+ *
+ * Kept dependency-free (a bool and a string) so RunConfig can embed a
+ * CkptOptions without bds_obs linking the checkpoint machinery — the
+ * same pattern as SamplingOptions and ServeOptions.
+ *
+ * Options-struct convention (shared by PipelineOptions,
+ * SamplingOptions, ServeOptions and this struct — see
+ * docs/CHECKPOINT.md "One options convention"):
+ *  - `enabled` is the master switch and defaults to off, so a run
+ *    without the knob is bitwise-identical to one predating the
+ *    subsystem;
+ *  - directory fields end in `Dir`, file fields end in `Path`;
+ *  - RunConfig is the only env/flag funnel — no struct reads
+ *    getenv() itself.
+ *
+ * Environment / flags (resolved by RunConfig, strict — garbage is
+ * fatal, never a silent default):
+ *   BDS_CKPT     = 0 | 1    --ckpt / --no-ckpt
+ *   BDS_CKPT_DIR = <dir>    --ckpt-dir DIR   (implies enabled, like
+ *                                             BDS_TRACE_FILE)
+ */
+
+#ifndef BDS_CKPT_OPTIONS_H
+#define BDS_CKPT_OPTIONS_H
+
+#include <string>
+
+namespace bds {
+
+/** Configuration of the checkpoint/restore path. */
+struct CkptOptions
+{
+    /**
+     * Master switch: off replays with functional warming from zero,
+     * bitwise-identical to the pre-checkpoint tree. On, the sampled
+     * replayer restores representative-interval entry state from the
+     * checkpoint directory when present and writes it when absent.
+     */
+    bool enabled = false;
+
+    /**
+     * Directory of the checkpoint cache. One file per (config hash,
+     * machine, workload, node, interval); shared by the sampled
+     * pipeline, bds_serve and bench/dse_sweep, with the result
+     * store's atomic-rename + typed-Io-on-corruption discipline.
+     */
+    std::string dir = "bds_ckpt_cache";
+};
+
+} // namespace bds
+
+#endif // BDS_CKPT_OPTIONS_H

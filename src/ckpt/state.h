@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The uniform simulation-state serialization interface.
+ *
+ * Every state-bearing structure — SetAssocCache, TlbArray,
+ * TwoLevelTlb, GshareBranchPredictor, PmcCounters, CoreModel,
+ * SystemModel — implements the same two-method visitor contract:
+ *
+ *   void saveState(StateSink &sink) const;
+ *   void loadState(StateSource &src);
+ *
+ * One schema, no per-structure ad-hoc I/O: a structure writes a
+ * section tag followed by fixed-width little-endian fields, and reads
+ * them back in the same order. The sink/source pair owns all byte
+ * encoding, so a structure's save/load methods are a single visibly
+ * symmetric field list.
+ *
+ * Hardening contract: every structural violation on the read side —
+ * underflow, a section tag that is not the expected one, a geometry
+ * guard mismatch, trailing bytes at finish() — raises a typed
+ * Error(Io). Restoring from a corrupt payload can therefore never be
+ * UB or silent drift; callers (the checkpoint cache, the sampled
+ * replayer) catch the typed error and fall back to warming from zero.
+ *
+ * Layering: depends only on bds_fault (for the typed errors), so
+ * bds_uarch can link it without pulling in the checkpoint container
+ * or anything above it.
+ */
+
+#ifndef BDS_CKPT_STATE_H
+#define BDS_CKPT_STATE_H
+
+#include <cstdint>
+#include <string>
+
+namespace bds {
+
+/**
+ * Byte-accurate state writer. Integers are fixed-width little-endian;
+ * doubles travel as their IEEE-754 bit pattern, so a save/load round
+ * trip is bitwise-exact (the checkpoint contract) on any host.
+ */
+class StateSink
+{
+  public:
+    /** Begin a section; the source must ask for the same tag. */
+    void section(const char (&tag)[5]);
+
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** IEEE-754 bit pattern, not a decimal rendering. */
+    void f64(double v);
+    /** Length-prefixed byte string. */
+    void str(const std::string &s);
+
+    /** The serialized payload so far. */
+    const std::string &bytes() const { return buf_; }
+
+    /** Move the payload out (invalidates the sink). */
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Byte-accurate state reader over a payload produced by StateSink.
+ * Every structural violation is a typed Error(Io): reading past the
+ * end, a wrong section tag, or — via check() — a geometry guard that
+ * does not match the restoring structure.
+ */
+class StateSource
+{
+  public:
+    /**
+     * @param payload The serialized bytes (not owned; must outlive
+     *        the source).
+     * @param what Names the payload origin in diagnostics.
+     */
+    StateSource(const std::string &payload, std::string what);
+
+    /** Consume and verify a section tag; Error(Io) on mismatch. */
+    void section(const char (&tag)[5]);
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /**
+     * Guard helper: verify a config-derived value recorded in the
+     * payload equals what the restoring structure was built with.
+     * Raises Error(Io) naming `field` on mismatch — a payload must
+     * never be poured into a structure of a different shape.
+     */
+    void check(const char *field, std::uint64_t expected);
+
+    /** Verify the payload was fully consumed; Error(Io) otherwise. */
+    void finish() const;
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return payload_.size() - pos_; }
+
+  private:
+    /** Take `n` raw bytes; Error(Io) on underflow. */
+    const char *take(std::size_t n, const char *label);
+
+    const std::string &payload_;
+    std::string what_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace bds
+
+#endif // BDS_CKPT_STATE_H

@@ -90,12 +90,18 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
         os << ",\n"
            << "    \"serve\": {\"socket\": \""
            << jsonEscape(c.serve.socketPath) << "\", \"cache_dir\": \""
-           << jsonEscape(c.serve.cacheDir)
+           << jsonEscape(c.serve.storeDir)
            << "\", \"max_inflight\": " << c.serve.maxInFlight
            << ", \"bypass\": "
-           << (c.serve.bypassCache ? "true" : "false")
+           << (c.serve.bypassStore ? "true" : "false")
            << ", \"request_log\": \""
-           << jsonEscape(c.serve.requestLogPath) << "\"}";
+           << jsonEscape(c.serve.logPath) << "\"}";
+    // Likewise, only checkpoint-enabled runs carry the block —
+    // manifests of runs without the knob stay byte-identical.
+    if (c.ckpt.enabled)
+        os << ",\n"
+           << "    \"checkpoint\": {\"enabled\": true, \"dir\": \""
+           << jsonEscape(c.ckpt.dir) << "\"}";
     os << "\n"
        << "  },\n"
        << "  \"stages\": [";
@@ -187,12 +193,19 @@ parseRunManifest(std::istream &is)
         const JsonValue &sv = cfg.at("serve");
         m.config.serve.enabled = true;
         m.config.serve.socketPath = sv.at("socket").asString();
-        m.config.serve.cacheDir = sv.at("cache_dir").asString();
+        m.config.serve.storeDir = sv.at("cache_dir").asString();
         m.config.serve.maxInFlight = static_cast<unsigned>(
             sv.at("max_inflight").asUint());
-        m.config.serve.bypassCache = sv.at("bypass").asBool();
-        m.config.serve.requestLogPath =
+        m.config.serve.bypassStore = sv.at("bypass").asBool();
+        m.config.serve.logPath =
             sv.at("request_log").asString();
+    }
+
+    // Only checkpoint-enabled runs carry the checkpoint block.
+    if (cfg.has("checkpoint")) {
+        const JsonValue &ck = cfg.at("checkpoint");
+        m.config.ckpt.enabled = ck.at("enabled").asBool();
+        m.config.ckpt.dir = ck.at("dir").asString();
     }
 
     for (const JsonValue &st : root.at("stages").asArray()) {

@@ -168,15 +168,26 @@ RunConfig::applyEnv()
     if (const char *v = std::getenv("BDS_SERVE_CACHE")) {
         if (*v == '\0')
             BDS_FATAL("BDS_SERVE_CACHE must name a directory");
-        serve.cacheDir = v;
+        serve.storeDir = v;
     }
     if (const char *v = std::getenv("BDS_SERVE_MAX_INFLIGHT"))
         serve.maxInFlight = static_cast<unsigned>(
             parseUint("BDS_SERVE_MAX_INFLIGHT", v));
     if (const char *v = std::getenv("BDS_SERVE_BYPASS"))
-        serve.bypassCache = parseSwitch("BDS_SERVE_BYPASS", v);
+        serve.bypassStore = parseSwitch("BDS_SERVE_BYPASS", v);
     if (const char *v = std::getenv("BDS_SERVE_LOG"))
-        serve.requestLogPath = v;
+        serve.logPath = v;
+
+    if (const char *v = std::getenv("BDS_CKPT_DIR")) {
+        if (*v == '\0')
+            BDS_FATAL("BDS_CKPT_DIR must name a directory");
+        ckpt.dir = v;
+        ckpt.enabled = true;
+    }
+    // The explicit switch outranks the directory-implied enable, so
+    // BDS_CKPT=0 can park a configured cache without unsetting its dir.
+    if (const char *v = std::getenv("BDS_CKPT"))
+        ckpt.enabled = parseSwitch("BDS_CKPT", v);
 
     if (const char *v = std::getenv("BDS_TRACE"))
         trace = parseSwitch("BDS_TRACE", v);
@@ -284,17 +295,26 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
         } else if (flag == "--serve-socket") {
             serve.socketPath = take(flag, inlineVal, hasInline);
         } else if (flag == "--serve-cache") {
-            serve.cacheDir = take(flag, inlineVal, hasInline);
-            if (serve.cacheDir.empty())
+            serve.storeDir = take(flag, inlineVal, hasInline);
+            if (serve.storeDir.empty())
                 BDS_FATAL("--serve-cache must name a directory");
         } else if (flag == "--serve-max-inflight") {
             serve.maxInFlight = static_cast<unsigned>(parseUint(
                 "--serve-max-inflight",
                 take(flag, inlineVal, hasInline)));
         } else if (flag == "--serve-bypass") {
-            serve.bypassCache = true;
+            serve.bypassStore = true;
         } else if (flag == "--serve-log") {
-            serve.requestLogPath = take(flag, inlineVal, hasInline);
+            serve.logPath = take(flag, inlineVal, hasInline);
+        } else if (flag == "--ckpt") {
+            ckpt.enabled = true;
+        } else if (flag == "--no-ckpt") {
+            ckpt.enabled = false;
+        } else if (flag == "--ckpt-dir") {
+            ckpt.dir = take(flag, inlineVal, hasInline);
+            if (ckpt.dir.empty())
+                BDS_FATAL("--ckpt-dir must name a directory");
+            ckpt.enabled = true;
         } else {
             rest.push_back(arg);
         }
@@ -339,15 +359,17 @@ RunConfig::describe() const
     if (fault.any())
         os << " fault-injection=on";
     if (serve.enabled) {
-        os << " serve(cache=" << serve.cacheDir;
+        os << " serve(store=" << serve.storeDir;
         if (!serve.socketPath.empty())
             os << ",socket=" << serve.socketPath;
         if (serve.maxInFlight)
             os << ",max-inflight=" << serve.maxInFlight;
-        if (serve.bypassCache)
+        if (serve.bypassStore)
             os << ",bypass";
         os << ")";
     }
+    if (ckpt.enabled)
+        os << " ckpt(dir=" << ckpt.dir << ")";
     if (trace)
         os << " trace=" << resolvedTracePath();
     return os.str();

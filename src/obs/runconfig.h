@@ -57,6 +57,10 @@
  *                                           (0 = all cores)
  *   BDS_SERVE_BYPASS   = 0 | 1              skip the result store
  *   BDS_SERVE_LOG      = <path>             binary request log
+ *   BDS_CKPT           = 0 | 1              interval checkpoint/
+ *                                           restore
+ *   BDS_CKPT_DIR       = <dir>              checkpoint cache
+ *                                           directory (implies on)
  *
  * Flags (each also accepts --flag=value):
  *   --scale S, --seed N, --threads N, --machine SPEC,
@@ -66,7 +70,8 @@
  *   --fault-throw L, --fault-stall L, --fault-corrupt L,
  *   --fault-alloc L, --fault-stall-ms N, --fault-attempts N,
  *   --serve-socket PATH, --serve-cache DIR, --serve-max-inflight N,
- *   --serve-bypass, --serve-log PATH
+ *   --serve-bypass, --serve-log PATH,
+ *   --ckpt, --no-ckpt, --ckpt-dir DIR
  */
 
 #ifndef BDS_OBS_RUNCONFIG_H
@@ -76,6 +81,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/options.h"
 #include "common/parallel.h"
 #include "fault/options.h"
 #include "sample/options.h"
@@ -130,6 +136,16 @@ struct RunConfig
      * library stack.
      */
     ServeOptions serve;
+
+    /**
+     * Interval checkpoint/restore knobs (BDS_CKPT, BDS_CKPT_DIR).
+     * Off by default — a run without the knob warms from zero,
+     * bitwise-identical to the pre-checkpoint tree. Interpreted by
+     * checkpointContextFor() (src/ckpt/context.h) where the cache
+     * machinery lives; like the structs above, the options header is
+     * dependency-free so bds_obs stays at the bottom of the stack.
+     */
+    CkptOptions ckpt;
 
     /**
      * Metric subset by canonical schema name; empty means the full

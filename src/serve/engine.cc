@@ -5,6 +5,7 @@
 #include <ctime>
 #include <sstream>
 
+#include "ckpt/context.h"
 #include "core/csvio.h"
 #include "core/pipeline.h"
 #include "core/report.h"
@@ -69,7 +70,7 @@ struct ServeEngine::Gate
 };
 
 ServeEngine::ServeEngine(RunConfig base, Session *session)
-    : base_(std::move(base)), store_(base_.serve.cacheDir),
+    : base_(std::move(base)), store_(base_.serve.storeDir),
       session_(session),
       maxInFlight_(base_.serve.maxInFlight
                        ? base_.serve.maxInFlight
@@ -105,6 +106,10 @@ ServeEngine::computeCell(const RunConfig &cfg)
     SweepReport report;
     if (cfg.sampling.enabled) {
         SampledCharacterizer sampler(runner, cfg.sampling);
+        // The checkpoint cache rides along: a recomputed cell (store
+        // bypassed, or a cell retired by a schema bump) still reuses
+        // the representative-entry snapshots keyed to its config.
+        sampler.setCheckpoints(checkpointContextFor(cfg));
         metrics = sampler.runAll(nullptr, &report);
     } else {
         metrics = runner.runAll(nullptr, nullptr, &report);
@@ -215,7 +220,7 @@ ServeEngine::handle(const RequestRecord &req)
         resp.hashHex = runConfigHashHex(cfg);
 
         ComputedResult result;
-        const bool bypass = base_.serve.bypassCache
+        const bool bypass = base_.serve.bypassStore
             || (req.flags & kServeFlagBypass);
         if (bypass) {
             Tracer::global().counter("serve.bypass", 1);
@@ -260,7 +265,7 @@ ServeEngine::handle(const RequestRecord &req)
         else
             ++stats_.misses;
         if (resp.ok
-            && (base_.serve.bypassCache
+            && (base_.serve.bypassStore
                 || (req.flags & kServeFlagBypass)))
             ++stats_.bypassed;
     }
@@ -271,7 +276,9 @@ ServeStats
 ServeEngine::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ServeStats out = stats_;
+    out.ckpt = ckptStats();
+    return out;
 }
 
 } // namespace bds

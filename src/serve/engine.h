@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "fault/error.h"
 #include "obs/runconfig.h"
 #include "serve/request.h"
@@ -81,6 +82,14 @@ struct ServeStats
     std::uint64_t misses = 0;   ///< computed (and usually cached)
     std::uint64_t errors = 0;   ///< answered with an error response
     std::uint64_t bypassed = 0; ///< computed with the store bypassed
+
+    /**
+     * Interval checkpoint traffic of this process's sampled replays
+     * (src/ckpt): populated from the process-wide ckptStats() when
+     * the snapshot is taken, so the `stats` verb and --stats-json
+     * show how much re-characterization the checkpoint cache saved.
+     */
+    CkptStats ckpt;
 };
 
 /** The transport-independent characterization service. */

@@ -54,7 +54,10 @@ printUsage(std::ostream &os)
           "  --serve-log FILE          append requests to a binary "
           "log\n"
           "  --payload-dir DIR         mirror payloads to DIR/<i>.csv\n"
-          "  --stats-json FILE         final counters as JSON\n\n"
+          "  --stats-json FILE         final counters as JSON\n"
+          "  --ckpt / --ckpt-dir DIR   interval checkpoint cache for\n"
+          "                            sampled recomputes "
+          "(docs/CHECKPOINT.md)\n\n"
           "plus the common BDS_* knobs: --scale/--seed/--threads/\n"
           "--machine/--sampled/--trace/--manifest... "
           "(src/obs/runconfig.h).\n";
@@ -71,7 +74,15 @@ writeStatsJson(const std::string &path, const bds::ServeStats &s)
         << "  \"hits\": " << s.hits << ",\n"
         << "  \"misses\": " << s.misses << ",\n"
         << "  \"errors\": " << s.errors << ",\n"
-        << "  \"bypassed\": " << s.bypassed << "\n"
+        << "  \"bypassed\": " << s.bypassed << ",\n"
+        << "  \"ckpt\": {\n"
+        << "    \"hits\": " << s.ckpt.hits << ",\n"
+        << "    \"misses\": " << s.ckpt.misses << ",\n"
+        << "    \"writes\": " << s.ckpt.writes << ",\n"
+        << "    \"fallbacks\": " << s.ckpt.fallbacks << ",\n"
+        << "    \"bytes_read\": " << s.ckpt.bytesRead << ",\n"
+        << "    \"bytes_written\": " << s.ckpt.bytesWritten << "\n"
+        << "  }\n"
         << "}\n";
 }
 

@@ -6,6 +6,14 @@
  * embed a ServeOptions without bds_obs linking the serving machinery;
  * ServeEngine/ServeServer (src/serve) interpret the knobs.
  *
+ * Options-struct convention (shared with PipelineOptions,
+ * SamplingOptions and CkptOptions — see docs/CHECKPOINT.md "One
+ * options convention"):
+ *  - `enabled` is the master switch and defaults to off;
+ *  - directory fields end in `Dir`, file fields end in `Path`;
+ *  - RunConfig is the only env/flag funnel — no struct reads
+ *    getenv() itself.
+ *
  * Environment / flags (resolved by RunConfig, strict like every
  * other BDS_* knob — garbage values are fatal, never silent
  * defaults):
@@ -42,8 +50,11 @@ struct ServeOptions
     /**
      * Directory of the content-addressed result store. One file per
      * distinct resolved configuration, named by its runConfigHash.
+     * (The env knob stays BDS_SERVE_CACHE and the manifest wire key
+     * stays "cache_dir" — on-disk/wire compatibility outlives field
+     * spellings.)
      */
-    std::string cacheDir = "bds_serve_cache";
+    std::string storeDir = "bds_serve_cache";
 
     /**
      * Maximum characterization sweeps computed concurrently; cache
@@ -54,16 +65,51 @@ struct ServeOptions
 
     /**
      * Skip the result store entirely: every request recomputes and
-     * nothing is written. For A/B-checking the cache path itself.
+     * nothing is written. For A/B-checking the store path itself.
      */
-    bool bypassCache = false;
+    bool bypassStore = false;
 
     /**
      * Durable request log: every accepted request is appended as a
      * fixed-size binary record (src/serve/request.h), replayable with
      * `bds_serve --replay` and bench/serve_replay. Empty = no log.
      */
-    std::string requestLogPath;
+    std::string logPath;
+
+    // Deprecated field spellings, predating the one-convention
+    // cleanup. Reference aliases of the fields above: reads and
+    // writes keep working (and warn), new code names the real field.
+    [[deprecated("use storeDir")]]
+    std::string &cacheDir = storeDir;
+    [[deprecated("use bypassStore")]]
+    bool &bypassCache = bypassStore;
+    [[deprecated("use logPath")]]
+    std::string &requestLogPath = logPath;
+
+    // The alias references pin the implicit copy operations to the
+    // source object's members; copy the real fields instead. The
+    // constructors (re)bind the aliases, which counts as a "use" —
+    // silence that here so only genuinely stale call sites warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    ServeOptions() = default;
+    ServeOptions(const ServeOptions &o)
+        : enabled(o.enabled), socketPath(o.socketPath),
+          storeDir(o.storeDir), maxInFlight(o.maxInFlight),
+          bypassStore(o.bypassStore), logPath(o.logPath)
+    {
+    }
+    ServeOptions &operator=(const ServeOptions &o)
+    {
+        enabled = o.enabled;
+        socketPath = o.socketPath;
+        storeDir = o.storeDir;
+        maxInFlight = o.maxInFlight;
+        bypassStore = o.bypassStore;
+        logPath = o.logPath;
+        return *this;
+    }
+#pragma GCC diagnostic pop
 };
 
 } // namespace bds

@@ -60,7 +60,7 @@ struct ClientRoster
 } // namespace
 
 ServeServer::ServeServer(RunConfig cfg, Session *session)
-    : engine_(cfg, session), requestLogPath_(cfg.serve.requestLogPath)
+    : engine_(cfg, session), requestLogPath_(cfg.serve.logPath)
 {
     if (!requestLogPath_.empty())
         log_ = std::make_unique<RequestLogWriter>(requestLogPath_);
@@ -143,7 +143,13 @@ ServeServer::handleLine(const std::string &raw, std::uint64_t id,
         const ServeStats s = engine_.stats();
         out << "stats requests=" << s.requests << " hits=" << s.hits
             << " misses=" << s.misses << " errors=" << s.errors
-            << " bypassed=" << s.bypassed << '\n';
+            << " bypassed=" << s.bypassed
+            << " ckpt_hits=" << s.ckpt.hits
+            << " ckpt_misses=" << s.ckpt.misses
+            << " ckpt_writes=" << s.ckpt.writes
+            << " ckpt_fallbacks=" << s.ckpt.fallbacks
+            << " ckpt_bytes_read=" << s.ckpt.bytesRead
+            << " ckpt_bytes_written=" << s.ckpt.bytesWritten << '\n';
         out.flush();
         return true;
     }

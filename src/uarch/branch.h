@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/state.h"
+
 namespace bds {
 
 /** Gshare predictor with configurable history length. */
@@ -48,6 +50,12 @@ class GshareBranchPredictor
         history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask_;
         return prediction == taken;
     }
+
+    /** Serialize the global history and the full counter table. */
+    void saveState(StateSink &sink) const;
+
+    /** Restore a saveState() payload; Error(Io) on any mismatch. */
+    void loadState(StateSource &src);
 
   private:
     std::uint32_t mask_;    ///< table size - 1

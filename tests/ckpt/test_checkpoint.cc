@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The checkpoint container and disk cache, and their hardening
+ * contract: a round trip is exact; a truncated file, a flipped
+ * checksum byte, a foreign schema version, or a wrong-machine /
+ * wrong-key entry is a typed Error(Io) / Error(InvalidConfig) —
+ * never UB, never silently restored state.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "fault/error.h"
+
+namespace {
+
+using bds::CheckpointCache;
+using bds::CheckpointEntry;
+using bds::CheckpointKey;
+using bds::ckptStats;
+using bds::CkptStats;
+using bds::Error;
+using bds::ErrorCode;
+using bds::readCheckpoint;
+using bds::resetCkptStats;
+using bds::writeCheckpoint;
+
+CheckpointKey
+makeKey()
+{
+    CheckpointKey key;
+    key.configHash = "0123456789abcdef";
+    key.machineSlug = "default";
+    key.machineText = "cores=4 l1d=32K l2=256K l3=12M";
+    key.workload = "H-Sort";
+    key.node = 0;
+    return key;
+}
+
+CheckpointEntry
+makeEntry()
+{
+    CheckpointEntry entry;
+    entry.key = makeKey();
+    entry.interval = 7;
+    entry.state = std::string("state-payload-") + "\x01\x02\xff\x00"
+        + "-with-binary-bytes";
+    return entry;
+}
+
+std::string
+serialized(const CheckpointEntry &entry)
+{
+    std::ostringstream os;
+    writeCheckpoint(os, entry);
+    return os.str();
+}
+
+/** readCheckpoint over in-memory bytes, returning the typed code. */
+ErrorCode
+parseCode(const std::string &bytes, const CheckpointKey &key,
+          std::uint64_t interval)
+{
+    std::istringstream is(bytes);
+    try {
+        readCheckpoint(is, "test-entry", key, interval);
+    } catch (const Error &e) {
+        return e.code();
+    }
+    return ErrorCode::None;
+}
+
+TEST(CheckpointContainer, RoundTripIsExact)
+{
+    const CheckpointEntry entry = makeEntry();
+    std::istringstream is(serialized(entry));
+    const CheckpointEntry back =
+        readCheckpoint(is, "round-trip", entry.key, entry.interval);
+    EXPECT_EQ(back.state, entry.state);
+    EXPECT_EQ(back.key.configHash, entry.key.configHash);
+    EXPECT_EQ(back.key.machineSlug, entry.key.machineSlug);
+    EXPECT_EQ(back.key.machineText, entry.key.machineText);
+    EXPECT_EQ(back.key.workload, entry.key.workload);
+    EXPECT_EQ(back.key.node, entry.key.node);
+    EXPECT_EQ(back.interval, entry.interval);
+}
+
+TEST(CheckpointContainer, TruncationAnywhereIsTypedIo)
+{
+    const CheckpointEntry entry = makeEntry();
+    const std::string bytes = serialized(entry);
+    // Chop at several depths: inside the header lines, inside the
+    // state payload, and just before the END sentinel.
+    for (std::size_t keep :
+         {std::size_t(3), bytes.size() / 4, bytes.size() / 2,
+          bytes.size() - 5}) {
+        EXPECT_EQ(parseCode(bytes.substr(0, keep), entry.key,
+                            entry.interval),
+                  ErrorCode::Io)
+            << "kept " << keep << " of " << bytes.size() << " bytes";
+    }
+}
+
+TEST(CheckpointContainer, FlippedPayloadByteFailsTheChecksum)
+{
+    const CheckpointEntry entry = makeEntry();
+    std::string bytes = serialized(entry);
+    const std::size_t pos = bytes.find("state-payload-");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos + 3] ^= 0x20; // one bit inside the state payload
+    EXPECT_EQ(parseCode(bytes, entry.key, entry.interval),
+              ErrorCode::Io);
+}
+
+TEST(CheckpointContainer, ForeignVersionIsTypedIo)
+{
+    const CheckpointEntry entry = makeEntry();
+    std::string bytes = serialized(entry);
+    ASSERT_EQ(bytes.rfind("BDSCKPT 1\n", 0), 0u) << bytes.substr(0, 16);
+    bytes.replace(0, 9, "BDSCKPT 999");
+    EXPECT_EQ(parseCode(bytes, entry.key, entry.interval),
+              ErrorCode::Io);
+
+    std::string garbage = "not a checkpoint at all\n";
+    EXPECT_EQ(parseCode(garbage, entry.key, entry.interval),
+              ErrorCode::Io);
+}
+
+TEST(CheckpointContainer, WrongMachineIsInvalidConfig)
+{
+    const CheckpointEntry entry = makeEntry();
+    const std::string bytes = serialized(entry);
+
+    CheckpointKey other_slug = entry.key;
+    other_slug.machineSlug = "l1-16k";
+    EXPECT_EQ(parseCode(bytes, other_slug, entry.interval),
+              ErrorCode::InvalidConfig);
+
+    CheckpointKey other_text = entry.key;
+    other_text.machineText = "cores=4 l1d=16K l2=256K l3=12M";
+    EXPECT_EQ(parseCode(bytes, other_text, entry.interval),
+              ErrorCode::InvalidConfig);
+}
+
+TEST(CheckpointContainer, WrongKeyOrIntervalIsInvalidConfig)
+{
+    const CheckpointEntry entry = makeEntry();
+    const std::string bytes = serialized(entry);
+
+    CheckpointKey other_hash = entry.key;
+    other_hash.configHash = "fedcba9876543210";
+    EXPECT_EQ(parseCode(bytes, other_hash, entry.interval),
+              ErrorCode::InvalidConfig);
+
+    CheckpointKey other_workload = entry.key;
+    other_workload.workload = "S-Grep";
+    EXPECT_EQ(parseCode(bytes, other_workload, entry.interval),
+              ErrorCode::InvalidConfig);
+
+    EXPECT_EQ(parseCode(bytes, entry.key, entry.interval + 1),
+              ErrorCode::InvalidConfig);
+}
+
+TEST(CheckpointCacheTest, EmptyDirectoryIsInvalidConfig)
+{
+    try {
+        CheckpointCache cache("");
+        FAIL() << "empty cache dir was accepted";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidConfig);
+    }
+}
+
+TEST(CheckpointCacheTest, StoreLoadRoundTripCountsTraffic)
+{
+    const std::string dir =
+        ::testing::TempDir() + "bds_ckpt_cache_test";
+    CheckpointCache cache(dir);
+    const CheckpointEntry entry = makeEntry();
+    std::remove(cache.path(entry.key, entry.interval).c_str());
+
+    resetCkptStats();
+    cache.store(entry.key, entry.interval, entry.state);
+    std::string state;
+    ASSERT_TRUE(cache.load(entry.key, entry.interval, &state));
+    EXPECT_EQ(state, entry.state);
+
+    // An absent interval is a clean false, not an exception.
+    EXPECT_FALSE(cache.load(entry.key, entry.interval + 1, &state));
+
+    const CkptStats s = ckptStats();
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.bytesWritten, entry.state.size());
+    EXPECT_EQ(s.bytesRead, entry.state.size());
+
+    std::remove(cache.path(entry.key, entry.interval).c_str());
+}
+
+TEST(CheckpointCacheTest, CorruptFileOnDiskIsTypedIoNotUB)
+{
+    const std::string dir =
+        ::testing::TempDir() + "bds_ckpt_cache_corrupt";
+    CheckpointCache cache(dir);
+    const CheckpointEntry entry = makeEntry();
+    const std::string path = cache.path(entry.key, entry.interval);
+    cache.store(entry.key, entry.interval, entry.state);
+
+    // Truncate the published entry to half its size in place.
+    std::string bytes = serialized(entry);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() / 2);
+    }
+    std::string state;
+    try {
+        cache.load(entry.key, entry.interval, &state);
+        FAIL() << "truncated on-disk checkpoint loaded";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace

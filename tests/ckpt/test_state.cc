@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The StateSink/StateSource visitor contract: bitwise round trips of
+ * every field type, and a typed Error(Io) on every structural
+ * violation — underflow, wrong section tag, geometry-guard mismatch,
+ * trailing bytes. Corrupt state payloads must never be UB.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/state.h"
+#include "fault/error.h"
+
+namespace {
+
+using bds::Error;
+using bds::ErrorCode;
+using bds::StateSink;
+using bds::StateSource;
+
+/** Run `body` and return the typed code it raised (None if clean). */
+template <typename Fn>
+ErrorCode
+raisedCode(Fn &&body)
+{
+    try {
+        body();
+    } catch (const Error &e) {
+        return e.code();
+    }
+    return ErrorCode::None;
+}
+
+TEST(StateVisitor, EveryFieldTypeRoundTripsBitwise)
+{
+    StateSink sink;
+    sink.section("TEST");
+    sink.u8(0xab);
+    sink.u32(0xdeadbeefu);
+    sink.u64(0x0123456789abcdefull);
+    sink.f64(0.1); // not exactly representable: bit pattern must hold
+    sink.f64(-0.0);
+    sink.f64(std::numeric_limits<double>::denorm_min());
+    sink.f64(std::numeric_limits<double>::infinity());
+    sink.str("H-Sort");
+    sink.str(std::string("\0with\0nuls", 10));
+
+    StateSource src(sink.bytes(), "roundtrip");
+    src.section("TEST");
+    EXPECT_EQ(src.u8(), 0xab);
+    EXPECT_EQ(src.u32(), 0xdeadbeefu);
+    EXPECT_EQ(src.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(src.f64(), 0.1);
+    const double neg_zero = src.f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(src.f64(), std::numeric_limits<double>::denorm_min());
+    EXPECT_EQ(src.f64(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(src.str(), "H-Sort");
+    EXPECT_EQ(src.str(), std::string("\0with\0nuls", 10));
+    EXPECT_EQ(src.remaining(), 0u);
+    EXPECT_NO_THROW(src.finish());
+}
+
+TEST(StateVisitor, CheckGuardsMatchAndMismatch)
+{
+    StateSink sink;
+    sink.section("GEOM");
+    sink.u64(64); // a geometry field, e.g. a line size
+
+    StateSource ok(sink.bytes(), "guard-ok");
+    ok.section("GEOM");
+    EXPECT_NO_THROW(ok.check("line_size", 64));
+
+    StateSource bad(sink.bytes(), "guard-bad");
+    bad.section("GEOM");
+    EXPECT_EQ(raisedCode([&] { bad.check("line_size", 128); }),
+              ErrorCode::Io);
+}
+
+TEST(StateVisitor, WrongSectionTagIsTypedIo)
+{
+    StateSink sink;
+    sink.section("CACH");
+    const std::string payload = sink.bytes();
+    StateSource src(payload, "wrong-tag");
+    EXPECT_EQ(raisedCode([&] { src.section("TLBA"); }),
+              ErrorCode::Io);
+}
+
+TEST(StateVisitor, UnderflowIsTypedIoNeverUB)
+{
+    StateSink sink;
+    sink.u32(7);
+    const std::string payload = sink.bytes();
+
+    StateSource ints(payload, "underflow");
+    ints.u32();
+    EXPECT_EQ(raisedCode([&] { ints.u32(); }), ErrorCode::Io);
+
+    // A length-prefixed string whose length outruns the payload.
+    StateSink liar;
+    liar.u64(1u << 20); // claims a megabyte follows
+    const std::string lying = liar.bytes();
+    StateSource str(lying, "lying-length");
+    EXPECT_EQ(raisedCode([&] { str.str(); }), ErrorCode::Io);
+
+    // An empty payload fails immediately, including on sections.
+    const std::string empty;
+    StateSource none(empty, "empty");
+    EXPECT_EQ(raisedCode([&] { none.section("CACH"); }),
+              ErrorCode::Io);
+}
+
+TEST(StateVisitor, TrailingBytesFailFinish)
+{
+    StateSink sink;
+    sink.u32(1);
+    sink.u32(2);
+    const std::string payload = sink.bytes();
+    StateSource src(payload, "trailing");
+    src.u32();
+    EXPECT_EQ(raisedCode([&] { src.finish(); }), ErrorCode::Io);
+}
+
+} // namespace

@@ -116,6 +116,33 @@ TEST(ObsManifest, PreDseManifestsDefaultTheMachine)
     EXPECT_EQ(r.config.machineSpec, "default");
 }
 
+TEST(ObsManifest, CheckpointBlockRoundTripsAndIsOmittedWhenOff)
+{
+    // Off (the default): no block, and the manifest text stays
+    // byte-identical to the pre-checkpoint layout.
+    RunManifest plain = sampleManifest();
+    std::ostringstream off;
+    writeRunManifest(off, plain);
+    EXPECT_EQ(off.str().find("\"checkpoint\""), std::string::npos);
+    {
+        std::istringstream is(off.str());
+        RunManifest r = parseRunManifest(is);
+        EXPECT_FALSE(r.config.ckpt.enabled);
+    }
+
+    // On: the block records the directory and round-trips.
+    RunManifest m = sampleManifest();
+    m.config.ckpt.enabled = true;
+    m.config.ckpt.dir = "snap \"dir\"";
+    std::ostringstream on;
+    writeRunManifest(on, m);
+    EXPECT_NE(on.str().find("\"checkpoint\""), std::string::npos);
+    std::istringstream is(on.str());
+    RunManifest r = parseRunManifest(is);
+    EXPECT_TRUE(r.config.ckpt.enabled);
+    EXPECT_EQ(r.config.ckpt.dir, "snap \"dir\"");
+}
+
 TEST(ObsManifest, TraceDisabledWritesAnEmptyTracePath)
 {
     RunManifest m = sampleManifest();

@@ -29,7 +29,7 @@ const char *const kEnvVars[] = {
     "BDS_FAULT_CORRUPT", "BDS_FAULT_ALLOC", "BDS_FAULT_STALL_MS",
     "BDS_FAULT_ATTEMPTS", "BDS_SERVE_SOCKET", "BDS_SERVE_CACHE",
     "BDS_SERVE_MAX_INFLIGHT", "BDS_SERVE_BYPASS", "BDS_SERVE_LOG",
-    "BDS_MACHINE",
+    "BDS_MACHINE",       "BDS_CKPT",        "BDS_CKPT_DIR",
 };
 
 /** Clears every BDS_* variable for the test, restoring it after. */
@@ -330,10 +330,10 @@ TEST_F(ObsRunConfigTest, ServeKnobsDefaultOff)
     RunConfig cfg = RunConfig::resolve("t");
     EXPECT_FALSE(cfg.serve.enabled);
     EXPECT_TRUE(cfg.serve.socketPath.empty());
-    EXPECT_EQ(cfg.serve.cacheDir, "bds_serve_cache");
+    EXPECT_EQ(cfg.serve.storeDir, "bds_serve_cache");
     EXPECT_EQ(cfg.serve.maxInFlight, 0u);
-    EXPECT_FALSE(cfg.serve.bypassCache);
-    EXPECT_TRUE(cfg.serve.requestLogPath.empty());
+    EXPECT_FALSE(cfg.serve.bypassStore);
+    EXPECT_TRUE(cfg.serve.logPath.empty());
 }
 
 TEST_F(ObsRunConfigTest, EnvironmentOverlaysTheServeKnobs)
@@ -346,10 +346,10 @@ TEST_F(ObsRunConfigTest, EnvironmentOverlaysTheServeKnobs)
 
     RunConfig cfg = RunConfig::resolve("t");
     EXPECT_EQ(cfg.serve.socketPath, "/tmp/bds.sock");
-    EXPECT_EQ(cfg.serve.cacheDir, "cachedir");
+    EXPECT_EQ(cfg.serve.storeDir, "cachedir");
     EXPECT_EQ(cfg.serve.maxInFlight, 3u);
-    EXPECT_TRUE(cfg.serve.bypassCache);
-    EXPECT_EQ(cfg.serve.requestLogPath, "req.log");
+    EXPECT_TRUE(cfg.serve.bypassStore);
+    EXPECT_EQ(cfg.serve.logPath, "req.log");
 }
 
 TEST_F(ObsRunConfigTest, ServeFlagsWinOverTheEnvironment)
@@ -364,11 +364,11 @@ TEST_F(ObsRunConfigTest, ServeFlagsWinOverTheEnvironment)
          "--serve-bypass", "--serve-socket=/tmp/s.sock",
          "--serve-log", "l.bin"});
     EXPECT_TRUE(rest.empty());
-    EXPECT_EQ(cfg.serve.cacheDir, "flagdir");
+    EXPECT_EQ(cfg.serve.storeDir, "flagdir");
     EXPECT_EQ(cfg.serve.maxInFlight, 2u);
-    EXPECT_TRUE(cfg.serve.bypassCache);
+    EXPECT_TRUE(cfg.serve.bypassStore);
     EXPECT_EQ(cfg.serve.socketPath, "/tmp/s.sock");
-    EXPECT_EQ(cfg.serve.requestLogPath, "l.bin");
+    EXPECT_EQ(cfg.serve.logPath, "l.bin");
 }
 
 TEST_F(ObsRunConfigTest, MalformedServeKnobsAreFatal)
@@ -400,14 +400,82 @@ TEST_F(ObsRunConfigTest, DescribeMentionsTheServeBlock)
     cfg.serve.enabled = true;
     cfg.serve.socketPath = "/tmp/s.sock";
     cfg.serve.maxInFlight = 2;
-    cfg.serve.bypassCache = true;
+    cfg.serve.bypassStore = true;
     std::string d = cfg.describe();
-    EXPECT_NE(d.find("serve(cache=bds_serve_cache"),
+    EXPECT_NE(d.find("serve(store=bds_serve_cache"),
               std::string::npos)
         << d;
     EXPECT_NE(d.find("socket=/tmp/s.sock"), std::string::npos) << d;
     EXPECT_NE(d.find("max-inflight=2"), std::string::npos) << d;
     EXPECT_NE(d.find("bypass"), std::string::npos) << d;
+}
+
+TEST_F(ObsRunConfigTest, CheckpointKnobsDefaultOff)
+{
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_FALSE(cfg.ckpt.enabled);
+    EXPECT_EQ(cfg.ckpt.dir, "bds_ckpt_cache");
+    EXPECT_EQ(cfg.describe().find("ckpt("), std::string::npos);
+}
+
+TEST_F(ObsRunConfigTest, EnvironmentOverlaysTheCheckpointKnobs)
+{
+    ::setenv("BDS_CKPT", "1", 1);
+    RunConfig on = RunConfig::resolve("t");
+    EXPECT_TRUE(on.ckpt.enabled);
+    EXPECT_EQ(on.ckpt.dir, "bds_ckpt_cache");
+    ::unsetenv("BDS_CKPT");
+
+    // A directory implies enabling, like BDS_TRACE_FILE for tracing.
+    ::setenv("BDS_CKPT_DIR", "snapdir", 1);
+    RunConfig dir = RunConfig::resolve("t");
+    EXPECT_TRUE(dir.ckpt.enabled);
+    EXPECT_EQ(dir.ckpt.dir, "snapdir");
+
+    // BDS_CKPT=0 wins over the implied enable.
+    ::setenv("BDS_CKPT", "0", 1);
+    RunConfig off = RunConfig::resolve("t");
+    EXPECT_FALSE(off.ckpt.enabled);
+    EXPECT_EQ(off.ckpt.dir, "snapdir");
+}
+
+TEST_F(ObsRunConfigTest, CheckpointFlagsWinOverTheEnvironment)
+{
+    ::setenv("BDS_CKPT_DIR", "envdir", 1);
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    std::vector<std::string> rest =
+        cfg.applyArgs({"--ckpt-dir", "flagdir"});
+    EXPECT_TRUE(rest.empty());
+    EXPECT_TRUE(cfg.ckpt.enabled);
+    EXPECT_EQ(cfg.ckpt.dir, "flagdir");
+
+    // --no-ckpt disables even an env-enabled cache; --ckpt re-arms.
+    RunConfig off;
+    off.applyEnv();
+    off.applyArgs({"--no-ckpt"});
+    EXPECT_FALSE(off.ckpt.enabled);
+    off.applyArgs({"--ckpt"});
+    EXPECT_TRUE(off.ckpt.enabled);
+
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("ckpt(dir=flagdir)"), std::string::npos) << d;
+}
+
+TEST_F(ObsRunConfigTest, MalformedCheckpointKnobsAreFatal)
+{
+    ::setenv("BDS_CKPT", "yes", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_CKPT");
+
+    ::setenv("BDS_CKPT_DIR", "", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_CKPT_DIR");
+
+    RunConfig cfg;
+    EXPECT_THROW(cfg.applyArgs({"--ckpt-dir="}), FatalError);
+    EXPECT_THROW(cfg.applyArgs({"--ckpt-dir"}), FatalError);
 }
 
 TEST_F(ObsRunConfigTest, DescribeMentionsRecoveryAndInjection)

@@ -134,7 +134,7 @@ TEST(ServeConfigHash, ServeTransportKnobsDoNotChangeTheHash)
     RunConfig a = pinnedConfig(), b = pinnedConfig();
     b.serve.enabled = true;
     b.serve.socketPath = "/tmp/s.sock";
-    b.serve.cacheDir = "elsewhere";
+    b.serve.storeDir = "elsewhere";
     b.serve.maxInFlight = 3;
     EXPECT_EQ(runConfigHashHex(a), runConfigHashHex(b));
 }

@@ -39,7 +39,7 @@ engineConfig(const std::string &cacheName)
     cfg.seed = 42;
     cfg.manifest = false;
     cfg.serve.enabled = true;
-    cfg.serve.cacheDir = ::testing::TempDir() + cacheName;
+    cfg.serve.storeDir = ::testing::TempDir() + cacheName;
     return cfg;
 }
 
@@ -61,9 +61,9 @@ wipeCache(const RunConfig &cfg, ServeEngine *engine,
         const std::string hash =
             runConfigHashHex(engine->requestConfig(req));
         std::remove(
-            (cfg.serve.cacheDir + "/" + hash + ".result").c_str());
+            (cfg.serve.storeDir + "/" + hash + ".result").c_str());
     }
-    ::rmdir(cfg.serve.cacheDir.c_str());
+    ::rmdir(cfg.serve.storeDir.c_str());
 }
 
 /**
