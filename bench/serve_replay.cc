@@ -13,13 +13,22 @@
  *     distinct (seed) cells starting at base seed B, so a warm pass
  *     has an N/D reuse factor.
  *
- *   serve_replay --log LOG [--clients C] [--passes P] [--json OUT]
+ *   serve_replay --log LOG [--clients C] [--passes P] [--daemons N]
+ *                [--json OUT]
  *     Replay LOG P times (pass 1 is the cold pass) with C concurrent
  *     clients striding the log, and emit BENCH_serve.json: per-pass
  *     requests/s, p50/p90/p99 latency, hit rate, and the usual
  *     environment block. The engine answers every client from one
  *     content-addressed store, so concurrent same-cell requests
  *     exercise the single-flight path.
+ *
+ *     With --daemons N > 1 every pass forks N real daemon processes,
+ *     each replaying the whole log through its own ServeEngine on the
+ *     SAME cache directory — the fleet configuration. Cross-process
+ *     single-flight (docs/STORAGE.md) is what keeps the cold pass's
+ *     total computes at the number of distinct cells instead of
+ *     N x distinct; the per_daemon block in the JSON shows how the
+ *     misses distributed.
  *
  * The daemon knobs come from the common BDS_SERVE_* environment /
  * --serve-* flags (src/obs/runconfig.h): --serve-cache picks the
@@ -28,11 +37,17 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <tuple>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "bench_common.h"
 #include "serve/engine.h"
@@ -99,6 +114,126 @@ runPass(bds::ServeEngine &engine,
     return pass;
 }
 
+/** One daemon process's share of a forked multi-daemon pass. */
+struct DaemonResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t errors = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Run one pass as `daemons` forked processes, each with its own
+ * ServeEngine on the shared cfg.serve.storeDir. Every child replays
+ * the whole log; cross-process single-flight is what keeps the
+ * fleet's total computes at one per distinct cell. Children report
+ * their counters and latencies up a pipe; the aggregate pass carries
+ * every daemon's latency sample and the slowest daemon's wall clock.
+ */
+PassResult
+runForkedPass(const bds::RunConfig &cfg,
+              const std::vector<bds::RequestRecord> &log,
+              unsigned clients, unsigned daemons,
+              std::vector<DaemonResult> *per)
+{
+    std::vector<pid_t> pids;
+    std::vector<int> pipes;
+    for (unsigned d = 0; d < daemons; ++d) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            BDS_FATAL("pipe() failed for daemon " << d);
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            BDS_FATAL("fork() failed for daemon " << d);
+        if (pid == 0) {
+            ::close(fds[0]);
+            int rc = 0;
+            {
+                // Scoped: the engine (and its lease machinery) is
+                // torn down before _exit skips static destructors.
+                bds::ServeEngine engine(cfg);
+                const PassResult pass = runPass(engine, log, clients);
+                FILE *out = ::fdopen(fds[1], "w");
+                if (!out) {
+                    rc = 1;
+                } else {
+                    std::fprintf(out, "%llu %llu %llu %.9f %zu\n",
+                                 static_cast<unsigned long long>(
+                                     pass.requests),
+                                 static_cast<unsigned long long>(
+                                     pass.hits),
+                                 static_cast<unsigned long long>(
+                                     pass.errors),
+                                 pass.seconds,
+                                 pass.latencies.size());
+                    for (const double lat : pass.latencies)
+                        std::fprintf(out, "%.9e\n", lat);
+                    std::fflush(out);
+                }
+            }
+            ::_exit(rc);
+        }
+        ::close(fds[1]);
+        pids.push_back(pid);
+        pipes.push_back(fds[0]);
+    }
+
+    PassResult pass;
+    for (unsigned d = 0; d < daemons; ++d) {
+        FILE *in = ::fdopen(pipes[d], "r");
+        DaemonResult dr;
+        unsigned long long reqs = 0, hits = 0, errs = 0;
+        std::size_t lats = 0;
+        bool parsed = in
+            && std::fscanf(in, "%llu %llu %llu %lf %zu", &reqs, &hits,
+                           &errs, &dr.seconds, &lats)
+                == 5;
+        dr.requests = reqs;
+        dr.hits = hits;
+        dr.errors = errs;
+        for (std::size_t i = 0; parsed && i < lats; ++i) {
+            double lat = 0.0;
+            parsed = std::fscanf(in, "%lf", &lat) == 1;
+            if (parsed)
+                pass.latencies.push_back(lat);
+        }
+        if (in)
+            std::fclose(in);
+        else
+            ::close(pipes[d]);
+
+        int status = 0;
+        ::waitpid(pids[d], &status, 0);
+        if (!parsed || !WIFEXITED(status)
+            || WEXITSTATUS(status) != 0)
+            BDS_FATAL("daemon " << d << " failed (pid " << pids[d]
+                      << ")");
+
+        pass.requests += dr.requests;
+        pass.hits += dr.hits;
+        pass.errors += dr.errors;
+        pass.seconds = std::max(pass.seconds, dr.seconds);
+        if (per)
+            per->push_back(dr);
+    }
+    std::sort(pass.latencies.begin(), pass.latencies.end());
+    return pass;
+}
+
+/** Distinct cells in a request log (scale, seed, machine, sampled). */
+std::size_t
+distinctCells(const std::vector<bds::RequestRecord> &log)
+{
+    std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t,
+                        std::uint32_t>>
+        cells;
+    for (const bds::RequestRecord &req : log)
+        cells.insert({req.scale, req.seed, req.machine,
+                      req.flags & bds::kServeFlagSampled});
+    return cells.size();
+}
+
 void
 writePassJson(std::ostream &os, const char *name,
               const PassResult &pass)
@@ -130,12 +265,15 @@ usage(std::ostream &os)
           "[--distinct D]\n"
           "                    [--scale S] [--seed B] [--sampled]\n"
           "       serve_replay --log LOG [--clients C] [--passes P]\n"
-          "                    [--json OUT]\n\n"
+          "                    [--daemons N] [--json OUT]\n\n"
           "--emit writes a synthetic binary request log (N requests\n"
           "cycling over D distinct seeds); --log replays one through\n"
           "an in-process ServeEngine, pass 1 cold, and reports\n"
-          "throughput/latency/hit-rate per pass. The BDS_SERVE_*\n"
-          "environment and --serve-* flags configure the store.\n";
+          "throughput/latency/hit-rate per pass. --daemons N > 1\n"
+          "forks N daemon processes per pass, all replaying the full\n"
+          "log on one shared cache: the fleet single-flight\n"
+          "benchmark. The BDS_SERVE_* environment and --serve-*\n"
+          "flags configure the store.\n";
 }
 
 } // namespace
@@ -163,7 +301,7 @@ main(int argc, char **argv)
 
         std::string emit_path, log_path, json_path;
         std::uint64_t requests = 32, distinct = 4;
-        unsigned clients = 4, passes = 2;
+        unsigned clients = 4, passes = 2, daemons = 1;
         for (auto it = leftovers.begin(); it != leftovers.end();) {
             auto take = [&]() -> std::string {
                 const std::string flag = *it;
@@ -191,6 +329,9 @@ main(int argc, char **argv)
             else if (flag == "--passes")
                 passes = static_cast<unsigned>(
                     bds::detail::parseUint("--passes", take()));
+            else if (flag == "--daemons")
+                daemons = static_cast<unsigned>(
+                    bds::detail::parseUint("--daemons", take()));
             else
                 BDS_FATAL("unknown serve_replay argument '" << flag
                           << "' (--help lists the options)");
@@ -220,27 +361,48 @@ main(int argc, char **argv)
         if (log_path.empty())
             BDS_FATAL("serve_replay needs --emit LOG or --log LOG "
                       "(--help)");
-        if (clients == 0 || passes == 0)
-            BDS_FATAL("--clients and --passes must be positive");
+        if (clients == 0 || passes == 0 || daemons == 0)
+            BDS_FATAL("--clients, --passes and --daemons must be "
+                      "positive");
 
         const std::vector<bds::RequestRecord> log =
             bds::loadRequestLog(log_path);
         std::cerr << "[serve_replay] replaying " << log.size()
                   << " request(s) x " << passes << " pass(es), "
-                  << clients << " client(s), cache "
-                  << cfg.serve.storeDir
+                  << clients << " client(s), " << daemons
+                  << " daemon(s), cache " << cfg.serve.storeDir
                   << (cfg.serve.bypassStore ? " (bypassed)" : "")
                   << "\n";
 
-        bds::ServeEngine engine(cfg);
         std::vector<PassResult> results;
+        std::vector<DaemonResult> coldPerDaemon;
+        if (daemons == 1) {
+            bds::ServeEngine engine(cfg);
+            for (unsigned p = 0; p < passes; ++p)
+                results.push_back(runPass(engine, log, clients));
+        } else {
+            for (unsigned p = 0; p < passes; ++p)
+                results.push_back(runForkedPass(
+                    cfg, log, clients, daemons,
+                    p == 0 ? &coldPerDaemon : nullptr));
+        }
         for (unsigned p = 0; p < passes; ++p) {
-            results.push_back(runPass(engine, log, clients));
-            const PassResult &pass = results.back();
+            const PassResult &pass = results[p];
             std::cerr << "[serve_replay] pass " << (p + 1) << ": "
                       << pass.requests << " request(s) in "
                       << pass.seconds << " s, " << pass.hits
                       << " hit(s), " << pass.errors << " error(s)\n";
+        }
+        if (daemons > 1) {
+            // The fleet invariant: the cold pass's total computes
+            // (misses) collapse to one per distinct cell when
+            // cross-process single-flight holds.
+            const PassResult &cold = results.front();
+            std::cerr << "[serve_replay] cold computes across "
+                      << daemons << " daemon(s): "
+                      << (cold.requests - cold.hits - cold.errors)
+                      << " (distinct cells: " << distinctCells(log)
+                      << ")\n";
         }
 
         std::ostream *os = &std::cout;
@@ -258,6 +420,8 @@ main(int argc, char **argv)
             << "  \"records\": " << log.size() << ",\n"
             << "  \"clients\": " << clients << ",\n"
             << "  \"passes\": " << passes << ",\n"
+            << "  \"daemons\": " << daemons << ",\n"
+            << "  \"distinct_cells\": " << distinctCells(log) << ",\n"
             << "  \"scale\": \"" << cfg.scaleName << "\",\n"
             << "  \"bypass\": "
             << (cfg.serve.bypassStore ? "true" : "false") << ",\n";
@@ -265,6 +429,20 @@ main(int argc, char **argv)
         *os << ",\n";
         writePassJson(*os, "warm", results.back());
         *os << ",\n";
+        if (!coldPerDaemon.empty()) {
+            *os << "  \"per_daemon\": [\n";
+            for (std::size_t d = 0; d < coldPerDaemon.size(); ++d) {
+                const DaemonResult &dr = coldPerDaemon[d];
+                *os << "    {\"requests\": " << dr.requests
+                    << ", \"hits\": " << dr.hits << ", \"misses\": "
+                    << (dr.requests - dr.hits - dr.errors)
+                    << ", \"errors\": " << dr.errors
+                    << ", \"seconds\": " << dr.seconds << "}"
+                    << (d + 1 < coldPerDaemon.size() ? "," : "")
+                    << "\n";
+            }
+            *os << "  ],\n";
+        }
         bdsbench::writeEnvironmentJson(*os);
         *os << "\n}\n";
         return 0;

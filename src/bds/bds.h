@@ -16,6 +16,7 @@
  *   bds/sample.h     sampled simulation (record/profile/pick/replay)
  *   bds/ckpt.h       interval checkpoint/restore of simulator state
  *   bds/obs.h        RunConfig, sessions, manifests, tracing
+ *   bds/store.h      shared stores: leases, eviction, degradation
  *   bds/serve.h      the characterization service (engine + server)
  *
  * The five examples under examples/ are written against these
@@ -34,6 +35,7 @@
 #include "bds/sample.h"
 #include "bds/ckpt.h"
 #include "bds/obs.h"
+#include "bds/store.h"
 #include "bds/serve.h"
 
 #endif // BDS_BDS_H

@@ -261,26 +261,42 @@ readCheckpoint(std::istream &is, const std::string &what,
     return entry;
 }
 
-CheckpointCache::CheckpointCache(std::string dir) : dir_(std::move(dir))
+namespace {
+
+SharedStoreOptions
+ckptStoreOptions(std::string dir, std::uint64_t maxBytes)
 {
-    if (dir_.empty())
-        BDS_RAISE(ErrorCode::InvalidConfig,
-                  "checkpoint cache needs a directory");
-    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
-        BDS_RAISE(ErrorCode::Io, "cannot create checkpoint cache '"
-                                     << dir_ << "': "
-                                     << std::strerror(errno));
+    SharedStoreOptions opts;
+    opts.dir = std::move(dir);
+    opts.suffix = ".ckpt";
+    opts.maxBytes = maxBytes;
+    return opts;
+}
+
+} // namespace
+
+CheckpointCache::CheckpointCache(std::string dir,
+                                 std::uint64_t maxBytes)
+    : backend_(ckptStoreOptions(std::move(dir), maxBytes))
+{
+}
+
+std::string
+CheckpointCache::entryName(const CheckpointKey &key,
+                           std::uint64_t interval)
+{
+    std::ostringstream name;
+    name << key.configHash << '_' << key.machineSlug << '_'
+         << sanitize(key.workload) << "_n" << key.node << "_i"
+         << interval << ".ckpt";
+    return name.str();
 }
 
 std::string
 CheckpointCache::path(const CheckpointKey &key,
                       std::uint64_t interval) const
 {
-    std::ostringstream name;
-    name << dir_ << '/' << key.configHash << '_' << key.machineSlug
-         << '_' << sanitize(key.workload) << "_n" << key.node << "_i"
-         << interval << ".ckpt";
-    return name.str();
+    return backend_.entryPath(entryName(key, interval));
 }
 
 bool
@@ -288,9 +304,10 @@ CheckpointCache::load(const CheckpointKey &key, std::uint64_t interval,
                       std::string *state) const
 {
     const std::string p = path(key, interval);
-    std::ifstream in(p, std::ios::binary);
-    if (!in)
+    std::string bytes;
+    if (!backend_.read(entryName(key, interval), &bytes))
         return false;
+    std::istringstream in(bytes);
     CheckpointEntry entry = readCheckpoint(in, p, key, interval);
     AtomicCkptStats &g = globalCkptStats();
     g.hits.fetch_add(1, std::memory_order_relaxed);
@@ -306,26 +323,16 @@ void
 CheckpointCache::store(const CheckpointKey &key, std::uint64_t interval,
                        const std::string &state) const
 {
-    const std::string p = path(key, interval);
-    const std::string tmp = p + ".tmp";
     CheckpointEntry entry;
     entry.key = key;
     entry.interval = interval;
     entry.state = state;
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            BDS_RAISE(ErrorCode::Io,
-                      "cannot write checkpoint '" << tmp << "'");
-        writeCheckpoint(out, entry);
-        if (!out)
-            BDS_RAISE(ErrorCode::Io,
-                      "short write to checkpoint '" << tmp << "'");
-    }
-    if (std::rename(tmp.c_str(), p.c_str()) != 0)
-        BDS_RAISE(ErrorCode::Io, "cannot publish checkpoint '"
-                                     << p << "': "
-                                     << std::strerror(errno));
+    std::ostringstream out;
+    writeCheckpoint(out, entry);
+    // A failed publish flips the backend down (counted + warned);
+    // the replay simply stops writing checkpoints until it heals.
+    if (!backend_.publish(entryName(key, interval), out.str()))
+        return;
     AtomicCkptStats &g = globalCkptStats();
     g.writes.fetch_add(1, std::memory_order_relaxed);
     g.bytesWritten.fetch_add(state.size(), std::memory_order_relaxed);

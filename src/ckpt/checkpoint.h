@@ -18,12 +18,16 @@
  * text rides inside the container and must match exactly on load —
  * a checkpoint can never be poured into a different geometry.
  *
- * Discipline (same as the serve result store): writes are atomic
- * (temp file + rename) so concurrent processes sharing one directory
- * never observe half a checkpoint; every load verifies magic,
- * version, key fields and an FNV checksum, and any violation is a
- * typed Error(Io) / Error(InvalidConfig) the replayer converts into
- * a transparent warm-from-zero fallback.
+ * Discipline (same as the serve result store — both sit on the
+ * shared-storage layer, src/store/shared.h): writes are atomic and
+ * durable (temp file + fsync + rename) so concurrent processes
+ * sharing one directory never observe half a checkpoint; the
+ * directory honours the BDS_CKPT_MAX_BYTES budget with LRU eviction;
+ * any filesystem failure degrades the cache to store-down mode
+ * (replays warm from zero, nothing crashes); every load verifies
+ * magic, version, key fields and an FNV checksum, and any violation
+ * is a typed Error(Io) / Error(InvalidConfig) the replayer converts
+ * into a transparent warm-from-zero fallback.
  */
 
 #ifndef BDS_CKPT_CHECKPOINT_H
@@ -32,6 +36,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+
+#include "store/shared.h"
 
 namespace bds {
 
@@ -108,17 +114,24 @@ class CheckpointCache
 {
   public:
     /**
-     * Open (creating if needed) the cache directory. Error(Io) when
-     * it cannot be created, Error(InvalidConfig) when empty.
+     * Open the cache directory, creating it if needed.
+     * Error(InvalidConfig) when `dir` is empty; an *uncreatable*
+     * directory opens the cache in down mode (replays warm from
+     * zero) instead of failing the run. `maxBytes` bounds the
+     * checkpoint bytes on disk (LRU eviction); 0 = unbounded.
      */
-    explicit CheckpointCache(std::string dir);
+    explicit CheckpointCache(std::string dir,
+                             std::uint64_t maxBytes = 0);
+
+    /** True while the backing store is degraded (not caching). */
+    bool storeDown() const { return backend_.down(); }
 
     /** The entry file of (key, interval). */
     std::string path(const CheckpointKey &key,
                      std::uint64_t interval) const;
 
     /** The cache directory. */
-    const std::string &dir() const { return dir_; }
+    const std::string &dir() const { return backend_.dir(); }
 
     /**
      * Load the state payload for (key, interval) into *state.
@@ -133,14 +146,23 @@ class CheckpointCache
               std::string *state) const;
 
     /**
-     * Atomically persist a checkpoint (temp file + rename). Counts a
-     * write and the payload bytes.
+     * Durably persist a checkpoint (temp + fsync + rename), then
+     * enforce the byte budget. Never throws: a disk failure degrades
+     * the cache (counted, warned) instead of failing the replay —
+     * the checkpoint is an accelerator, not a correctness input.
+     * Counts a write and the payload bytes when the publish lands.
      */
     void store(const CheckpointKey &key, std::uint64_t interval,
                const std::string &state) const;
 
   private:
-    std::string dir_;
+    /** Entry filename of (key, interval). */
+    static std::string entryName(const CheckpointKey &key,
+                                 std::uint64_t interval);
+
+    /** Shared-storage backend (budget, degradation); mutable because
+     *  reads bump recency and the down flag. */
+    mutable SharedStore backend_;
 };
 
 /** Serialize a checkpoint to the on-disk format (tests). */

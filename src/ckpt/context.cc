@@ -24,7 +24,8 @@ checkpointContextFor(const RunConfig &cfg)
     CheckpointContext ctx;
     if (!cfg.ckpt.enabled)
         return ctx;
-    ctx.cache = std::make_shared<CheckpointCache>(cfg.ckpt.dir);
+    ctx.cache = std::make_shared<CheckpointCache>(cfg.ckpt.dir,
+                                                  cfg.ckpt.maxBytes);
     ctx.configHash = runConfigHashHex(cfg);
     ctx.machineSlug = bds::machineSlug(cfg.machineSpec);
     ctx.machineText =

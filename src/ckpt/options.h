@@ -18,14 +18,16 @@
  *
  * Environment / flags (resolved by RunConfig, strict — garbage is
  * fatal, never a silent default):
- *   BDS_CKPT     = 0 | 1    --ckpt / --no-ckpt
- *   BDS_CKPT_DIR = <dir>    --ckpt-dir DIR   (implies enabled, like
- *                                             BDS_TRACE_FILE)
+ *   BDS_CKPT           = 0 | 1   --ckpt / --no-ckpt
+ *   BDS_CKPT_DIR       = <dir>   --ckpt-dir DIR  (implies enabled,
+ *                                                 like BDS_TRACE_FILE)
+ *   BDS_CKPT_MAX_BYTES = <bytes> --ckpt-max-bytes N
  */
 
 #ifndef BDS_CKPT_OPTIONS_H
 #define BDS_CKPT_OPTIONS_H
 
+#include <cstdint>
 #include <string>
 
 namespace bds {
@@ -48,6 +50,13 @@ struct CkptOptions
      * store's atomic-rename + typed-Io-on-corruption discipline.
      */
     std::string dir = "bds_ckpt_cache";
+
+    /**
+     * Byte budget of the checkpoint cache (BDS_CKPT_MAX_BYTES);
+     * entries beyond it are evicted least-recently-used by the
+     * shared-store layer. 0 = unbounded, the pre-budget behaviour.
+     */
+    std::uint64_t maxBytes = 0;
 };
 
 } // namespace bds

@@ -16,6 +16,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::InjectedFault: return "injected_fault";
       case ErrorCode::Io: return "io";
       case ErrorCode::Internal: return "internal";
+      case ErrorCode::Overloaded: return "overloaded";
     }
     BDS_PANIC("unknown error code");
 }
@@ -24,7 +25,7 @@ bool
 errorCodeFromName(const std::string &name, ErrorCode *out)
 {
     for (unsigned c = 0;
-         c <= static_cast<unsigned>(ErrorCode::Internal); ++c) {
+         c <= static_cast<unsigned>(ErrorCode::Overloaded); ++c) {
         ErrorCode code = static_cast<ErrorCode>(c);
         if (name == errorCodeName(code)) {
             *out = code;

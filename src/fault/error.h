@@ -37,6 +37,7 @@ enum class ErrorCode : unsigned
     InjectedFault,   ///< the fault injector fired at this site
     Io,              ///< file could not be read or written
     Internal,        ///< violated invariant (library bug)
+    Overloaded,      ///< request shed by the admission queue
 };
 
 /** Stable snake_case name of a code ("injected_fault", ...). */

@@ -68,8 +68,10 @@ FaultInjector::arm(const FaultOptions &opts)
     stallAt_ = splitTargets(opts.stallAt);
     corruptAt_ = splitTargets(opts.corruptAt);
     allocAt_ = splitTargets(opts.allocAt);
+    ioAt_ = splitTargets(opts.ioAt);
     stallMs_ = opts.stallMs;
     attempts_ = opts.attempts;
+    ioFires_.store(0, std::memory_order_relaxed);
     armed_.store(opts.any(), std::memory_order_relaxed);
 }
 
@@ -81,6 +83,8 @@ FaultInjector::disarm()
     stallAt_.clear();
     corruptAt_.clear();
     allocAt_.clear();
+    ioAt_.clear();
+    ioFires_.store(0, std::memory_order_relaxed);
 }
 
 bool
@@ -137,6 +141,25 @@ FaultInjector::shouldCorrupt(const std::string &workload) const
     if (!armed())
         return false;
     return matches(corruptAt_, workload) && attemptEligible();
+}
+
+bool
+FaultInjector::shouldFailIo(const char *site) const
+{
+    if (!armed())
+        return false;
+    if (!matches(ioAt_, site))
+        return false;
+    // I/O sites are not tied to a workload attempt: `attempts` caps
+    // the total fires instead, so a bounded spec fails the first N
+    // store operations and then lets the disk "recover".
+    if (attempts_ != 0) {
+        const std::uint64_t fired =
+            ioFires_.fetch_add(1, std::memory_order_relaxed);
+        if (fired >= attempts_)
+            return false;
+    }
+    return true;
 }
 
 void

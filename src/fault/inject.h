@@ -119,6 +119,16 @@ class FaultInjector
     /** Allocation site: raises Error(AllocFailure) for matched sites. */
     void checkAlloc(const char *site) const;
 
+    /**
+     * Shared-store I/O site ("store.write", "store.rename",
+     * "store.lease", "store.enospc"): true when the operation must
+     * fail. Never throws — the store's degradation machinery owns
+     * the response. `attempts` bounds the total number of fires
+     * across all I/O sites (0 = unbounded), enabling deterministic
+     * fail-then-heal tests.
+     */
+    bool shouldFailIo(const char *site) const;
+
   private:
     FaultInjector() = default;
 
@@ -134,8 +144,12 @@ class FaultInjector
     std::vector<std::string> stallAt_;
     std::vector<std::string> corruptAt_;
     std::vector<std::string> allocAt_;
+    std::vector<std::string> ioAt_;
     std::uint64_t stallMs_ = 0;
     unsigned attempts_ = 0;
+
+    /** Fires consumed by I/O sites since arm() (attempts gating). */
+    mutable std::atomic<std::uint64_t> ioFires_{0};
 };
 
 } // namespace bds

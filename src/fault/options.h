@@ -95,6 +95,20 @@ struct FaultOptions
     /** Allocation sites (e.g. "datagen") that fail with AllocFailure. */
     std::string allocAt;
 
+    /**
+     * Shared-store I/O sites that fail deterministically:
+     * "store.write" (entry write), "store.rename" (publish rename),
+     * "store.lease" (lease acquisition), "store.enospc" (disk-full
+     * on write), or "*" for all of them. Unlike the workload sites,
+     * `attempts` bounds the *total number of fires* across the run
+     * (0 = fire every time) — so `attempts=1` fails exactly one
+     * store operation and lets the store heal, pinning the
+     * degrade-then-recover path. Storage-only by construction: the
+     * spec never changes computed bytes, so it stays outside the
+     * canonical RunConfig hash.
+     */
+    std::string ioAt;
+
     /** Stall duration for stallAt targets, in milliseconds. */
     std::uint64_t stallMs = 50;
 
@@ -110,7 +124,8 @@ struct FaultOptions
     any() const
     {
         return !throwAt.empty() || !stallAt.empty()
-            || !corruptAt.empty() || !allocAt.empty();
+            || !corruptAt.empty() || !allocAt.empty()
+            || !ioAt.empty();
     }
 };
 

@@ -92,6 +92,8 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
            << jsonEscape(c.serve.socketPath) << "\", \"cache_dir\": \""
            << jsonEscape(c.serve.storeDir)
            << "\", \"max_inflight\": " << c.serve.maxInFlight
+           << ", \"max_queue\": " << c.serve.maxQueue
+           << ", \"store_max_bytes\": " << c.serve.maxStoreBytes
            << ", \"bypass\": "
            << (c.serve.bypassStore ? "true" : "false")
            << ", \"request_log\": \""
@@ -101,7 +103,8 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
     if (c.ckpt.enabled)
         os << ",\n"
            << "    \"checkpoint\": {\"enabled\": true, \"dir\": \""
-           << jsonEscape(c.ckpt.dir) << "\"}";
+           << jsonEscape(c.ckpt.dir)
+           << "\", \"max_bytes\": " << c.ckpt.maxBytes << "}";
     os << "\n"
        << "  },\n"
        << "  \"stages\": [";
@@ -196,6 +199,13 @@ parseRunManifest(std::istream &is)
         m.config.serve.storeDir = sv.at("cache_dir").asString();
         m.config.serve.maxInFlight = static_cast<unsigned>(
             sv.at("max_inflight").asUint());
+        // Pre-shared-store manifests lack the queue/budget fields.
+        if (sv.has("max_queue"))
+            m.config.serve.maxQueue = static_cast<unsigned>(
+                sv.at("max_queue").asUint());
+        if (sv.has("store_max_bytes"))
+            m.config.serve.maxStoreBytes =
+                sv.at("store_max_bytes").asUint();
         m.config.serve.bypassStore = sv.at("bypass").asBool();
         m.config.serve.logPath =
             sv.at("request_log").asString();
@@ -206,6 +216,8 @@ parseRunManifest(std::istream &is)
         const JsonValue &ck = cfg.at("checkpoint");
         m.config.ckpt.enabled = ck.at("enabled").asBool();
         m.config.ckpt.dir = ck.at("dir").asString();
+        if (ck.has("max_bytes"))
+            m.config.ckpt.maxBytes = ck.at("max_bytes").asUint();
     }
 
     for (const JsonValue &st : root.at("stages").asArray()) {

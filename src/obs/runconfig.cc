@@ -162,6 +162,8 @@ RunConfig::applyEnv()
     if (const char *v = std::getenv("BDS_FAULT_ATTEMPTS"))
         fault.attempts = static_cast<unsigned>(
             parseUint("BDS_FAULT_ATTEMPTS", v));
+    if (const char *v = std::getenv("BDS_FAULT_IO"))
+        fault.ioAt = v;
 
     if (const char *v = std::getenv("BDS_SERVE_SOCKET"))
         serve.socketPath = v;
@@ -173,6 +175,11 @@ RunConfig::applyEnv()
     if (const char *v = std::getenv("BDS_SERVE_MAX_INFLIGHT"))
         serve.maxInFlight = static_cast<unsigned>(
             parseUint("BDS_SERVE_MAX_INFLIGHT", v));
+    if (const char *v = std::getenv("BDS_SERVE_MAX_QUEUE"))
+        serve.maxQueue = static_cast<unsigned>(
+            parseUint("BDS_SERVE_MAX_QUEUE", v));
+    if (const char *v = std::getenv("BDS_STORE_MAX_BYTES"))
+        serve.maxStoreBytes = parseUint("BDS_STORE_MAX_BYTES", v);
     if (const char *v = std::getenv("BDS_SERVE_BYPASS"))
         serve.bypassStore = parseSwitch("BDS_SERVE_BYPASS", v);
     if (const char *v = std::getenv("BDS_SERVE_LOG"))
@@ -188,6 +195,8 @@ RunConfig::applyEnv()
     // BDS_CKPT=0 can park a configured cache without unsetting its dir.
     if (const char *v = std::getenv("BDS_CKPT"))
         ckpt.enabled = parseSwitch("BDS_CKPT", v);
+    if (const char *v = std::getenv("BDS_CKPT_MAX_BYTES"))
+        ckpt.maxBytes = parseUint("BDS_CKPT_MAX_BYTES", v);
 
     if (const char *v = std::getenv("BDS_TRACE"))
         trace = parseSwitch("BDS_TRACE", v);
@@ -292,6 +301,8 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
         } else if (flag == "--fault-attempts") {
             fault.attempts = static_cast<unsigned>(parseUint(
                 "--fault-attempts", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--fault-io") {
+            fault.ioAt = take(flag, inlineVal, hasInline);
         } else if (flag == "--serve-socket") {
             serve.socketPath = take(flag, inlineVal, hasInline);
         } else if (flag == "--serve-cache") {
@@ -302,6 +313,12 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
             serve.maxInFlight = static_cast<unsigned>(parseUint(
                 "--serve-max-inflight",
                 take(flag, inlineVal, hasInline)));
+        } else if (flag == "--serve-max-queue") {
+            serve.maxQueue = static_cast<unsigned>(parseUint(
+                "--serve-max-queue", take(flag, inlineVal, hasInline)));
+        } else if (flag == "--store-max-bytes") {
+            serve.maxStoreBytes = parseUint(
+                "--store-max-bytes", take(flag, inlineVal, hasInline));
         } else if (flag == "--serve-bypass") {
             serve.bypassStore = true;
         } else if (flag == "--serve-log") {
@@ -315,6 +332,9 @@ RunConfig::applyArgs(const std::vector<std::string> &args)
             if (ckpt.dir.empty())
                 BDS_FATAL("--ckpt-dir must name a directory");
             ckpt.enabled = true;
+        } else if (flag == "--ckpt-max-bytes") {
+            ckpt.maxBytes = parseUint(
+                "--ckpt-max-bytes", take(flag, inlineVal, hasInline));
         } else {
             rest.push_back(arg);
         }
@@ -364,12 +384,20 @@ RunConfig::describe() const
             os << ",socket=" << serve.socketPath;
         if (serve.maxInFlight)
             os << ",max-inflight=" << serve.maxInFlight;
+        if (serve.maxQueue != 1024)
+            os << ",max-queue=" << serve.maxQueue;
+        if (serve.maxStoreBytes)
+            os << ",max-bytes=" << serve.maxStoreBytes;
         if (serve.bypassStore)
             os << ",bypass";
         os << ")";
     }
-    if (ckpt.enabled)
-        os << " ckpt(dir=" << ckpt.dir << ")";
+    if (ckpt.enabled) {
+        os << " ckpt(dir=" << ckpt.dir;
+        if (ckpt.maxBytes)
+            os << ",max-bytes=" << ckpt.maxBytes;
+        os << ")";
+    }
     if (trace)
         os << " trace=" << resolvedTracePath();
     return os.str();

@@ -50,17 +50,31 @@
  *   BDS_FAULT_STALL_MS = <ms>               injected stall duration
  *   BDS_FAULT_ATTEMPTS = <n>                inject only while the
  *                                           attempt index < n
- *                                           (0 = every attempt)
+ *                                           (0 = every attempt); for
+ *                                           BDS_FAULT_IO it caps the
+ *                                           total number of fires
+ *   BDS_FAULT_IO       = site,... | *       fail shared-store I/O
+ *                                           sites (store.write,
+ *                                           store.rename,
+ *                                           store.lease,
+ *                                           store.enospc)
  *   BDS_SERVE_SOCKET   = <path>             bds_serve Unix socket
  *   BDS_SERVE_CACHE    = <dir>              result-store directory
  *   BDS_SERVE_MAX_INFLIGHT = <n>            concurrent sweep bound
  *                                           (0 = all cores)
+ *   BDS_SERVE_MAX_QUEUE = <n>               admission queue bound;
+ *                                           excess requests shed
+ *                                           with `err overloaded`
  *   BDS_SERVE_BYPASS   = 0 | 1              skip the result store
  *   BDS_SERVE_LOG      = <path>             binary request log
+ *   BDS_STORE_MAX_BYTES = <bytes>           result-store byte budget
+ *                                           (0 = unbounded)
  *   BDS_CKPT           = 0 | 1              interval checkpoint/
  *                                           restore
  *   BDS_CKPT_DIR       = <dir>              checkpoint cache
  *                                           directory (implies on)
+ *   BDS_CKPT_MAX_BYTES = <bytes>            checkpoint-cache byte
+ *                                           budget (0 = unbounded)
  *
  * Flags (each also accepts --flag=value):
  *   --scale S, --seed N, --threads N, --machine SPEC,
@@ -69,9 +83,11 @@
  *   --no-manifest, --fail-policy P, --retries N, --run-timeout-ms N,
  *   --fault-throw L, --fault-stall L, --fault-corrupt L,
  *   --fault-alloc L, --fault-stall-ms N, --fault-attempts N,
+ *   --fault-io L,
  *   --serve-socket PATH, --serve-cache DIR, --serve-max-inflight N,
- *   --serve-bypass, --serve-log PATH,
- *   --ckpt, --no-ckpt, --ckpt-dir DIR
+ *   --serve-max-queue N, --serve-bypass, --serve-log PATH,
+ *   --store-max-bytes N,
+ *   --ckpt, --no-ckpt, --ckpt-dir DIR, --ckpt-max-bytes N
  */
 
 #ifndef BDS_OBS_RUNCONFIG_H

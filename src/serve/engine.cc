@@ -37,24 +37,45 @@ isoNow()
 } // namespace
 
 /**
- * Counting semaphore bounding concurrent sweep computations. Cache
- * hits never take a slot, so a slow cold cell cannot starve warm
- * traffic.
+ * Counting semaphore bounding concurrent sweep computations, with a
+ * bounded admission queue in front. Cache hits never take a slot, so
+ * a slow cold cell cannot starve warm traffic; a compute arriving
+ * with maxQueue others already waiting is shed with a typed
+ * Overloaded error instead of queueing unboundedly.
  */
 struct ServeEngine::Gate
 {
-    explicit Gate(unsigned slots) : free(slots) {}
+    Gate(unsigned slots, unsigned maxQueue)
+        : free(slots), maxQueue(maxQueue)
+    {
+    }
 
     std::mutex mutex;
     std::condition_variable cv;
     unsigned free;
+    unsigned waiting = 0;
+    const unsigned maxQueue;
 
     struct Slot
     {
         explicit Slot(Gate &g) : gate(g)
         {
             std::unique_lock<std::mutex> lock(gate.mutex);
-            gate.cv.wait(lock, [&] { return gate.free > 0; });
+            if (gate.free == 0) {
+                // Shed before blocking: the admission decision is
+                // made while the queue state is visible, so the
+                // bound is exact, not best-effort.
+                if (gate.waiting >= gate.maxQueue)
+                    BDS_RAISE(ErrorCode::Overloaded,
+                              "admission queue full ("
+                                  << gate.waiting
+                                  << " computes already waiting, "
+                                     "max_queue="
+                                  << gate.maxQueue << ")");
+                ++gate.waiting;
+                gate.cv.wait(lock, [&] { return gate.free > 0; });
+                --gate.waiting;
+            }
             --gate.free;
         }
         ~Slot()
@@ -70,12 +91,13 @@ struct ServeEngine::Gate
 };
 
 ServeEngine::ServeEngine(RunConfig base, Session *session)
-    : base_(std::move(base)), store_(base_.serve.storeDir),
+    : base_(std::move(base)),
+      store_(base_.serve.storeDir, base_.serve.maxStoreBytes),
       session_(session),
       maxInFlight_(base_.serve.maxInFlight
                        ? base_.serve.maxInFlight
                        : ParallelOptions{0}.resolved()),
-      gate_(std::make_shared<Gate>(maxInFlight_))
+      gate_(std::make_shared<Gate>(maxInFlight_, base_.serve.maxQueue))
 {
 }
 
@@ -241,6 +263,11 @@ ServeEngine::handle(const RequestRecord &req)
     } catch (const Error &e) {
         resp.code = e.code();
         resp.message = e.what();
+        if (e.code() == ErrorCode::Overloaded) {
+            Tracer::global().counter("serve.shed", 1);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.shed;
+        }
     } catch (const FatalError &e) {
         resp.code = ErrorCode::InvalidConfig;
         resp.message = e.what();
@@ -278,6 +305,7 @@ ServeEngine::stats() const
     std::lock_guard<std::mutex> lock(mutex_);
     ServeStats out = stats_;
     out.ckpt = ckptStats();
+    out.store = storeStats();
     return out;
 }
 

@@ -20,8 +20,17 @@
  * FaultInjector), which are armed once per process by the daemon's
  * Session, never per request.
  *
+ * Overload shedding: a bounded admission queue sits ahead of the
+ * in-flight gate. At most serve.maxQueue computes may be waiting for
+ * a slot; a request beyond that is shed immediately with a typed
+ * Overloaded error (`err overloaded` on the wire) instead of
+ * queueing unboundedly — the daemon stays responsive under a
+ * thundering herd, and clients get an honest retry signal. Cache
+ * hits are never queued, never shed.
+ *
  * Trace counters: serve.requests, serve.hits, serve.misses,
- * serve.errors, serve.bypass; spans serve.request / serve.compute.
+ * serve.errors, serve.bypass, serve.shed; spans serve.request /
+ * serve.compute.
  */
 
 #ifndef BDS_SERVE_ENGINE_H
@@ -82,6 +91,14 @@ struct ServeStats
     std::uint64_t misses = 0;   ///< computed (and usually cached)
     std::uint64_t errors = 0;   ///< answered with an error response
     std::uint64_t bypassed = 0; ///< computed with the store bypassed
+    std::uint64_t shed = 0;     ///< shed by the admission queue
+
+    /**
+     * Shared-store traffic of this process (publishes, evictions,
+     * down/heal transitions, lease activity): populated from the
+     * process-wide storeStats() when the snapshot is taken.
+     */
+    StoreStats store;
 
     /**
      * Interval checkpoint traffic of this process's sampled replays

@@ -75,6 +75,22 @@ writeStatsJson(const std::string &path, const bds::ServeStats &s)
         << "  \"misses\": " << s.misses << ",\n"
         << "  \"errors\": " << s.errors << ",\n"
         << "  \"bypassed\": " << s.bypassed << ",\n"
+        << "  \"shed\": " << s.shed << ",\n"
+        << "  \"store\": {\n"
+        << "    \"publishes\": " << s.store.publishes << ",\n"
+        << "    \"publish_skipped\": " << s.store.publishSkipped
+        << ",\n"
+        << "    \"evicted\": " << s.store.evicted << ",\n"
+        << "    \"evicted_bytes\": " << s.store.evictedBytes << ",\n"
+        << "    \"downs\": " << s.store.downs << ",\n"
+        << "    \"heals\": " << s.store.heals << ",\n"
+        << "    \"lease_acquires\": " << s.store.leaseAcquires
+        << ",\n"
+        << "    \"lease_waits\": " << s.store.leaseWaits << ",\n"
+        << "    \"lease_takeovers\": " << s.store.leaseTakeovers
+        << ",\n"
+        << "    \"index_rebuilds\": " << s.store.indexRebuilds << "\n"
+        << "  },\n"
         << "  \"ckpt\": {\n"
         << "    \"hits\": " << s.ckpt.hits << ",\n"
         << "    \"misses\": " << s.ckpt.misses << ",\n"
@@ -153,7 +169,8 @@ main(int argc, char **argv)
                   << " hits=" << stats.hits
                   << " misses=" << stats.misses
                   << " errors=" << stats.errors
-                  << " bypassed=" << stats.bypassed << '\n';
+                  << " bypassed=" << stats.bypassed
+                  << " shed=" << stats.shed << '\n';
         if (!stats_json.empty())
             writeStatsJson(stats_json, stats);
         session.noteArtifact(server.engine().store().dir());

@@ -20,13 +20,16 @@
  *   BDS_SERVE_SOCKET      = <path>   --serve-socket PATH
  *   BDS_SERVE_CACHE       = <dir>    --serve-cache DIR
  *   BDS_SERVE_MAX_INFLIGHT= <n>      --serve-max-inflight N
+ *   BDS_SERVE_MAX_QUEUE   = <n>      --serve-max-queue N
  *   BDS_SERVE_BYPASS      = 0 | 1    --serve-bypass
  *   BDS_SERVE_LOG         = <path>   --serve-log PATH
+ *   BDS_STORE_MAX_BYTES   = <bytes>  --store-max-bytes N
  */
 
 #ifndef BDS_SERVE_OPTIONS_H
 #define BDS_SERVE_OPTIONS_H
 
+#include <cstdint>
 #include <string>
 
 namespace bds {
@@ -64,6 +67,23 @@ struct ServeOptions
     unsigned maxInFlight = 0;
 
     /**
+     * Bounded admission queue ahead of the in-flight gate: at most
+     * this many computes may be *waiting* for an in-flight slot;
+     * excess requests are shed with a typed `err overloaded` instead
+     * of queueing unboundedly. 0 sheds anything beyond maxInFlight.
+     * The default is deliberately generous — shedding is a safety
+     * valve, not a scheduler.
+     */
+    unsigned maxQueue = 1024;
+
+    /**
+     * Byte budget of the result store (BDS_STORE_MAX_BYTES); entries
+     * beyond it are evicted least-recently-used. 0 = unbounded, the
+     * pre-budget behaviour.
+     */
+    std::uint64_t maxStoreBytes = 0;
+
+    /**
      * Skip the result store entirely: every request recomputes and
      * nothing is written. For A/B-checking the store path itself.
      */
@@ -96,6 +116,7 @@ struct ServeOptions
     ServeOptions(const ServeOptions &o)
         : enabled(o.enabled), socketPath(o.socketPath),
           storeDir(o.storeDir), maxInFlight(o.maxInFlight),
+          maxQueue(o.maxQueue), maxStoreBytes(o.maxStoreBytes),
           bypassStore(o.bypassStore), logPath(o.logPath)
     {
     }
@@ -105,6 +126,8 @@ struct ServeOptions
         socketPath = o.socketPath;
         storeDir = o.storeDir;
         maxInFlight = o.maxInFlight;
+        maxQueue = o.maxQueue;
+        maxStoreBytes = o.maxStoreBytes;
         bypassStore = o.bypassStore;
         logPath = o.logPath;
         return *this;

@@ -71,10 +71,13 @@ ServeServer::~ServeServer() = default;
 void
 ServeServer::setPayloadDir(const std::string &dir)
 {
-    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        // Capture errno before the stream below can clobber it.
+        const int err = errno;
         BDS_RAISE(ErrorCode::Io, "cannot create payload dir '" << dir
                                      << "': "
-                                     << std::strerror(errno));
+                                     << std::strerror(err));
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     payloadDir_ = dir;
 }
@@ -143,13 +146,24 @@ ServeServer::handleLine(const std::string &raw, std::uint64_t id,
         const ServeStats s = engine_.stats();
         out << "stats requests=" << s.requests << " hits=" << s.hits
             << " misses=" << s.misses << " errors=" << s.errors
-            << " bypassed=" << s.bypassed
+            << " bypassed=" << s.bypassed << " shed=" << s.shed
             << " ckpt_hits=" << s.ckpt.hits
             << " ckpt_misses=" << s.ckpt.misses
             << " ckpt_writes=" << s.ckpt.writes
             << " ckpt_fallbacks=" << s.ckpt.fallbacks
             << " ckpt_bytes_read=" << s.ckpt.bytesRead
-            << " ckpt_bytes_written=" << s.ckpt.bytesWritten << '\n';
+            << " ckpt_bytes_written=" << s.ckpt.bytesWritten
+            << " store_publishes=" << s.store.publishes
+            << " store_publish_skipped=" << s.store.publishSkipped
+            << " store_evicted=" << s.store.evicted
+            << " store_evicted_bytes=" << s.store.evictedBytes
+            << " store_downs=" << s.store.downs
+            << " store_heals=" << s.store.heals
+            << " store_lease_acquires=" << s.store.leaseAcquires
+            << " store_lease_waits=" << s.store.leaseWaits
+            << " store_lease_takeovers=" << s.store.leaseTakeovers
+            << " store_index_rebuilds=" << s.store.indexRebuilds
+            << '\n';
         out.flush();
         return true;
     }
@@ -203,9 +217,11 @@ ServeServer::serveSocket(const std::string &path)
                   "socket path too long: '" << path << "'");
 
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
+    if (fd < 0) {
+        const int err = errno;
         BDS_RAISE(ErrorCode::Io,
-                  "socket(): " << std::strerror(errno));
+                  "socket(): " << std::strerror(err));
+    }
     ::unlink(path.c_str()); // stale socket from a previous daemon
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(),

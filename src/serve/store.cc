@@ -157,30 +157,45 @@ struct ResultStore::Flight
     std::exception_ptr error;
 };
 
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+namespace {
+
+SharedStoreOptions
+resultStoreOptions(std::string dir, std::uint64_t maxBytes)
 {
-    if (dir_.empty())
-        BDS_RAISE(ErrorCode::InvalidConfig,
-                  "result store needs a cache directory");
-    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
-        BDS_RAISE(ErrorCode::Io, "cannot create result store '"
-                                     << dir_ << "': "
-                                     << std::strerror(errno));
+    SharedStoreOptions opts;
+    opts.dir = std::move(dir);
+    opts.suffix = ".result";
+    opts.maxBytes = maxBytes;
+    return opts;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir, std::uint64_t maxBytes)
+    : backend_(resultStoreOptions(std::move(dir), maxBytes))
+{
+}
+
+std::string
+ResultStore::entryName(const std::string &hashHex)
+{
+    return hashHex + ".result";
 }
 
 std::string
 ResultStore::entryPath(const std::string &hashHex) const
 {
-    return dir_ + "/" + hashHex + ".result";
+    return backend_.entryPath(entryName(hashHex));
 }
 
 bool
 ResultStore::load(const std::string &hashHex, ResultEntry *out) const
 {
     const std::string path = entryPath(hashHex);
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
+    std::string bytes;
+    if (!backend_.read(entryName(hashHex), &bytes))
         return false;
+    std::istringstream in(bytes);
     ResultEntry entry = readResultEntry(in, path);
     if (entry.hashHex != hashHex)
         BDS_RAISE(ErrorCode::Io,
@@ -190,25 +205,27 @@ ResultStore::load(const std::string &hashHex, ResultEntry *out) const
     return true;
 }
 
-void
+bool
 ResultStore::store(const ResultEntry &entry) const
 {
-    const std::string path = entryPath(entry.hashHex);
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            BDS_RAISE(ErrorCode::Io,
-                      "cannot write result entry '" << tmp << "'");
-        writeResultEntry(out, entry);
-        if (!out)
-            BDS_RAISE(ErrorCode::Io,
-                      "short write to result entry '" << tmp << "'");
+    std::ostringstream out;
+    writeResultEntry(out, entry);
+    return backend_.publish(entryName(entry.hashHex), out.str());
+}
+
+bool
+ResultStore::tryLoad(const std::string &hashHex, ResultEntry *out) const
+{
+    try {
+        return load(hashHex, out);
+    } catch (const std::exception &e) {
+        // Corrupt/truncated entry: report, recompute, replace.
+        // std::exception, not just Error, so no corruption mode can
+        // dodge the recompute path.
+        warn(std::string("result store: dropping corrupt entry: ")
+             + e.what());
+        return false;
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        BDS_RAISE(ErrorCode::Io, "cannot publish result entry '"
-                                     << path << "': "
-                                     << std::strerror(errno));
 }
 
 ComputedResult
@@ -249,23 +266,28 @@ ResultStore::getOrCompute(const std::string &hashHex,
     std::exception_ptr error;
     try {
         ResultEntry cached;
-        bool have = false;
-        try {
-            have = load(hashHex, &cached);
-        } catch (const std::exception &e) {
-            // Corrupt/truncated entry: report, recompute, replace.
-            // std::exception, not just Error, so no corruption mode
-            // can dodge the recompute path.
-            warn(std::string("result store: dropping corrupt entry: ")
-                 + e.what());
+        bool have = tryLoad(hashHex, &cached);
+        if (!have) {
+            // Cross-process single-flight: take (or wait out) the
+            // entry's lease so only one daemon computes this cell.
+            // A waiter whose wait ends with the entry on disk — or a
+            // leader whose lease arrived after the previous holder
+            // published — re-reads instead of recomputing. A null
+            // lease without entryAppeared means the store is down or
+            // the lease machinery failed: compute uncoordinated,
+            // correctness over deduplication.
+            FlightTicket ticket =
+                backend_.singleFlight(entryName(hashHex));
+            have = tryLoad(hashHex, &cached);
+            if (!have) {
+                result = compute();
+                if (result.cacheable)
+                    store(result.entry);
+            }
         }
         if (have) {
             *hit = true;
             result.entry = std::move(cached);
-        } else {
-            result = compute();
-            if (result.cacheable)
-                store(result.entry);
         }
     } catch (...) {
         error = std::current_exception();

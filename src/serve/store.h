@@ -15,10 +15,19 @@
  * converts into a transparent recompute (the same hardening idiom as
  * the trace loader).
  *
- * Writes are atomic (temp file + rename), so concurrent daemons
- * sharing one cache directory never observe half an entry. Within a
- * process, getOrCompute() deduplicates concurrent same-key requests:
- * one computes, the rest wait for its result (single-flight).
+ * The store sits on the shared-storage layer (src/store/shared.h,
+ * docs/STORAGE.md): publishes are atomic and durable (temp + fsync +
+ * rename), the directory honours the BDS_STORE_MAX_BYTES budget with
+ * LRU eviction, and any filesystem failure degrades to store-down
+ * mode — requests keep computing correct results, they just stop
+ * being cached until the disk heals.
+ *
+ * Single-flight is two-level. Within a process, getOrCompute()
+ * deduplicates concurrent same-key requests: one computes, the rest
+ * wait for its result. Across processes, the per-process leader
+ * takes the entry's lease file: exactly one daemon computes a given
+ * cell while the other daemons' leaders wait for its publish (or
+ * deterministically take over if it dies or wedges).
  */
 
 #ifndef BDS_SERVE_STORE_H
@@ -31,6 +40,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "store/shared.h"
 
 namespace bds {
 
@@ -96,26 +107,38 @@ class ResultStore
 {
   public:
     /**
-     * Open (creating if needed) the store directory. Error(Io) when
-     * the directory cannot be created.
+     * Open the store directory, creating it if needed.
+     * Error(InvalidConfig) when `dir` is empty; an *uncreatable*
+     * directory opens the store in down mode (every request
+     * computes, nothing caches) instead of failing the daemon.
+     * `maxBytes` bounds the entry bytes on disk (LRU eviction);
+     * 0 = unbounded.
      */
-    explicit ResultStore(std::string dir);
+    explicit ResultStore(std::string dir, std::uint64_t maxBytes = 0);
 
     /** The entry file of a key. */
     std::string entryPath(const std::string &hashHex) const;
 
     /** The store directory. */
-    const std::string &dir() const { return dir_; }
+    const std::string &dir() const { return backend_.dir(); }
+
+    /** True while the backing store is degraded (not caching). */
+    bool storeDown() const { return backend_.down(); }
 
     /**
-     * Load the entry for `hashHex`. Returns false when absent;
-     * raises Error(Io) when present but corrupt, truncated, of a
-     * foreign version, or keyed to a different hash.
+     * Load the entry for `hashHex`. Returns false when absent (or
+     * the store is down); raises Error(Io) when present but corrupt,
+     * truncated, of a foreign version, or keyed to a different hash.
      */
     bool load(const std::string &hashHex, ResultEntry *out) const;
 
-    /** Atomically persist an entry (temp file + rename). */
-    void store(const ResultEntry &entry) const;
+    /**
+     * Durably persist an entry (temp + fsync + rename), then enforce
+     * the byte budget. Never throws: false means the entry was not
+     * cached (store down / disk failure) — the computed result is
+     * still valid for the caller.
+     */
+    bool store(const ResultEntry &entry) const;
 
     /**
      * The serving fast path: return the cached entry for `hashHex`
@@ -138,7 +161,15 @@ class ResultStore
     /** In-flight computation shared by concurrent same-key callers. */
     struct Flight;
 
-    std::string dir_;
+    /** Entry filename of a key ("<hash>.result"). */
+    static std::string entryName(const std::string &hashHex);
+
+    /** load() with corrupt entries demoted to a warned miss. */
+    bool tryLoad(const std::string &hashHex, ResultEntry *out) const;
+
+    /** Shared-storage backend (leases, budget, degradation); mutable
+     *  because reads bump recency and the down flag. */
+    mutable SharedStore backend_;
     std::mutex mutex_;
     std::map<std::string, std::shared_ptr<Flight>> inflight_;
 };

@@ -1,0 +1,181 @@
+#include "store/index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bds {
+
+bool
+StoreIndex::load(const std::string &path)
+{
+    entries_.clear();
+    nextSeq_ = 1;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != "BDSINDEX 1")
+        return false;
+
+    std::uint64_t count = 0;
+    {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream ss(line);
+        std::string key;
+        if (!(ss >> key >> count) || key != "entries")
+            return false;
+    }
+
+    std::map<std::string, IndexedEntry> parsed;
+    std::uint64_t maxSeq = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream ss(line);
+        IndexedEntry e;
+        if (!(ss >> e.seq >> e.bytes >> e.name) || e.name.empty())
+            return false;
+        maxSeq = std::max(maxSeq, e.seq);
+        parsed[e.name] = std::move(e);
+    }
+    if (!std::getline(in, line) || line != "END")
+        return false;
+
+    entries_ = std::move(parsed);
+    nextSeq_ = maxSeq + 1;
+    return true;
+}
+
+bool
+StoreIndex::save(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << "BDSINDEX 1\n" << "entries " << entries_.size() << '\n';
+        for (const auto &kv : entries_)
+            out << kv.second.seq << ' ' << kv.second.bytes << ' '
+                << kv.second.name << '\n';
+        out << "END\n";
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Scan sorted oldest-mtime first, name-tiebroken for determinism. */
+std::vector<ScannedEntry>
+mtimeOrder(const std::vector<ScannedEntry> &scan)
+{
+    std::vector<ScannedEntry> sorted = scan;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScannedEntry &a, const ScannedEntry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.name < b.name;
+              });
+    return sorted;
+}
+
+} // namespace
+
+void
+StoreIndex::rebuild(const std::vector<ScannedEntry> &scan)
+{
+    entries_.clear();
+    nextSeq_ = 1;
+    for (const ScannedEntry &s : mtimeOrder(scan)) {
+        IndexedEntry e;
+        e.name = s.name;
+        e.bytes = s.bytes;
+        e.seq = nextSeq_++;
+        entries_[e.name] = std::move(e);
+    }
+}
+
+void
+StoreIndex::reconcile(const std::vector<ScannedEntry> &scan)
+{
+    // Drop indexed entries whose file is gone.
+    std::map<std::string, const ScannedEntry *> present;
+    for (const ScannedEntry &s : scan)
+        present[s.name] = &s;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (present.find(it->first) == present.end())
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+
+    // Refresh sizes; adopt unknown files in mtime order so their
+    // relative recency is preserved.
+    for (const ScannedEntry &s : mtimeOrder(scan)) {
+        auto it = entries_.find(s.name);
+        if (it != entries_.end()) {
+            it->second.bytes = s.bytes;
+            continue;
+        }
+        IndexedEntry e;
+        e.name = s.name;
+        e.bytes = s.bytes;
+        e.seq = nextSeq_++;
+        entries_[e.name] = std::move(e);
+    }
+}
+
+void
+StoreIndex::touch(const std::string &name, std::uint64_t bytes)
+{
+    IndexedEntry &e = entries_[name];
+    e.name = name;
+    e.bytes = bytes;
+    e.seq = nextSeq_++;
+}
+
+void
+StoreIndex::erase(const std::string &name)
+{
+    entries_.erase(name);
+}
+
+std::uint64_t
+StoreIndex::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &kv : entries_)
+        total += kv.second.bytes;
+    return total;
+}
+
+std::vector<IndexedEntry>
+StoreIndex::lruOrder() const
+{
+    std::vector<IndexedEntry> order;
+    order.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        order.push_back(kv.second);
+    std::sort(order.begin(), order.end(),
+              [](const IndexedEntry &a, const IndexedEntry &b) {
+                  if (a.seq != b.seq)
+                      return a.seq < b.seq;
+                  return a.name < b.name;
+              });
+    return order;
+}
+
+} // namespace bds

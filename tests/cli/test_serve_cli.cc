@@ -116,12 +116,13 @@ parseFrames(const std::string &out)
     return frames;
 }
 
-/** Remove a known cache entry and its directory. */
+/** Remove a known cache entry, the store index, and the directory. */
 void
 wipeCache(const std::string &dir, const std::string &hash)
 {
     if (!hash.empty())
         std::remove((dir + "/" + hash + ".result").c_str());
+    std::remove((dir + "/store.index").c_str());
     ::rmdir(dir.c_str());
 }
 
@@ -166,9 +167,15 @@ TEST(ServeCli, StdinProtocolMissHitAndWarmRestart)
 
     EXPECT_EQ(frames[3].header,
               "stats requests=2 hits=1 misses=1 errors=0 bypassed=0"
+              " shed=0"
               " ckpt_hits=0 ckpt_misses=0 ckpt_writes=0"
               " ckpt_fallbacks=0 ckpt_bytes_read=0"
-              " ckpt_bytes_written=0");
+              " ckpt_bytes_written=0"
+              " store_publishes=1 store_publish_skipped=0"
+              " store_evicted=0 store_evicted_bytes=0"
+              " store_downs=0 store_heals=0"
+              " store_lease_acquires=1 store_lease_waits=0"
+              " store_lease_takeovers=0 store_index_rebuilds=0");
     EXPECT_EQ(frames[4].header, "bye");
 
     // A fresh daemon process answers warm from the on-disk store.
@@ -382,9 +389,12 @@ TEST(ServeCli, SocketClientDisconnectNeverKillsTheDaemon)
     EXPECT_EQ(readReply(c), "bye\n");
     ::close(c);
 
+    // Shutdown has to wait out B's orphaned sweep, which can take
+    // tens of seconds on a box saturated by a parallel test run —
+    // budget generously, the happy path exits in milliseconds.
     bool exited = false;
     int status = 0;
-    for (int i = 0; i < 200 && !exited; ++i) {
+    for (int i = 0; i < 1200 && !exited; ++i) {
         if (::waitpid(pid, &status, WNOHANG) == pid)
             exited = true;
         else

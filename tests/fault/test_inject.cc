@@ -100,6 +100,53 @@ TEST_F(InjectorTest, StallConvertsToTimeoutUnderADeadline)
     }
 }
 
+TEST_F(InjectorTest, IoSiteMatchesListedSitesOnly)
+{
+    EXPECT_FALSE(
+        FaultInjector::global().shouldFailIo("store.write"));
+
+    FaultOptions opts;
+    opts.ioAt = "store.write,store.enospc";
+    FaultInjector::global().arm(opts);
+
+    EXPECT_TRUE(FaultInjector::global().shouldFailIo("store.write"));
+    EXPECT_TRUE(
+        FaultInjector::global().shouldFailIo("store.enospc"));
+    EXPECT_FALSE(
+        FaultInjector::global().shouldFailIo("store.rename"));
+    EXPECT_FALSE(
+        FaultInjector::global().shouldFailIo("store.lease"));
+
+    FaultOptions wild;
+    wild.ioAt = "*";
+    FaultInjector::global().arm(wild);
+    EXPECT_TRUE(FaultInjector::global().shouldFailIo("store.lease"));
+}
+
+TEST_F(InjectorTest, IoFireBudgetCapsTotalFiresAcrossSites)
+{
+    // Unlike the workload sites (gated by the attempt index), the
+    // I/O sites consume a global fire budget: attempts=2 fails
+    // exactly two operations and then the "disk" recovers — the
+    // deterministic fail-then-heal recipe.
+    FaultOptions opts;
+    opts.ioAt = "*";
+    opts.attempts = 2;
+    FaultInjector::global().arm(opts);
+
+    EXPECT_TRUE(FaultInjector::global().shouldFailIo("store.write"));
+    EXPECT_TRUE(
+        FaultInjector::global().shouldFailIo("store.rename"));
+    EXPECT_FALSE(
+        FaultInjector::global().shouldFailIo("store.write"));
+    EXPECT_FALSE(
+        FaultInjector::global().shouldFailIo("store.enospc"));
+
+    // Re-arming resets the budget.
+    FaultInjector::global().arm(opts);
+    EXPECT_TRUE(FaultInjector::global().shouldFailIo("store.write"));
+}
+
 TEST_F(InjectorTest, CheckpointIsANoOpWithoutADeadline)
 {
     EXPECT_NO_THROW(faultCheckpoint()); // no context installed

@@ -143,6 +143,48 @@ TEST(ObsManifest, CheckpointBlockRoundTripsAndIsOmittedWhenOff)
     EXPECT_EQ(r.config.ckpt.dir, "snap \"dir\"");
 }
 
+TEST(ObsManifest, StoreBudgetFieldsRoundTripAndBackfillWhenAbsent)
+{
+    // Round trip: the serve block carries the admission-queue bound
+    // and byte budgets; the checkpoint block carries its budget.
+    RunManifest m = sampleManifest();
+    m.config.serve.enabled = true;
+    m.config.serve.storeDir = "cache";
+    m.config.serve.maxQueue = 5;
+    m.config.serve.maxStoreBytes = 1 << 20;
+    m.config.ckpt.enabled = true;
+    m.config.ckpt.dir = "snaps";
+    m.config.ckpt.maxBytes = 4096;
+
+    std::ostringstream os;
+    writeRunManifest(os, m);
+    {
+        std::istringstream is(os.str());
+        RunManifest r = parseRunManifest(is);
+        EXPECT_EQ(r.config.serve.maxQueue, 5u);
+        EXPECT_EQ(r.config.serve.maxStoreBytes,
+                  static_cast<std::uint64_t>(1 << 20));
+        EXPECT_EQ(r.config.ckpt.maxBytes, 4096u);
+    }
+
+    // Back-compat: manifests written before the shared-store layer
+    // lack the new keys; the parser must default them, not fail.
+    std::string text = os.str();
+    for (const std::string needle :
+         {std::string(", \"max_queue\": 5"),
+          std::string(", \"store_max_bytes\": 1048576"),
+          std::string(", \"max_bytes\": 4096")}) {
+        const std::size_t pos = text.find(needle);
+        ASSERT_NE(pos, std::string::npos) << text;
+        text.erase(pos, needle.size());
+    }
+    std::istringstream is(text);
+    RunManifest r = parseRunManifest(is);
+    EXPECT_EQ(r.config.serve.maxQueue, 1024u);
+    EXPECT_EQ(r.config.serve.maxStoreBytes, 0u);
+    EXPECT_EQ(r.config.ckpt.maxBytes, 0u);
+}
+
 TEST(ObsManifest, TraceDisabledWritesAnEmptyTracePath)
 {
     RunManifest m = sampleManifest();

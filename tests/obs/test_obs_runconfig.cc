@@ -30,6 +30,8 @@ const char *const kEnvVars[] = {
     "BDS_FAULT_ATTEMPTS", "BDS_SERVE_SOCKET", "BDS_SERVE_CACHE",
     "BDS_SERVE_MAX_INFLIGHT", "BDS_SERVE_BYPASS", "BDS_SERVE_LOG",
     "BDS_MACHINE",       "BDS_CKPT",        "BDS_CKPT_DIR",
+    "BDS_FAULT_IO",      "BDS_SERVE_MAX_QUEUE",
+    "BDS_STORE_MAX_BYTES", "BDS_CKPT_MAX_BYTES",
 };
 
 /** Clears every BDS_* variable for the test, restoring it after. */
@@ -332,6 +334,8 @@ TEST_F(ObsRunConfigTest, ServeKnobsDefaultOff)
     EXPECT_TRUE(cfg.serve.socketPath.empty());
     EXPECT_EQ(cfg.serve.storeDir, "bds_serve_cache");
     EXPECT_EQ(cfg.serve.maxInFlight, 0u);
+    EXPECT_EQ(cfg.serve.maxQueue, 1024u);
+    EXPECT_EQ(cfg.serve.maxStoreBytes, 0u);
     EXPECT_FALSE(cfg.serve.bypassStore);
     EXPECT_TRUE(cfg.serve.logPath.empty());
 }
@@ -369,6 +373,73 @@ TEST_F(ObsRunConfigTest, ServeFlagsWinOverTheEnvironment)
     EXPECT_TRUE(cfg.serve.bypassStore);
     EXPECT_EQ(cfg.serve.socketPath, "/tmp/s.sock");
     EXPECT_EQ(cfg.serve.logPath, "l.bin");
+}
+
+TEST_F(ObsRunConfigTest, StoreSafetyKnobsOverlayFromTheEnvironment)
+{
+    ::setenv("BDS_SERVE_MAX_QUEUE", "7", 1);
+    ::setenv("BDS_STORE_MAX_BYTES", "1048576", 1);
+    ::setenv("BDS_CKPT_MAX_BYTES", "2048", 1);
+    ::setenv("BDS_FAULT_IO", "store.enospc", 1);
+
+    RunConfig cfg = RunConfig::resolve("t");
+    EXPECT_EQ(cfg.serve.maxQueue, 7u);
+    EXPECT_EQ(cfg.serve.maxStoreBytes, 1048576u);
+    EXPECT_EQ(cfg.ckpt.maxBytes, 2048u);
+    EXPECT_EQ(cfg.fault.ioAt, "store.enospc");
+    EXPECT_TRUE(cfg.fault.any());
+}
+
+TEST_F(ObsRunConfigTest, StoreSafetyFlagsWinOverTheEnvironment)
+{
+    ::setenv("BDS_SERVE_MAX_QUEUE", "9", 1);
+    ::setenv("BDS_STORE_MAX_BYTES", "9", 1);
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.applyEnv();
+    std::vector<std::string> rest = cfg.applyArgs(
+        {"--serve-max-queue=5", "--store-max-bytes", "123",
+         "--ckpt-max-bytes=77", "--fault-io", "store.write"});
+    EXPECT_TRUE(rest.empty());
+    EXPECT_EQ(cfg.serve.maxQueue, 5u);
+    EXPECT_EQ(cfg.serve.maxStoreBytes, 123u);
+    EXPECT_EQ(cfg.ckpt.maxBytes, 77u);
+    EXPECT_EQ(cfg.fault.ioAt, "store.write");
+}
+
+TEST_F(ObsRunConfigTest, MalformedStoreSafetyKnobsAreFatal)
+{
+    ::setenv("BDS_STORE_MAX_BYTES", "lots", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_STORE_MAX_BYTES");
+
+    ::setenv("BDS_SERVE_MAX_QUEUE", "-1", 1);
+    EXPECT_THROW(RunConfig::resolve("t"), FatalError);
+    ::unsetenv("BDS_SERVE_MAX_QUEUE");
+
+    RunConfig cfg;
+    EXPECT_THROW(cfg.applyArgs({"--ckpt-max-bytes", "big"}),
+                 FatalError);
+}
+
+TEST_F(ObsRunConfigTest, DescribeMentionsStoreBudgetsOnlyWhenSet)
+{
+    RunConfig cfg;
+    cfg.tool = "t";
+    cfg.serve.enabled = true;
+    // Defaults stay out of the one-line description.
+    std::string d = cfg.describe();
+    EXPECT_EQ(d.find("max-queue="), std::string::npos) << d;
+    EXPECT_EQ(d.find("max-bytes="), std::string::npos) << d;
+
+    cfg.serve.maxQueue = 4;
+    cfg.serve.maxStoreBytes = 4096;
+    cfg.ckpt.enabled = true;
+    cfg.ckpt.maxBytes = 512;
+    d = cfg.describe();
+    EXPECT_NE(d.find("max-queue=4"), std::string::npos) << d;
+    EXPECT_NE(d.find("max-bytes=4096"), std::string::npos) << d;
+    EXPECT_NE(d.find("max-bytes=512"), std::string::npos) << d;
 }
 
 TEST_F(ObsRunConfigTest, MalformedServeKnobsAreFatal)

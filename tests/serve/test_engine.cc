@@ -8,9 +8,11 @@
  * an error response, never a dead engine), and the serve.* counters.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -63,6 +65,7 @@ wipeCache(const RunConfig &cfg, ServeEngine *engine,
         std::remove(
             (cfg.serve.storeDir + "/" + hash + ".result").c_str());
     }
+    std::remove((cfg.serve.storeDir + "/store.index").c_str());
     ::rmdir(cfg.serve.storeDir.c_str());
 }
 
@@ -263,6 +266,47 @@ TEST(ServeEngineFault, InjectedFaultIsQuarantinedPerRequest)
     EXPECT_TRUE(after.ok) << after.message;
 
     wipeCache(clean, &cleanEngine, {quickRequest(7)});
+}
+
+TEST(ServeEngineOverload, QueueFullComputesAreShedWithTypedErrors)
+{
+    // One compute slot, zero queue slots: a compute arriving while
+    // the slot is busy must be shed immediately with the typed
+    // Overloaded error — not queued, not crashed.
+    RunConfig cfg = engineConfig("bds_engine_shed_cache");
+    cfg.serve.maxInFlight = 1;
+    cfg.serve.maxQueue = 0;
+    cfg.serve.bypassStore = true; // every request is a compute
+    cfg.fault.stallAt = "H-Sort"; // pin the slot busy for 500 ms
+    cfg.fault.stallMs = 500;
+    FaultInjector::global().arm(cfg.fault);
+    ServeEngine engine(cfg);
+
+    std::thread slow([&] {
+        const ServeResponse r = engine.handle(quickRequest(3));
+        EXPECT_TRUE(r.ok) << r.message;
+    });
+    // The stalled sweep cannot finish before its 500 ms stall; at
+    // 100 ms the slot is reliably busy.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const ServeResponse shed = engine.handle(quickRequest(4));
+    slow.join();
+    FaultInjector::global().disarm();
+
+    EXPECT_FALSE(shed.ok);
+    EXPECT_EQ(shed.code, ErrorCode::Overloaded);
+    EXPECT_EQ(std::string(errorCodeName(shed.code)), "overloaded");
+    EXPECT_NE(shed.message.find("max_queue=0"), std::string::npos)
+        << shed.message;
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.errors, 1u);
+
+    // Shedding is load control, not a latch: the engine answers the
+    // next request once the storm passes.
+    const ServeResponse after = engine.handle(quickRequest(5));
+    EXPECT_TRUE(after.ok) << after.message;
+    wipeCache(cfg, &engine, {});
 }
 
 TEST(ServeEngineFault, FailFastInjectionIsAnErrorResponse)

@@ -45,6 +45,7 @@ class StoreDir
     {
         for (const std::string &hash : knownKeys())
             std::remove((dir_ + "/" + hash + ".result").c_str());
+        std::remove((dir_ + "/store.index").c_str());
         ::rmdir(dir_.c_str());
     }
     static std::vector<std::string> knownKeys()
@@ -364,6 +365,44 @@ TEST(ServeStore, ConcurrentSameKeyRequestsComputeOnce)
     // the bound is >= kThreads - 1.
     EXPECT_EQ(computes.load(), 1);
     EXPECT_GE(hits.load(), kThreads - 1);
+}
+
+TEST(ServeStore, TwoStoreInstancesSingleFlightThroughTheLease)
+{
+    // Two ResultStore instances on one directory model two daemon
+    // processes sharing a cache: the in-process Flight map cannot
+    // see across instances, so deduplication here rides entirely on
+    // the on-disk lease protocol (src/store/lease.h).
+    StoreDir tmp("bds_store_two_instances");
+    ResultStore first(tmp.dir());
+    ResultStore second(tmp.dir());
+    const ResultEntry entry = sampleEntry("00000000000000ee");
+
+    std::atomic<int> computes{0};
+    auto compute = [&] {
+        ++computes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        ComputedResult r;
+        r.entry = entry;
+        return r;
+    };
+
+    bool leaderHit = true, followerHit = false;
+    std::thread leader([&] {
+        ComputedResult got =
+            first.getOrCompute(entry.hashHex, compute, &leaderHit);
+        EXPECT_EQ(got.entry.csv, entry.csv);
+    });
+    // Let the leader take the lease before the follower arrives.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ComputedResult got =
+        second.getOrCompute(entry.hashHex, compute, &followerHit);
+    leader.join();
+
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_FALSE(leaderHit);
+    EXPECT_TRUE(followerHit);
+    EXPECT_EQ(got.entry.csv, entry.csv);
 }
 
 TEST(ServeStore, ComputeExceptionsPropagateToEveryWaiter)

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Lease protocol tests: exclusive acquisition, heartbeat publishing,
+ * cancel-ended waits, and the two deterministic takeover paths —
+ * dead-pid (the stamped holder no longer exists) and wedged-holder
+ * (a live pid whose heartbeat counter stops advancing).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fault/error.h"
+#include "store/lease.h"
+
+namespace bds {
+namespace {
+
+std::string
+leasePath(const std::string &name)
+{
+    return ::testing::TempDir() + name + ".lease";
+}
+
+/** Fast-poll options so waits settle in milliseconds. */
+LeaseOptions
+fastOpts()
+{
+    LeaseOptions opts;
+    opts.heartbeatMs = 20;
+    opts.staleMs = 150;
+    opts.pollMinMs = 1;
+    opts.pollMaxMs = 10;
+    return opts;
+}
+
+/** A pid that is guaranteed dead: fork a child and reap it. */
+long
+deadPid()
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(0);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return static_cast<long>(pid);
+}
+
+TEST(StoreLease, AcquireIsExclusiveAndReleaseFreesTheFile)
+{
+    const std::string path = leasePath("bds_lease_excl");
+    std::remove(path.c_str());
+
+    std::unique_ptr<Lease> held = tryAcquireLease(path, fastOpts());
+    ASSERT_TRUE(held);
+
+    // Second acquire in the same (or any) process: busy, not an error.
+    EXPECT_FALSE(tryAcquireLease(path, fastOpts()));
+
+    LeaseProbe probe;
+    ASSERT_TRUE(readLease(path, &probe));
+    EXPECT_TRUE(probe.parsed);
+    EXPECT_EQ(probe.pid, static_cast<long>(::getpid()));
+
+    held->release();
+    EXPECT_FALSE(readLease(path, &probe));
+
+    // Released means re-acquirable.
+    std::unique_ptr<Lease> again = tryAcquireLease(path, fastOpts());
+    EXPECT_TRUE(again);
+    again.reset(); // destructor releases too
+    EXPECT_FALSE(readLease(path, &probe));
+}
+
+TEST(StoreLease, HeartbeatAdvancesTheBeatCounter)
+{
+    const std::string path = leasePath("bds_lease_beat");
+    std::remove(path.c_str());
+
+    std::unique_ptr<Lease> held = tryAcquireLease(path, fastOpts());
+    ASSERT_TRUE(held);
+    LeaseProbe first;
+    ASSERT_TRUE(readLease(path, &first));
+
+    // Several heartbeat periods later the published beat has moved:
+    // "alive and making progress" is observable from outside.
+    LeaseProbe later = first;
+    for (int tries = 0; tries < 100 && later.beat == first.beat;
+         ++tries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ASSERT_TRUE(readLease(path, &later));
+    }
+    EXPECT_GT(later.beat, first.beat);
+    held->release();
+}
+
+TEST(StoreLease, DeadHolderIsTakenOverImmediately)
+{
+    const std::string path = leasePath("bds_lease_dead");
+    std::remove(path.c_str());
+
+    // Forge a lease held by a pid that is definitely gone.
+    const long corpse = deadPid();
+    ASSERT_TRUE(pidVanished(corpse));
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << "BDSLEASE 1\npid " << corpse << "\nbeat 7\n";
+    }
+
+    LeaseWaitStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_ptr<Lease> lease =
+        acquireLease(path, fastOpts(), [] { return false; }, &stats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(stats.takeovers, 1u);
+    EXPECT_FALSE(stats.canceled);
+    // Dead-pid takeover must not serve out the staleMs sentence.
+    EXPECT_LT(ms, static_cast<double>(fastOpts().staleMs));
+    lease->release();
+}
+
+TEST(StoreLease, WedgedHolderLosesTheLeaseAfterStaleMs)
+{
+    const std::string path = leasePath("bds_lease_wedged");
+    std::remove(path.c_str());
+
+    // A live pid (ours) with a heartbeat that never advances: the
+    // wedged-holder picture. No Lease object exists, so nothing
+    // republishes the beat.
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << "BDSLEASE 1\npid " << ::getpid() << "\nbeat 3\n";
+    }
+
+    LeaseWaitStats stats;
+    std::unique_ptr<Lease> lease =
+        acquireLease(path, fastOpts(), [] { return false; }, &stats);
+    ASSERT_TRUE(lease);
+    EXPECT_GE(stats.takeovers, 1u);
+    lease->release();
+}
+
+TEST(StoreLease, CancelEndsTheWaitWithoutALease)
+{
+    const std::string path = leasePath("bds_lease_cancel");
+    std::remove(path.c_str());
+
+    std::unique_ptr<Lease> held = tryAcquireLease(path, fastOpts());
+    ASSERT_TRUE(held);
+
+    // The holder is alive and heartbeating; the only way out of the
+    // wait is the cancel predicate (the caller's entry appeared).
+    int polls = 0;
+    LeaseWaitStats stats;
+    std::unique_ptr<Lease> lease = acquireLease(
+        path, fastOpts(), [&polls] { return ++polls >= 3; }, &stats);
+    EXPECT_FALSE(lease);
+    EXPECT_TRUE(stats.canceled);
+    EXPECT_EQ(stats.takeovers, 0u);
+    held->release();
+}
+
+TEST(StoreLease, ReleaseAfterForeignTakeoverIsHarmless)
+{
+    const std::string path = leasePath("bds_lease_foreign");
+    std::remove(path.c_str());
+
+    std::unique_ptr<Lease> held = tryAcquireLease(path, fastOpts());
+    ASSERT_TRUE(held);
+
+    // Simulate a challenger's takeover: the lease file is renamed
+    // aside and removed while the original holder still exists.
+    std::remove(path.c_str());
+    held->release(); // must not throw or unlink anything foreign
+
+    std::unique_ptr<Lease> next = tryAcquireLease(path, fastOpts());
+    EXPECT_TRUE(next);
+}
+
+} // namespace
+} // namespace bds
